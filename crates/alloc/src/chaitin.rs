@@ -1,0 +1,320 @@
+//! Single-procedure multi-class graph coloring — the paper's Figure 4.
+//!
+//! A Chaitin-Briggs variant that handles *wide* variables: a web of
+//! `width` words needs `width` consecutive slots whose absolute start
+//! index is aligned to the width's alignment class (pairs even-aligned,
+//! quads quad-aligned), matching NVIDIA register-pair constraints.
+//!
+//! Stage 1 (stack order, Fig. 4b): repeatedly pick a web whose
+//! `width + weighted-degree ≤ C` (preferring narrow ones); when none
+//! qualifies, pick the narrowest/lowest-degree web as an optimistic
+//! candidate. Push on the stack and remove from the graph.
+//!
+//! Stage 2 (coloring, Fig. 4c): pop webs and assign the lowest aligned
+//! slot range free of colored neighbors. A web that cannot be colored is
+//! removed from the stack onto the spill list and coloring restarts —
+//! the optimistic restart loop in the paper's pseudocode (`s = S`).
+
+use crate::interference::InterferenceGraph;
+use orion_kir::bitset::BitSet;
+
+/// Result of coloring one function's webs.
+#[derive(Debug, Clone)]
+pub struct Coloring {
+    /// Starting slot of each web (`None` = spilled).
+    pub slot_of: Vec<Option<u16>>,
+    /// Webs that could not be colored within the budget.
+    pub spilled: Vec<usize>,
+    /// One past the highest slot used (frame size in slots).
+    pub frame_size: u16,
+}
+
+impl Coloring {
+    /// Number of colored webs.
+    pub fn num_colored(&self) -> usize {
+        self.slot_of.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Color `graph` with `budget` slots, where the function's frame begins
+/// at absolute slot `base` (alignment of wide webs is computed on
+/// `base + slot`, because register pairs align in the physical file).
+///
+/// Webs listed in `precolored` are fixed to the given slots (used for
+/// incoming parameter webs whose location the caller already chose).
+pub fn color(
+    graph: &InterferenceGraph,
+    budget: u16,
+    base: u16,
+    precolored: &[(usize, u16)],
+) -> Coloring {
+    let n = graph.len();
+    let c = u32::from(budget);
+    let mut slot_of: Vec<Option<u16>> = vec![None; n];
+    let mut fixed = BitSet::new(n.max(1));
+    for &(v, s) in precolored {
+        slot_of[v] = Some(s);
+        fixed.insert(v);
+    }
+
+    // ---- Stage 1: stack order (Fig. 4b) ----
+    let mut removed = BitSet::new(n.max(1));
+    for &(v, _) in precolored {
+        removed.insert(v); // fixed webs are not stacked
+    }
+    let mut stack: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: usize = n - precolored.len();
+    while remaining > 0 {
+        let mut next: Option<usize> = None;
+        // Prefer a web guaranteed colorable: width + weighted degree ≤ C
+        // (Fig. 4b picks the narrowest; ties go to the *coldest* web so
+        // that frequently-touched values are colored first and land in
+        // the low register slots — a spill-cost refinement the paper's
+        // pseudocode leaves open).
+        for v in 0..n {
+            if removed.contains(v) {
+                continue;
+            }
+            let w = u32::from(graph.width(v).words());
+            if w + graph.weighted_degree(v, &removed) <= c {
+                let better = match next {
+                    None => true,
+                    Some(cur) => {
+                        let (wc, wv) = (graph.width(cur).words(), graph.width(v).words());
+                        wc > wv || (wc == wv && graph.use_count(cur) > graph.use_count(v))
+                    }
+                };
+                if better {
+                    next = Some(v);
+                }
+            }
+        }
+        if next.is_none() {
+            // Optimistic candidate: narrowest, then coldest, then lowest
+            // degree — the web most likely to spill cheaply.
+            for v in 0..n {
+                if removed.contains(v) {
+                    continue;
+                }
+                let better = match next {
+                    None => true,
+                    Some(cur) => {
+                        let key = |x: usize| {
+                            (
+                                graph.width(x).words(),
+                                graph.use_count(x),
+                                graph.weighted_degree(x, &removed),
+                            )
+                        };
+                        key(cur) > key(v)
+                    }
+                };
+                if better {
+                    next = Some(v);
+                }
+            }
+        }
+        let v = next.expect("nonempty graph");
+        stack.push(v);
+        removed.insert(v);
+        remaining -= 1;
+    }
+
+    // ---- Stage 2: coloring with optimistic restart (Fig. 4c) ----
+    let mut spilled: Vec<usize> = Vec::new();
+    'restart: loop {
+        for s in slot_of.iter_mut().enumerate() {
+            if !fixed.contains(s.0) {
+                *s.1 = None;
+            }
+        }
+        // Pop from the top (LIFO): the first web removed in stage 1 is
+        // colored last, when all of its then-remaining neighbors are done.
+        for &v in stack.iter().rev() {
+            if spilled.contains(&v) {
+                continue;
+            }
+            let vw = graph.width(v);
+            let words = u32::from(vw.words());
+            let align = u32::from(vw.alignment());
+            let mut used = vec![false; budget as usize];
+            for u in graph.neighbors(v) {
+                if let Some(start) = slot_of[u] {
+                    for k in 0..graph.width(u).words() {
+                        let idx = usize::from(start + k);
+                        if idx < used.len() {
+                            used[idx] = true;
+                        }
+                    }
+                }
+            }
+            let mut chosen = None;
+            let mut cslot = 0u32;
+            while cslot + words <= c {
+                // Alignment is on the absolute slot index.
+                if (u32::from(base) + cslot).is_multiple_of(align)
+                    && (0..words).all(|k| !used[(cslot + k) as usize])
+                {
+                    chosen = Some(cslot as u16);
+                    break;
+                }
+                cslot += 1;
+            }
+            match chosen {
+                Some(s) => slot_of[v] = Some(s),
+                None => {
+                    spilled.push(v);
+                    continue 'restart;
+                }
+            }
+        }
+        break;
+    }
+
+    let frame_size = slot_of
+        .iter()
+        .enumerate()
+        .filter_map(|(v, s)| s.map(|s| s + graph.width(v).words()))
+        .max()
+        .unwrap_or(0);
+    Coloring {
+        slot_of,
+        spilled,
+        frame_size,
+    }
+}
+
+/// Validate a coloring: no two interfering webs overlap in slots, wide
+/// webs aligned. Returns a description of the first violation.
+pub fn validate(graph: &InterferenceGraph, base: u16, coloring: &Coloring) -> Result<(), String> {
+    let n = graph.len();
+    let range = |v: usize| -> Option<(u16, u16)> {
+        coloring.slot_of[v].map(|s| (s, s + graph.width(v).words()))
+    };
+    for v in 0..n {
+        if let Some((s, _)) = range(v) {
+            let align = graph.width(v).alignment();
+            if !(base + s).is_multiple_of(align) {
+                return Err(format!("web {v} misaligned at slot {s} (base {base})"));
+            }
+        }
+        for u in graph.neighbors(v) {
+            if u <= v {
+                continue;
+            }
+            if let (Some((a0, a1)), Some((b0, b1))) = (range(v), range(u)) {
+                if a0 < b1 && b0 < a1 {
+                    return Err(format!("webs {v} and {u} overlap: [{a0},{a1}) vs [{b0},{b1})"));
+                }
+            }
+        }
+    }
+    for &v in &coloring.spilled {
+        if coloring.slot_of[v].is_some() {
+            return Err(format!("web {v} both spilled and colored"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceGraph;
+    use orion_kir::builder::FunctionBuilder;
+    use orion_kir::cfg::Cfg;
+    use orion_kir::inst::Operand;
+    use orion_kir::liveness::Liveness;
+    use orion_kir::ssa::normalize;
+    use orion_kir::types::{MemSpace, Width};
+
+    fn graph_for(nlive: usize) -> InterferenceGraph {
+        // nlive simultaneously live 32-bit values.
+        let mut b = FunctionBuilder::kernel("k");
+        let vs: Vec<_> = (0..nlive).map(|i| b.mov_i32(i as i32)).collect();
+        let mut acc = b.mov_i32(0);
+        for v in vs {
+            acc = b.iadd(acc, v);
+        }
+        b.st(MemSpace::Global, Width::W32, Operand::Imm(0), acc, 0);
+        let f = normalize(&b.finish()).unwrap();
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        InterferenceGraph::build(&f, &cfg, &live)
+    }
+
+    #[test]
+    fn colors_clique_exactly() {
+        let g = graph_for(6);
+        let col = color(&g, 8, 0, &[]);
+        assert!(col.spilled.is_empty());
+        validate(&g, 0, &col).unwrap();
+    }
+
+    #[test]
+    fn spills_when_budget_too_small() {
+        let g = graph_for(8);
+        // 8 values + accumulator live together at the peak; 4 slots force spills.
+        let col = color(&g, 4, 0, &[]);
+        assert!(!col.spilled.is_empty());
+        validate(&g, 0, &col).unwrap();
+        assert!(col.frame_size <= 4);
+    }
+
+    #[test]
+    fn frame_size_is_compact() {
+        let g = graph_for(3);
+        let col = color(&g, 32, 0, &[]);
+        // 3 sources + accumulator: at most 5 simultaneously live webs,
+        // and the frame must not exceed the clique-ish demand.
+        assert!(col.frame_size <= 5, "frame {}", col.frame_size);
+        validate(&g, 0, &col).unwrap();
+    }
+
+    #[test]
+    fn wide_values_aligned() {
+        let mut b = FunctionBuilder::kernel("k");
+        let d0 = b.vreg(Width::W64);
+        let d1 = b.vreg(Width::W64);
+        let x = b.mov_i32(3);
+        b.push(orion_kir::inst::Inst::new(
+            orion_kir::inst::Opcode::Mov,
+            Some(d0),
+            vec![Operand::Imm(1)],
+        ));
+        b.push(orion_kir::inst::Inst::new(
+            orion_kir::inst::Opcode::Mov,
+            Some(d1),
+            vec![Operand::Imm(2)],
+        ));
+        let s = b.dadd(d0, d1);
+        b.st(MemSpace::Global, Width::W64, Operand::Imm(0), s, 0);
+        b.st(MemSpace::Global, Width::W32, Operand::Imm(8), x, 0);
+        let f = normalize(&b.finish()).unwrap();
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let g = InterferenceGraph::build(&f, &cfg, &live);
+        for base in [0u16, 1, 2, 3] {
+            let col = color(&g, 16, base, &[]);
+            assert!(col.spilled.is_empty(), "base {base}");
+            validate(&g, base, &col).unwrap();
+        }
+    }
+
+    #[test]
+    fn precolored_respected() {
+        let g = graph_for(3);
+        // Fix web 0 at slot 7.
+        let col = color(&g, 16, 0, &[(0, 7)]);
+        assert_eq!(col.slot_of[0], Some(7));
+        validate(&g, 0, &col).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_spills_everything_live() {
+        let g = graph_for(2);
+        let col = color(&g, 0, 0, &[]);
+        assert_eq!(col.num_colored(), 0);
+        assert_eq!(col.spilled.len(), g.len());
+    }
+}

@@ -1,0 +1,179 @@
+//! Kuhn-Munkres (Hungarian) assignment in O(n³).
+//!
+//! The paper solves the minimal-move-assignment layout problem as a
+//! maximum-weight bipartite matching with edge weight `-W_ij` ([17],
+//! §3.2). We implement the classic potentials formulation for *minimum*
+//! cost and expose both minimum-cost and maximum-weight entry points.
+
+/// Solve the minimum-cost assignment for a square `n × n` cost matrix.
+///
+/// Returns `(assignment, total_cost)` where `assignment[row] = column`.
+///
+/// # Panics
+/// Panics if `cost` is not square.
+pub fn min_cost_assignment(cost: &[Vec<i64>]) -> (Vec<usize>, i64) {
+    let n = cost.len();
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    const INF: i64 = i64::MAX / 4;
+    // 1-indexed potentials formulation (e-maxx style).
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    let mut total = 0i64;
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += cost[p[j] - 1][j - 1];
+        }
+    }
+    (assignment, total)
+}
+
+/// Solve the maximum-weight assignment (the paper's formulation with
+/// weights `-W_ij` becomes a minimum-move assignment).
+///
+/// Returns `(assignment, total_weight)`.
+pub fn max_weight_assignment(weight: &[Vec<i64>]) -> (Vec<usize>, i64) {
+    let neg: Vec<Vec<i64>> = weight
+        .iter()
+        .map(|r| r.iter().map(|&w| -w).collect())
+        .collect();
+    let (a, c) = min_cost_assignment(&neg);
+    (a, -c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_min(cost: &[Vec<i64>]) -> i64 {
+        let n = cost.len();
+        let mut cols: Vec<usize> = (0..n).collect();
+        let mut best = i64::MAX;
+        permute(&mut cols, 0, &mut |perm| {
+            let s: i64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            if s < best {
+                best = s;
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(min_cost_assignment(&[]), (vec![], 0));
+        assert_eq!(min_cost_assignment(&[vec![5]]), (vec![0], 5));
+    }
+
+    #[test]
+    fn known_instance() {
+        let cost = vec![
+            vec![4, 1, 3],
+            vec![2, 0, 5],
+            vec![3, 2, 2],
+        ];
+        let (a, c) = min_cost_assignment(&cost);
+        assert_eq!(c, 5); // 1 + 2 + 2
+        assert_eq!(a, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random matrices (no external RNG needed).
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in 1..=6usize {
+            for _ in 0..20 {
+                let cost: Vec<Vec<i64>> = (0..n)
+                    .map(|_| (0..n).map(|_| (next() % 100) as i64).collect())
+                    .collect();
+                let (a, c) = min_cost_assignment(&cost);
+                // Assignment is a permutation.
+                let mut seen = vec![false; n];
+                for &j in &a {
+                    assert!(!seen[j]);
+                    seen[j] = true;
+                }
+                assert_eq!(c, brute_force_min(&cost), "n={n} matrix {cost:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_weight_negates() {
+        let w = vec![vec![1, 9], vec![9, 1]];
+        let (a, total) = max_weight_assignment(&w);
+        assert_eq!(total, 18);
+        assert_eq!(a, vec![1, 0]);
+    }
+}

@@ -1,0 +1,638 @@
+//! The realize-occupancy pipeline (§3.2): given a per-thread on-chip
+//! slot budget, allocate every function of a module and lower it to
+//! machine code.
+//!
+//! Pipeline, per function in caller-before-callee order:
+//!
+//! 1. normalize to webs (SSA → pruned φ → coalesce);
+//! 2. color the webs with the slots left above the function's frame base
+//!    (Figure 4 variant), spilling the remainder to local memory;
+//! 3. group colored slots into movable [`Unit`]s and analyze liveness at
+//!    every call site;
+//! 4. compute the compressed height `B_k` for each call and raise the
+//!    callee's frame base;
+//! 5. optionally permute the slot layout to minimize compression moves
+//!    (Theorem 1 + Kuhn-Munkres);
+//! 6. lower to machine code, materializing compression/restore moves and
+//!    argument/return moves as explicit, correctly-ordered `Mov`s.
+//!
+//! The absolute on-chip slot index decides physical placement per word:
+//! indices below the register budget are registers, the rest are private
+//! shared-memory slots. Spills and the move-cycle scratch live in local
+//! memory.
+
+use crate::chaitin::{color, Coloring};
+use crate::interference::InterferenceGraph;
+use crate::layout::{identity_layout, optimize_layout, CallLayoutInfo};
+use crate::stack::{
+    extract_units, live_units, min_packed_height, pack_live_units, sequentialize, PMove, Unit,
+};
+use orion_kir::bitset::BitSet;
+use orion_kir::callgraph::CallGraph;
+use orion_kir::cfg::Cfg;
+use orion_kir::function::{Function, Module};
+use orion_kir::inst::{Inst, Opcode, Operand};
+use orion_kir::liveness::{max_live, Liveness};
+use orion_kir::mir::{MBlock, MFunction, MInst, MLoc, MModule, MOperand};
+use orion_kir::ssa::normalize;
+use orion_kir::types::{FuncId, Width};
+use serde::{Deserialize, Serialize};
+
+/// Local-memory slots reserved as the move-cycle scratch area (wide
+/// enough for a 128-bit bounce).
+pub const SCRATCH_SLOTS: u16 = 4;
+
+/// Per-thread on-chip slot budget implied by a target occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotBudget {
+    /// Physical registers per thread.
+    pub reg_slots: u16,
+    /// Private shared-memory slots per thread the allocator may add.
+    pub smem_slots: u16,
+}
+
+impl SlotBudget {
+    /// Total on-chip slots per thread.
+    pub fn total(&self) -> u16 {
+        self.reg_slots + self.smem_slots
+    }
+}
+
+/// Allocator feature switches (the paper's Figure 5 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocOptions {
+    /// Compress the caller stack at calls ("space minimization"). When
+    /// off, callee frames sit above the caller's entire frame.
+    pub compress_stack: bool,
+    /// Optimize the slot layout with Kuhn-Munkres ("data movement
+    /// minimization"). When off, the colored layout is kept as-is.
+    pub optimize_layout: bool,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        AllocOptions {
+            compress_stack: true,
+            optimize_layout: true,
+        }
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// SSA construction failed (malformed input).
+    Ssa(orion_kir::ssa::SsaError),
+    /// The call graph is recursive.
+    Recursion(orion_kir::callgraph::RecursionError),
+    /// A call is guarded by a predicate, which the lowering does not
+    /// support (compression moves could not be predicated consistently).
+    PredicatedCall { func: String },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Ssa(e) => write!(f, "ssa: {e}"),
+            AllocError::Recursion(e) => write!(f, "{e}"),
+            AllocError::PredicatedCall { func } => {
+                write!(f, "{func}: predicated calls are not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl From<orion_kir::ssa::SsaError> for AllocError {
+    fn from(e: orion_kir::ssa::SsaError) -> Self {
+        AllocError::Ssa(e)
+    }
+}
+
+impl From<orion_kir::callgraph::RecursionError> for AllocError {
+    fn from(e: orion_kir::callgraph::RecursionError) -> Self {
+        AllocError::Recursion(e)
+    }
+}
+
+/// Per-function allocation summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuncAllocInfo {
+    pub name: String,
+    pub base: u16,
+    pub frame_size: u16,
+    pub spilled_webs: usize,
+    pub call_sites: usize,
+    /// Compression moves predicted by the layout model (Theorem 1 count).
+    pub predicted_moves: u32,
+}
+
+/// Whole-module allocation summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocReport {
+    /// Kernel max-live in 32-bit words (the §3.3 direction metric).
+    pub kernel_max_live: u32,
+    /// Registers per thread in the produced binary.
+    pub regs_per_thread: u16,
+    /// Private shared-memory slots per thread.
+    pub smem_slots_per_thread: u16,
+    /// Local-memory slots per thread (scratch + spills).
+    pub local_slots_per_thread: u16,
+    /// Static stack/argument move instructions inserted.
+    pub static_moves: u32,
+    pub per_func: Vec<FuncAllocInfo>,
+}
+
+/// A fully allocated module plus its report.
+#[derive(Debug, Clone)]
+pub struct Allocated {
+    pub machine: MModule,
+    pub report: AllocReport,
+}
+
+struct CallSiteCtx {
+    callee: FuncId,
+    /// Units of the *caller* live across this call.
+    live_units: Vec<bool>,
+}
+
+struct FuncCtx {
+    nf: Function,
+    coloring: Coloring,
+    units: Vec<Unit>,
+    /// Call sites in traversal order (matches lowering).
+    calls: Vec<CallSiteCtx>,
+    base: u16,
+    /// Local slot of each spilled web.
+    spill_slot: std::collections::HashMap<usize, u16>,
+    max_live: u32,
+}
+
+impl FuncCtx {
+    fn loc(&self, web: usize) -> MLoc {
+        let w = self.nf.vreg_widths[web];
+        match self.coloring.slot_of[web] {
+            Some(s) => MLoc::onchip(self.base + s, w),
+            None => MLoc::local(self.spill_slot[&web], w),
+        }
+    }
+}
+
+/// Compute the max-live of a module's kernel (after web normalization) —
+/// the paper's direction-selection metric.
+///
+/// # Errors
+/// Fails when SSA construction fails.
+pub fn kernel_max_live(m: &Module) -> Result<u32, AllocError> {
+    let nf = normalize(m.kernel())?;
+    let cfg = Cfg::new(&nf);
+    let live = Liveness::new(&nf, &cfg);
+    Ok(max_live(&nf, &cfg, &live))
+}
+
+/// Allocate `module` under `budget` with `opts`, producing machine code.
+///
+/// # Errors
+/// Returns [`AllocError`] on recursion, malformed IR, or predicated
+/// calls. The input should already pass [`orion_kir::verify::verify`].
+pub fn allocate(
+    module: &Module,
+    budget: SlotBudget,
+    opts: &AllocOptions,
+) -> Result<Allocated, AllocError> {
+    let cg = CallGraph::new(module);
+    let bottom_up = cg.bottom_up(module.entry)?;
+    let topdown: Vec<FuncId> = bottom_up.iter().rev().copied().collect();
+    let total = budget.total();
+
+    let n = module.funcs.len();
+    let mut bases = vec![0u16; n];
+    let mut ctxs: Vec<Option<FuncCtx>> = (0..n).map(|_| None).collect();
+    let mut local_counter: u16 = SCRATCH_SLOTS;
+
+    // ---- Phase A: color and compute frame bases, callers first ----
+    for &fid in &topdown {
+        let f = module.func(fid);
+        let nf = normalize(f)?;
+        let cfg = Cfg::new(&nf);
+        let live = Liveness::new(&nf, &cfg);
+        let ml = max_live(&nf, &cfg, &live);
+        let graph = InterferenceGraph::build(&nf, &cfg, &live);
+        let base = bases[fid.0 as usize];
+        let fbudget = total.saturating_sub(base);
+        let coloring = color(&graph, fbudget, base, &[]);
+        let mut spill_slot = std::collections::HashMap::new();
+        for &w in &coloring.spilled {
+            spill_slot.insert(w, local_counter);
+            local_counter += nf.vreg_widths[w].words();
+        }
+        let units = extract_units(&coloring, &nf.vreg_widths);
+
+        let mut calls = Vec::new();
+        for (bid, blk) in nf.iter_blocks() {
+            if !cfg.reachable(bid) {
+                continue;
+            }
+            for (idx, inst) in blk.insts.iter().enumerate() {
+                let Opcode::Call(callee) = inst.op else { continue };
+                if inst.pred.is_some() {
+                    return Err(AllocError::PredicatedCall { func: nf.name.clone() });
+                }
+                let live_webs: BitSet = {
+                    let mut s = BitSet::new(nf.num_vregs());
+                    for v in live.live_across(&nf, bid, idx) {
+                        s.insert(v.0 as usize);
+                    }
+                    s
+                };
+                let lu = live_units(&units, &live_webs);
+                let bk_min = if opts.compress_stack {
+                    min_packed_height(&units, &lu).min(coloring.frame_size)
+                } else {
+                    coloring.frame_size
+                };
+                let cb = &mut bases[callee.0 as usize];
+                *cb = (*cb).max(base + bk_min);
+                calls.push(CallSiteCtx {
+                    callee,
+                    live_units: lu,
+                });
+            }
+        }
+        ctxs[fid.0 as usize] = Some(FuncCtx {
+            nf,
+            coloring,
+            units,
+            calls,
+            base,
+            spill_slot,
+            max_live: ml,
+        });
+    }
+
+    // ---- Phase B: layout optimization (bases are now final) ----
+    let mut predicted_moves: Vec<u32> = vec![0; n];
+    for &fid in &topdown {
+        let base = bases[fid.0 as usize];
+        let ctx = ctxs[fid.0 as usize].as_mut().expect("processed");
+        ctx.base = base; // may have been raised after coloring
+        let call_infos: Vec<CallLayoutInfo> = ctx
+            .calls
+            .iter()
+            .map(|c| CallLayoutInfo {
+                bk: bases[c.callee.0 as usize].saturating_sub(base),
+                live: c.live_units.clone(),
+            })
+            .collect();
+        let plan = if opts.optimize_layout && opts.compress_stack {
+            optimize_layout(&ctx.units, &call_infos)
+        } else {
+            identity_layout(&ctx.units, &call_infos)
+        };
+        predicted_moves[fid.0 as usize] = plan.total_moves;
+        crate::layout::apply_layout(&mut ctx.coloring.slot_of, &ctx.units, &plan);
+        for (i, u) in ctx.units.iter_mut().enumerate() {
+            u.start = plan.new_start[i];
+            u.residue = u.start % u.align;
+        }
+    }
+
+    // Wait: coloring of a function whose base was raised *after* its own
+    // coloring would be misaligned; recolor is not needed because bases
+    // only grow through calls processed before the callee (topological
+    // order guarantees the base is final before the callee is colored).
+
+    // ---- Phase C: lowering ----
+    let scratch = MLoc::local(0, Width::W128);
+    let mut mfuncs: Vec<MFunction> = Vec::with_capacity(n);
+    let mut static_moves: u32 = 0;
+    // Pre-compute param/ret slots for every function (needed by callers).
+    let param_ret_slots: Vec<Option<(Vec<MLoc>, Vec<MLoc>)>> = (0..n)
+        .map(|i| {
+            ctxs[i].as_ref().map(|c| {
+                let p = c.nf.params.iter().map(|r| c.loc(r.0 as usize)).collect();
+                let r = c.nf.rets.iter().map(|r| c.loc(r.0 as usize)).collect();
+                (p, r)
+            })
+        })
+        .collect();
+
+    for i in 0..n {
+        let Some(ctx) = &ctxs[i] else {
+            // Unreachable function: emit an empty stub.
+            mfuncs.push(MFunction {
+                name: module.func(FuncId(i as u32)).name.clone(),
+                frame_base: 0,
+                frame_size: 0,
+                param_slots: vec![],
+                ret_slots: vec![],
+                blocks: vec![],
+            });
+            continue;
+        };
+        let mut blocks = Vec::with_capacity(ctx.nf.num_blocks());
+        let mut call_cursor = 0usize;
+        // Re-walk blocks in the same order as phase A to line up call
+        // contexts; unreachable blocks contain no analyzed calls.
+        let cfg = Cfg::new(&ctx.nf);
+        for (bid, blk) in ctx.nf.iter_blocks() {
+            let mut insts: Vec<MInst> = Vec::with_capacity(blk.insts.len());
+            for inst in &blk.insts {
+                if let Opcode::Call(callee) = inst.op {
+                    if !cfg.reachable(bid) {
+                        continue; // never executed; drop
+                    }
+                    let cctx = &ctx.calls[call_cursor];
+                    debug_assert_eq!(cctx.callee, callee);
+                    call_cursor += 1;
+                    let bk = bases[callee.0 as usize].saturating_sub(ctx.base);
+                    let placement = pack_live_units(&ctx.units, &cctx.live_units, bk);
+                    let (pslots, rslots) = param_ret_slots[callee.0 as usize]
+                        .as_ref()
+                        .expect("callee reachable");
+                    // Pre-call parallel move set: compression + arguments.
+                    // Units wider than four words move in chunks (a
+                    // single MLoc covers at most a W128).
+                    let mut pre: Vec<PMove> = Vec::new();
+                    for &(ui, newpos) in &placement {
+                        let u = &ctx.units[ui];
+                        if newpos != u.start {
+                            for (off, w) in chunk_widths(u.width) {
+                                pre.push(PMove {
+                                    dst: MLoc::onchip(ctx.base + newpos + off, w),
+                                    src: MLoc::onchip(ctx.base + u.start + off, w).into(),
+                                });
+                            }
+                        }
+                    }
+                    let ci = inst.call.as_ref().expect("verified call");
+                    for (arg, &pslot) in ci.args.iter().zip(pslots) {
+                        pre.push(PMove {
+                            dst: pslot,
+                            src: lower_operand(ctx, arg),
+                        });
+                    }
+                    let pre_insts = sequentialize(&pre, scratch);
+                    static_moves += pre_insts.len() as u32;
+                    insts.extend(pre_insts);
+                    insts.push(MInst::new(Opcode::Call(callee), None, vec![]));
+                    // Post-call parallel move set: returns + restores.
+                    let mut post: Vec<PMove> = Vec::new();
+                    for (&ret_web, &rslot) in ci.rets.iter().zip(rslots) {
+                        post.push(PMove {
+                            dst: ctx.loc(ret_web.0 as usize),
+                            src: rslot.into(),
+                        });
+                    }
+                    for &(ui, newpos) in &placement {
+                        let u = &ctx.units[ui];
+                        if newpos != u.start {
+                            for (off, w) in chunk_widths(u.width) {
+                                post.push(PMove {
+                                    dst: MLoc::onchip(ctx.base + u.start + off, w),
+                                    src: MLoc::onchip(ctx.base + newpos + off, w).into(),
+                                });
+                            }
+                        }
+                    }
+                    let post_insts = sequentialize(&post, scratch);
+                    static_moves += post_insts.len() as u32;
+                    insts.extend(post_insts);
+                } else {
+                    insts.push(lower_inst(ctx, inst));
+                }
+            }
+            blocks.push(MBlock {
+                insts,
+                term: blk.term.clone(),
+            });
+        }
+        let (pslots, rslots) = param_ret_slots[i].as_ref().expect("reachable").clone();
+        mfuncs.push(MFunction {
+            name: ctx.nf.name.clone(),
+            frame_base: ctx.base,
+            frame_size: ctx.coloring.frame_size,
+            param_slots: pslots,
+            ret_slots: rslots,
+            blocks,
+        });
+    }
+
+    let peak_abs: u16 = topdown
+        .iter()
+        .map(|f| {
+            let c = ctxs[f.0 as usize].as_ref().expect("processed");
+            c.base + c.coloring.frame_size
+        })
+        .max()
+        .unwrap_or(0);
+    let regs_per_thread = budget.reg_slots.min(peak_abs);
+    let smem_slots_per_thread = peak_abs.saturating_sub(regs_per_thread);
+
+    let report = AllocReport {
+        kernel_max_live: ctxs[module.entry.0 as usize]
+            .as_ref()
+            .expect("kernel processed")
+            .max_live,
+        regs_per_thread,
+        smem_slots_per_thread,
+        local_slots_per_thread: local_counter,
+        static_moves,
+        per_func: topdown
+            .iter()
+            .map(|f| {
+                let c = ctxs[f.0 as usize].as_ref().expect("processed");
+                FuncAllocInfo {
+                    name: c.nf.name.clone(),
+                    base: c.base,
+                    frame_size: c.coloring.frame_size,
+                    spilled_webs: c.coloring.spilled.len(),
+                    call_sites: c.calls.len(),
+                    predicted_moves: predicted_moves[f.0 as usize],
+                }
+            })
+            .collect(),
+    };
+
+    let machine = MModule {
+        funcs: mfuncs,
+        entry: module.entry,
+        regs_per_thread,
+        smem_slots_per_thread,
+        local_slots_per_thread: local_counter,
+        user_smem_bytes: module.user_smem_bytes,
+        static_stack_moves: static_moves,
+    };
+    Ok(Allocated { machine, report })
+}
+
+/// Split a unit of `words` slots into `(offset, width)` move chunks of at
+/// most four words each (one machine move covers at most a W128).
+fn chunk_widths(words: u16) -> Vec<(u16, Width)> {
+    let mut out = Vec::with_capacity(usize::from(words.div_ceil(4)));
+    let mut off = 0;
+    let mut left = words;
+    while left > 0 {
+        let w = match left {
+            1 => Width::W32,
+            2 => Width::W64,
+            3 => Width::W96,
+            _ => Width::W128,
+        };
+        out.push((off, w));
+        off += w.words();
+        left -= w.words();
+    }
+    out
+}
+
+fn lower_operand(ctx: &FuncCtx, op: &Operand) -> MOperand {
+    match op {
+        Operand::Reg(r) => MOperand::Loc(ctx.loc(r.0 as usize)),
+        Operand::Imm(i) => MOperand::Imm(*i),
+        Operand::Param(p) => MOperand::Param(*p),
+        Operand::Special(s) => MOperand::Special(*s),
+    }
+}
+
+fn lower_inst(ctx: &FuncCtx, inst: &Inst) -> MInst {
+    debug_assert!(!matches!(inst.op, Opcode::Call(_)));
+    MInst {
+        op: inst.op,
+        dst: inst.dst.map(|d| ctx.loc(d.0 as usize)),
+        pdst: inst.pdst,
+        srcs: inst.srcs.iter().map(|o| lower_operand(ctx, o)).collect(),
+        pred: inst.pred,
+        pred_neg: inst.pred_neg,
+        sel_pred: inst.sel_pred,
+        is_stack_move: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_kir::builder::{build_fdiv_device, FunctionBuilder};
+    use orion_kir::types::BlockId;
+    use orion_kir::types::{MemSpace, SpecialReg};
+    use orion_kir::verify::verify;
+
+    fn simple_module() -> Module {
+        let mut b = FunctionBuilder::kernel("k");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let a = b.imad(tid, Operand::Imm(4), Operand::Param(0));
+        let x = b.ld(MemSpace::Global, Width::W32, a, 0);
+        let y = b.iadd(x, Operand::Imm(5));
+        b.st(MemSpace::Global, Width::W32, a, y, 0);
+        Module::new(b.finish())
+    }
+
+    #[test]
+    fn allocates_simple_kernel() {
+        let m = simple_module();
+        verify(&m).unwrap();
+        let a = allocate(&m, SlotBudget { reg_slots: 16, smem_slots: 0 }, &AllocOptions::default())
+            .unwrap();
+        assert!(a.machine.regs_per_thread <= 16);
+        assert!(a.machine.regs_per_thread >= 2);
+        assert_eq!(a.machine.smem_slots_per_thread, 0);
+        assert_eq!(a.report.per_func.len(), 1);
+    }
+
+    #[test]
+    fn tight_budget_spills_to_smem_then_local() {
+        let mut b = FunctionBuilder::kernel("k");
+        let vs: Vec<_> = (0..12).map(|i| b.mov_i32(i)).collect();
+        let mut acc = b.mov_i32(0);
+        for v in vs {
+            acc = b.iadd(acc, v);
+        }
+        b.st(MemSpace::Global, Width::W32, Operand::Imm(0), acc, 0);
+        let m = Module::new(b.finish());
+        let a = allocate(&m, SlotBudget { reg_slots: 4, smem_slots: 4 }, &AllocOptions::default())
+            .unwrap();
+        assert_eq!(a.machine.regs_per_thread, 4);
+        assert!(a.machine.smem_slots_per_thread > 0);
+        // 13 simultaneously live values in 8 on-chip slots: spills exist.
+        assert!(a.machine.local_slots_per_thread > SCRATCH_SLOTS);
+    }
+
+    #[test]
+    fn call_gets_frame_above_caller_live_height() {
+        let mut b = FunctionBuilder::kernel("k");
+        let _keep = b.mov_i32(11);
+        let _x = b.mov_f32(10.0);
+        let _y = b.mov_f32(4.0);
+        let mut m = Module::new(b.finish());
+        let fdiv = m.add_func(build_fdiv_device());
+        let mut kb = FunctionBuilder::kernel("k");
+        let keep = kb.mov_i32(11);
+        let x = kb.mov_f32(10.0);
+        let y = kb.mov_f32(4.0);
+        let q = kb.call(fdiv, vec![x.into(), y.into()], &[Width::W32]);
+        let s = kb.iadd(keep, q[0]);
+        kb.st(MemSpace::Global, Width::W32, Operand::Imm(0), s, 0);
+        m.funcs[0] = kb.finish();
+        verify(&m).unwrap();
+        let _ = (keep, x, y);
+        let a = allocate(&m, SlotBudget { reg_slots: 32, smem_slots: 0 }, &AllocOptions::default())
+            .unwrap();
+        let callee = &a.machine.funcs[1];
+        // Only `keep` lives across the call: the callee base is 1.
+        assert_eq!(callee.frame_base, 1);
+        assert!(a.machine.static_stack_moves >= 2, "arg + ret moves");
+    }
+
+    #[test]
+    fn no_compression_raises_callee_base() {
+        let kb = FunctionBuilder::kernel("k");
+        let mut m = Module::new(kb.finish());
+        let fdiv = m.add_func(build_fdiv_device());
+        let mut kb = FunctionBuilder::kernel("k");
+        let keep = kb.mov_i32(11);
+        let x = kb.mov_f32(10.0);
+        let y = kb.mov_f32(4.0);
+        let q = kb.call(fdiv, vec![x.into(), y.into()], &[Width::W32]);
+        let s = kb.iadd(keep, q[0]);
+        kb.st(MemSpace::Global, Width::W32, Operand::Imm(0), s, 0);
+        m.funcs[0] = kb.finish();
+        let compressed = allocate(
+            &m,
+            SlotBudget { reg_slots: 32, smem_slots: 0 },
+            &AllocOptions::default(),
+        )
+        .unwrap();
+        let padded = allocate(
+            &m,
+            SlotBudget { reg_slots: 32, smem_slots: 0 },
+            &AllocOptions { compress_stack: false, optimize_layout: false },
+        )
+        .unwrap();
+        assert!(
+            padded.machine.funcs[1].frame_base > compressed.machine.funcs[1].frame_base,
+            "padded {} vs compressed {}",
+            padded.machine.funcs[1].frame_base,
+            compressed.machine.funcs[1].frame_base
+        );
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        use orion_kir::function::{FuncKind, Function};
+        use orion_kir::inst::CallInfo;
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        let d = Function::new("d", FuncKind::Device);
+        let _ = d;
+        let mut d = Function::new("d", FuncKind::Device);
+        let id = m.add_func(d.clone());
+        let mut call = Inst::new(Opcode::Call(id), None, vec![]);
+        call.call = Some(CallInfo { args: vec![], rets: vec![] });
+        d.block_mut(BlockId(0)).insts = vec![call.clone()];
+        m.funcs[1] = d;
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts = vec![call];
+        let err = allocate(&m, SlotBudget { reg_slots: 8, smem_slots: 0 }, &AllocOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, AllocError::Recursion(_)));
+    }
+}

@@ -1,0 +1,485 @@
+//! Compressible-stack machinery (§3.2 of the paper).
+//!
+//! After single-procedure coloring, each function's frame is a vector of
+//! on-chip slots. Before a call the caller *compresses* the used slots
+//! into a contiguous prefix `[0, B_k)` so the callee gets maximal
+//! contiguous space; after the call the moved slots are restored.
+//!
+//! This module provides:
+//! * [`Unit`] extraction — the paper's variable sets `SS_i`, grouped into
+//!   atomic multi-slot units when wide webs span several slots;
+//! * call-site liveness at unit granularity;
+//! * `B_k` computation as the minimal packed height that fits all live
+//!   units with their alignment constraints ([`min_packed_height`]);
+//! * the packing itself ([`pack_live_units`]) used at lowering time;
+//! * a parallel-move sequentializer ([`sequentialize`]) that orders the
+//!   compression / argument / restore / return moves so no source is
+//!   clobbered before it is read, breaking cycles through a scratch slot.
+
+use crate::chaitin::Coloring;
+use orion_kir::bitset::BitSet;
+use orion_kir::mir::{MInst, MLoc, MOperand};
+use orion_kir::types::Width;
+
+/// An atomic group of consecutive frame slots moved as one value.
+///
+/// A unit is a connected component of slots linked by the webs that
+/// occupy them; usually a single slot, or the 2–4 slots of a wide web.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unit {
+    /// First local slot of the unit.
+    pub start: u16,
+    /// Number of slots.
+    pub width: u16,
+    /// Strictest member alignment (new positions must preserve
+    /// `start mod align`).
+    pub align: u16,
+    /// `start % align` that must be preserved when the unit moves.
+    pub residue: u16,
+    /// Webs living (at least partly) in this unit.
+    pub webs: Vec<usize>,
+}
+
+/// Extract units from a coloring: group slots connected by wide webs.
+pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Vec<Unit> {
+    let frame = coloring.frame_size as usize;
+    if frame == 0 {
+        return Vec::new();
+    }
+    // Union-find over slots.
+    let mut parent: Vec<u16> = (0..frame as u16).collect();
+    fn find(p: &mut [u16], x: u16) -> u16 {
+        let mut r = x;
+        while p[r as usize] != r {
+            r = p[r as usize];
+        }
+        let mut c = x;
+        while p[c as usize] != r {
+            let n = p[c as usize];
+            p[c as usize] = r;
+            c = n;
+        }
+        r
+    }
+    let mut occupied = vec![false; frame];
+    for (web, slot) in coloring.slot_of.iter().enumerate() {
+        if let Some(s) = *slot {
+            let w = widths[web].words();
+            for k in 0..w {
+                occupied[(s + k) as usize] = true;
+                if k > 0 {
+                    let a = find(&mut parent, s);
+                    let b = find(&mut parent, s + k);
+                    if a != b {
+                        parent[b as usize] = a;
+                    }
+                }
+            }
+        }
+    }
+    // Collect components over occupied slots.
+    let mut comp_slots: std::collections::BTreeMap<u16, Vec<u16>> = Default::default();
+    for s in 0..frame as u16 {
+        if occupied[s as usize] {
+            let r = find(&mut parent, s);
+            comp_slots.entry(r).or_default().push(s);
+        }
+    }
+    let mut units: Vec<Unit> = Vec::new();
+    for (_, slots) in comp_slots {
+        let start = *slots.first().expect("nonempty component");
+        let end = *slots.last().expect("nonempty component") + 1;
+        // Components are contiguous by construction (webs cover
+        // consecutive slots); assert in debug builds.
+        debug_assert_eq!((end - start) as usize, slots.len());
+        units.push(Unit {
+            start,
+            width: end - start,
+            align: 1,
+            residue: 0,
+            webs: Vec::new(),
+        });
+    }
+    // Attach webs and compute alignment.
+    for (web, slot) in coloring.slot_of.iter().enumerate() {
+        if let Some(s) = *slot {
+            let u = units
+                .iter_mut()
+                .find(|u| s >= u.start && s < u.start + u.width)
+                .expect("slot belongs to a unit");
+            u.webs.push(web);
+            u.align = u.align.max(widths[web].alignment());
+        }
+    }
+    for u in &mut units {
+        u.residue = u.start % u.align;
+    }
+    units
+}
+
+/// Which units are live at a call: a unit is live iff any member web is
+/// live across the call.
+pub fn live_units(units: &[Unit], live_webs: &BitSet) -> Vec<bool> {
+    units
+        .iter()
+        .map(|u| u.webs.iter().any(|&w| live_webs.contains(w)))
+        .collect()
+}
+
+/// First-fit decreasing-width packing of the given units from an empty
+/// frame, honoring each unit's alignment residue. Returns per-unit new
+/// start positions and the total height, or `None` if `height_limit` is
+/// exceeded.
+fn pack_from_empty(units: &[(usize, &Unit)], height_limit: u16) -> Option<(Vec<(usize, u16)>, u16)> {
+    let mut order: Vec<&(usize, &Unit)> = units.iter().collect();
+    order.sort_by(|a, b| b.1.width.cmp(&a.1.width).then(a.1.start.cmp(&b.1.start)));
+    let mut used = vec![false; height_limit as usize];
+    let mut placed = Vec::with_capacity(units.len());
+    let mut height = 0u16;
+    for (idx, u) in order {
+        let mut pos = u.residue;
+        let found = loop {
+            if pos + u.width > height_limit {
+                break None;
+            }
+            if (0..u.width).all(|k| !used[(pos + k) as usize]) {
+                break Some(pos);
+            }
+            pos += u.align;
+        };
+        let p = found?;
+        for k in 0..u.width {
+            used[(p + k) as usize] = true;
+        }
+        height = height.max(p + u.width);
+        placed.push((*idx, p));
+    }
+    Some((placed, height))
+}
+
+/// Minimal compressed height `B_k` that can hold the live units — the
+/// paper's "desired stack height at the k-th sub-procedure call".
+pub fn min_packed_height(units: &[Unit], live: &[bool]) -> u16 {
+    let live_list: Vec<(usize, &Unit)> = units
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| live[*i])
+        .collect();
+    let words: u16 = live_list.iter().map(|(_, u)| u.width).sum();
+    let max_h = words + live_list.iter().map(|(_, u)| u.align - 1).sum::<u16>();
+    for h in words..=max_h.max(words) {
+        if let Some((_, height)) = pack_from_empty(&live_list, h) {
+            return height;
+        }
+    }
+    max_h
+}
+
+/// Compute where each live unit sits during the call, given the actual
+/// budgeted height `bk`. Units already entirely below `bk` stay in place
+/// when possible; the rest move into aligned gaps; if in-place packing
+/// fails (fragmentation), everything is repacked from scratch.
+///
+/// Returns `(unit index, new start)` for every live unit (stayers map to
+/// their own start).
+pub fn pack_live_units(units: &[Unit], live: &[bool], bk: u16) -> Vec<(usize, u16)> {
+    let mut used = vec![false; bk as usize];
+    let mut result = Vec::new();
+    let mut movers: Vec<(usize, &Unit)> = Vec::new();
+    for (i, u) in units.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        if u.start + u.width <= bk {
+            for k in 0..u.width {
+                used[(u.start + k) as usize] = true;
+            }
+            result.push((i, u.start));
+        } else {
+            movers.push((i, u));
+        }
+    }
+    movers.sort_by(|a, b| b.1.width.cmp(&a.1.width).then(a.1.start.cmp(&b.1.start)));
+    let mut ok = true;
+    let mut moved = Vec::new();
+    for (i, u) in &movers {
+        let mut pos = u.residue;
+        let mut found = None;
+        while pos + u.width <= bk {
+            if (0..u.width).all(|k| !used[(pos + k) as usize]) {
+                found = Some(pos);
+                break;
+            }
+            pos += u.align;
+        }
+        match found {
+            Some(p) => {
+                for k in 0..u.width {
+                    used[(p + k) as usize] = true;
+                }
+                moved.push((*i, p));
+            }
+            None => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        result.extend(moved);
+        return result;
+    }
+    // Fragmented: full repack of all live units.
+    let live_list: Vec<(usize, &Unit)> = units
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| live[*i])
+        .collect();
+    let (placed, _) = pack_from_empty(&live_list, bk)
+        .expect("bk >= min_packed_height guarantees a full repack fits");
+    placed
+}
+
+/// One pending parallel move: all sources are read before any
+/// destination is written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PMove {
+    pub dst: MLoc,
+    pub src: MOperand,
+}
+
+fn ranges_overlap(a: MLoc, b: MLoc) -> bool {
+    a.place == b.place && {
+        let (a0, a1) = (a.slot, a.slot + a.width.words());
+        let (b0, b1) = (b.slot, b.slot + b.width.words());
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// Order parallel moves into a sequential list of machine `Mov`
+/// instructions such that no move's source is overwritten before it is
+/// read. Cycles are broken by bouncing one value through `scratch`
+/// (which must not overlap any move's source or destination and must be
+/// at least as wide as the widest move).
+///
+/// # Panics
+/// Panics if two destinations overlap (caller invariant) or the scratch
+/// overlaps a move.
+pub fn sequentialize(moves: &[PMove], scratch: MLoc) -> Vec<MInst> {
+    for (i, a) in moves.iter().enumerate() {
+        for b in &moves[i + 1..] {
+            assert!(
+                !ranges_overlap(a.dst, b.dst),
+                "overlapping destinations {:?} / {:?}",
+                a.dst,
+                b.dst
+            );
+        }
+        assert!(!ranges_overlap(a.dst, scratch), "scratch overlaps a destination");
+        if let MOperand::Loc(s) = a.src {
+            assert!(!ranges_overlap(s, scratch), "scratch overlaps a source");
+        }
+    }
+    let n = moves.len();
+    let mut pending: Vec<Option<PMove>> = moves.iter().cloned().map(Some).collect();
+    let mut out = Vec::with_capacity(n + 2);
+    let mut remaining = n;
+    while remaining > 0 {
+        // Emit every move whose destination no pending move still reads.
+        let mut progressed = false;
+        for i in 0..n {
+            let Some(m) = pending[i].clone() else { continue };
+            let blocked = pending.iter().enumerate().any(|(j, other)| {
+                if i == j {
+                    return false;
+                }
+                match other {
+                    Some(o) => match o.src {
+                        MOperand::Loc(s) => ranges_overlap(m.dst, s),
+                        _ => false,
+                    },
+                    None => false,
+                }
+            });
+            if !blocked {
+                let mut inst = MInst::mov(m.dst, MLoc::onchip(0, Width::W32));
+                inst.srcs = vec![m.src];
+                out.push(inst);
+                pending[i] = None;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Cycle: bounce the first pending move's source via scratch.
+            let i = pending.iter().position(|m| m.is_some()).expect("pending");
+            let m = pending[i].clone().expect("pending move");
+            let src_loc = match m.src {
+                MOperand::Loc(l) => l,
+                _ => unreachable!("non-loc sources never block"),
+            };
+            let sc = MLoc { width: src_loc.width, ..scratch };
+            out.push(MInst::mov(sc, src_loc));
+            pending[i] = Some(PMove { dst: m.dst, src: MOperand::Loc(sc) });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_kir::mir::{MLoc, Place};
+
+    fn unit(start: u16, width: u16, align: u16) -> Unit {
+        Unit {
+            start,
+            width,
+            align,
+            residue: start % align,
+            webs: vec![],
+        }
+    }
+
+    #[test]
+    fn min_height_simple() {
+        let units = vec![unit(0, 1, 1), unit(3, 1, 1), unit(5, 1, 1)];
+        let live = vec![true, true, false];
+        assert_eq!(min_packed_height(&units, &live), 2);
+        assert_eq!(min_packed_height(&units, &[true, true, true]), 3);
+        assert_eq!(min_packed_height(&units, &[false, false, false]), 0);
+    }
+
+    #[test]
+    fn min_height_respects_alignment() {
+        // A W64 unit at residue 0 plus one single: pair at 0..2, single at 2.
+        let units = vec![unit(2, 2, 2), unit(5, 1, 1)];
+        assert_eq!(min_packed_height(&units, &[true, true]), 3);
+        // Single first would force the pair to 2..4; packing is width-desc
+        // so the pair lands at 0.
+    }
+
+    #[test]
+    fn pack_keeps_stayers_in_place() {
+        let units = vec![unit(0, 1, 1), unit(4, 1, 1)];
+        let placed = pack_live_units(&units, &[true, true], 2);
+        let mut placed = placed;
+        placed.sort();
+        assert_eq!(placed, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn pack_moves_only_above_bk() {
+        let units = vec![unit(1, 1, 1), unit(2, 1, 1), unit(6, 1, 1)];
+        let mut placed = pack_live_units(&units, &[true, true, true], 4);
+        placed.sort();
+        // Units 0 and 1 stay; unit 2 moves to slot 0 (lowest free).
+        assert_eq!(placed, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn pack_full_repack_on_fragmentation() {
+        // A pair above bk, singles fragmenting the low area at odd slots.
+        let units = vec![unit(1, 1, 1), unit(3, 1, 1), unit(6, 2, 2)];
+        let bk = min_packed_height(&units, &[true, true, true]);
+        assert_eq!(bk, 4);
+        let mut placed = pack_live_units(&units, &[true, true, true], bk);
+        placed.sort();
+        // The pair must land at an even slot within [0,4): full repack
+        // puts it at 0 and the singles at 2,3.
+        let pair_pos = placed.iter().find(|(i, _)| *i == 2).unwrap().1;
+        assert_eq!(pair_pos % 2, 0);
+        let mut slots: Vec<u16> = Vec::new();
+        for (i, p) in &placed {
+            for k in 0..units[*i].width {
+                slots.push(p + k);
+            }
+        }
+        slots.sort();
+        slots.dedup();
+        assert_eq!(slots.len(), 4, "no overlap: {placed:?}");
+        assert!(slots.iter().all(|&s| s < bk));
+    }
+
+    #[test]
+    fn sequentialize_orders_chain() {
+        // r1 <- r0, r2 <- r1 : must emit r2<-r1 first.
+        let mv = vec![
+            PMove { dst: MLoc::onchip(1, Width::W32), src: MLoc::onchip(0, Width::W32).into() },
+            PMove { dst: MLoc::onchip(2, Width::W32), src: MLoc::onchip(1, Width::W32).into() },
+        ];
+        let out = sequentialize(&mv, MLoc::local(0, Width::W32));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].dst.unwrap().slot, 2);
+        assert_eq!(out[1].dst.unwrap().slot, 1);
+    }
+
+    #[test]
+    fn sequentialize_breaks_swap_cycle() {
+        let mv = vec![
+            PMove { dst: MLoc::onchip(0, Width::W32), src: MLoc::onchip(1, Width::W32).into() },
+            PMove { dst: MLoc::onchip(1, Width::W32), src: MLoc::onchip(0, Width::W32).into() },
+        ];
+        let out = sequentialize(&mv, MLoc::local(0, Width::W32));
+        assert_eq!(out.len(), 3, "{out:?}");
+        // Simulate to verify the swap really happens.
+        let mut regs = [10u32, 20u32];
+        let mut scratch = 0u32;
+        for m in &out {
+            let src = match m.srcs[0] {
+                MOperand::Loc(l) => match l.place {
+                    Place::Onchip => regs[l.slot as usize],
+                    Place::Local => scratch,
+                    _ => unreachable!(),
+                },
+                _ => unreachable!(),
+            };
+            let d = m.dst.unwrap();
+            match d.place {
+                Place::Onchip => regs[d.slot as usize] = src,
+                Place::Local => scratch = src,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(regs, [20, 10]);
+    }
+
+    #[test]
+    fn sequentialize_wide_partial_overlap() {
+        // Move a W64 pair down by one slot: dst [0,2), src [1,3).
+        let mv = vec![PMove {
+            dst: MLoc::onchip(0, Width::W64),
+            src: MLoc::onchip(1, Width::W64).into(),
+        }];
+        let out = sequentialize(&mv, MLoc::local(0, Width::W64));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sequentialize_immediates_never_block() {
+        let mv = vec![
+            PMove { dst: MLoc::onchip(0, Width::W32), src: MOperand::Imm(7) },
+            PMove { dst: MLoc::onchip(1, Width::W32), src: MLoc::onchip(0, Width::W32).into() },
+        ];
+        let out = sequentialize(&mv, MLoc::local(0, Width::W32));
+        // The reg0 read must precede the imm write into reg0.
+        assert_eq!(out[0].dst.unwrap().slot, 1);
+    }
+
+    #[test]
+    fn extract_units_groups_wide_webs() {
+        use orion_kir::types::Width;
+        let coloring = Coloring {
+            // web0: W64 at slots 0-1, web1: W32 at slot 2, web2 spilled.
+            slot_of: vec![Some(0), Some(2), None],
+            spilled: vec![2],
+            frame_size: 3,
+        };
+        let widths = vec![Width::W64, Width::W32, Width::W32];
+        let units = extract_units(&coloring, &widths);
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].width, 2);
+        assert_eq!(units[0].align, 2);
+        assert_eq!(units[1].width, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks for the GPU simulator: launch throughput at
+//! low/high occupancy and the occupancy calculator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_alloc::realize::{allocate, AllocOptions, SlotBudget};
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::exec::Launch;
+use orion_gpusim::occupancy::{occupancy, KernelResources};
+use orion_gpusim::sim::run_launch;
+use std::hint::black_box;
+
+fn bench_launch(c: &mut Criterion) {
+    let w = orion_workloads::by_name("srad").expect("workload");
+    let machine = allocate(
+        &w.module,
+        SlotBudget { reg_slots: 24, smem_slots: 0 },
+        &AllocOptions::default(),
+    )
+    .unwrap()
+    .machine;
+    let dev = DeviceSpec::c2075();
+    let mut g = c.benchmark_group("simulate_launch");
+    g.sample_size(10);
+    for grid in [28u32, 112] {
+        g.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, &grid| {
+            b.iter(|| {
+                let mut global = w.init_global.clone();
+                run_launch(
+                    black_box(&dev),
+                    black_box(&machine),
+                    Launch { grid, block: w.block },
+                    &w.params,
+                    &mut global,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_occupancy_calculator(c: &mut Criterion) {
+    let dev = DeviceSpec::gtx680();
+    c.bench_function("occupancy_calculator", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for regs in 1..=63u16 {
+                acc += occupancy(
+                    black_box(&dev),
+                    &KernelResources {
+                        regs_per_thread: regs,
+                        smem_per_block: 2048,
+                        block_size: 192,
+                    },
+                )
+                .active_warps;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_launch, bench_occupancy_calculator);
+criterion_main!(benches);

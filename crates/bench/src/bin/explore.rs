@@ -1,0 +1,25 @@
+//! Exploratory tool: print each workload's occupancy curve on both
+//! devices (used during development to calibrate workload parameters).
+
+use orion_bench::sweep_curve;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args.get(1).cloned();
+    for dev in [orion_gpusim::DeviceSpec::c2075(), orion_gpusim::DeviceSpec::gtx680()] {
+        for w in orion_workloads::all_workloads() {
+            if let Some(f) = &filter {
+                if !w.name.contains(f.as_str()) {
+                    continue;
+                }
+            }
+            match sweep_curve(&dev, &w) {
+                Ok(curve) => print!(
+                    "{}",
+                    orion_bench::report::render_curve(&format!("{} on {}", w.name, dev.name), &curve)
+                ),
+                Err(e) => println!("{} on {}: ERROR {e}", w.name, dev.name),
+            }
+        }
+    }
+}

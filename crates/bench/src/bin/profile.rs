@@ -1,0 +1,40 @@
+//! Print detailed simulator counters for each occupancy level of one
+//! workload (development tool).
+
+use orion_bench::experiment::run_version_once;
+use orion_core::orion::Orion;
+use orion_gpusim::DeviceSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("imageDenoising");
+    let dev = match args.get(2).map(String::as_str) {
+        Some("c2075") => DeviceSpec::c2075(),
+        _ => DeviceSpec::gtx680(),
+    };
+    let w = orion_workloads::by_name(name).expect("workload");
+    let orion = Orion::new(dev.clone(), w.block);
+    println!("{} on {}", w.name, dev.name);
+    println!("{:>5} {:>4} {:>5} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "warps","regs","smem","local","cycles","warp_insts","moves","smem_slot","local_trans","l1_miss","l2_miss","dram");
+    for v in orion.sweep(&w.module).unwrap() {
+        match run_version_once(&dev, &w, &v) {
+            Ok(r) => println!(
+                "{:>5} {:>4} {:>5} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                v.achieved_warps,
+                v.machine.regs_per_thread,
+                v.machine.smem_slots_per_thread,
+                v.machine.local_slots_per_thread,
+                r.cycles,
+                r.stats.warp_insts,
+                r.stats.stack_moves,
+                r.stats.smem_slot_accesses,
+                r.stats.local_transactions,
+                r.stats.mem.l1_misses,
+                r.stats.mem.l2_misses,
+                r.stats.mem.dram_transactions,
+            ),
+            Err(e) => println!("{:>5} ERROR {e}", v.achieved_warps),
+        }
+    }
+}

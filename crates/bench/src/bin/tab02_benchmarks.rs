@@ -1,0 +1,4 @@
+//! Table 2: benchmark characteristics.
+fn main() {
+    print!("{}", orion_bench::figures::tab02());
+}

@@ -1,0 +1,15 @@
+//! # orion-bench — experiment harness for the Orion reproduction
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), all built
+//! on the shared [`experiment`] engine: occupancy sweeps, Orion
+//! compile+tune runs, the nvcc-like baseline, ablations, and energy
+//! accounting. `cargo run --release -p orion-bench --bin all_experiments`
+//! regenerates every result and rewrites `EXPERIMENTS.md`.
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use experiment::{
+    orion_select, sweep_curve, CurvePoint, ExperimentError, SelectOutcome,
+};

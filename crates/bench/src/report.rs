@@ -1,0 +1,73 @@
+//! Text rendering of experiment results (figure/table style output).
+
+use crate::experiment::CurvePoint;
+
+/// Render a runtime-vs-occupancy curve normalized to its best point,
+/// like the paper's Figures 1/2/10/14/15.
+pub fn render_curve(title: &str, curve: &[CurvePoint]) -> String {
+    let best = curve.iter().map(|p| p.cycles).min().unwrap_or(1).max(1);
+    let mut s = format!("{title}\n  occ    warps  regs  cycles      norm-runtime\n");
+    for p in curve {
+        let norm = p.cycles as f64 / best as f64;
+        let bar = "#".repeat((norm * 20.0).round() as usize);
+        s.push_str(&format!(
+            "  {:>5.3}  {:>5}  {:>4}  {:>9}  {:>6.3}  {bar}\n",
+            p.occupancy, p.warps, p.regs_per_thread, p.cycles, norm
+        ));
+    }
+    s
+}
+
+/// A simple aligned table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut s = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        s.push_str(&format!("{:>w$}  ", h, w = widths[i]));
+    }
+    s.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        s.push_str(&format!("{:>w$}  ", "-".repeat(widths[i]), w = widths[i]));
+    }
+    s.push('\n');
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_rendering_normalizes() {
+        let curve = vec![
+            CurvePoint { warps: 8, occupancy: 0.17, cycles: 200, regs_per_thread: 60, smem_slots: 0, local_slots: 4, energy_pj: 1.0 },
+            CurvePoint { warps: 48, occupancy: 1.0, cycles: 100, regs_per_thread: 20, smem_slots: 0, local_slots: 4, energy_pj: 1.0 },
+        ];
+        let s = render_curve("t", &curve);
+        assert!(s.contains("2.000"));
+        assert!(s.contains("1.000"));
+    }
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["name", "x"],
+            &[vec!["a".into(), "1.23".into()], vec!["longer".into(), "4".into()]],
+        );
+        assert!(s.lines().count() == 4);
+        assert!(s.contains("longer"));
+    }
+}

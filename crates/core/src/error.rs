@@ -1,0 +1,65 @@
+//! Unified error type for the Orion framework.
+
+use orion_alloc::realize::AllocError;
+use orion_gpusim::exec::SimError;
+use orion_kir::verify::VerifyError;
+use std::fmt;
+
+/// Any failure in the compile/tune/run pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrionError {
+    /// The input module failed verification.
+    Verify(VerifyError),
+    /// Allocation/codegen failed.
+    Alloc(AllocError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// No occupancy level was achievable for the kernel on the device.
+    NoAchievableOccupancy,
+}
+
+impl fmt::Display for OrionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrionError::Verify(e) => write!(f, "verify: {e}"),
+            OrionError::Alloc(e) => write!(f, "alloc: {e}"),
+            OrionError::Sim(e) => write!(f, "sim: {e}"),
+            OrionError::NoAchievableOccupancy => {
+                write!(f, "no occupancy level is achievable for this kernel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrionError {}
+
+impl From<VerifyError> for OrionError {
+    fn from(e: VerifyError) -> Self {
+        OrionError::Verify(e)
+    }
+}
+
+impl From<AllocError> for OrionError {
+    fn from(e: AllocError) -> Self {
+        OrionError::Alloc(e)
+    }
+}
+
+impl From<SimError> for OrionError {
+    fn from(e: SimError) -> Self {
+        OrionError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = OrionError::NoAchievableOccupancy;
+        assert!(e.to_string().contains("occupancy"));
+        let e: OrionError = SimError::Deadlock.into();
+        assert!(matches!(e, OrionError::Sim(_)));
+    }
+}

@@ -1,0 +1,67 @@
+//! # orion-core — the Orion GPU occupancy-tuning framework
+//!
+//! Reproduction of *Orion: A Framework for GPU Occupancy Tuning*
+//! (Hayes, Li, Chavarría, Song, Zhang — Middleware 2016), running on the
+//! `orion-gpusim` simulated device instead of real GPUs.
+//!
+//! Orion works in two stages:
+//!
+//! 1. **Compile-time tuning** ([`compiler`], Figure 8): decide the
+//!    tuning direction from the *max-live* metric, realize candidate
+//!    occupancy levels through on-chip memory allocation
+//!    (`orion-alloc`), and emit ≤ 5 kernel versions.
+//! 2. **Runtime adaptation** ([`runtime`], Figure 9): walk the
+//!    candidates across application iterations, finalizing the best (or
+//!    the lowest occupancy within 2% of the best when tuning downward,
+//!    which saves registers and energy). Applications without an
+//!    iteration loop use [`splitting`] or the static selection.
+//!
+//! ```
+//! use orion_core::orion::Orion;
+//! use orion_core::runtime::tune_loop;
+//! use orion_gpusim::device::DeviceSpec;
+//! use orion_gpusim::exec::Launch;
+//! use orion_kir::builder::FunctionBuilder;
+//! use orion_kir::function::Module;
+//! use orion_kir::inst::Operand;
+//! use orion_kir::types::{MemSpace, SpecialReg, Width};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A toy kernel: out[gid] = in[gid] * gid.
+//! let mut b = FunctionBuilder::kernel("scale");
+//! let tid = b.mov(Operand::Special(SpecialReg::TidX));
+//! let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+//! let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+//! let gid = b.imad(cta, nt, tid);
+//! let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+//! let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+//! let y = b.imul(x, gid);
+//! b.st(MemSpace::Global, Width::W32, addr, y, 0);
+//! let module = Module::new(b.finish());
+//!
+//! let orion = Orion::new(DeviceSpec::gtx680(), 64);
+//! let compiled = orion.compile(&module)?;
+//! assert!(compiled.num_candidates() <= 5);
+//!
+//! // Tune across 6 application iterations on the simulator.
+//! let launch = Launch { grid: 8, block: 64 };
+//! let mut global = vec![0u8; 4 * 512];
+//! let outcome = tune_loop(&compiled, 6, 0.02, |version| {
+//!     orion.run_version(version, launch, &[0], &mut global).map(|r| r.cycles)
+//! })?;
+//! assert!(outcome.converged_after <= compiled.num_candidates() + 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod budget;
+pub mod compiler;
+pub mod error;
+pub mod orion;
+pub mod runtime;
+pub mod splitting;
+
+pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
+pub use error::OrionError;
+pub use orion::Orion;
+pub use runtime::{tune_loop, DynamicTuner, TuneOutcome};

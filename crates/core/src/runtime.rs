@@ -1,0 +1,321 @@
+//! Runtime occupancy adaptation — §3.4 and Figure 9.
+//!
+//! Given the compiler's candidate list, the runtime monitors each kernel
+//! invocation and walks the candidates in the predicted tuning
+//! direction:
+//!
+//! * first iteration runs the **original** kernel;
+//! * each subsequent iteration runs the next occupancy in the direction,
+//!   until performance degrades — strictly worse when increasing, or
+//!   more than the 2% threshold when decreasing (the paper explicitly
+//!   keeps tuning *down* through the performance plateau to find the
+//!   lowest occupancy with near-best performance, saving registers and
+//!   energy);
+//! * the surviving version is **finalized** and runs for the remaining
+//!   iterations. Convergence typically takes ~3 iterations.
+
+use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+use serde::{Deserialize, Serialize};
+
+/// The feedback-driven version selector (Figure 9).
+#[derive(Debug, Clone)]
+pub struct DynamicTuner {
+    order: Vec<usize>,
+    direction: Direction,
+    threshold: f64,
+    /// Position in `order` currently being evaluated.
+    pos: usize,
+    /// Measured cycles per version (by version index).
+    times: Vec<Option<u64>>,
+    finalized: Option<usize>,
+    trials: usize,
+}
+
+impl DynamicTuner {
+    /// Build a tuner over a compiled kernel's candidates.
+    pub fn new(ck: &CompiledKernel, threshold: f64) -> Self {
+        DynamicTuner {
+            order: ck.tuning_order.clone(),
+            direction: ck.direction,
+            threshold,
+            pos: 0,
+            times: vec![None; ck.versions.len()],
+            finalized: if ck.tuning_order.len() == 1 {
+                Some(ck.tuning_order[0])
+            } else {
+                None
+            },
+            trials: 0,
+        }
+    }
+
+    /// The version to run for the current iteration.
+    pub fn select(&self) -> usize {
+        self.finalized.unwrap_or(self.order[self.pos])
+    }
+
+    /// Report the measured cycles of the version returned by the last
+    /// [`DynamicTuner::select`].
+    pub fn record(&mut self, cycles: u64) {
+        self.record_with_work(cycles, 1);
+    }
+
+    /// Report a measurement normalized by the invocation's amount of
+    /// work (e.g. the BFS frontier size). The paper observes that bfs
+    /// "does different amounts of work in each iteration, making it
+    /// difficult to compare consecutive invocations" and proposes
+    /// exactly this multiplicative correction as future work (§4.2);
+    /// with it, variable-work applications tune reliably.
+    ///
+    /// # Panics
+    /// Panics if `work` is zero.
+    pub fn record_with_work(&mut self, cycles: u64, work: u64) {
+        assert!(work > 0, "work must be positive");
+        // Normalize to cycles per 2^20 work items to keep integer math.
+        let cycles = cycles.saturating_mul(1 << 20) / work;
+        if self.finalized.is_some() {
+            return;
+        }
+        let cur = self.order[self.pos];
+        self.times[cur] = Some(cycles);
+        self.trials += 1;
+        if self.pos == 0 {
+            self.pos += 1;
+            return;
+        }
+        let prev = self.order[self.pos - 1];
+        let prev_t = self.times[prev].expect("previous was measured") as f64;
+        let cur_t = cycles as f64;
+        let degraded = match self.direction {
+            Direction::Increasing => cur_t > prev_t,
+            Direction::Decreasing => {
+                let best = self
+                    .times
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .min()
+                    .expect("measured") as f64;
+                cur_t / best - 1.0 > self.threshold
+            }
+        };
+        if degraded {
+            self.finalized = Some(prev);
+        } else if self.pos + 1 >= self.order.len() {
+            self.finalized = Some(match self.direction {
+                // Exhausted upward: keep the fastest observed.
+                Direction::Increasing => self
+                    .order
+                    .iter()
+                    .copied()
+                    .min_by_key(|&v| self.times[v].unwrap_or(u64::MAX))
+                    .expect("nonempty order"),
+                // Exhausted downward: the current (lowest acceptable).
+                Direction::Decreasing => cur,
+            });
+        } else {
+            self.pos += 1;
+        }
+    }
+
+    /// The finalized version, once tuning is done.
+    pub fn finalized(&self) -> Option<usize> {
+        self.finalized
+    }
+
+    /// Iterations spent measuring before finalizing.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+}
+
+/// A completed tuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneOutcome {
+    /// The selected version index.
+    pub selected: usize,
+    /// `(version, cycles)` per application iteration, in order.
+    pub iterations: Vec<(usize, u64)>,
+    /// Iterations spent exploring before the selection was final.
+    pub converged_after: usize,
+    /// Total simulated cycles across all iterations (tuning overhead
+    /// included — this is what Orion-Select reports in Figure 11).
+    pub total_cycles: u64,
+}
+
+/// Drive the full tuning loop: `iterations` invocations of the kernel,
+/// tuning per Figure 9, then running the finalized version.
+///
+/// `run` executes one launch of a version and returns its cycles.
+///
+/// # Errors
+/// Propagates the first launch error.
+pub fn tune_loop<E>(
+    ck: &CompiledKernel,
+    iterations: u32,
+    threshold: f64,
+    mut run: impl FnMut(&KernelVersion) -> Result<u64, E>,
+) -> Result<TuneOutcome, E> {
+    let mut tuner = DynamicTuner::new(ck, threshold);
+    let mut iters = Vec::with_capacity(iterations as usize);
+    let mut total = 0u64;
+    for _ in 0..iterations {
+        let v = tuner.select();
+        let cycles = run(&ck.versions[v])?;
+        total += cycles;
+        iters.push((v, cycles));
+        tuner.record(cycles);
+    }
+    let selected = tuner.finalized().unwrap_or_else(|| tuner.select());
+    Ok(TuneOutcome {
+        selected,
+        iterations: iters,
+        converged_after: tuner.trials(),
+        total_cycles: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+    use orion_alloc::realize::AllocReport;
+    use orion_kir::mir::MModule;
+    use orion_kir::types::FuncId;
+
+    fn fake_version(warps: u32) -> KernelVersion {
+        KernelVersion {
+            machine: MModule {
+                funcs: vec![],
+                entry: FuncId(0),
+                regs_per_thread: 16,
+                smem_slots_per_thread: 0,
+                local_slots_per_thread: 0,
+                user_smem_bytes: 0,
+                static_stack_moves: 0,
+            },
+            target_warps: warps,
+            achieved_warps: warps,
+            occupancy: f64::from(warps) / 48.0,
+            extra_smem: 0,
+            report: AllocReport {
+                kernel_max_live: 0,
+                regs_per_thread: 16,
+                smem_slots_per_thread: 0,
+                local_slots_per_thread: 0,
+                static_moves: 0,
+                per_func: vec![],
+            },
+            fail_safe: false,
+            label: format!("occ={warps}"),
+        }
+    }
+
+    fn fake_compiled(warp_levels: &[u32], direction: Direction) -> CompiledKernel {
+        CompiledKernel {
+            versions: warp_levels.iter().map(|&w| fake_version(w)).collect(),
+            direction,
+            original: 0,
+            max_live: 40,
+            tuning_order: (0..warp_levels.len()).collect(),
+        }
+    }
+
+    #[test]
+    fn increasing_stops_at_first_degradation() {
+        // Times: v0=100, v1=80, v2=90 → picks v1 after 3 trials.
+        let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
+        let times = [100u64, 80, 90, 70];
+        let out = tune_loop::<()>(&ck, 10, 0.02, |v| {
+            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            Ok(times[idx])
+        })
+        .unwrap();
+        assert_eq!(out.selected, 1);
+        assert_eq!(out.converged_after, 3);
+        // Remaining iterations run the finalized version.
+        assert!(out.iterations[3..].iter().all(|&(v, _)| v == 1));
+    }
+
+    #[test]
+    fn decreasing_walks_through_plateau() {
+        // order: 48, 36, 24, 12 warps; 24 is within 2% of best, 12 not.
+        let ck = fake_compiled(&[48, 36, 24, 12], Direction::Decreasing);
+        let times = [100u64, 100, 101, 140];
+        let out = tune_loop::<()>(&ck, 8, 0.02, |v| {
+            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            Ok(times[idx])
+        })
+        .unwrap();
+        assert_eq!(out.selected, 2, "lowest occupancy within the 2% band");
+    }
+
+    #[test]
+    fn exhausting_upward_takes_best() {
+        let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
+        let times = [100u64, 90, 70];
+        let out = tune_loop::<()>(&ck, 6, 0.02, |v| {
+            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            Ok(times[idx])
+        })
+        .unwrap();
+        assert_eq!(out.selected, 2);
+        assert_eq!(out.converged_after, 3);
+    }
+
+    #[test]
+    fn single_candidate_finalizes_immediately() {
+        let ck = fake_compiled(&[48], Direction::Decreasing);
+        let out = tune_loop::<()>(&ck, 4, 0.02, |_| Ok(55)).unwrap();
+        assert_eq!(out.selected, 0);
+        assert_eq!(out.converged_after, 0);
+        assert_eq!(out.total_cycles, 4 * 55);
+    }
+
+    #[test]
+    fn work_normalization_rescues_variable_work_apps() {
+        // Decreasing direction. True per-work cost is identical for the
+        // first two versions, but raw times differ 4x because the work
+        // differs (a growing BFS frontier). Without normalization the
+        // tuner would see a huge "slowdown" and finalize immediately at
+        // the original; with it, tuning continues down the candidate
+        // list until the genuinely slower version.
+        let ck = fake_compiled(&[48, 36, 24], Direction::Decreasing);
+        let work = [1000u64, 4000, 4000];
+        let per_work = [50u64, 50, 80]; // version 2 is really 60% slower
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        for _ in 0..4 {
+            let v = tuner.select();
+            tuner.record_with_work(per_work[v] * work[v], work[v]);
+            if tuner.finalized().is_some() {
+                break;
+            }
+        }
+        assert_eq!(tuner.finalized(), Some(1), "lowest occupancy at equal per-work cost");
+
+        // The naive tuner stops at the original because raw times differ.
+        let mut naive = DynamicTuner::new(&ck, 0.02);
+        for _ in 0..4 {
+            let v = naive.select();
+            naive.record(per_work[v] * work[v]);
+            if naive.finalized().is_some() {
+                break;
+            }
+        }
+        assert_eq!(naive.finalized(), Some(0));
+    }
+
+    #[test]
+    fn convergence_within_three_trials_typical() {
+        // Bell-shaped times: best in the middle of the order.
+        let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
+        let times = [120u64, 95, 80, 88, 99];
+        let out = tune_loop::<()>(&ck, 20, 0.02, |v| {
+            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            Ok(times[idx])
+        })
+        .unwrap();
+        assert_eq!(out.selected, 2);
+        assert!(out.converged_after <= 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Kernel splitting (§3.4, after [30]): when the application has no
+//! iteration loop but launches many blocks, Orion splits one invocation
+//! into several smaller ones so the runtime tuner gets iterations to
+//! measure. The split slices the grid; `%nctaid` keeps reporting the
+//! full grid so per-thread work assignments are unchanged.
+
+use orion_gpusim::sim::LaunchOptions;
+
+/// Slice a grid of `grid` blocks into up to `pieces` contiguous ranges,
+/// each at least `min_blocks` blocks (fewer pieces if the grid is small).
+pub fn split_ranges(grid: u32, pieces: u32, min_blocks: u32) -> Vec<(u32, u32)> {
+    if grid == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces
+        .min(grid / min_blocks.max(1))
+        .max(1);
+    let base = grid / pieces;
+    let rem = grid % pieces;
+    let mut out = Vec::with_capacity(pieces as usize);
+    let mut start = 0;
+    for i in 0..pieces {
+        let len = base + u32::from(i < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Launch options for one split piece.
+pub fn piece_options(range: (u32, u32), extra_smem: u32) -> LaunchOptions {
+    LaunchOptions {
+        extra_smem_per_block: extra_smem,
+        cta_range: Some(range),
+    }
+}
+
+/// Does the launch have enough blocks to split into `pieces` that still
+/// fill the device? (Each piece should keep every SM busy with at least
+/// one block.)
+pub fn can_split(grid: u32, num_sms: u32, pieces: u32) -> bool {
+    grid >= num_sms * pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_grid_exactly() {
+        for grid in [1u32, 7, 64, 100, 257] {
+            for pieces in [1u32, 2, 3, 5] {
+                let rs = split_ranges(grid, pieces, 1);
+                let total: u32 = rs.iter().map(|&(_, c)| c).sum();
+                assert_eq!(total, grid, "grid {grid} pieces {pieces}");
+                // Contiguous and ordered.
+                let mut expect = 0;
+                for &(s, c) in &rs {
+                    assert_eq!(s, expect);
+                    assert!(c > 0);
+                    expect = s + c;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_blocks_limits_pieces() {
+        let rs = split_ranges(20, 8, 10);
+        assert_eq!(rs.len(), 2);
+        let rs = split_ranges(9, 8, 10);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn can_split_needs_enough_blocks() {
+        assert!(can_split(64, 8, 4));
+        assert!(!can_split(16, 8, 4));
+    }
+}

@@ -1,0 +1,138 @@
+//! Set-associative LRU cache model.
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    line_shift: u32,
+    /// `tags[set][way] = Some((tag, last_use))`.
+    tags: Vec<Vec<Option<(u64, u64)>>>,
+    tick: u64,
+    /// Hit/miss counters.
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl Cache {
+    /// Build a cache of `bytes` capacity with `line` bytes per line and
+    /// `ways` associativity.
+    ///
+    /// # Panics
+    /// Panics if `line` is not a power of two or the geometry is
+    /// degenerate.
+    pub fn new(bytes: u32, line: u32, ways: u32) -> Cache {
+        assert!(line.is_power_of_two() && line > 0);
+        assert!(ways > 0);
+        let lines = (bytes / line).max(1) as usize;
+        let ways = (ways as usize).min(lines);
+        let sets = (lines / ways).max(1);
+        Cache {
+            sets,
+            line_shift: line.trailing_zeros(),
+            tags: vec![vec![None; ways]; sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access `addr`; returns `true` on hit. Misses allocate (LRU evict).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr >> self.line_shift;
+        let set = (line as usize) % self.sets;
+        let tag = line / self.sets as u64;
+        let ways = &mut self.tags[set];
+        for (t, last) in ways.iter_mut().flatten() {
+            if *t == tag {
+                *last = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // Evict LRU (or fill an empty way).
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.map_or(0, |(_, last)| last))
+            .map(|(i, _)| i)
+            .expect("nonzero ways");
+        ways[victim] = Some((tag, self.tick));
+        false
+    }
+
+    /// Invalidate everything (used between kernel launches to model
+    /// cold-ish caches conservatively; the paper's kernels are large
+    /// enough that cross-launch reuse is negligible).
+    pub fn flush(&mut self) {
+        for set in &mut self.tags {
+            for w in set {
+                *w = None;
+            }
+        }
+    }
+
+    /// Hit rate so far (0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(16 * 1024, 128, 4);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1040), "same 128B line");
+        assert!(!c.access(0x2000));
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 sets × 2 ways × 128B = 512B cache.
+        let mut c = Cache::new(512, 128, 2);
+        // Addresses mapping to set 0: lines 0, 2, 4 (line % 2 == 0).
+        let line = |n: u64| n * 128;
+        assert!(!c.access(line(0)));
+        assert!(!c.access(line(2)));
+        assert!(c.access(line(0))); // refresh line 0
+        assert!(!c.access(line(4))); // evicts line 2 (LRU)
+        assert!(c.access(line(0)));
+        assert!(!c.access(line(2))); // line 2 was evicted
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut c = Cache::new(1024, 128, 2);
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn thrashing_working_set() {
+        // Working set larger than capacity never hits with a strided scan.
+        let mut c = Cache::new(1024, 128, 2);
+        for round in 0..4 {
+            for i in 0..16u64 {
+                let hit = c.access(i * 128);
+                if round == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        assert!(c.hit_rate() < 0.01, "{}", c.hit_rate());
+    }
+}

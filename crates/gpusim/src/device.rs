@@ -1,0 +1,193 @@
+//! Device descriptors for the two GPUs the paper evaluates on.
+
+use serde::{Deserialize, Serialize};
+
+/// L1/shared-memory split of the 64 KB on-chip SRAM (§4, Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheConfig {
+    /// "Small cache": 16 KB L1, 48 KB shared memory (the paper's default).
+    SmallCache,
+    /// "Large cache": 48 KB L1, 16 KB shared memory.
+    LargeCache,
+}
+
+impl CacheConfig {
+    /// L1 capacity in bytes.
+    pub fn l1_bytes(self) -> u32 {
+        match self {
+            CacheConfig::SmallCache => 16 * 1024,
+            CacheConfig::LargeCache => 48 * 1024,
+        }
+    }
+
+    /// Shared-memory capacity in bytes.
+    pub fn smem_bytes(self) -> u32 {
+        match self {
+            CacheConfig::SmallCache => 48 * 1024,
+            CacheConfig::LargeCache => 16 * 1024,
+        }
+    }
+}
+
+/// Microarchitectural description of a GPU.
+///
+/// Two factory functions, [`DeviceSpec::gtx680`] (Kepler) and
+/// [`DeviceSpec::c2075`] (Fermi), encode the platforms from the paper's
+/// evaluation section; every structural number (SMs, registers, warp
+/// limits) matches the text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub num_sms: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Register allocation granularity in registers per warp (the
+    /// occupancy-calculator rounding rule).
+    pub reg_alloc_granularity: u32,
+    /// Hardware cap on registers per thread.
+    pub max_regs_per_thread: u16,
+    /// Warp width (always 32 on the modeled devices).
+    pub warp_size: u32,
+    /// Warp schedulers per SM (issue slots per cycle).
+    pub schedulers_per_sm: u32,
+    /// L1 ↔ shared-memory split.
+    pub cache_config: CacheConfig,
+    /// Whether L1 caches *global* loads (Fermi: yes; Kepler: local only).
+    pub l1_caches_global: bool,
+    /// L1 line size in bytes.
+    pub l1_line: u32,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// Per-SM slice of the L2 in bytes.
+    pub l2_slice_bytes: u32,
+    /// L2 line size in bytes.
+    pub l2_line: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Latencies in core cycles.
+    pub alu_latency: u64,
+    pub smem_latency: u64,
+    pub l1_latency: u64,
+    pub l2_latency: u64,
+    pub dram_latency: u64,
+    /// DRAM service time per 128-byte transaction per SM share, cycles.
+    pub dram_cycles_per_transaction: u64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA GTX 680 (Kepler GK104): 8 SMs, 65536 registers/SM, 64
+    /// warps/SM, 2048 threads/SM, 64 KB L1+shared.
+    pub fn gtx680() -> DeviceSpec {
+        DeviceSpec {
+            name: "GTX680".to_string(),
+            num_sms: 8,
+            regs_per_sm: 65536,
+            max_warps_per_sm: 64,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            reg_alloc_granularity: 256,
+            max_regs_per_thread: 63,
+            warp_size: 32,
+            schedulers_per_sm: 4,
+            cache_config: CacheConfig::SmallCache,
+            l1_caches_global: false,
+            l1_line: 128,
+            l1_ways: 4,
+            l2_slice_bytes: 512 * 1024 / 8,
+            l2_line: 128,
+            l2_ways: 8,
+            alu_latency: 10,
+            smem_latency: 26,
+            l1_latency: 30,
+            l2_latency: 175,
+            dram_latency: 380,
+            dram_cycles_per_transaction: 6,
+        }
+    }
+
+    /// NVIDIA Tesla C2075 (Fermi GF110): 14 SMs, 32768 registers/SM, 48
+    /// warps/SM, 1536 threads/SM, 64 KB L1+shared, L1 caches global and
+    /// local memory.
+    pub fn c2075() -> DeviceSpec {
+        DeviceSpec {
+            name: "C2075".to_string(),
+            num_sms: 14,
+            regs_per_sm: 32768,
+            max_warps_per_sm: 48,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            reg_alloc_granularity: 64,
+            max_regs_per_thread: 63,
+            warp_size: 32,
+            schedulers_per_sm: 2,
+            cache_config: CacheConfig::SmallCache,
+            l1_caches_global: true,
+            l1_line: 128,
+            l1_ways: 4,
+            l2_slice_bytes: 768 * 1024 / 14,
+            l2_line: 128,
+            l2_ways: 8,
+            alu_latency: 18,
+            smem_latency: 30,
+            l1_latency: 36,
+            l2_latency: 190,
+            dram_latency: 420,
+            dram_cycles_per_transaction: 14,
+        }
+    }
+
+    /// The same device with a different L1/shared split (Table 3).
+    pub fn with_cache_config(&self, cfg: CacheConfig) -> DeviceSpec {
+        DeviceSpec {
+            cache_config: cfg,
+            ..self.clone()
+        }
+    }
+
+    /// Shared-memory bytes available per SM under the current config.
+    pub fn smem_per_sm(&self) -> u32 {
+        self.cache_config.smem_bytes()
+    }
+
+    /// L1 bytes per SM under the current config.
+    pub fn l1_per_sm(&self) -> u32 {
+        self.cache_config.l1_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_numbers() {
+        let g = DeviceSpec::gtx680();
+        assert_eq!(g.num_sms, 8);
+        assert_eq!(g.regs_per_sm, 65536);
+        assert_eq!(g.max_warps_per_sm, 64);
+        assert_eq!(g.max_threads_per_sm, 2048);
+        let c = DeviceSpec::c2075();
+        assert_eq!(c.num_sms, 14);
+        assert_eq!(c.regs_per_sm, 32768);
+        assert_eq!(c.max_warps_per_sm, 48);
+        assert_eq!(c.max_threads_per_sm, 1536);
+        assert!(c.l1_caches_global && !g.l1_caches_global);
+    }
+
+    #[test]
+    fn cache_configs_split_64kb() {
+        for cfg in [CacheConfig::SmallCache, CacheConfig::LargeCache] {
+            assert_eq!(cfg.l1_bytes() + cfg.smem_bytes(), 64 * 1024);
+        }
+        let g = DeviceSpec::gtx680().with_cache_config(CacheConfig::LargeCache);
+        assert_eq!(g.smem_per_sm(), 16 * 1024);
+        assert_eq!(g.l1_per_sm(), 48 * 1024);
+    }
+}

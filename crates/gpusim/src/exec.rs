@@ -1,0 +1,967 @@
+//! Per-SM execution engine: SIMT warps over machine code, with
+//! scoreboarded latencies, coalescing, shared-memory bank conflicts,
+//! barriers, calls, and divergence via an immediate-post-dominator
+//! reconvergence stack.
+//!
+//! The engine is *value-accurate*: it computes the same results as the
+//! reference interpreter (`orion_kir::interp`) while attributing cycle
+//! costs, so semantic-preservation tests can compare global memory
+//! bit-for-bit.
+
+use crate::device::DeviceSpec;
+use crate::memory::{MemKind, MemStats, MemSystem};
+use orion_kir::cfg::{Cfg, PostDominators};
+use orion_kir::function::{FuncKind, Function, Terminator};
+use orion_kir::inst::Opcode;
+use orion_kir::mir::{MInst, MLoc, MModule, MOperand, Place};
+use orion_kir::sem::{eval_alu, eval_setp, Val};
+use orion_kir::types::{BlockId, FuncId, MemSpace, SpecialReg, Width, NUM_PRED_REGS};
+use serde::{Deserialize, Serialize};
+
+/// Kernel launch shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Launch {
+    pub grid: u32,
+    pub block: u32,
+}
+
+/// Simulator failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The kernel cannot be resident on an SM (shared memory or register
+    /// demand exceeds the hardware) — the paper's empty Table 3 cells.
+    Unlaunchable(String),
+    /// A memory access fell outside the provided buffer.
+    OutOfBounds { space: MemSpace, addr: u64 },
+    /// Scheduler found runnable work but no warp could progress.
+    Deadlock,
+    /// Dynamic instruction budget exceeded.
+    StepLimit,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Unlaunchable(s) => write!(f, "kernel not launchable: {s}"),
+            SimError::OutOfBounds { space, addr } => {
+                write!(f, "{space} access at {addr:#x} out of bounds")
+            }
+            SimError::Deadlock => write!(f, "simulation deadlock (barrier divergence?)"),
+            SimError::StepLimit => write!(f, "dynamic instruction limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Dynamic counters for one launch (summed over SMs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Warp-instructions issued.
+    pub warp_insts: u64,
+    /// Thread-instructions (warp_insts × active lanes).
+    pub thread_insts: u64,
+    /// Stack/argument move instructions executed (warp granularity).
+    pub stack_moves: u64,
+    /// Private shared-memory slot words accessed.
+    pub smem_slot_accesses: u64,
+    /// User shared-memory transactions (after conflict serialization).
+    pub shared_mem_accesses: u64,
+    /// Extra cycles serialized by bank conflicts.
+    pub bank_conflict_extra: u64,
+    /// Barriers executed (warp granularity).
+    pub barriers: u64,
+    /// Local-memory word transactions (spill traffic).
+    pub local_transactions: u64,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+}
+
+/// A machine module plus precomputed reconvergence points.
+pub struct LinkedProgram<'m> {
+    pub module: &'m MModule,
+    /// `ipdom[func][block]` — SIMT reconvergence target of a divergent
+    /// branch terminating `block`.
+    ipdom: Vec<Vec<Option<BlockId>>>,
+}
+
+impl<'m> LinkedProgram<'m> {
+    /// Precompute per-function post-dominators.
+    pub fn new(module: &'m MModule) -> Self {
+        let ipdom = module
+            .funcs
+            .iter()
+            .map(|f| {
+                if f.blocks.is_empty() {
+                    return Vec::new();
+                }
+                // Build a terminator-skeleton kir function to reuse the
+                // post-dominator analysis.
+                let mut sk = Function::new(f.name.clone(), FuncKind::Kernel);
+                sk.blocks = f
+                    .blocks
+                    .iter()
+                    .map(|b| orion_kir::function::BasicBlock {
+                        insts: Vec::new(),
+                        term: b.term.clone(),
+                    })
+                    .collect();
+                let cfg = Cfg::new(&sk);
+                PostDominators::new(&sk, &cfg).ipdom
+            })
+            .collect();
+        LinkedProgram { module, ipdom }
+    }
+}
+
+const FULL_MASK: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct SimtEntry {
+    block: BlockId,
+    idx: usize,
+    reconv: Option<BlockId>,
+    mask: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    stack: Vec<SimtEntry>,
+}
+
+struct LaneState {
+    onchip: Vec<u32>,
+    local: Vec<u8>,
+    preds: [bool; NUM_PRED_REGS as usize],
+}
+
+struct Warp {
+    /// Index into the SM's resident-CTA table.
+    cta: usize,
+    warp_in_block: u32,
+    frames: Vec<Frame>,
+    alive: u32,
+    done: bool,
+    at_barrier: bool,
+    barrier_release: u64,
+    next_free: u64,
+    onchip_ready: Vec<u64>,
+    local_ready: Vec<u64>,
+    pred_ready: [u64; NUM_PRED_REGS as usize],
+}
+
+struct Cta {
+    grid_idx: u32,
+    lanes: Vec<LaneState>,
+    shared: Vec<u8>,
+    warps_left: usize,
+}
+
+/// One SM's execution of its share of the grid.
+pub(crate) struct SmEngine<'m, 'g> {
+    dev: &'m DeviceSpec,
+    prog: &'m LinkedProgram<'m>,
+    launch: Launch,
+    params: &'m [u32],
+    global: &'g mut [u8],
+    mem: MemSystem,
+    pub stats: SimStats,
+    onchip_words: usize,
+    local_words: usize,
+    warps_per_block: u32,
+    // time bookkeeping
+    cur_cycle: u64,
+    issued_this_cycle: u32,
+    last_event: u64,
+    steps_left: u64,
+}
+
+impl<'m, 'g> SmEngine<'m, 'g> {
+    pub fn new(
+        dev: &'m DeviceSpec,
+        prog: &'m LinkedProgram<'m>,
+        launch: Launch,
+        params: &'m [u32],
+        global: &'g mut [u8],
+        step_limit: u64,
+    ) -> Self {
+        let m = prog.module;
+        let onchip_words =
+            usize::from(m.regs_per_thread) + usize::from(m.smem_slots_per_thread);
+        SmEngine {
+            dev,
+            prog,
+            launch,
+            params,
+            global,
+            mem: MemSystem::new(dev),
+            stats: SimStats::default(),
+            onchip_words,
+            local_words: usize::from(m.local_slots_per_thread),
+            warps_per_block: launch.block.div_ceil(32),
+            cur_cycle: 0,
+            issued_this_cycle: 0,
+            last_event: 0,
+            steps_left: step_limit,
+        }
+    }
+
+    /// Run `blocks` (grid indices) with at most `residency` concurrent
+    /// CTAs; returns the completion cycle.
+    pub fn run(&mut self, blocks: &[u32], residency: u32) -> Result<u64, SimError> {
+        let mut pending = blocks.iter().copied();
+        let mut ctas: Vec<Cta> = Vec::new();
+        let mut warps: Vec<Warp> = Vec::new();
+        // Seed initial residency.
+        for _ in 0..residency {
+            if let Some(b) = pending.next() {
+                self.admit_cta(&mut ctas, &mut warps, b, 0);
+            }
+        }
+        loop {
+            // Pick the runnable warp with the earliest ready time.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, w) in warps.iter().enumerate() {
+                if w.done || w.at_barrier {
+                    continue;
+                }
+                let r = self.warp_ready_time(w);
+                if best.is_none_or(|(br, _)| r < br) {
+                    best = Some((r, i));
+                }
+            }
+            let Some((ready, wi)) = best else {
+                // No runnable warps: all done, or all at barriers (which
+                // release eagerly), or deadlock.
+                if warps.iter().all(|w| w.done) {
+                    break;
+                }
+                return Err(SimError::Deadlock);
+            };
+            if self.steps_left == 0 {
+                return Err(SimError::StepLimit);
+            }
+            self.steps_left -= 1;
+            // Issue-slot bookkeeping: `schedulers_per_sm` issues/cycle.
+            let mut t = ready.max(self.cur_cycle);
+            if t > self.cur_cycle {
+                self.cur_cycle = t;
+                self.issued_this_cycle = 0;
+            }
+            if self.issued_this_cycle >= self.dev.schedulers_per_sm {
+                self.cur_cycle += 1;
+                self.issued_this_cycle = 0;
+                t = self.cur_cycle;
+            }
+            self.issued_this_cycle += 1;
+
+            self.step_warp(&mut warps, wi, &mut ctas, t)?;
+
+            // Barrier release: if every live warp of the CTA is waiting.
+            let cta = warps[wi].cta;
+            if warps[wi].at_barrier {
+                let all = warps
+                    .iter()
+                    .filter(|w| w.cta == cta && !w.done)
+                    .all(|w| w.at_barrier);
+                if all {
+                    let release = warps
+                        .iter()
+                        .filter(|w| w.cta == cta && !w.done)
+                        .map(|w| w.barrier_release)
+                        .max()
+                        .unwrap_or(t);
+                    for w in warps.iter_mut().filter(|w| w.cta == cta && !w.done) {
+                        w.at_barrier = false;
+                        w.next_free = w.next_free.max(release);
+                    }
+                }
+            }
+            // CTA completion: free its memory and admit the next block.
+            // (memory counters are folded into stats on exit below)
+            if warps[wi].done {
+                let c = warps[wi].cta;
+                ctas[c].warps_left -= 1;
+                if ctas[c].warps_left == 0 {
+                    ctas[c].lanes = Vec::new();
+                    ctas[c].shared = Vec::new();
+                    if let Some(b) = pending.next() {
+                        let start = self.last_event.max(t);
+                        self.admit_cta(&mut ctas, &mut warps, b, start);
+                    }
+                }
+            }
+        }
+        self.stats.mem = self.mem.stats;
+        Ok(self.last_event)
+    }
+
+    fn admit_cta(&self, ctas: &mut Vec<Cta>, warps: &mut Vec<Warp>, grid_idx: u32, start: u64) {
+        let cta_slot = ctas.len();
+        let lanes = (0..self.launch.block.max(1))
+            .map(|_| LaneState {
+                onchip: vec![0u32; self.onchip_words],
+                local: vec![0u8; self.local_words * 4],
+                preds: [false; NUM_PRED_REGS as usize],
+            })
+            .collect();
+        ctas.push(Cta {
+            grid_idx,
+            lanes,
+            shared: vec![0u8; self.prog.module.user_smem_bytes as usize],
+            warps_left: self.warps_per_block as usize,
+        });
+        for w in 0..self.warps_per_block {
+            let lanes_in_warp = (self.launch.block - w * 32).min(32);
+            let alive = if lanes_in_warp == 32 {
+                FULL_MASK
+            } else {
+                (1u32 << lanes_in_warp) - 1
+            };
+            warps.push(Warp {
+                cta: cta_slot,
+                warp_in_block: w,
+                frames: vec![Frame {
+                    func: self.prog.module.entry,
+                    stack: vec![SimtEntry {
+                        block: BlockId(0),
+                        idx: 0,
+                        reconv: None,
+                        mask: alive,
+                    }],
+                }],
+                alive,
+                done: false,
+                at_barrier: false,
+                barrier_release: 0,
+                next_free: start,
+                onchip_ready: vec![0; self.onchip_words],
+                local_ready: vec![0; self.local_words],
+                pred_ready: [0; NUM_PRED_REGS as usize],
+            });
+        }
+    }
+
+    fn warp_ready_time(&self, w: &Warp) -> u64 {
+        let mut t = w.next_free;
+        let frame = w.frames.last().expect("live warp has a frame");
+        let tos = frame.stack.last().expect("live warp has a path");
+        let mf = self.prog.module.func(frame.func);
+        let blk = &mf.blocks[tos.block.0 as usize];
+        if tos.idx < blk.insts.len() {
+            let inst = &blk.insts[tos.idx];
+            for s in &inst.srcs {
+                if let MOperand::Loc(l) = s {
+                    t = t.max(self.loc_ready(w, *l));
+                }
+            }
+            if let Some(p) = inst.pred {
+                t = t.max(w.pred_ready[p.0 as usize]);
+            }
+            if let Some(p) = inst.sel_pred {
+                t = t.max(w.pred_ready[p.0 as usize]);
+            }
+        } else if let Terminator::Branch { pred, .. } = &blk.term {
+            t = t.max(w.pred_ready[pred.0 as usize]);
+        }
+        t
+    }
+
+    fn loc_ready(&self, w: &Warp, l: MLoc) -> u64 {
+        let mut t = 0;
+        for k in 0..l.width.words() {
+            let idx = usize::from(l.slot + k);
+            t = t.max(match l.place {
+                Place::Onchip => w.onchip_ready.get(idx).copied().unwrap_or(0),
+                Place::Local => w.local_ready.get(idx).copied().unwrap_or(0),
+            });
+        }
+        t
+    }
+
+    fn set_loc_ready(&self, w: &mut Warp, l: MLoc, t: u64) {
+        for k in 0..l.width.words() {
+            let idx = usize::from(l.slot + k);
+            match l.place {
+                Place::Onchip => {
+                    if idx < w.onchip_ready.len() {
+                        w.onchip_ready[idx] = t;
+                    }
+                }
+                Place::Local => {
+                    if idx < w.local_ready.len() {
+                        w.local_ready[idx] = t;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Words of an on-chip location that live in the shared-memory
+    /// region (absolute slot ≥ register budget).
+    fn smem_words(&self, l: MLoc) -> u32 {
+        if l.place != Place::Onchip {
+            return 0;
+        }
+        let boundary = self.prog.module.regs_per_thread;
+        (0..l.width.words())
+            .filter(|k| l.slot + k >= boundary)
+            .count() as u32
+    }
+
+    fn read_loc(lane: &LaneState, l: MLoc) -> Val {
+        let mut v = Val::default();
+        for k in 0..l.width.words() as usize {
+            let idx = usize::from(l.slot) + k;
+            v.w[k] = match l.place {
+                Place::Onchip => lane.onchip[idx],
+                Place::Local => {
+                    let b = idx * 4;
+                    u32::from_le_bytes(lane.local[b..b + 4].try_into().expect("local word"))
+                }
+            };
+        }
+        v
+    }
+
+    fn write_loc(lane: &mut LaneState, l: MLoc, v: Val) {
+        for k in 0..l.width.words() as usize {
+            let idx = usize::from(l.slot) + k;
+            match l.place {
+                Place::Onchip => lane.onchip[idx] = v.w[k],
+                Place::Local => {
+                    let b = idx * 4;
+                    lane.local[b..b + 4].copy_from_slice(&v.w[k].to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn operand(&self, lane: &LaneState, op: &MOperand, cta_grid: u32, tid: u32) -> Val {
+        match op {
+            MOperand::Loc(l) => Self::read_loc(lane, *l),
+            MOperand::Imm(i) => Val::scalar(*i as u32),
+            MOperand::Param(p) => {
+                Val::scalar(self.params.get(*p as usize).copied().unwrap_or(0))
+            }
+            MOperand::Special(s) => Val::scalar(match s {
+                SpecialReg::TidX => tid,
+                SpecialReg::CtaIdX => cta_grid,
+                SpecialReg::NTidX => self.launch.block,
+                SpecialReg::NCtaIdX => self.launch.grid,
+                SpecialReg::LaneId => tid % 32,
+                SpecialReg::WarpId => tid / 32,
+            }),
+        }
+    }
+
+    /// Interleaved local-memory address of `word` for a thread, unique
+    /// per (grid block, thread): warp accesses to one spill word coalesce
+    /// into a single 128-byte line.
+    fn local_addr(&self, grid_idx: u32, tid: u32, word: usize) -> u64 {
+        (u64::from(grid_idx) << 32)
+            | ((word as u64 * u64::from(self.launch.block) + u64::from(tid)) * 4)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step_warp(
+        &mut self,
+        warps: &mut [Warp],
+        wi: usize,
+        ctas: &mut [Cta],
+        t: u64,
+    ) -> Result<(), SimError> {
+        let w = &mut warps[wi];
+        let frame_idx = w.frames.len() - 1;
+        let (func_id, tos) = {
+            let f = &w.frames[frame_idx];
+            (f.func, f.stack.last().expect("path").clone())
+        };
+        let mf = self.prog.module.func(func_id);
+        let blk = &mf.blocks[tos.block.0 as usize];
+        let mask = tos.mask & w.alive;
+        if mask == 0 {
+            // All lanes of this path have exited: discard the path and
+            // unwind empty frames. Never happens for the bottom entry of
+            // a warp with live lanes.
+            let stack = &mut w.frames[frame_idx].stack;
+            stack.pop();
+            if stack.is_empty() {
+                if w.frames.len() > 1 {
+                    w.frames.pop();
+                } else {
+                    w.done = true;
+                }
+            }
+            w.next_free = t + 1;
+            return Ok(());
+        }
+        let cta = &mut ctas[w.cta];
+        let warp_base_tid = w.warp_in_block * 32;
+
+        if tos.idx >= blk.insts.len() {
+            // ---- terminator ----
+            w.next_free = t + 1;
+            self.last_event = self.last_event.max(t + 1);
+            match blk.term.clone() {
+                Terminator::Jump(target) => {
+                    self.transfer(w, frame_idx, target);
+                }
+                Terminator::Branch { pred, neg, then_bb, else_bb } => {
+                    let mut t_mask = 0u32;
+                    for lane in 0..32u32 {
+                        if mask & (1 << lane) != 0 {
+                            let p = cta.lanes[(warp_base_tid + lane) as usize].preds
+                                [pred.0 as usize]
+                                ^ neg;
+                            if p {
+                                t_mask |= 1 << lane;
+                            }
+                        }
+                    }
+                    let nt_mask = mask & !t_mask;
+                    if nt_mask == 0 {
+                        self.transfer(w, frame_idx, then_bb);
+                    } else if t_mask == 0 {
+                        self.transfer(w, frame_idx, else_bb);
+                    } else {
+                        let reconv = self.prog.ipdom[func_id.0 as usize][tos.block.0 as usize];
+                        let stack = &mut w.frames[frame_idx].stack;
+                        // Current entry becomes the reconvergence entry.
+                        let top = stack.last_mut().expect("path");
+                        if let Some(r) = reconv {
+                            top.block = r;
+                            top.idx = 0;
+                            // Pending else-path, then taken path on top.
+                            if Some(else_bb) != reconv {
+                                stack.push(SimtEntry {
+                                    block: else_bb,
+                                    idx: 0,
+                                    reconv,
+                                    mask: nt_mask,
+                                });
+                            }
+                            if Some(then_bb) != reconv {
+                                stack.push(SimtEntry {
+                                    block: then_bb,
+                                    idx: 0,
+                                    reconv,
+                                    mask: t_mask,
+                                });
+                            }
+                        } else {
+                            // Paths never reconverge (both exit): replace
+                            // the entry with two independent paths.
+                            stack.pop();
+                            stack.push(SimtEntry {
+                                block: else_bb,
+                                idx: 0,
+                                reconv: None,
+                                mask: nt_mask,
+                            });
+                            stack.push(SimtEntry {
+                                block: then_bb,
+                                idx: 0,
+                                reconv: None,
+                                mask: t_mask,
+                            });
+                        }
+                    }
+                }
+                Terminator::Ret => {
+                    w.frames.pop();
+                    debug_assert!(!w.frames.is_empty(), "ret from kernel frame");
+                }
+                Terminator::Exit => {
+                    w.alive &= !mask;
+                    let stack = &mut w.frames[frame_idx].stack;
+                    stack.pop();
+                    if stack.is_empty() || w.alive == 0 {
+                        w.done = true;
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        // ---- instruction ----
+        let inst: &MInst = &blk.insts[tos.idx];
+        w.frames[frame_idx].stack.last_mut().expect("path").idx += 1;
+        self.stats.warp_insts += 1;
+        self.stats.thread_insts += u64::from(mask.count_ones());
+        if inst.is_stack_move {
+            self.stats.stack_moves += 1;
+        }
+
+        // Timing: operand readiness is folded into scheduling; compute
+        // the completion latency here.
+        let mut issue_cost = 1u64;
+        let mut result_latency = self.dev.alu_latency;
+
+        // Private smem-slot operand penalties.
+        let mut smem_words = 0u32;
+        for s in &inst.srcs {
+            if let MOperand::Loc(l) = s {
+                smem_words += self.smem_words(*l);
+            }
+        }
+        if let Some(d) = inst.dst {
+            smem_words += self.smem_words(d);
+        }
+        if smem_words > 0 {
+            self.stats.smem_slot_accesses += u64::from(smem_words) * u64::from(mask.count_ones());
+            result_latency += self.dev.smem_latency;
+        }
+
+        // Local-slot operand traffic (spills): one transaction per word.
+        let mut local_ready_max = t;
+        let handle_local = |me: &mut Self, l: MLoc, grid_idx: u32| -> u64 {
+            let mut done = t;
+            for k in 0..l.width.words() {
+                let addr = me.local_addr(grid_idx, warp_base_tid, usize::from(l.slot + k));
+                let c = me.mem.access(addr, t, MemKind::Local);
+                me.stats.local_transactions += 1;
+                done = done.max(c);
+            }
+            done
+        };
+        if inst.op != Opcode::Bar {
+            for s in &inst.srcs {
+                if let MOperand::Loc(l) = s {
+                    if l.place == Place::Local {
+                        local_ready_max = local_ready_max.max(handle_local(self, *l, cta.grid_idx));
+                    }
+                }
+            }
+        }
+
+        let cta_grid = cta.grid_idx;
+        match &inst.op {
+            Opcode::Bar => {
+                w.at_barrier = true;
+                w.barrier_release = t + 1;
+                w.next_free = t + 1;
+                self.stats.barriers += 1;
+                self.last_event = self.last_event.max(t + 1);
+                Ok(())
+            }
+            Opcode::Call(callee) => {
+                w.frames.push(Frame {
+                    func: *callee,
+                    stack: vec![SimtEntry {
+                        block: BlockId(0),
+                        idx: 0,
+                        reconv: None,
+                        mask,
+                    }],
+                });
+                w.next_free = t + 1;
+                self.last_event = self.last_event.max(t + 1);
+                Ok(())
+            }
+            Opcode::Ld { space, width, offset } => {
+                // Gather per-lane addresses.
+                let mut completions = t;
+                let mut addrs: Vec<u64> = Vec::with_capacity(32);
+                for lane in 0..32u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let tid = warp_base_tid + lane;
+                    let lane_state = &cta.lanes[tid as usize];
+                    if let Some(p) = inst.pred {
+                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                            continue;
+                        }
+                    }
+                    let base = self.operand(lane_state, &inst.srcs[0], cta_grid, tid).as_i32();
+                    let addr = (i64::from(base) + i64::from(*offset)) as u64;
+                    addrs.push(addr);
+                }
+                match space {
+                    MemSpace::Global => {
+                        let lines = self.mem.coalesce(
+                            addrs
+                                .iter()
+                                .flat_map(|&a| (0..width.words()).map(move |k| a + u64::from(k) * 4)),
+                        );
+                        for line in lines {
+                            let c = self.mem.access(line, t, MemKind::Global);
+                            completions = completions.max(c);
+                        }
+                        result_latency = 0; // completion-driven
+                    }
+                    MemSpace::Shared => {
+                        // Bank conflicts: 32 banks of 4 bytes; lanes
+                        // reading the *same* word broadcast (no conflict),
+                        // so count distinct words per bank.
+                        let mut words: Vec<u64> = addrs
+                            .iter()
+                            .flat_map(|&a| (0..width.words()).map(move |k| a / 4 + u64::from(k)))
+                            .collect();
+                        words.sort_unstable();
+                        words.dedup();
+                        let mut per_bank = [0u32; 32];
+                        for w in words {
+                            per_bank[(w % 32) as usize] += 1;
+                        }
+                        let degree = u64::from(*per_bank.iter().max().unwrap_or(&1)).max(1);
+                        self.stats.shared_mem_accesses += degree;
+                        self.stats.bank_conflict_extra += (degree - 1) * 2;
+                        completions = completions.max(t + self.dev.smem_latency + (degree - 1) * 2);
+                        result_latency = 0;
+                        issue_cost = degree.min(8);
+                    }
+                    MemSpace::Local => {
+                        for &a in &addrs {
+                            let c = self.mem.access(a, t, MemKind::Local);
+                            completions = completions.max(c);
+                            self.stats.local_transactions += 1;
+                        }
+                        result_latency = 0;
+                    }
+                }
+                // Execute values.
+                for lane in 0..32u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let tid = warp_base_tid + lane;
+                    if let Some(p) = inst.pred {
+                        if !(cta.lanes[tid as usize].preds[p.0 as usize] ^ inst.pred_neg) {
+                            continue;
+                        }
+                    }
+                    let base = self
+                        .operand(&cta.lanes[tid as usize], &inst.srcs[0], cta_grid, tid)
+                        .as_i32();
+                    let addr = (i64::from(base) + i64::from(*offset)) as u64;
+                    let v = match space {
+                        MemSpace::Global => read_bytes(self.global, addr, *width)
+                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
+                        MemSpace::Shared => read_bytes(&cta.shared, addr, *width)
+                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
+                        MemSpace::Local => read_bytes(&cta.lanes[tid as usize].local, addr, *width)
+                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
+                    };
+                    if let Some(d) = inst.dst {
+                        Self::write_loc(&mut cta.lanes[tid as usize], d, v);
+                    }
+                }
+                let done = completions.max(local_ready_max) + result_latency;
+                if let Some(d) = inst.dst {
+                    let dl = handle_local_dst(self, d, cta_grid, warp_base_tid, done);
+                    self.set_loc_ready(w, d, dl);
+                }
+                w.next_free = t + issue_cost;
+                self.last_event = self.last_event.max(done);
+                Ok(())
+            }
+            Opcode::St { space, width, offset } => {
+                let mut addrs: Vec<u64> = Vec::with_capacity(32);
+                for lane in 0..32u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let tid = warp_base_tid + lane;
+                    let lane_state = &cta.lanes[tid as usize];
+                    if let Some(p) = inst.pred {
+                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                            continue;
+                        }
+                    }
+                    let base = self.operand(lane_state, &inst.srcs[0], cta_grid, tid).as_i32();
+                    let addr = (i64::from(base) + i64::from(*offset)) as u64;
+                    let v = self.operand(lane_state, &inst.srcs[1], cta_grid, tid);
+                    match space {
+                        MemSpace::Global => write_bytes(self.global, addr, *width, v)
+                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
+                        MemSpace::Shared => write_bytes(&mut cta.shared, addr, *width, v)
+                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
+                        MemSpace::Local => {
+                            write_bytes(&mut cta.lanes[tid as usize].local, addr, *width, v)
+                                .ok_or(SimError::OutOfBounds { space: *space, addr })?
+                        }
+                    }
+                    addrs.push(addr);
+                }
+                // Bandwidth accounting (fire-and-forget stores).
+                match space {
+                    MemSpace::Global => {
+                        let lines = self.mem.coalesce(
+                            addrs
+                                .iter()
+                                .flat_map(|&a| (0..width.words()).map(move |k| a + u64::from(k) * 4)),
+                        );
+                        for line in lines {
+                            self.mem.access(line, t, MemKind::Global);
+                        }
+                    }
+                    MemSpace::Shared => {
+                        let mut words: Vec<u64> = addrs
+                            .iter()
+                            .flat_map(|&a| (0..width.words()).map(move |k| a / 4 + u64::from(k)))
+                            .collect();
+                        words.sort_unstable();
+                        words.dedup();
+                        let mut per_bank = [0u32; 32];
+                        for w in words {
+                            per_bank[(w % 32) as usize] += 1;
+                        }
+                        let degree = u64::from(*per_bank.iter().max().unwrap_or(&1)).max(1);
+                        self.stats.shared_mem_accesses += degree;
+                        self.stats.bank_conflict_extra += (degree - 1) * 2;
+                        issue_cost = degree.min(8);
+                    }
+                    MemSpace::Local => {
+                        for &a in &addrs {
+                            self.mem.access(a, t, MemKind::Local);
+                            self.stats.local_transactions += 1;
+                        }
+                    }
+                }
+                w.next_free = t + issue_cost;
+                self.last_event = self.last_event.max(t + issue_cost);
+                Ok(())
+            }
+            Opcode::ISetp(_) | Opcode::FSetp(_) => {
+                for lane in 0..32u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let tid = warp_base_tid + lane;
+                    let lane_state = &cta.lanes[tid as usize];
+                    if let Some(p) = inst.pred {
+                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                            continue;
+                        }
+                    }
+                    let s: Vec<Val> = inst
+                        .srcs
+                        .iter()
+                        .map(|o| self.operand(lane_state, o, cta_grid, tid))
+                        .collect();
+                    let r = eval_setp(&inst.op, &s);
+                    let p = inst.pdst.expect("setp pdst");
+                    cta.lanes[tid as usize].preds[p.0 as usize] = r;
+                }
+                let done = local_ready_max.max(t) + result_latency;
+                if let Some(p) = inst.pdst {
+                    w.pred_ready[p.0 as usize] = done;
+                }
+                w.next_free = t + issue_cost;
+                self.last_event = self.last_event.max(done);
+                Ok(())
+            }
+            _ => {
+                // ALU / Mov / Sel / conversions (incl. Nop).
+                for lane in 0..32u32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let tid = warp_base_tid + lane;
+                    let lane_state = &cta.lanes[tid as usize];
+                    if let Some(p) = inst.pred {
+                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                            continue;
+                        }
+                    }
+                    if inst.op == Opcode::Nop {
+                        continue;
+                    }
+                    let s: Vec<Val> = inst
+                        .srcs
+                        .iter()
+                        .map(|o| self.operand(lane_state, o, cta_grid, tid))
+                        .collect();
+                    let v = if inst.op == Opcode::Sel {
+                        let p = inst.sel_pred.expect("sel pred");
+                        if lane_state.preds[p.0 as usize] {
+                            s[0]
+                        } else {
+                            s[1]
+                        }
+                    } else {
+                        eval_alu(&inst.op, &s)
+                    };
+                    if let Some(d) = inst.dst {
+                        Self::write_loc(&mut cta.lanes[tid as usize], d, v);
+                    }
+                }
+                let done = local_ready_max.max(t) + result_latency;
+                if let Some(d) = inst.dst {
+                    let dl = handle_local_dst(self, d, cta_grid, warp_base_tid, done);
+                    self.set_loc_ready(w, d, dl);
+                }
+                w.next_free = t + issue_cost;
+                self.last_event = self.last_event.max(done);
+                Ok(())
+            }
+        }
+    }
+
+    /// Jump / fall-through transfer with reconvergence-pop handling.
+    fn transfer(&self, w: &mut Warp, frame_idx: usize, target: BlockId) {
+        let stack = &mut w.frames[frame_idx].stack;
+        let tos = stack.last().expect("path");
+        if tos.reconv == Some(target) {
+            stack.pop();
+            debug_assert!(!stack.is_empty(), "reconvergence under empty stack");
+        } else {
+            let tos = stack.last_mut().expect("path");
+            tos.block = target;
+            tos.idx = 0;
+        }
+    }
+}
+
+/// Store traffic for a local-memory destination; returns the readiness.
+fn handle_local_dst(
+    me: &mut SmEngine,
+    d: MLoc,
+    grid_idx: u32,
+    warp_base_tid: u32,
+    done: u64,
+) -> u64 {
+    if d.place != Place::Local {
+        return done;
+    }
+    let mut c = done;
+    for k in 0..d.width.words() {
+        let addr = me.local_addr(grid_idx, warp_base_tid, usize::from(d.slot + k));
+        let a = me.mem.access(addr, done, MemKind::Local);
+        me.stats.local_transactions += 1;
+        c = c.max(a);
+    }
+    c
+}
+
+fn read_bytes(buf: &[u8], addr: u64, width: Width) -> Option<Val> {
+    let n = width.bytes() as usize;
+    let a = addr as usize;
+    if a.checked_add(n)? > buf.len() {
+        return None;
+    }
+    let mut v = Val::default();
+    for (i, chunk) in buf[a..a + n].chunks(4).enumerate() {
+        let mut w = [0u8; 4];
+        w[..chunk.len()].copy_from_slice(chunk);
+        v.w[i] = u32::from_le_bytes(w);
+    }
+    Some(v)
+}
+
+fn write_bytes(buf: &mut [u8], addr: u64, width: Width, v: Val) -> Option<()> {
+    let n = width.bytes() as usize;
+    let a = addr as usize;
+    if a.checked_add(n)? > buf.len() {
+        return None;
+    }
+    for i in 0..width.words() as usize {
+        let bytes = v.w[i].to_le_bytes();
+        let take = (n - i * 4).min(4);
+        buf[a + i * 4..a + i * 4 + take].copy_from_slice(&bytes[..take]);
+    }
+    Some(())
+}

@@ -1,0 +1,226 @@
+//! The occupancy calculator (Equation 1 + NVIDIA-calculator rounding).
+//!
+//! Occupancy = active warps / maximum schedulable warps, limited by four
+//! resources: the block-count cap, the thread/warp caps, the register
+//! file (with per-warp allocation granularity), and shared memory.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Resource usage of one compiled kernel at launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelResources {
+    /// Registers per thread.
+    pub regs_per_thread: u16,
+    /// Shared memory per block in bytes (user arrays + allocator slots).
+    pub smem_per_block: u32,
+    /// Threads per block.
+    pub block_size: u32,
+}
+
+/// Occupancy outcome for a kernel on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyInfo {
+    /// Resident blocks per SM.
+    pub active_blocks: u32,
+    /// Resident warps per SM.
+    pub active_warps: u32,
+    /// `active_warps / max_warps_per_sm` — the paper's occupancy.
+    pub occupancy: f64,
+    /// Which resource limited the occupancy.
+    pub limiter: Limiter,
+}
+
+/// The binding resource constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    Blocks,
+    Threads,
+    Registers,
+    SharedMemory,
+}
+
+/// Compute occupancy of `res` on `dev` (NVIDIA occupancy calculator
+/// semantics: block-granular residency, per-warp register rounding).
+pub fn occupancy(dev: &DeviceSpec, res: &KernelResources) -> OccupancyInfo {
+    let warps_per_block = res.block_size.div_ceil(dev.warp_size);
+    let by_blocks = dev.max_blocks_per_sm;
+    let by_threads = (dev.max_threads_per_sm / res.block_size.max(1))
+        .min(dev.max_warps_per_sm / warps_per_block.max(1));
+    let by_regs = if res.regs_per_thread == 0 {
+        u32::MAX
+    } else {
+        // Registers are allocated per warp, rounded up to the granularity.
+        let regs_per_warp = (u32::from(res.regs_per_thread) * dev.warp_size)
+            .div_ceil(dev.reg_alloc_granularity)
+            * dev.reg_alloc_granularity;
+        let warps_by_regs = dev.regs_per_sm / regs_per_warp;
+        warps_by_regs / warps_per_block.max(1)
+    };
+    let by_smem = if res.smem_per_block == 0 {
+        u32::MAX
+    } else {
+        dev.smem_per_sm() / res.smem_per_block
+    };
+    let active_blocks = by_blocks.min(by_threads).min(by_regs).min(by_smem);
+    let limiter = if active_blocks == by_smem && by_smem <= by_regs && by_smem <= by_threads {
+        Limiter::SharedMemory
+    } else if active_blocks == by_regs && by_regs <= by_threads {
+        Limiter::Registers
+    } else if active_blocks == by_threads {
+        Limiter::Threads
+    } else {
+        Limiter::Blocks
+    };
+    let active_warps = (active_blocks * warps_per_block).min(dev.max_warps_per_sm);
+    OccupancyInfo {
+        active_blocks,
+        active_warps,
+        occupancy: f64::from(active_warps) / f64::from(dev.max_warps_per_sm),
+        limiter,
+    }
+}
+
+/// Largest register count per thread that still sustains `target_warps`
+/// resident warps for the given block size and shared-memory usage, or
+/// `None` if the target is unreachable regardless of registers.
+pub fn max_regs_for_warps(
+    dev: &DeviceSpec,
+    target_warps: u32,
+    block_size: u32,
+    smem_per_block: u32,
+) -> Option<u16> {
+    let mut best = None;
+    for regs in 1..=dev.max_regs_per_thread {
+        let info = occupancy(
+            dev,
+            &KernelResources {
+                regs_per_thread: regs,
+                smem_per_block,
+                block_size,
+            },
+        );
+        if info.active_warps >= target_warps {
+            best = Some(regs);
+        }
+    }
+    best
+}
+
+/// All achievable occupancy levels (distinct active-warp counts) for a
+/// block size, sweeping registers per thread from the hardware max down
+/// to 1 — the discrete tuning space of the paper's Figures 1/2/10/14/15.
+pub fn achievable_warp_levels(dev: &DeviceSpec, block_size: u32, smem_per_block: u32) -> Vec<u32> {
+    let mut levels: Vec<u32> = (1..=dev.max_regs_per_thread)
+        .map(|r| {
+            occupancy(
+                dev,
+                &KernelResources {
+                    regs_per_thread: r,
+                    smem_per_block,
+                    block_size,
+                },
+            )
+            .active_warps
+        })
+        .collect();
+    levels.sort_unstable();
+    levels.dedup();
+    levels.retain(|&w| w > 0);
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation1_basic() {
+        // GTX680, 256-thread blocks, 32 regs/thread, no smem:
+        // regs/warp = 1024, warps by regs = 64 → full occupancy.
+        let dev = DeviceSpec::gtx680();
+        let info = occupancy(
+            &dev,
+            &KernelResources { regs_per_thread: 32, smem_per_block: 0, block_size: 256 },
+        );
+        assert_eq!(info.active_warps, 64);
+        assert!((info.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_limited() {
+        // 63 regs/thread on GTX680: 63*32=2016 → rounds to 2048/warp;
+        // 65536/2048 = 32 warps = 50% occupancy.
+        let dev = DeviceSpec::gtx680();
+        let info = occupancy(
+            &dev,
+            &KernelResources { regs_per_thread: 63, smem_per_block: 0, block_size: 256 },
+        );
+        assert_eq!(info.active_warps, 32);
+        assert_eq!(info.limiter, Limiter::Registers);
+        assert!((info.occupancy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smem_limited() {
+        // 24 KB smem per block with 48 KB per SM: 2 blocks.
+        let dev = DeviceSpec::c2075();
+        let info = occupancy(
+            &dev,
+            &KernelResources { regs_per_thread: 16, smem_per_block: 24 * 1024, block_size: 256 },
+        );
+        assert_eq!(info.active_blocks, 2);
+        assert_eq!(info.limiter, Limiter::SharedMemory);
+        assert_eq!(info.active_warps, 16);
+    }
+
+    #[test]
+    fn block_rounding_matters() {
+        // Block of 192 threads (6 warps) on C2075 (48 warps max): the
+        // thread limit allows 8 blocks = 48 warps, but 1536/192 = 8 → ok;
+        // with 352 threads (11 warps): 48/11 = 4 blocks = 44 warps.
+        let dev = DeviceSpec::c2075();
+        let info = occupancy(
+            &dev,
+            &KernelResources { regs_per_thread: 16, smem_per_block: 0, block_size: 352 },
+        );
+        assert_eq!(info.active_blocks, 4);
+        assert_eq!(info.active_warps, 44);
+    }
+
+    #[test]
+    fn max_regs_for_warps_inverse() {
+        let dev = DeviceSpec::gtx680();
+        // Full occupancy needs ≤ 32 regs/thread.
+        let r = max_regs_for_warps(&dev, 64, 256, 0).unwrap();
+        assert_eq!(r, 32);
+        // Half occupancy allows up to the hardware cap.
+        let r = max_regs_for_warps(&dev, 32, 256, 0).unwrap();
+        assert_eq!(r, 63);
+        // More than the hardware maximum warps: impossible.
+        assert!(max_regs_for_warps(&dev, 65, 256, 0).is_none());
+    }
+
+    #[test]
+    fn achievable_levels_are_monotone_targets() {
+        let dev = DeviceSpec::c2075();
+        let levels = achievable_warp_levels(&dev, 256, 0);
+        assert!(levels.contains(&48), "{levels:?}");
+        assert!(levels.len() >= 4);
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn occupancy_monotone_in_registers() {
+        let dev = DeviceSpec::c2075();
+        let mut prev = u32::MAX;
+        for regs in 1..=63u16 {
+            let info = occupancy(
+                &dev,
+                &KernelResources { regs_per_thread: regs, smem_per_block: 0, block_size: 192 },
+            );
+            assert!(info.active_warps <= prev);
+            prev = info.active_warps;
+        }
+    }
+}

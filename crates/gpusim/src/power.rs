@@ -1,0 +1,168 @@
+//! Power and energy model (§4.2, Figure 13).
+//!
+//! The paper's energy saving comes from one mechanism: at lower
+//! occupancy the powered fraction of the register file (and the per-warp
+//! scheduling structures) shrinks while runtime stays flat, so static
+//! energy drops. The model therefore splits power into
+//!
+//! * a device static floor,
+//! * register-file leakage proportional to *allocated* registers
+//!   (`active warps × 32 × regs/thread`),
+//! * dynamic energy per executed instruction and per memory event.
+//!
+//! Absolute numbers are calibrated to a Fermi-class ~200 W card; only
+//! ratios are meaningful, as in EXPERIMENTS.md.
+
+use crate::device::DeviceSpec;
+use crate::exec::SimStats;
+use crate::occupancy::OccupancyInfo;
+use serde::{Deserialize, Serialize};
+
+/// Energy model coefficients. Units: picojoules per event, watts-like
+/// power in pJ/cycle (the time base is the core clock).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static device power, pJ per cycle per SM.
+    pub static_pj_per_cycle_sm: f64,
+    /// Register-file leakage, pJ per cycle per allocated 32-bit register.
+    pub regfile_pj_per_cycle_reg: f64,
+    /// Dynamic energy per warp instruction, pJ.
+    pub inst_pj: f64,
+    /// Per private shared-memory slot word access, pJ.
+    pub smem_slot_pj: f64,
+    /// Per user shared-memory transaction, pJ.
+    pub shared_pj: f64,
+    /// Per L1 access, pJ.
+    pub l1_pj: f64,
+    /// Per L2 access, pJ.
+    pub l2_pj: f64,
+    /// Per DRAM byte, pJ.
+    pub dram_pj_per_byte: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            static_pj_per_cycle_sm: 6_000.0,
+            regfile_pj_per_cycle_reg: 0.02,
+            inst_pj: 120.0,
+            smem_slot_pj: 25.0,
+            shared_pj: 35.0,
+            l1_pj: 40.0,
+            l2_pj: 90.0,
+            dram_pj_per_byte: 25.0,
+        }
+    }
+}
+
+/// Energy accounting of one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Static (occupancy-independent) energy, pJ.
+    pub static_pj: f64,
+    /// Register-file leakage energy, pJ (occupancy-dependent).
+    pub regfile_pj: f64,
+    /// Dynamic (event) energy, pJ.
+    pub dynamic_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy, pJ.
+    pub fn total(&self) -> f64 {
+        self.static_pj + self.regfile_pj + self.dynamic_pj
+    }
+}
+
+/// Energy of a launch that ran for `cycles` with the given counters and
+/// occupancy, using `regs_per_thread` registers per thread.
+pub fn energy(
+    model: &PowerModel,
+    dev: &DeviceSpec,
+    stats: &SimStats,
+    cycles: u64,
+    occ: &OccupancyInfo,
+    regs_per_thread: u16,
+) -> EnergyReport {
+    let cycles_f = cycles as f64;
+    let static_pj = model.static_pj_per_cycle_sm * f64::from(dev.num_sms) * cycles_f;
+    // Allocated registers per SM: resident warps × 32 lanes × regs.
+    let allocated = f64::from(occ.active_warps)
+        * f64::from(dev.warp_size)
+        * f64::from(regs_per_thread);
+    let regfile_pj =
+        model.regfile_pj_per_cycle_reg * allocated * f64::from(dev.num_sms) * cycles_f;
+    let dynamic_pj = model.inst_pj * stats.warp_insts as f64
+        + model.smem_slot_pj * stats.smem_slot_accesses as f64
+        + model.shared_pj * stats.shared_mem_accesses as f64
+        + model.l1_pj * (stats.mem.l1_hits + stats.mem.l1_misses) as f64
+        + model.l2_pj * (stats.mem.l2_hits + stats.mem.l2_misses) as f64
+        + model.dram_pj_per_byte * stats.mem.dram_bytes as f64;
+    EnergyReport {
+        static_pj,
+        regfile_pj,
+        dynamic_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::Limiter;
+
+    fn occ(warps: u32) -> OccupancyInfo {
+        OccupancyInfo {
+            active_blocks: warps / 8,
+            active_warps: warps,
+            occupancy: f64::from(warps) / 48.0,
+            limiter: Limiter::Registers,
+        }
+    }
+
+    #[test]
+    fn lower_occupancy_same_runtime_saves_energy() {
+        let dev = DeviceSpec::c2075();
+        let model = PowerModel::default();
+        let stats = SimStats::default();
+        let high = energy(&model, &dev, &stats, 1_000_000, &occ(48), 20);
+        let low = energy(&model, &dev, &stats, 1_000_000, &occ(24), 20);
+        assert!(low.total() < high.total());
+        assert_eq!(low.static_pj, high.static_pj);
+        assert!(low.regfile_pj < high.regfile_pj);
+    }
+
+    #[test]
+    fn longer_runtime_costs_more() {
+        let dev = DeviceSpec::c2075();
+        let model = PowerModel::default();
+        let stats = SimStats::default();
+        let fast = energy(&model, &dev, &stats, 1_000_000, &occ(48), 20);
+        let slow = energy(&model, &dev, &stats, 2_000_000, &occ(48), 20);
+        assert!(slow.total() > fast.total());
+    }
+
+    #[test]
+    fn dynamic_energy_counts_events() {
+        let dev = DeviceSpec::c2075();
+        let model = PowerModel::default();
+        let mut stats = SimStats::default();
+        stats.warp_insts = 1000;
+        stats.mem.dram_bytes = 128 * 100;
+        let e = energy(&model, &dev, &stats, 0, &occ(48), 20);
+        assert!(e.dynamic_pj > 0.0);
+        assert_eq!(e.static_pj, 0.0);
+    }
+
+    #[test]
+    fn regfile_share_is_meaningful_but_not_dominant() {
+        // The paper reports single-digit % savings; the leakage term must
+        // be a visible but minor share of a typical balanced run.
+        let dev = DeviceSpec::c2075();
+        let model = PowerModel::default();
+        let mut stats = SimStats::default();
+        stats.warp_insts = 2_000_000;
+        stats.mem.dram_bytes = 50_000_000;
+        let e = energy(&model, &dev, &stats, 1_000_000, &occ(48), 21);
+        let share = e.regfile_pj / e.total();
+        assert!(share > 0.03 && share < 0.20, "regfile share {share}");
+    }
+}

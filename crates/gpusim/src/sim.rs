@@ -1,0 +1,155 @@
+//! Whole-device simulation: distribute blocks over SMs, run each SM's
+//! engine, and aggregate cycles and counters.
+
+use crate::device::DeviceSpec;
+use crate::exec::{Launch, LinkedProgram, SimError, SimStats, SmEngine};
+use crate::occupancy::{occupancy, KernelResources, OccupancyInfo};
+use orion_kir::mir::MModule;
+use serde::{Deserialize, Serialize};
+
+/// Driver-level launch options.
+///
+/// * `extra_smem_per_block` pads the shared memory the driver reserves
+///   per block — the paper's §3.3 mechanism for tuning occupancy *down*
+///   without recompiling ("we can tune occupancy down by dynamically
+///   increasing shared memory usage per thread").
+/// * `cta_range` restricts the launch to a contiguous slice of the grid,
+///   used by kernel splitting (§3.4): each split invocation launches a
+///   subset of the blocks while `%nctaid` still reports the full grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LaunchOptions {
+    /// Extra shared-memory bytes the driver reserves per block.
+    pub extra_smem_per_block: u32,
+    /// `(first block, count)`; `None` = whole grid.
+    pub cta_range: Option<(u32, u32)>,
+}
+
+/// Result of one simulated kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Device completion time (max over SMs) in core cycles.
+    pub cycles: u64,
+    /// Aggregated dynamic counters.
+    pub stats: SimStats,
+    /// Occupancy achieved by this binary at this launch.
+    pub occupancy: OccupancyInfo,
+    /// Resources the driver derived from the binary.
+    pub resources: KernelResources,
+}
+
+/// Default dynamic warp-instruction budget per launch.
+pub const DEFAULT_STEP_LIMIT: u64 = 500_000_000;
+
+/// Resource footprint the driver sees for a machine module at a block
+/// size (registers per thread and shared memory per block).
+pub fn resources_of(m: &MModule, block: u32) -> KernelResources {
+    KernelResources {
+        regs_per_thread: m.regs_per_thread,
+        smem_per_block: m.smem_bytes_per_block(block),
+        block_size: block,
+    }
+}
+
+/// Simulate one kernel launch of `module` on `dev`.
+///
+/// Blocks are assigned to SMs round-robin; each SM simulates its share
+/// with the residency the occupancy calculator allows. SMs run over the
+/// same global memory sequentially (CUDA forbids inter-block
+/// communication within a launch, so values are engine-order
+/// independent for conforming kernels).
+///
+/// # Errors
+/// [`SimError::Unlaunchable`] when a block cannot fit on an SM at all;
+/// out-of-bounds accesses and deadlocks are also reported.
+pub fn run_launch(
+    dev: &DeviceSpec,
+    module: &MModule,
+    launch: Launch,
+    params: &[u32],
+    global: &mut [u8],
+) -> Result<RunResult, SimError> {
+    run_launch_opts(dev, module, launch, params, global, LaunchOptions::default())
+}
+
+/// [`run_launch`] with driver-level [`LaunchOptions`].
+///
+/// # Errors
+/// Same as [`run_launch`]; additionally rejects empty or out-of-range
+/// CTA slices.
+pub fn run_launch_opts(
+    dev: &DeviceSpec,
+    module: &MModule,
+    launch: Launch,
+    params: &[u32],
+    global: &mut [u8],
+    opts: LaunchOptions,
+) -> Result<RunResult, SimError> {
+    let mut res = resources_of(module, launch.block);
+    res.smem_per_block += opts.extra_smem_per_block;
+    let occ = occupancy(dev, &res);
+    if occ.active_blocks == 0 {
+        return Err(SimError::Unlaunchable(format!(
+            "{} regs/thread, {} B smem/block, {} threads/block on {}",
+            res.regs_per_thread, res.smem_per_block, res.block_size, dev.name
+        )));
+    }
+    if launch.block > 1024 || launch.block == 0 || launch.grid == 0 {
+        return Err(SimError::Unlaunchable(format!(
+            "grid {} x block {}",
+            launch.grid, launch.block
+        )));
+    }
+    let (first, count) = match opts.cta_range {
+        Some((f, c)) => {
+            if c == 0 || u64::from(f) + u64::from(c) > u64::from(launch.grid) {
+                return Err(SimError::Unlaunchable(format!(
+                    "cta range {f}+{c} outside grid {}",
+                    launch.grid
+                )));
+            }
+            (f, c)
+        }
+        None => (0, launch.grid),
+    };
+    let prog = LinkedProgram::new(module);
+    let mut cycles = 0u64;
+    let mut stats = SimStats::default();
+    for sm in 0..dev.num_sms {
+        let blocks: Vec<u32> = (first..first + count)
+            .filter(|b| b % dev.num_sms == sm)
+            .collect();
+        if blocks.is_empty() {
+            continue;
+        }
+        let mut engine = SmEngine::new(dev, &prog, launch, params, global, DEFAULT_STEP_LIMIT);
+        let c = engine.run(&blocks, occ.active_blocks)?;
+        cycles = cycles.max(c);
+        stats.absorb(&engine.stats);
+    }
+    Ok(RunResult {
+        cycles,
+        stats,
+        occupancy: occ,
+        resources: res,
+    })
+}
+
+impl SimStats {
+    /// Aggregate counters from another engine (SM → device).
+    pub fn absorb(&mut self, o: &SimStats) {
+        self.warp_insts += o.warp_insts;
+        self.thread_insts += o.thread_insts;
+        self.stack_moves += o.stack_moves;
+        self.smem_slot_accesses += o.smem_slot_accesses;
+        self.shared_mem_accesses += o.shared_mem_accesses;
+        self.bank_conflict_extra += o.bank_conflict_extra;
+        self.barriers += o.barriers;
+        self.local_transactions += o.local_transactions;
+        self.mem.l1_hits += o.mem.l1_hits;
+        self.mem.l1_misses += o.mem.l1_misses;
+        self.mem.l2_hits += o.mem.l2_hits;
+        self.mem.l2_misses += o.mem.l2_misses;
+        self.mem.dram_transactions += o.mem.dram_transactions;
+        self.mem.dram_bytes += o.mem.dram_bytes;
+    }
+}

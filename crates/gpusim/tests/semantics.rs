@@ -1,0 +1,328 @@
+//! Semantic-preservation tests: for a battery of kernels, the machine
+//! code produced by the allocator at *any* slot budget must compute the
+//! same global memory as the reference interpreter on the virtual IR —
+//! with spilling, shared-memory promotion, stack compression, and layout
+//! optimization all in play.
+
+use orion_alloc::realize::{allocate, AllocOptions, SlotBudget};
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::exec::Launch;
+use orion_gpusim::sim::run_launch;
+use orion_kir::builder::{build_fdiv_device, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::{Cmp, Inst, Opcode, Operand};
+use orion_kir::interp::{Interpreter, LaunchConfig};
+use orion_kir::types::{MemSpace, PredReg, SpecialReg, Width};
+use orion_kir::verify::verify;
+
+/// Run both engines and compare global memory bit-for-bit.
+fn check_equivalence(m: &Module, launch: Launch, params: &[u32], init_global: &[u8]) {
+    verify(m).expect("valid module");
+    // Reference execution on virtual registers.
+    let mut ref_global = init_global.to_vec();
+    Interpreter::new(m, params)
+        .run(
+            LaunchConfig { grid: launch.grid, block: launch.block },
+            &mut ref_global,
+        )
+        .expect("reference run");
+
+    let dev = DeviceSpec::c2075();
+    let budgets = [
+        SlotBudget { reg_slots: 63, smem_slots: 0 },
+        SlotBudget { reg_slots: 16, smem_slots: 8 },
+        SlotBudget { reg_slots: 8, smem_slots: 8 },
+        SlotBudget { reg_slots: 4, smem_slots: 2 },
+        SlotBudget { reg_slots: 2, smem_slots: 0 },
+    ];
+    let opt_sets = [
+        AllocOptions { compress_stack: true, optimize_layout: true },
+        AllocOptions { compress_stack: true, optimize_layout: false },
+        AllocOptions { compress_stack: false, optimize_layout: false },
+    ];
+    for budget in budgets {
+        for opts in &opt_sets {
+            let alloc = allocate(m, budget, opts).expect("allocation");
+            let mut global = init_global.to_vec();
+            let r = run_launch(&dev, &alloc.machine, launch, params, &mut global)
+                .expect("simulated run");
+            assert!(r.cycles > 0);
+            assert_eq!(
+                global, ref_global,
+                "mismatch at budget {budget:?} opts {opts:?} (kernel {})",
+                m.kernel().name
+            );
+        }
+    }
+}
+
+fn f32s(words: &[f32]) -> Vec<u8> {
+    words.iter().flat_map(|w| w.to_bits().to_le_bytes()).collect()
+}
+
+fn read_f32(b: &[u8], i: usize) -> f32 {
+    f32::from_bits(u32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().unwrap()))
+}
+
+#[test]
+fn high_pressure_straightline_kernel() {
+    // Many simultaneously live values force spills at small budgets.
+    let mut b = FunctionBuilder::kernel("pressure");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    // 12 live products combined at the end.
+    let vals: Vec<_> = (1..=12)
+        .map(|k| {
+            let c = b.mov_f32(k as f32);
+            b.fmul(x, c)
+        })
+        .collect();
+    let mut acc = b.mov_f32(0.0);
+    for v in vals {
+        acc = b.fadd(acc, v);
+    }
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, acc, 0);
+    let m = Module::new(b.finish());
+
+    let n = 64u32;
+    let init = f32s(&(0..2 * n).map(|i| i as f32).collect::<Vec<_>>());
+    check_equivalence(&m, Launch { grid: 2, block: 32 }, &[0, 4 * n], &init);
+}
+
+#[test]
+fn loop_kernel_with_reused_counter() {
+    // acc = sum of in[gid] * i for i in 0..8
+    let mut b = FunctionBuilder::kernel("loop");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let acc = b.mov_i32(0);
+    orion_kir::builder::build_counted_loop(
+        &mut b,
+        Operand::Imm(0),
+        Operand::Imm(8),
+        1,
+        PredReg(0),
+        |b, i| {
+            let term = b.imul(x, i);
+            b.push(Inst::new(Opcode::IAdd, Some(acc), vec![acc.into(), term.into()]));
+        },
+    );
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, acc, 0);
+    b.exit();
+    let m = Module::new(b.finish());
+
+    let n = 64u32;
+    let init: Vec<u8> = (0..2 * n).flat_map(|i| i.to_le_bytes()).collect();
+    check_equivalence(&m, Launch { grid: 2, block: 32 }, &[0, 4 * n], &init);
+}
+
+#[test]
+fn divergent_branches_and_early_exit() {
+    // if gid >= count: exit; if in[gid] odd: out = 3*in+1 else out = in/2.
+    let mut b = FunctionBuilder::kernel("collatz");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    b.isetp(Cmp::Ge, gid, Operand::Param(2), PredReg(1));
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.branch(PredReg(1), false, exit, body);
+    b.switch_to(exit);
+    b.exit();
+    b.switch_to(body);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let bit = b.and(x, Operand::Imm(1));
+    b.isetp(Cmp::Ne, bit, Operand::Imm(0), PredReg(0));
+    let odd = b.new_block();
+    let even = b.new_block();
+    let join = b.new_block();
+    let res = b.vreg(Width::W32);
+    b.branch(PredReg(0), false, odd, even);
+    b.switch_to(odd);
+    b.push(Inst::new(Opcode::IMad, Some(res), vec![x.into(), Operand::Imm(3), Operand::Imm(1)]));
+    b.jump(join);
+    b.switch_to(even);
+    b.push(Inst::new(Opcode::Shr, Some(res), vec![x.into(), Operand::Imm(1)]));
+    b.jump(join);
+    b.switch_to(join);
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, res, 0);
+    b.exit();
+    let m = Module::new(b.finish());
+
+    let n = 64u32;
+    let count = 50u32; // some threads exit early
+    let init: Vec<u8> = (0..2 * n).flat_map(|i| (i * 7 + 3).to_le_bytes()).collect();
+    check_equivalence(&m, Launch { grid: 2, block: 32 }, &[0, 4 * n, count], &init);
+}
+
+#[test]
+fn device_calls_with_live_values_across() {
+    // out = (a/b) + (b/a) + keep, exercising two calls with compression.
+    let kb = FunctionBuilder::kernel("calls");
+    let mut m = Module::new(kb.finish());
+    let fdiv = m.add_func(build_fdiv_device());
+    let mut kb = FunctionBuilder::kernel("calls");
+    let tid = kb.mov(Operand::Special(SpecialReg::TidX));
+    let cta = kb.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = kb.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = kb.imad(cta, nt, tid);
+    let addr = kb.imad(gid, Operand::Imm(8), Operand::Param(0));
+    let a = kb.ld(MemSpace::Global, Width::W32, addr, 0);
+    let bb = kb.ld(MemSpace::Global, Width::W32, addr, 4);
+    let keep = kb.fadd(a, bb);
+    let q1 = kb.call(fdiv, vec![a.into(), bb.into()], &[Width::W32]);
+    let q2 = kb.call(fdiv, vec![bb.into(), a.into()], &[Width::W32]);
+    let s = kb.fadd(q1[0], q2[0]);
+    let s2 = kb.fadd(s, keep);
+    let out = kb.imad(gid, Operand::Imm(4), Operand::Param(1));
+    kb.st(MemSpace::Global, Width::W32, out, s2, 0);
+    m.funcs[0] = kb.finish();
+
+    let n = 64u32;
+    let mut init = Vec::new();
+    for i in 0..n {
+        init.extend(f32s(&[(i + 1) as f32, (2 * i + 3) as f32]));
+    }
+    init.extend(f32s(&vec![0.0; n as usize]));
+    check_equivalence(&m, Launch { grid: 2, block: 32 }, &[0, 8 * n], &init);
+    // Sanity: the math itself.
+    let mut g = init.clone();
+    let alloc = allocate(
+        &m,
+        SlotBudget { reg_slots: 8, smem_slots: 4 },
+        &AllocOptions::default(),
+    )
+    .unwrap();
+    run_launch(
+        &DeviceSpec::gtx680(),
+        &alloc.machine,
+        Launch { grid: 2, block: 32 },
+        &[0, 8 * n],
+        &mut g,
+    )
+    .unwrap();
+    let a = 1.0f32;
+    let b_ = 3.0f32;
+    let expect = a / b_ + b_ / a + (a + b_);
+    let got = read_f32(&g[(8 * n) as usize..], 0);
+    assert!((got - expect).abs() < 1e-3, "got {got}, expect {expect}");
+}
+
+#[test]
+fn shared_memory_and_barrier_reduction() {
+    // Block-wide tree-less reduction: sh[tid] = in[gid]; bar;
+    // out[gid] = sh[tid] + sh[(tid+1) % ntid]
+    let mut b = FunctionBuilder::kernel("smem");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let saddr = b.imul(tid, Operand::Imm(4));
+    b.st(MemSpace::Shared, Width::W32, saddr, x, 0);
+    b.bar();
+    let t1 = b.iadd(tid, Operand::Imm(1));
+    // (tid+1) % ntid via compare+select.
+    b.isetp(Cmp::Ge, t1, nt, PredReg(0));
+    let wrapped = b.sel(PredReg(0), Operand::Imm(0), Operand::Reg(t1));
+    let naddr = b.imul(wrapped, Operand::Imm(4));
+    let y = b.ld(MemSpace::Shared, Width::W32, naddr, 0);
+    let s = b.iadd(x, y);
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, s, 0);
+    let mut m = Module::new(b.finish());
+    m.user_smem_bytes = 4 * 64;
+
+    let n = 128u32;
+    let init: Vec<u8> = (0..2 * n).flat_map(|i| (i * i).to_le_bytes()).collect();
+    check_equivalence(&m, Launch { grid: 2, block: 64 }, &[0, 4 * n], &init);
+}
+
+#[test]
+fn wide_values_and_doubles() {
+    // out_f64[gid] = in_f64[gid] * 2.0 + 1.0 via W64 registers.
+    let mut b = FunctionBuilder::kernel("wide");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(8), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W64, addr, 0);
+    let two = b.vreg(Width::W64);
+    let half = f64::to_bits(2.0);
+    // Build the f64 constant 2.0 by packing words.
+    let lo = b.mov_i32(half as u32 as i32);
+    let hi = b.mov_i32((half >> 32) as u32 as i32);
+    b.push(Inst::new(Opcode::Mov, Some(two), vec![Operand::Imm(0)]));
+    let t1 = b.pack(two, lo, 0);
+    let t2 = b.pack(t1, hi, 1);
+    let prod = b.dmul(x, t2);
+    let out = b.imad(gid, Operand::Imm(8), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W64, out, prod, 0);
+    let m = Module::new(b.finish());
+
+    let n = 32u32;
+    let mut init = Vec::new();
+    for i in 0..n {
+        init.extend(f64::to_bits(i as f64 * 0.5).to_le_bytes());
+    }
+    init.extend(std::iter::repeat_n(0u8, 8 * n as usize));
+    check_equivalence(&m, Launch { grid: 1, block: 32 }, &[0, 8 * n], &init);
+    // Numeric spot check through one configuration.
+    let alloc = allocate(
+        &m,
+        SlotBudget { reg_slots: 63, smem_slots: 0 },
+        &AllocOptions::default(),
+    )
+    .unwrap();
+    let mut g = init.clone();
+    run_launch(
+        &DeviceSpec::c2075(),
+        &alloc.machine,
+        Launch { grid: 1, block: 32 },
+        &[0, 8 * n],
+        &mut g,
+    )
+    .unwrap();
+    let off = (8 * n) as usize;
+    let v = f64::from_bits(u64::from_le_bytes(g[off + 8..off + 16].try_into().unwrap()));
+    assert!((v - 1.0).abs() < 1e-12, "{v}");
+}
+
+#[test]
+fn predicated_instructions() {
+    // out[gid] = x > 10 ? x - 10 : x  (via predicated subtract)
+    let mut b = FunctionBuilder::kernel("pred");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let res = b.mov(x);
+    b.isetp(Cmp::Gt, x, Operand::Imm(10), PredReg(0));
+    let mut sub = Inst::new(Opcode::ISub, Some(res), vec![res.into(), Operand::Imm(10)]);
+    sub.pred = Some(PredReg(0));
+    b.push(sub);
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, res, 0);
+    let m = Module::new(b.finish());
+
+    let n = 64u32;
+    let init: Vec<u8> = (0..2 * n).flat_map(|i| i.to_le_bytes()).collect();
+    check_equivalence(&m, Launch { grid: 2, block: 32 }, &[0, 4 * n], &init);
+}

@@ -1,0 +1,172 @@
+//! A small fixed-capacity bit set used by the dataflow analyses.
+
+use std::fmt;
+
+/// Fixed-capacity bit set over `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity (number of addressable elements).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        let newly = *w & m == 0;
+        *w |= m;
+        newly
+    }
+
+    /// Remove `i`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        let had = *w & m != 0;
+        *w &= !m;
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_and_subtract() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        b.insert(65);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 65]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn iter_order() {
+        let s: BitSet = [5usize, 3, 64, 127].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 5, 64, 127]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut s = BitSet::new(4);
+        s.insert(4);
+    }
+}

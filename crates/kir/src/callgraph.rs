@@ -1,0 +1,164 @@
+//! Call-graph construction, recursion detection, and bottom-up ordering.
+//!
+//! GPU device code forms a call DAG (no recursion: every thread has a
+//! tiny local stack). The inter-procedural allocator processes functions
+//! bottom-up so each caller knows its callees' frame sizes.
+
+use crate::function::Module;
+use crate::types::FuncId;
+
+/// Call graph of a module.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct callees per function (deduplicated, in first-call order).
+    pub callees: Vec<Vec<FuncId>>,
+    /// Direct callers per function.
+    pub callers: Vec<Vec<FuncId>>,
+}
+
+/// Error for recursive call graphs, which the GPU model forbids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecursionError {
+    /// A function participating in a call cycle.
+    pub func: FuncId,
+}
+
+impl std::fmt::Display for RecursionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "recursive call graph through {}", self.func)
+    }
+}
+
+impl std::error::Error for RecursionError {}
+
+impl CallGraph {
+    /// Build the call graph of `m`.
+    pub fn new(m: &Module) -> Self {
+        let n = m.funcs.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        for (fid, f) in m.iter_funcs() {
+            for (_, _, callee) in f.call_sites() {
+                if !callees[fid.0 as usize].contains(&callee) {
+                    callees[fid.0 as usize].push(callee);
+                    callers[callee.0 as usize].push(fid);
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions in bottom-up (callees before callers) order, restricted
+    /// to those reachable from `entry`.
+    ///
+    /// # Errors
+    /// Returns [`RecursionError`] if the reachable subgraph has a cycle.
+    pub fn bottom_up(&self, entry: FuncId) -> Result<Vec<FuncId>, RecursionError> {
+        let n = self.callees.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
+        let mut order = Vec::new();
+        // Iterative DFS with cycle detection.
+        let mut stack: Vec<(FuncId, usize)> = vec![(entry, 0)];
+        state[entry.0 as usize] = 1;
+        while let Some(&mut (f, ref mut i)) = stack.last_mut() {
+            let cs = &self.callees[f.0 as usize];
+            if *i < cs.len() {
+                let c = cs[*i];
+                *i += 1;
+                match state[c.0 as usize] {
+                    0 => {
+                        state[c.0 as usize] = 1;
+                        stack.push((c, 0));
+                    }
+                    1 => return Err(RecursionError { func: c }),
+                    _ => {}
+                }
+            } else {
+                state[f.0 as usize] = 2;
+                order.push(f);
+                stack.pop();
+            }
+        }
+        Ok(order)
+    }
+
+    /// Maximum call depth from `entry` (1 = no calls).
+    pub fn max_depth(&self, entry: FuncId) -> usize {
+        fn depth(cg: &CallGraph, f: FuncId, memo: &mut [Option<usize>]) -> usize {
+            if let Some(d) = memo[f.0 as usize] {
+                return d;
+            }
+            let d = 1 + cg.callees[f.0 as usize]
+                .iter()
+                .map(|&c| depth(cg, c, memo))
+                .max()
+                .unwrap_or(0);
+            memo[f.0 as usize] = Some(d);
+            d
+        }
+        let mut memo = vec![None; self.callees.len()];
+        depth(self, entry, &mut memo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{FuncKind, Function};
+    use crate::inst::{CallInfo, Inst, Opcode};
+    use crate::types::BlockId;
+
+    fn call_inst(target: FuncId) -> Inst {
+        let mut i = Inst::new(Opcode::Call(target), None, vec![]);
+        i.call = Some(CallInfo {
+            args: vec![],
+            rets: vec![],
+        });
+        i
+    }
+
+    fn chain_module() -> Module {
+        // kernel -> a -> b, kernel -> b
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        let a = m.add_func(Function::new("a", FuncKind::Device));
+        let b = m.add_func(Function::new("b", FuncKind::Device));
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts =
+            vec![call_inst(a), call_inst(b)];
+        m.func_mut(a).block_mut(BlockId(0)).insts = vec![call_inst(b)];
+        m
+    }
+
+    #[test]
+    fn bottom_up_order() {
+        let m = chain_module();
+        let cg = CallGraph::new(&m);
+        let order = cg.bottom_up(FuncId(0)).unwrap();
+        assert_eq!(order.last(), Some(&FuncId(0)));
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(FuncId(2)) < pos(FuncId(1)), "b before a");
+    }
+
+    #[test]
+    fn max_depth() {
+        let m = chain_module();
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.max_depth(FuncId(0)), 3);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        let a = m.add_func(Function::new("a", FuncKind::Device));
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts = vec![call_inst(a)];
+        m.func_mut(a).block_mut(BlockId(0)).insts = vec![call_inst(a)];
+        let cg = CallGraph::new(&m);
+        assert!(cg.bottom_up(FuncId(0)).is_err());
+    }
+
+    #[test]
+    fn callers_populated() {
+        let m = chain_module();
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.callers[2], vec![FuncId(0), FuncId(1)]);
+    }
+}

@@ -1,0 +1,393 @@
+//! Control-flow graph analyses: predecessors, reverse postorder,
+//! dominators (Cooper-Harvey-Kennedy), dominance frontiers, and immediate
+//! post-dominators (used as SIMT reconvergence points).
+
+use crate::function::{Function, Terminator};
+use crate::types::BlockId;
+
+/// Control-flow graph of a function with derived orderings.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reverse postorder over blocks reachable from the entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` if unreachable.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bid, b) in f.iter_blocks() {
+            for s in b.term.successors() {
+                succs[bid.0 as usize].push(s);
+                preds[s.0 as usize].push(bid);
+            }
+        }
+        // Iterative DFS postorder from entry.
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if state[next.0 as usize] == 0 {
+                    state[next.0 as usize] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[b.0 as usize] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// True if the block is reachable from the entry.
+    #[inline]
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+
+    /// Number of blocks (including unreachable ones).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the function has no blocks (never happens for valid IR).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+/// Immediate-dominator tree computed with the Cooper-Harvey-Kennedy
+/// iterative algorithm.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator of each block (`idom[entry] == entry`);
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators over `cfg`.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if new_idom != idom[b.0 as usize] && new_idom.is_some() {
+                    idom[b.0 as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Does `a` dominate `b`? (Reflexive.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Dominance frontier of every block (Cytron et al.).
+    pub fn frontiers(&self, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+        let n = cfg.len();
+        let mut df = vec![Vec::new(); n];
+        for b in 0..n {
+            let bid = BlockId(b as u32);
+            if !cfg.reachable(bid) || cfg.preds[b].len() < 2 {
+                continue;
+            }
+            let idom_b = match self.idom[b] {
+                Some(d) => d,
+                None => continue,
+            };
+            for &p in &cfg.preds[b] {
+                if self.idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    let dfr = &mut df[runner.0 as usize];
+                    if !dfr.contains(&bid) {
+                        dfr.push(bid);
+                    }
+                    runner = match self.idom[runner.0 as usize] {
+                        Some(d) if d != runner => d,
+                        _ => break,
+                    };
+                }
+            }
+        }
+        df
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed block");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed block");
+        }
+    }
+    a
+}
+
+/// Immediate post-dominators, computed on the reverse CFG with a virtual
+/// exit node joining all `Ret`/`Exit` blocks. Used by the simulator as
+/// SIMT reconvergence points for divergent branches.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    /// Immediate post-dominator of each block; `None` when the block
+    /// post-dominates everything on its paths (i.e. its ipdom is the
+    /// virtual exit).
+    pub ipdom: Vec<Option<BlockId>>,
+}
+
+impl PostDominators {
+    /// Compute post-dominators of `f`.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        // Virtual node index n; reverse edges.
+        let vexit = n;
+        let total = n + 1;
+        let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); total]; // succ in reverse graph = preds
+        let mut rpreds: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (bid, b) in f.iter_blocks() {
+            let i = bid.0 as usize;
+            for s in b.term.successors() {
+                // reverse edge s -> b
+                rsuccs[s.0 as usize].push(i);
+                rpreds[i].push(s.0 as usize);
+            }
+            if matches!(b.term, Terminator::Ret | Terminator::Exit) {
+                rsuccs[vexit].push(i);
+                rpreds[i].push(vexit);
+            }
+        }
+        // RPO over the reverse graph from vexit.
+        let mut post = Vec::with_capacity(total);
+        let mut state = vec![0u8; total];
+        let mut stack = vec![(vexit, 0usize)];
+        state[vexit] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < rsuccs[b].len() {
+                let next = rsuccs[b][*i];
+                *i += 1;
+                if state[next] == 0 {
+                    state[next] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; total];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let mut idom: Vec<Option<usize>> = vec![None; total];
+        idom[vexit] = Some(vexit);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &rpreds[b] {
+                    if idom[p].is_none() || rpo_index[p] == usize::MAX {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => {
+                            let (mut a, mut c) = (p, cur);
+                            while a != c {
+                                while rpo_index[a] > rpo_index[c] {
+                                    a = idom[a].unwrap();
+                                }
+                                while rpo_index[c] > rpo_index[a] {
+                                    c = idom[c].unwrap();
+                                }
+                            }
+                            a
+                        }
+                    });
+                }
+                if new_idom.is_some() && new_idom != idom[b] {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        let ipdom = (0..n)
+            .map(|b| match idom[b] {
+                Some(d) if d != vexit && d != b => Some(BlockId(d as u32)),
+                _ => None,
+            })
+            .collect();
+        PostDominators { ipdom }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{FuncKind, Function, Terminator};
+    use crate::types::PredReg;
+
+    /// Diamond: 0 -> {1,2} -> 3(exit)
+    fn diamond() -> Function {
+        let mut f = Function::new("d", FuncKind::Kernel);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        f.block_mut(BlockId(0)).term = Terminator::Branch {
+            pred: PredReg(0),
+            neg: false,
+            then_bb: b1,
+            else_bb: b2,
+        };
+        f.block_mut(b1).term = Terminator::Jump(b3);
+        f.block_mut(b2).term = Terminator::Jump(b3);
+        f.block_mut(b3).term = Terminator::Exit;
+        f
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert!(cfg.reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom[1], Some(BlockId(0)));
+        assert_eq!(dom.idom[2], Some(BlockId(0)));
+        assert_eq!(dom.idom[3], Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        let df = dom.frontiers(&cfg);
+        assert_eq!(df[1], vec![BlockId(3)]);
+        assert_eq!(df[2], vec![BlockId(3)]);
+        assert!(df[0].is_empty());
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let pd = PostDominators::new(&f, &cfg);
+        // Reconvergence point of the branch at block 0 is block 3.
+        assert_eq!(pd.ipdom[0], Some(BlockId(3)));
+        assert_eq!(pd.ipdom[1], Some(BlockId(3)));
+        assert_eq!(pd.ipdom[3], None);
+    }
+
+    /// Loop: 0 -> 1; 1 -> {1, 2}; 2 exit.
+    #[test]
+    fn loop_dominators_and_frontier() {
+        let mut f = Function::new("l", FuncKind::Kernel);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.block_mut(BlockId(0)).term = Terminator::Jump(b1);
+        f.block_mut(b1).term = Terminator::Branch {
+            pred: PredReg(0),
+            neg: false,
+            then_bb: b1,
+            else_bb: b2,
+        };
+        f.block_mut(b2).term = Terminator::Exit;
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom[1], Some(BlockId(0)));
+        assert_eq!(dom.idom[2], Some(BlockId(1)));
+        let df = dom.frontiers(&cfg);
+        // The loop header is in its own dominance frontier.
+        assert!(df[1].contains(&BlockId(1)));
+        let pd = PostDominators::new(&f, &cfg);
+        assert_eq!(pd.ipdom[1], Some(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_block_ignored() {
+        let mut f = diamond();
+        let dead = f.new_block();
+        f.block_mut(dead).term = Terminator::Exit;
+        let cfg = Cfg::new(&f);
+        assert!(!cfg.reachable(dead));
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom[dead.0 as usize], None);
+    }
+}

@@ -1,0 +1,416 @@
+//! Instructions and operands of the kernel IR.
+
+use crate::types::{FuncId, MemSpace, PredReg, SpecialReg, VReg, Width};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Source operand of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// An immediate 32-bit constant (stored sign-extended).
+    Imm(i64),
+    /// A kernel launch parameter (constant-bank slot); free to read,
+    /// consumes no register, like `c[0][..]` on real hardware.
+    Param(u8),
+    /// A hardware special register.
+    Special(SpecialReg),
+}
+
+impl Operand {
+    /// Returns the register if this operand is one.
+    #[inline]
+    pub fn as_reg(&self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+            Operand::Param(p) => write!(f, "c[{p}]"),
+            Operand::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Integer comparison predicates for [`Opcode::ISetp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluate the comparison on signed 32-bit values.
+    #[inline]
+    pub fn eval_i32(self, a: i32, b: i32) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluate the comparison on f32 values (NaN compares false except `Ne`).
+    #[inline]
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Eq => "eq",
+            Cmp::Ne => "ne",
+            Cmp::Lt => "lt",
+            Cmp::Le => "le",
+            Cmp::Gt => "gt",
+            Cmp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operation performed by an instruction.
+///
+/// Operand conventions (sources in order):
+/// * binary ALU ops take two sources; [`Opcode::IMad`]/[`Opcode::FFma`]
+///   take three (`d = a*b + c`);
+/// * `Ld` takes an address source (plus the immediate offset embedded in
+///   the opcode); `St` takes address then value;
+/// * [`Opcode::Sel`] takes (then, else) and a guard predicate in
+///   [`Inst::sel_pred`];
+/// * [`Opcode::Unpack`] extracts 32-bit word `lane` of a wide source;
+///   [`Opcode::Pack`] produces a wide value equal to source 0 with word
+///   `lane` replaced by source 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    // ---- 32-bit integer ----
+    IAdd,
+    ISub,
+    IMul,
+    /// `d = a * b + c`.
+    IMad,
+    IMin,
+    IMax,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    And,
+    Or,
+    Xor,
+    Not,
+    /// Integer compare writing a predicate register.
+    ISetp(Cmp),
+    // ---- 32-bit float (bit-stored) ----
+    FAdd,
+    FSub,
+    FMul,
+    /// Fused multiply-add `d = a*b + c`.
+    FFma,
+    FMin,
+    FMax,
+    FNeg,
+    FAbs,
+    /// Approximate reciprocal (used to build the division intrinsic,
+    /// which on real GPUs is a *function call* — see the paper §3.2).
+    FRcp,
+    FSqrt,
+    /// Float compare writing a predicate register.
+    FSetp(Cmp),
+    // ---- 64-bit float on W64 registers ----
+    DAdd,
+    DMul,
+    DFma,
+    // ---- conversions / data movement ----
+    /// Signed i32 -> f32.
+    I2F,
+    /// f32 -> signed i32 (truncating).
+    F2I,
+    /// Register/immediate move of any width.
+    Mov,
+    /// Select between two sources by predicate (`Inst::sel_pred`).
+    Sel,
+    /// Extract 32-bit word `lane` from a wide source.
+    Unpack {
+        lane: u8,
+    },
+    /// Replace 32-bit word `lane` of wide source 0 with source 1.
+    Pack {
+        lane: u8,
+    },
+    // ---- memory ----
+    /// Load `width` bytes from `space` at `src0 + offset`.
+    Ld {
+        space: MemSpace,
+        width: Width,
+        offset: i32,
+    },
+    /// Store `width` bytes to `space` at `src0 + offset` from `src1`.
+    St {
+        space: MemSpace,
+        width: Width,
+        offset: i32,
+    },
+    // ---- control / misc ----
+    /// Call a device function; arguments and returns in [`Inst::call`].
+    Call(FuncId),
+    /// Block-wide barrier.
+    Bar,
+    /// No operation (placeholder; also used when eliding instructions).
+    Nop,
+}
+
+impl Opcode {
+    /// True for loads and stores.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Opcode::Ld { .. } | Opcode::St { .. })
+    }
+
+    /// Memory space for loads/stores.
+    #[inline]
+    pub fn mem_space(&self) -> Option<MemSpace> {
+        match self {
+            Opcode::Ld { space, .. } | Opcode::St { space, .. } => Some(*space),
+            _ => None,
+        }
+    }
+}
+
+/// One IR instruction.
+///
+/// Every instruction may be guarded by a predicate (`pred`); a guarded
+/// instruction executes only in lanes where the predicate (negated if
+/// `pred_neg`) holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    pub op: Opcode,
+    /// Destination register, if the operation produces a value.
+    pub dst: Option<VReg>,
+    /// Destination predicate for `ISetp`/`FSetp`.
+    pub pdst: Option<PredReg>,
+    /// Source operands.
+    pub srcs: Vec<Operand>,
+    /// Guard predicate: instruction executes where `pred` (xor `pred_neg`).
+    pub pred: Option<PredReg>,
+    pub pred_neg: bool,
+    /// Selector predicate for [`Opcode::Sel`].
+    pub sel_pred: Option<PredReg>,
+    /// Call payload: argument operands and return registers.
+    pub call: Option<CallInfo>,
+}
+
+/// Arguments and return registers of a [`Opcode::Call`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallInfo {
+    pub args: Vec<Operand>,
+    pub rets: Vec<VReg>,
+}
+
+impl Inst {
+    /// A plain (unpredicated) instruction.
+    pub fn new(op: Opcode, dst: Option<VReg>, srcs: Vec<Operand>) -> Self {
+        Inst {
+            op,
+            dst,
+            pdst: None,
+            srcs,
+            pred: None,
+            pred_neg: false,
+            sel_pred: None,
+            call: None,
+        }
+    }
+
+    /// Registers read by this instruction (sources, call args). A
+    /// *predicated* destination is also a use: when the guard is false
+    /// the old value flows through, so the destination is live into the
+    /// instruction (read-modify-write semantics).
+    pub fn uses(&self) -> impl Iterator<Item = VReg> + '_ {
+        let rmw = if self.pred.is_some() { self.dst } else { None };
+        self.srcs
+            .iter()
+            .filter_map(Operand::as_reg)
+            .chain(
+                self.call
+                    .iter()
+                    .flat_map(|c| c.args.iter().filter_map(Operand::as_reg)),
+            )
+            .chain(rmw)
+    }
+
+    /// Registers written by this instruction (dst, call returns).
+    pub fn defs(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.dst
+            .into_iter()
+            .chain(self.call.iter().flat_map(|c| c.rets.iter().copied()))
+    }
+
+    /// Rewrite every register reference through `f` (uses and defs).
+    pub fn rewrite_regs(&mut self, mut f: impl FnMut(VReg, bool) -> VReg) {
+        // false = use, true = def
+        for s in &mut self.srcs {
+            if let Operand::Reg(r) = s {
+                *r = f(*r, false);
+            }
+        }
+        if let Some(c) = &mut self.call {
+            for a in &mut c.args {
+                if let Operand::Reg(r) = a {
+                    *r = f(*r, false);
+                }
+            }
+            for r in &mut c.rets {
+                *r = f(*r, true);
+            }
+        }
+        if let Some(d) = &mut self.dst {
+            *d = f(*d, true);
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.pred {
+            write!(f, "@{}{} ", if self.pred_neg { "!" } else { "" }, p)?;
+        }
+        match &self.op {
+            Opcode::Call(id) => {
+                let c = self.call.as_ref();
+                write!(f, "call {id}(")?;
+                if let Some(c) = c {
+                    for (i, a) in c.args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ") -> (")?;
+                    for (i, r) in c.rets.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{r}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            op => {
+                if let Some(d) = self.dst {
+                    write!(f, "{d} = ")?;
+                }
+                if let Some(p) = self.pdst {
+                    write!(f, "{p} = ")?;
+                }
+                write!(f, "{op:?}")?;
+                for (i, s) in self.srcs.iter().enumerate() {
+                    write!(f, "{}{s}", if i == 0 { " " } else { ", " })?;
+                }
+                if let Some(sp) = self.sel_pred {
+                    write!(f, " ?{sp}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_and_defs() {
+        let i = Inst::new(
+            Opcode::IAdd,
+            Some(VReg(2)),
+            vec![Operand::Reg(VReg(0)), Operand::Imm(4)],
+        );
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![VReg(0)]);
+        assert_eq!(i.defs().collect::<Vec<_>>(), vec![VReg(2)]);
+    }
+
+    #[test]
+    fn call_uses_and_defs() {
+        let mut i = Inst::new(Opcode::Call(FuncId(1)), None, vec![]);
+        i.call = Some(CallInfo {
+            args: vec![Operand::Reg(VReg(5)), Operand::Imm(1)],
+            rets: vec![VReg(6)],
+        });
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![VReg(5)]);
+        assert_eq!(i.defs().collect::<Vec<_>>(), vec![VReg(6)]);
+    }
+
+    #[test]
+    fn rewrite_regs_touches_all() {
+        let mut i = Inst::new(
+            Opcode::IMad,
+            Some(VReg(3)),
+            vec![
+                Operand::Reg(VReg(0)),
+                Operand::Reg(VReg(1)),
+                Operand::Reg(VReg(2)),
+            ],
+        );
+        i.rewrite_regs(|r, _| VReg(r.0 + 10));
+        assert_eq!(i.dst, Some(VReg(13)));
+        assert_eq!(
+            i.srcs,
+            vec![
+                Operand::Reg(VReg(10)),
+                Operand::Reg(VReg(11)),
+                Operand::Reg(VReg(12))
+            ]
+        );
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Lt.eval_i32(-1, 0));
+        assert!(!Cmp::Lt.eval_f32(f32::NAN, 0.0));
+        assert!(Cmp::Ne.eval_f32(f32::NAN, 0.0));
+        assert!(Cmp::Ge.eval_i32(5, 5));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::new(
+            Opcode::IAdd,
+            Some(VReg(2)),
+            vec![Operand::Reg(VReg(0)), Operand::Imm(4)],
+        );
+        let s = i.to_string();
+        assert!(s.contains("v2 = IAdd v0, 4"), "{s}");
+    }
+}

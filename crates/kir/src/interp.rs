@@ -1,0 +1,563 @@
+//! Untimed reference interpreter for IR modules.
+//!
+//! Executes a kernel launch thread-by-thread (scalar semantics) with
+//! block-phase barrier handling. It is the semantic oracle: the timed GPU
+//! simulator must produce bit-identical global memory for the *machine*
+//! code the allocator generates from the same module.
+
+use crate::function::{FuncKind, Module, Terminator};
+use crate::inst::{Opcode, Operand};
+use crate::sem::{eval_alu, eval_setp, Val};
+use crate::types::{BlockId, FuncId, MemSpace, SpecialReg, Width, NUM_PRED_REGS};
+
+/// Kernel launch shape (1-D, as in all modeled benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid: u32,
+    /// Threads per block (multiple of 32 in practice).
+    pub block: u32,
+}
+
+impl LaunchConfig {
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        u64::from(self.grid) * u64::from(self.block)
+    }
+}
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Memory access outside the provided buffer.
+    OutOfBounds { space: MemSpace, addr: u64, len: u32 },
+    /// Execution exceeded the step limit (runaway loop).
+    StepLimit,
+    /// Threads of a block reached different barrier states.
+    BarrierDivergence,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::OutOfBounds { space, addr, len } => {
+                write!(f, "{space} access of {len} bytes at {addr:#x} out of bounds")
+            }
+            InterpError::StepLimit => write!(f, "dynamic step limit exceeded"),
+            InterpError::BarrierDivergence => write!(f, "threads diverged at a barrier"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Execution statistics of a launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Dynamic instructions executed (including predicated-off).
+    pub dyn_insts: u64,
+    /// Dynamic global memory operations.
+    pub global_ops: u64,
+    /// Dynamic shared memory operations.
+    pub shared_ops: u64,
+    /// Dynamic local memory operations.
+    pub local_ops: u64,
+    /// Dynamic call instructions.
+    pub calls: u64,
+}
+
+const DEFAULT_STEP_LIMIT: u64 = 200_000_000;
+
+struct Frame<'m> {
+    func: FuncId,
+    block: BlockId,
+    idx: usize,
+    regs: Vec<Val>,
+    ret_into: Vec<crate::types::VReg>, // caller registers to receive rets
+    _ph: std::marker::PhantomData<&'m ()>,
+}
+
+enum ThreadStatus {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+struct Thread<'m> {
+    frames: Vec<Frame<'m>>,
+    preds: [bool; NUM_PRED_REGS as usize],
+    status: ThreadStatus,
+    tid: u32,
+    local: Vec<u8>,
+}
+
+/// Memory accessor helpers shared with tests.
+fn read_mem(buf: &[u8], addr: u64, width: Width) -> Result<Val, ()> {
+    let n = width.bytes() as usize;
+    let a = addr as usize;
+    if a + n > buf.len() {
+        return Err(());
+    }
+    let mut v = Val::default();
+    for (i, chunk) in buf[a..a + n].chunks(4).enumerate() {
+        let mut w = [0u8; 4];
+        w[..chunk.len()].copy_from_slice(chunk);
+        v.w[i] = u32::from_le_bytes(w);
+    }
+    Ok(v)
+}
+
+fn write_mem(buf: &mut [u8], addr: u64, width: Width, v: Val) -> Result<(), ()> {
+    let n = width.bytes() as usize;
+    let a = addr as usize;
+    if a + n > buf.len() {
+        return Err(());
+    }
+    for i in 0..width.words() as usize {
+        let bytes = v.w[i].to_le_bytes();
+        let take = (n - i * 4).min(4);
+        buf[a + i * 4..a + i * 4 + take].copy_from_slice(&bytes[..take]);
+    }
+    Ok(())
+}
+
+/// Interpreter for one kernel launch over a module in virtual-register
+/// form. `params` are the kernel launch parameters read by
+/// [`Operand::Param`]; `global` is the device global memory.
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    params: Vec<u32>,
+    /// Per-thread local memory bytes to provision (spill space); the
+    /// reference interpreter only needs it when interpreting machine-
+    /// lowered modules, but providing it keeps launches uniform.
+    pub local_bytes_per_thread: u32,
+    /// Dynamic step limit guard.
+    pub step_limit: u64,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Create an interpreter for `module` with launch parameters.
+    pub fn new(module: &'m Module, params: &[u32]) -> Self {
+        Interpreter {
+            module,
+            params: params.to_vec(),
+            local_bytes_per_thread: 4096,
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Run the launch to completion.
+    ///
+    /// # Errors
+    /// Returns [`InterpError`] on out-of-bounds accesses, runaway loops,
+    /// or barrier divergence.
+    pub fn run(&self, cfg: LaunchConfig, global: &mut [u8]) -> Result<InterpStats, InterpError> {
+        let mut stats = InterpStats::default();
+        let mut budget = self.step_limit;
+        for cta in 0..cfg.grid {
+            self.run_block(cta, cfg, global, &mut stats, &mut budget)?;
+        }
+        Ok(stats)
+    }
+
+    fn new_thread(&self, tid: u32) -> Thread<'m> {
+        let entry = self.module.entry;
+        let kf = self.module.func(entry);
+        debug_assert_eq!(kf.kind, FuncKind::Kernel);
+        Thread {
+            frames: vec![Frame {
+                func: entry,
+                block: BlockId(0),
+                idx: 0,
+                regs: vec![Val::default(); kf.num_vregs()],
+                ret_into: Vec::new(),
+                _ph: std::marker::PhantomData,
+            }],
+            preds: [false; NUM_PRED_REGS as usize],
+            status: ThreadStatus::Running,
+            tid,
+            local: vec![0u8; self.local_bytes_per_thread as usize],
+        }
+    }
+
+    fn run_block(
+        &self,
+        cta: u32,
+        cfg: LaunchConfig,
+        global: &mut [u8],
+        stats: &mut InterpStats,
+        budget: &mut u64,
+    ) -> Result<(), InterpError> {
+        let mut shared = vec![0u8; self.module.user_smem_bytes as usize];
+        let mut threads: Vec<Thread> = (0..cfg.block).map(|t| self.new_thread(t)).collect();
+        loop {
+            let mut any_running = false;
+            for th in &mut threads {
+                if matches!(th.status, ThreadStatus::Running) {
+                    self.step_thread(th, cta, cfg, global, &mut shared, stats, budget)?;
+                }
+            }
+            let mut at_bar = 0usize;
+            let mut done = 0usize;
+            for th in &threads {
+                match th.status {
+                    ThreadStatus::Running => any_running = true,
+                    ThreadStatus::AtBarrier => at_bar += 1,
+                    ThreadStatus::Done => done += 1,
+                }
+            }
+            debug_assert!(!any_running, "step_thread runs to barrier or exit");
+            let _ = any_running;
+            if done == threads.len() {
+                return Ok(());
+            }
+            // All non-done threads must be at the barrier together.
+            if at_bar + done != threads.len() || at_bar == 0 {
+                return Err(InterpError::BarrierDivergence);
+            }
+            for th in &mut threads {
+                if matches!(th.status, ThreadStatus::AtBarrier) {
+                    th.status = ThreadStatus::Running;
+                }
+            }
+        }
+    }
+
+    fn operand(&self, th: &Thread, fr: &Frame, op: &Operand, cta: u32, cfg: LaunchConfig) -> Val {
+        match op {
+            Operand::Reg(r) => fr.regs[r.0 as usize],
+            Operand::Imm(i) => Val::scalar(*i as u32),
+            Operand::Param(p) => Val::scalar(self.params.get(*p as usize).copied().unwrap_or(0)),
+            Operand::Special(s) => Val::scalar(match s {
+                SpecialReg::TidX => th.tid,
+                SpecialReg::CtaIdX => cta,
+                SpecialReg::NTidX => cfg.block,
+                SpecialReg::NCtaIdX => cfg.grid,
+                SpecialReg::LaneId => th.tid % 32,
+                SpecialReg::WarpId => th.tid / 32,
+            }),
+        }
+    }
+
+    /// Run one thread until barrier or completion.
+    #[allow(clippy::too_many_arguments)]
+    fn step_thread(
+        &self,
+        th: &mut Thread<'m>,
+        cta: u32,
+        cfg: LaunchConfig,
+        global: &mut [u8],
+        shared: &mut [u8],
+        stats: &mut InterpStats,
+        budget: &mut u64,
+    ) -> Result<(), InterpError> {
+        loop {
+            if *budget == 0 {
+                return Err(InterpError::StepLimit);
+            }
+            *budget -= 1;
+            let fi = th.frames.len() - 1;
+            let func = self.module.func(th.frames[fi].func);
+            let blk = func.block(th.frames[fi].block);
+            if th.frames[fi].idx >= blk.insts.len() {
+                // Terminator.
+                match &blk.term {
+                    Terminator::Jump(t) => {
+                        th.frames[fi].block = *t;
+                        th.frames[fi].idx = 0;
+                    }
+                    Terminator::Branch { pred, neg, then_bb, else_bb } => {
+                        let p = th.preds[pred.0 as usize] ^ neg;
+                        th.frames[fi].block = if p { *then_bb } else { *else_bb };
+                        th.frames[fi].idx = 0;
+                    }
+                    Terminator::Ret => {
+                        let fr = th.frames.pop().expect("frame");
+                        let rets: Vec<Val> =
+                            func.rets.iter().map(|r| fr.regs[r.0 as usize]).collect();
+                        let caller = th.frames.last_mut().expect("caller frame");
+                        for (dst, v) in fr.ret_into.iter().zip(rets) {
+                            caller.regs[dst.0 as usize] = v;
+                        }
+                    }
+                    Terminator::Exit => {
+                        th.status = ThreadStatus::Done;
+                        return Ok(());
+                    }
+                }
+                continue;
+            }
+            let idx = th.frames[fi].idx;
+            th.frames[fi].idx += 1;
+            let inst = &blk.insts[idx];
+            stats.dyn_insts += 1;
+            // Guard predicate.
+            if let Some(p) = inst.pred {
+                if !(th.preds[p.0 as usize] ^ inst.pred_neg) {
+                    continue;
+                }
+            }
+            match &inst.op {
+                Opcode::Nop => {}
+                Opcode::Bar => {
+                    th.status = ThreadStatus::AtBarrier;
+                    return Ok(());
+                }
+                Opcode::Call(callee) => {
+                    stats.calls += 1;
+                    let ci = inst.call.as_ref().expect("verified call");
+                    let target = self.module.func(*callee);
+                    let args: Vec<Val> = ci
+                        .args
+                        .iter()
+                        .map(|a| self.operand(th, &th.frames[fi], a, cta, cfg))
+                        .collect();
+                    let mut regs = vec![Val::default(); target.num_vregs()];
+                    for (&p, v) in target.params.iter().zip(args) {
+                        regs[p.0 as usize] = v;
+                    }
+                    th.frames.push(Frame {
+                        func: *callee,
+                        block: BlockId(0),
+                        idx: 0,
+                        regs,
+                        ret_into: ci.rets.clone(),
+                        _ph: std::marker::PhantomData,
+                    });
+                }
+                Opcode::ISetp(_) | Opcode::FSetp(_) => {
+                    let s: Vec<Val> = inst
+                        .srcs
+                        .iter()
+                        .map(|o| self.operand(th, &th.frames[fi], o, cta, cfg))
+                        .collect();
+                    let p = inst.pdst.expect("verified setp");
+                    th.preds[p.0 as usize] = eval_setp(&inst.op, &s);
+                }
+                Opcode::Sel => {
+                    let s: Vec<Val> = inst
+                        .srcs
+                        .iter()
+                        .map(|o| self.operand(th, &th.frames[fi], o, cta, cfg))
+                        .collect();
+                    let p = inst.sel_pred.expect("verified sel");
+                    let v = if th.preds[p.0 as usize] { s[0] } else { s[1] };
+                    let d = inst.dst.expect("sel dst");
+                    th.frames[fi].regs[d.0 as usize] = v;
+                }
+                Opcode::Ld { space, width, offset } => {
+                    let addr_v = self.operand(th, &th.frames[fi], &inst.srcs[0], cta, cfg);
+                    let addr = (i64::from(addr_v.as_i32()) + i64::from(*offset)) as u64;
+                    let buf: &[u8] = match space {
+                        MemSpace::Global => {
+                            stats.global_ops += 1;
+                            &*global
+                        }
+                        MemSpace::Shared => {
+                            stats.shared_ops += 1;
+                            &*shared
+                        }
+                        MemSpace::Local => {
+                            stats.local_ops += 1;
+                            &th.local
+                        }
+                    };
+                    let v = read_mem(buf, addr, *width).map_err(|_| InterpError::OutOfBounds {
+                        space: *space,
+                        addr,
+                        len: width.bytes(),
+                    })?;
+                    let d = inst.dst.expect("load dst");
+                    th.frames[fi].regs[d.0 as usize] = v;
+                }
+                Opcode::St { space, width, offset } => {
+                    let addr_v = self.operand(th, &th.frames[fi], &inst.srcs[0], cta, cfg);
+                    let val = self.operand(th, &th.frames[fi], &inst.srcs[1], cta, cfg);
+                    let addr = (i64::from(addr_v.as_i32()) + i64::from(*offset)) as u64;
+                    let buf: &mut [u8] = match space {
+                        MemSpace::Global => {
+                            stats.global_ops += 1;
+                            global
+                        }
+                        MemSpace::Shared => {
+                            stats.shared_ops += 1;
+                            shared
+                        }
+                        MemSpace::Local => {
+                            stats.local_ops += 1;
+                            &mut th.local
+                        }
+                    };
+                    write_mem(buf, addr, *width, val).map_err(|_| InterpError::OutOfBounds {
+                        space: *space,
+                        addr,
+                        len: width.bytes(),
+                    })?;
+                }
+                alu => {
+                    let s: Vec<Val> = inst
+                        .srcs
+                        .iter()
+                        .map(|o| self.operand(th, &th.frames[fi], o, cta, cfg))
+                        .collect();
+                    let v = eval_alu(alu, &s);
+                    if let Some(d) = inst.dst {
+                        th.frames[fi].regs[d.0 as usize] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_fdiv_device, FunctionBuilder};
+    use crate::inst::Cmp;
+    use crate::types::PredReg;
+
+    fn run(m: &Module, cfg: LaunchConfig, params: &[u32], global_len: usize) -> Vec<u8> {
+        let mut global = vec![0u8; global_len];
+        Interpreter::new(m, params).run(cfg, &mut global).unwrap();
+        global
+    }
+
+    #[test]
+    fn scale_kernel() {
+        // out[tid] = in[tid] * 2
+        let mut b = FunctionBuilder::kernel("scale");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let a = b.imad(tid, Operand::Imm(4), Operand::Param(0));
+        let x = b.ld(MemSpace::Global, Width::W32, a, 0);
+        let y = b.iadd(x, x);
+        let o = b.imad(tid, Operand::Imm(4), Operand::Param(1));
+        b.st(MemSpace::Global, Width::W32, o, y, 0);
+        let m = Module::new(b.finish());
+        crate::verify::verify(&m).unwrap();
+
+        let mut global = vec![0u8; 64];
+        for i in 0..8u32 {
+            global[(i * 4) as usize..(i * 4 + 4) as usize].copy_from_slice(&i.to_le_bytes());
+        }
+        let mut g = global.clone();
+        Interpreter::new(&m, &[0, 32])
+            .run(LaunchConfig { grid: 1, block: 8 }, &mut g)
+            .unwrap();
+        for i in 0..8u32 {
+            let off = (32 + i * 4) as usize;
+            let v = u32::from_le_bytes(g[off..off + 4].try_into().unwrap());
+            assert_eq!(v, 2 * i);
+        }
+    }
+
+    #[test]
+    fn barrier_and_shared_memory() {
+        // shared[tid] = tid; bar; out[tid] = shared[block-1-tid]
+        let mut b = FunctionBuilder::kernel("rev");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let saddr = b.imul(tid, Operand::Imm(4));
+        b.st(MemSpace::Shared, Width::W32, saddr, tid, 0);
+        b.bar();
+        let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+        let last = b.isub(nt, Operand::Imm(1));
+        let ridx = b.isub(last, tid);
+        let raddr = b.imul(ridx, Operand::Imm(4));
+        let v = b.ld(MemSpace::Shared, Width::W32, raddr, 0);
+        let out = b.imad(tid, Operand::Imm(4), Operand::Param(0));
+        b.st(MemSpace::Global, Width::W32, out, v, 0);
+        let mut m = Module::new(b.finish());
+        m.user_smem_bytes = 4 * 8;
+        crate::verify::verify(&m).unwrap();
+
+        let g = run(&m, LaunchConfig { grid: 1, block: 8 }, &[0], 32);
+        for i in 0..8u32 {
+            let off = (i * 4) as usize;
+            let v = u32::from_le_bytes(g[off..off + 4].try_into().unwrap());
+            assert_eq!(v, 7 - i);
+        }
+    }
+
+    #[test]
+    fn device_call_fdiv() {
+        // out = 10 / 4 computed through the division intrinsic call.
+        let mut kb = FunctionBuilder::kernel("k");
+        let _ = kb.mov_f32(10.0);
+        let _ = kb.mov_f32(4.0);
+        let mut m = Module::new(kb.finish());
+        let fdiv = m.add_func(build_fdiv_device());
+        let mut kb = FunctionBuilder::kernel("k");
+        let x2 = kb.mov_f32(10.0);
+        let y2 = kb.mov_f32(4.0);
+        let q = kb.call(fdiv, vec![x2.into(), y2.into()], &[Width::W32]);
+        kb.st(MemSpace::Global, Width::W32, Operand::Imm(0), q[0], 0);
+        m.funcs[0] = kb.finish();
+        crate::verify::verify(&m).unwrap();
+
+        let g = run(&m, LaunchConfig { grid: 1, block: 1 }, &[], 4);
+        let v = f32::from_bits(u32::from_le_bytes(g[0..4].try_into().unwrap()));
+        assert!((v - 2.5).abs() < 1e-5, "{v}");
+    }
+
+    #[test]
+    fn divergent_branch_per_thread() {
+        // out[tid] = tid % 2 == 0 ? 100 : 200
+        let mut b = FunctionBuilder::kernel("div");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let bit = b.and(tid, Operand::Imm(1));
+        b.isetp(Cmp::Eq, bit, Operand::Imm(0), PredReg(0));
+        let even = b.new_block();
+        let odd = b.new_block();
+        let join = b.new_block();
+        let out = b.vreg(Width::W32);
+        b.branch(PredReg(0), false, even, odd);
+        b.switch_to(even);
+        b.push(crate::inst::Inst::new(Opcode::Mov, Some(out), vec![Operand::Imm(100)]));
+        b.jump(join);
+        b.switch_to(odd);
+        b.push(crate::inst::Inst::new(Opcode::Mov, Some(out), vec![Operand::Imm(200)]));
+        b.jump(join);
+        b.switch_to(join);
+        let a = b.imad(tid, Operand::Imm(4), Operand::Param(0));
+        b.st(MemSpace::Global, Width::W32, a, out, 0);
+        b.exit();
+        let m = Module::new(b.finish());
+        crate::verify::verify(&m).unwrap();
+
+        let g = run(&m, LaunchConfig { grid: 1, block: 4 }, &[0], 16);
+        let vals: Vec<u32> = (0..4)
+            .map(|i| u32::from_le_bytes(g[i * 4..i * 4 + 4].try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![100, 200, 100, 200]);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut b = FunctionBuilder::kernel("oob");
+        b.st(MemSpace::Global, Width::W32, Operand::Imm(1024), Operand::Imm(1), 0);
+        let m = Module::new(b.finish());
+        let mut g = vec![0u8; 16];
+        let err = Interpreter::new(&m, &[])
+            .run(LaunchConfig { grid: 1, block: 1 }, &mut g)
+            .unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn multi_block_grid() {
+        // out[cta * ntid + tid] = cta
+        let mut b = FunctionBuilder::kernel("grid");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+        let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+        let lin = b.imad(cta, nt, tid);
+        let a = b.imad(lin, Operand::Imm(4), Operand::Param(0));
+        b.st(MemSpace::Global, Width::W32, a, cta, 0);
+        let m = Module::new(b.finish());
+        let g = run(&m, LaunchConfig { grid: 3, block: 2 }, &[0], 24);
+        let vals: Vec<u32> = (0..6)
+            .map(|i| u32::from_le_bytes(g[i * 4..i * 4 + 4].try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Live-variable analysis over virtual registers, plus the paper's
+//! *max-live* metric (§3.3): the number of 32-bit register slots needed
+//! to hold all simultaneously live variables.
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::types::{BlockId, VReg};
+
+/// Result of live-variable analysis for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<BitSet>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// Run the backward dataflow analysis.
+    ///
+    /// Device-function return registers are treated as live at `Ret`
+    /// terminators (the caller reads them), and parameters as defined on
+    /// entry.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.num_blocks();
+        let nv = f.num_vregs();
+        let mut use_: Vec<BitSet> = Vec::with_capacity(n);
+        let mut def: Vec<BitSet> = Vec::with_capacity(n);
+        for (_, b) in f.iter_blocks() {
+            let mut u = BitSet::new(nv);
+            let mut d = BitSet::new(nv);
+            for inst in &b.insts {
+                for s in inst.uses() {
+                    if !d.contains(s.0 as usize) {
+                        u.insert(s.0 as usize);
+                    }
+                }
+                for t in inst.defs() {
+                    d.insert(t.0 as usize);
+                }
+            }
+            // Ret implicitly uses the function's return registers.
+            if matches!(b.term, crate::function::Terminator::Ret) {
+                for &r in &f.rets {
+                    if !d.contains(r.0 as usize) {
+                        u.insert(r.0 as usize);
+                    }
+                }
+            }
+            use_.push(u);
+            def.push(d);
+        }
+        let mut live_in = vec![BitSet::new(nv); n];
+        let mut live_out = vec![BitSet::new(nv); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate in reverse RPO for fast convergence.
+            for &b in cfg.rpo.iter().rev() {
+                let bi = b.0 as usize;
+                let mut out = BitSet::new(nv);
+                for s in &cfg.succs[bi] {
+                    out.union_with(&live_in[s.0 as usize]);
+                }
+                let mut inn = out.clone();
+                inn.subtract(&def[bi]);
+                inn.union_with(&use_[bi]);
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Live sets *before* each instruction of block `b`, computed by a
+    /// backward walk from `live_out[b]`. `result[i]` is live before
+    /// instruction `i`; `result[len]` is live at the terminator.
+    pub fn per_inst(&self, f: &Function, b: BlockId) -> Vec<BitSet> {
+        let blk = f.block(b);
+        let n = blk.insts.len();
+        let mut out = vec![BitSet::new(f.num_vregs()); n + 1];
+        let mut live = self.live_out[b.0 as usize].clone();
+        out[n] = live.clone();
+        for i in (0..n).rev() {
+            let inst = &blk.insts[i];
+            for d in inst.defs() {
+                live.remove(d.0 as usize);
+            }
+            for u in inst.uses() {
+                live.insert(u.0 as usize);
+            }
+            out[i] = live.clone();
+        }
+        out
+    }
+
+    /// Registers live *across* the instruction at `(b, idx)` — live after
+    /// it and not defined by it. For a call, these are the caller values
+    /// the compressible stack must preserve.
+    pub fn live_across(&self, f: &Function, b: BlockId, idx: usize) -> Vec<VReg> {
+        let sets = self.per_inst(f, b);
+        let inst = &f.block(b).insts[idx];
+        let mut after = sets[idx + 1].clone();
+        for d in inst.defs() {
+            after.remove(d.0 as usize);
+        }
+        after.iter().map(|i| VReg(i as u32)).collect()
+    }
+}
+
+/// Width-weighted *max-live*: the maximum, over all program points, of
+/// the total number of 32-bit words occupied by simultaneously live
+/// variables. This is the paper's direction-selection metric (threshold
+/// 32, §3.3) and also the number of registers needed to avoid spilling.
+pub fn max_live(f: &Function, cfg: &Cfg, live: &Liveness) -> u32 {
+    let mut max = 0u32;
+    for (bid, blk) in f.iter_blocks() {
+        if !cfg.reachable(bid) {
+            continue;
+        }
+        let sets = live.per_inst(f, bid);
+        for set in &sets {
+            let w: u32 = set
+                .iter()
+                .map(|i| u32::from(f.vreg_widths[i].words()))
+                .sum();
+            max = max.max(w);
+        }
+        // Also account for the point right after each def (def + still-live).
+        for (i, inst) in blk.insts.iter().enumerate() {
+            let mut after = sets[i + 1].clone();
+            for d in inst.defs() {
+                after.insert(d.0 as usize);
+            }
+            let w: u32 = after
+                .iter()
+                .map(|j| u32::from(f.vreg_widths[j].words()))
+                .sum();
+            max = max.max(w);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{FuncKind, Function, Terminator};
+    use crate::inst::{Inst, Opcode, Operand};
+    use crate::types::Width;
+
+    /// v0 = mov 1; v1 = mov 2; v2 = add v0 v1; st v2
+    fn straight_line() -> Function {
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let v0 = f.new_vreg(Width::W32);
+        let v1 = f.new_vreg(Width::W32);
+        let v2 = f.new_vreg(Width::W32);
+        let b = BlockId(0);
+        f.block_mut(b).insts = vec![
+            Inst::new(Opcode::Mov, Some(v0), vec![Operand::Imm(1)]),
+            Inst::new(Opcode::Mov, Some(v1), vec![Operand::Imm(2)]),
+            Inst::new(Opcode::IAdd, Some(v2), vec![v0.into(), v1.into()]),
+            Inst::new(
+                Opcode::St {
+                    space: crate::types::MemSpace::Global,
+                    width: Width::W32,
+                    offset: 0,
+                },
+                None,
+                vec![Operand::Imm(0), v2.into()],
+            ),
+        ];
+        f
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        let f = straight_line();
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        assert!(live.live_in[0].is_empty());
+        assert!(live.live_out[0].is_empty());
+        let per = live.per_inst(&f, BlockId(0));
+        // Before the add, v0 and v1 are live.
+        assert_eq!(per[2].iter().collect::<Vec<_>>(), vec![0, 1]);
+        // Before the store, only v2.
+        assert_eq!(per[3].iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn straight_line_max_live() {
+        let f = straight_line();
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        // v0,v1 live together; after add only v2: max-live = 2.
+        assert_eq!(max_live(&f, &cfg, &live), 2);
+    }
+
+    #[test]
+    fn wide_values_count_words() {
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let a = f.new_vreg(Width::W128);
+        let b = f.new_vreg(Width::W32);
+        f.block_mut(BlockId(0)).insts = vec![
+            Inst::new(Opcode::Mov, Some(a), vec![Operand::Imm(0)]),
+            Inst::new(Opcode::Unpack { lane: 0 }, Some(b), vec![a.into()]),
+            Inst::new(
+                Opcode::St {
+                    space: crate::types::MemSpace::Global,
+                    width: Width::W32,
+                    offset: 0,
+                },
+                None,
+                vec![Operand::Imm(0), b.into()],
+            ),
+        ];
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        // The W128 is live alone (it dies at the unpack, whose W32 def
+        // does not overlap it): max-live = 4 words.
+        assert_eq!(max_live(&f, &cfg, &live), 4);
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // v0 = 0; loop: v0 = v0 + 1; branch loop/exit
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let v0 = f.new_vreg(Width::W32);
+        let header = f.new_block();
+        let exit = f.new_block();
+        f.block_mut(BlockId(0)).insts =
+            vec![Inst::new(Opcode::Mov, Some(v0), vec![Operand::Imm(0)])];
+        f.block_mut(BlockId(0)).term = Terminator::Jump(header);
+        f.block_mut(header).insts = vec![Inst::new(
+            Opcode::IAdd,
+            Some(v0),
+            vec![v0.into(), Operand::Imm(1)],
+        )];
+        f.block_mut(header).term = Terminator::Branch {
+            pred: crate::types::PredReg(0),
+            neg: false,
+            then_bb: header,
+            else_bb: exit,
+        };
+        f.block_mut(exit).term = Terminator::Exit;
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        // v0 live around the back edge.
+        assert!(live.live_in[header.0 as usize].contains(0));
+        assert!(live.live_out[header.0 as usize].contains(0));
+    }
+
+    #[test]
+    fn live_across_call() {
+        use crate::inst::CallInfo;
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let keep = f.new_vreg(Width::W32);
+        let dies = f.new_vreg(Width::W32);
+        let ret = f.new_vreg(Width::W32);
+        let sum = f.new_vreg(Width::W32);
+        let mut call = Inst::new(Opcode::Call(crate::types::FuncId(1)), None, vec![]);
+        call.call = Some(CallInfo {
+            args: vec![dies.into()],
+            rets: vec![ret],
+        });
+        f.block_mut(BlockId(0)).insts = vec![
+            Inst::new(Opcode::Mov, Some(keep), vec![Operand::Imm(1)]),
+            Inst::new(Opcode::Mov, Some(dies), vec![Operand::Imm(2)]),
+            call,
+            Inst::new(Opcode::IAdd, Some(sum), vec![keep.into(), ret.into()]),
+            Inst::new(
+                Opcode::St {
+                    space: crate::types::MemSpace::Global,
+                    width: Width::W32,
+                    offset: 0,
+                },
+                None,
+                vec![Operand::Imm(0), sum.into()],
+            ),
+        ];
+        let cfg = Cfg::new(&f);
+        let live = Liveness::new(&f, &cfg);
+        let across = live.live_across(&f, BlockId(0), 2);
+        // Only `keep` survives the call: `dies` dies at it, `ret` is its def.
+        assert_eq!(across, vec![keep]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Machine IR: the post-allocation program form.
+//!
+//! After Orion's allocator runs, every variable lives in an *on-chip
+//! memory slot* (the paper's term): a physical register, a per-thread
+//! private shared-memory slot, or a per-thread local-memory slot.
+//! Machine instructions reference slots directly; the simulator charges
+//! the appropriate access cost per slot kind (registers are free, shared
+//! memory costs an on-chip access, local memory goes through the L1/L2
+//! hierarchy).
+//!
+//! Calls at this level transfer control only — argument and return
+//! passing, as well as the compressible-stack compression/restore moves,
+//! have been made explicit as [`Opcode::Mov`] instructions by the
+//! allocator.
+
+use crate::function::Terminator;
+use crate::inst::Opcode;
+use crate::types::{BlockId, FuncId, PredReg, SpecialReg, Width};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kind of storage backing a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Place {
+    /// An on-chip slot in the unified register/shared-memory stack. The
+    /// absolute slot index decides the physical home *per 32-bit word*:
+    /// words below [`MModule::regs_per_thread`] are registers (free to
+    /// access), words at or above it are per-thread private
+    /// shared-memory slots (bank-interleaved, conflict-free). Deciding
+    /// per word lets wide values straddle the boundary safely.
+    Onchip,
+    /// Per-thread local-memory slot (off-chip address space cached in
+    /// L1), used for spills and the move scratch area.
+    Local,
+}
+
+/// A physical slot reference: storage kind, starting 32-bit slot index,
+/// and value width (wide values occupy `width.words()` consecutive slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MLoc {
+    pub place: Place,
+    pub slot: u16,
+    pub width: Width,
+}
+
+impl MLoc {
+    /// An on-chip slot (register or private shared memory, by index).
+    pub fn onchip(slot: u16, width: Width) -> Self {
+        MLoc { place: Place::Onchip, slot, width }
+    }
+
+    /// A local-memory slot.
+    pub fn local(slot: u16, width: Width) -> Self {
+        MLoc { place: Place::Local, slot, width }
+    }
+}
+
+impl fmt::Display for MLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.place {
+            Place::Onchip => "R",
+            Place::Local => "L",
+        };
+        write!(f, "{p}{}", self.slot)?;
+        if self.width != Width::W32 {
+            write!(f, ":{}", self.width.words())?;
+        }
+        Ok(())
+    }
+}
+
+/// Machine operand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MOperand {
+    Loc(MLoc),
+    Imm(i64),
+    Param(u8),
+    Special(SpecialReg),
+}
+
+impl MOperand {
+    /// The slot, if this operand is one.
+    pub fn as_loc(&self) -> Option<MLoc> {
+        match self {
+            MOperand::Loc(l) => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+impl From<MLoc> for MOperand {
+    fn from(l: MLoc) -> Self {
+        MOperand::Loc(l)
+    }
+}
+
+impl fmt::Display for MOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MOperand::Loc(l) => write!(f, "{l}"),
+            MOperand::Imm(i) => write!(f, "{i}"),
+            MOperand::Param(p) => write!(f, "c[{p}]"),
+            MOperand::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A machine instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MInst {
+    pub op: Opcode,
+    pub dst: Option<MLoc>,
+    pub pdst: Option<PredReg>,
+    pub srcs: Vec<MOperand>,
+    pub pred: Option<PredReg>,
+    pub pred_neg: bool,
+    pub sel_pred: Option<PredReg>,
+    /// Marks compressible-stack traffic (compression/restore moves and
+    /// spill reload/store) so ablation benches can count it.
+    pub is_stack_move: bool,
+}
+
+impl MInst {
+    /// A plain machine instruction.
+    pub fn new(op: Opcode, dst: Option<MLoc>, srcs: Vec<MOperand>) -> Self {
+        MInst {
+            op,
+            dst,
+            pdst: None,
+            srcs,
+            pred: None,
+            pred_neg: false,
+            sel_pred: None,
+            is_stack_move: false,
+        }
+    }
+
+    /// A slot-to-slot move (stack compression / argument passing).
+    pub fn mov(dst: MLoc, src: MLoc) -> Self {
+        let mut i = MInst::new(Opcode::Mov, Some(dst), vec![src.into()]);
+        i.is_stack_move = true;
+        i
+    }
+}
+
+impl fmt::Display for MInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.pred {
+            write!(f, "@{}{} ", if self.pred_neg { "!" } else { "" }, p)?;
+        }
+        if let Some(d) = self.dst {
+            write!(f, "{d} = ")?;
+        }
+        if let Some(p) = self.pdst {
+            write!(f, "{p} = ")?;
+        }
+        write!(f, "{:?}", self.op)?;
+        for (i, s) in self.srcs.iter().enumerate() {
+            write!(f, "{}{s}", if i == 0 { " " } else { ", " })?;
+        }
+        Ok(())
+    }
+}
+
+/// A machine basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MBlock {
+    pub insts: Vec<MInst>,
+    pub term: Terminator,
+}
+
+/// A machine function after allocation and linking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MFunction {
+    pub name: String,
+    /// Absolute slot index where this function's frame begins (0 for the
+    /// kernel; `B_k` of the paper for callees).
+    pub frame_base: u16,
+    /// Number of slots in this function's frame.
+    pub frame_size: u16,
+    /// Absolute slots of the parameters (callers move arguments here).
+    pub param_slots: Vec<MLoc>,
+    /// Absolute slots of the return values (callers read results here).
+    pub ret_slots: Vec<MLoc>,
+    pub blocks: Vec<MBlock>,
+}
+
+impl MFunction {
+    /// Total static machine instructions.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A fully linked machine module: what the Orion compiler hands the GPU
+/// driver in the paper (one "kernel binary" at a specific occupancy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MModule {
+    pub funcs: Vec<MFunction>,
+    pub entry: FuncId,
+    /// On-chip slots backed by physical registers (the boundary index:
+    /// absolute on-chip slots below this are registers). Drives occupancy.
+    pub regs_per_thread: u16,
+    /// Allocator-added private shared-memory slots per thread (on-chip
+    /// slots at index `regs_per_thread` and above).
+    pub smem_slots_per_thread: u16,
+    /// Local-memory slots per thread (spill space).
+    pub local_slots_per_thread: u16,
+    /// User-declared shared memory per block, bytes.
+    pub user_smem_bytes: u32,
+    /// Count of stack-compression move instructions (static).
+    pub static_stack_moves: u32,
+}
+
+impl MModule {
+    /// Shared-memory bytes per block for a given block size: user arrays
+    /// plus the interleaved per-thread private region.
+    pub fn smem_bytes_per_block(&self, block_threads: u32) -> u32 {
+        self.user_smem_bytes + u32::from(self.smem_slots_per_thread) * 4 * block_threads
+    }
+
+    /// Local-memory bytes needed per thread.
+    pub fn local_bytes_per_thread(&self) -> u32 {
+        u32::from(self.local_slots_per_thread) * 4
+    }
+
+    /// Shared access to a function.
+    pub fn func(&self, id: FuncId) -> &MFunction {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// The kernel entry.
+    pub fn kernel(&self) -> &MFunction {
+        self.func(self.entry)
+    }
+}
+
+/// Successor helper mirroring the IR-level CFG for machine blocks.
+pub fn msuccessors(b: &MBlock) -> impl Iterator<Item = BlockId> + '_ {
+    b.term.successors()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let l = MLoc::onchip(3, Width::W64);
+        assert_eq!(l.to_string(), "R3:2");
+        assert_eq!(MLoc::local(1, Width::W32).to_string(), "L1");
+        let i = MInst::mov(MLoc::onchip(0, Width::W32), MLoc::local(2, Width::W32));
+        assert!(i.is_stack_move);
+        assert_eq!(i.to_string(), "R0 = Mov L2");
+    }
+
+    #[test]
+    fn smem_footprint() {
+        let m = MModule {
+            funcs: vec![],
+            entry: FuncId(0),
+            regs_per_thread: 16,
+            smem_slots_per_thread: 3,
+            local_slots_per_thread: 2,
+            user_smem_bytes: 1024,
+            static_stack_moves: 0,
+        };
+        assert_eq!(m.smem_bytes_per_block(256), 1024 + 3 * 4 * 256);
+        assert_eq!(m.local_bytes_per_thread(), 8);
+    }
+}

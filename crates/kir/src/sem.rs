@@ -1,0 +1,193 @@
+//! Shared functional semantics of ALU opcodes.
+//!
+//! Both the untimed reference interpreter ([`crate::interp`]) and the
+//! timed GPU simulator evaluate instructions through [`eval_alu`], so a
+//! value computed under either engine is bit-identical — the property the
+//! semantic-preservation tests rely on.
+
+use crate::inst::{Cmp, Opcode};
+
+/// A register value: up to four 32-bit words (wide values use 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Val {
+    pub w: [u32; 4],
+}
+
+impl Val {
+    /// A 32-bit scalar.
+    #[inline]
+    pub fn scalar(x: u32) -> Val {
+        Val { w: [x, 0, 0, 0] }
+    }
+
+    /// From an f32 (bit pattern).
+    #[inline]
+    pub fn from_f32(x: f32) -> Val {
+        Val::scalar(x.to_bits())
+    }
+
+    /// From an i32.
+    #[inline]
+    pub fn from_i32(x: i32) -> Val {
+        Val::scalar(x as u32)
+    }
+
+    /// From an f64 (two words, little-endian).
+    #[inline]
+    pub fn from_f64(x: f64) -> Val {
+        let b = x.to_bits();
+        Val {
+            w: [b as u32, (b >> 32) as u32, 0, 0],
+        }
+    }
+
+    /// Word 0 as u32.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.w[0]
+    }
+
+    /// Word 0 as i32.
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        self.w[0] as i32
+    }
+
+    /// Word 0 as f32.
+    #[inline]
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.w[0])
+    }
+
+    /// Words 0..2 as f64.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from_bits(u64::from(self.w[0]) | (u64::from(self.w[1]) << 32))
+    }
+}
+
+/// Evaluate a pure ALU/conversion/data-movement opcode.
+///
+/// `Sel` is evaluated by the caller (it needs the selector predicate);
+/// memory, call, and control opcodes are not ALU ops.
+///
+/// # Panics
+/// Panics if called with a non-ALU opcode or wrong source count —
+/// verified IR never does.
+pub fn eval_alu(op: &Opcode, s: &[Val]) -> Val {
+    use Opcode::*;
+    let i = |k: usize| s[k].as_i32();
+    let u = |k: usize| s[k].as_u32();
+    let f = |k: usize| s[k].as_f32();
+    let d = |k: usize| s[k].as_f64();
+    match op {
+        IAdd => Val::from_i32(i(0).wrapping_add(i(1))),
+        ISub => Val::from_i32(i(0).wrapping_sub(i(1))),
+        IMul => Val::from_i32(i(0).wrapping_mul(i(1))),
+        IMad => Val::from_i32(i(0).wrapping_mul(i(1)).wrapping_add(i(2))),
+        IMin => Val::from_i32(i(0).min(i(1))),
+        IMax => Val::from_i32(i(0).max(i(1))),
+        Shl => Val::scalar(u(0) << (u(1) & 31)),
+        Shr => Val::scalar(u(0) >> (u(1) & 31)),
+        And => Val::scalar(u(0) & u(1)),
+        Or => Val::scalar(u(0) | u(1)),
+        Xor => Val::scalar(u(0) ^ u(1)),
+        Not => Val::scalar(!u(0)),
+        FAdd => Val::from_f32(f(0) + f(1)),
+        FSub => Val::from_f32(f(0) - f(1)),
+        FMul => Val::from_f32(f(0) * f(1)),
+        FFma => Val::from_f32(f(0).mul_add(f(1), f(2))),
+        FMin => Val::from_f32(f(0).min(f(1))),
+        FMax => Val::from_f32(f(0).max(f(1))),
+        FNeg => Val::from_f32(-f(0)),
+        FAbs => Val::from_f32(f(0).abs()),
+        FRcp => Val::from_f32(1.0 / f(0)),
+        FSqrt => Val::from_f32(f(0).sqrt()),
+        DAdd => Val::from_f64(d(0) + d(1)),
+        DMul => Val::from_f64(d(0) * d(1)),
+        DFma => Val::from_f64(d(0).mul_add(d(1), d(2))),
+        I2F => Val::from_f32(i(0) as f32),
+        F2I => Val::from_i32(f(0) as i32),
+        Mov => s[0],
+        Unpack { lane } => Val::scalar(s[0].w[*lane as usize]),
+        Pack { lane } => {
+            let mut v = s[0];
+            v.w[*lane as usize] = s[1].as_u32();
+            v
+        }
+        other => panic!("eval_alu on non-ALU opcode {other:?}"),
+    }
+}
+
+/// Evaluate a compare opcode to a predicate value.
+///
+/// # Panics
+/// Panics when `op` is not `ISetp`/`FSetp`.
+pub fn eval_setp(op: &Opcode, s: &[Val]) -> bool {
+    match op {
+        Opcode::ISetp(c) => c.eval_i32(s[0].as_i32(), s[1].as_i32()),
+        Opcode::FSetp(c) => c.eval_f32(s[0].as_f32(), s[1].as_f32()),
+        other => panic!("eval_setp on {other:?}"),
+    }
+}
+
+/// Evaluate `Cmp` directly (re-exported convenience).
+pub fn eval_cmp_i32(c: Cmp, a: i32, b: i32) -> bool {
+    c.eval_i32(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops_wrap() {
+        assert_eq!(
+            eval_alu(&Opcode::IAdd, &[Val::from_i32(i32::MAX), Val::from_i32(1)]).as_i32(),
+            i32::MIN
+        );
+        assert_eq!(
+            eval_alu(&Opcode::IMad, &[Val::from_i32(3), Val::from_i32(4), Val::from_i32(5)])
+                .as_i32(),
+            17
+        );
+    }
+
+    #[test]
+    fn float_ops() {
+        let v = eval_alu(&Opcode::FFma, &[Val::from_f32(2.0), Val::from_f32(3.0), Val::from_f32(1.0)]);
+        assert_eq!(v.as_f32(), 7.0);
+        assert_eq!(eval_alu(&Opcode::FRcp, &[Val::from_f32(4.0)]).as_f32(), 0.25);
+    }
+
+    #[test]
+    fn double_roundtrip() {
+        let v = eval_alu(&Opcode::DMul, &[Val::from_f64(1.5), Val::from_f64(2.0)]);
+        assert_eq!(v.as_f64(), 3.0);
+    }
+
+    #[test]
+    fn pack_unpack() {
+        let wide = Val { w: [1, 2, 3, 4] };
+        assert_eq!(eval_alu(&Opcode::Unpack { lane: 2 }, &[wide]).as_u32(), 3);
+        let packed = eval_alu(&Opcode::Pack { lane: 1 }, &[wide, Val::scalar(9)]);
+        assert_eq!(packed.w, [1, 9, 3, 4]);
+    }
+
+    #[test]
+    fn setp() {
+        assert!(eval_setp(
+            &Opcode::ISetp(Cmp::Lt),
+            &[Val::from_i32(1), Val::from_i32(2)]
+        ));
+        assert!(!eval_setp(
+            &Opcode::FSetp(Cmp::Gt),
+            &[Val::from_f32(1.0), Val::from_f32(2.0)]
+        ));
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(eval_alu(&Opcode::Shl, &[Val::scalar(1), Val::scalar(33)]).as_u32(), 2);
+    }
+}

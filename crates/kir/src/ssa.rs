@@ -1,0 +1,584 @@
+//! SSA construction and pruned-SSA web coalescing.
+//!
+//! The paper's pipeline (§3.2) represents the program in SSA form,
+//! generates *pruned* SSA, and eliminates φ-functions before assigning
+//! variables to on-chip memory slots. We reproduce that as:
+//!
+//! 1. [`to_ssa`] — classic Cytron et al. construction with pruned φ
+//!    placement (a φ for `v` is inserted at a join only where `v` is
+//!    live-in);
+//! 2. [`coalesce_phis`] — union-find over each φ's destination and
+//!    arguments, producing *webs*: the paper's "variable sets";
+//! 3. [`to_web_function`] — rewrite every SSA value to its web
+//!    representative, at which point all φs are no-ops and are dropped.
+//!
+//! [`normalize`] composes the three. The output is semantically identical
+//! to the input but has maximally split live ranges: two unrelated reuses
+//! of the same source variable become distinct webs that the allocator
+//! may place in different slots.
+
+use crate::cfg::{Cfg, Dominators};
+use crate::function::Function;
+use crate::liveness::Liveness;
+use crate::types::{BlockId, VReg, Width};
+
+/// A φ-function: `dst = φ(args)` with one argument per predecessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phi {
+    pub dst: VReg,
+    /// `(predecessor block, incoming value)` pairs.
+    pub args: Vec<(BlockId, VReg)>,
+    /// The source variable this φ merges (for diagnostics).
+    pub var: VReg,
+}
+
+/// A function in SSA form: renamed body plus φ-functions per block.
+#[derive(Debug, Clone)]
+pub struct SsaFunction {
+    /// The renamed function. Instruction operands refer to SSA values.
+    pub func: Function,
+    /// φ-functions at the head of each block.
+    pub phis: Vec<Vec<Phi>>,
+    /// Source variable of each SSA value (for diagnostics/tests).
+    pub origin: Vec<VReg>,
+    /// `(old value, new value)` pairs from *predicated* destinations:
+    /// the write is partial (guard may be false), so both values must
+    /// land in the same slot. Coalescing unions each pair.
+    pub pred_pairs: Vec<(VReg, VReg)>,
+}
+
+/// Errors produced by SSA construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsaError {
+    /// A register is read on a path where it was never written.
+    UseBeforeDef { var: VReg, block: BlockId },
+    /// A device function has zero or more than one `Ret` block.
+    NonUniqueRet,
+}
+
+impl std::fmt::Display for SsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SsaError::UseBeforeDef { var, block } => {
+                write!(f, "use of {var} before definition in {block}")
+            }
+            SsaError::NonUniqueRet => write!(f, "device function must have exactly one ret block"),
+        }
+    }
+}
+
+impl std::error::Error for SsaError {}
+
+/// Convert `f` to pruned SSA form.
+///
+/// # Errors
+/// Returns [`SsaError::UseBeforeDef`] if a register may be read before any
+/// write reaches it, and [`SsaError::NonUniqueRet`] for device functions
+/// with multiple `Ret` blocks (the builder emits exactly one).
+pub fn to_ssa(f: &Function) -> Result<SsaFunction, SsaError> {
+    let cfg = Cfg::new(f);
+    let dom = Dominators::new(&cfg);
+    let df = dom.frontiers(&cfg);
+    let live = Liveness::new(f, &cfg);
+    let nb = f.num_blocks();
+    let nv = f.num_vregs();
+
+    if f.kind == crate::function::FuncKind::Device {
+        let ret_blocks = f
+            .iter_blocks()
+            .filter(|(_, b)| matches!(b.term, crate::function::Terminator::Ret))
+            .count();
+        if ret_blocks != 1 {
+            return Err(SsaError::NonUniqueRet);
+        }
+    }
+
+    // Def sites per variable.
+    let mut def_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); nv];
+    for (bid, b) in f.iter_blocks() {
+        for inst in &b.insts {
+            for d in inst.defs() {
+                let v = &mut def_blocks[d.0 as usize];
+                if v.last() != Some(&bid) {
+                    v.push(bid);
+                }
+            }
+        }
+    }
+    for &p in &f.params {
+        def_blocks[p.0 as usize].push(BlockId(0));
+    }
+
+    // Pruned φ placement: iterated dominance frontier ∩ live-in.
+    let mut phi_vars: Vec<Vec<VReg>> = vec![Vec::new(); nb];
+    for v in 0..nv {
+        let mut work: Vec<BlockId> = def_blocks[v].clone();
+        let mut placed = vec![false; nb];
+        let mut in_work = vec![false; nb];
+        for &b in &work {
+            in_work[b.0 as usize] = true;
+        }
+        while let Some(b) = work.pop() {
+            for &y in &df[b.0 as usize] {
+                let yi = y.0 as usize;
+                if !placed[yi] && live.live_in[yi].contains(v) {
+                    placed[yi] = true;
+                    phi_vars[yi].push(VReg(v as u32));
+                    if !in_work[yi] {
+                        in_work[yi] = true;
+                        work.push(y);
+                    }
+                }
+            }
+        }
+    }
+
+    // Dominator-tree children for the renaming walk.
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); nb];
+    for b in 0..nb {
+        let bid = BlockId(b as u32);
+        if b != 0 && cfg.reachable(bid) {
+            if let Some(d) = dom.idom[b] {
+                children[d.0 as usize].push(bid);
+            }
+        }
+    }
+
+    let mut out = Function::new(f.name.clone(), f.kind);
+    out.blocks = f.blocks.clone();
+    out.vreg_widths = Vec::new();
+    out.user_note_clear();
+
+    let mut origin: Vec<VReg> = Vec::new();
+    let new_val = |widths: &mut Vec<Width>, origin: &mut Vec<VReg>, var: VReg| -> VReg {
+        let r = VReg(widths.len() as u32);
+        widths.push(f.width(var));
+        origin.push(var);
+        r
+    };
+
+    let mut phis: Vec<Vec<Phi>> = vec![Vec::new(); nb];
+    for (b, vars) in phi_vars.iter().enumerate() {
+        for &v in vars {
+            phis[b].push(Phi {
+                dst: VReg(u32::MAX), // filled during renaming
+                args: Vec::new(),
+                var: v,
+            });
+        }
+    }
+
+    // Rename via explicit DFS over the dominator tree.
+    let mut pred_pairs: Vec<(VReg, VReg)> = Vec::new();
+    let mut stacks: Vec<Vec<VReg>> = vec![Vec::new(); nv];
+    // Parameters are defined on entry.
+    let mut new_params = Vec::new();
+    for &p in &f.params {
+        let np = new_val(&mut out.vreg_widths, &mut origin, p);
+        stacks[p.0 as usize].push(np);
+        new_params.push(np);
+    }
+    out.params = new_params;
+
+    enum Step {
+        Visit(BlockId),
+        Pop(BlockId),
+    }
+    // Track pushes per block to undo them.
+    let mut pushes_per_block: Vec<Vec<VReg>> = vec![Vec::new(); nb]; // original vars pushed
+    let mut new_rets: Option<Vec<VReg>> = if f.kind == crate::function::FuncKind::Device {
+        None
+    } else {
+        Some(Vec::new())
+    };
+
+    let mut stack = vec![Step::Visit(BlockId(0))];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Visit(b) => {
+                let bi = b.0 as usize;
+                // φ destinations first.
+                for phi in &mut phis[bi] {
+                    let nv_ = new_val(&mut out.vreg_widths, &mut origin, phi.var);
+                    phi.dst = nv_;
+                    stacks[phi.var.0 as usize].push(nv_);
+                    pushes_per_block[bi].push(phi.var);
+                }
+                // Body instructions.
+                let mut err = None;
+                for inst in &mut out.blocks[bi].insts {
+                    // Predicated destination: record the reaching value so
+                    // coalescing can pin old and new to one slot.
+                    let pred_dst = if inst.pred.is_some() { inst.dst } else { None };
+                    let reaching_for_pred = pred_dst.map(|d| {
+                        stacks[d.0 as usize].last().copied().ok_or(d)
+                    });
+                    inst.rewrite_regs(|r, is_def| {
+                        if is_def {
+                            r // handled after uses
+                        } else {
+                            match stacks[r.0 as usize].last() {
+                                Some(&cur) => cur,
+                                None => {
+                                    err.get_or_insert(SsaError::UseBeforeDef { var: r, block: b });
+                                    r
+                                }
+                            }
+                        }
+                    });
+                    if err.is_some() {
+                        return Err(err.unwrap());
+                    }
+                    // Now rewrite defs with fresh values. Collect first to
+                    // avoid borrowing issues.
+                    let defs: Vec<VReg> = inst.defs().collect();
+                    let mut fresh = std::collections::HashMap::new();
+                    for d in defs {
+                        let nd = new_val(&mut out.vreg_widths, &mut origin, d);
+                        stacks[d.0 as usize].push(nd);
+                        pushes_per_block[bi].push(d);
+                        fresh.insert(d, nd);
+                    }
+                    inst.rewrite_regs(|r, is_def| {
+                        if is_def {
+                            *fresh.get(&r).expect("fresh def")
+                        } else {
+                            r
+                        }
+                    });
+                    if let Some(reaching) = reaching_for_pred {
+                        match reaching {
+                            Ok(prev) => {
+                                let new_d = inst.dst.expect("predicated dst");
+                                pred_pairs.push((prev, new_d));
+                            }
+                            Err(var) => {
+                                return Err(SsaError::UseBeforeDef { var, block: b });
+                            }
+                        }
+                    }
+                }
+                // Rets at a Ret block.
+                if matches!(out.blocks[bi].term, crate::function::Terminator::Ret)
+                    && f.kind == crate::function::FuncKind::Device
+                {
+                    let mut rr = Vec::new();
+                    for &r in &f.rets {
+                        match stacks[r.0 as usize].last() {
+                            Some(&cur) => rr.push(cur),
+                            None => {
+                                return Err(SsaError::UseBeforeDef { var: r, block: b });
+                            }
+                        }
+                    }
+                    new_rets = Some(rr);
+                }
+                // Fill φ args in successors.
+                for &s in &cfg.succs[bi] {
+                    let si = s.0 as usize;
+                    for phi in &mut phis[si] {
+                        if let Some(&cur) = stacks[phi.var.0 as usize].last() {
+                            phi.args.push((b, cur));
+                        }
+                        // If no def reaches this edge the variable is dead
+                        // here (pruned φ guarantees liveness, so a missing
+                        // def would be a use-before-def caught at the use).
+                    }
+                }
+                stack.push(Step::Pop(b));
+                for &c in children[bi].iter().rev() {
+                    stack.push(Step::Visit(c));
+                }
+            }
+            Step::Pop(b) => {
+                for var in pushes_per_block[b.0 as usize].drain(..) {
+                    stacks[var.0 as usize].pop();
+                }
+            }
+        }
+    }
+
+    out.rets = new_rets.unwrap_or_default();
+    Ok(SsaFunction {
+        func: out,
+        phis,
+        origin,
+        pred_pairs,
+    })
+}
+
+/// Map from SSA values to webs (the paper's variable sets `SS_i`).
+#[derive(Debug, Clone)]
+pub struct WebMap {
+    /// Web id of each SSA value.
+    pub web_of: Vec<u32>,
+    /// Width of each web.
+    pub widths: Vec<Width>,
+}
+
+impl WebMap {
+    /// Number of webs.
+    pub fn num_webs(&self) -> usize {
+        self.widths.len()
+    }
+}
+
+/// Coalesce φ-connected SSA values into webs (union-find).
+pub fn coalesce_phis(ssa: &SsaFunction) -> WebMap {
+    let n = ssa.func.num_vregs();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for phis in &ssa.phis {
+        for phi in phis {
+            let d = find(&mut parent, phi.dst.0);
+            for &(_, a) in &phi.args {
+                let ar = find(&mut parent, a.0);
+                if ar != d {
+                    parent[ar as usize] = d;
+                }
+            }
+        }
+    }
+    // Predicated read-modify-write destinations share their old value's web.
+    for &(old, new) in &ssa.pred_pairs {
+        let a = find(&mut parent, old.0);
+        let b = find(&mut parent, new.0);
+        if a != b {
+            parent[b as usize] = a;
+        }
+    }
+    // Compact web ids.
+    let mut web_of = vec![u32::MAX; n];
+    let mut widths = Vec::new();
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v);
+        if web_of[root as usize] == u32::MAX {
+            web_of[root as usize] = widths.len() as u32;
+            widths.push(ssa.func.width(VReg(root)));
+        }
+        web_of[v as usize] = web_of[root as usize];
+    }
+    WebMap { web_of, widths }
+}
+
+/// Rewrite an SSA function so every value is replaced by its web
+/// representative; φs become no-ops and are dropped. The result is a
+/// plain (non-SSA) function semantically identical to the original input
+/// of [`to_ssa`].
+pub fn to_web_function(ssa: &SsaFunction, map: &WebMap) -> Function {
+    let mut f = ssa.func.clone();
+    f.vreg_widths = map.widths.clone();
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            inst.rewrite_regs(|r, _| VReg(map.web_of[r.0 as usize]));
+        }
+    }
+    f.params = f
+        .params
+        .iter()
+        .map(|r| VReg(map.web_of[r.0 as usize]))
+        .collect();
+    f.rets = f
+        .rets
+        .iter()
+        .map(|r| VReg(map.web_of[r.0 as usize]))
+        .collect();
+    f
+}
+
+/// Full normalization: SSA → pruned φ → web coalescing → φ-free function
+/// with maximally split live ranges.
+///
+/// # Errors
+/// Propagates [`SsaError`] from construction.
+pub fn normalize(f: &Function) -> Result<Function, SsaError> {
+    let ssa = to_ssa(f)?;
+    let map = coalesce_phis(&ssa);
+    Ok(to_web_function(&ssa, &map))
+}
+
+impl Function {
+    /// Internal helper used by SSA construction (clears nothing today,
+    /// reserved for attached metadata).
+    fn user_note_clear(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{FuncKind, Terminator};
+    use crate::inst::{Inst, Opcode, Operand};
+    use crate::types::{MemSpace, PredReg};
+
+    /// if (p) v = 1 else v = 2; st v
+    fn diamond_assign() -> Function {
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let v = f.new_vreg(Width::W32);
+        let t = f.new_block();
+        let e = f.new_block();
+        let j = f.new_block();
+        f.block_mut(BlockId(0)).term = Terminator::Branch {
+            pred: PredReg(0),
+            neg: false,
+            then_bb: t,
+            else_bb: e,
+        };
+        f.block_mut(t).insts = vec![Inst::new(Opcode::Mov, Some(v), vec![Operand::Imm(1)])];
+        f.block_mut(t).term = Terminator::Jump(j);
+        f.block_mut(e).insts = vec![Inst::new(Opcode::Mov, Some(v), vec![Operand::Imm(2)])];
+        f.block_mut(e).term = Terminator::Jump(j);
+        f.block_mut(j).insts = vec![Inst::new(
+            Opcode::St {
+                space: MemSpace::Global,
+                width: Width::W32,
+                offset: 0,
+            },
+            None,
+            vec![Operand::Imm(0), v.into()],
+        )];
+        f.block_mut(j).term = Terminator::Exit;
+        f
+    }
+
+    #[test]
+    fn phi_inserted_at_join() {
+        let f = diamond_assign();
+        let ssa = to_ssa(&f).unwrap();
+        assert_eq!(ssa.phis[3].len(), 1, "one φ at the join block");
+        assert_eq!(ssa.phis[3][0].args.len(), 2);
+        // The two Movs defined distinct SSA values.
+        let defs: Vec<VReg> = ssa.func.blocks[1]
+            .insts
+            .iter()
+            .chain(&ssa.func.blocks[2].insts)
+            .filter_map(|i| i.dst)
+            .collect();
+        assert_ne!(defs[0], defs[1]);
+    }
+
+    #[test]
+    fn coalesce_merges_phi_web() {
+        let f = diamond_assign();
+        let ssa = to_ssa(&f).unwrap();
+        let map = coalesce_phis(&ssa);
+        let phi = &ssa.phis[3][0];
+        let d = map.web_of[phi.dst.0 as usize];
+        for &(_, a) in &phi.args {
+            assert_eq!(map.web_of[a.0 as usize], d);
+        }
+    }
+
+    #[test]
+    fn normalize_roundtrip_structure() {
+        let f = diamond_assign();
+        let nf = normalize(&f).unwrap();
+        assert_eq!(nf.num_blocks(), f.num_blocks());
+        assert_eq!(nf.block(BlockId(3)).insts.len(), 1);
+        // The store's operand is the φ web.
+        let st = &nf.block(BlockId(3)).insts[0];
+        assert!(st.srcs[1].as_reg().is_some());
+    }
+
+    #[test]
+    fn unrelated_reuses_split() {
+        // v = 1; st v; v = 2; st v  → two webs after normalize.
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let v = f.new_vreg(Width::W32);
+        let st = |v: VReg, off: i32| {
+            Inst::new(
+                Opcode::St {
+                    space: MemSpace::Global,
+                    width: Width::W32,
+                    offset: off,
+                },
+                None,
+                vec![Operand::Imm(0), v.into()],
+            )
+        };
+        f.block_mut(BlockId(0)).insts = vec![
+            Inst::new(Opcode::Mov, Some(v), vec![Operand::Imm(1)]),
+            st(v, 0),
+            Inst::new(Opcode::Mov, Some(v), vec![Operand::Imm(2)]),
+            st(v, 4),
+        ];
+        let nf = normalize(&f).unwrap();
+        let d0 = nf.block(BlockId(0)).insts[0].dst.unwrap();
+        let d1 = nf.block(BlockId(0)).insts[2].dst.unwrap();
+        assert_ne!(d0, d1, "independent reuses become distinct webs");
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let v = f.new_vreg(Width::W32);
+        f.block_mut(BlockId(0)).insts = vec![Inst::new(
+            Opcode::St {
+                space: MemSpace::Global,
+                width: Width::W32,
+                offset: 0,
+            },
+            None,
+            vec![Operand::Imm(0), v.into()],
+        )];
+        assert!(matches!(
+            to_ssa(&f),
+            Err(SsaError::UseBeforeDef { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_variable_single_web() {
+        // i = 0; loop: i = i + 1; p = i < 10; branch loop/exit; st i.
+        let mut f = Function::new("k", FuncKind::Kernel);
+        let i = f.new_vreg(Width::W32);
+        let header = f.new_block();
+        let exit = f.new_block();
+        f.block_mut(BlockId(0)).insts =
+            vec![Inst::new(Opcode::Mov, Some(i), vec![Operand::Imm(0)])];
+        f.block_mut(BlockId(0)).term = Terminator::Jump(header);
+        let mut cmp = Inst::new(
+            Opcode::ISetp(crate::inst::Cmp::Lt),
+            None,
+            vec![i.into(), Operand::Imm(10)],
+        );
+        cmp.pdst = Some(PredReg(0));
+        f.block_mut(header).insts = vec![
+            Inst::new(Opcode::IAdd, Some(i), vec![i.into(), Operand::Imm(1)]),
+            cmp,
+        ];
+        f.block_mut(header).term = Terminator::Branch {
+            pred: PredReg(0),
+            neg: false,
+            then_bb: header,
+            else_bb: exit,
+        };
+        f.block_mut(exit).insts = vec![Inst::new(
+            Opcode::St {
+                space: MemSpace::Global,
+                width: Width::W32,
+                offset: 0,
+            },
+            None,
+            vec![Operand::Imm(0), i.into()],
+        )];
+        f.block_mut(exit).term = Terminator::Exit;
+
+        let nf = normalize(&f).unwrap();
+        // The loop-carried variable is one web everywhere.
+        let def_in_header = nf.block(header).insts[0].dst.unwrap();
+        let use_in_exit = nf.block(exit).insts[0].srcs[1].as_reg().unwrap();
+        assert_eq!(def_in_header, use_in_exit);
+    }
+}

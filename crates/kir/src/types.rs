@@ -1,0 +1,206 @@
+//! Fundamental value and register types for the kernel IR.
+//!
+//! The IR models a SASS-like virtual machine: 32-bit general-purpose
+//! registers, with *wide* values (64/96/128-bit) occupying consecutive,
+//! aligned registers — the property that makes the paper's coloring
+//! variant (Figure 4) interesting. Predicate registers form a separate,
+//! small class that does not participate in occupancy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Width of a virtual register value, in units of 32-bit words.
+///
+/// Wide values must be stored in consecutive physical registers whose
+/// first register index is aligned to the value's word count (64-bit
+/// values start at even registers, 128-bit at multiples of four), per the
+/// NVIDIA register-pair constraints described in the paper's platform
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// 32-bit scalar (one register).
+    W32,
+    /// 64-bit value (register pair, even-aligned).
+    W64,
+    /// 96-bit value (three registers; alignment of the containing quad).
+    W96,
+    /// 128-bit value (register quad, quad-aligned).
+    W128,
+}
+
+impl Width {
+    /// Number of 32-bit register slots the value occupies.
+    #[inline]
+    pub fn words(self) -> u16 {
+        match self {
+            Width::W32 => 1,
+            Width::W64 => 2,
+            Width::W96 => 3,
+            Width::W128 => 4,
+        }
+    }
+
+    /// Required alignment (in register slots) of the first register.
+    ///
+    /// 96-bit values align like 128-bit ones, matching the hardware rule
+    /// that wide operands are addressed as aligned pairs/quads.
+    #[inline]
+    pub fn alignment(self) -> u16 {
+        match self {
+            Width::W32 => 1,
+            Width::W64 => 2,
+            Width::W96 | Width::W128 => 4,
+        }
+    }
+
+    /// Width in bytes.
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        u32::from(self.words()) * 4
+    }
+
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::W32, Width::W64, Width::W96, Width::W128];
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.bytes() * 8 / 4 * 4) // bits
+    }
+}
+
+/// A virtual register: an SSA-or-not value name local to one [`Function`].
+///
+/// [`Function`]: crate::function::Function
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A predicate register. Predicates are a separate register class with a
+/// fixed, small file (7 per thread on the modeled devices) that does not
+/// count toward occupancy; the allocator never spills them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PredReg(pub u8);
+
+impl fmt::Display for PredReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Maximum number of predicate registers per thread.
+pub const NUM_PRED_REGS: u8 = 7;
+
+/// Hardware-provided special (read-only) registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialReg {
+    /// Thread index within the block (x dimension).
+    TidX,
+    /// Block index within the grid (x dimension).
+    CtaIdX,
+    /// Threads per block.
+    NTidX,
+    /// Blocks in the grid.
+    NCtaIdX,
+    /// Lane index within the warp (`tid % 32`).
+    LaneId,
+    /// Warp index within the block (`tid / 32`).
+    WarpId,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::CtaIdX => "%ctaid.x",
+            SpecialReg::NTidX => "%ntid.x",
+            SpecialReg::NCtaIdX => "%nctaid.x",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory spaces addressable by load/store instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Off-chip DRAM, cached in L2 (and, on Fermi, L1).
+    Global,
+    /// On-chip software-managed cache, per thread block.
+    Shared,
+    /// Per-thread spill/stack space; interleaved so that warp accesses
+    /// coalesce, cached in L1 on both modeled devices.
+    Local,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Local => "local",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a function within a [`Module`].
+///
+/// [`Module`]: crate::function::Module
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_words_and_alignment() {
+        assert_eq!(Width::W32.words(), 1);
+        assert_eq!(Width::W64.words(), 2);
+        assert_eq!(Width::W96.words(), 3);
+        assert_eq!(Width::W128.words(), 4);
+        assert_eq!(Width::W32.alignment(), 1);
+        assert_eq!(Width::W64.alignment(), 2);
+        assert_eq!(Width::W96.alignment(), 4);
+        assert_eq!(Width::W128.alignment(), 4);
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W32.bytes(), 4);
+        assert_eq!(Width::W128.bytes(), 16);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VReg(3).to_string(), "v3");
+        assert_eq!(PredReg(1).to_string(), "p1");
+        assert_eq!(BlockId(0).to_string(), "bb0");
+        assert_eq!(FuncId(2).to_string(), "f2");
+        assert_eq!(MemSpace::Shared.to_string(), "shared");
+        assert_eq!(SpecialReg::TidX.to_string(), "%tid.x");
+    }
+}

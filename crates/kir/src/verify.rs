@@ -1,0 +1,420 @@
+//! IR verifier: structural and type checks run before compilation.
+
+use crate::callgraph::CallGraph;
+use crate::cfg::Cfg;
+use crate::function::{FuncKind, Module, Terminator};
+use crate::inst::{Opcode, Operand};
+use crate::liveness::Liveness;
+use crate::types::{BlockId, FuncId, VReg, Width, NUM_PRED_REGS};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Register id out of the function's vreg table.
+    BadVReg { func: String, reg: VReg },
+    /// Predicate register id ≥ [`NUM_PRED_REGS`].
+    BadPred { func: String },
+    /// Operand/destination width mismatch for an opcode.
+    WidthMismatch { func: String, block: BlockId, idx: usize, detail: String },
+    /// Wrong number of sources for an opcode.
+    ArityMismatch { func: String, block: BlockId, idx: usize },
+    /// Call argument/return shape disagrees with the callee signature.
+    BadCall { func: String, callee: FuncId, detail: String },
+    /// Branch target out of range.
+    BadTarget { func: String, block: BlockId },
+    /// Kernel contains `Ret`, or a device function contains `Exit`, or a
+    /// device function does not have exactly one `Ret` block.
+    BadTerminator { func: String, detail: String },
+    /// A register may be read before any write reaches it.
+    UseBeforeDef { func: String, reg: VReg },
+    /// The module's call graph is recursive.
+    Recursion { func: FuncId },
+    /// Module entry is not a kernel.
+    BadEntry,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadVReg { func, reg } => write!(f, "{func}: unknown register {reg}"),
+            VerifyError::BadPred { func } => write!(f, "{func}: predicate register out of range"),
+            VerifyError::WidthMismatch { func, block, idx, detail } => {
+                write!(f, "{func}:{block}[{idx}]: width mismatch: {detail}")
+            }
+            VerifyError::ArityMismatch { func, block, idx } => {
+                write!(f, "{func}:{block}[{idx}]: wrong operand count")
+            }
+            VerifyError::BadCall { func, callee, detail } => {
+                write!(f, "{func}: bad call to {callee}: {detail}")
+            }
+            VerifyError::BadTarget { func, block } => {
+                write!(f, "{func}:{block}: branch target out of range")
+            }
+            VerifyError::BadTerminator { func, detail } => write!(f, "{func}: {detail}"),
+            VerifyError::UseBeforeDef { func, reg } => {
+                write!(f, "{func}: {reg} may be read before written")
+            }
+            VerifyError::Recursion { func } => write!(f, "recursion through {func}"),
+            VerifyError::BadEntry => write!(f, "module entry is not a kernel"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Expected source arity of an opcode (`None` = variable).
+fn arity(op: &Opcode) -> Option<usize> {
+    use Opcode::*;
+    Some(match op {
+        IAdd | ISub | IMul | IMin | IMax | Shl | Shr | And | Or | Xor | FAdd | FSub | FMul
+        | FMin | FMax | DAdd | DMul | ISetp(_) | FSetp(_) => 2,
+        IMad | FFma | DFma => 3,
+        Not | FNeg | FAbs | FRcp | FSqrt | I2F | F2I | Mov | Unpack { .. } => 1,
+        Sel => 2,
+        Pack { .. } => 2,
+        Ld { .. } => 1,
+        St { .. } => 2,
+        Call(_) => 0,
+        Bar | Nop => 0,
+    })
+}
+
+fn check_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
+    let f = m.func(fid);
+    let name = f.name.clone();
+    let nv = f.num_vregs();
+    let nb = f.num_blocks();
+    let chk_reg = |r: VReg| -> Result<(), VerifyError> {
+        if (r.0 as usize) < nv {
+            Ok(())
+        } else {
+            Err(VerifyError::BadVReg { func: name.clone(), reg: r })
+        }
+    };
+    let w = |r: VReg| f.width(r);
+
+    // Terminator discipline.
+    let mut ret_blocks = 0;
+    for (bid, b) in f.iter_blocks() {
+        match &b.term {
+            Terminator::Jump(t) => {
+                if t.0 as usize >= nb {
+                    return Err(VerifyError::BadTarget { func: name.clone(), block: bid });
+                }
+            }
+            Terminator::Branch { pred, then_bb, else_bb, .. } => {
+                if pred.0 >= NUM_PRED_REGS {
+                    return Err(VerifyError::BadPred { func: name.clone() });
+                }
+                if then_bb.0 as usize >= nb || else_bb.0 as usize >= nb {
+                    return Err(VerifyError::BadTarget { func: name.clone(), block: bid });
+                }
+            }
+            Terminator::Ret => {
+                if f.kind == FuncKind::Kernel {
+                    return Err(VerifyError::BadTerminator {
+                        func: name.clone(),
+                        detail: "kernel contains Ret".into(),
+                    });
+                }
+                ret_blocks += 1;
+            }
+            Terminator::Exit => {
+                if f.kind == FuncKind::Device {
+                    return Err(VerifyError::BadTerminator {
+                        func: name.clone(),
+                        detail: "device function contains Exit".into(),
+                    });
+                }
+            }
+        }
+    }
+    if f.kind == FuncKind::Device && ret_blocks != 1 {
+        return Err(VerifyError::BadTerminator {
+            func: name.clone(),
+            detail: format!("device function has {ret_blocks} Ret blocks, expected 1"),
+        });
+    }
+
+    for (bid, b) in f.iter_blocks() {
+        for (idx, inst) in b.insts.iter().enumerate() {
+            for r in inst.uses().chain(inst.defs()) {
+                chk_reg(r)?;
+            }
+            if let Some(p) = inst.pred {
+                if p.0 >= NUM_PRED_REGS {
+                    return Err(VerifyError::BadPred { func: name.clone() });
+                }
+            }
+            if let Some(p) = inst.pdst {
+                if p.0 >= NUM_PRED_REGS {
+                    return Err(VerifyError::BadPred { func: name.clone() });
+                }
+            }
+            if let Some(n) = arity(&inst.op) {
+                if inst.srcs.len() != n {
+                    return Err(VerifyError::ArityMismatch { func: name.clone(), block: bid, idx });
+                }
+            }
+            let mismatch = |detail: String| VerifyError::WidthMismatch {
+                func: name.clone(),
+                block: bid,
+                idx,
+                detail,
+            };
+            let opw = |o: &Operand| o.as_reg().map(w);
+            use Opcode::*;
+            match &inst.op {
+                IAdd | ISub | IMul | IMad | IMin | IMax | Shl | Shr | And | Or | Xor | Not
+                | FAdd | FSub | FMul | FFma | FMin | FMax | FNeg | FAbs | FRcp | FSqrt | I2F
+                | F2I | Sel => {
+                    for s in &inst.srcs {
+                        if opw(s) == Some(Width::W64) || opw(s) == Some(Width::W96)
+                            || opw(s) == Some(Width::W128)
+                        {
+                            return Err(mismatch("32-bit op with wide source".into()));
+                        }
+                    }
+                    if let Some(d) = inst.dst {
+                        if w(d) != Width::W32 {
+                            return Err(mismatch("32-bit op with wide destination".into()));
+                        }
+                    }
+                    if matches!(inst.op, Sel) && inst.sel_pred.is_none() {
+                        return Err(mismatch("Sel without selector predicate".into()));
+                    }
+                }
+                DAdd | DMul | DFma => {
+                    for s in &inst.srcs {
+                        if let Some(sw) = opw(s) {
+                            if sw != Width::W64 {
+                                return Err(mismatch("f64 op with non-W64 source".into()));
+                            }
+                        }
+                    }
+                    if let Some(d) = inst.dst {
+                        if w(d) != Width::W64 {
+                            return Err(mismatch("f64 op with non-W64 destination".into()));
+                        }
+                    }
+                }
+                ISetp(_) | FSetp(_) => {
+                    if inst.pdst.is_none() {
+                        return Err(mismatch("setp without predicate destination".into()));
+                    }
+                }
+                Mov => {
+                    if let (Some(d), Some(sw)) = (inst.dst, opw(&inst.srcs[0])) {
+                        if w(d) != sw {
+                            return Err(mismatch("mov width mismatch".into()));
+                        }
+                    }
+                }
+                Unpack { lane } => {
+                    let sw = opw(&inst.srcs[0])
+                        .ok_or_else(|| mismatch("unpack of non-register".into()))?;
+                    if u16::from(*lane) >= sw.words() {
+                        return Err(mismatch("unpack lane out of range".into()));
+                    }
+                    if let Some(d) = inst.dst {
+                        if w(d) != Width::W32 {
+                            return Err(mismatch("unpack destination must be W32".into()));
+                        }
+                    }
+                }
+                Pack { lane } => {
+                    let sw = opw(&inst.srcs[0])
+                        .ok_or_else(|| mismatch("pack of non-register".into()))?;
+                    if u16::from(*lane) >= sw.words() {
+                        return Err(mismatch("pack lane out of range".into()));
+                    }
+                    if let Some(d) = inst.dst {
+                        if w(d) != sw {
+                            return Err(mismatch("pack width mismatch".into()));
+                        }
+                    }
+                }
+                Ld { width, .. } => {
+                    if let Some(d) = inst.dst {
+                        if w(d) != *width {
+                            return Err(mismatch("load width mismatch".into()));
+                        }
+                    }
+                }
+                St { width, .. } => {
+                    if let Some(sw) = opw(&inst.srcs[1]) {
+                        if sw != *width {
+                            return Err(mismatch("store width mismatch".into()));
+                        }
+                    }
+                }
+                Call(callee) => {
+                    let ci = inst.call.as_ref().ok_or_else(|| VerifyError::BadCall {
+                        func: name.clone(),
+                        callee: *callee,
+                        detail: "missing call info".into(),
+                    })?;
+                    if callee.0 as usize >= m.funcs.len() {
+                        return Err(VerifyError::BadCall {
+                            func: name.clone(),
+                            callee: *callee,
+                            detail: "unknown callee".into(),
+                        });
+                    }
+                    let target = m.func(*callee);
+                    if target.kind != FuncKind::Device {
+                        return Err(VerifyError::BadCall {
+                            func: name.clone(),
+                            callee: *callee,
+                            detail: "call target is not a device function".into(),
+                        });
+                    }
+                    if ci.args.len() != target.params.len() {
+                        return Err(VerifyError::BadCall {
+                            func: name.clone(),
+                            callee: *callee,
+                            detail: format!(
+                                "{} args, callee takes {}",
+                                ci.args.len(),
+                                target.params.len()
+                            ),
+                        });
+                    }
+                    if ci.rets.len() != target.rets.len() {
+                        return Err(VerifyError::BadCall {
+                            func: name.clone(),
+                            callee: *callee,
+                            detail: format!(
+                                "{} rets, callee returns {}",
+                                ci.rets.len(),
+                                target.rets.len()
+                            ),
+                        });
+                    }
+                    for (a, &p) in ci.args.iter().zip(&target.params) {
+                        if let Some(aw) = opw(a) {
+                            if aw != target.width(p) {
+                                return Err(VerifyError::BadCall {
+                                    func: name.clone(),
+                                    callee: *callee,
+                                    detail: "argument width mismatch".into(),
+                                });
+                            }
+                        }
+                    }
+                    for (&r, &tr) in ci.rets.iter().zip(&target.rets) {
+                        if w(r) != target.width(tr) {
+                            return Err(VerifyError::BadCall {
+                                func: name.clone(),
+                                callee: *callee,
+                                detail: "return width mismatch".into(),
+                            });
+                        }
+                    }
+                }
+                Bar | Nop => {}
+            }
+        }
+    }
+
+    // Use-before-def: nothing may be live into the entry except params.
+    let cfg = Cfg::new(f);
+    let live = Liveness::new(f, &cfg);
+    for v in live.live_in[0].iter() {
+        let r = VReg(v as u32);
+        if !f.params.contains(&r) {
+            return Err(VerifyError::UseBeforeDef { func: name.clone(), reg: r });
+        }
+    }
+    Ok(())
+}
+
+/// Verify a whole module.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] found; a `Ok(())` module is safe to
+/// feed to SSA construction, allocation, and the simulator.
+pub fn verify(m: &Module) -> Result<(), VerifyError> {
+    if m.kernel().kind != FuncKind::Kernel {
+        return Err(VerifyError::BadEntry);
+    }
+    let cg = CallGraph::new(m);
+    cg.bottom_up(m.entry)
+        .map_err(|e| VerifyError::Recursion { func: e.func })?;
+    for (fid, _) in m.iter_funcs() {
+        check_function(m, fid)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::inst::Inst;
+
+    #[test]
+    fn empty_kernel_verifies() {
+        let m = Module::new(Function::new("k", FuncKind::Kernel));
+        assert_eq!(verify(&m), Ok(()));
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts = vec![Inst::new(
+            Opcode::Mov,
+            Some(VReg(7)),
+            vec![Operand::Imm(0)],
+        )];
+        assert!(matches!(verify(&m), Err(VerifyError::BadVReg { .. })));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        let f = m.func_mut(FuncId(0));
+        let wide = f.new_vreg(Width::W64);
+        f.block_mut(BlockId(0)).insts = vec![Inst::new(
+            Opcode::IAdd,
+            Some(wide),
+            vec![Operand::Imm(1), Operand::Imm(2)],
+        )];
+        assert!(matches!(verify(&m), Err(VerifyError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        let f = m.func_mut(FuncId(0));
+        let v = f.new_vreg(Width::W32);
+        let d = f.new_vreg(Width::W32);
+        f.block_mut(BlockId(0)).insts = vec![Inst::new(
+            Opcode::IAdd,
+            Some(d),
+            vec![v.into(), Operand::Imm(2)],
+        )];
+        assert!(matches!(verify(&m), Err(VerifyError::UseBeforeDef { .. })));
+    }
+
+    #[test]
+    fn kernel_with_ret_rejected() {
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).term = Terminator::Ret;
+        assert!(matches!(verify(&m), Err(VerifyError::BadTerminator { .. })));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut m = Module::new(Function::new("k", FuncKind::Kernel));
+        let mut dev = Function::new("d", FuncKind::Device);
+        let p = dev.new_vreg(Width::W32);
+        dev.params = vec![p];
+        let id = m.add_func(dev);
+        let mut call = Inst::new(Opcode::Call(id), None, vec![]);
+        call.call = Some(crate::inst::CallInfo { args: vec![], rets: vec![] });
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts = vec![call];
+        assert!(matches!(verify(&m), Err(VerifyError::BadCall { .. })));
+    }
+}

@@ -1,0 +1,148 @@
+//! `bfs` (Rodinia, graph traversal): one frontier-expansion step.
+//!
+//! Table 2: 16 registers, no calls, no shared memory. Each thread owns a
+//! frontier node, loops over its (variable) degree — warp divergence —
+//! and gathers neighbor costs through an irregular index buffer. The
+//! application relaunches the kernel once per BFS level with *different
+//! amounts of work* (the frontier grows and shrinks), which is exactly
+//! why the paper reports the dynamic tuner struggles to compare
+//! consecutive invocations (§4.2): we reproduce that with per-iteration
+//! frontier sizes.
+//!
+//! Performance is best at the highest occupancy and flat above 50%
+//! (Figure 15b): irregular gathers leave long latencies for warps to
+//! hide and there is little cache locality to thrash.
+
+use crate::common::{gid, guard, ld_elem, st_elem, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::function::Module;
+use orion_kir::inst::{Cmp, Inst, Opcode, Operand};
+use orion_kir::types::{PredReg, VReg};
+
+const NODES: u32 = 1 << 13;
+const MAX_DEGREE: u32 = 8;
+const FRONTIER_CAP: u32 = 672 * 256;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    // Params: 0 = frontier ids, 1 = degrees, 2 = adjacency (node*MAX_DEGREE),
+    // 3 = cost array, 4 = output, 5 = frontier size.
+    let mut b = FunctionBuilder::kernel("bfs_kernel");
+    let g = gid(&mut b);
+    guard(&mut b, g, 5);
+    let node = {
+        let v = ld_elem(&mut b, 0, g, 0);
+        b.and(v, Operand::Imm(i64::from(NODES - 1)))
+    };
+    let degree = ld_elem(&mut b, 1, node, 0);
+    let abase = b.imul(node, Operand::Imm(i64::from(MAX_DEGREE)));
+    // Path bookkeeping (visited masks, level counters) live across the
+    // neighbor loop: Table 2's 16 registers.
+    let degree_f = b.i2f(degree);
+    let path = crate::common::standing_values(&mut b, degree_f, 9);
+    let best: VReg = b.mov_f32(f32::MAX);
+    // Degree-dependent loop: divergence across the warp.
+    let i0 = b.mov_i32(0);
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit_bb = b.new_block();
+    b.jump(header);
+    b.switch_to(header);
+    b.isetp(Cmp::Lt, i0, degree, PredReg(0));
+    b.branch(PredReg(0), false, body, exit_bb);
+    b.switch_to(body);
+    let slot = b.iadd(abase, i0);
+    let neighbor = ld_elem(&mut b, 2, slot, 0);
+    let ncost = ld_elem(&mut b, 3, neighbor, 0); // irregular gather
+    // Edge-weight relaxation arithmetic per neighbor (keeps the kernel
+    // latency-bound rather than bandwidth-bound).
+    let wgt = crate::common::fma_chain(&mut b, ncost, 6);
+    b.push(Inst::new(
+        Opcode::FMin,
+        Some(best),
+        vec![best.into(), wgt.into()],
+    ));
+    b.push(Inst::new(Opcode::IAdd, Some(i0), vec![i0.into(), Operand::Imm(1)]));
+    b.jump(header);
+    b.switch_to(exit_bb);
+    // Relax: out[node] = best + 1 (+ bookkeeping fold).
+    let relaxed = b.fadd(best, Operand::Imm(f32::to_bits(1.0) as i64));
+    let psum = crate::common::combine(&mut b, &path);
+    let out = b.ffma(psum, Operand::Imm(f32::to_bits(1e-6) as i64), relaxed);
+    st_elem(&mut b, 4, node, out);
+    b.exit();
+    let module = Module::new(b.finish());
+
+    // Graph data.
+    let frontier = crate::common::index_buffer(0xbf50, FRONTIER_CAP as usize, NODES);
+    let degrees = crate::common::index_buffer(0xbf51, NODES as usize, MAX_DEGREE + 1);
+    let adjacency =
+        crate::common::index_buffer(0xbf52, (NODES * MAX_DEGREE) as usize, NODES);
+    let costs = crate::common::f32_buffer(0xbf53, NODES as usize);
+    let f_base = 0u32;
+    let d_base = frontier.len() as u32;
+    let a_base = d_base + degrees.len() as u32;
+    let c_base = a_base + adjacency.len() as u32;
+    let o_base = c_base + costs.len() as u32;
+    let mut init = frontier;
+    init.extend(degrees);
+    init.extend(adjacency);
+    init.extend(costs);
+    init.extend(zeros((4 * NODES) as usize));
+
+    // Frontier sizes per BFS level: grows then shrinks — different work
+    // per invocation.
+    let sizes = [24576u32, 73728, 147456, 172032, 147456, 73728, 49152, 24576];
+    let grid = FRONTIER_CAP.div_ceil(256);
+    let iter_params: Vec<Vec<u32>> = sizes
+        .iter()
+        .map(|&s| vec![f_base, d_base, a_base, c_base, o_base, s])
+        .collect();
+
+    Workload {
+        name: "bfs",
+        domain: "Graph traversal",
+        module,
+        grid,
+        block: 256,
+        params: iter_params[3].clone(), // a representative (large) level
+        init_global: init,
+        iterations: sizes.len() as u32,
+        can_tune: true,
+        iter_params: Some(iter_params),
+        expected: Table2Row { reg: 16, func: 0, smem: false },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!(
+            (ml as i64 - i64::from(w.expected.reg)).unsigned_abs() <= 3,
+            "max-live {ml} vs {}",
+            w.expected.reg
+        );
+        assert!(w.iter_params.is_some());
+    }
+
+    #[test]
+    fn divergent_loop_executes() {
+        use orion_kir::interp::{Interpreter, LaunchConfig};
+        let w = build();
+        let mut g = w.init_global.clone();
+        let mut params = w.params.clone();
+        params[5] = 64;
+        let stats = Interpreter::new(&w.module, &params)
+            .run(LaunchConfig { grid: 1, block: 64 }, &mut g)
+            .unwrap();
+        assert!(stats.dyn_insts > 64 * 10);
+    }
+}

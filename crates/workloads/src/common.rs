@@ -1,0 +1,156 @@
+//! Shared kernel-construction helpers and input generators.
+
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::inst::{Cmp, Inst, Opcode, Operand};
+use orion_kir::types::{FuncId, MemSpace, PredReg, SpecialReg, VReg, Width};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Compute the global linear thread id (`ctaid * ntid + tid`).
+pub fn gid(b: &mut FunctionBuilder) -> VReg {
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    b.imad(cta, nt, tid)
+}
+
+/// Emit an early-exit guard: threads with `gid >= Param(count_param)`
+/// leave immediately. Returns with the builder positioned in the body.
+pub fn guard(b: &mut FunctionBuilder, gid: VReg, count_param: u8) {
+    b.isetp(Cmp::Ge, gid, Operand::Param(count_param), PredReg(6));
+    let body = b.new_block();
+    let out = b.new_block();
+    b.branch(PredReg(6), false, out, body);
+    b.switch_to(out);
+    b.exit();
+    b.switch_to(body);
+}
+
+/// Materialize `k` values that stay live together with `seed` (they are
+/// all combined by the returned accumulator later). This is the main
+/// register-pressure knob: max-live grows roughly with `k`.
+pub fn standing_values(b: &mut FunctionBuilder, seed: VReg, k: usize) -> Vec<VReg> {
+    (0..k)
+        .map(|i| {
+            let c = b.mov_f32(0.5 + i as f32 * 0.125);
+            b.ffma(seed, c, Operand::Imm(f32::to_bits(1.0 + i as f32) as i64))
+        })
+        .collect()
+}
+
+/// Fold standing values into one result.
+pub fn combine(b: &mut FunctionBuilder, vals: &[VReg]) -> VReg {
+    let mut acc = b.mov_f32(0.0);
+    for &v in vals {
+        acc = b.fadd(acc, v);
+    }
+    acc
+}
+
+/// Re-touch every standing value inside a loop body so they stay live
+/// across the whole loop (a cheap read: fmin into a sink).
+pub fn touch_all(b: &mut FunctionBuilder, sink: VReg, vals: &[VReg]) {
+    for &v in vals {
+        b.push(Inst::new(Opcode::FMin, Some(sink), vec![sink.into(), v.into()]));
+    }
+}
+
+/// Append `n` dependent FMAs on `x` (compute intensity knob). Returns
+/// the chain result.
+pub fn fma_chain(b: &mut FunctionBuilder, x: VReg, n: usize) -> VReg {
+    let mut acc = x;
+    for i in 0..n {
+        let c = f32::to_bits(1.0 + (i % 7) as f32 * 0.03125) as i64;
+        acc = b.ffma(acc, Operand::Imm(c), x);
+    }
+    acc
+}
+
+/// Call the float-division intrinsic `fdiv_id` once: `a / d`.
+pub fn fdiv(b: &mut FunctionBuilder, fdiv_id: FuncId, a: VReg, d: VReg) -> VReg {
+    b.call(fdiv_id, vec![a.into(), d.into()], &[Width::W32])[0]
+}
+
+/// Load a 32-bit word of `base_param` at element index `idx`.
+pub fn ld_elem(b: &mut FunctionBuilder, base_param: u8, idx: VReg, offset: i32) -> VReg {
+    let addr = b.imad(idx, Operand::Imm(4), Operand::Param(base_param));
+    b.ld(MemSpace::Global, Width::W32, addr, offset * 4)
+}
+
+/// Store a 32-bit word to `base_param[idx]`.
+pub fn st_elem(b: &mut FunctionBuilder, base_param: u8, idx: VReg, val: VReg) {
+    let addr = b.imad(idx, Operand::Imm(4), Operand::Param(base_param));
+    b.st(MemSpace::Global, Width::W32, addr, val, 0);
+}
+
+/// Deterministic f32 buffer in `[0.5, 1.5)` (safe for division).
+pub fn f32_buffer(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .flat_map(|_| {
+            let v: f32 = 0.5 + rng.gen::<f32>();
+            v.to_bits().to_le_bytes()
+        })
+        .collect()
+}
+
+/// Deterministic u32 index buffer with values in `[0, range)`.
+pub fn index_buffer(seed: u64, n: usize, range: u32) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .flat_map(|_| rng.gen_range(0..range).to_le_bytes())
+        .collect()
+}
+
+/// Zero-filled output region.
+pub fn zeros(n_bytes: usize) -> Vec<u8> {
+    vec![0u8; n_bytes]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+    use orion_kir::function::Module;
+
+    #[test]
+    fn standing_values_drive_max_live() {
+        for k in [4usize, 16, 32] {
+            let mut b = FunctionBuilder::kernel("t");
+            let g = gid(&mut b);
+            let x = ld_elem(&mut b, 0, g, 0);
+            let vals = standing_values(&mut b, x, k);
+            let acc = combine(&mut b, &vals);
+            st_elem(&mut b, 1, g, acc);
+            let m = Module::new(b.finish());
+            let ml = kernel_max_live(&m).unwrap();
+            assert!(
+                (ml as i64 - k as i64).unsigned_abs() <= 4,
+                "k={k} maxlive={ml}"
+            );
+        }
+    }
+
+    #[test]
+    fn buffers_are_deterministic() {
+        assert_eq!(f32_buffer(7, 16), f32_buffer(7, 16));
+        assert_ne!(f32_buffer(7, 16), f32_buffer(8, 16));
+        let idx = index_buffer(3, 64, 10);
+        for c in idx.chunks(4) {
+            let v = u32::from_le_bytes(c.try_into().unwrap());
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn guard_produces_early_exit() {
+        let mut b = FunctionBuilder::kernel("g");
+        let g = gid(&mut b);
+        guard(&mut b, g, 2);
+        let x = ld_elem(&mut b, 0, g, 0);
+        st_elem(&mut b, 1, g, x);
+        b.exit();
+        let m = Module::new(b.finish());
+        orion_kir::verify::verify(&m).unwrap();
+    }
+}

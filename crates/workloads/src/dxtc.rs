@@ -1,0 +1,117 @@
+//! `dxtc` (CUDA SDK, image processing): DXT1 block compression.
+//!
+//! Table 2: 49 registers, 11 calls, shared memory. Each thread
+//! compresses a 4×4 texel block: all sixteen texels are loaded up front
+//! and stay live through the endpoint-refinement iterations (the
+//! register footprint), the candidate palette is staged in shared
+//! memory, and the per-axis normalizations contribute eleven division
+//! call sites.
+
+use crate::common::{combine, fdiv, gid, ld_elem, st_elem, standing_values, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::{build_fdiv_device, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+const BLOCKS4X4: u32 = 224 * 192;
+const BLOCK: u32 = 192;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let kb = FunctionBuilder::kernel("dxtc_compress");
+    let mut module = Module::new(kb.finish());
+    let fdiv_id = module.add_func(build_fdiv_device());
+
+    // Params: 0 = texels, 1 = output codes.
+    let mut b = FunctionBuilder::kernel("dxtc_compress");
+    let g = gid(&mut b);
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    // Texels are fetched through a swizzled (Morton-order) index so
+    // each fetch depends on the previous one's address computation.
+    let mut cursor = b.imul(g, Operand::Imm(16));
+    let mask = i64::from(BLOCKS4X4 * 16 - 1);
+    let texels: Vec<_> = (0..16)
+        .map(|_| {
+            let t = ld_elem(&mut b, 0, cursor, 0);
+            let p = b.f2i(t);
+            let pm = b.and(p, Operand::Imm(511));
+            let nxt = b.iadd(cursor, pm);
+            cursor = b.and(nxt, Operand::Imm(mask));
+            t
+        })
+        .collect();
+    // ...plus covariance/endpoint state, folded before refinement.
+    let state = standing_values(&mut b, texels[0], 30);
+    let st_sum = combine(&mut b, &state);
+    // Stage the block min in shared memory (palette scratch).
+    let mut bmin = texels[0];
+    for &t in &texels[1..] {
+        bmin = b.fmin(bmin, t);
+    }
+    let sa = b.imul(tid, Operand::Imm(4));
+    b.st(MemSpace::Shared, Width::W32, sa, bmin, 0);
+    b.bar();
+    let staged = b.ld(MemSpace::Shared, Width::W32, sa, 0);
+    // Fold the upper texels into one statistic before refinement; only
+    // the lower half stays live across the division calls.
+    let upper = combine(&mut b, &texels[8..]);
+    // Endpoint refinement: 11 normalizing divisions across the axes.
+    let mut err = b.fmul(upper, Operand::Imm(f32::to_bits(1e-6) as i64));
+    let mut axis = staged;
+    for i in 0..11 {
+        let t = texels[i % 8];
+        let diff = b.fsub(t, axis);
+        let len2 = b.ffma(diff, diff, Operand::Imm(f32::to_bits(0.5) as i64));
+        let unit = fdiv(&mut b, fdiv_id, diff, len2);
+        axis = b.ffma(unit, Operand::Imm(f32::to_bits(0.75) as i64), axis);
+        err = b.ffma(unit, unit, err);
+    }
+    // Emit the compressed code: fold everything.
+    let tex_sum = combine(&mut b, &texels[..8]);
+    let code = {
+        let a = b.fadd(tex_sum, st_sum);
+        let c = b.fadd(a, err);
+        b.fadd(c, axis)
+    };
+    st_elem(&mut b, 1, g, code);
+    b.exit();
+    module.funcs[0] = b.finish();
+    module.user_smem_bytes = 4 * BLOCK;
+
+    let texels = crate::common::f32_buffer(0xd97c, (BLOCKS4X4 * 16) as usize);
+    let t_base = 0u32;
+    let o_base = texels.len() as u32;
+    let mut init = texels;
+    init.extend(zeros((4 * BLOCKS4X4) as usize));
+
+    Workload {
+        name: "dxtc",
+        domain: "Image proc.",
+        module,
+        grid: BLOCKS4X4 / BLOCK,
+        block: BLOCK,
+        params: vec![t_base, o_base],
+        init_global: init,
+        iterations: 8,
+        can_tune: true,
+        iter_params: None,
+        expected: Table2Row { reg: 49, func: 11, smem: true },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        assert_eq!(w.module.static_call_count(), 11);
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!((ml as i64 - 49).unsigned_abs() <= 5, "max-live {ml}");
+        assert!(w.module.user_smem_bytes > 0);
+    }
+}

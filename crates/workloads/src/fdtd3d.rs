@@ -1,0 +1,110 @@
+//! `FDTD3d` (CUDA SDK, numerical analysis): finite-difference
+//! time-domain 3-D stencil with the classic register z-queue.
+//!
+//! Table 2: 48 registers, no calls, shared memory. Each thread sweeps a
+//! column in z; the radius-4 stencil keeps a queue of plane values in
+//! registers while the x/y neighbors come from a shared-memory tile —
+//! the canonical high-register, bandwidth-heavy GPU kernel.
+
+use crate::common::{combine, gid, ld_elem, st_elem, standing_values, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+const PLANE: u32 = 224 * 256; // threads per z-plane
+const DEPTH: i64 = 8; // z extent swept by each thread
+const BLOCK: u32 = 256;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    // Params: 0 = input volume, 1 = output volume.
+    let mut b = FunctionBuilder::kernel("fdtd3d_stencil");
+    let g = gid(&mut b);
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let x0 = ld_elem(&mut b, 0, g, 0);
+    // Stencil coefficients + z-queue: the 48-register footprint.
+    let coeffs = standing_values(&mut b, x0, 36);
+    let sink = b.mov_f32(f32::MAX);
+    let sa = b.imul(tid, Operand::Imm(4));
+    let mut acc = b.mov_f32(0.0);
+    for z in 0..DEPTH {
+        // Current plane cell.
+        let cur = ld_elem(&mut b, 0, g, (z * i64::from(PLANE)) as i32);
+        // Tile-stage and read the x-neighbors.
+        b.st(MemSpace::Shared, Width::W32, sa, cur, 0);
+        b.bar();
+        let e_idx = {
+            let t = b.iadd(tid, Operand::Imm(1));
+            b.imin(t, Operand::Imm(i64::from(BLOCK - 1)))
+        };
+        let ea = b.imul(e_idx, Operand::Imm(4));
+        let east = b.ld(MemSpace::Shared, Width::W32, ea, 0);
+        let w_idx = {
+            let t = b.isub(tid, Operand::Imm(1));
+            b.imax(t, Operand::Imm(0))
+        };
+        let wa = b.imul(w_idx, Operand::Imm(4));
+        let west = b.ld(MemSpace::Shared, Width::W32, wa, 0);
+        // Apply a tap of the coefficient queue.
+        let c = coeffs[(z as usize) % coeffs.len()];
+        let lap = {
+            let s = b.fadd(east, west);
+            b.fsub(s, cur)
+        };
+        acc = b.ffma(c, lap, acc);
+        // Write-back the updated plane cell.
+        let upd = b.ffma(lap, Operand::Imm(f32::to_bits(0.125) as i64), cur);
+        let oidx = b.iadd(g, Operand::Imm(z * i64::from(PLANE)));
+        st_elem(&mut b, 1, oidx, upd);
+        b.bar();
+    }
+    let csum = combine(&mut b, &coeffs);
+    let fin = b.fadd(acc, csum);
+    let fin2 = b.fmin(fin, sink);
+    st_elem(&mut b, 1, g, fin2);
+    // Keep the store from racing with the loop's writes: last write wins
+    // deterministically because each thread owns its column cells.
+    let _ = fin2;
+    b.exit();
+    let mut module = Module::new(b.finish());
+    module.user_smem_bytes = 4 * BLOCK;
+
+    let vol_elems = (i64::from(PLANE) * (DEPTH + 2)) as usize;
+    let volume = crate::common::f32_buffer(0xfd7d, vol_elems);
+    let i_base = 0u32;
+    let o_base = volume.len() as u32;
+    let mut init = volume;
+    init.extend(zeros(4 * vol_elems));
+
+    Workload {
+        name: "FDTD3d",
+        domain: "Numer. analysis",
+        module,
+        grid: PLANE / BLOCK,
+        block: BLOCK,
+        params: vec![i_base, o_base],
+        init_global: init,
+        iterations: 8,
+        can_tune: true,
+        iter_params: None,
+        expected: Table2Row { reg: 48, func: 0, smem: true },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        assert_eq!(w.module.static_call_count(), 0);
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!((ml as i64 - 48).unsigned_abs() <= 5, "max-live {ml}");
+        assert!(w.module.user_smem_bytes > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! `hotspot` (Rodinia, temperature modeling): iterative thermal stencil
+//! on a shared-memory tile.
+//!
+//! Table 2: 37 registers, 6 calls, shared memory. The kernel stages a
+//! tile, then runs several in-kernel time steps; each step's update
+//! divides by the thermal capacitance — six static division calls.
+
+use crate::common::{combine, fdiv, gid, ld_elem, st_elem, standing_values, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::{build_fdiv_device, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+const CELLS: u32 = 336 * 192;
+const BLOCK: u32 = 192;
+const TIME_STEPS: usize = 6;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let kb = FunctionBuilder::kernel("hotspot_kernel");
+    let mut module = Module::new(kb.finish());
+    let fdiv_id = module.add_func(build_fdiv_device());
+
+    // Params: 0 = temperature, 1 = power, 2 = output.
+    let mut b = FunctionBuilder::kernel("hotspot_kernel");
+    let g = gid(&mut b);
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let temp0 = ld_elem(&mut b, 0, g, 0);
+    let power = ld_elem(&mut b, 1, g, 0);
+    // Material coefficients: a large reconstruction working set that is
+    // folded into a compact carry set before the time loop.
+    let coeffs = standing_values(&mut b, power, 32);
+    let csum = combine(&mut b, &coeffs);
+    let carry = [
+        b.fadd(csum, Operand::Imm(f32::to_bits(1.0) as i64)),
+        b.fadd(csum, Operand::Imm(f32::to_bits(2.0) as i64)),
+        b.fadd(csum, Operand::Imm(f32::to_bits(3.0) as i64)),
+    ];
+    let sa = b.imul(tid, Operand::Imm(4));
+    b.st(MemSpace::Shared, Width::W32, sa, temp0, 0);
+    b.bar();
+    let mut temp = temp0;
+    for step in 0..TIME_STEPS {
+        // Neighbors from the tile (clamped).
+        let e_idx = {
+            let t = b.iadd(tid, Operand::Imm(1));
+            b.imin(t, Operand::Imm(i64::from(BLOCK - 1)))
+        };
+        let w_idx = {
+            let t = b.isub(tid, Operand::Imm(1));
+            b.imax(t, Operand::Imm(0))
+        };
+        let ea = b.imul(e_idx, Operand::Imm(4));
+        let east = b.ld(MemSpace::Shared, Width::W32, ea, 0);
+        let wa = b.imul(w_idx, Operand::Imm(4));
+        let west = b.ld(MemSpace::Shared, Width::W32, wa, 0);
+        // Ambient sample from DRAM whose address depends on the
+        // current temperature (adaptive grid lookup): a dependent miss
+        // per time step that occupancy must hide.
+        let amb = {
+            let ti = b.f2i(temp);
+            let tm = b.and(ti, Operand::Imm(i64::from(CELLS - 1)));
+            ld_elem(&mut b, 1, tm, 0)
+        };
+        let lap = {
+            let s = b.fadd(east, west);
+            let two_t = b.fadd(temp, temp);
+            let l = b.fsub(s, two_t);
+            b.ffma(amb, Operand::Imm(f32::to_bits(0.01) as i64), l)
+        };
+        let delta = b.ffma(lap, Operand::Imm(f32::to_bits(0.25) as i64), power);
+        // Divide by capacitance — one intrinsic call per time step.
+        let cap = b.fadd(carry[step % carry.len()], Operand::Imm(f32::to_bits(2.0) as i64));
+        let dt = fdiv(&mut b, fdiv_id, delta, cap);
+        temp = b.fadd(temp, dt);
+        b.bar();
+        b.st(MemSpace::Shared, Width::W32, sa, temp, 0);
+        b.bar();
+    }
+    let out = b.ffma(carry[0], Operand::Imm(f32::to_bits(1e-6) as i64), temp);
+    st_elem(&mut b, 2, g, out);
+    b.exit();
+    module.funcs[0] = b.finish();
+    module.user_smem_bytes = 4 * BLOCK;
+
+    let temp = crate::common::f32_buffer(0x407a, CELLS as usize);
+    let power = crate::common::f32_buffer(0x407b, CELLS as usize);
+    let t_base = 0u32;
+    let p_base = temp.len() as u32;
+    let o_base = p_base + power.len() as u32;
+    let mut init = temp;
+    init.extend(power);
+    init.extend(zeros((4 * CELLS) as usize));
+
+    Workload {
+        name: "hotspot",
+        domain: "Temp. modeling",
+        module,
+        grid: CELLS / BLOCK,
+        block: BLOCK,
+        params: vec![t_base, p_base, o_base],
+        init_global: init,
+        iterations: 8,
+        can_tune: true,
+        iter_params: None,
+        expected: Table2Row { reg: 37, func: 6, smem: true },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        assert_eq!(w.module.static_call_count(), 6);
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!((ml as i64 - 37).unsigned_abs() <= 4, "max-live {ml}");
+        assert!(w.module.user_smem_bytes > 0);
+    }
+}

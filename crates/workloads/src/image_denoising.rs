@@ -1,0 +1,117 @@
+//! `imageDenoising` (CUDA SDK, image processing): NLM-style windowed
+//! filter — the paper's motivating example (Figure 1).
+//!
+//! Table 2: 63 registers, 2 calls, shared memory. Each thread filters
+//! one pixel by scanning a 5×5 window with per-tap weights; the large
+//! accumulated weight state keeps ~60 values live. Its occupancy curve
+//! on GTX680 is the classic U: at 12.5% occupancy the memory latency of
+//! window taps is exposed (≈3× slower), at 100% the register budget
+//! (32/thread) forces spills for a 63-register kernel (≈1.5× slower);
+//! the sweet spot is 50%.
+
+use crate::common::{combine, fdiv, gid, ld_elem, st_elem, standing_values, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::{build_fdiv_device, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+const W: u32 = 448;
+const H: u32 = 96;
+const BLOCK: u32 = 192;
+const TAPS: usize = 14;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let kb = FunctionBuilder::kernel("image_denoising_nlm");
+    let mut module = Module::new(kb.finish());
+    let fdiv_id = module.add_func(build_fdiv_device());
+
+    // Params: 0 = input image, 1 = output, 2 = pixel count.
+    let mut b = FunctionBuilder::kernel("image_denoising_nlm");
+    let g = gid(&mut b);
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let x = ld_elem(&mut b, 0, g, 0);
+    // Stage the row segment in the tile (Smem = yes in Table 2).
+    let sa = b.imul(tid, Operand::Imm(4));
+    b.st(MemSpace::Shared, Width::W32, sa, x, 0);
+    b.bar();
+    // Per-tap weight state: the 63-register footprint.
+    let weights = standing_values(&mut b, x, 56);
+    let mut num = b.mov_f32(0.0);
+    let mut den = b.mov_f32(0.0);
+    let sink = b.mov_f32(f32::MAX);
+    // Data-adaptive taps: the next tap's position depends on the
+    // previous tap's value (edge-following filter), so the taps form a
+    // dependent chain of scattered loads.
+    let mut cursor = g;
+    for t in 0..TAPS {
+        let tap = ld_elem(&mut b, 0, cursor, 0);
+        let perturb = {
+            let i = b.f2i(tap);
+            b.and(i, Operand::Imm(1023))
+        };
+        cursor = {
+            let step = b.iadd(cursor, perturb);
+            let moved = b.iadd(step, Operand::Imm(i64::from(W) + 1));
+            b.and(moved, Operand::Imm(i64::from(W * H - 1)))
+        };
+        let diff = b.fsub(tap, x);
+        let d2 = b.fmul(diff, diff);
+        // Rational weight ≈ 1/(1+d²) without a call (calls are the
+        // two final normalizations).
+        let wdenom = b.fadd(d2, Operand::Imm(f32::to_bits(1.0) as i64));
+        let wgt = b.frcp(wdenom);
+        num = b.ffma(wgt, tap, num);
+        den = b.fadd(den, wgt);
+        let _ = t;
+    }
+    // Fold the weight state before the calls (it dies here), then the
+    // kernel's two intrinsic divisions.
+    let wsum = combine(&mut b, &weights);
+    let filtered = fdiv(&mut b, fdiv_id, num, den);
+    let t = b.fadd(wsum, Operand::Imm(f32::to_bits(64.0) as i64));
+    let gain = fdiv(&mut b, fdiv_id, filtered, t);
+    let out = b.ffma(gain, Operand::Imm(f32::to_bits(0.5) as i64), filtered);
+    let sunk = b.fmin(out, sink);
+    st_elem(&mut b, 1, g, sunk);
+    b.exit();
+    module.funcs[0] = b.finish();
+    module.user_smem_bytes = 4 * BLOCK;
+
+    let img = crate::common::f32_buffer(0x1d01, (W * H) as usize);
+    let i_base = 0u32;
+    let o_base = img.len() as u32;
+    let mut init = img;
+    init.extend(zeros((4 * W * H) as usize));
+
+    Workload {
+        name: "imageDenoising",
+        domain: "Image proc.",
+        module,
+        grid: (W * H) / BLOCK,
+        block: BLOCK,
+        params: vec![i_base, o_base, W * H],
+        init_global: init,
+        iterations: 8,
+        can_tune: true,
+        iter_params: None,
+        expected: Table2Row { reg: 63, func: 2, smem: true },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        assert_eq!(w.module.static_call_count(), 2);
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!((ml as i64 - 63).unsigned_abs() <= 5, "max-live {ml}");
+        assert!(w.module.user_smem_bytes > 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! # orion-workloads — synthetic Rodinia / CUDA-SDK style benchmarks
+//!
+//! The Orion paper evaluates on twelve benchmarks from Rodinia and the
+//! CUDA SDK (Table 2) plus `matrixMul` (Figure 2). Those programs are
+//! CUDA sources for real GPUs; this crate rebuilds each as a kernel in
+//! the `orion-kir` IR with the *measured characteristics the paper's
+//! tuner actually consumes*:
+//!
+//! * the register demand of Table 2 ("Reg" = max-live words),
+//! * the static call counts ("Func", including the float-division
+//!   intrinsic, which is a real device-function call),
+//! * user-declared shared memory ("Smem"),
+//! * memory intensity, access pattern, divergence, and iteration
+//!   structure that produce each benchmark's occupancy/performance
+//!   shape (U-curve, plateau, skewed bell, flat).
+//!
+//! Each module exposes `build()` returning a ready-to-run [`Workload`].
+
+pub mod common;
+
+pub mod backprop;
+pub mod bfs;
+pub mod cfd;
+pub mod dxtc;
+pub mod fdtd3d;
+pub mod gaussian;
+pub mod hotspot;
+pub mod image_denoising;
+pub mod matrixmul;
+pub mod particles;
+pub mod recursive_gaussian;
+pub mod srad;
+pub mod streamcluster;
+
+use orion_gpusim::exec::Launch;
+use orion_kir::function::Module;
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table 2 row for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Registers needed to avoid spilling (max-live words).
+    pub reg: u32,
+    /// Static function calls after inlining.
+    pub func: usize,
+    /// Whether the kernel declares shared memory.
+    pub smem: bool,
+}
+
+/// A runnable benchmark: kernel module, launch shape, inputs, and the
+/// application-loop structure the runtime tuner exploits.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub name: &'static str,
+    pub domain: &'static str,
+    pub module: Module,
+    pub grid: u32,
+    pub block: u32,
+    /// Kernel launch parameters (constant bank).
+    pub params: Vec<u32>,
+    /// Initial global memory contents.
+    pub init_global: Vec<u8>,
+    /// Application kernel-loop iterations.
+    pub iterations: u32,
+    /// False when the app cannot be tuned dynamically (single launch,
+    /// kernel too small to split) — Orion falls back to static selection.
+    pub can_tune: bool,
+    /// Per-iteration parameter overrides (variable-work apps like bfs).
+    pub iter_params: Option<Vec<Vec<u32>>>,
+    /// Expected Table 2 characteristics (asserted by tests).
+    pub expected: Table2Row,
+}
+
+impl Workload {
+    /// The launch shape.
+    pub fn launch(&self) -> Launch {
+        Launch {
+            grid: self.grid,
+            block: self.block,
+        }
+    }
+
+    /// Parameters for iteration `i`.
+    pub fn params_for(&self, iter: u32) -> &[u32] {
+        match &self.iter_params {
+            Some(per) => &per[iter as usize % per.len()],
+            None => &self.params,
+        }
+    }
+}
+
+/// The paper's twelve Table 2 benchmarks, in Table 2 order.
+pub fn table2_benchmarks() -> Vec<Workload> {
+    vec![
+        cfd::build(),
+        dxtc::build(),
+        fdtd3d::build(),
+        hotspot::build(),
+        image_denoising::build(),
+        particles::build(),
+        recursive_gaussian::build(),
+        backprop::build(),
+        bfs::build(),
+        gaussian::build(),
+        srad::build(),
+        streamcluster::build(),
+    ]
+}
+
+/// The seven high-pressure benchmarks tuned upward (Figures 5/11,
+/// Table 3).
+pub fn upward_benchmarks() -> Vec<Workload> {
+    table2_benchmarks().into_iter().take(7).collect()
+}
+
+/// The five low-pressure benchmarks tuned downward (Figures 12/13).
+pub fn downward_benchmarks() -> Vec<Workload> {
+    table2_benchmarks().into_iter().skip(7).collect()
+}
+
+/// Every workload including `matrixMul` (Figure 2).
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = table2_benchmarks();
+    v.push(matrixmul::build());
+    v
+}
+
+/// Look a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        let names: Vec<&str> = table2_benchmarks().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cfd",
+                "dxtc",
+                "FDTD3d",
+                "hotspot",
+                "imageDenoising",
+                "particles",
+                "recursiveGaussian",
+                "backprop",
+                "bfs",
+                "gaussian",
+                "srad",
+                "streamcluster",
+            ]
+        );
+        assert!(by_name("matrixMul").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_workloads_verify() {
+        for w in all_workloads() {
+            orion_kir::verify::verify(&w.module)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(w.grid > 0 && w.block > 0);
+            assert!(!w.init_global.is_empty());
+        }
+    }
+}

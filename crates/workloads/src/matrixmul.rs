@@ -1,0 +1,115 @@
+//! `matrixMul` (CUDA SDK): shared-memory tiled matrix multiplication —
+//! the paper's Figure 2 example of the occupancy *plateau*.
+//!
+//! Moderate register pressure (each thread accumulates a strip of
+//! outputs), heavy shared-memory reuse, and an arithmetic intensity high
+//! enough that once ~50% occupancy covers the latency, adding more warps
+//! changes nothing. The flat top is what lets Orion trade occupancy for
+//! per-thread resources (§3, second principle).
+
+use crate::common::{gid, ld_elem, st_elem, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::function::Module;
+use orion_kir::inst::{Inst, Opcode, Operand};
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+const TILE: i64 = 16;
+const K_TILES: usize = 6;
+const BLOCK: u32 = 256;
+const ROWS: u32 = 224 * 256;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    // Params: 0 = A (row-major strips), 1 = B (tile stream), 2 = C out.
+    let mut b = FunctionBuilder::kernel("matrixMul");
+    let g = gid(&mut b);
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let sa = b.imul(tid, Operand::Imm(4));
+    // Each thread accumulates a strip of 5 outputs — small enough that
+    // even the full-occupancy register budget holds the whole working
+    // set, which is what makes the curve plateau (Figure 2).
+    let accs: Vec<_> = (0..5).map(|_| b.mov_f32(0.0)).collect();
+    for kt in 0..K_TILES {
+        // Cooperative tile load of B into shared memory.
+        let bidx = {
+            let t = b.mov_i32((kt as i64 * i64::from(BLOCK)) as i32);
+            b.iadd(t, tid)
+        };
+        let bval = ld_elem(&mut b, 1, bidx, 0);
+        b.st(MemSpace::Shared, Width::W32, sa, bval, 0);
+        b.bar();
+        // One coalesced streaming load of this thread's A element for the
+        // tile (register blocking), then the inner product off the tile.
+        let aidx = {
+            let t = b.mov_i32((kt as i64 * i64::from(ROWS)) as i32);
+            b.iadd(t, g)
+        };
+        let a = ld_elem(&mut b, 0, aidx, 0);
+        for e in 0..TILE {
+            // B element broadcast from the tile.
+            let bs = {
+                let idx = b.mov_i32(((e * 8) % i64::from(BLOCK)) as i32 * 4);
+                b.ld(MemSpace::Shared, Width::W32, idx, 0)
+            };
+            let acc = accs[(e as usize) % accs.len()];
+            b.push(Inst::new(
+                Opcode::FFma,
+                Some(acc),
+                vec![a.into(), bs.into(), acc.into()],
+            ));
+        }
+        b.bar();
+    }
+    for (j, &acc) in accs.iter().enumerate() {
+        if j == 0 {
+            st_elem(&mut b, 2, g, acc);
+        } else {
+            // Strided output strip.
+            let idx = b.iadd(g, Operand::Imm(j as i64 * i64::from(ROWS)));
+            st_elem(&mut b, 2, idx, acc);
+        }
+    }
+    b.exit();
+    let mut module = Module::new(b.finish());
+    module.user_smem_bytes = 4 * BLOCK;
+
+    let a = crate::common::f32_buffer(0x3a01, (ROWS as i64 * K_TILES as i64) as usize);
+    let bb = crate::common::f32_buffer(0x3a02, (i64::from(BLOCK) * K_TILES as i64) as usize);
+    let a_base = 0u32;
+    let b_base = a.len() as u32;
+    let c_base = b_base + bb.len() as u32;
+    let mut init = a;
+    init.extend(bb);
+    init.extend(zeros((4 * ROWS * 8) as usize)); // 5 strips + slack
+
+    Workload {
+        name: "matrixMul",
+        domain: "Linear algebra",
+        module,
+        grid: ROWS / BLOCK,
+        block: BLOCK,
+        params: vec![a_base, b_base, c_base],
+        init_global: init,
+        iterations: 8,
+        can_tune: true,
+        iter_params: None,
+        expected: Table2Row { reg: 26, func: 0, smem: true },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn characteristics() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        assert_eq!(w.module.static_call_count(), 0);
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!((8..=26).contains(&ml), "max-live {ml}");
+        assert!(w.module.user_smem_bytes > 0);
+    }
+}

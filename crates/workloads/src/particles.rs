@@ -1,0 +1,117 @@
+//! `particles` (CUDA SDK, simulation): particle-interaction forces.
+//!
+//! Table 2: 52 registers, no calls, no shared memory. Each thread
+//! integrates the force on one particle from a chunk of others (inlined
+//! inverse-sqrt, no intrinsic calls). The application performs a
+//! *single* launch per frame and its kernel cannot be split without
+//! perturbing the collision ordering, so dynamic tuning is unavailable
+//! — Orion uses the compiler's **static selection** (§4.1), which still
+//! beats nvcc's occupancy.
+
+use crate::common::{combine, gid, ld_elem, st_elem, standing_values, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::{build_counted_loop, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::types::PredReg;
+
+const PARTICLES: u32 = 224 * 192;
+const CHUNK: i64 = 20;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    // Params: 0 = positions x, 1 = positions y, 2 = output forces.
+    let mut b = FunctionBuilder::kernel("particles_forces");
+    let g = gid(&mut b);
+    let px = ld_elem(&mut b, 0, g, 0);
+    let py = ld_elem(&mut b, 1, g, 0);
+    // Integrator state (velocities, collision bookkeeping): 52 regs.
+    let state = standing_values(&mut b, px, 42);
+    let sink = b.mov_f32(f32::MAX);
+    let fx = b.mov_f32(0.0);
+    build_counted_loop(
+        &mut b,
+        Operand::Imm(0),
+        Operand::Imm(CHUNK),
+        1,
+        PredReg(0),
+        |b, j| {
+            // Cell-list traversal: the next particle index comes from
+            // the previous position (spatial hashing), a dependent
+            // scattered gather.
+            let hashed = {
+                let pi = b.f2i(fx);
+                let salted = b.imad(j, Operand::Imm(2654435761), pi);
+                b.and(salted, Operand::Imm(i64::from(PARTICLES - 1)))
+            };
+            let qx = ld_elem(b, 0, hashed, 0);
+            let qy = ld_elem(b, 1, hashed, 0);
+            let dx = b.fsub(px, qx);
+            let dy = b.fsub(py, qy);
+            let r2 = {
+                let t = b.fmul(dx, dx);
+                b.ffma(dy, dy, t)
+            };
+            let soft = b.fadd(r2, Operand::Imm(f32::to_bits(0.01) as i64));
+            // rsqrt(x)^3 inlined: no function call on either platform.
+            let s = b.fsqrt(soft);
+            let inv = b.frcp(s);
+            let inv2 = b.fmul(inv, inv);
+            let inv3 = b.fmul(inv2, inv);
+            let contrib = b.fmul(dx, inv3);
+            b.push(orion_kir::inst::Inst::new(
+                orion_kir::inst::Opcode::FAdd,
+                Some(fx),
+                vec![fx.into(), contrib.into()],
+            ));
+        },
+    );
+    let ssum = combine(&mut b, &state);
+    let out = {
+        let t = b.ffma(ssum, Operand::Imm(f32::to_bits(1e-6) as i64), fx);
+        b.fmin(t, sink)
+    };
+    st_elem(&mut b, 2, g, out);
+    b.exit();
+    let module = Module::new(b.finish());
+
+    let posx = crate::common::f32_buffer(0xaa01, PARTICLES as usize);
+    let posy = crate::common::f32_buffer(0xaa02, PARTICLES as usize);
+    let x_base = 0u32;
+    let y_base = posx.len() as u32;
+    let o_base = y_base + posy.len() as u32;
+    let mut init = posx;
+    init.extend(posy);
+    init.extend(zeros((4 * PARTICLES) as usize));
+
+    Workload {
+        name: "particles",
+        domain: "Simulation",
+        module,
+        grid: PARTICLES / 192,
+        block: 192,
+        params: vec![x_base, y_base, o_base],
+        init_global: init,
+        // A single launch per frame: no iterations to tune over.
+        iterations: 1,
+        can_tune: false,
+        iter_params: None,
+        expected: Table2Row { reg: 52, func: 0, smem: false },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        assert_eq!(w.module.static_call_count(), 0);
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!((ml as i64 - 52).unsigned_abs() <= 5, "max-live {ml}");
+        assert!(!w.can_tune);
+    }
+}

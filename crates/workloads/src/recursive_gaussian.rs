@@ -1,0 +1,112 @@
+//! `recursiveGaussian` (CUDA SDK, numerical analysis): Deriche-style
+//! recursive IIR Gaussian filter over image columns.
+//!
+//! Table 2: 42 registers, 21 calls, no shared memory. Each thread owns a
+//! column and streams it sequentially, carrying the recursive filter
+//! state; the coefficient setup normalizes seven coefficient groups by
+//! three denominators each — 21 division call sites.
+
+use crate::common::{combine, fdiv, gid, ld_elem, st_elem, standing_values, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::{build_counted_loop, build_fdiv_device, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::{Inst, Opcode, Operand};
+use orion_kir::types::PredReg;
+
+const WIDTH: u32 = 224 * 192;
+const HEIGHT: i64 = 10;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let kb = FunctionBuilder::kernel("recursive_gaussian_rows");
+    let mut module = Module::new(kb.finish());
+    let fdiv_id = module.add_func(build_fdiv_device());
+
+    // Params: 0 = image (column-major: col + row*WIDTH), 1 = output.
+    let mut b = FunctionBuilder::kernel("recursive_gaussian_rows");
+    let col = gid(&mut b);
+    let x0 = ld_elem(&mut b, 0, col, 0);
+    // Filter state + coefficient pool: 42-register footprint.
+    let pool = standing_values(&mut b, x0, 26);
+    // Coefficient setup: 7 groups × 3 normalizations = 21 call sites.
+    let mut coeffs = Vec::with_capacity(7);
+    for gidx in 0..7 {
+        let base = pool[gidx * 3 % pool.len()];
+        let d1 = b.fadd(base, Operand::Imm(f32::to_bits(1.5) as i64));
+        let c1 = fdiv(&mut b, fdiv_id, x0, d1);
+        let d2 = b.fadd(base, Operand::Imm(f32::to_bits(2.5) as i64));
+        let c2 = fdiv(&mut b, fdiv_id, c1, d2);
+        let d3 = b.fadd(base, Operand::Imm(f32::to_bits(3.5) as i64));
+        let c3 = fdiv(&mut b, fdiv_id, c2, d3);
+        coeffs.push(c3);
+    }
+    // Forward recursive pass down the column.
+    let yp = b.mov_f32(0.0); // y[n-1]
+    let ypp = b.mov_f32(0.0); // y[n-2]
+    build_counted_loop(
+        &mut b,
+        Operand::Imm(0),
+        Operand::Imm(HEIGHT),
+        1,
+        PredReg(0),
+        |b, row| {
+            let idx = b.imad(row, Operand::Imm(i64::from(WIDTH)), col);
+            let x = ld_elem(b, 0, idx, 0);
+            // y = c0*x + c1*yp - c2*ypp
+            let t0 = b.fmul(coeffs[0], x);
+            let t1 = b.ffma(coeffs[1], yp, t0);
+            let neg = b.fneg(ypp);
+            let y = b.ffma(coeffs[2], neg, t1);
+            st_elem(b, 1, idx, y);
+            // Shift the recursion state.
+            b.push(Inst::new(Opcode::Mov, Some(ypp), vec![yp.into()]));
+            b.push(Inst::new(Opcode::Mov, Some(yp), vec![y.into()]));
+        },
+    );
+    let psum = combine(&mut b, &pool);
+    let csum = combine(&mut b, &coeffs);
+    let fin = {
+        let t = b.fadd(psum, csum);
+        b.fadd(t, yp)
+    };
+    st_elem(&mut b, 1, col, fin);
+    b.exit();
+    module.funcs[0] = b.finish();
+
+    let n = (i64::from(WIDTH) * HEIGHT) as usize;
+    let img = crate::common::f32_buffer(0x6e55, n);
+    let i_base = 0u32;
+    let o_base = img.len() as u32;
+    let mut init = img;
+    init.extend(zeros(4 * n));
+
+    Workload {
+        name: "recursiveGaussian",
+        domain: "Numer. analysis",
+        module,
+        grid: WIDTH / 192,
+        block: 192,
+        params: vec![i_base, o_base],
+        init_global: init,
+        iterations: 8,
+        can_tune: true,
+        iter_params: None,
+        expected: Table2Row { reg: 42, func: 21, smem: false },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        assert_eq!(w.module.static_call_count(), 21);
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!((ml as i64 - 42).unsigned_abs() <= 5, "max-live {ml}");
+        assert_eq!(w.module.user_smem_bytes, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! `streamcluster` (Rodinia, data mining): the distance/gain kernel of
+//! streaming k-median clustering.
+//!
+//! Table 2: 18 registers, no calls, no shared memory. Each thread scans
+//! the candidate centers, accumulating squared distances over the point
+//! dimensions — a balanced memory/compute loop. Performance peaks
+//! around 75% occupancy and is flat above 50% (Figure 14b): beyond the
+//! latency-hiding point, extra warps only add cache pressure.
+
+use crate::common::{gid, guard, ld_elem, st_elem, zeros};
+use crate::{Table2Row, Workload};
+use orion_kir::builder::{build_counted_loop, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::{Inst, Opcode, Operand};
+use orion_kir::types::PredReg;
+
+const DIMS: u32 = 8;
+const CENTERS: u32 = 12;
+const POINTS: u32 = 672 * 192;
+
+/// Build the workload.
+pub fn build() -> Workload {
+    let mut b = FunctionBuilder::kernel("streamcluster_dist");
+    let g = gid(&mut b);
+    guard(&mut b, g, 3);
+    let pbase = b.imul(g, Operand::Imm(i64::from(DIMS)));
+    // Load the point's coordinates once (stay live across the scan).
+    let coords: Vec<_> = (0..DIMS as i32)
+        .map(|d| ld_elem(&mut b, 0, pbase, d))
+        .collect();
+    // Gain bookkeeping kept live across the scan.
+    let gains = crate::common::standing_values(&mut b, coords[0], 4);
+    let best = b.mov_f32(f32::MAX);
+    build_counted_loop(
+        &mut b,
+        Operand::Imm(0),
+        Operand::Imm(i64::from(CENTERS)),
+        1,
+        PredReg(0),
+        |b, c| {
+            let cbase = b.imul(c, Operand::Imm(i64::from(DIMS)));
+            let mut dist = b.mov_f32(0.0);
+            for (d, &x) in coords.iter().enumerate() {
+                let cv = ld_elem(b, 1, cbase, d as i32);
+                let diff = b.fsub(x, cv);
+                dist = b.ffma(diff, diff, dist);
+            }
+            b.push(Inst::new(
+                Opcode::FMin,
+                Some(best),
+                vec![best.into(), dist.into()],
+            ));
+        },
+    );
+    let gsum = crate::common::combine(&mut b, &gains);
+    let out = b.ffma(gsum, Operand::Imm(f32::to_bits(1e-6) as i64), best);
+    st_elem(&mut b, 2, g, out);
+    b.exit();
+    let module = Module::new(b.finish());
+
+    let points = crate::common::f32_buffer(0x5c01, (POINTS * DIMS) as usize);
+    let centers = crate::common::f32_buffer(0x5c02, (CENTERS * DIMS) as usize);
+    let p_base = 0u32;
+    let c_base = points.len() as u32;
+    let o_base = c_base + centers.len() as u32;
+    let mut init = points;
+    init.extend(centers);
+    init.extend(zeros((4 * POINTS) as usize));
+
+    Workload {
+        name: "streamcluster",
+        domain: "Data mining",
+        module,
+        grid: POINTS.div_ceil(192),
+        block: 192,
+        params: vec![p_base, c_base, o_base, POINTS],
+        init_global: init,
+        iterations: 8,
+        can_tune: true,
+        iter_params: None,
+        expected: Table2Row { reg: 18, func: 0, smem: false },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_alloc::realize::kernel_max_live;
+
+    #[test]
+    fn matches_table2() {
+        let w = build();
+        orion_kir::verify::verify(&w.module).unwrap();
+        let ml = kernel_max_live(&w.module).unwrap();
+        assert!(
+            (ml as i64 - i64::from(w.expected.reg)).unsigned_abs() <= 3,
+            "max-live {ml} vs {}",
+            w.expected.reg
+        );
+        assert_eq!(w.module.static_call_count(), 0);
+    }
+
+    #[test]
+    fn computes_min_distance() {
+        use orion_kir::interp::{Interpreter, LaunchConfig};
+        let w = build();
+        let mut g = w.init_global.clone();
+        // Shrink to one block for the functional check.
+        let mut params = w.params.clone();
+        params[3] = 192;
+        Interpreter::new(&w.module, &params)
+            .run(LaunchConfig { grid: 1, block: 192 }, &mut g)
+            .unwrap();
+        let off = w.params[2] as usize;
+        let v = f32::from_bits(u32::from_le_bytes(g[off..off + 4].try_into().unwrap()));
+        assert!(v.is_finite() && v >= 0.0, "{v}");
+        assert!(v < f32::MAX);
+    }
+}

@@ -1,0 +1,57 @@
+//! Reproduce a Figure 1-style occupancy curve for any bundled benchmark.
+//!
+//! ```sh
+//! cargo run --release --example occupancy_sweep -- imageDenoising gtx680
+//! cargo run --release --example occupancy_sweep -- srad c2075
+//! ```
+
+use orion::core::orion::Orion;
+use orion::gpusim::device::DeviceSpec;
+use orion::gpusim::sim::{run_launch_opts, LaunchOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("imageDenoising");
+    let dev = match args.get(2).map(String::as_str) {
+        Some("c2075") => DeviceSpec::c2075(),
+        _ => DeviceSpec::gtx680(),
+    };
+    let w = orion::workloads::by_name(name)
+        .ok_or_else(|| format!("unknown workload {name}; try one of {:?}",
+            orion::workloads::all_workloads().iter().map(|w| w.name).collect::<Vec<_>>()))?;
+
+    println!("{} ({}) on {}", w.name, w.domain, dev.name);
+    println!("{:>9} {:>6} {:>5} {:>6} {:>11} {:>8}", "occupancy", "warps", "regs", "smem", "cycles", "norm");
+
+    let orion = Orion::new(dev.clone(), w.block);
+    let versions = orion.sweep(&w.module)?;
+    let mut results = Vec::new();
+    for v in &versions {
+        let mut global = w.init_global.clone();
+        let r = run_launch_opts(
+            &dev,
+            &v.machine,
+            w.launch(),
+            &w.params,
+            &mut global,
+            LaunchOptions { extra_smem_per_block: v.extra_smem, cta_range: None },
+        );
+        if let Ok(r) = r {
+            results.push((v, r.cycles));
+        }
+    }
+    let best = results.iter().map(|&(_, c)| c).min().unwrap_or(1);
+    for (v, cycles) in &results {
+        println!(
+            "{:>9.3} {:>6} {:>5} {:>6} {:>11} {:>8.3}  {}",
+            v.occupancy,
+            v.achieved_warps,
+            v.machine.regs_per_thread,
+            v.machine.smem_slots_per_thread,
+            cycles,
+            *cycles as f64 / best as f64,
+            "#".repeat(((*cycles as f64 / best as f64) * 12.0) as usize),
+        );
+    }
+    Ok(())
+}

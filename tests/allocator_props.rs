@@ -1,0 +1,187 @@
+//! Property-based tests over randomly generated kernels: for *any*
+//! straight-line/looping program and *any* slot budget, allocation must
+//! preserve semantics and respect structural invariants.
+
+use orion::alloc::realize::{allocate, AllocOptions, SlotBudget};
+use orion::gpusim::device::DeviceSpec;
+use orion::gpusim::exec::Launch;
+use orion::gpusim::sim::run_launch;
+use orion::kir::builder::{build_fdiv_device, FunctionBuilder};
+use orion::kir::function::Module;
+use orion::kir::inst::Operand;
+use orion::kir::interp::{Interpreter, LaunchConfig};
+use orion::kir::types::{MemSpace, SpecialReg, VReg, Width};
+use proptest::prelude::*;
+
+/// A recipe for one random straight-line op.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(usize, usize),
+    Mul(usize, usize),
+    Fma(usize, usize, usize),
+    Min(usize, usize),
+    Shl(usize, u8),
+    Load(usize),
+    CallDiv(usize, usize),
+    Wide(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::Add(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::Mul(a, b)),
+        (0..64usize, 0..64usize, 0..64usize).prop_map(|(a, b, c)| Op::Fma(a, b, c)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::Min(a, b)),
+        (0..64usize, 0..8u8).prop_map(|(a, s)| Op::Shl(a, s)),
+        (0..64usize).prop_map(Op::Load),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::CallDiv(a, b)),
+        (0..64usize, 0..64usize).prop_map(|(a, b)| Op::Wide(a, b)),
+    ]
+}
+
+/// Build a module from a recipe: values form a growing pool; every op
+/// reads pool entries (mod length) and appends its result.
+fn build_module(ops: &[Op]) -> Module {
+    let kb = FunctionBuilder::kernel("prop");
+    let mut m = Module::new(kb.finish());
+    let fdiv = m.add_func(build_fdiv_device());
+    let mut b = FunctionBuilder::kernel("prop");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x0 = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let mut pool: Vec<VReg> = vec![x0, gid, tid];
+    for op in ops {
+        let pick = |i: &usize| pool[i % pool.len()];
+        let v = match op {
+            Op::Add(a, b2) => b.iadd(pick(a), pick(b2)),
+            Op::Mul(a, b2) => b.imul(pick(a), pick(b2)),
+            Op::Fma(a, b2, c) => b.imad(pick(a), pick(b2), pick(c)),
+            Op::Min(a, b2) => b.imin(pick(a), pick(b2)),
+            Op::Shl(a, s) => b.shl(pick(a), Operand::Imm(i64::from(*s))),
+            Op::Load(a) => {
+                let idx = {
+                    let masked = b.and(pick(a), Operand::Imm(63));
+                    b.imad(masked, Operand::Imm(4), Operand::Param(0))
+                };
+                b.ld(MemSpace::Global, Width::W32, idx, 0)
+            }
+            Op::CallDiv(a, b2) => {
+                // Guard the denominator away from zero: d = (x | 3).
+                let num = pick(a);
+                let den = b.or(pick(b2), Operand::Imm(3));
+                let fnum = b.i2f(num);
+                let fden = b.i2f(den);
+                let q = b.call(fdiv, vec![fnum.into(), fden.into()], &[Width::W32])[0];
+                b.f2i(q)
+            }
+            Op::Wide(a, b2) => {
+                // Build a W64 pair, consume it, keep the low word.
+                let wide = b.vreg(Width::W64);
+                b.push(orion::kir::inst::Inst::new(
+                    orion::kir::inst::Opcode::Mov,
+                    Some(wide),
+                    vec![Operand::Imm(0)],
+                ));
+                let w1 = b.pack(wide, pick(a), 0);
+                let w2 = b.pack(w1, pick(b2), 1);
+                b.unpack(w2, 1)
+            }
+        };
+        pool.push(v);
+    }
+    // Fold the pool tail so late values are live together.
+    let mut acc = b.mov_i32(0);
+    let tail: Vec<VReg> = pool.iter().rev().take(12).copied().collect();
+    for v in tail {
+        acc = b.iadd(acc, v);
+    }
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, acc, 0);
+    m.funcs[0] = b.finish();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allocation_preserves_semantics(
+        ops in proptest::collection::vec(op_strategy(), 4..40),
+        reg_budget in 2u16..24,
+        smem_budget in 0u16..8,
+    ) {
+        let m = build_module(&ops);
+        orion::kir::verify::verify(&m).expect("generated module verifies");
+        let n = 64u32;
+        let mut init = Vec::new();
+        for i in 0..2 * n {
+            init.extend((i.wrapping_mul(2654435761u32) % 97).to_le_bytes());
+        }
+        let mut ref_global = init.clone();
+        Interpreter::new(&m, &[0, 4 * n])
+            .run(LaunchConfig { grid: 2, block: 32 }, &mut ref_global)
+            .expect("reference run");
+
+        let alloc = allocate(
+            &m,
+            SlotBudget { reg_slots: reg_budget, smem_slots: smem_budget },
+            &AllocOptions::default(),
+        )
+        .expect("allocation");
+        let mut global = init.clone();
+        run_launch(
+            &DeviceSpec::c2075(),
+            &alloc.machine,
+            Launch { grid: 2, block: 32 },
+            &[0, 4 * n],
+            &mut global,
+        )
+        .expect("simulated run");
+        prop_assert_eq!(global, ref_global);
+    }
+
+    #[test]
+    fn occupancy_monotone_in_padding(pad in 0u32..40960) {
+        use orion::gpusim::occupancy::{occupancy, KernelResources};
+        let dev = DeviceSpec::c2075();
+        let base = occupancy(&dev, &KernelResources {
+            regs_per_thread: 16, smem_per_block: pad, block_size: 192,
+        });
+        let more = occupancy(&dev, &KernelResources {
+            regs_per_thread: 16, smem_per_block: pad + 1024, block_size: 192,
+        });
+        prop_assert!(more.active_warps <= base.active_warps);
+    }
+
+    #[test]
+    fn simulator_is_deterministic(
+        ops in proptest::collection::vec(op_strategy(), 4..16),
+    ) {
+        let m = build_module(&ops);
+        let alloc = allocate(
+            &m,
+            SlotBudget { reg_slots: 12, smem_slots: 2 },
+            &AllocOptions::default(),
+        ).expect("allocation");
+        let n = 64u32;
+        let init = vec![1u8; (8 * n) as usize];
+        let run = || {
+            let mut g = init.clone();
+            let r = run_launch(
+                &DeviceSpec::gtx680(),
+                &alloc.machine,
+                Launch { grid: 2, block: 32 },
+                &[0, 4 * n],
+                &mut g,
+            ).expect("run");
+            (r.cycles, g)
+        };
+        let (c1, g1) = run();
+        let (c2, g2) = run();
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: the full Orion pipeline over the real
+//! benchmark suite (scaled-down launches so debug builds stay fast).
+
+use orion::core::compiler::Direction;
+use orion::core::orion::Orion;
+use orion::gpusim::device::DeviceSpec;
+use orion::gpusim::exec::Launch;
+use orion::gpusim::sim::{run_launch_opts, LaunchOptions};
+use orion::kir::interp::{Interpreter, LaunchConfig};
+use orion::workloads::{all_workloads, by_name, downward_benchmarks, upward_benchmarks};
+
+/// A scaled-down launch: a prefix of the grid (buffers stay valid).
+fn small_launch(w: &orion::workloads::Workload) -> Launch {
+    Launch {
+        grid: w.grid.min(4),
+        block: w.block,
+    }
+}
+
+#[test]
+fn compiler_emits_at_most_five_candidates_everywhere() {
+    for dev in [DeviceSpec::c2075(), DeviceSpec::gtx680()] {
+        for w in all_workloads() {
+            let mut orion = Orion::new(dev.clone(), w.block);
+            orion.cfg.can_tune = w.can_tune;
+            let ck = orion.compile(&w.module).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(
+                ck.num_candidates() <= 5,
+                "{} on {}: {} candidates",
+                w.name,
+                dev.name,
+                ck.num_candidates()
+            );
+            assert!(!ck.versions.is_empty());
+        }
+    }
+}
+
+#[test]
+fn tuning_directions_match_table2() {
+    let dev = DeviceSpec::c2075();
+    for w in upward_benchmarks() {
+        let mut orion = Orion::new(dev.clone(), w.block);
+        orion.cfg.can_tune = w.can_tune;
+        let ck = orion.compile(&w.module).unwrap();
+        assert_eq!(
+            ck.direction,
+            Direction::Increasing,
+            "{} should tune upward (max-live {})",
+            w.name,
+            ck.max_live
+        );
+        assert!(ck.max_live >= 32);
+    }
+    for w in downward_benchmarks() {
+        let mut orion = Orion::new(dev.clone(), w.block);
+        orion.cfg.can_tune = w.can_tune;
+        let ck = orion.compile(&w.module).unwrap();
+        assert_eq!(
+            ck.direction,
+            Direction::Decreasing,
+            "{} should tune downward (max-live {})",
+            w.name,
+            ck.max_live
+        );
+        assert!(ck.max_live < 32);
+    }
+}
+
+#[test]
+fn every_workload_runs_correctly_at_every_candidate() {
+    // Semantic preservation on the real benchmarks: all candidate
+    // binaries must produce the reference interpreter's global memory.
+    let dev = DeviceSpec::c2075();
+    for w in all_workloads() {
+        let launch = small_launch(&w);
+        let mut ref_global = w.init_global.clone();
+        Interpreter::new(&w.module, &w.params)
+            .run(
+                LaunchConfig { grid: launch.grid, block: launch.block },
+                &mut ref_global,
+            )
+            .unwrap_or_else(|e| panic!("{}: reference run {e}", w.name));
+
+        let mut orion = Orion::new(dev.clone(), w.block);
+        orion.cfg.can_tune = w.can_tune;
+        let ck = orion.compile(&w.module).unwrap();
+        for v in &ck.versions {
+            let mut global = w.init_global.clone();
+            run_launch_opts(
+                &dev,
+                &v.machine,
+                launch,
+                &w.params,
+                &mut global,
+                LaunchOptions { extra_smem_per_block: v.extra_smem, cta_range: None },
+            )
+            .unwrap_or_else(|e| panic!("{} version {}: {e}", w.name, v.label));
+            assert_eq!(
+                global, ref_global,
+                "{} version {} diverged from the reference",
+                w.name, v.label
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_matches_semantics_too() {
+    let dev = DeviceSpec::gtx680();
+    for name in ["srad", "cfd", "matrixMul"] {
+        let w = by_name(name).unwrap();
+        let launch = small_launch(&w);
+        let mut ref_global = w.init_global.clone();
+        Interpreter::new(&w.module, &w.params)
+            .run(
+                LaunchConfig { grid: launch.grid, block: launch.block },
+                &mut ref_global,
+            )
+            .unwrap();
+        let orion = Orion::new(dev.clone(), w.block);
+        let base = orion.baseline(&w.module).unwrap();
+        let mut global = w.init_global.clone();
+        run_launch_opts(
+            &dev,
+            &base.machine,
+            launch,
+            &w.params,
+            &mut global,
+            LaunchOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(global, ref_global, "{name}");
+    }
+}
+
+#[test]
+fn kernel_splitting_covers_grid_exactly() {
+    use orion::core::splitting::{piece_options, split_ranges};
+    let w = by_name("particles").unwrap();
+    let dev = DeviceSpec::c2075();
+    let orion = Orion::new(dev.clone(), w.block);
+    let base = orion.baseline(&w.module).unwrap();
+    let launch = Launch { grid: 8, block: w.block };
+
+    // Whole launch.
+    let mut whole = w.init_global.clone();
+    run_launch_opts(&dev, &base.machine, launch, &w.params, &mut whole, LaunchOptions::default())
+        .unwrap();
+    // Split into 4 pieces.
+    let mut split = w.init_global.clone();
+    for range in split_ranges(launch.grid, 4, 1) {
+        run_launch_opts(
+            &dev,
+            &base.machine,
+            launch,
+            &w.params,
+            &mut split,
+            piece_options(range, 0),
+        )
+        .unwrap();
+    }
+    assert_eq!(whole, split, "split launches must compute the same result");
+}
+
+#[test]
+fn downward_selection_saves_registers_or_keeps_speed() {
+    // End-to-end: for srad the tuner must settle on something that does
+    // not lose more than the threshold versus the original.
+    let dev = DeviceSpec::c2075();
+    let w = by_name("srad").unwrap();
+    let launch = small_launch(&w);
+    let mut orion = Orion::new(dev.clone(), w.block);
+    orion.cfg.can_tune = true;
+    let ck = orion.compile(&w.module).unwrap();
+    let mut global = w.init_global.clone();
+    let outcome = orion::core::runtime::tune_loop(&ck, w.iterations, 0.02, |v| {
+        run_launch_opts(
+            &dev,
+            &v.machine,
+            launch,
+            &w.params,
+            &mut global,
+            LaunchOptions { extra_smem_per_block: v.extra_smem, cta_range: None },
+        )
+        .map(|r| r.cycles)
+    })
+    .unwrap();
+    let sel = &ck.versions[outcome.selected];
+    let orig = &ck.versions[ck.original];
+    assert!(sel.achieved_warps <= orig.achieved_warps);
+    assert!(outcome.converged_after <= ck.num_candidates() + 1);
+}

@@ -1,0 +1,95 @@
+//! Regression test for a proptest-found miscompile: a wide (W64) value
+//! combined with a division call under a tiny slot budget.
+
+use orion::alloc::realize::{allocate, AllocOptions, SlotBudget};
+use orion::gpusim::device::DeviceSpec;
+use orion::gpusim::exec::Launch;
+use orion::gpusim::sim::run_launch;
+use orion::kir::builder::{build_fdiv_device, FunctionBuilder};
+use orion::kir::function::Module;
+use orion::kir::inst::Operand;
+use orion::kir::interp::{Interpreter, LaunchConfig};
+use orion::kir::types::{MemSpace, SpecialReg, VReg, Width};
+
+fn build() -> Module {
+    let kb = FunctionBuilder::kernel("repro");
+    let mut m = Module::new(kb.finish());
+    let fdiv = m.add_func(build_fdiv_device());
+    let mut b = FunctionBuilder::kernel("repro");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x0 = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let mut pool: Vec<VReg> = vec![x0, gid, tid];
+    // Add(0,0); Add(0,3)
+    let v = b.iadd(pool[0], pool[0]);
+    pool.push(v);
+    let v = b.iadd(pool[0], pool[3 % pool.len()]);
+    pool.push(v);
+    // Wide(13,9)
+    let wide = b.vreg(Width::W64);
+    b.push(orion::kir::inst::Inst::new(
+        orion::kir::inst::Opcode::Mov,
+        Some(wide),
+        vec![Operand::Imm(0)],
+    ));
+    let a = pool[13 % pool.len()];
+    let c = pool[9 % pool.len()];
+    let w1 = b.pack(wide, a, 0);
+    let w2 = b.pack(w1, c, 1);
+    let v = b.unpack(w2, 1);
+    pool.push(v);
+    // CallDiv(32,25)
+    let num = pool[32 % pool.len()];
+    let den = b.or(pool[25 % pool.len()], Operand::Imm(3));
+    let fnum = b.i2f(num);
+    let fden = b.i2f(den);
+    let q = b.call(fdiv, vec![fnum.into(), fden.into()], &[Width::W32])[0];
+    let v = b.f2i(q);
+    pool.push(v);
+    // fold last 12
+    let mut acc = b.mov_i32(0);
+    let tail: Vec<VReg> = pool.iter().rev().take(12).copied().collect();
+    for t in tail {
+        acc = b.iadd(acc, t);
+    }
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, acc, 0);
+    m.funcs[0] = b.finish();
+    m
+}
+
+#[test]
+fn wide_plus_call_tiny_budget() {
+    let m = build();
+    orion::kir::verify::verify(&m).unwrap();
+    let n = 64u32;
+    let mut init = Vec::new();
+    for i in 0..2 * n {
+        init.extend((i.wrapping_mul(2654435761u32) % 97).to_le_bytes());
+    }
+    let mut ref_global = init.clone();
+    Interpreter::new(&m, &[0, 4 * n])
+        .run(LaunchConfig { grid: 2, block: 32 }, &mut ref_global)
+        .unwrap();
+    for (regs, smem) in [(3u16, 4u16), (2, 0), (4, 4), (63, 0)] {
+        let alloc = allocate(
+            &m,
+            SlotBudget { reg_slots: regs, smem_slots: smem },
+            &AllocOptions::default(),
+        )
+        .unwrap();
+        let mut global = init.clone();
+        run_launch(
+            &DeviceSpec::c2075(),
+            &alloc.machine,
+            Launch { grid: 2, block: 32 },
+            &[0, 4 * n],
+            &mut global,
+        )
+        .unwrap();
+        assert_eq!(global, ref_global, "budget ({regs},{smem})");
+    }
+}
