@@ -260,6 +260,7 @@ pub fn allocate(
                 });
             }
         }
+        orion_telemetry::counter("alloc", "spilled_webs", coloring.spilled.len() as u64);
         ctxs[fid.0 as usize] = Some(FuncCtx {
             nf,
             coloring,
@@ -291,6 +292,19 @@ pub fn allocate(
             identity_layout(&ctx.units, &call_infos)
         };
         predicted_moves[fid.0 as usize] = plan.total_moves;
+        if orion_telemetry::is_enabled() {
+            // The Kuhn-Munkres objective value: compression moves the
+            // chosen layout is predicted to cost across all call sites.
+            orion_telemetry::instant(
+                "alloc",
+                "layout_plan",
+                vec![
+                    ("func", ctx.nf.name.as_str().into()),
+                    ("predicted_moves", plan.total_moves.into()),
+                    ("optimized", (opts.optimize_layout && opts.compress_stack).into()),
+                ],
+            );
+        }
         crate::layout::apply_layout(&mut ctx.coloring.slot_of, &ctx.units, &plan);
         for (i, u) in ctx.units.iter_mut().enumerate() {
             u.start = plan.new_start[i];
@@ -374,6 +388,7 @@ pub fn allocate(
                         });
                     }
                     let pre_insts = sequentialize(&pre, scratch);
+                    let pre_count = pre_insts.len();
                     static_moves += pre_insts.len() as u32;
                     insts.extend(pre_insts);
                     insts.push(MInst::new(Opcode::Call(callee), None, vec![]));
@@ -397,6 +412,18 @@ pub fn allocate(
                         }
                     }
                     let post_insts = sequentialize(&post, scratch);
+                    if orion_telemetry::is_enabled() {
+                        orion_telemetry::instant(
+                            "alloc",
+                            "call_site_moves",
+                            vec![
+                                ("func", ctx.nf.name.as_str().into()),
+                                ("call_index", (call_cursor - 1).into()),
+                                ("pre_moves", pre_count.into()),
+                                ("post_moves", post_insts.len().into()),
+                            ],
+                        );
+                    }
                     static_moves += post_insts.len() as u32;
                     insts.extend(post_insts);
                 } else {
@@ -429,6 +456,13 @@ pub fn allocate(
         .unwrap_or(0);
     let regs_per_thread = budget.reg_slots.min(peak_abs);
     let smem_slots_per_thread = peak_abs.saturating_sub(regs_per_thread);
+    orion_telemetry::counter("alloc", "smem_promoted_slots", u64::from(smem_slots_per_thread));
+    orion_telemetry::counter(
+        "alloc",
+        "spill_slots",
+        u64::from(local_counter.saturating_sub(SCRATCH_SLOTS)),
+    );
+    orion_telemetry::counter("alloc", "static_moves", u64::from(static_moves));
 
     let report = AllocReport {
         kernel_max_live: ctxs[module.entry.0 as usize]

@@ -430,7 +430,6 @@ mod tests {
                 MOperand::Loc(l) => match l.place {
                     Place::Onchip => regs[l.slot as usize],
                     Place::Local => scratch,
-                    _ => unreachable!(),
                 },
                 _ => unreachable!(),
             };
@@ -438,7 +437,6 @@ mod tests {
             match d.place {
                 Place::Onchip => regs[d.slot as usize] = src,
                 Place::Local => scratch = src,
-                _ => unreachable!(),
             }
         }
         assert_eq!(regs, [20, 10]);

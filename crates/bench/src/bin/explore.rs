@@ -1,5 +1,7 @@
 //! Exploratory tool: print each workload's occupancy curve on both
 //! devices (used during development to calibrate workload parameters).
+//! Pass a name fragment to filter workloads; for stall-attributed
+//! per-level detail use the `profile` binary instead.
 
 use orion_bench::sweep_curve;
 

@@ -1,5 +1,5 @@
 //! Figure 1: imageDenoising runtime vs occupancy on GTX680.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", orion_bench::figures::fig01()?);
+    orion_bench::emit(&orion_bench::figures::fig01()?)?;
     Ok(())
 }

@@ -1,5 +1,5 @@
 //! Figure 2: matrixMul occupancy plateau.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", orion_bench::figures::fig02()?);
+    orion_bench::emit(&orion_bench::figures::fig02()?)?;
     Ok(())
 }

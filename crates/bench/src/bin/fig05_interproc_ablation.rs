@@ -1,5 +1,5 @@
 //! Figure 5: inter-procedure allocation ablations.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", orion_bench::figures::fig05()?);
+    orion_bench::emit(&orion_bench::figures::fig05()?)?;
     Ok(())
 }

@@ -1,5 +1,5 @@
 //! Figure 10: srad runtime vs occupancy on Tesla C2075.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", orion_bench::figures::fig10()?);
+    orion_bench::emit(&orion_bench::figures::fig10()?)?;
     Ok(())
 }

@@ -1,8 +1,8 @@
 //! Figure 12: downward tuning — registers and runtime, both devices.
 use orion_gpusim::DeviceSpec;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", orion_bench::figures::fig12(&DeviceSpec::c2075())?);
+    orion_bench::emit(&orion_bench::figures::fig12(&DeviceSpec::c2075())?)?;
     println!();
-    print!("{}", orion_bench::figures::fig12(&DeviceSpec::gtx680())?);
+    orion_bench::emit(&orion_bench::figures::fig12(&DeviceSpec::gtx680())?)?;
     Ok(())
 }

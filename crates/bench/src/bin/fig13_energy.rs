@@ -1,5 +1,5 @@
 //! Figure 13: energy of the selected kernels on Tesla C2075.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", orion_bench::figures::fig13()?);
+    orion_bench::emit(&orion_bench::figures::fig13()?)?;
     Ok(())
 }

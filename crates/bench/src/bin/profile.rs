@@ -1,40 +1,140 @@
-//! Print detailed simulator counters for each occupancy level of one
-//! workload (development tool).
+//! Profiler CLI: run a workload's occupancy sweep with telemetry
+//! enabled, print stall-attributed counters per level, and export the
+//! recorded events as a Chrome `trace_event` timeline plus a flat JSON
+//! metrics report.
+//!
+//! ```sh
+//! cargo run --release -p orion-bench --bin profile -- \
+//!     [workload] [gtx680|c2075] [--warps N] \
+//!     [--trace trace.json] [--metrics metrics.json]
+//! ```
+//!
+//! The trace loads in `chrome://tracing` / Perfetto: one lane per SM on
+//! a cycle axis, one slice per CTA. The metrics report nests every
+//! version under `occ<warps>/` and checks the stall-accounting
+//! invariant: the six stall buckets sum to `cycles × num_sms` exactly.
 
 use orion_bench::experiment::run_version_once;
 use orion_core::orion::Orion;
 use orion_gpusim::DeviceSpec;
+use orion_telemetry::metrics::{aggregate_counters, MetricsReport};
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let name = args.get(1).map(String::as_str).unwrap_or("imageDenoising");
-    let dev = match args.get(2).map(String::as_str) {
-        Some("c2075") => DeviceSpec::c2075(),
-        _ => DeviceSpec::gtx680(),
-    };
-    let w = orion_workloads::by_name(name).expect("workload");
-    let orion = Orion::new(dev.clone(), w.block);
-    println!("{} on {}", w.name, dev.name);
-    println!("{:>5} {:>4} {:>5} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "warps","regs","smem","local","cycles","warp_insts","moves","smem_slot","local_trans","l1_miss","l2_miss","dram");
-    for v in orion.sweep(&w.module).unwrap() {
-        match run_version_once(&dev, &w, &v) {
-            Ok(r) => println!(
-                "{:>5} {:>4} {:>5} {:>5} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>10}",
-                v.achieved_warps,
-                v.machine.regs_per_thread,
-                v.machine.smem_slots_per_thread,
-                v.machine.local_slots_per_thread,
-                r.cycles,
-                r.stats.warp_insts,
-                r.stats.stack_moves,
-                r.stats.smem_slot_accesses,
-                r.stats.local_transactions,
-                r.stats.mem.l1_misses,
-                r.stats.mem.l2_misses,
-                r.stats.mem.dram_transactions,
-            ),
-            Err(e) => println!("{:>5} ERROR {e}", v.achieved_warps),
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut workload = "imageDenoising".to_string();
+    let mut device = "gtx680".to_string();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut warps_filter: Option<u32> = None;
+    let mut positionals = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace_path = Some(args.next().ok_or("--trace needs a path")?),
+            "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
+            "--warps" => {
+                warps_filter = Some(args.next().ok_or("--warps needs a number")?.parse()?);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: profile [workload] [gtx680|c2075] [--warps N] [--trace FILE] [--metrics FILE]"
+                );
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}").into()),
+            pos => {
+                match positionals {
+                    0 => workload = pos.to_string(),
+                    1 => device = pos.to_string(),
+                    _ => return Err("too many positional arguments".into()),
+                }
+                positionals += 1;
+            }
         }
     }
+    let dev = match device.as_str() {
+        "c2075" => DeviceSpec::c2075(),
+        "gtx680" => DeviceSpec::gtx680(),
+        other => return Err(format!("unknown device {other} (gtx680|c2075)").into()),
+    };
+    let w = orion_workloads::by_name(&workload)
+        .ok_or_else(|| format!("unknown workload {workload}"))?;
+
+    orion_telemetry::set_enabled(true);
+    orion_telemetry::clear();
+    if !orion_telemetry::is_enabled() {
+        eprintln!(
+            "note: telemetry feature disabled (--no-default-features); trace/metrics will be empty"
+        );
+    }
+
+    let orion = Orion::new(dev.clone(), w.block);
+    let versions = orion.sweep(&w.module)?;
+    let mut report = MetricsReport::new();
+    report.set("workload", w.name);
+    report.set("device", dev.name.as_str());
+
+    println!("{} on {}", w.name, dev.name);
+    println!(
+        "{:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "warps", "regs", "cycles", "issued", "scoreboard", "mem_pend", "barrier", "no_elig",
+        "drain", "ipc"
+    );
+    for v in &versions {
+        if warps_filter.is_some_and(|f| v.achieved_warps != f) {
+            continue;
+        }
+        let r = match run_version_once(&dev, &w, v) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:>5} ERROR {e}", v.achieved_warps);
+                continue;
+            }
+        };
+        let st = &r.stats.stalls;
+        let d = r.derived();
+        println!(
+            "{:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10.3}",
+            v.achieved_warps,
+            v.machine.regs_per_thread,
+            r.cycles,
+            st.issued,
+            st.scoreboard,
+            st.mem_pending,
+            st.barrier,
+            st.no_eligible,
+            st.drain,
+            d.ipc,
+        );
+        let sm_cycles = r.cycles * u64::from(r.num_sms);
+        assert_eq!(
+            st.total(),
+            sm_cycles,
+            "stall buckets must sum to cycles x num_sms"
+        );
+        let mut vr = MetricsReport::new();
+        vr.set("cycles", r.cycles);
+        vr.set("sm_cycles", sm_cycles);
+        vr.set("warp_insts", r.stats.warp_insts);
+        for (name, val) in st.as_named() {
+            vr.set(format!("stall/{name}"), val);
+        }
+        vr.set("ipc", d.ipc);
+        vr.set("simd_efficiency", d.simd_efficiency);
+        vr.set("l1_hit_rate", d.l1_hit_rate);
+        vr.set("l2_hit_rate", d.l2_hit_rate);
+        vr.set("issue_utilization", d.issue_utilization);
+        report.merge_prefixed(&format!("occ{}", v.achieved_warps), &vr);
+    }
+
+    let events = orion_telemetry::take_events();
+    report.merge_prefixed("counters", &aggregate_counters(&events));
+    if let Some(path) = &trace_path {
+        std::fs::write(path, orion_telemetry::chrome::trace_json(&events))?;
+        eprintln!("wrote {path} ({} events)", events.len());
+    }
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, report.to_json())?;
+        eprintln!("wrote {path} ({} metrics)", report.len());
+    }
+    Ok(())
 }

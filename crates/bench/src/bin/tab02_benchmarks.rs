@@ -1,4 +1,5 @@
 //! Table 2: benchmark characteristics.
-fn main() {
-    print!("{}", orion_bench::figures::tab02());
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    orion_bench::emit(&orion_bench::figures::tab02())?;
+    Ok(())
 }

@@ -1,5 +1,5 @@
 //! Table 3: small-cache vs large-cache configuration speedups.
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    print!("{}", orion_bench::figures::tab03()?);
+    orion_bench::emit(&orion_bench::figures::tab03()?)?;
     Ok(())
 }

@@ -4,7 +4,12 @@
 //! on the shared [`experiment`] engine: occupancy sweeps, Orion
 //! compile+tune runs, the nvcc-like baseline, ablations, and energy
 //! accounting. `cargo run --release -p orion-bench --bin all_experiments`
-//! regenerates every result and rewrites `EXPERIMENTS.md`.
+//! regenerates every result, rewrites `EXPERIMENTS.md`, and drops a
+//! `BENCH_<slug>.json` artifact per figure with the structured numbers.
+//!
+//! The `profile` binary is a profiler CLI: it runs one workload with
+//! telemetry enabled and exports a Chrome `trace_event` timeline
+//! (`--trace`) and a flat metrics report (`--metrics`).
 
 pub mod experiment;
 pub mod figures;
@@ -13,3 +18,18 @@ pub mod report;
 pub use experiment::{
     orion_select, sweep_curve, CurvePoint, ExperimentError, SelectOutcome,
 };
+pub use figures::Figure;
+
+/// Print a figure's text to stdout and write its `BENCH_<slug>.json`
+/// artifact to the current directory — the shared tail of every
+/// per-figure binary.
+///
+/// # Errors
+/// Propagates the artifact write failure.
+pub fn emit(fig: &Figure) -> std::io::Result<()> {
+    print!("{fig}");
+    let path = format!("BENCH_{}.json", fig.slug);
+    std::fs::write(&path, fig.artifact_json())?;
+    eprintln!("wrote {path}");
+    Ok(())
+}

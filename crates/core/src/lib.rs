@@ -64,4 +64,4 @@ pub mod splitting;
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
 pub use error::OrionError;
 pub use orion::Orion;
-pub use runtime::{tune_loop, DynamicTuner, TuneOutcome};
+pub use runtime::{tune_loop, DynamicTuner, TuneDecision, TuneOutcome, TuneReason};

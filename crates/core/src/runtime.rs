@@ -17,6 +17,41 @@
 use crate::compiler::{CompiledKernel, Direction, KernelVersion};
 use serde::{Deserialize, Serialize};
 
+/// Why the tuner took a step or finalized — the reason codes of the
+/// Figure 8/9 decision procedure, recorded per measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuneReason {
+    /// First measurement (the original version); nothing to compare yet.
+    Baseline,
+    /// Acceptable performance; keep walking the candidate order.
+    NotDegraded,
+    /// The step degraded performance beyond what the direction tolerates
+    /// (strictly slower when increasing; more than the threshold over
+    /// the best when decreasing) — finalize the previous version.
+    SlowdownExceeded,
+    /// Candidate list exhausted — finalize per direction (fastest seen
+    /// when increasing, lowest acceptable when decreasing).
+    Exhausted,
+}
+
+/// One recorded tuner step: what was measured and what the tuner did
+/// with it. [`TuneOutcome::decisions`] carries the full log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneDecision {
+    /// Exploration trial index (0-based).
+    pub trial: usize,
+    /// Version index measured in this trial.
+    pub version: usize,
+    /// Raw cycles observed for the invocation.
+    pub cycles: u64,
+    /// Work-normalized comparison value (cycles × 2^20 / work) the
+    /// degradation test actually used.
+    pub norm_cycles: u64,
+    pub reason: TuneReason,
+    /// Set when this measurement finalized a version.
+    pub finalized: Option<usize>,
+}
+
 /// The feedback-driven version selector (Figure 9).
 #[derive(Debug, Clone)]
 pub struct DynamicTuner {
@@ -29,6 +64,7 @@ pub struct DynamicTuner {
     times: Vec<Option<u64>>,
     finalized: Option<usize>,
     trials: usize,
+    decisions: Vec<TuneDecision>,
 }
 
 impl DynamicTuner {
@@ -46,6 +82,7 @@ impl DynamicTuner {
                 None
             },
             trials: 0,
+            decisions: Vec::new(),
         }
     }
 
@@ -72,6 +109,7 @@ impl DynamicTuner {
     pub fn record_with_work(&mut self, cycles: u64, work: u64) {
         assert!(work > 0, "work must be positive");
         // Normalize to cycles per 2^20 work items to keep integer math.
+        let raw_cycles = cycles;
         let cycles = cycles.saturating_mul(1 << 20) / work;
         if self.finalized.is_some() {
             return;
@@ -79,43 +117,88 @@ impl DynamicTuner {
         let cur = self.order[self.pos];
         self.times[cur] = Some(cycles);
         self.trials += 1;
+        let reason;
         if self.pos == 0 {
             self.pos += 1;
-            return;
-        }
-        let prev = self.order[self.pos - 1];
-        let prev_t = self.times[prev].expect("previous was measured") as f64;
-        let cur_t = cycles as f64;
-        let degraded = match self.direction {
-            Direction::Increasing => cur_t > prev_t,
-            Direction::Decreasing => {
-                let best = self
-                    .times
-                    .iter()
-                    .flatten()
-                    .copied()
-                    .min()
-                    .expect("measured") as f64;
-                cur_t / best - 1.0 > self.threshold
-            }
-        };
-        if degraded {
-            self.finalized = Some(prev);
-        } else if self.pos + 1 >= self.order.len() {
-            self.finalized = Some(match self.direction {
-                // Exhausted upward: keep the fastest observed.
-                Direction::Increasing => self
-                    .order
-                    .iter()
-                    .copied()
-                    .min_by_key(|&v| self.times[v].unwrap_or(u64::MAX))
-                    .expect("nonempty order"),
-                // Exhausted downward: the current (lowest acceptable).
-                Direction::Decreasing => cur,
-            });
+            reason = TuneReason::Baseline;
         } else {
-            self.pos += 1;
+            let prev = self.order[self.pos - 1];
+            let prev_t = self.times[prev].expect("previous was measured") as f64;
+            let cur_t = cycles as f64;
+            let degraded = match self.direction {
+                Direction::Increasing => cur_t > prev_t,
+                Direction::Decreasing => {
+                    let best = self
+                        .times
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .min()
+                        .expect("measured") as f64;
+                    cur_t / best - 1.0 > self.threshold
+                }
+            };
+            if degraded {
+                self.finalized = Some(prev);
+                reason = TuneReason::SlowdownExceeded;
+            } else if self.pos + 1 >= self.order.len() {
+                self.finalized = Some(match self.direction {
+                    // Exhausted upward: keep the fastest observed.
+                    Direction::Increasing => self
+                        .order
+                        .iter()
+                        .copied()
+                        .min_by_key(|&v| self.times[v].unwrap_or(u64::MAX))
+                        .expect("nonempty order"),
+                    // Exhausted downward: the current (lowest acceptable).
+                    Direction::Decreasing => cur,
+                });
+                reason = TuneReason::Exhausted;
+            } else {
+                self.pos += 1;
+                reason = TuneReason::NotDegraded;
+            }
         }
+        let decision = TuneDecision {
+            trial: self.trials - 1,
+            version: cur,
+            cycles: raw_cycles,
+            norm_cycles: cycles,
+            reason,
+            finalized: self.finalized,
+        };
+        if orion_telemetry::is_enabled() {
+            orion_telemetry::instant(
+                "tuner",
+                "decision",
+                vec![
+                    ("trial", decision.trial.into()),
+                    ("version", decision.version.into()),
+                    ("cycles", decision.cycles.into()),
+                    ("norm_cycles", decision.norm_cycles.into()),
+                    ("reason", format!("{:?}", decision.reason).into()),
+                    (
+                        "finalized",
+                        decision
+                            .finalized
+                            .map_or(orion_telemetry::ArgValue::Bool(false), |v| {
+                                orion_telemetry::ArgValue::U64(v as u64)
+                            }),
+                    ),
+                ],
+            );
+        }
+        self.decisions.push(decision);
+    }
+
+    /// The decision log so far, one entry per exploration measurement.
+    pub fn decisions(&self) -> &[TuneDecision] {
+        &self.decisions
+    }
+
+    /// Consume the tuner, keeping its decision log.
+    pub fn into_decisions(self) -> Vec<TuneDecision> {
+        self.decisions
     }
 
     /// The finalized version, once tuning is done.
@@ -141,6 +224,8 @@ pub struct TuneOutcome {
     /// Total simulated cycles across all iterations (tuning overhead
     /// included — this is what Orion-Select reports in Figure 11).
     pub total_cycles: u64,
+    /// Per-measurement decision log (why each step was taken).
+    pub decisions: Vec<TuneDecision>,
 }
 
 /// Drive the full tuning loop: `iterations` invocations of the kernel,
@@ -172,6 +257,7 @@ pub fn tune_loop<E>(
         iterations: iters,
         converged_after: tuner.trials(),
         total_cycles: total,
+        decisions: tuner.into_decisions(),
     })
 }
 
@@ -317,5 +403,50 @@ mod tests {
         .unwrap();
         assert_eq!(out.selected, 2);
         assert!(out.converged_after <= 4);
+    }
+
+    #[test]
+    fn decision_log_records_converging_run() {
+        // Times: v0=100, v1=80, v2=90 → degradation on trial 2 finalizes
+        // v1 after 3 trials total.
+        let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
+        let times = [100u64, 80, 90, 70];
+        let out = tune_loop::<()>(&ck, 10, 0.02, |v| {
+            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            Ok(times[idx])
+        })
+        .unwrap();
+        // One decision per tuning trial, none for post-convergence runs.
+        assert_eq!(out.decisions.len(), 3);
+        assert!(out.converged_after <= 3, "typical convergence is <= ~3 trials");
+        assert_eq!(out.decisions[0].reason, TuneReason::Baseline);
+        assert_eq!(out.decisions[0].version, 0);
+        assert_eq!(out.decisions[0].cycles, 100);
+        assert_eq!(out.decisions[0].finalized, None);
+        assert_eq!(out.decisions[1].reason, TuneReason::NotDegraded);
+        assert_eq!(out.decisions[1].finalized, None);
+        let last = out.decisions.last().unwrap();
+        assert_eq!(last.reason, TuneReason::SlowdownExceeded);
+        assert_eq!(last.finalized, Some(1), "backs off to the previous version");
+        assert_eq!(last.trial, 2);
+    }
+
+    #[test]
+    fn decision_log_records_exhausted_run() {
+        let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
+        let times = [100u64, 90, 70];
+        let out = tune_loop::<()>(&ck, 6, 0.02, |v| {
+            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            Ok(times[idx])
+        })
+        .unwrap();
+        let last = out.decisions.last().unwrap();
+        assert!(
+            matches!(last.reason, TuneReason::SlowdownExceeded | TuneReason::Exhausted),
+            "final decision must carry a finalize reason, got {:?}",
+            last.reason
+        );
+        assert_eq!(last.reason, TuneReason::Exhausted);
+        assert_eq!(last.finalized, Some(2), "exhausting the list keeps the best version");
     }
 }

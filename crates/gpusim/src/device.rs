@@ -79,6 +79,9 @@ pub struct DeviceSpec {
     pub dram_latency: u64,
     /// DRAM service time per 128-byte transaction per SM share, cycles.
     pub dram_cycles_per_transaction: u64,
+    /// `bar.sync` pipeline-flush cost: cycles between the last warp
+    /// arriving at a CTA barrier and the released warps issuing again.
+    pub barrier_latency: u64,
 }
 
 impl DeviceSpec {
@@ -109,6 +112,7 @@ impl DeviceSpec {
             l2_latency: 175,
             dram_latency: 380,
             dram_cycles_per_transaction: 6,
+            barrier_latency: 24,
         }
     }
 
@@ -140,6 +144,7 @@ impl DeviceSpec {
             l2_latency: 190,
             dram_latency: 420,
             dram_cycles_per_transaction: 14,
+            barrier_latency: 30,
         }
     }
 

@@ -54,6 +54,83 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Per-cycle stall attribution, mirroring what CUPTI/nsight expose on
+/// real hardware. Every SM cycle lands in exactly one bucket, so after
+/// device aggregation (which pads idle SMs — see `sim::run_launch_opts`)
+/// the buckets **provably sum to `cycles × num_sms`**.
+///
+/// The engine is event-driven, so attribution works on gaps: when the
+/// scheduler issues at cycle `t` after last issuing at cycle `s`, the
+/// cycles in `(s, t)` are charged to the binding constraint that kept
+/// the issued warp (the earliest-ready one) from issuing sooner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallStats {
+    /// Cycles in which the SM issued at least one warp instruction.
+    pub issued: u64,
+    /// Waiting on a register written by an in-flight ALU/pipeline op
+    /// (RAW hazard), or on issue-port serialization (bank-conflict
+    /// replays, multi-cycle issue).
+    pub scoreboard: u64,
+    /// Waiting on an outstanding memory access (global/L1/L2/DRAM or
+    /// spill traffic to local memory).
+    pub mem_pending: u64,
+    /// Waiting for the rest of the CTA at a barrier.
+    pub barrier: u64,
+    /// No warp was eligible: the SM had no resident work that cycle
+    /// (device-level padding for SMs that finished before the slowest
+    /// SM, or received no blocks at all).
+    pub no_eligible: u64,
+    /// SM done issuing; in-flight latency draining to completion.
+    pub drain: u64,
+}
+
+impl StallStats {
+    /// Total accounted cycles (the sum of every bucket).
+    pub fn total(&self) -> u64 {
+        self.issued
+            + self.scoreboard
+            + self.mem_pending
+            + self.barrier
+            + self.no_eligible
+            + self.drain
+    }
+
+    /// Buckets with their metric names, for exporters and tests.
+    pub fn as_named(&self) -> [(&'static str, u64); 6] {
+        [
+            ("issued", self.issued),
+            ("scoreboard", self.scoreboard),
+            ("mem_pending", self.mem_pending),
+            ("barrier", self.barrier),
+            ("no_eligible", self.no_eligible),
+            ("drain", self.drain),
+        ]
+    }
+
+    pub fn absorb(&mut self, o: &StallStats) {
+        self.issued += o.issued;
+        self.scoreboard += o.scoreboard;
+        self.mem_pending += o.mem_pending;
+        self.barrier += o.barrier;
+        self.no_eligible += o.no_eligible;
+        self.drain += o.drain;
+    }
+}
+
+/// Why a warp's earliest-ready time is what it is — the binding
+/// constraint used to classify scheduling gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wait {
+    /// Issue-side: previous instruction's issue cost / replays.
+    Pipeline,
+    /// Released from a barrier at that time.
+    Barrier,
+    /// Source operand written by an in-flight non-memory op.
+    Raw,
+    /// Source operand waiting on a memory access.
+    Mem,
+}
+
 /// Dynamic counters for one launch (summed over SMs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
@@ -75,6 +152,8 @@ pub struct SimStats {
     pub local_transactions: u64,
     /// Memory hierarchy counters.
     pub mem: MemStats,
+    /// Per-cycle stall attribution.
+    pub stalls: StallStats,
 }
 
 /// A machine module plus precomputed reconvergence points.
@@ -146,7 +225,12 @@ struct Warp {
     at_barrier: bool,
     barrier_release: u64,
     next_free: u64,
+    /// Why `next_free` is what it is (stall attribution).
+    free_reason: Wait,
     onchip_ready: Vec<u64>,
+    /// Provenance of each `onchip_ready` entry: was the last writer a
+    /// memory access? (Local slots are always memory: spill traffic.)
+    onchip_mem: Vec<bool>,
     local_ready: Vec<u64>,
     pred_ready: [u64; NUM_PRED_REGS as usize],
 }
@@ -156,6 +240,8 @@ struct Cta {
     lanes: Vec<LaneState>,
     shared: Vec<u8>,
     warps_left: usize,
+    /// Cycle at which this CTA was admitted (telemetry timeline).
+    admitted_at: u64,
 }
 
 /// One SM's execution of its share of the grid.
@@ -167,6 +253,12 @@ pub(crate) struct SmEngine<'m, 'g> {
     global: &'g mut [u8],
     mem: MemSystem,
     pub stats: SimStats,
+    /// Warp-instructions issued per hardware warp slot (resident-CTA
+    /// slot × warps-per-block + warp-in-block), for the per-warp-slot
+    /// occupancy rollup.
+    pub per_warp_issued: Vec<u64>,
+    /// SM index on the device (telemetry lane id).
+    sm_id: u32,
     onchip_words: usize,
     local_words: usize,
     warps_per_block: u32,
@@ -174,6 +266,8 @@ pub(crate) struct SmEngine<'m, 'g> {
     cur_cycle: u64,
     issued_this_cycle: u32,
     last_event: u64,
+    /// First cycle not yet attributed to a stall bucket.
+    acct_cursor: u64,
     steps_left: u64,
 }
 
@@ -185,6 +279,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         params: &'m [u32],
         global: &'g mut [u8],
         step_limit: u64,
+        sm_id: u32,
     ) -> Self {
         let m = prog.module;
         let onchip_words =
@@ -197,12 +292,15 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             global,
             mem: MemSystem::new(dev),
             stats: SimStats::default(),
+            per_warp_issued: Vec::new(),
+            sm_id,
             onchip_words,
             local_words: usize::from(m.local_slots_per_thread),
             warps_per_block: launch.block.div_ceil(32),
             cur_cycle: 0,
             issued_this_cycle: 0,
             last_event: 0,
+            acct_cursor: 0,
             steps_left: step_limit,
         }
     }
@@ -221,17 +319,17 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         }
         loop {
             // Pick the runnable warp with the earliest ready time.
-            let mut best: Option<(u64, usize)> = None;
+            let mut best: Option<(u64, usize, Wait)> = None;
             for (i, w) in warps.iter().enumerate() {
                 if w.done || w.at_barrier {
                     continue;
                 }
-                let r = self.warp_ready_time(w);
-                if best.is_none_or(|(br, _)| r < br) {
-                    best = Some((r, i));
+                let (r, why) = self.warp_ready_info(w);
+                if best.is_none_or(|(br, _, _)| r < br) {
+                    best = Some((r, i, why));
                 }
             }
-            let Some((ready, wi)) = best else {
+            let Some((ready, wi, wait)) = best else {
                 // No runnable warps: all done, or all at barriers (which
                 // release eagerly), or deadlock.
                 if warps.iter().all(|w| w.done) {
@@ -256,6 +354,31 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             }
             self.issued_this_cycle += 1;
 
+            // Stall attribution: charge the un-issued gap up to `t` to
+            // the binding constraint of the warp we are about to issue,
+            // then mark cycle `t` itself as an issue cycle.
+            if t >= self.acct_cursor {
+                let gap = t - self.acct_cursor;
+                if gap > 0 {
+                    match wait {
+                        Wait::Barrier => self.stats.stalls.barrier += gap,
+                        Wait::Mem => self.stats.stalls.mem_pending += gap,
+                        Wait::Pipeline | Wait::Raw => self.stats.stalls.scoreboard += gap,
+                    }
+                }
+                self.stats.stalls.issued += 1;
+                self.acct_cursor = t + 1;
+            }
+            // Per-warp-slot rollup: hardware slots are recycled as CTAs
+            // retire, so key by (resident slot, warp-in-block).
+            let slot = (warps[wi].cta % residency.max(1) as usize)
+                * self.warps_per_block as usize
+                + warps[wi].warp_in_block as usize;
+            if slot >= self.per_warp_issued.len() {
+                self.per_warp_issued.resize(slot + 1, 0);
+            }
+            self.per_warp_issued[slot] += 1;
+
             self.step_warp(&mut warps, wi, &mut ctas, t)?;
 
             // Barrier release: if every live warp of the CTA is waiting.
@@ -275,6 +398,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                     for w in warps.iter_mut().filter(|w| w.cta == cta && !w.done) {
                         w.at_barrier = false;
                         w.next_free = w.next_free.max(release);
+                        w.free_reason = Wait::Barrier;
                     }
                 }
             }
@@ -286,6 +410,18 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 if ctas[c].warps_left == 0 {
                     ctas[c].lanes = Vec::new();
                     ctas[c].shared = Vec::new();
+                    if orion_telemetry::is_enabled() {
+                        let begin = ctas[c].admitted_at;
+                        let end = self.last_event.max(t);
+                        orion_telemetry::complete(
+                            "sim",
+                            &format!("cta{}", ctas[c].grid_idx),
+                            self.sm_id,
+                            begin,
+                            end.saturating_sub(begin),
+                            vec![("grid_idx", ctas[c].grid_idx.into())],
+                        );
+                    }
                     if let Some(b) = pending.next() {
                         let start = self.last_event.max(t);
                         self.admit_cta(&mut ctas, &mut warps, b, start);
@@ -294,7 +430,17 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             }
         }
         self.stats.mem = self.mem.stats;
-        Ok(self.last_event)
+        // Close the per-SM accounting: everything between the last issue
+        // and engine completion is latency drain. `last_event` can in
+        // principle trail the accounting cursor by a bookkeeping-only
+        // issue (empty-path discard), so completion is their max — which
+        // makes the invariant `Σ buckets == completion` exact.
+        let end = self.last_event.max(self.acct_cursor);
+        self.last_event = end;
+        self.stats.stalls.drain += end - self.acct_cursor;
+        self.acct_cursor = end;
+        debug_assert_eq!(self.stats.stalls.total(), end, "stall buckets must cover every cycle");
+        Ok(end)
     }
 
     fn admit_cta(&self, ctas: &mut Vec<Cta>, warps: &mut Vec<Warp>, grid_idx: u32, start: u64) {
@@ -311,6 +457,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             lanes,
             shared: vec![0u8; self.prog.module.user_smem_bytes as usize],
             warps_left: self.warps_per_block as usize,
+            admitted_at: start,
         });
         for w in 0..self.warps_per_block {
             let lanes_in_warp = (self.launch.block - w * 32).min(32);
@@ -336,15 +483,21 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 at_barrier: false,
                 barrier_release: 0,
                 next_free: start,
+                free_reason: Wait::Pipeline,
                 onchip_ready: vec![0; self.onchip_words],
+                onchip_mem: vec![false; self.onchip_words],
                 local_ready: vec![0; self.local_words],
                 pred_ready: [0; NUM_PRED_REGS as usize],
             });
         }
     }
 
-    fn warp_ready_time(&self, w: &Warp) -> u64 {
+    /// Earliest cycle at which `w` can issue, plus the binding
+    /// constraint that sets it (for stall attribution). Ties resolve in
+    /// favour of the issue-side reason, then program order of operands.
+    fn warp_ready_info(&self, w: &Warp) -> (u64, Wait) {
         let mut t = w.next_free;
+        let mut why = w.free_reason;
         let frame = w.frames.last().expect("live warp has a frame");
         let tos = frame.stack.last().expect("live warp has a path");
         let mf = self.prog.module.func(frame.func);
@@ -353,40 +506,64 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             let inst = &blk.insts[tos.idx];
             for s in &inst.srcs {
                 if let MOperand::Loc(l) = s {
-                    t = t.max(self.loc_ready(w, *l));
+                    let (r, mem) = self.loc_ready_info(w, *l);
+                    if r > t {
+                        t = r;
+                        why = if mem { Wait::Mem } else { Wait::Raw };
+                    }
                 }
             }
             if let Some(p) = inst.pred {
-                t = t.max(w.pred_ready[p.0 as usize]);
+                if w.pred_ready[p.0 as usize] > t {
+                    t = w.pred_ready[p.0 as usize];
+                    why = Wait::Raw;
+                }
             }
             if let Some(p) = inst.sel_pred {
-                t = t.max(w.pred_ready[p.0 as usize]);
+                if w.pred_ready[p.0 as usize] > t {
+                    t = w.pred_ready[p.0 as usize];
+                    why = Wait::Raw;
+                }
             }
         } else if let Terminator::Branch { pred, .. } = &blk.term {
-            t = t.max(w.pred_ready[pred.0 as usize]);
+            if w.pred_ready[pred.0 as usize] > t {
+                t = w.pred_ready[pred.0 as usize];
+                why = Wait::Raw;
+            }
         }
-        t
+        (t, why)
     }
 
-    fn loc_ready(&self, w: &Warp, l: MLoc) -> u64 {
+    /// Readiness of a location and whether the binding word was produced
+    /// by a memory access (local slots are spill traffic, always memory).
+    fn loc_ready_info(&self, w: &Warp, l: MLoc) -> (u64, bool) {
         let mut t = 0;
+        let mut mem = false;
         for k in 0..l.width.words() {
             let idx = usize::from(l.slot + k);
-            t = t.max(match l.place {
-                Place::Onchip => w.onchip_ready.get(idx).copied().unwrap_or(0),
-                Place::Local => w.local_ready.get(idx).copied().unwrap_or(0),
-            });
+            let (r, m) = match l.place {
+                Place::Onchip => (
+                    w.onchip_ready.get(idx).copied().unwrap_or(0),
+                    w.onchip_mem.get(idx).copied().unwrap_or(false),
+                ),
+                Place::Local => (w.local_ready.get(idx).copied().unwrap_or(0), true),
+            };
+            if r > t || (r == t && m && k == 0) {
+                mem = m;
+            }
+            t = t.max(r);
         }
-        t
+        (t, mem)
     }
 
-    fn set_loc_ready(&self, w: &mut Warp, l: MLoc, t: u64) {
+    fn set_loc_ready(&self, w: &mut Warp, l: MLoc, t: u64, mem: bool) {
         for k in 0..l.width.words() {
             let idx = usize::from(l.slot + k);
             match l.place {
                 Place::Onchip => {
                     if idx < w.onchip_ready.len() {
                         w.onchip_ready[idx] = t;
+                        w.onchip_mem[idx] = mem;
                     }
                 }
                 Place::Local => {
@@ -473,6 +650,9 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         t: u64,
     ) -> Result<(), SimError> {
         let w = &mut warps[wi];
+        // Whatever happens below, the warp's own `next_free` wait is an
+        // issue-pipeline cost; data and barrier waits are tracked apart.
+        w.free_reason = Wait::Pipeline;
         let frame_idx = w.frames.len() - 1;
         let (func_id, tos) = {
             let f = &w.frames[frame_idx];
@@ -640,10 +820,13 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         match &inst.op {
             Opcode::Bar => {
                 w.at_barrier = true;
-                w.barrier_release = t + 1;
+                // The CTA releases `barrier_latency` cycles after the
+                // last warp arrives (bar.sync pipeline flush); the gap
+                // is attributed to the barrier stall bucket.
+                w.barrier_release = t + self.dev.barrier_latency.max(1);
                 w.next_free = t + 1;
                 self.stats.barriers += 1;
-                self.last_event = self.last_event.max(t + 1);
+                self.last_event = self.last_event.max(w.barrier_release);
                 Ok(())
             }
             Opcode::Call(callee) => {
@@ -752,7 +935,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 let done = completions.max(local_ready_max) + result_latency;
                 if let Some(d) = inst.dst {
                     let dl = handle_local_dst(self, d, cta_grid, warp_base_tid, done);
-                    self.set_loc_ready(w, d, dl);
+                    self.set_loc_ready(w, d, dl, true);
                 }
                 w.next_free = t + issue_cost;
                 self.last_event = self.last_event.max(done);
@@ -892,7 +1075,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 let done = local_ready_max.max(t) + result_latency;
                 if let Some(d) = inst.dst {
                     let dl = handle_local_dst(self, d, cta_grid, warp_base_tid, done);
-                    self.set_loc_ready(w, d, dl);
+                    self.set_loc_ready(w, d, dl, false);
                 }
                 w.next_free = t + issue_cost;
                 self.last_event = self.last_event.max(done);

@@ -60,7 +60,7 @@ pub mod power;
 pub mod sim;
 
 pub use device::{CacheConfig, DeviceSpec};
-pub use exec::{Launch, SimError, SimStats};
+pub use exec::{Launch, SimError, SimStats, StallStats};
 pub use occupancy::{occupancy, KernelResources, Limiter, OccupancyInfo};
 pub use power::{energy, EnergyReport, PowerModel};
-pub use sim::{run_launch, run_launch_opts, LaunchOptions, RunResult};
+pub use sim::{run_launch, run_launch_opts, DerivedMetrics, LaunchOptions, RunResult, SmSummary};

@@ -57,11 +57,10 @@ pub fn occupancy(dev: &DeviceSpec, res: &KernelResources) -> OccupancyInfo {
         let warps_by_regs = dev.regs_per_sm / regs_per_warp;
         warps_by_regs / warps_per_block.max(1)
     };
-    let by_smem = if res.smem_per_block == 0 {
-        u32::MAX
-    } else {
-        dev.smem_per_sm() / res.smem_per_block
-    };
+    let by_smem = dev
+        .smem_per_sm()
+        .checked_div(res.smem_per_block)
+        .unwrap_or(u32::MAX);
     let active_blocks = by_blocks.min(by_threads).min(by_regs).min(by_smem);
     let limiter = if active_blocks == by_smem && by_smem <= by_regs && by_smem <= by_threads {
         Limiter::SharedMemory

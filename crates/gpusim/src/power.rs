@@ -144,8 +144,7 @@ mod tests {
     fn dynamic_energy_counts_events() {
         let dev = DeviceSpec::c2075();
         let model = PowerModel::default();
-        let mut stats = SimStats::default();
-        stats.warp_insts = 1000;
+        let mut stats = SimStats { warp_insts: 1000, ..Default::default() };
         stats.mem.dram_bytes = 128 * 100;
         let e = energy(&model, &dev, &stats, 0, &occ(48), 20);
         assert!(e.dynamic_pj > 0.0);
@@ -158,8 +157,7 @@ mod tests {
         // be a visible but minor share of a typical balanced run.
         let dev = DeviceSpec::c2075();
         let model = PowerModel::default();
-        let mut stats = SimStats::default();
-        stats.warp_insts = 2_000_000;
+        let mut stats = SimStats { warp_insts: 2_000_000, ..Default::default() };
         stats.mem.dram_bytes = 50_000_000;
         let e = energy(&model, &dev, &stats, 1_000_000, &occ(48), 21);
         let share = e.regfile_pj / e.total();

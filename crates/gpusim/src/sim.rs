@@ -2,7 +2,7 @@
 //! engine, and aggregate cycles and counters.
 
 use crate::device::DeviceSpec;
-use crate::exec::{Launch, LinkedProgram, SimError, SimStats, SmEngine};
+use crate::exec::{Launch, LinkedProgram, SimError, SimStats, SmEngine, StallStats};
 use crate::occupancy::{occupancy, KernelResources, OccupancyInfo};
 use orion_kir::mir::MModule;
 use serde::{Deserialize, Serialize};
@@ -24,17 +24,101 @@ pub struct LaunchOptions {
     pub cta_range: Option<(u32, u32)>,
 }
 
+/// Per-SM execution summary for one launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmSummary {
+    /// SM index on the device.
+    pub sm: u32,
+    /// Blocks this SM executed.
+    pub blocks: u32,
+    /// This SM's own completion time in core cycles (device cycles is
+    /// the max over SMs).
+    pub cycles: u64,
+    /// Warp instructions this SM issued.
+    pub warp_insts: u64,
+    /// Issued warp-instructions per resident warp slot (hardware slots
+    /// recycle across blocks, so the vector length is the residency
+    /// footprint, not the grid size).
+    pub per_warp_slot_issued: Vec<u64>,
+    /// Per-cycle stall attribution. Padded so the buckets sum to the
+    /// *device* completion time: the tail where this SM sat idle while
+    /// others finished is charged to `no_eligible`.
+    pub stalls: StallStats,
+}
+
 /// Result of one simulated kernel launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Device completion time (max over SMs) in core cycles.
     pub cycles: u64,
-    /// Aggregated dynamic counters.
+    /// Aggregated dynamic counters. `stats.stalls` sums to
+    /// `cycles * num_sms` — every SM-cycle is attributed to exactly one
+    /// bucket.
     pub stats: SimStats,
     /// Occupancy achieved by this binary at this launch.
     pub occupancy: OccupancyInfo,
     /// Resources the driver derived from the binary.
     pub resources: KernelResources,
+    /// SMs on the simulated device.
+    pub num_sms: u32,
+    /// Per-SM rollups, one entry per SM (idle SMs included).
+    pub per_sm: Vec<SmSummary>,
+}
+
+/// Ratio metrics derived from a [`RunResult`] — the `events_per_cycle`
+/// view bench tables and the profiler CLI report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// Warp instructions per device cycle (across all SMs).
+    pub ipc: f64,
+    /// Thread instructions over `32 x` warp instructions: how full the
+    /// SIMD lanes were on average (divergence shows up here).
+    pub simd_efficiency: f64,
+    pub l1_hit_rate: f64,
+    pub l2_hit_rate: f64,
+    pub dram_bytes_per_cycle: f64,
+    /// Fraction of all SM-cycles that issued an instruction.
+    pub issue_utilization: f64,
+    /// Fraction of SM-cycles blocked on register dependencies.
+    pub stall_scoreboard: f64,
+    /// Fraction of SM-cycles blocked on outstanding memory.
+    pub stall_mem_pending: f64,
+    /// Fraction of SM-cycles blocked at barriers.
+    pub stall_barrier: f64,
+    /// Fraction of SM-cycles with no resident eligible warp.
+    pub stall_no_eligible: f64,
+    /// Fraction of SM-cycles in the end-of-kernel drain tail.
+    pub stall_drain: f64,
+}
+
+impl RunResult {
+    /// Compute the derived ratio metrics. Zero denominators yield zero
+    /// rather than NaN so reports stay JSON-clean.
+    pub fn derived(&self) -> DerivedMetrics {
+        fn ratio(num: f64, den: f64) -> f64 {
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        }
+        let s = &self.stats;
+        let sm_cycles = s.stalls.total() as f64;
+        let frac = |bucket: u64| ratio(bucket as f64, sm_cycles);
+        DerivedMetrics {
+            ipc: ratio(s.warp_insts as f64, self.cycles as f64),
+            simd_efficiency: ratio(s.thread_insts as f64, s.warp_insts as f64 * 32.0),
+            l1_hit_rate: ratio(s.mem.l1_hits as f64, (s.mem.l1_hits + s.mem.l1_misses) as f64),
+            l2_hit_rate: ratio(s.mem.l2_hits as f64, (s.mem.l2_hits + s.mem.l2_misses) as f64),
+            dram_bytes_per_cycle: ratio(s.mem.dram_bytes as f64, self.cycles as f64),
+            issue_utilization: frac(s.stalls.issued),
+            stall_scoreboard: frac(s.stalls.scoreboard),
+            stall_mem_pending: frac(s.stalls.mem_pending),
+            stall_barrier: frac(s.stalls.barrier),
+            stall_no_eligible: frac(s.stalls.no_eligible),
+            stall_drain: frac(s.stalls.drain),
+        }
+    }
 }
 
 /// Default dynamic warp-instruction budget per launch.
@@ -112,25 +196,75 @@ pub fn run_launch_opts(
         None => (0, launch.grid),
     };
     let prog = LinkedProgram::new(module);
+    let _span = orion_telemetry::span("sim", "run_launch");
     let mut cycles = 0u64;
-    let mut stats = SimStats::default();
+    let mut per_sm: Vec<SmSummary> = Vec::with_capacity(dev.num_sms as usize);
+    let mut engine_stats: Vec<SimStats> = Vec::with_capacity(dev.num_sms as usize);
     for sm in 0..dev.num_sms {
         let blocks: Vec<u32> = (first..first + count)
             .filter(|b| b % dev.num_sms == sm)
             .collect();
         if blocks.is_empty() {
+            per_sm.push(SmSummary {
+                sm,
+                blocks: 0,
+                cycles: 0,
+                warp_insts: 0,
+                per_warp_slot_issued: Vec::new(),
+                stalls: StallStats::default(),
+            });
+            engine_stats.push(SimStats::default());
             continue;
         }
-        let mut engine = SmEngine::new(dev, &prog, launch, params, global, DEFAULT_STEP_LIMIT);
+        let mut engine =
+            SmEngine::new(dev, &prog, launch, params, global, DEFAULT_STEP_LIMIT, sm);
         let c = engine.run(&blocks, occ.active_blocks)?;
         cycles = cycles.max(c);
-        stats.absorb(&engine.stats);
+        per_sm.push(SmSummary {
+            sm,
+            blocks: blocks.len() as u32,
+            cycles: c,
+            warp_insts: engine.stats.warp_insts,
+            per_warp_slot_issued: std::mem::take(&mut engine.per_warp_issued),
+            stalls: StallStats::default(), // filled after padding below
+        });
+        engine_stats.push(engine.stats);
     }
+    // Pad each SM's accounting out to the device completion time: an SM
+    // that finished (or never started) while others kept running had no
+    // eligible warp for the remainder. After this, the aggregate buckets
+    // sum to exactly `cycles * num_sms`.
+    let mut stats = SimStats::default();
+    for (summary, mut s) in per_sm.iter_mut().zip(engine_stats) {
+        s.stalls.no_eligible += cycles - summary.cycles;
+        summary.stalls = s.stalls;
+        stats.absorb(&s);
+        if orion_telemetry::is_enabled() {
+            orion_telemetry::complete(
+                "sim",
+                &format!("sm{}", summary.sm),
+                summary.sm,
+                0,
+                summary.cycles,
+                vec![
+                    ("blocks", summary.blocks.into()),
+                    ("warp_insts", summary.warp_insts.into()),
+                ],
+            );
+        }
+    }
+    debug_assert_eq!(
+        stats.stalls.total(),
+        cycles * u64::from(dev.num_sms),
+        "device stall buckets must cover every SM-cycle"
+    );
     Ok(RunResult {
         cycles,
         stats,
         occupancy: occ,
         resources: res,
+        num_sms: dev.num_sms,
+        per_sm,
     })
 }
 
@@ -151,5 +285,6 @@ impl SimStats {
         self.mem.l2_misses += o.mem.l2_misses;
         self.mem.dram_transactions += o.mem.dram_transactions;
         self.mem.dram_bytes += o.mem.dram_bytes;
+        self.stalls.absorb(&o.stalls);
     }
 }

@@ -1,0 +1,154 @@
+//! Stall-attribution invariants: the six per-cycle buckets partition
+//! every SM-cycle of a run, so they must sum to `cycles × num_sms`
+//! exactly, and the binding-constraint classifier must charge the
+//! bucket that actually gated issue.
+
+use orion_alloc::realize::{allocate, AllocOptions, SlotBudget};
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::exec::Launch;
+use orion_gpusim::sim::run_launch;
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::mir::MModule;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+fn compile(m: &Module, regs: u16, smem: u16) -> MModule {
+    allocate(m, SlotBudget { reg_slots: regs, smem_slots: smem }, &AllocOptions::default())
+        .unwrap()
+        .machine
+}
+
+/// out[gid] = f(in[gid]) with `flops` dependent FMAs per element.
+fn streaming_kernel(flops: usize) -> Module {
+    let mut b = FunctionBuilder::kernel("stream");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let mut acc = x;
+    for _ in 0..flops {
+        acc = b.ffma(acc, x, Operand::Imm(0x3f80_0000));
+    }
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, acc, 0);
+    Module::new(b.finish())
+}
+
+/// Shared-memory exchange across a barrier.
+fn barrier_kernel() -> Module {
+    let mut b = FunctionBuilder::kernel("barrier");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let saddr = b.imul(tid, Operand::Imm(4));
+    b.st(MemSpace::Shared, Width::W32, saddr, tid, 0);
+    b.bar();
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let last = b.isub(nt, Operand::Imm(1));
+    let ridx = b.isub(last, tid);
+    let raddr = b.imul(ridx, Operand::Imm(4));
+    let v = b.ld(MemSpace::Shared, Width::W32, raddr, 0);
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let gid = b.imad(cta, nt, tid);
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    b.st(MemSpace::Global, Width::W32, out, v, 0);
+    let mut m = Module::new(b.finish());
+    m.user_smem_bytes = 4 * 128;
+    m
+}
+
+fn assert_partition(dev: &DeviceSpec, machine: &MModule, launch: Launch, params: &[u32], n: u32) {
+    let mut global = vec![0u8; (8 * n) as usize];
+    let r = run_launch(dev, machine, launch, params, &mut global).unwrap();
+    let st = &r.stats.stalls;
+    assert_eq!(
+        st.total(),
+        r.cycles * u64::from(r.num_sms),
+        "stall buckets must partition cycles x num_sms: {st:?}"
+    );
+    assert!(st.issued > 0 && st.issued <= r.stats.warp_insts, "issue cycles bounded by insts");
+    assert_eq!(r.per_sm.len(), r.num_sms as usize, "one rollup per SM, idle included");
+    let mut per_sm_sum = 0u64;
+    for sm in &r.per_sm {
+        assert_eq!(
+            sm.stalls.total(),
+            r.cycles,
+            "each SM's buckets (after device-drain padding) cover the full run"
+        );
+        // Terminators (branch/ret/exit) consume issue slots but are not
+        // counted as warp instructions, so the rollup is a superset.
+        assert!(
+            sm.per_warp_slot_issued.iter().sum::<u64>() >= sm.warp_insts,
+            "per-warp-slot rollup covers at least the SM instruction count"
+        );
+        per_sm_sum += sm.stalls.total();
+    }
+    assert_eq!(per_sm_sum, st.total(), "per-SM rollups must absorb into the aggregate");
+}
+
+#[test]
+fn memory_bound_stalls_partition_and_charge_mem() {
+    let dev = DeviceSpec::gtx680();
+    let machine = compile(&streaming_kernel(2), 16, 0);
+    let n = 256 * 16;
+    let launch = Launch { grid: 16, block: 256 };
+    assert_partition(&dev, &machine, launch, &[0, 4 * n], n);
+
+    let mut global = vec![0u8; (8 * n) as usize];
+    let r = run_launch(&dev, &machine, launch, &[0, 4 * n], &mut global).unwrap();
+    assert!(
+        r.stats.stalls.mem_pending > r.stats.stalls.scoreboard,
+        "a streaming kernel waits on memory, not ALU RAW: {:?}",
+        r.stats.stalls
+    );
+}
+
+#[test]
+fn occupancy_capped_run_still_partitions() {
+    // Same code with the reported register count inflated: fewer
+    // resident warps, longer exposed latency — the accounting identity
+    // must hold at both occupancies.
+    let dev = DeviceSpec::gtx680();
+    let mut machine = compile(&streaming_kernel(2), 16, 0);
+    machine.regs_per_thread = 63;
+    let n = 256 * 16;
+    assert_partition(&dev, &machine, Launch { grid: 16, block: 256 }, &[0, 4 * n], n);
+}
+
+#[test]
+fn barrier_kernel_charges_barrier_bucket() {
+    let dev = DeviceSpec::c2075();
+    let machine = compile(&barrier_kernel(), 16, 0);
+    let n = 256u32;
+    assert_partition(&dev, &machine, Launch { grid: 2, block: 128 }, &[0], n);
+
+    let mut global = vec![0u8; (8 * n) as usize];
+    let r = run_launch(&dev, &machine, Launch { grid: 2, block: 128 }, &[0], &mut global).unwrap();
+    assert!(
+        r.stats.stalls.barrier > 0,
+        "a bar.sync kernel must charge the barrier bucket: {:?}",
+        r.stats.stalls
+    );
+}
+
+#[test]
+fn underfilled_device_charges_idle_sms_to_no_eligible() {
+    // One CTA on a multi-SM device: every other SM idles for the whole
+    // run and must be padded into no_eligible.
+    let dev = DeviceSpec::gtx680();
+    let machine = compile(&streaming_kernel(2), 16, 0);
+    let n = 256u32;
+    let mut global = vec![0u8; (8 * n) as usize];
+    let r = run_launch(&dev, &machine, Launch { grid: 1, block: 256 }, &[0, 4 * n], &mut global)
+        .unwrap();
+    assert!(r.num_sms > 1);
+    assert_eq!(r.stats.stalls.total(), r.cycles * u64::from(r.num_sms));
+    assert!(
+        r.stats.stalls.no_eligible >= r.cycles * (u64::from(r.num_sms) - 1),
+        "idle SMs contribute full-run no_eligible time: {:?}",
+        r.stats.stalls
+    );
+    let busy = r.per_sm.iter().filter(|s| s.blocks > 0).count();
+    assert_eq!(busy, 1, "exactly one SM should have received the single CTA");
+}

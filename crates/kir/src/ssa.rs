@@ -111,8 +111,8 @@ pub fn to_ssa(f: &Function) -> Result<SsaFunction, SsaError> {
 
     // Pruned φ placement: iterated dominance frontier ∩ live-in.
     let mut phi_vars: Vec<Vec<VReg>> = vec![Vec::new(); nb];
-    for v in 0..nv {
-        let mut work: Vec<BlockId> = def_blocks[v].clone();
+    for (v, defs) in def_blocks.iter().enumerate().take(nv) {
+        let mut work: Vec<BlockId> = defs.clone();
         let mut placed = vec![false; nb];
         let mut in_work = vec![false; nb];
         for &b in &work {
@@ -226,8 +226,8 @@ pub fn to_ssa(f: &Function) -> Result<SsaFunction, SsaError> {
                             }
                         }
                     });
-                    if err.is_some() {
-                        return Err(err.unwrap());
+                    if let Some(e) = err {
+                        return Err(e);
                     }
                     // Now rewrite defs with fresh values. Collect first to
                     // avoid borrowing issues.

@@ -1,0 +1,157 @@
+//! Flat metrics report: an insertion-ordered `key → scalar` table with a
+//! JSON renderer, plus an aggregator folding counter events into it.
+//!
+//! Keys use `/`-separated paths (`"alloc/spills"`, `"sim/stall/barrier"`)
+//! so consumers can group without a nested schema. `crates/bench` builds
+//! its `BENCH_*.json` artifacts and the profiler CLI's `--metrics`
+//! output on top of this type.
+
+use crate::{escape_json, write_arg_value, ArgValue, Event, Phase};
+
+/// An insertion-ordered flat metrics table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    entries: Vec<(String, ArgValue)>,
+}
+
+impl MetricsReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `key` to `value`, replacing any previous value.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<ArgValue>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Add `delta` to an unsigned counter, creating it at zero.
+    pub fn add(&mut self, key: impl Into<String>, delta: u64) {
+        let key = key.into();
+        if let Some((_, ArgValue::U64(v))) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            *v += delta;
+        } else {
+            self.entries.push((key, ArgValue::U64(delta)));
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&ArgValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            ArgValue::U64(v) => Some(*v),
+            ArgValue::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            ArgValue::F64(v) => Some(*v),
+            ArgValue::U64(v) => Some(*v as f64),
+            ArgValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ArgValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Copy every entry of `other` in under `prefix/`.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsReport) {
+        for (k, v) in &other.entries {
+            self.set(format!("{prefix}/{k}"), v.clone());
+        }
+    }
+
+    /// Render as a flat JSON object, keys in insertion order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 32 + 8);
+        out.push_str("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            escape_json(&mut out, k);
+            out.push_str(": ");
+            write_arg_value(&mut out, v);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Fold all [`Phase::Counter`] events into a report, summing samples per
+/// `cat/name` key.
+pub fn aggregate_counters(events: &[Event]) -> MetricsReport {
+    let mut report = MetricsReport::new();
+    for e in events {
+        if e.ph != Phase::Counter {
+            continue;
+        }
+        if let Some((_, ArgValue::U64(v))) = e.args.iter().find(|(k, _)| *k == "value") {
+            report.add(format!("{}/{}", e.cat, e.name), *v);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_get_roundtrip() {
+        let mut r = MetricsReport::new();
+        r.add("a/x", 3);
+        r.add("a/x", 4);
+        r.set("b", 1.5f64);
+        r.set("b", 2.5f64);
+        assert_eq!(r.get_u64("a/x"), Some(7));
+        assert_eq!(r.get_f64("b"), Some(2.5));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn json_is_flat_and_ordered() {
+        let mut r = MetricsReport::new();
+        r.set("z", 1u64);
+        r.set("a", true);
+        let json = r.to_json();
+        assert!(json.find("\"z\"").unwrap() < json.find("\"a\"").unwrap());
+        assert!(json.contains("\"a\": true"));
+    }
+
+    #[test]
+    fn aggregates_counter_events() {
+        let ev = |name: &str, v: u64| Event {
+            cat: "alloc",
+            name: name.to_string(),
+            ph: Phase::Counter,
+            ts: 0,
+            dur: 0,
+            tid: 0,
+            args: vec![("value", ArgValue::U64(v))],
+        };
+        let r = aggregate_counters(&[ev("spills", 2), ev("spills", 3), ev("moves", 1)]);
+        assert_eq!(r.get_u64("alloc/spills"), Some(5));
+        assert_eq!(r.get_u64("alloc/moves"), Some(1));
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`core`] — the Orion framework: compile-time tuning (Figure 8) and
 //!   runtime adaptation (Figure 9);
 //! * [`workloads`] — the paper's twelve benchmarks plus `matrixMul`,
-//!   rebuilt with their Table 2 characteristics.
+//!   rebuilt with their Table 2 characteristics;
+//! * [`telemetry`] — structured-event tracing: allocator counters, tuner
+//!   decision logs, stall-attributed simulator timelines, and exporters
+//!   to Chrome `trace_event` JSON and flat metrics reports.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction methodology and results.
@@ -22,4 +25,5 @@ pub use orion_alloc as alloc;
 pub use orion_core as core;
 pub use orion_gpusim as gpusim;
 pub use orion_kir as kir;
+pub use orion_telemetry as telemetry;
 pub use orion_workloads as workloads;

@@ -1,0 +1,170 @@
+//! Offline stand-in for `criterion`: wall-clock benchmarking with
+//! auto-calibrated iteration counts and median-of-samples reporting.
+//! Prints `name ... time: <median> ns/iter (min <min>, max <max>)` lines
+//! instead of criterion's statistical analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+pub struct Bencher {
+    /// Iterations per sample, fixed by calibration before sampling.
+    iters: u64,
+    /// ns/iter for the current sample (written by `iter`).
+    sample_ns: f64,
+    calibrating: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            // Measure one call to size the per-sample iteration count.
+            let start = Instant::now();
+            black_box(f());
+            let one = start.elapsed();
+            // Aim for ~5 ms per sample, clamped to [1, 10_000] iters.
+            let target = Duration::from_millis(5).as_nanos() as u64;
+            let per = one.as_nanos().max(1) as u64;
+            self.iters = (target / per).clamp(1, 10_000);
+            self.sample_ns = one.as_nanos() as f64;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.sample_ns = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(name, 10, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { iters: 1, sample_ns: 0.0, calibrating: true };
+    f(&mut b);
+    b.calibrating = false;
+    let mut results = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut b);
+        results.push(b.sample_ns);
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = results[results.len() / 2];
+    let min = results.first().copied().unwrap_or(0.0);
+    let max = results.last().copied().unwrap_or(0.0);
+    println!("{name:<48} time: {median:>12.1} ns/iter (min {min:.1}, max {max:.1})");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,398 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Written directly against `proc_macro` (no syn/quote — the build has no
+//! registry access). Supports exactly the shapes this workspace derives:
+//! non-generic named/tuple/unit structs and enums whose variants are
+//! unit, newtype, tuple, or struct-like, externally tagged. `#[serde]`
+//! attributes are not supported and will simply be ignored as ordinary
+//! attributes are skipped.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i + 2) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                None => Shape::Unit,
+                other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i + 2) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+            };
+            Input::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+/// Parse `name: Type, ...` field lists, skipping attributes/visibility.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                assert!(
+                    matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+                    "serde_derive stub: expected `:` after field name"
+                );
+                i += 1;
+                i = skip_type(&tokens, i);
+            }
+            other => panic!("serde_derive stub: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Advance past a type, stopping after the `,` that ends the field (or at
+/// end of stream). Tracks `<...>` nesting; `(...)`/`[...]` are single
+/// token trees so commas inside them are invisible here.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        count += 1;
+        i = skip_type(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Shape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Shape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip an explicit discriminant (`= expr`) if present.
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    i += 1;
+                    while i < tokens.len()
+                        && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                    {
+                        i += 1;
+                    }
+                }
+                variants.push(Variant { name, shape });
+            }
+            other => panic!("serde_derive stub: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let mut out = String::new();
+    match &input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => named_fields_to_map(fields, "self."),
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            );
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::Str(\
+                                 ::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}(__f0) => ::serde::variant(\"{vn}\", \
+                                 ::serde::Serialize::to_value(__f0)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => ::serde::variant(\"{vn}\", \
+                                 ::serde::Value::Seq(::std::vec![{}])),",
+                            binds.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let map = named_fields_to_map(fields, "");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => ::serde::variant(\"{vn}\", {map}),"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            );
+        }
+    }
+    out.parse().expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+fn named_fields_to_map(fields: &[String], prefix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let mut out = String::new();
+    match &input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Shape::Tuple(n) => tuple_from_seq(name, *n, "__v"),
+                Shape::Named(fields) => named_from_map(name, fields, "__v"),
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+            );
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let body = tuple_from_seq(&format!("{name}::{vn}"), *n, "__payload");
+                        let _ = write!(tagged_arms, "\"{vn}\" => {{ {body} }}");
+                    }
+                    Shape::Named(fields) => {
+                        let body = named_from_map(&format!("{name}::{vn}"), fields, "__payload");
+                        let _ = write!(tagged_arms, "\"{vn}\" => {{ {body} }}");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\
+                     if let ::std::option::Option::Some(__s) = __v.as_str() {{\
+                         return match __s {{ {unit_arms} _ => \
+                             ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{__s}}` of {name}\"))) }};\
+                     }}\
+                     let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                         \"expected string or single-key map for enum {name}\"))?;\
+                     if __m.len() != 1 {{\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"expected single-key map for enum {name}\"));\
+                     }}\
+                     let (__tag, __payload) = (&__m[0].0, &__m[0].1);\
+                     let _ = __payload;\
+                     match __tag.as_str() {{ {tagged_arms} _ => \
+                         ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{__tag}}` of {name}\"))) }}\
+                 }} }}"
+            );
+        }
+    }
+    out.parse().expect("serde_derive stub: generated invalid Deserialize impl")
+}
+
+fn tuple_from_seq(ctor: &str, n: usize, src: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+        .collect();
+    format!(
+        "{{ let __s = {src}.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+             \"expected sequence for {ctor}\"))?;\
+         if __s.len() != {n} {{\
+             return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"wrong arity for {ctor}\"));\
+         }}\
+         ::std::result::Result::Ok({ctor}({})) }}",
+        items.join(", ")
+    )
+}
+
+fn named_from_map(ctor: &str, fields: &[String], src: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     ::serde::map_get(__m, \"{f}\").unwrap_or(&::serde::NULL))?,"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let __m = {src}.as_map().ok_or_else(|| ::serde::DeError::custom(\
+             \"expected map for {ctor}\"))?;\
+         ::std::result::Result::Ok({ctor} {{ {} }}) }}",
+        items.join(" ")
+    )
+}
