@@ -88,6 +88,12 @@ pub enum AllocError {
     /// A call is guarded by a predicate, which the lowering does not
     /// support (compression moves could not be predicated consistently).
     PredicatedCall { func: String },
+    /// A cross-phase invariant of the allocator was violated (a later
+    /// phase found state a prior phase should have produced missing or
+    /// inconsistent). Always an allocator bug, but reported as an error
+    /// instead of a panic so a resilient caller can quarantine the
+    /// affected candidate and keep tuning.
+    Internal(String),
 }
 
 impl std::fmt::Display for AllocError {
@@ -97,6 +103,9 @@ impl std::fmt::Display for AllocError {
             AllocError::Recursion(e) => write!(f, "{e}"),
             AllocError::PredicatedCall { func } => {
                 write!(f, "{func}: predicated calls are not supported")
+            }
+            AllocError::Internal(detail) => {
+                write!(f, "internal allocator invariant violated: {detail}")
             }
         }
     }
@@ -276,7 +285,9 @@ pub fn allocate(
     let mut predicted_moves: Vec<u32> = vec![0; n];
     for &fid in &topdown {
         let base = bases[fid.0 as usize];
-        let ctx = ctxs[fid.0 as usize].as_mut().expect("processed");
+        let ctx = ctxs[fid.0 as usize].as_mut().ok_or_else(|| {
+            AllocError::Internal(format!("phase B: function {} has no phase-A context", fid.0))
+        })?;
         ctx.base = base; // may have been raised after coloring
         let call_infos: Vec<CallLayoutInfo> = ctx
             .calls
@@ -357,14 +368,29 @@ pub fn allocate(
                     if !cfg.reachable(bid) {
                         continue; // never executed; drop
                     }
-                    let cctx = &ctx.calls[call_cursor];
-                    debug_assert_eq!(cctx.callee, callee);
+                    let cctx = ctx.calls.get(call_cursor).ok_or_else(|| {
+                        AllocError::Internal(format!(
+                            "{}: call #{call_cursor} was not analyzed in phase A",
+                            ctx.nf.name
+                        ))
+                    })?;
+                    if cctx.callee != callee {
+                        return Err(AllocError::Internal(format!(
+                            "{}: call #{call_cursor} targets {} but phase A recorded {}",
+                            ctx.nf.name, callee.0, cctx.callee.0
+                        )));
+                    }
                     call_cursor += 1;
                     let bk = bases[callee.0 as usize].saturating_sub(ctx.base);
                     let placement = pack_live_units(&ctx.units, &cctx.live_units, bk);
-                    let (pslots, rslots) = param_ret_slots[callee.0 as usize]
-                        .as_ref()
-                        .expect("callee reachable");
+                    let (pslots, rslots) =
+                        param_ret_slots[callee.0 as usize].as_ref().ok_or_else(|| {
+                            AllocError::Internal(format!(
+                                "{}: callee {} is called but has no param/ret slots \
+                                 (unreachable in the call graph?)",
+                                ctx.nf.name, callee.0
+                            ))
+                        })?;
                     // Pre-call parallel move set: compression + arguments.
                     // Units wider than four words move in chunks (a
                     // single MLoc covers at most a W128).
@@ -380,7 +406,12 @@ pub fn allocate(
                             }
                         }
                     }
-                    let ci = inst.call.as_ref().expect("verified call");
+                    let ci = inst.call.as_ref().ok_or_else(|| {
+                        AllocError::Internal(format!(
+                            "{}: Call instruction carries no call info (unverified module?)",
+                            ctx.nf.name
+                        ))
+                    })?;
                     for (arg, &pslot) in ci.args.iter().zip(pslots) {
                         pre.push(PMove {
                             dst: pslot,
@@ -435,7 +466,14 @@ pub fn allocate(
                 term: blk.term.clone(),
             });
         }
-        let (pslots, rslots) = param_ret_slots[i].as_ref().expect("reachable").clone();
+        let (pslots, rslots) = param_ret_slots[i]
+            .as_ref()
+            .ok_or_else(|| {
+                AllocError::Internal(format!(
+                    "function {i} has a context but no param/ret slots"
+                ))
+            })?
+            .clone();
         mfuncs.push(MFunction {
             name: ctx.nf.name.clone(),
             frame_base: ctx.base,
@@ -446,14 +484,13 @@ pub fn allocate(
         });
     }
 
-    let peak_abs: u16 = topdown
-        .iter()
-        .map(|f| {
-            let c = ctxs[f.0 as usize].as_ref().expect("processed");
-            c.base + c.coloring.frame_size
-        })
-        .max()
-        .unwrap_or(0);
+    let mut peak_abs: u16 = 0;
+    for f in &topdown {
+        let c = ctxs[f.0 as usize].as_ref().ok_or_else(|| {
+            AllocError::Internal(format!("function {} lost its context after lowering", f.0))
+        })?;
+        peak_abs = peak_abs.max(c.base + c.coloring.frame_size);
+    }
     let regs_per_thread = budget.reg_slots.min(peak_abs);
     let smem_slots_per_thread = peak_abs.saturating_sub(regs_per_thread);
     orion_telemetry::counter("alloc", "smem_promoted_slots", u64::from(smem_slots_per_thread));
@@ -464,29 +501,35 @@ pub fn allocate(
     );
     orion_telemetry::counter("alloc", "static_moves", u64::from(static_moves));
 
+    let mut per_func = Vec::with_capacity(topdown.len());
+    for f in &topdown {
+        let c = ctxs[f.0 as usize].as_ref().ok_or_else(|| {
+            AllocError::Internal(format!("function {} lost its context after lowering", f.0))
+        })?;
+        per_func.push(FuncAllocInfo {
+            name: c.nf.name.clone(),
+            base: c.base,
+            frame_size: c.coloring.frame_size,
+            spilled_webs: c.coloring.spilled.len(),
+            call_sites: c.calls.len(),
+            predicted_moves: predicted_moves[f.0 as usize],
+        });
+    }
     let report = AllocReport {
         kernel_max_live: ctxs[module.entry.0 as usize]
             .as_ref()
-            .expect("kernel processed")
+            .ok_or_else(|| {
+                AllocError::Internal(format!(
+                    "entry function {} was never allocated",
+                    module.entry.0
+                ))
+            })?
             .max_live,
         regs_per_thread,
         smem_slots_per_thread,
         local_slots_per_thread: local_counter,
         static_moves,
-        per_func: topdown
-            .iter()
-            .map(|f| {
-                let c = ctxs[f.0 as usize].as_ref().expect("processed");
-                FuncAllocInfo {
-                    name: c.nf.name.clone(),
-                    base: c.base,
-                    frame_size: c.coloring.frame_size,
-                    spilled_webs: c.coloring.spilled.len(),
-                    call_sites: c.calls.len(),
-                    predicted_moves: predicted_moves[f.0 as usize],
-                }
-            })
-            .collect(),
+        per_func,
     };
 
     let machine = MModule {

@@ -1,0 +1,355 @@
+//! The chaos experiment: does the resilient Figure 9 loop still pick a
+//! near-optimal version when launches fail and timing is noisy?
+//!
+//! For each workload × fault-rate point we run the tuning walk twice
+//! over the same compiled candidates:
+//!
+//! 1. a **fault-free reference** with the plain
+//!    [`tune_loop`](orion_core::runtime::tune_loop);
+//! 2. a **chaotic run** through
+//!    [`resilient_tune_loop`](orion_core::resilient::resilient_tune_loop)
+//!    with a seeded [`FaultPlan`] injecting transient launch failures,
+//!    perturbed-device resource rejections, stuck-warp hangs, and timing
+//!    jitter/outliers.
+//!
+//! Both picks are then re-measured *fault-free* and compared: the
+//! acceptance bar is the chaotic pick landing within 5% of the reference
+//! pick at a ≤10% fault rate. Injected, retried, and quarantined counts
+//! are recorded per row so `BENCH_chaos.json` reconciles exactly with
+//! the telemetry counters the injector and tuner emit.
+//!
+//! Without the `faults` cargo feature (`orion-gpusim/faults`) the
+//! injector draws nothing and every row degenerates to a second
+//! fault-free walk — the harness still runs, making the feature safe to
+//! leave off in default builds.
+
+use crate::experiment::{run_version_once, ExperimentError, DOWNWARD_THRESHOLD};
+use crate::figures::Figure;
+use crate::report::render_table;
+use orion_core::orion::Orion;
+use orion_core::resilient::{resilient_tune_loop, ResiliencePolicy, ResilienceStats};
+use orion_core::runtime::tune_loop;
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::faults::{FaultInjector, FaultPlan, FaultSnapshot};
+use orion_gpusim::sim::{run_launch_faulty, LaunchOptions};
+use orion_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Acceptance band for the chaotic pick vs. the fault-free pick.
+pub const CHAOS_TOLERANCE: f64 = 0.05;
+
+/// Iterations the chaos walk gets: mean-of-k measurement (k = 7, plus
+/// an extension round on borderline verdicts) and quarantine re-walks
+/// need more invocations than the clean Figure 9 loop before steady
+/// state — a full five-version upward walk with one extension is
+/// 5 × 7 + 7 = 42 exploration launches.
+pub const CHAOS_ITERS: u32 = 48;
+
+/// One workload × fault-rate result row of `BENCH_chaos.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosRow {
+    pub workload: String,
+    pub seed: u64,
+    /// Transient-failure probability of the plan (resource and hang
+    /// faults ride along at `rate / 4`; see [`FaultPlan::chaos`]).
+    pub fault_rate: f64,
+    pub jitter_frac: f64,
+    /// Version index + label picked by the fault-free reference walk.
+    pub fault_free_selected: usize,
+    pub fault_free_label: String,
+    /// Fault-free steady-state cycles of the reference pick.
+    pub fault_free_cycles: u64,
+    /// Version index + label picked under chaos.
+    pub chaos_selected: usize,
+    pub chaos_label: String,
+    /// Fault-free steady-state cycles of the chaotic pick (apples to
+    /// apples with `fault_free_cycles`).
+    pub chaos_cycles: u64,
+    /// `(chaos_cycles - fault_free_cycles) / fault_free_cycles`.
+    pub rel_gap: f64,
+    /// `rel_gap <= CHAOS_TOLERANCE` (a faster chaotic pick passes too).
+    pub within_tolerance: bool,
+    /// Iterations the chaotic walk spent exploring.
+    pub converged_after: usize,
+    /// The resilient executor quarantined every candidate (fail-safe
+    /// included) and gave up with `AllCandidatesFailed`; the row then
+    /// records the original kernel as the chaotic "pick" — what the
+    /// application would actually run after Orion bows out. Expected
+    /// only at stress fault rates; a gave-up row never counts as
+    /// converged.
+    pub gave_up: bool,
+    /// Faults the injector actually produced.
+    pub injected: FaultSnapshot,
+    /// What the resilient executor absorbed (zeroed on a gave-up row —
+    /// the stats are lost with the error).
+    pub absorbed: ResilienceStats,
+}
+
+fn opts(extra_smem: u32) -> LaunchOptions {
+    LaunchOptions {
+        extra_smem_per_block: extra_smem,
+        cta_range: None,
+        cycle_budget: None,
+    }
+}
+
+/// Run the fault-free reference and the chaotic walk for one workload
+/// at one fault rate, both over the same compiled candidate set.
+pub fn chaos_run(
+    dev: &DeviceSpec,
+    w: &Workload,
+    seed: u64,
+    fault_rate: f64,
+    jitter_frac: f64,
+) -> Result<ChaosRow, ExperimentError> {
+    let mut orion = Orion::new(dev.clone(), w.block);
+    orion.cfg.can_tune = w.can_tune;
+    orion.cfg.slowdown_threshold = DOWNWARD_THRESHOLD;
+    let compiled = orion.compile(&w.module)?;
+    let iters = w.iterations.max(CHAOS_ITERS);
+
+    // Fault-free reference walk.
+    let mut global = w.init_global.clone();
+    let mut iter_no = 0u32;
+    let reference = tune_loop(&compiled, iters, orion.cfg.slowdown_threshold, |v| {
+        let params = w.params_for(iter_no);
+        iter_no += 1;
+        run_launch_faulty(dev, &v.machine, w.launch(), params, &mut global, opts(v.extra_smem), None)
+            .map(|r| r.cycles)
+    })?;
+
+    // Chaotic walk through the resilient executor.
+    let injector = FaultInjector::new(FaultPlan::chaos(seed, fault_rate, jitter_frac));
+    let mut global = w.init_global.clone();
+    let mut iter_no = 0u32;
+    let policy = ResiliencePolicy::default();
+    let chaotic = resilient_tune_loop(
+        w.name,
+        &compiled,
+        iters,
+        orion.cfg.slowdown_threshold,
+        &policy,
+        |v| {
+            let params = w.params_for(iter_no);
+            iter_no += 1;
+            run_launch_faulty(
+                dev,
+                &v.machine,
+                w.launch(),
+                params,
+                &mut global,
+                opts(v.extra_smem),
+                Some(&injector),
+            )
+            .map(|r| r.cycles)
+            .map_err(orion_core::OrionError::from)
+        },
+    );
+    // Candidate exhaustion at a stress rate is a *result*, not a sweep
+    // failure: record the row as gave-up (the app falls back to its
+    // original kernel) instead of aborting the whole bench.
+    let (chaos_selected, converged_after, absorbed, gave_up) = match chaotic {
+        Ok(out) => (out.selected, out.converged_after, out.stats, false),
+        Err(e)
+            if matches!(e.root_cause(), orion_core::OrionError::AllCandidatesFailed { .. }) =>
+        {
+            (compiled.original, 0, ResilienceStats::default(), true)
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    // Steady-state comparison: both picks measured without faults.
+    let ff_pick = &compiled.versions[reference.selected];
+    let ch_pick = &compiled.versions[chaos_selected];
+    let ff_cycles = run_version_once(dev, w, ff_pick)?.cycles;
+    let ch_cycles = if chaos_selected == reference.selected {
+        ff_cycles
+    } else {
+        run_version_once(dev, w, ch_pick)?.cycles
+    };
+    let rel_gap = (ch_cycles as f64 - ff_cycles as f64) / ff_cycles.max(1) as f64;
+    Ok(ChaosRow {
+        workload: w.name.to_string(),
+        seed,
+        fault_rate,
+        jitter_frac,
+        fault_free_selected: reference.selected,
+        fault_free_label: ff_pick.label.clone(),
+        fault_free_cycles: ff_cycles,
+        chaos_selected,
+        chaos_label: ch_pick.label.clone(),
+        chaos_cycles: ch_cycles,
+        rel_gap,
+        within_tolerance: !gave_up && rel_gap <= CHAOS_TOLERANCE,
+        converged_after,
+        gave_up,
+        injected: injector.snapshot(),
+        absorbed,
+    })
+}
+
+/// Do a row's injected/absorbed tallies reconcile with the telemetry
+/// counters collected over the run? `metrics` is the
+/// [`aggregate_counters`](orion_telemetry::metrics::aggregate_counters)
+/// report of the events recorded while (only) this row ran; pass `None`
+/// when telemetry is disabled (the check vacuously holds).
+pub fn reconciles(
+    row: &ChaosRow,
+    metrics: Option<&orion_telemetry::metrics::MetricsReport>,
+) -> bool {
+    let Some(m) = metrics else { return true };
+    let c = |k: &str| m.get_u64(k).unwrap_or(0);
+    let injected_ok = c("faults/transient") == row.injected.transient
+        && c("faults/resource") == row.injected.resource
+        && c("faults/hang") == row.injected.hangs
+        && c("faults/jitter") == row.injected.jitter
+        && c("faults/outlier") == row.injected.outliers;
+    // A gave-up row loses its executor stats with the error, so only
+    // the injector side can be checked.
+    let absorbed_ok = row.gave_up
+        || (c("resilience/retry") == row.absorbed.retries
+            && c("resilience/strike") == row.absorbed.strikes
+            && c("resilience/quarantined") == row.absorbed.quarantined
+            && c("resilience/fellback") == row.absorbed.fellback);
+    injected_ok && absorbed_ok
+}
+
+/// Workloads the chaos bench sweeps (one upward, one plateau, one
+/// downward-tunable — three distinct tuning shapes).
+pub const CHAOS_WORKLOADS: [&str; 3] = ["gaussian", "matrixMul", "srad"];
+
+/// Transient-failure rates swept per workload (resource/hang faults
+/// ride along at a quarter of each; see [`FaultPlan::chaos`]). The
+/// acceptance bar applies at rates ≤ 0.10; 0.20 is a stress point.
+pub const CHAOS_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// Measurement jitter injected at every nonzero fault rate.
+pub const CHAOS_JITTER: f64 = 0.05;
+
+/// Base seed of the sweep; each row derives its own plan seed from it.
+pub const CHAOS_SEED: u64 = 0x0610_2016;
+
+fn row_seed(workload_idx: usize, rate_idx: usize) -> u64 {
+    CHAOS_SEED ^ ((workload_idx as u64) << 32) ^ (rate_idx as u64)
+}
+
+/// The chaos summary stats (the `summary` object of `BENCH_chaos.json`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChaosSummary {
+    /// Every row at fault rate ≤ 0.10 landed within [`CHAOS_TOLERANCE`].
+    pub converges_at_10pct: bool,
+    /// The zero-fault control rows picked exactly the reference version.
+    pub control_exact: bool,
+    /// Every row's injected/absorbed tallies matched its telemetry
+    /// counters (vacuously true when telemetry is off).
+    pub telemetry_reconciled: bool,
+    /// Whether telemetry was actually collected for the reconciliation.
+    pub telemetry_active: bool,
+    /// Whether the simulator was built with the `faults` feature — when
+    /// false every row is a fault-free control run.
+    pub faults_compiled: bool,
+    pub total_injected: u64,
+    pub total_retries: u64,
+    pub total_quarantined: u64,
+    pub total_fellback: u64,
+    /// Rows where the executor exhausted every candidate and bowed out.
+    pub total_gave_up: u64,
+}
+
+#[derive(Serialize)]
+struct ChaosArtifact {
+    device: String,
+    rows: Vec<ChaosRow>,
+    summary: ChaosSummary,
+}
+
+/// Run the full chaos sweep ([`CHAOS_WORKLOADS`] × [`CHAOS_RATES`]) and
+/// render it as the `BENCH_chaos.json` figure. Telemetry (when compiled
+/// in) is captured per row and reconciled against the injector/executor
+/// tallies.
+pub fn chaos_figure(dev: &DeviceSpec) -> Result<Figure, ExperimentError> {
+    orion_telemetry::set_enabled(true);
+    let telemetry = orion_telemetry::is_enabled();
+    let mut rows: Vec<ChaosRow> = Vec::new();
+    let mut reconciled_all = true;
+    for (wi, name) in CHAOS_WORKLOADS.iter().enumerate() {
+        let w = orion_workloads::by_name(name).expect("chaos workload exists");
+        for (ri, &rate) in CHAOS_RATES.iter().enumerate() {
+            if telemetry {
+                orion_telemetry::clear();
+            }
+            let jitter = if rate > 0.0 { CHAOS_JITTER } else { 0.0 };
+            let row = chaos_run(dev, &w, row_seed(wi, ri), rate, jitter)?;
+            if telemetry {
+                let events = orion_telemetry::take_events();
+                let metrics = orion_telemetry::metrics::aggregate_counters(&events);
+                reconciled_all &= reconciles(&row, Some(&metrics));
+            }
+            rows.push(row);
+        }
+    }
+    let summary = ChaosSummary {
+        converges_at_10pct: rows
+            .iter()
+            .filter(|r| r.fault_rate <= 0.10 + f64::EPSILON)
+            .all(|r| r.within_tolerance),
+        control_exact: rows
+            .iter()
+            .filter(|r| r.fault_rate == 0.0)
+            .all(|r| r.chaos_selected == r.fault_free_selected),
+        telemetry_reconciled: reconciled_all,
+        telemetry_active: telemetry,
+        faults_compiled: orion_gpusim::faults::INJECTION_COMPILED,
+        total_injected: rows.iter().map(|r| r.injected.total_faults()).sum(),
+        total_retries: rows.iter().map(|r| r.absorbed.retries).sum(),
+        total_quarantined: rows.iter().map(|r| r.absorbed.quarantined).sum(),
+        total_fellback: rows.iter().map(|r| r.absorbed.fellback).sum(),
+        total_gave_up: rows.iter().filter(|r| r.gave_up).count() as u64,
+    };
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                format!("{:.0}%", r.fault_rate * 100.0),
+                r.fault_free_label.clone(),
+                r.chaos_label.clone(),
+                format!("{:+.1}%", r.rel_gap * 100.0),
+                format!("{}", r.injected.total_faults()),
+                format!("{}", r.absorbed.retries),
+                format!("{}", r.absorbed.quarantined),
+                if r.gave_up {
+                    "GAVE UP"
+                } else if r.within_tolerance {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    let text = format!(
+        "Chaos bench: resilient Figure 9 loop under injected faults ({})\n\
+         plan: seeded transients/resource/hangs at the listed rate, ±{:.0}% jitter at nonzero rates\n{}\
+         converges within {:.0}% of fault-free pick at ≤10% faults: {}\n\
+         telemetry reconciliation ({}): {}\n",
+        dev.name,
+        CHAOS_JITTER * 100.0,
+        render_table(
+            &[
+                "workload", "rate", "fault-free", "chaos-pick", "gap", "injected", "retries",
+                "quarantined", "ok",
+            ],
+            &table
+        ),
+        CHAOS_TOLERANCE * 100.0,
+        if summary.converges_at_10pct { "PASS" } else { "FAIL" },
+        if telemetry { "active" } else { "telemetry off, vacuous" },
+        if summary.telemetry_reconciled { "exact" } else { "MISMATCH" },
+    );
+    let artifact = ChaosArtifact { device: dev.name.clone(), rows, summary };
+    let data = serde_json::to_value(&artifact).unwrap_or(serde_json::Value::Null);
+    Ok(Figure::new("chaos", text, data))
+}

@@ -72,6 +72,7 @@ pub fn run_version_once(
         LaunchOptions {
             extra_smem_per_block: v.extra_smem,
             cta_range: None,
+            cycle_budget: None,
         },
     )
 }
@@ -196,6 +197,7 @@ fn orion_select_impl(
             LaunchOptions {
                 extra_smem_per_block: v.extra_smem,
                 cta_range: None,
+                cycle_budget: None,
             },
         )
         .map(|r| r.cycles)

@@ -11,10 +11,12 @@
 //! telemetry enabled and exports a Chrome `trace_event` timeline
 //! (`--trace`) and a flat metrics report (`--metrics`).
 
+pub mod chaos;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 
+pub use chaos::{chaos_figure, chaos_run, ChaosRow, ChaosSummary};
 pub use experiment::{
     orion_select, sweep_curve, CurvePoint, ExperimentError, SelectOutcome,
 };

@@ -58,10 +58,15 @@ pub mod budget;
 pub mod compiler;
 pub mod error;
 pub mod orion;
+pub mod resilient;
 pub mod runtime;
 pub mod splitting;
 
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
-pub use error::OrionError;
+pub use error::{ErrorContext, OrionError};
 pub use orion::Orion;
+pub use resilient::{
+    resilient_tune_loop, robust_cycles, robust_measure, ResiliencePolicy, ResilienceStats,
+    ResilientOutcome, RobustMeasure,
+};
 pub use runtime::{tune_loop, DynamicTuner, TuneDecision, TuneOutcome, TuneReason};

@@ -149,6 +149,7 @@ impl Orion {
             LaunchOptions {
                 extra_smem_per_block: version.extra_smem,
                 cta_range: None,
+                cycle_budget: None,
             },
         )?)
     }

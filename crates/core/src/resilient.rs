@@ -1,0 +1,590 @@
+//! Resilient runtime adaptation — the chaos-hardened Figure 9 loop.
+//!
+//! [`tune_loop`](crate::runtime::tune_loop) assumes every launch
+//! succeeds and every measurement is trustworthy. Real devices violate
+//! both: launches fail transiently (driver hiccups, ECC retries),
+//! kernels hang (watchdog), perturbed resource limits reject a version
+//! outright, and timing is noisy. [`resilient_tune_loop`] wraps the
+//! same [`DynamicTuner`] walk with four defenses:
+//!
+//! * **bounded retry with backoff** — transient launch failures are
+//!   retried up to [`ResiliencePolicy::max_retries`] times, charging an
+//!   exponentially growing simulated-cycle backoff to the run;
+//! * **noise-robust measurement** — each exploration step measures
+//!   mean-of-k with multiplicative outlier rejection
+//!   ([`robust_measure`]) before feeding the degradation test; the
+//!   observed sample spread sets a noise margin on the test
+//!   ([`DynamicTuner::record_noisy`]) so jitter on a performance
+//!   plateau cannot mimic a real slowdown, and a verdict landing
+//!   within half a margin of the stop boundary earns one extension
+//!   round of k more samples before the walk commits;
+//! * **per-candidate quarantine** — a version accumulating
+//!   [`ResiliencePolicy::quarantine_strikes`] *consecutive* hard
+//!   failures is removed from the walk ([`DynamicTuner::quarantine`])
+//!   and tuning continues over the survivors. Successes reset the
+//!   count (circuit-breaker style), so sporadic unlucky hangs are
+//!   forgiven no matter how long the run — only persistent breakage
+//!   fails straight through the budget;
+//! * **last-resort fallback** — if the *finalized* version dies, the
+//!   tuner falls back to the compiler's fail-safe (then the original),
+//!   recorded as [`TuneReason::FellBack`] in the decision log.
+//!
+//! Failures that are neither transient nor quarantineable (out-of-bounds
+//! accesses, deadlocks) are real bugs and propagate immediately, wrapped
+//! with kernel name and failure cycle via
+//! [`OrionError::with_context`].
+
+use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+use crate::error::OrionError;
+use crate::runtime::{DynamicTuner, TuneDecision, TuneReason};
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the resilient executor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// Maximum relaunches after a transient failure (per invocation).
+    pub max_retries: u32,
+    /// Simulated-cycle cost of the first backoff wait; doubles per
+    /// retry (exponential backoff).
+    pub backoff_base_cycles: u64,
+    /// Samples per exploration measurement (the k in mean-of-k). The
+    /// default of 7 keeps the clipped-mean error near 1% under ±5%
+    /// timing jitter — comfortably inside the paper's degradation
+    /// thresholds; median-of-3 measurably flips walk decisions at that
+    /// noise level. A borderline verdict gets one extension round of
+    /// another k samples before the walk commits.
+    pub samples: usize,
+    /// Multiplicative band for outlier rejection: samples outside
+    /// `[median / f, median * f]` are dropped before re-taking the
+    /// median.
+    pub outlier_factor: f64,
+    /// *Consecutive* hard (quarantineable) failures a version must
+    /// accumulate before it is actually quarantined; every successful
+    /// launch resets the version's strike count (circuit-breaker
+    /// style). The reset is what separates persistent breakage from
+    /// bad luck: with hard faults injected at a few percent per
+    /// launch, a *lifetime* tally would all but guarantee the
+    /// eviction of a perfectly good finalized version over a long
+    /// run, while three consecutive random faults stay vanishingly
+    /// rare — and a genuinely dead version still fails straight
+    /// through its budget.
+    pub quarantine_strikes: u32,
+    /// Scale factor from a measurement's observed relative spread
+    /// ([`RobustMeasure::rel_spread`]) to the noise margin passed to
+    /// [`DynamicTuner::record_noisy`]. At ±5% uniform jitter the
+    /// expected spread of 7 samples is ~7.5%, so 0.75 yields a ~5.6%
+    /// margin — several σ of the clipped-mean error — while clean data
+    /// keeps a zero margin and the paper's exact walk. The margin
+    /// replaces a smaller degradation threshold rather than adding to
+    /// it, so it can never mask a genuine over-threshold slowdown on
+    /// the downward walk.
+    pub noise_margin_factor: f64,
+    /// Upper bound on the noise margin, whatever the observed spread.
+    pub noise_margin_cap: f64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            max_retries: 3,
+            backoff_base_cycles: 1_000,
+            samples: 7,
+            outlier_factor: 4.0,
+            quarantine_strikes: 3,
+            noise_margin_factor: 0.75,
+            noise_margin_cap: 0.15,
+        }
+    }
+}
+
+/// What the resilient executor had to absorb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Launch attempts issued (including retries).
+    pub launches: u64,
+    /// Launch attempts that returned an error.
+    pub failed_launches: u64,
+    /// Transient failures that were retried.
+    pub retries: u64,
+    /// Simulated cycles spent waiting in backoff.
+    pub backoff_cycles: u64,
+    /// Hard failures charged against a version (a version is
+    /// quarantined at [`ResiliencePolicy::quarantine_strikes`]
+    /// *consecutive* ones; a success resets its count).
+    pub strikes: u64,
+    /// Versions quarantined while still tuning.
+    pub quarantined: u64,
+    /// Fallback events (a finalized version died).
+    pub fellback: u64,
+}
+
+/// A completed resilient tuning run — [`TuneOutcome`] fields plus the
+/// absorbed-failure accounting.
+///
+/// [`TuneOutcome`]: crate::runtime::TuneOutcome
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResilientOutcome {
+    /// The selected version index.
+    pub selected: usize,
+    /// `(version, cycles)` per successful application iteration.
+    pub iterations: Vec<(usize, u64)>,
+    /// Iterations spent exploring before the selection was final.
+    pub converged_after: usize,
+    /// Total simulated cycles, backoff waits included.
+    pub total_cycles: u64,
+    /// Per-decision log, including quarantine and fallback entries.
+    pub decisions: Vec<TuneDecision>,
+    /// Failure accounting.
+    pub stats: ResilienceStats,
+}
+
+/// A noise-robust measurement: the clipped mean after outlier
+/// rejection, plus the relative spread (`(max - min) / mean`) of the
+/// kept samples. The spread is the executor's live noise estimate — it
+/// sets the noise margin on the tuner's degradation test so jitter
+/// cannot mimic a real slowdown, and is exactly zero on clean data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustMeasure {
+    pub cycles: u64,
+    pub rel_spread: f64,
+}
+
+/// Mean-of-k with multiplicative outlier rejection: sorts the samples,
+/// drops everything outside `[median / f, median * f]`, and returns the
+/// *mean* of the survivors together with their relative spread. The
+/// median only guards the rejection band; once the heavy tail is
+/// clipped, the remaining jitter is light-tailed and the clipped mean
+/// is the tighter estimator (under uniform ±5% jitter, median-of-5 has
+/// ~2.2% error, the clipped mean ~1.3%). With all samples rejected
+/// (impossible for `f >= 1`) or a single sample, that sample wins with
+/// zero spread.
+pub fn robust_measure(samples: &mut [u64], outlier_factor: f64) -> RobustMeasure {
+    if samples.is_empty() {
+        return RobustMeasure { cycles: 0, rel_spread: 0.0 };
+    }
+    samples.sort_unstable();
+    let med = samples[samples.len() / 2].max(1);
+    let f = outlier_factor.max(1.0);
+    let lo = (med as f64 / f) as u64;
+    let hi = (med as f64 * f).min(u64::MAX as f64) as u64;
+    let kept: Vec<u64> = samples.iter().copied().filter(|&s| s >= lo && s <= hi).collect();
+    if kept.is_empty() {
+        RobustMeasure { cycles: med, rel_spread: 0.0 }
+    } else {
+        let sum: u128 = kept.iter().map(|&s| u128::from(s)).sum();
+        let cycles = (sum / kept.len() as u128) as u64;
+        let rel_spread = (kept[kept.len() - 1] - kept[0]) as f64 / cycles.max(1) as f64;
+        RobustMeasure { cycles, rel_spread }
+    }
+}
+
+/// The cycles of [`robust_measure`], for callers that don't need the
+/// spread.
+pub fn robust_cycles(samples: &mut [u64], outlier_factor: f64) -> u64 {
+    robust_measure(samples, outlier_factor).cycles
+}
+
+/// Should this failure remove the candidate from the walk (as opposed
+/// to aborting the application)? Quarantineable: resource rejection,
+/// watchdog trips, unlaunchable configurations — and transient failures
+/// that survived the retry budget (a persistently flaky version is a
+/// bad version).
+fn should_quarantine(e: &OrionError) -> bool {
+    match e.root_cause() {
+        OrionError::Sim(s) => s.is_quarantineable() || s.is_transient(),
+        _ => false,
+    }
+}
+
+fn run_with_retry(
+    run: &mut impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
+    version: &KernelVersion,
+    policy: &ResiliencePolicy,
+    stats: &mut ResilienceStats,
+) -> Result<u64, OrionError> {
+    let mut attempt = 0u32;
+    loop {
+        stats.launches += 1;
+        match run(version) {
+            Ok(c) => return Ok(c),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                stats.failed_launches += 1;
+                stats.retries += 1;
+                // Exponential backoff, charged to the run in simulated
+                // cycles (the cost of waiting before relaunching).
+                let backoff = policy.backoff_base_cycles << attempt.min(20);
+                stats.backoff_cycles = stats.backoff_cycles.saturating_add(backoff);
+                if orion_telemetry::is_enabled() {
+                    orion_telemetry::counter("resilience", "retry", 1);
+                }
+                attempt += 1;
+            }
+            Err(e) => {
+                stats.failed_launches += 1;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Drive the full tuning loop under faults: `iterations` invocations of
+/// the kernel, tuning per Figure 9 with retry / robust measurement /
+/// quarantine / fallback as described in the module docs.
+///
+/// `run` executes one launch of a version and returns its cycles.
+///
+/// # Errors
+/// * [`OrionError::AllCandidatesFailed`] when every version (fallbacks
+///   included) has been quarantined;
+/// * any non-transient, non-quarantineable launch error, immediately —
+///   both wrapped with the kernel name and cycle of failure.
+pub fn resilient_tune_loop(
+    kernel: &str,
+    ck: &CompiledKernel,
+    iterations: u32,
+    threshold: f64,
+    policy: &ResiliencePolicy,
+    mut run: impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
+) -> Result<ResilientOutcome, OrionError> {
+    let mut tuner = DynamicTuner::new(ck, threshold);
+    let mut stats = ResilienceStats::default();
+    let mut strikes = vec![0u32; ck.versions.len()];
+    let mut iters: Vec<(usize, u64)> = Vec::with_capacity(iterations as usize);
+    let mut total: u64 = 0;
+    let mut converged_after: Option<usize> = None;
+    let mut it = 0u32;
+    // Charge a hard failure against a version; quarantine it once it
+    // exhausts its *consecutive* strike budget (successful launches
+    // reset the count below). Returns whether it was quarantined.
+    fn strike(
+        strikes: &mut [u32],
+        v: usize,
+        policy: &ResiliencePolicy,
+        tuner: &mut DynamicTuner,
+        stats: &mut ResilienceStats,
+    ) -> bool {
+        stats.strikes += 1;
+        if orion_telemetry::is_enabled() {
+            orion_telemetry::counter("resilience", "strike", 1);
+        }
+        strikes[v] += 1;
+        if strikes[v] >= policy.quarantine_strikes.max(1) {
+            tuner.quarantine(v);
+            true
+        } else {
+            false
+        }
+    }
+    while it < iterations {
+        if tuner.all_quarantined() {
+            return Err(OrionError::AllCandidatesFailed {
+                quarantined: tuner.quarantined_count(),
+            }
+            .with_context(kernel, Some(total)));
+        }
+        let v_idx = tuner.select();
+        let version = &ck.versions[v_idx];
+        if tuner.finalized().is_some() {
+            // Steady state: single launch; a hard failure of the
+            // finalized version triggers quarantine + fallback.
+            converged_after.get_or_insert(iters.len());
+            match run_with_retry(&mut run, version, policy, &mut stats) {
+                Ok(c) => {
+                    strikes[v_idx] = 0;
+                    total = total.saturating_add(c);
+                    iters.push((v_idx, c));
+                    it += 1;
+                }
+                Err(e) if should_quarantine(&e) => {
+                    strike(&mut strikes, v_idx, policy, &mut tuner, &mut stats);
+                }
+                Err(e) => return Err(e.with_context(kernel, Some(total))),
+            }
+        } else {
+            // Exploration: mean-of-k robust measurement before the
+            // degradation test, with one extension round of k more
+            // samples when the verdict is borderline.
+            let k = policy.samples.max(1);
+            let mut samples = Vec::with_capacity(2 * k);
+            let mut target = k;
+            let mut dead = false;
+            let mut struck = false;
+            loop {
+                while samples.len() < target && it < iterations {
+                    match run_with_retry(&mut run, version, policy, &mut stats) {
+                        Ok(c) => {
+                            strikes[v_idx] = 0;
+                            total = total.saturating_add(c);
+                            iters.push((v_idx, c));
+                            it += 1;
+                            samples.push(c);
+                        }
+                        Err(e) if should_quarantine(&e) => {
+                            // Below the strike budget the sampling loop
+                            // just ends early; the version gets
+                            // re-selected and re-sampled on the next
+                            // pass.
+                            struck = true;
+                            dead = strike(&mut strikes, v_idx, policy, &mut tuner, &mut stats);
+                            break;
+                        }
+                        Err(e) => return Err(e.with_context(kernel, Some(total))),
+                    }
+                }
+                if struck || it >= iterations || samples.len() < target || target > k {
+                    break;
+                }
+                // Full measurement in hand — is the stop verdict within
+                // half a noise margin of the decision boundary? Then a
+                // jitter swing could flip it; double the sample set
+                // once before committing.
+                let m = robust_measure(&mut samples, policy.outlier_factor);
+                let margin = (m.rel_spread * policy.noise_margin_factor)
+                    .clamp(0.0, policy.noise_margin_cap.max(0.0));
+                let borderline = margin > 0.0
+                    && tuner.probe_slowdown(m.cycles).is_some_and(|slow| {
+                        let boundary = match ck.direction {
+                            Direction::Increasing => margin,
+                            Direction::Decreasing => threshold.max(margin),
+                        };
+                        (slow - boundary).abs() <= margin * 0.5
+                    });
+                if !borderline {
+                    break;
+                }
+                target += k;
+            }
+            // Record a full mean-of-k, or whatever we have if the
+            // iteration budget ran out. A strike-interrupted partial
+            // measurement with budget remaining is discarded instead —
+            // the version is re-selected and re-sampled cleanly.
+            if !dead && !samples.is_empty() && (!struck || it >= iterations) {
+                let m = robust_measure(&mut samples, policy.outlier_factor);
+                let margin = (m.rel_spread * policy.noise_margin_factor)
+                    .clamp(0.0, policy.noise_margin_cap.max(0.0));
+                tuner.record_noisy(m.cycles, margin);
+            }
+        }
+    }
+    let selected = tuner.finalized().unwrap_or_else(|| tuner.select());
+    let decisions = tuner.into_decisions();
+    // Count quarantine/fallback events from the decision log so the
+    // stats reconcile exactly with the telemetry counters the tuner
+    // emitted (one counter per decision).
+    stats.quarantined =
+        decisions.iter().filter(|d| d.reason == TuneReason::Quarantined).count() as u64;
+    stats.fellback = decisions.iter().filter(|d| d.reason == TuneReason::FellBack).count() as u64;
+    Ok(ResilientOutcome {
+        selected,
+        converged_after: converged_after.unwrap_or(iters.len()),
+        total_cycles: total.saturating_add(stats.backoff_cycles),
+        iterations: iters,
+        decisions,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+    use orion_alloc::realize::AllocReport;
+    use orion_gpusim::exec::SimError;
+    use orion_kir::mir::MModule;
+    use orion_kir::types::FuncId;
+
+    fn fake_version(warps: u32, fail_safe: bool) -> KernelVersion {
+        KernelVersion {
+            machine: MModule {
+                funcs: vec![],
+                entry: FuncId(0),
+                regs_per_thread: 16,
+                smem_slots_per_thread: 0,
+                local_slots_per_thread: 0,
+                user_smem_bytes: 0,
+                static_stack_moves: 0,
+            },
+            target_warps: warps,
+            achieved_warps: warps,
+            occupancy: f64::from(warps) / 48.0,
+            extra_smem: 0,
+            report: AllocReport {
+                kernel_max_live: 0,
+                regs_per_thread: 16,
+                smem_slots_per_thread: 0,
+                local_slots_per_thread: 0,
+                static_moves: 0,
+                per_func: vec![],
+            },
+            fail_safe,
+            label: format!("occ={warps}"),
+        }
+    }
+
+    fn fake_compiled(warp_levels: &[u32]) -> CompiledKernel {
+        let mut versions: Vec<KernelVersion> =
+            warp_levels.iter().map(|&w| fake_version(w, false)).collect();
+        versions.push(fake_version(4, true)); // fail-safe, not in the order
+        CompiledKernel {
+            tuning_order: (0..warp_levels.len()).collect(),
+            versions,
+            direction: Direction::Increasing,
+            original: 0,
+            max_live: 40,
+        }
+    }
+
+    fn idx_of(ck: &CompiledKernel, v: &KernelVersion) -> usize {
+        ck.versions.iter().position(|x| x.label == v.label).unwrap()
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_tuning_converges() {
+        let ck = fake_compiled(&[8, 16, 32, 48]);
+        let times = [100u64, 80, 90, 70, 120];
+        let mut flaky = 0u32;
+        let policy = ResiliencePolicy::default();
+        let out = resilient_tune_loop("k", &ck, 20, 0.02, &policy, |v| {
+            flaky += 1;
+            if flaky.is_multiple_of(4) {
+                // Every 4th launch fails transiently, then succeeds.
+                return Err(SimError::TransientLaunchFailure { code: 1 }.into());
+            }
+            Ok(times[idx_of(&ck, v)])
+        })
+        .expect("resilient loop absorbs transients");
+        assert_eq!(out.selected, 1, "same pick as the fault-free walk");
+        assert!(out.stats.retries > 0);
+        assert_eq!(out.stats.failed_launches, out.stats.retries);
+        assert!(out.total_cycles > out.iterations.iter().map(|&(_, c)| c).sum::<u64>(),
+            "backoff cycles are charged to the run");
+    }
+
+    #[test]
+    fn outliers_do_not_flip_the_degradation_test() {
+        // v1 is genuinely faster, but its second sample is a wild
+        // outlier; median-of-k with rejection keeps the walk on course.
+        let ck = fake_compiled(&[8, 16, 32]);
+        let mut calls = std::collections::HashMap::new();
+        let policy = ResiliencePolicy { samples: 3, ..ResiliencePolicy::default() };
+        let out = resilient_tune_loop("k", &ck, 30, 0.02, &policy, |v| {
+            let i = idx_of(&ck, v);
+            let n = calls.entry(i).or_insert(0u32);
+            *n += 1;
+            let base = [100u64, 80, 95][i];
+            Ok(if i == 1 && *n == 2 { base * 50 } else { base })
+        })
+        .unwrap();
+        assert_eq!(out.selected, 1);
+    }
+
+    #[test]
+    fn persistently_failing_candidate_is_quarantined() {
+        let ck = fake_compiled(&[8, 16, 32, 48]);
+        let times = [100u64, 0, 90, 95, 120];
+        let policy = ResiliencePolicy::default();
+        let out = resilient_tune_loop("k", &ck, 24, 0.02, &policy, |v| {
+            let i = idx_of(&ck, v);
+            if i == 1 {
+                return Err(SimError::Watchdog { budget: 1000 }.into());
+            }
+            Ok(times[i])
+        })
+        .unwrap();
+        assert_eq!(out.selected, 2, "best survivor after quarantine");
+        assert_eq!(out.stats.quarantined, 1);
+        assert!(out.iterations.iter().all(|&(v, _)| v != 1));
+        assert!(out
+            .decisions
+            .iter()
+            .any(|d| d.reason == TuneReason::Quarantined && d.version == 1));
+    }
+
+    #[test]
+    fn finalized_version_dying_falls_back_to_fail_safe() {
+        let ck = fake_compiled(&[8, 16, 32]);
+        let times = [100u64, 80, 90, 120];
+        let mut steady_runs = 0u32;
+        let policy = ResiliencePolicy { samples: 1, ..ResiliencePolicy::default() };
+        let out = resilient_tune_loop("k", &ck, 12, 0.02, &policy, |v| {
+            let i = idx_of(&ck, v);
+            if i == 1 {
+                steady_runs += 1;
+                if steady_runs > 3 {
+                    // The finalized winner starts tripping the watchdog.
+                    return Err(SimError::Watchdog { budget: 1 }.into());
+                }
+            }
+            Ok(times[i])
+        })
+        .unwrap();
+        assert_eq!(out.selected, 3, "fail-safe version takes over");
+        assert_eq!(out.stats.fellback, 1);
+        assert!(out.decisions.iter().any(|d| d.reason == TuneReason::FellBack));
+    }
+
+    #[test]
+    fn sporadic_hard_faults_never_evict_the_finalized_version() {
+        // A hang on every 5th launch of the winner: over a long run a
+        // lifetime strike tally would inevitably quarantine it, but
+        // successes reset the consecutive count, so it survives.
+        let ck = fake_compiled(&[8, 16, 32]);
+        let times = [100u64, 80, 90, 120];
+        let mut n = 0u32;
+        let policy = ResiliencePolicy { samples: 1, ..ResiliencePolicy::default() };
+        let out = resilient_tune_loop("k", &ck, 60, 0.02, &policy, |v| {
+            let i = idx_of(&ck, v);
+            if i == 1 {
+                n += 1;
+                if n.is_multiple_of(5) {
+                    return Err(SimError::Watchdog { budget: 1 }.into());
+                }
+            }
+            Ok(times[i])
+        })
+        .unwrap();
+        assert_eq!(out.selected, 1, "the sporadic faults are absorbed");
+        assert_eq!(out.stats.fellback, 0);
+        assert_eq!(out.stats.quarantined, 0);
+        assert!(out.stats.strikes >= 10, "each hang was still charged: {:?}", out.stats);
+    }
+
+    #[test]
+    fn all_candidates_failing_reports_all_candidates_failed() {
+        let ck = fake_compiled(&[8, 16]);
+        let policy = ResiliencePolicy::default();
+        let err = resilient_tune_loop("matmul", &ck, 8, 0.02, &policy, |_| {
+            Err(SimError::ResourceExceeded { detail: "regs".into() }.into())
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            OrionError::AllCandidatesFailed { quarantined } if *quarantined >= 2
+        ));
+        assert!(err.to_string().contains("matmul"), "context names the kernel: {err}");
+    }
+
+    #[test]
+    fn fatal_errors_propagate_with_context() {
+        let ck = fake_compiled(&[8, 16]);
+        let policy = ResiliencePolicy::default();
+        let err = resilient_tune_loop("srad", &ck, 8, 0.02, &policy, |_| {
+            Err(SimError::Deadlock.into())
+        })
+        .unwrap_err();
+        assert!(matches!(err.root_cause(), OrionError::Sim(SimError::Deadlock)));
+        assert!(err.to_string().contains("srad"));
+    }
+
+    #[test]
+    fn robust_cycles_rejects_outliers() {
+        // [100, 102] survive the ×4 band around the median; their mean.
+        let mut s = [100, 102, 5000];
+        assert_eq!(robust_cycles(&mut s, 4.0), 101);
+        let mut s = [100];
+        assert_eq!(robust_cycles(&mut s, 4.0), 100);
+        let mut s = [90, 100, 110];
+        assert_eq!(robust_cycles(&mut s, 4.0), 100);
+        assert_eq!(robust_cycles(&mut [], 4.0), 0);
+    }
+}

@@ -15,6 +15,7 @@
 //!   iterations. Convergence typically takes ~3 iterations.
 
 use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+use crate::error::OrionError;
 use serde::{Deserialize, Serialize};
 
 /// Why the tuner took a step or finalized — the reason codes of the
@@ -32,6 +33,12 @@ pub enum TuneReason {
     /// Candidate list exhausted — finalize per direction (fastest seen
     /// when increasing, lowest acceptable when decreasing).
     Exhausted,
+    /// A version failed to launch and was removed from consideration;
+    /// tuning continues over the survivors.
+    Quarantined,
+    /// The finalized version itself was quarantined; the tuner fell
+    /// back to the fail-safe / original / best surviving version.
+    FellBack,
 }
 
 /// One recorded tuner step: what was measured and what the tuner did
@@ -65,6 +72,12 @@ pub struct DynamicTuner {
     finalized: Option<usize>,
     trials: usize,
     decisions: Vec<TuneDecision>,
+    /// Versions removed from consideration after launch failures.
+    quarantined: Vec<bool>,
+    /// The compiler's opposite-direction fail-safe version, if any.
+    fail_safe: Option<usize>,
+    /// The original (untuned) version index.
+    original: usize,
 }
 
 impl DynamicTuner {
@@ -83,18 +96,71 @@ impl DynamicTuner {
             },
             trials: 0,
             decisions: Vec::new(),
+            quarantined: vec![false; ck.versions.len()],
+            fail_safe: ck.versions.iter().position(|v| v.fail_safe),
+            original: ck.original,
         }
     }
 
     /// The version to run for the current iteration.
+    ///
+    /// Never indexes out of bounds: a position that walked past the end
+    /// of the order (or an order emptied by quarantines) clamps to the
+    /// last survivor. With every candidate quarantined this names the
+    /// fail-safe (or original) as a last resort — executors should
+    /// check [`DynamicTuner::all_quarantined`] before launching.
     pub fn select(&self) -> usize {
-        self.finalized.unwrap_or(self.order[self.pos])
+        if let Some(v) = self.finalized {
+            return v;
+        }
+        match self.order.get(self.pos.min(self.order.len().saturating_sub(1))) {
+            Some(&v) => v,
+            None => self.fail_safe.unwrap_or(self.original),
+        }
     }
 
     /// Report the measured cycles of the version returned by the last
     /// [`DynamicTuner::select`].
     pub fn record(&mut self, cycles: u64) {
-        self.record_with_work(cycles, 1);
+        // A unit work factor always satisfies the normalization
+        // contract, so this path is infallible.
+        self.record_inner(cycles, 1, 0.0);
+    }
+
+    /// Report a noise-robust measurement (e.g. a mean-of-k) together
+    /// with its observed relative noise margin. The degradation test's
+    /// tolerance becomes `max(base, noise_margin)` for this sample —
+    /// base 0 for the upward walk (whose stop rule is otherwise "any
+    /// increase", a coin flip on a noisy plateau) and the slowdown
+    /// threshold for the downward walk (already noise-sized, so the
+    /// margin only takes over when the observed noise is larger).
+    /// [`DynamicTuner::record`] is the margin-zero special case (the
+    /// paper's exact behavior).
+    pub fn record_noisy(&mut self, cycles: u64, noise_margin: f64) {
+        self.record_inner(cycles, 1, noise_margin.max(0.0));
+    }
+
+    /// Read-only preview of the degradation comparison: the relative
+    /// slowdown `cycles / anchor - 1` of a prospective (unit-work)
+    /// measurement against the walk's current comparison anchor — the
+    /// previous version's time when tuning upward, the best time so far
+    /// when tuning downward. `None` when there is nothing to compare
+    /// against (baseline trial, finalized walk, or a quarantined-away
+    /// anchor). Executors use this to detect a *borderline* verdict —
+    /// one that measurement noise could flip — and spend extra samples
+    /// on it before committing via [`DynamicTuner::record_noisy`].
+    pub fn probe_slowdown(&self, cycles: u64) -> Option<f64> {
+        if self.finalized.is_some() || self.pos == 0 || self.pos >= self.order.len() {
+            return None;
+        }
+        // Match record_inner's unit-work normalization: stored times
+        // carry the 2^20 scale factor.
+        let cur_t = cycles.saturating_mul(1 << 20) as f64;
+        let anchor = match self.direction {
+            Direction::Increasing => self.times[self.order[self.pos - 1]],
+            Direction::Decreasing => self.times.iter().flatten().copied().min(),
+        }?;
+        Some(cur_t / anchor.max(1) as f64 - 1.0)
     }
 
     /// Report a measurement normalized by the invocation's amount of
@@ -104,17 +170,42 @@ impl DynamicTuner {
     /// exactly this multiplicative correction as future work (§4.2);
     /// with it, variable-work applications tune reliably.
     ///
-    /// # Panics
-    /// Panics if `work` is zero.
-    pub fn record_with_work(&mut self, cycles: u64, work: u64) {
-        assert!(work > 0, "work must be positive");
+    /// # Errors
+    /// Returns [`OrionError::Tuner`] if `work` is zero.
+    pub fn record_with_work(&mut self, cycles: u64, work: u64) -> Result<(), OrionError> {
+        if work == 0 {
+            return Err(OrionError::Tuner(
+                "work normalization factor must be positive".into(),
+            ));
+        }
+        self.record_inner(cycles, work, 0.0);
+        Ok(())
+    }
+
+    fn record_inner(&mut self, cycles: u64, work: u64, margin: f64) {
         // Normalize to cycles per 2^20 work items to keep integer math.
         let raw_cycles = cycles;
         let cycles = cycles.saturating_mul(1 << 20) / work;
         if self.finalized.is_some() {
             return;
         }
-        let cur = self.order[self.pos];
+        // Clamped lookup: a caller that keeps recording after the walk
+        // ran off the end (or after quarantines emptied the order)
+        // finalizes on the survivors instead of panicking.
+        let Some(&cur) = self.order.get(self.pos) else {
+            self.finalized = self.best_survivor();
+            if let Some(f) = self.finalized {
+                self.push_decision(TuneDecision {
+                    trial: self.trials,
+                    version: f,
+                    cycles: raw_cycles,
+                    norm_cycles: cycles,
+                    reason: TuneReason::Exhausted,
+                    finalized: self.finalized,
+                });
+            }
+            return;
+        };
         self.times[cur] = Some(cycles);
         self.trials += 1;
         let reason;
@@ -123,19 +214,27 @@ impl DynamicTuner {
             reason = TuneReason::Baseline;
         } else {
             let prev = self.order[self.pos - 1];
-            let prev_t = self.times[prev].expect("previous was measured") as f64;
             let cur_t = cycles as f64;
             let degraded = match self.direction {
-                Direction::Increasing => cur_t > prev_t,
+                Direction::Increasing => match self.times[prev] {
+                    // The margin keeps measurement noise from mimicking
+                    // a slowdown; 0 restores the paper's exact "any
+                    // increase stops the walk" rule.
+                    Some(t) => cur_t > t as f64 * (1.0 + margin),
+                    // The comparison anchor was quarantined away;
+                    // nothing to regress against, keep walking.
+                    None => false,
+                },
                 Direction::Decreasing => {
-                    let best = self
-                        .times
-                        .iter()
-                        .flatten()
-                        .copied()
-                        .min()
-                        .expect("measured") as f64;
-                    cur_t / best - 1.0 > self.threshold
+                    // `cur` was just recorded, so the minimum exists.
+                    let best =
+                        self.times.iter().flatten().copied().min().unwrap_or(cycles) as f64;
+                    // The paper's threshold already absorbs noise up to
+                    // its own size — widening it *additively* would let
+                    // a margin mask a genuine just-over-threshold
+                    // degradation. The margin only takes over when the
+                    // observed noise exceeds the threshold itself.
+                    cur_t / best - 1.0 > self.threshold.max(margin)
                 }
             };
             if degraded {
@@ -149,7 +248,7 @@ impl DynamicTuner {
                         .iter()
                         .copied()
                         .min_by_key(|&v| self.times[v].unwrap_or(u64::MAX))
-                        .expect("nonempty order"),
+                        .unwrap_or(cur),
                     // Exhausted downward: the current (lowest acceptable).
                     Direction::Decreasing => cur,
                 });
@@ -159,14 +258,103 @@ impl DynamicTuner {
                 reason = TuneReason::NotDegraded;
             }
         }
-        let decision = TuneDecision {
+        self.push_decision(TuneDecision {
             trial: self.trials - 1,
             version: cur,
             cycles: raw_cycles,
             norm_cycles: cycles,
             reason,
             finalized: self.finalized,
+        });
+    }
+
+    /// Remove a version from tuning consideration after a launch
+    /// failure. Its measurement (if any) is discarded so it can never
+    /// win a best-of comparison, and tuning continues over the
+    /// survivors ([`TuneReason::Quarantined`]). If the quarantined
+    /// version was already finalized, the tuner *falls back* — to the
+    /// fail-safe version, else the original, else the best measured
+    /// survivor ([`TuneReason::FellBack`]). Quarantining the last
+    /// survivor leaves [`DynamicTuner::all_quarantined`] true; the
+    /// executor is expected to stop driving the kernel at that point.
+    pub fn quarantine(&mut self, version: usize) {
+        if self.quarantined.get(version).copied().unwrap_or(true) {
+            return; // already quarantined, or out of range
+        }
+        self.quarantined[version] = true;
+        self.times[version] = None;
+        if let Some(idx) = self.order.iter().position(|&v| v == version) {
+            self.order.remove(idx);
+            if idx < self.pos {
+                self.pos -= 1;
+            }
+        }
+        let was_final = self.finalized == Some(version);
+        let reason = if was_final {
+            self.finalized = self.fallback_survivor();
+            TuneReason::FellBack
+        } else {
+            if self.finalized.is_none() && self.pos >= self.order.len() {
+                // The walk ran out of candidates; settle on a survivor,
+                // or engage the last-resort fallback if none remain.
+                self.finalized = self.best_survivor().or_else(|| self.fallback_survivor());
+            }
+            TuneReason::Quarantined
         };
+        if orion_telemetry::is_enabled() {
+            orion_telemetry::counter(
+                "resilience",
+                if was_final { "fellback" } else { "quarantined" },
+                1,
+            );
+        }
+        self.push_decision(TuneDecision {
+            trial: self.trials,
+            version,
+            cycles: 0,
+            norm_cycles: 0,
+            reason,
+            finalized: self.finalized,
+        });
+    }
+
+    /// The fastest measured survivor, else the first unmeasured one.
+    fn best_survivor(&self) -> Option<usize> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|&v| self.times[v].is_some())
+            .min_by_key(|&v| self.times[v].unwrap_or(u64::MAX))
+            .or_else(|| self.order.first().copied())
+    }
+
+    /// Last-resort replacement when the finalized version dies:
+    /// fail-safe, then original, then best measured survivor.
+    fn fallback_survivor(&self) -> Option<usize> {
+        let alive = |v: usize| !self.quarantined.get(v).copied().unwrap_or(true);
+        self.fail_safe
+            .filter(|&v| alive(v))
+            .or_else(|| Some(self.original).filter(|&v| alive(v)))
+            .or_else(|| self.best_survivor())
+    }
+
+    /// True once every runnable version (candidates and fallbacks) has
+    /// been quarantined.
+    pub fn all_quarantined(&self) -> bool {
+        self.order.is_empty() && self.finalized.is_none()
+    }
+
+    /// Whether a given version index has been quarantined.
+    pub fn is_quarantined(&self, version: usize) -> bool {
+        self.quarantined.get(version).copied().unwrap_or(false)
+    }
+
+    /// How many versions have been quarantined so far.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    fn push_decision(&mut self, decision: TuneDecision) {
         if orion_telemetry::is_enabled() {
             orion_telemetry::instant(
                 "tuner",
@@ -337,6 +525,59 @@ mod tests {
     }
 
     #[test]
+    fn noise_margin_widens_the_stop_rules() {
+        // Increasing, plateau with +1% wobble on the second version.
+        // With margin 0 the literal "any increase stops" rule fires and
+        // the walk finalizes v0; a 5% margin rides through the wobble
+        // and keeps walking to the genuinely better v2.
+        let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
+        let times = [100u64, 101, 80];
+
+        let mut strict = DynamicTuner::new(&ck, 0.02);
+        for &t in &times {
+            strict.record_noisy(t, 0.0);
+            if strict.finalized().is_some() {
+                break;
+            }
+        }
+        assert_eq!(strict.finalized(), Some(0), "margin 0 keeps the paper rule");
+
+        let mut tolerant = DynamicTuner::new(&ck, 0.02);
+        for &t in &times {
+            tolerant.record_noisy(t, 0.05);
+        }
+        assert_eq!(tolerant.finalized(), Some(2), "5% margin absorbs a 1% wobble");
+
+        // Decreasing: 2.5% slip is over the 2% threshold alone, but
+        // inside a 5% noise margin, which takes over when larger than
+        // the threshold (max semantics, never additive).
+        let ck = fake_compiled(&[48, 36, 24], Direction::Decreasing);
+        let times = [1000u64, 1025, 1100];
+
+        let mut strict = DynamicTuner::new(&ck, 0.02);
+        for &t in &times {
+            strict.record_noisy(t, 0.0);
+            if strict.finalized().is_some() {
+                break;
+            }
+        }
+        assert_eq!(strict.finalized(), Some(0), "2.5% over best degrades at margin 0");
+
+        let mut tolerant = DynamicTuner::new(&ck, 0.02);
+        for &t in &times {
+            tolerant.record_noisy(t, 0.05);
+            if tolerant.finalized().is_some() {
+                break;
+            }
+        }
+        assert_eq!(
+            tolerant.finalized(),
+            Some(1),
+            "within max(threshold, margin) counts as plateau; 10% slip still stops the walk"
+        );
+    }
+
+    #[test]
     fn exhausting_upward_takes_best() {
         let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
         let times = [100u64, 90, 70];
@@ -372,7 +613,7 @@ mod tests {
         let mut tuner = DynamicTuner::new(&ck, 0.02);
         for _ in 0..4 {
             let v = tuner.select();
-            tuner.record_with_work(per_work[v] * work[v], work[v]);
+            tuner.record_with_work(per_work[v] * work[v], work[v]).expect("positive work");
             if tuner.finalized().is_some() {
                 break;
             }
@@ -429,6 +670,96 @@ mod tests {
         assert_eq!(last.reason, TuneReason::SlowdownExceeded);
         assert_eq!(last.finalized, Some(1), "backs off to the previous version");
         assert_eq!(last.trial, 2);
+    }
+
+    fn fake_compiled_with_fail_safe(warp_levels: &[u32], direction: Direction) -> CompiledKernel {
+        let mut ck = fake_compiled(warp_levels, direction);
+        let mut fs = fake_version(4);
+        fs.fail_safe = true;
+        fs.label = "fail-safe".into();
+        ck.versions.push(fs); // present in versions, absent from tuning_order
+        ck
+    }
+
+    #[test]
+    fn record_with_zero_work_is_an_error_not_a_panic() {
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        let err = tuner.record_with_work(100, 0).unwrap_err();
+        assert!(matches!(err, crate::error::OrionError::Tuner(_)));
+        assert_eq!(tuner.trials(), 0, "rejected measurement must not count");
+    }
+
+    #[test]
+    fn quarantine_skips_version_and_tuning_continues() {
+        // v1 dies after its measurement; the walk continues over v2/v3
+        // and v1's time can never win a comparison.
+        let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
+        let times = [100u64, 10, 90, 95];
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        // Measure v0, then v1 (suspiciously fast — it then crashes).
+        tuner.record(times[0]);
+        assert_eq!(tuner.select(), 1);
+        tuner.record(times[1]);
+        tuner.quarantine(1);
+        assert!(tuner.is_quarantined(1));
+        // Walk resumes at v2; v2 at 90 beats v0's 100, v3 at 95 degrades.
+        while tuner.finalized().is_none() {
+            let v = tuner.select();
+            assert_ne!(v, 1, "quarantined version must never be selected");
+            tuner.record(times[v]);
+        }
+        assert_eq!(tuner.finalized(), Some(2), "best survivor, not the dead v1");
+        assert!(tuner
+            .decisions()
+            .iter()
+            .any(|d| d.reason == TuneReason::Quarantined && d.version == 1));
+    }
+
+    #[test]
+    fn quarantining_finalized_version_falls_back_to_fail_safe() {
+        let ck = fake_compiled_with_fail_safe(&[8, 16, 32], Direction::Increasing);
+        let times = [100u64, 80, 90];
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        for _ in 0..3 {
+            let v = tuner.select();
+            tuner.record(times[v]);
+        }
+        assert_eq!(tuner.finalized(), Some(1));
+        tuner.quarantine(1);
+        assert_eq!(tuner.finalized(), Some(3), "fail-safe version takes over");
+        let last = tuner.decisions().last().unwrap();
+        assert_eq!(last.reason, TuneReason::FellBack);
+        assert!(!tuner.all_quarantined());
+    }
+
+    #[test]
+    fn quarantining_everything_is_detectable_and_select_stays_total() {
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        tuner.quarantine(0);
+        tuner.quarantine(1);
+        assert!(tuner.all_quarantined());
+        assert_eq!(tuner.quarantined_count(), 2);
+        // select() still returns a last-resort index without panicking.
+        let _ = tuner.select();
+    }
+
+    #[test]
+    fn quarantine_before_first_measurement_keeps_walk_sound() {
+        // Quarantine the version currently under evaluation before it
+        // was ever measured: select() moves on, no panic, and the
+        // degradation test still anchors correctly.
+        let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
+        let times = [100u64, 0, 90, 95];
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        tuner.record(times[0]);
+        assert_eq!(tuner.select(), 1);
+        tuner.quarantine(1); // died on launch, never measured
+        assert_eq!(tuner.select(), 2);
+        tuner.record(times[2]);
+        tuner.record(times[3]);
+        assert_eq!(tuner.finalized(), Some(2));
     }
 
     #[test]

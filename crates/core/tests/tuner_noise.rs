@@ -1,0 +1,143 @@
+//! Property-style robustness tests for the runtime tuner: across a
+//! sweep of RNG seeds, ±5% injected timing noise must not destabilize
+//! convergence, and a quarantined version must never be finalized.
+
+use orion_alloc::realize::AllocReport;
+use orion_core::compiler::{CompiledKernel, Direction, KernelVersion};
+use orion_core::resilient::{resilient_tune_loop, ResiliencePolicy};
+use orion_core::runtime::DynamicTuner;
+use orion_kir::mir::MModule;
+use orion_kir::types::FuncId;
+
+fn fake_version(warps: u32, fail_safe: bool) -> KernelVersion {
+    KernelVersion {
+        machine: MModule {
+            funcs: vec![],
+            entry: FuncId(0),
+            regs_per_thread: 16,
+            smem_slots_per_thread: 0,
+            local_slots_per_thread: 0,
+            user_smem_bytes: 0,
+            static_stack_moves: 0,
+        },
+        target_warps: warps,
+        achieved_warps: warps,
+        occupancy: f64::from(warps) / 48.0,
+        extra_smem: 0,
+        report: AllocReport {
+            kernel_max_live: 0,
+            regs_per_thread: 16,
+            smem_slots_per_thread: 0,
+            local_slots_per_thread: 0,
+            static_moves: 0,
+            per_func: vec![],
+        },
+        fail_safe,
+        label: format!("occ={warps}{}", if fail_safe { "-fs" } else { "" }),
+    }
+}
+
+fn fake_compiled(warp_levels: &[u32], direction: Direction) -> CompiledKernel {
+    let mut versions: Vec<KernelVersion> =
+        warp_levels.iter().map(|&w| fake_version(w, false)).collect();
+    versions.push(fake_version(4, true));
+    CompiledKernel {
+        tuning_order: (0..warp_levels.len()).collect(),
+        versions,
+        direction,
+        original: 0,
+        max_live: 40,
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A multiplicative noise factor in `[1 - amp, 1 + amp)`.
+fn noisy(state: &mut u64, base: u64, amp: f64) -> u64 {
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    let factor = 1.0 + (u * 2.0 - 1.0) * amp;
+    ((base as f64 * factor) as u64).max(1)
+}
+
+/// ±5% timing noise across 50 seeds: the resilient walk (median-of-3
+/// with outlier rejection) must always land within 5% of the true-best
+/// version's time. The bell-shaped profile has a 4% runner-up gap, so
+/// a single noisy sample could flip a naive comparison.
+#[test]
+fn convergence_is_stable_under_5pct_noise() {
+    let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
+    let base = [120u64, 100, 88, 92, 105];
+    let best = *base.iter().min().unwrap() as f64;
+    let policy = ResiliencePolicy::default();
+    for seed in 0..50u64 {
+        let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef;
+        let out = resilient_tune_loop("noisy", &ck, 60, 0.02, &policy, |v| {
+            let i = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            Ok(noisy(&mut rng, base[i], 0.05))
+        })
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let picked = base[out.selected] as f64;
+        assert!(
+            picked / best - 1.0 <= 0.05,
+            "seed {seed}: picked version {} ({picked} cycles) is more than 5% off best {best}",
+            out.selected
+        );
+    }
+}
+
+/// Across 50 seeds with a randomly chosen version quarantined at a
+/// random point of the walk, the tuner must never finalize (or keep
+/// running) the quarantined version.
+#[test]
+fn never_finalizes_a_quarantined_version() {
+    let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
+    // One entry per version, including the trailing fail-safe: a
+    // fallback after quarantining a finalized pick selects index 5.
+    let base = [120u64, 100, 88, 92, 105, 140];
+    for seed in 0..50u64 {
+        let mut rng = seed ^ 0x5eed;
+        let victim = (splitmix64(&mut rng) % 5) as usize;
+        let kill_at = splitmix64(&mut rng) % 8;
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        for step in 0..40u64 {
+            if step == kill_at {
+                tuner.quarantine(victim);
+            }
+            if tuner.all_quarantined() {
+                break;
+            }
+            let v = tuner.select();
+            if step >= kill_at {
+                assert_ne!(v, victim, "seed {seed}: selected the quarantined version");
+            }
+            tuner.record(noisy(&mut rng, base[v], 0.05));
+        }
+        if let Some(f) = tuner.finalized() {
+            assert_ne!(f, victim, "seed {seed}: finalized the quarantined version");
+        }
+        assert!(tuner.is_quarantined(victim));
+    }
+}
+
+/// Zero noise must reproduce the plain tuner's pick exactly — the
+/// robust measurement path is a no-op on clean data.
+#[test]
+fn noise_free_resilient_walk_matches_plain_tuner() {
+    let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
+    let base = [120u64, 100, 88, 92, 105];
+    let idx = |v: &KernelVersion| ck.versions.iter().position(|x| x.label == v.label).unwrap();
+    let plain = orion_core::runtime::tune_loop::<std::convert::Infallible>(&ck, 60, 0.02, |v| {
+        Ok(base[idx(v)])
+    })
+    .unwrap();
+    let policy = ResiliencePolicy::default();
+    let resilient =
+        resilient_tune_loop("clean", &ck, 60, 0.02, &policy, |v| Ok(base[idx(v)])).unwrap();
+    assert_eq!(plain.selected, resilient.selected);
+}

@@ -37,6 +37,42 @@ pub enum SimError {
     Deadlock,
     /// Dynamic instruction budget exceeded.
     StepLimit,
+    /// The launch failed for a momentary, retryable reason (injected by
+    /// the fault layer; on real hardware a driver hiccup or a spurious
+    /// `CUDA_ERROR_LAUNCH_FAILED`). The code disambiguates independent
+    /// occurrences for logs.
+    TransientLaunchFailure { code: u32 },
+    /// The device could not provide the resources the launch needs right
+    /// now (perturbed/contended device state) — unlike
+    /// [`SimError::Unlaunchable`] this is a property of the moment, not
+    /// of the binary, but retrying the same version is unlikely to help
+    /// while the pressure lasts.
+    ResourceExceeded { detail: String },
+    /// The launch exceeded its cycle budget without completing — the
+    /// simulator watchdog fired instead of spinning forever on a hung
+    /// kernel.
+    Watchdog { budget: u64 },
+}
+
+impl SimError {
+    /// Whether a retry of the same launch may succeed (bounded-retry
+    /// candidates for the resilient runtime).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::TransientLaunchFailure { .. })
+    }
+
+    /// Whether the failure indicts this *version* at this moment
+    /// (quarantine candidates): the binary may be fine, but launching it
+    /// again right away will keep failing, so tuning should continue
+    /// over the surviving candidates.
+    pub fn is_quarantineable(&self) -> bool {
+        matches!(
+            self,
+            SimError::ResourceExceeded { .. }
+                | SimError::Watchdog { .. }
+                | SimError::Unlaunchable(_)
+        )
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -48,6 +84,15 @@ impl std::fmt::Display for SimError {
             }
             SimError::Deadlock => write!(f, "simulation deadlock (barrier divergence?)"),
             SimError::StepLimit => write!(f, "dynamic instruction limit exceeded"),
+            SimError::TransientLaunchFailure { code } => {
+                write!(f, "transient launch failure (code {code})")
+            }
+            SimError::ResourceExceeded { detail } => {
+                write!(f, "device resources exceeded: {detail}")
+            }
+            SimError::Watchdog { budget } => {
+                write!(f, "watchdog: launch exceeded its cycle budget of {budget}")
+            }
         }
     }
 }
@@ -269,6 +314,25 @@ pub(crate) struct SmEngine<'m, 'g> {
     /// First cycle not yet attributed to a stall bucket.
     acct_cursor: u64,
     steps_left: u64,
+    /// Watchdog: the engine refuses to advance past this cycle and
+    /// returns [`SimError::Watchdog`] instead of spinning forever.
+    cycle_budget: u64,
+    /// Fault injection: wedge the first admitted warp (its ready time is
+    /// pushed past the cycle budget, so the launch can only end via the
+    /// watchdog — a deterministic stand-in for a stuck-warp hang).
+    stuck_warp: bool,
+}
+
+/// Per-launch safety/fault knobs threaded from the launch path into
+/// each SM engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineGuards {
+    /// Hard cap on interpreted warp-instructions.
+    pub step_limit: u64,
+    /// Watchdog budget in cycles.
+    pub cycle_budget: u64,
+    /// Injected hang: wedge the first admitted warp past the budget.
+    pub stuck_warp: bool,
 }
 
 impl<'m, 'g> SmEngine<'m, 'g> {
@@ -278,8 +342,8 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         launch: Launch,
         params: &'m [u32],
         global: &'g mut [u8],
-        step_limit: u64,
         sm_id: u32,
+        guards: EngineGuards,
     ) -> Self {
         let m = prog.module;
         let onchip_words =
@@ -301,7 +365,9 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             issued_this_cycle: 0,
             last_event: 0,
             acct_cursor: 0,
-            steps_left: step_limit,
+            steps_left: guards.step_limit,
+            cycle_budget: guards.cycle_budget,
+            stuck_warp: guards.stuck_warp,
         }
     }
 
@@ -315,6 +381,14 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         for _ in 0..residency {
             if let Some(b) = pending.next() {
                 self.admit_cta(&mut ctas, &mut warps, b, 0);
+            }
+        }
+        // Injected hang: wedge the first warp past the cycle budget so
+        // the launch can only terminate through the watchdog below.
+        if self.stuck_warp {
+            if let Some(w) = warps.first_mut() {
+                w.next_free = self.cycle_budget.saturating_add(1);
+                w.free_reason = Wait::Mem;
             }
         }
         loop {
@@ -341,6 +415,13 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 return Err(SimError::StepLimit);
             }
             self.steps_left -= 1;
+            // Watchdog: a warp whose earliest ready time lies beyond the
+            // cycle budget will never issue within it — the launch is
+            // hung (injected stuck warp, or a genuinely runaway stall).
+            // Bail out instead of simulating forever.
+            if ready.max(self.cur_cycle) > self.cycle_budget {
+                return Err(SimError::Watchdog { budget: self.cycle_budget });
+            }
             // Issue-slot bookkeeping: `schedulers_per_sm` issues/cycle.
             let mut t = ready.max(self.cur_cycle);
             if t > self.cur_cycle {

@@ -54,6 +54,7 @@
 pub mod cache;
 pub mod device;
 pub mod exec;
+pub mod faults;
 pub mod memory;
 pub mod occupancy;
 pub mod power;
@@ -61,6 +62,10 @@ pub mod sim;
 
 pub use device::{CacheConfig, DeviceSpec};
 pub use exec::{Launch, SimError, SimStats, StallStats};
+pub use faults::{FaultInjector, FaultPlan, FaultSnapshot, LaunchFaults};
 pub use occupancy::{occupancy, KernelResources, Limiter, OccupancyInfo};
 pub use power::{energy, EnergyReport, PowerModel};
-pub use sim::{run_launch, run_launch_opts, DerivedMetrics, LaunchOptions, RunResult, SmSummary};
+pub use sim::{
+    run_launch, run_launch_faulty, run_launch_opts, DerivedMetrics, LaunchOptions, RunResult,
+    SmSummary, DEFAULT_CYCLE_BUDGET,
+};

@@ -3,6 +3,7 @@
 
 use crate::device::DeviceSpec;
 use crate::exec::{Launch, LinkedProgram, SimError, SimStats, SmEngine, StallStats};
+use crate::faults::FaultInjector;
 use crate::occupancy::{occupancy, KernelResources, OccupancyInfo};
 use orion_kir::mir::MModule;
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,11 @@ pub struct LaunchOptions {
     pub extra_smem_per_block: u32,
     /// `(first block, count)`; `None` = whole grid.
     pub cta_range: Option<(u32, u32)>,
+    /// Watchdog cycle budget per launch; `None` uses
+    /// [`DEFAULT_CYCLE_BUDGET`]. A launch whose completion would exceed
+    /// the budget fails with [`SimError::Watchdog`] instead of running
+    /// (or hanging) forever.
+    pub cycle_budget: Option<u64>,
 }
 
 /// Per-SM execution summary for one launch.
@@ -124,6 +130,11 @@ impl RunResult {
 /// Default dynamic warp-instruction budget per launch.
 pub const DEFAULT_STEP_LIMIT: u64 = 500_000_000;
 
+/// Default watchdog cycle budget per launch — far above any workload in
+/// this repo (the largest sweeps complete in tens of millions of
+/// cycles), so only genuinely hung launches trip it.
+pub const DEFAULT_CYCLE_BUDGET: u64 = 4_000_000_000;
+
 /// Resource footprint the driver sees for a machine module at a block
 /// size (registers per thread and shared memory per block).
 pub fn resources_of(m: &MModule, block: u32) -> KernelResources {
@@ -167,6 +178,84 @@ pub fn run_launch_opts(
     params: &[u32],
     global: &mut [u8],
     opts: LaunchOptions,
+) -> Result<RunResult, SimError> {
+    run_launch_faulty(dev, module, launch, params, global, opts, None)
+}
+
+/// [`run_launch_opts`] with an optional fault injector — the chaos entry
+/// point. When `injector` is `Some`, one set of fault decisions is drawn
+/// per call (deterministic in the injector's seed and launch counter)
+/// and applied at the matching driver stage:
+///
+/// * **transient** — the launch fails with
+///   [`SimError::TransientLaunchFailure`] before touching the device;
+/// * **resource** — the occupancy check runs against a perturbed device
+///   (half registers, half shared memory); if the kernel no longer fits
+///   the launch fails with [`SimError::ResourceExceeded`], otherwise the
+///   fault is absorbed;
+/// * **hang** — one warp is wedged and the launch terminates via the
+///   watchdog ([`SimError::Watchdog`]);
+/// * **jitter / outlier** — the simulation is exact, but the *reported*
+///   `cycles` is perturbed (timer noise); the per-SM stall accounting is
+///   deliberately left untouched so the invariant `Σ buckets = true
+///   cycles × SMs` still describes the simulation.
+///
+/// # Errors
+/// Same as [`run_launch_opts`], plus the injected failures above.
+pub fn run_launch_faulty(
+    dev: &DeviceSpec,
+    module: &MModule,
+    launch: Launch,
+    params: &[u32],
+    global: &mut [u8],
+    opts: LaunchOptions,
+    injector: Option<&FaultInjector>,
+) -> Result<RunResult, SimError> {
+    let faults = injector.map(|i| i.draw()).unwrap_or(crate::faults::LaunchFaults::NONE);
+    if faults.transient {
+        // The code is the launch ordinal-ish discriminator: enough to
+        // tell independent failures apart in logs, stable across runs.
+        return Err(SimError::TransientLaunchFailure { code: 0x70_0001 });
+    }
+    if faults.resource {
+        // Perturbed device: a co-tenant grabbed half the register file
+        // and half the shared memory (the latter modeled by doubling the
+        // block's apparent shared-memory demand — same quotient).
+        let mut contended = dev.clone();
+        contended.regs_per_sm /= 2;
+        let mut res = resources_of(module, launch.block);
+        res.smem_per_block = (res.smem_per_block + opts.extra_smem_per_block).saturating_mul(2);
+        if occupancy(&contended, &res).active_blocks == 0 {
+            return Err(SimError::ResourceExceeded {
+                detail: format!(
+                    "{} regs/thread, {} B smem/block do not fit the contended {} \
+                     (half the register file and shared memory held elsewhere)",
+                    res.regs_per_thread,
+                    res.smem_per_block / 2,
+                    dev.name,
+                ),
+            });
+        }
+        // Still fits: the contention is invisible to this launch.
+    }
+    let result = run_launch_impl(dev, module, launch, params, global, opts, faults.hang);
+    match (injector, result) {
+        (Some(inj), Ok(mut r)) => {
+            r.cycles = inj.perturb_cycles(&faults, r.cycles);
+            Ok(r)
+        }
+        (_, r) => r,
+    }
+}
+
+fn run_launch_impl(
+    dev: &DeviceSpec,
+    module: &MModule,
+    launch: Launch,
+    params: &[u32],
+    global: &mut [u8],
+    opts: LaunchOptions,
+    stuck_warp: bool,
 ) -> Result<RunResult, SimError> {
     let mut res = resources_of(module, launch.block);
     res.smem_per_block += opts.extra_smem_per_block;
@@ -216,8 +305,21 @@ pub fn run_launch_opts(
             engine_stats.push(SimStats::default());
             continue;
         }
-        let mut engine =
-            SmEngine::new(dev, &prog, launch, params, global, DEFAULT_STEP_LIMIT, sm);
+        let mut engine = SmEngine::new(
+            dev,
+            &prog,
+            launch,
+            params,
+            global,
+            sm,
+            crate::exec::EngineGuards {
+                step_limit: DEFAULT_STEP_LIMIT,
+                cycle_budget: opts.cycle_budget.unwrap_or(DEFAULT_CYCLE_BUDGET),
+                // A hang wedges one warp on SM 0; the other SMs' results
+                // are discarded with the failed launch either way.
+                stuck_warp: stuck_warp && sm == 0,
+            },
+        );
         let c = engine.run(&blocks, occ.active_blocks)?;
         cycles = cycles.max(c);
         per_sm.push(SmSummary {

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             w.launch(),
             w.params_for(iter),
             &mut global,
-            LaunchOptions { extra_smem_per_block: v.extra_smem, cta_range: None },
+            LaunchOptions { extra_smem_per_block: v.extra_smem, ..Default::default() },
         )?;
         let status = match tuner.finalized() {
             Some(_) => "steady",

@@ -93,7 +93,7 @@ fn every_workload_runs_correctly_at_every_candidate() {
                 launch,
                 &w.params,
                 &mut global,
-                LaunchOptions { extra_smem_per_block: v.extra_smem, cta_range: None },
+                LaunchOptions { extra_smem_per_block: v.extra_smem, ..Default::default() },
             )
             .unwrap_or_else(|e| panic!("{} version {}: {e}", w.name, v.label));
             assert_eq!(
@@ -181,7 +181,7 @@ fn downward_selection_saves_registers_or_keeps_speed() {
             launch,
             &w.params,
             &mut global,
-            LaunchOptions { extra_smem_per_block: v.extra_smem, cta_range: None },
+            LaunchOptions { extra_smem_per_block: v.extra_smem, ..Default::default() },
         )
         .map(|r| r.cycles)
     })
