@@ -43,7 +43,7 @@ use serde::{Deserialize, Serialize};
 pub const SCRATCH_SLOTS: u16 = 4;
 
 /// Per-thread on-chip slot budget implied by a target occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SlotBudget {
     /// Physical registers per thread.
     pub reg_slots: u16,
@@ -59,7 +59,7 @@ impl SlotBudget {
 }
 
 /// Allocator feature switches (the paper's Figure 5 ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AllocOptions {
     /// Compress the caller stack at calls ("space minimization"). When
     /// off, callee frames sit above the caller's entire frame.

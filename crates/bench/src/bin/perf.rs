@@ -1,0 +1,241 @@
+//! `orion-bench --bin perf` — the repo's perf trajectory point.
+//!
+//! Measures, for three representative workloads:
+//!
+//! * **compile**: wall-time of the Figure 8 candidate-set build with a
+//!   cold vs warm compiled-candidate cache, plus the cache hit/miss
+//!   counters of each phase. A warm rebuild must not re-allocate any
+//!   already-realized candidate: `warm.misses > 0` makes the binary
+//!   exit non-zero, which is what the CI `perf-smoke` job asserts.
+//! * **simulate**: wall-time and simulated SM-cycles/second for the
+//!   same launch under three engine configurations — `serial` (the
+//!   seed path: one thread, linear-scan scheduler), `heap_serial` (one
+//!   thread, event-heap scheduler: isolates the O(W)→O(log W)
+//!   scheduling win), and `parallel` (event heap plus one worker per
+//!   host core, capped at the SM count). All three must report
+//!   bit-identical cycle counts, or the binary exits non-zero.
+//!
+//! Writes `BENCH_perf.json`; see README "Performance" for the field
+//! reference. `--quick` runs one repetition per configuration (CI
+//! smoke mode); the default is three, keeping the minimum wall-time
+//! per configuration.
+
+use orion_bench::figures::Figure;
+use orion_core::cache;
+use orion_core::orion::Orion;
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::sim::{run_launch_opts, LaunchOptions};
+use orion_gpusim::Scheduler;
+use orion_workloads::by_name;
+use serde::Serialize;
+use std::time::Instant;
+
+const WORKLOADS: [&str; 3] = ["matrixMul", "backprop", "hotspot"];
+
+#[derive(Serialize)]
+struct CachePhase {
+    wall_ms: f64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Serialize)]
+struct SimConfig {
+    wall_ms: f64,
+    /// Simulated SM-cycles (device cycles × SMs) per wall-second.
+    sim_cycles_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct WorkloadPerf {
+    name: String,
+    cycles: u64,
+    compile_cold: CachePhase,
+    compile_warm: CachePhase,
+    serial: SimConfig,
+    heap_serial: SimConfig,
+    parallel: SimConfig,
+    /// serial wall / parallel wall (the new engine vs the seed path).
+    speedup_parallel_over_serial: f64,
+    /// serial wall / heap_serial wall (scheduler win alone).
+    speedup_heap_over_scan: f64,
+}
+
+#[derive(Serialize)]
+struct PerfDoc {
+    device: String,
+    num_sms: u32,
+    host_cores: u32,
+    reps: u32,
+    workloads: Vec<WorkloadPerf>,
+    geomean_speedup_parallel_over_serial: f64,
+    geomean_speedup_heap_over_scan: f64,
+    warm_cache_recompiles: u64,
+}
+
+fn time_runs(
+    reps: u32,
+    dev: &DeviceSpec,
+    w: &orion_workloads::Workload,
+    machine: &orion_kir::mir::MModule,
+    extra_smem: u32,
+    opts: LaunchOptions,
+) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..reps {
+        let mut global = w.init_global.clone();
+        let started = Instant::now();
+        let r = run_launch_opts(
+            dev,
+            machine,
+            w.launch(),
+            &w.params,
+            &mut global,
+            LaunchOptions { extra_smem_per_block: extra_smem, ..opts },
+        )
+        .unwrap_or_else(|e| panic!("{}: launch failed: {e}", w.name));
+        best = best.min(started.elapsed().as_secs_f64() * 1e3);
+        cycles = r.cycles;
+    }
+    (best, cycles)
+}
+
+fn sim_config(wall_ms: f64, cycles: u64, num_sms: u32) -> SimConfig {
+    SimConfig {
+        wall_ms,
+        sim_cycles_per_sec: if wall_ms > 0.0 {
+            (cycles as f64) * f64::from(num_sms) / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+    }
+}
+
+fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = xs.clone().count();
+    if n == 0 {
+        return 0.0;
+    }
+    (xs.map(f64::ln).sum::<f64>() / n as f64).exp()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps: u32 = if quick { 1 } else { 3 };
+    let dev = DeviceSpec::gtx680(); // 8 SMs
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    let mut rows: Vec<WorkloadPerf> = Vec::new();
+    let mut failed = false;
+
+    for name in WORKLOADS {
+        let w = by_name(name).expect("workload");
+        let orion = Orion::new(dev.clone(), w.block);
+
+        // Compile: cold then warm candidate-set builds.
+        cache::reset();
+        let started = Instant::now();
+        let compiled = orion.compile(&w.module).expect("compile");
+        let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+        let cold = cache::stats();
+        let started = Instant::now();
+        let _again = orion.compile(&w.module).expect("compile");
+        let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+        let warm = cache::stats();
+        let (warm_hits, warm_misses) = (warm.hits - cold.hits, warm.misses - cold.misses);
+        if warm_misses > 0 {
+            eprintln!(
+                "FAIL {name}: warm candidate-set rebuild re-allocated {warm_misses} \
+                 already-realized candidate(s)"
+            );
+            failed = true;
+        }
+
+        // Simulate: the original candidate under the three configs.
+        let v = &compiled.versions[compiled.original];
+        let serial_opts = LaunchOptions {
+            parallelism: 1,
+            scheduler: Scheduler::LinearScan,
+            ..LaunchOptions::default()
+        };
+        let heap_opts = LaunchOptions {
+            parallelism: 1,
+            scheduler: Scheduler::EventHeap,
+            ..LaunchOptions::default()
+        };
+        let par_opts = LaunchOptions {
+            parallelism: 0, // one worker per host core
+            scheduler: Scheduler::EventHeap,
+            ..LaunchOptions::default()
+        };
+        let (serial_ms, serial_cycles) =
+            time_runs(reps, &dev, &w, &v.machine, v.extra_smem, serial_opts);
+        let (heap_ms, heap_cycles) =
+            time_runs(reps, &dev, &w, &v.machine, v.extra_smem, heap_opts);
+        let (par_ms, par_cycles) = time_runs(reps, &dev, &w, &v.machine, v.extra_smem, par_opts);
+        if serial_cycles != heap_cycles || serial_cycles != par_cycles {
+            eprintln!(
+                "FAIL {name}: configurations disagree on cycles \
+                 (serial {serial_cycles}, heap {heap_cycles}, parallel {par_cycles})"
+            );
+            failed = true;
+        }
+
+        rows.push(WorkloadPerf {
+            name: name.to_string(),
+            cycles: serial_cycles,
+            compile_cold: CachePhase { wall_ms: cold_ms, hits: cold.hits, misses: cold.misses },
+            compile_warm: CachePhase { wall_ms: warm_ms, hits: warm_hits, misses: warm_misses },
+            serial: sim_config(serial_ms, serial_cycles, dev.num_sms),
+            heap_serial: sim_config(heap_ms, heap_cycles, dev.num_sms),
+            parallel: sim_config(par_ms, par_cycles, dev.num_sms),
+            speedup_parallel_over_serial: serial_ms / par_ms,
+            speedup_heap_over_scan: serial_ms / heap_ms,
+        });
+    }
+
+    let doc = PerfDoc {
+        device: dev.name.clone(),
+        num_sms: dev.num_sms,
+        host_cores,
+        reps,
+        geomean_speedup_parallel_over_serial: geomean(
+            rows.iter().map(|r| r.speedup_parallel_over_serial),
+        ),
+        geomean_speedup_heap_over_scan: geomean(rows.iter().map(|r| r.speedup_heap_over_scan)),
+        warm_cache_recompiles: rows.iter().map(|r| r.compile_warm.misses).sum(),
+        workloads: rows,
+    };
+
+    let mut text = format!(
+        "Perf trajectory ({} SMs, {} host cores, {} rep(s))\n\
+         {:<12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}\n",
+        dev.num_sms, host_cores, reps, "workload", "cycles", "serial", "heap", "par", "x_par", "x_heap",
+    );
+    for r in &doc.workloads {
+        text.push_str(&format!(
+            "{:<12} {:>12} {:>9.1}ms {:>9.1}ms {:>9.1}ms {:>7.2}x {:>7.2}x\n",
+            r.name,
+            r.cycles,
+            r.serial.wall_ms,
+            r.heap_serial.wall_ms,
+            r.parallel.wall_ms,
+            r.speedup_parallel_over_serial,
+            r.speedup_heap_over_scan,
+        ));
+    }
+    text.push_str(&format!(
+        "geomean speedup: parallel/serial {:.2}x, heap/scan {:.2}x; warm-cache recompiles: {}\n",
+        doc.geomean_speedup_parallel_over_serial,
+        doc.geomean_speedup_heap_over_scan,
+        doc.warm_cache_recompiles,
+    ));
+
+    let data = serde_json::to_value(&doc).expect("perf doc serializes");
+    let fig = Figure::new("perf", text, data);
+    orion_bench::emit(&fig).expect("write BENCH_perf.json");
+
+    if failed {
+        std::process::exit(2);
+    }
+}

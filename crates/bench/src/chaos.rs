@@ -90,6 +90,7 @@ fn opts(extra_smem: u32) -> LaunchOptions {
         extra_smem_per_block: extra_smem,
         cta_range: None,
         cycle_budget: None,
+        ..LaunchOptions::default()
     }
 }
 

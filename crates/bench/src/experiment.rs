@@ -73,6 +73,7 @@ pub fn run_version_once(
             extra_smem_per_block: v.extra_smem,
             cta_range: None,
             cycle_budget: None,
+            ..LaunchOptions::default()
         },
     )
 }
@@ -198,6 +199,7 @@ fn orion_select_impl(
                 extra_smem_per_block: v.extra_smem,
                 cta_range: None,
                 cycle_budget: None,
+                ..LaunchOptions::default()
             },
         )
         .map(|r| r.cycles)

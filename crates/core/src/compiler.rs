@@ -20,7 +20,8 @@
 
 use crate::budget::{budget_for_warps, smem_padding_for_warps};
 use crate::error::OrionError;
-use orion_alloc::realize::{allocate, kernel_max_live, AllocOptions, AllocReport, SlotBudget};
+use crate::cache::allocate_cached;
+use orion_alloc::realize::{kernel_max_live, AllocOptions, AllocReport, SlotBudget};
 use orion_gpusim::device::DeviceSpec;
 use orion_gpusim::occupancy::{occupancy, KernelResources};
 use orion_kir::function::Module;
@@ -130,7 +131,7 @@ fn compile_at(
     extra_smem: u32,
     label: String,
 ) -> Result<KernelVersion, OrionError> {
-    let alloc = allocate(module, budget, &AllocOptions::default())?;
+    let alloc = allocate_cached(module, budget, &AllocOptions::default())?;
     let res = KernelResources {
         regs_per_thread: alloc.machine.regs_per_thread,
         smem_per_block: alloc.machine.smem_bytes_per_block(block) + extra_smem,

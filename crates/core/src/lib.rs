@@ -55,6 +55,7 @@
 //! ```
 
 pub mod budget;
+pub mod cache;
 pub mod compiler;
 pub mod error;
 pub mod orion;
@@ -62,6 +63,7 @@ pub mod resilient;
 pub mod runtime;
 pub mod splitting;
 
+pub use cache::{allocate_cached, CompileCacheStats};
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
 pub use error::{ErrorContext, OrionError};
 pub use orion::Orion;

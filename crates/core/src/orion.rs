@@ -5,7 +5,8 @@
 use crate::budget::{budget_for_warps, smem_padding_for_warps};
 use crate::compiler::{compile, CompiledKernel, KernelVersion, TuningConfig};
 use crate::error::OrionError;
-use orion_alloc::realize::{allocate, kernel_max_live, AllocOptions, SlotBudget};
+use crate::cache::allocate_cached;
+use orion_alloc::realize::{kernel_max_live, AllocOptions, SlotBudget};
 use orion_gpusim::device::DeviceSpec;
 use orion_gpusim::exec::Launch;
 use orion_gpusim::occupancy::{occupancy, KernelResources};
@@ -47,7 +48,7 @@ impl Orion {
         orion_kir::verify::verify(module)?;
         let max_live = kernel_max_live(module)?;
         let regs = (max_live.min(u32::from(self.dev.max_regs_per_thread)) as u16).max(2);
-        let alloc = allocate(
+        let alloc = allocate_cached(
             module,
             SlotBudget { reg_slots: regs, smem_slots: 0 },
             &AllocOptions::default(),
@@ -87,7 +88,7 @@ impl Orion {
             if let Some(budget) =
                 budget_for_warps(&self.dev, self.cfg.block, module.user_smem_bytes, w)
             {
-                let alloc = allocate(module, budget, &AllocOptions::default())?;
+                let alloc = allocate_cached(module, budget, &AllocOptions::default())?;
                 let mut res = KernelResources {
                     regs_per_thread: alloc.machine.regs_per_thread,
                     smem_per_block: alloc.machine.smem_bytes_per_block(self.cfg.block),
@@ -150,6 +151,7 @@ impl Orion {
                 extra_smem_per_block: version.extra_smem,
                 cta_range: None,
                 cycle_budget: None,
+                ..LaunchOptions::default()
             },
         )?)
     }

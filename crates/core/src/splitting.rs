@@ -33,6 +33,7 @@ pub fn piece_options(range: (u32, u32), extra_smem: u32) -> LaunchOptions {
         extra_smem_per_block: extra_smem,
         cta_range: Some(range),
         cycle_budget: None,
+        ..LaunchOptions::default()
     }
 }
 

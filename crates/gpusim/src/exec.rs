@@ -162,6 +162,29 @@ impl StallStats {
     }
 }
 
+/// Warp-scheduler implementation for the per-SM engine.
+///
+/// Both schedulers realize the same **total order**: among runnable
+/// warps (not done, not at a barrier), issue the one minimizing the
+/// pair `(ready_cycle, warp_id)` lexicographically. The linear scan
+/// realizes it by keeping the *first* index on ties (its comparison is
+/// strict, `r < br`); the event heap realizes it by keying its entries
+/// on exactly `(ready_cycle, warp_id)`. Results are therefore
+/// bit-identical; a debug assertion cross-checks the heap's pick
+/// against the reference scan on every issue, and
+/// `tests/schedule.rs` pins the equivalence end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Monotone ready-queue: a `BinaryHeap` keyed on
+    /// `(ready_cycle, warp_id)` with lazy invalidation. O(log W) per
+    /// issue instead of O(W).
+    #[default]
+    EventHeap,
+    /// The seed engine's O(W) per-issue scan, kept as the reference
+    /// implementation for perf baselines and equivalence tests.
+    LinearScan,
+}
+
 /// Why a warp's earliest-ready time is what it is — the binding
 /// constraint used to classify scheduling gaps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,6 +301,14 @@ struct Warp {
     onchip_mem: Vec<bool>,
     local_ready: Vec<u64>,
     pred_ready: [u64; NUM_PRED_REGS as usize],
+    /// Generation of this warp's latest ready-queue entry; older heap
+    /// entries are lazily discarded on pop (ready times are monotone,
+    /// so the latest push is the only live one).
+    sched_gen: u64,
+    /// Binding constraint cached at the latest ready-queue push (the
+    /// `Wait` half of `warp_ready_info` at that instant; the warp has
+    /// not mutated since, or it would have been re-pushed).
+    ready_why: Wait,
 }
 
 struct Cta {
@@ -287,6 +318,21 @@ struct Cta {
     warps_left: usize,
     /// Cycle at which this CTA was admitted (telemetry timeline).
     admitted_at: u64,
+}
+
+/// Free-pools recycling the per-CTA/per-warp buffers as CTAs retire:
+/// after warm-up the engine allocates nothing per admitted block, so a
+/// launch's allocation cost is bounded by its residency, not its grid.
+#[derive(Default)]
+struct Scratch {
+    /// Retired CTA lane tables (each lane keeps its own vectors).
+    lanes: Vec<Vec<LaneState>>,
+    /// Retired CTA user shared-memory buffers.
+    shared: Vec<Vec<u8>>,
+    /// Retired warp readiness scoreboards (`onchip_ready`/`local_ready`).
+    ready_words: Vec<Vec<u64>>,
+    /// Retired warp provenance bitmaps (`onchip_mem`).
+    ready_flags: Vec<Vec<bool>>,
 }
 
 /// One SM's execution of its share of the grid.
@@ -321,6 +367,12 @@ pub(crate) struct SmEngine<'m, 'g> {
     /// pushed past the cycle budget, so the launch can only end via the
     /// watchdog — a deterministic stand-in for a stuck-warp hang).
     stuck_warp: bool,
+    /// Warp-scheduler implementation (bit-identical alternatives).
+    scheduler: Scheduler,
+    /// Resident-CTA limit of the current launch (per-warp-slot rollup).
+    residency: u32,
+    /// Recycled per-CTA/per-warp buffers.
+    scratch: Scratch,
 }
 
 /// Per-launch safety/fault knobs threaded from the launch path into
@@ -333,6 +385,8 @@ pub struct EngineGuards {
     pub cycle_budget: u64,
     /// Injected hang: wedge the first admitted warp past the budget.
     pub stuck_warp: bool,
+    /// Warp-scheduler implementation.
+    pub scheduler: Scheduler,
 }
 
 impl<'m, 'g> SmEngine<'m, 'g> {
@@ -368,14 +422,18 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             steps_left: guards.step_limit,
             cycle_budget: guards.cycle_budget,
             stuck_warp: guards.stuck_warp,
+            scheduler: guards.scheduler,
+            residency: 1,
+            scratch: Scratch::default(),
         }
     }
 
     /// Run `blocks` (grid indices) with at most `residency` concurrent
     /// CTAs; returns the completion cycle.
     pub fn run(&mut self, blocks: &[u32], residency: u32) -> Result<u64, SimError> {
+        self.residency = residency;
         let mut pending = blocks.iter().copied();
-        let mut ctas: Vec<Cta> = Vec::new();
+        let mut ctas: Vec<Cta> = Vec::with_capacity(residency as usize);
         let mut warps: Vec<Warp> = Vec::new();
         // Seed initial residency.
         for _ in 0..residency {
@@ -384,131 +442,16 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             }
         }
         // Injected hang: wedge the first warp past the cycle budget so
-        // the launch can only terminate through the watchdog below.
+        // the launch can only terminate through the watchdog.
         if self.stuck_warp {
             if let Some(w) = warps.first_mut() {
                 w.next_free = self.cycle_budget.saturating_add(1);
                 w.free_reason = Wait::Mem;
             }
         }
-        loop {
-            // Pick the runnable warp with the earliest ready time.
-            let mut best: Option<(u64, usize, Wait)> = None;
-            for (i, w) in warps.iter().enumerate() {
-                if w.done || w.at_barrier {
-                    continue;
-                }
-                let (r, why) = self.warp_ready_info(w);
-                if best.is_none_or(|(br, _, _)| r < br) {
-                    best = Some((r, i, why));
-                }
-            }
-            let Some((ready, wi, wait)) = best else {
-                // No runnable warps: all done, or all at barriers (which
-                // release eagerly), or deadlock.
-                if warps.iter().all(|w| w.done) {
-                    break;
-                }
-                return Err(SimError::Deadlock);
-            };
-            if self.steps_left == 0 {
-                return Err(SimError::StepLimit);
-            }
-            self.steps_left -= 1;
-            // Watchdog: a warp whose earliest ready time lies beyond the
-            // cycle budget will never issue within it — the launch is
-            // hung (injected stuck warp, or a genuinely runaway stall).
-            // Bail out instead of simulating forever.
-            if ready.max(self.cur_cycle) > self.cycle_budget {
-                return Err(SimError::Watchdog { budget: self.cycle_budget });
-            }
-            // Issue-slot bookkeeping: `schedulers_per_sm` issues/cycle.
-            let mut t = ready.max(self.cur_cycle);
-            if t > self.cur_cycle {
-                self.cur_cycle = t;
-                self.issued_this_cycle = 0;
-            }
-            if self.issued_this_cycle >= self.dev.schedulers_per_sm {
-                self.cur_cycle += 1;
-                self.issued_this_cycle = 0;
-                t = self.cur_cycle;
-            }
-            self.issued_this_cycle += 1;
-
-            // Stall attribution: charge the un-issued gap up to `t` to
-            // the binding constraint of the warp we are about to issue,
-            // then mark cycle `t` itself as an issue cycle.
-            if t >= self.acct_cursor {
-                let gap = t - self.acct_cursor;
-                if gap > 0 {
-                    match wait {
-                        Wait::Barrier => self.stats.stalls.barrier += gap,
-                        Wait::Mem => self.stats.stalls.mem_pending += gap,
-                        Wait::Pipeline | Wait::Raw => self.stats.stalls.scoreboard += gap,
-                    }
-                }
-                self.stats.stalls.issued += 1;
-                self.acct_cursor = t + 1;
-            }
-            // Per-warp-slot rollup: hardware slots are recycled as CTAs
-            // retire, so key by (resident slot, warp-in-block).
-            let slot = (warps[wi].cta % residency.max(1) as usize)
-                * self.warps_per_block as usize
-                + warps[wi].warp_in_block as usize;
-            if slot >= self.per_warp_issued.len() {
-                self.per_warp_issued.resize(slot + 1, 0);
-            }
-            self.per_warp_issued[slot] += 1;
-
-            self.step_warp(&mut warps, wi, &mut ctas, t)?;
-
-            // Barrier release: if every live warp of the CTA is waiting.
-            let cta = warps[wi].cta;
-            if warps[wi].at_barrier {
-                let all = warps
-                    .iter()
-                    .filter(|w| w.cta == cta && !w.done)
-                    .all(|w| w.at_barrier);
-                if all {
-                    let release = warps
-                        .iter()
-                        .filter(|w| w.cta == cta && !w.done)
-                        .map(|w| w.barrier_release)
-                        .max()
-                        .unwrap_or(t);
-                    for w in warps.iter_mut().filter(|w| w.cta == cta && !w.done) {
-                        w.at_barrier = false;
-                        w.next_free = w.next_free.max(release);
-                        w.free_reason = Wait::Barrier;
-                    }
-                }
-            }
-            // CTA completion: free its memory and admit the next block.
-            // (memory counters are folded into stats on exit below)
-            if warps[wi].done {
-                let c = warps[wi].cta;
-                ctas[c].warps_left -= 1;
-                if ctas[c].warps_left == 0 {
-                    ctas[c].lanes = Vec::new();
-                    ctas[c].shared = Vec::new();
-                    if orion_telemetry::is_enabled() {
-                        let begin = ctas[c].admitted_at;
-                        let end = self.last_event.max(t);
-                        orion_telemetry::complete(
-                            "sim",
-                            &format!("cta{}", ctas[c].grid_idx),
-                            self.sm_id,
-                            begin,
-                            end.saturating_sub(begin),
-                            vec![("grid_idx", ctas[c].grid_idx.into())],
-                        );
-                    }
-                    if let Some(b) = pending.next() {
-                        let start = self.last_event.max(t);
-                        self.admit_cta(&mut ctas, &mut warps, b, start);
-                    }
-                }
-            }
+        match self.scheduler {
+            Scheduler::EventHeap => self.run_heap(&mut pending, &mut ctas, &mut warps)?,
+            Scheduler::LinearScan => self.run_scan(&mut pending, &mut ctas, &mut warps)?,
         }
         self.stats.mem = self.mem.stats;
         // Close the per-SM accounting: everything between the last issue
@@ -524,19 +467,287 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         Ok(end)
     }
 
-    fn admit_cta(&self, ctas: &mut Vec<Cta>, warps: &mut Vec<Warp>, grid_idx: u32, start: u64) {
+    /// Reference scheduler: O(W) scan for the runnable warp minimizing
+    /// `(ready_cycle, warp_id)` — the strict `r < br` comparison keeps
+    /// the first (lowest-id) warp on ready-time ties, which is exactly
+    /// the lexicographic order the event heap reproduces.
+    fn scan_best(&self, warps: &[Warp]) -> Option<(u64, usize, Wait)> {
+        let mut best: Option<(u64, usize, Wait)> = None;
+        for (i, w) in warps.iter().enumerate() {
+            if w.done || w.at_barrier {
+                continue;
+            }
+            let (r, why) = self.warp_ready_info(w);
+            if best.is_none_or(|(br, _, _)| r < br) {
+                best = Some((r, i, why));
+            }
+        }
+        best
+    }
+
+    fn run_scan<I: Iterator<Item = u32>>(
+        &mut self,
+        pending: &mut I,
+        ctas: &mut Vec<Cta>,
+        warps: &mut Vec<Warp>,
+    ) -> Result<(), SimError> {
+        let mut touched: Vec<usize> = Vec::new();
+        loop {
+            let Some((ready, wi, wait)) = self.scan_best(warps) else {
+                // No runnable warps: all done, or all at barriers (which
+                // release eagerly), or deadlock.
+                if warps.iter().all(|w| w.done) {
+                    return Ok(());
+                }
+                return Err(SimError::Deadlock);
+            };
+            touched.clear();
+            self.issue_at(pending, ctas, warps, wi, ready, wait, &mut touched)?;
+        }
+    }
+
+    /// Push warp `i` into the ready-queue with its current ready time.
+    /// Ready times are monotone (a warp's earliest issue cycle never
+    /// moves backwards), so stale entries are recognized on pop by a
+    /// per-warp generation counter instead of being removed eagerly.
+    fn heap_push(
+        &self,
+        heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32, u64)>>,
+        warps: &mut [Warp],
+        i: usize,
+    ) {
+        if warps[i].done || warps[i].at_barrier {
+            return;
+        }
+        let (r, why) = self.warp_ready_info(&warps[i]);
+        let w = &mut warps[i];
+        w.ready_why = why;
+        w.sched_gen += 1;
+        heap.push(std::cmp::Reverse((r, i as u32, w.sched_gen)));
+    }
+
+    fn run_heap<I: Iterator<Item = u32>>(
+        &mut self,
+        pending: &mut I,
+        ctas: &mut Vec<Cta>,
+        warps: &mut Vec<Warp>,
+    ) -> Result<(), SimError> {
+        use std::cmp::Reverse;
+        // Invariant: every runnable warp has exactly one *live* entry
+        // (matching its `sched_gen`); every state change that can move a
+        // warp's ready time lands its index in `touched`, which re-pushes
+        // with a bumped generation. Dead entries pop in front of their
+        // replacement (ready times only grow) and are discarded.
+        let mut heap: std::collections::BinaryHeap<Reverse<(u64, u32, u64)>> =
+            std::collections::BinaryHeap::with_capacity(warps.len() + 1);
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..warps.len() {
+            self.heap_push(&mut heap, warps, i);
+        }
+        loop {
+            let Some(Reverse((ready, id, gen))) = heap.pop() else {
+                // Queue drained with no runnable warp left — same
+                // terminal condition as the reference scan.
+                if warps.iter().all(|w| w.done) {
+                    return Ok(());
+                }
+                return Err(SimError::Deadlock);
+            };
+            let wi = id as usize;
+            if warps[wi].done || warps[wi].at_barrier || gen != warps[wi].sched_gen {
+                continue; // dead entry (lazy deletion)
+            }
+            let wait = warps[wi].ready_why;
+            #[cfg(debug_assertions)]
+            {
+                // The heap must reproduce the reference scan's
+                // `(ready, warp_id)` total order pick for pick.
+                let reference = self.scan_best(warps);
+                debug_assert_eq!(
+                    reference,
+                    Some((ready, wi, wait)),
+                    "event heap diverged from the reference scan order"
+                );
+            }
+            touched.clear();
+            self.issue_at(pending, ctas, warps, wi, ready, wait, &mut touched)?;
+            for &k in &touched {
+                self.heap_push(&mut heap, warps, k);
+            }
+        }
+    }
+
+    /// One issue step: step-limit/watchdog guards, issue-slot and stall
+    /// bookkeeping, the warp step itself, then barrier release and CTA
+    /// retirement/admission. Indices of warps whose scheduling state
+    /// changed (beyond `wi` going done/to-barrier) are appended to
+    /// `touched` so the event heap can re-queue them; the scan scheduler
+    /// ignores the list.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_at<I: Iterator<Item = u32>>(
+        &mut self,
+        pending: &mut I,
+        ctas: &mut Vec<Cta>,
+        warps: &mut Vec<Warp>,
+        wi: usize,
+        ready: u64,
+        wait: Wait,
+        touched: &mut Vec<usize>,
+    ) -> Result<(), SimError> {
+        if self.steps_left == 0 {
+            return Err(SimError::StepLimit);
+        }
+        self.steps_left -= 1;
+        // Watchdog: a warp whose earliest ready time lies beyond the
+        // cycle budget will never issue within it — the launch is
+        // hung (injected stuck warp, or a genuinely runaway stall).
+        // Bail out instead of simulating forever.
+        if ready.max(self.cur_cycle) > self.cycle_budget {
+            return Err(SimError::Watchdog { budget: self.cycle_budget });
+        }
+        // Issue-slot bookkeeping: `schedulers_per_sm` issues/cycle.
+        let mut t = ready.max(self.cur_cycle);
+        if t > self.cur_cycle {
+            self.cur_cycle = t;
+            self.issued_this_cycle = 0;
+        }
+        if self.issued_this_cycle >= self.dev.schedulers_per_sm {
+            self.cur_cycle += 1;
+            self.issued_this_cycle = 0;
+            t = self.cur_cycle;
+        }
+        self.issued_this_cycle += 1;
+
+        // Stall attribution: charge the un-issued gap up to `t` to
+        // the binding constraint of the warp we are about to issue,
+        // then mark cycle `t` itself as an issue cycle.
+        if t >= self.acct_cursor {
+            let gap = t - self.acct_cursor;
+            if gap > 0 {
+                match wait {
+                    Wait::Barrier => self.stats.stalls.barrier += gap,
+                    Wait::Mem => self.stats.stalls.mem_pending += gap,
+                    Wait::Pipeline | Wait::Raw => self.stats.stalls.scoreboard += gap,
+                }
+            }
+            self.stats.stalls.issued += 1;
+            self.acct_cursor = t + 1;
+        }
+        // Per-warp-slot rollup: hardware slots are recycled as CTAs
+        // retire, so key by (resident slot, warp-in-block).
+        let slot = (warps[wi].cta % self.residency.max(1) as usize)
+            * self.warps_per_block as usize
+            + warps[wi].warp_in_block as usize;
+        if slot >= self.per_warp_issued.len() {
+            self.per_warp_issued.resize(slot + 1, 0);
+        }
+        self.per_warp_issued[slot] += 1;
+
+        self.step_warp(warps, wi, ctas, t)?;
+
+        // Barrier release: if every live warp of the CTA is waiting.
+        let cta = warps[wi].cta;
+        if warps[wi].at_barrier {
+            let all = warps
+                .iter()
+                .filter(|w| w.cta == cta && !w.done)
+                .all(|w| w.at_barrier);
+            if all {
+                let release = warps
+                    .iter()
+                    .filter(|w| w.cta == cta && !w.done)
+                    .map(|w| w.barrier_release)
+                    .max()
+                    .unwrap_or(t);
+                for (i, w) in warps
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, w)| w.cta == cta && !w.done)
+                {
+                    w.at_barrier = false;
+                    w.next_free = w.next_free.max(release);
+                    w.free_reason = Wait::Barrier;
+                    if i != wi {
+                        touched.push(i);
+                    }
+                }
+            }
+        }
+        // CTA completion: recycle its memory and admit the next block.
+        // (memory counters are folded into stats on exit)
+        if warps[wi].done {
+            // The warp will never be scheduled again: recycle its
+            // readiness scoreboards.
+            let w = &mut warps[wi];
+            self.scratch.ready_words.push(std::mem::take(&mut w.onchip_ready));
+            self.scratch.ready_words.push(std::mem::take(&mut w.local_ready));
+            self.scratch.ready_flags.push(std::mem::take(&mut w.onchip_mem));
+            let c = warps[wi].cta;
+            ctas[c].warps_left -= 1;
+            if ctas[c].warps_left == 0 {
+                if orion_telemetry::is_enabled() {
+                    let begin = ctas[c].admitted_at;
+                    let end = self.last_event.max(t);
+                    orion_telemetry::complete(
+                        "sim",
+                        &format!("cta{}", ctas[c].grid_idx),
+                        self.sm_id,
+                        begin,
+                        end.saturating_sub(begin),
+                        vec![("grid_idx", ctas[c].grid_idx.into())],
+                    );
+                }
+                self.scratch.lanes.push(std::mem::take(&mut ctas[c].lanes));
+                self.scratch.shared.push(std::mem::take(&mut ctas[c].shared));
+                if let Some(b) = pending.next() {
+                    let start = self.last_event.max(t);
+                    let first_new = warps.len();
+                    self.admit_cta(ctas, warps, b, start);
+                    for i in first_new..warps.len() {
+                        touched.push(i);
+                    }
+                }
+            }
+        } else if !warps[wi].at_barrier {
+            touched.push(wi);
+        }
+        Ok(())
+    }
+
+    /// Pop a recycled buffer (or a fresh one) and reset it to `n`
+    /// zeroed/default entries.
+    fn recycled<T: Clone + Default>(pool: &mut Vec<Vec<T>>, n: usize) -> Vec<T> {
+        let mut v = pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, T::default());
+        v
+    }
+
+    fn admit_cta(&mut self, ctas: &mut Vec<Cta>, warps: &mut Vec<Warp>, grid_idx: u32, start: u64) {
         let cta_slot = ctas.len();
-        let lanes = (0..self.launch.block.max(1))
-            .map(|_| LaneState {
+        let block = self.launch.block.max(1) as usize;
+        let mut lanes = self.scratch.lanes.pop().unwrap_or_default();
+        lanes.truncate(block);
+        for lane in &mut lanes {
+            lane.onchip.clear();
+            lane.onchip.resize(self.onchip_words, 0);
+            lane.local.clear();
+            lane.local.resize(self.local_words * 4, 0);
+            lane.preds = [false; NUM_PRED_REGS as usize];
+        }
+        while lanes.len() < block {
+            lanes.push(LaneState {
                 onchip: vec![0u32; self.onchip_words],
                 local: vec![0u8; self.local_words * 4],
                 preds: [false; NUM_PRED_REGS as usize],
-            })
-            .collect();
+            });
+        }
+        let smem = self.prog.module.user_smem_bytes as usize;
+        let shared = Self::recycled(&mut self.scratch.shared, smem);
         ctas.push(Cta {
             grid_idx,
             lanes,
-            shared: vec![0u8; self.prog.module.user_smem_bytes as usize],
+            shared,
             warps_left: self.warps_per_block as usize,
             admitted_at: start,
         });
@@ -547,6 +758,9 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             } else {
                 (1u32 << lanes_in_warp) - 1
             };
+            let onchip_ready = Self::recycled(&mut self.scratch.ready_words, self.onchip_words);
+            let local_ready = Self::recycled(&mut self.scratch.ready_words, self.local_words);
+            let onchip_mem = Self::recycled(&mut self.scratch.ready_flags, self.onchip_words);
             warps.push(Warp {
                 cta: cta_slot,
                 warp_in_block: w,
@@ -565,10 +779,12 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 barrier_release: 0,
                 next_free: start,
                 free_reason: Wait::Pipeline,
-                onchip_ready: vec![0; self.onchip_words],
-                onchip_mem: vec![false; self.onchip_words],
-                local_ready: vec![0; self.local_words],
+                onchip_ready,
+                onchip_mem,
+                local_ready,
                 pred_ready: [0; NUM_PRED_REGS as usize],
+                sched_gen: 0,
+                ready_why: Wait::Pipeline,
             });
         }
     }

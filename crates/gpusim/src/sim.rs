@@ -2,7 +2,9 @@
 //! engine, and aggregate cycles and counters.
 
 use crate::device::DeviceSpec;
-use crate::exec::{Launch, LinkedProgram, SimError, SimStats, SmEngine, StallStats};
+use crate::exec::{
+    EngineGuards, Launch, LinkedProgram, Scheduler, SimError, SimStats, SmEngine, StallStats,
+};
 use crate::faults::FaultInjector;
 use crate::occupancy::{occupancy, KernelResources, OccupancyInfo};
 use orion_kir::mir::MModule;
@@ -28,6 +30,18 @@ pub struct LaunchOptions {
     /// the budget fails with [`SimError::Watchdog`] instead of running
     /// (or hanging) forever.
     pub cycle_budget: Option<u64>,
+    /// Worker threads running the per-SM engines: `0` (the default)
+    /// means one worker per available host core, `1` is the exact
+    /// single-threaded path (engines run in sm-id order over the shared
+    /// global buffer), `N > 1` fans SMs out over `N` scoped threads.
+    /// Always clamped to the device's SM count. Results are
+    /// bit-identical at every setting for conforming kernels (CUDA
+    /// forbids inter-block communication within a launch).
+    pub parallelism: u32,
+    /// Warp-scheduler implementation for each SM engine; the default
+    /// event heap and the reference linear scan are bit-identical (see
+    /// [`Scheduler`]).
+    pub scheduler: Scheduler,
 }
 
 /// Per-SM execution summary for one launch.
@@ -148,8 +162,10 @@ pub fn resources_of(m: &MModule, block: u32) -> KernelResources {
 /// Simulate one kernel launch of `module` on `dev`.
 ///
 /// Blocks are assigned to SMs round-robin; each SM simulates its share
-/// with the residency the occupancy calculator allows. SMs run over the
-/// same global memory sequentially (CUDA forbids inter-block
+/// with the residency the occupancy calculator allows. SMs may run on
+/// worker threads ([`LaunchOptions::parallelism`]), with their global
+/// memory writes merged back in SM-id order — observationally identical
+/// to running them one after another (CUDA forbids inter-block
 /// communication within a launch, so values are engine-order
 /// independent for conforming kernels).
 ///
@@ -286,61 +302,75 @@ fn run_launch_impl(
     };
     let prog = LinkedProgram::new(module);
     let _span = orion_telemetry::span("sim", "run_launch");
-    let mut cycles = 0u64;
-    let mut per_sm: Vec<SmSummary> = Vec::with_capacity(dev.num_sms as usize);
-    let mut engine_stats: Vec<SimStats> = Vec::with_capacity(dev.num_sms as usize);
-    for sm in 0..dev.num_sms {
-        let blocks: Vec<u32> = (first..first + count)
-            .filter(|b| b % dev.num_sms == sm)
-            .collect();
-        if blocks.is_empty() {
-            per_sm.push(SmSummary {
-                sm,
-                blocks: 0,
-                cycles: 0,
-                warp_insts: 0,
-                per_warp_slot_issued: Vec::new(),
-                stalls: StallStats::default(),
-            });
-            engine_stats.push(SimStats::default());
-            continue;
+    // Partition the grid over SMs once, round-robin (block b lands on
+    // SM b % num_sms, same assignment the per-SM filter used to make).
+    let mut partition: Vec<Vec<u32>> = vec![Vec::new(); dev.num_sms as usize];
+    for b in first..first + count {
+        partition[(b % dev.num_sms) as usize].push(b);
+    }
+    let guards_for = |sm: u32| EngineGuards {
+        step_limit: DEFAULT_STEP_LIMIT,
+        cycle_budget: opts.cycle_budget.unwrap_or(DEFAULT_CYCLE_BUDGET),
+        // A hang wedges one warp on SM 0; the other SMs' results
+        // are discarded with the failed launch either way.
+        stuck_warp: stuck_warp && sm == 0,
+        scheduler: opts.scheduler,
+    };
+    let workers = effective_workers(opts.parallelism, dev.num_sms);
+    let outcomes: Vec<Option<SmRun>> = if workers <= 1 {
+        let mut v: Vec<Option<SmRun>> = Vec::with_capacity(dev.num_sms as usize);
+        for sm in 0..dev.num_sms {
+            let blocks = &partition[sm as usize];
+            if blocks.is_empty() {
+                v.push(None);
+                continue;
+            }
+            let mut engine =
+                SmEngine::new(dev, &prog, launch, params, global, sm, guards_for(sm));
+            let c = engine.run(blocks, occ.active_blocks)?;
+            v.push(Some(SmRun {
+                cycles: c,
+                stats: engine.stats,
+                per_warp: std::mem::take(&mut engine.per_warp_issued),
+            }));
         }
-        let mut engine = SmEngine::new(
+        v
+    } else {
+        run_sms_parallel(
             dev,
             &prog,
             launch,
             params,
             global,
-            sm,
-            crate::exec::EngineGuards {
-                step_limit: DEFAULT_STEP_LIMIT,
-                cycle_budget: opts.cycle_budget.unwrap_or(DEFAULT_CYCLE_BUDGET),
-                // A hang wedges one warp on SM 0; the other SMs' results
-                // are discarded with the failed launch either way.
-                stuck_warp: stuck_warp && sm == 0,
-            },
-        );
-        let c = engine.run(&blocks, occ.active_blocks)?;
-        cycles = cycles.max(c);
-        per_sm.push(SmSummary {
-            sm,
-            blocks: blocks.len() as u32,
-            cycles: c,
-            warp_insts: engine.stats.warp_insts,
-            per_warp_slot_issued: std::mem::take(&mut engine.per_warp_issued),
-            stalls: StallStats::default(), // filled after padding below
-        });
-        engine_stats.push(engine.stats);
-    }
+            &partition,
+            occ.active_blocks,
+            workers,
+            &guards_for,
+        )?
+    };
     // Pad each SM's accounting out to the device completion time: an SM
     // that finished (or never started) while others kept running had no
     // eligible warp for the remainder. After this, the aggregate buckets
-    // sum to exactly `cycles * num_sms`.
+    // sum to exactly `cycles * num_sms`. Summaries merge in sm-id order
+    // regardless of which worker ran which SM.
+    let cycles = outcomes.iter().flatten().map(|o| o.cycles).max().unwrap_or(0);
     let mut stats = SimStats::default();
-    for (summary, mut s) in per_sm.iter_mut().zip(engine_stats) {
-        s.stalls.no_eligible += cycles - summary.cycles;
-        summary.stalls = s.stalls;
+    let mut per_sm: Vec<SmSummary> = Vec::with_capacity(dev.num_sms as usize);
+    for (sm, outcome) in outcomes.into_iter().enumerate() {
+        let (mut s, c, nblocks, per_warp) = match outcome {
+            Some(o) => (o.stats, o.cycles, partition[sm].len() as u32, o.per_warp),
+            None => (SimStats::default(), 0, 0, Vec::new()),
+        };
+        s.stalls.no_eligible += cycles - c;
         stats.absorb(&s);
+        let summary = SmSummary {
+            sm: sm as u32,
+            blocks: nblocks,
+            cycles: c,
+            warp_insts: s.warp_insts,
+            per_warp_slot_issued: per_warp,
+            stalls: s.stalls,
+        };
         if orion_telemetry::is_enabled() {
             orion_telemetry::complete(
                 "sim",
@@ -354,6 +384,7 @@ fn run_launch_impl(
                 ],
             );
         }
+        per_sm.push(summary);
     }
     debug_assert_eq!(
         stats.stalls.total(),
@@ -368,6 +399,138 @@ fn run_launch_impl(
         num_sms: dev.num_sms,
         per_sm,
     })
+}
+
+/// What one SM engine produced for one launch (before device-level
+/// padding/merging).
+struct SmRun {
+    cycles: u64,
+    stats: SimStats,
+    per_warp: Vec<u64>,
+}
+
+/// Resolve `LaunchOptions::parallelism` into a worker count: `0` means
+/// one worker per available host core; always clamped to `[1, num_sms]`
+/// (more workers than SMs would idle).
+fn effective_workers(parallelism: u32, num_sms: u32) -> u32 {
+    let requested = if parallelism == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get() as u32)
+    } else {
+        parallelism
+    };
+    requested.clamp(1, num_sms.max(1))
+}
+
+/// The byte ranges an engine wrote, as `(offset, new bytes)` runs
+/// against the pristine pre-launch buffer.
+type WriteRuns = Vec<(usize, Vec<u8>)>;
+
+fn diff_runs(base: &[u8], new: &[u8]) -> WriteRuns {
+    debug_assert_eq!(base.len(), new.len());
+    let mut runs = WriteRuns::new();
+    let mut i = 0;
+    while i < base.len() {
+        if base[i] == new[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < base.len() && base[i] != new[i] {
+            i += 1;
+        }
+        runs.push((start, new[start..i].to_vec()));
+    }
+    runs
+}
+
+fn apply_runs(global: &mut [u8], runs: &WriteRuns) {
+    for (start, bytes) in runs {
+        global[*start..*start + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+/// Fan the per-SM engines out over `workers` scoped threads.
+///
+/// Each worker owns a private copy of the pristine global buffer,
+/// reset per SM, and reports the byte runs its SMs wrote; the caller's
+/// buffer is untouched until every engine has finished, then the runs
+/// are applied in sm-id order — reproducing the serial engine order
+/// exactly. On failure, serial semantics are preserved the same way:
+/// the lowest-sm-id error wins, writes of the SMs before it (plus the
+/// failing SM's partial writes) land, and later SMs' work is discarded.
+#[allow(clippy::too_many_arguments)]
+fn run_sms_parallel(
+    dev: &DeviceSpec,
+    prog: &LinkedProgram,
+    launch: Launch,
+    params: &[u32],
+    global: &mut [u8],
+    partition: &[Vec<u32>],
+    residency: u32,
+    workers: u32,
+    guards_for: &(dyn Fn(u32) -> EngineGuards + Sync),
+) -> Result<Vec<Option<SmRun>>, SimError> {
+    let num_sms = dev.num_sms as usize;
+    let mut results: Vec<Option<(Result<SmRun, SimError>, WriteRuns)>> =
+        (0..num_sms).map(|_| None).collect();
+    {
+        let pristine: &[u8] = global;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers as usize);
+            for k in 0..workers as usize {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut buf: Vec<u8> = Vec::new();
+                    for sm in (k..num_sms).step_by(workers as usize) {
+                        if partition[sm].is_empty() {
+                            continue;
+                        }
+                        buf.clear();
+                        buf.extend_from_slice(pristine);
+                        let mut engine = SmEngine::new(
+                            dev,
+                            prog,
+                            launch,
+                            params,
+                            &mut buf,
+                            sm as u32,
+                            guards_for(sm as u32),
+                        );
+                        let r = engine.run(&partition[sm], residency);
+                        let stats = engine.stats;
+                        let per_warp = std::mem::take(&mut engine.per_warp_issued);
+                        drop(engine);
+                        let runs = diff_runs(pristine, &buf);
+                        let run = r.map(|c| SmRun { cycles: c, stats, per_warp });
+                        out.push((sm, run, runs));
+                    }
+                    out
+                }));
+            }
+            for handle in handles {
+                for (sm, run, runs) in handle.join().expect("sim worker panicked") {
+                    results[sm] = Some((run, runs));
+                }
+            }
+        });
+    }
+    let mut outcomes: Vec<Option<SmRun>> = Vec::with_capacity(num_sms);
+    for slot in &mut results {
+        match slot.take() {
+            None => outcomes.push(None),
+            Some((Ok(run), runs)) => {
+                apply_runs(global, &runs);
+                outcomes.push(Some(run));
+            }
+            Some((Err(e), runs)) => {
+                // The failing SM's partial writes land, like a serial
+                // engine erroring mid-run.
+                apply_runs(global, &runs);
+                return Err(e);
+            }
+        }
+    }
+    Ok(outcomes)
 }
 
 impl SimStats {

@@ -1,0 +1,186 @@
+//! Scheduler-equivalence and fan-out determinism regressions.
+//!
+//! The engine defines one scheduling total order — issue the runnable
+//! warp minimizing `(ready_cycle, warp_id)` lexicographically — and two
+//! implementations of it (the reference linear scan, whose strict
+//! `r < br` comparison keeps the first index on ties, and the event
+//! heap keyed on exactly that pair). These tests pin that the
+//! implementations, and the serial/parallel SM fan-out, are
+//! bit-identical: same cycles, same stall buckets, same per-SM rollups,
+//! same global memory bytes.
+
+use orion_alloc::realize::{allocate, AllocOptions, SlotBudget};
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::exec::Launch;
+use orion_gpusim::sim::{run_launch_opts, LaunchOptions, RunResult};
+use orion_gpusim::Scheduler;
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::function::Module;
+use orion_kir::mir::MModule;
+use orion_kir::inst::Operand;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+fn compile(m: &Module, regs: u16, smem: u16) -> MModule {
+    allocate(m, SlotBudget { reg_slots: regs, smem_slots: smem }, &AllocOptions::default())
+        .unwrap()
+        .machine
+}
+
+/// out[gid] = f(in[gid]) with dependent FMAs (latency-bound warps whose
+/// ready times interleave — plenty of scheduling ties to resolve).
+fn streaming_kernel(flops: usize) -> Module {
+    let mut b = FunctionBuilder::kernel("stream");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let mut acc = x;
+    for _ in 0..flops {
+        acc = b.ffma(acc, x, Operand::Imm(0x3f80_0000));
+    }
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, acc, 0);
+    Module::new(b.finish())
+}
+
+/// Shared-memory exchange across a barrier (exercises barrier release,
+/// where a whole CTA's warps re-enter the ready queue at once).
+fn barrier_kernel() -> Module {
+    let mut b = FunctionBuilder::kernel("barrier");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let saddr = b.imul(tid, Operand::Imm(4));
+    b.st(MemSpace::Shared, Width::W32, saddr, tid, 0);
+    b.bar();
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let last = b.isub(nt, Operand::Imm(1));
+    let ridx = b.isub(last, tid);
+    let raddr = b.imul(ridx, Operand::Imm(4));
+    let v = b.ld(MemSpace::Shared, Width::W32, raddr, 0);
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let gid = b.imad(cta, nt, tid);
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    b.st(MemSpace::Global, Width::W32, out, v, 0);
+    let mut m = Module::new(b.finish());
+    m.user_smem_bytes = 4 * 128;
+    m
+}
+
+fn run_with(
+    dev: &DeviceSpec,
+    machine: &MModule,
+    launch: Launch,
+    params: &[u32],
+    bytes: usize,
+    opts: LaunchOptions,
+) -> (RunResult, Vec<u8>) {
+    let mut global = vec![0u8; bytes];
+    let r = run_launch_opts(dev, machine, launch, params, &mut global, opts).unwrap();
+    (r, global)
+}
+
+/// Every (scheduler, parallelism) combination must agree bit-for-bit
+/// with the seed configuration (linear scan, single thread).
+fn assert_all_configs_identical(
+    dev: &DeviceSpec,
+    machine: &MModule,
+    launch: Launch,
+    params: &[u32],
+    bytes: usize,
+) {
+    let base = LaunchOptions { parallelism: 1, scheduler: Scheduler::LinearScan, ..LaunchOptions::default() };
+    let (reference, ref_global) = run_with(dev, machine, launch, params, bytes, base);
+    for scheduler in [Scheduler::LinearScan, Scheduler::EventHeap] {
+        for parallelism in [1u32, 2, 3, dev.num_sms] {
+            let opts = LaunchOptions { parallelism, scheduler, ..LaunchOptions::default() };
+            let (r, global) = run_with(dev, machine, launch, params, bytes, opts);
+            assert_eq!(
+                r, reference,
+                "{scheduler:?}/parallelism={parallelism} diverged from the seed configuration"
+            );
+            assert_eq!(
+                global, ref_global,
+                "{scheduler:?}/parallelism={parallelism} produced different memory"
+            );
+        }
+    }
+}
+
+#[test]
+fn heap_and_scan_agree_on_latency_bound_kernel() {
+    let dev = DeviceSpec::gtx680();
+    let machine = compile(&streaming_kernel(6), 16, 0);
+    let n = 256 * 24;
+    assert_all_configs_identical(
+        &dev,
+        &machine,
+        Launch { grid: 24, block: 256 },
+        &[0, 4 * n],
+        (8 * n) as usize,
+    );
+}
+
+#[test]
+fn heap_and_scan_agree_across_barriers() {
+    let dev = DeviceSpec::c2075();
+    let machine = compile(&barrier_kernel(), 16, 0);
+    let n = 128 * 6;
+    assert_all_configs_identical(
+        &dev,
+        &machine,
+        Launch { grid: 6, block: 128 },
+        &[0],
+        (4 * n) as usize,
+    );
+}
+
+#[test]
+fn heap_and_scan_agree_under_register_pressure() {
+    // A tight slot budget forces spills: local-memory (always "memory")
+    // readiness competes with ALU readiness, stressing the tie-break
+    // between `Wait` reasons that ride along with the ready time.
+    let dev = DeviceSpec::gtx680();
+    let machine = compile(&streaming_kernel(8), 4, 2);
+    let n = 128 * 16;
+    assert_all_configs_identical(
+        &dev,
+        &machine,
+        Launch { grid: 16, block: 128 },
+        &[0, 4 * n],
+        (8 * n) as usize,
+    );
+}
+
+#[test]
+fn errors_are_identical_across_fanout() {
+    // The output region is truncated so the first out-of-bounds store
+    // lands on SM 3 (block 3): whichever configuration runs it, the
+    // reported error AND the memory state must match the serial engine
+    // — SMs 0-2 ran to completion, SM 3's partial writes landed, and
+    // SMs 4+ (which the serial engine never reached) left no trace.
+    let dev = DeviceSpec::gtx680();
+    let machine = compile(&streaming_kernel(2), 16, 0);
+    let n = 256 * 16;
+    let launch = Launch { grid: 16, block: 256 };
+    let params = [0u32, 4 * n];
+    // Inputs need bytes [0, 16384); outputs start at 16384, so 20000
+    // bytes cuts the output region off inside block 3.
+    let bytes = 20000usize;
+    let base = LaunchOptions { parallelism: 1, scheduler: Scheduler::LinearScan, ..LaunchOptions::default() };
+    let mut ref_global = vec![0u8; bytes];
+    let reference =
+        run_launch_opts(&dev, &machine, launch, &params, &mut ref_global, base).unwrap_err();
+    for scheduler in [Scheduler::LinearScan, Scheduler::EventHeap] {
+        for parallelism in [2u32, dev.num_sms] {
+            let opts = LaunchOptions { parallelism, scheduler, ..LaunchOptions::default() };
+            let mut g = vec![0u8; bytes];
+            let err = run_launch_opts(&dev, &machine, launch, &params, &mut g, opts).unwrap_err();
+            assert_eq!(err, reference, "{scheduler:?}/parallelism={parallelism}");
+            assert_eq!(
+                g, ref_global,
+                "{scheduler:?}/parallelism={parallelism} left different memory after the error"
+            );
+        }
+    }
+}

@@ -259,6 +259,27 @@ impl Module {
             .map(|(i, f)| (FuncId(i as u32), f))
     }
 
+    /// A stable structural fingerprint of the module, for content-keyed
+    /// caches (workload builders construct a fresh `Module` per call, so
+    /// pointer identity is useless as a cache key). Hashes the complete
+    /// `Debug` rendering — which covers every instruction, operand, and
+    /// module attribute — through a streaming writer, so equal modules
+    /// always agree and distinct ones collide only with ~2^-64
+    /// probability.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        struct HashWriter(std::collections::hash_map::DefaultHasher);
+        impl std::fmt::Write for HashWriter {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
+        let mut w = HashWriter(std::collections::hash_map::DefaultHasher::new());
+        let _ = std::fmt::write(&mut w, format_args!("{self:?}"));
+        w.0.finish()
+    }
+
     /// Total static `Call` instructions across all functions — the
     /// "Func" column of the paper's Table 2.
     pub fn static_call_count(&self) -> usize {
