@@ -16,6 +16,7 @@
 //! the optimistic restart loop in the paper's pseudocode (`s = S`).
 
 use crate::interference::InterferenceGraph;
+use crate::realize::AllocError;
 use orion_kir::bitset::BitSet;
 
 /// Result of coloring one function's webs.
@@ -42,12 +43,18 @@ impl Coloring {
 ///
 /// Webs listed in `precolored` are fixed to the given slots (used for
 /// incoming parameter webs whose location the caller already chose).
+///
+/// # Errors
+/// Returns [`AllocError::Internal`] when the simplification worklist
+/// stalls with webs remaining — an invariant violation of the Fig. 4b
+/// selection loop (the optimistic fallback always finds a candidate on
+/// well-formed graphs).
 pub fn color(
     graph: &InterferenceGraph,
     budget: u16,
     base: u16,
     precolored: &[(usize, u16)],
-) -> Coloring {
+) -> Result<Coloring, AllocError> {
     let n = graph.len();
     let c = u32::from(budget);
     let mut slot_of: Vec<Option<u16>> = vec![None; n];
@@ -114,7 +121,11 @@ pub fn color(
                 }
             }
         }
-        let v = next.expect("nonempty graph");
+        let v = next.ok_or_else(|| {
+            AllocError::Internal(format!(
+                "coloring stage 1 stalled with {remaining} of {n} webs unstacked"
+            ))
+        })?;
         stack.push(v);
         removed.insert(v);
         remaining -= 1;
@@ -177,11 +188,11 @@ pub fn color(
         .filter_map(|(v, s)| s.map(|s| s + graph.width(v).words()))
         .max()
         .unwrap_or(0);
-    Coloring {
+    Ok(Coloring {
         slot_of,
         spilled,
         frame_size,
-    }
+    })
 }
 
 /// Validate a coloring: no two interfering webs overlap in slots, wide
@@ -246,7 +257,7 @@ mod tests {
     #[test]
     fn colors_clique_exactly() {
         let g = graph_for(6);
-        let col = color(&g, 8, 0, &[]);
+        let col = color(&g, 8, 0, &[]).unwrap();
         assert!(col.spilled.is_empty());
         validate(&g, 0, &col).unwrap();
     }
@@ -255,7 +266,7 @@ mod tests {
     fn spills_when_budget_too_small() {
         let g = graph_for(8);
         // 8 values + accumulator live together at the peak; 4 slots force spills.
-        let col = color(&g, 4, 0, &[]);
+        let col = color(&g, 4, 0, &[]).unwrap();
         assert!(!col.spilled.is_empty());
         validate(&g, 0, &col).unwrap();
         assert!(col.frame_size <= 4);
@@ -264,7 +275,7 @@ mod tests {
     #[test]
     fn frame_size_is_compact() {
         let g = graph_for(3);
-        let col = color(&g, 32, 0, &[]);
+        let col = color(&g, 32, 0, &[]).unwrap();
         // 3 sources + accumulator: at most 5 simultaneously live webs,
         // and the frame must not exceed the clique-ish demand.
         assert!(col.frame_size <= 5, "frame {}", col.frame_size);
@@ -295,7 +306,7 @@ mod tests {
         let live = Liveness::new(&f, &cfg);
         let g = InterferenceGraph::build(&f, &cfg, &live);
         for base in [0u16, 1, 2, 3] {
-            let col = color(&g, 16, base, &[]);
+            let col = color(&g, 16, base, &[]).unwrap();
             assert!(col.spilled.is_empty(), "base {base}");
             validate(&g, base, &col).unwrap();
         }
@@ -305,7 +316,7 @@ mod tests {
     fn precolored_respected() {
         let g = graph_for(3);
         // Fix web 0 at slot 7.
-        let col = color(&g, 16, 0, &[(0, 7)]);
+        let col = color(&g, 16, 0, &[(0, 7)]).unwrap();
         assert_eq!(col.slot_of[0], Some(7));
         validate(&g, 0, &col).unwrap();
     }
@@ -313,7 +324,7 @@ mod tests {
     #[test]
     fn zero_budget_spills_everything_live() {
         let g = graph_for(2);
-        let col = color(&g, 0, 0, &[]);
+        let col = color(&g, 0, 0, &[]).unwrap();
         assert_eq!(col.num_colored(), 0);
         assert_eq!(col.spilled.len(), g.len());
     }

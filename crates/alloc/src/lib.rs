@@ -12,8 +12,13 @@
 //!   (Theorem 1);
 //! * [`matching`] — Kuhn-Munkres maximum-weight bipartite matching in
 //!   O(M³);
-//! * [`realize`] — the end-to-end pipeline producing a machine-code
-//!   [`orion_kir::mir::MModule`] for a given per-thread slot budget.
+//! * [`pipeline`] — the explicit pass pipeline (normalize → color →
+//!   spill → stack-plan → layout → lower → mir-verify) with typed
+//!   per-stage artifacts and verified stage boundaries;
+//! * [`realize`] — the end-to-end entry point producing a machine-code
+//!   [`orion_kir::mir::MModule`] for a given per-thread slot budget;
+//! * [`mod@reference`] — the frozen single-function implementation kept as
+//!   a behavioral oracle for the pipeline.
 //!
 //! ```
 //! use orion_alloc::realize::{allocate, AllocOptions, SlotBudget};
@@ -42,7 +47,12 @@ pub mod chaitin;
 pub mod interference;
 pub mod layout;
 pub mod matching;
+pub mod pipeline;
 pub mod realize;
+pub mod reference;
 pub mod stack;
 
-pub use realize::{allocate, AllocError, AllocOptions, AllocReport, Allocated, SlotBudget};
+pub use pipeline::{Pass, Pipeline};
+pub use realize::{
+    allocate, allocate_verified, AllocError, AllocOptions, AllocReport, Allocated, SlotBudget,
+};

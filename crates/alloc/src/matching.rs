@@ -1,7 +1,7 @@
 //! Kuhn-Munkres (Hungarian) assignment in O(n³).
 //!
 //! The paper solves the minimal-move-assignment layout problem as a
-//! maximum-weight bipartite matching with edge weight `-W_ij` ([17],
+//! maximum-weight bipartite matching with edge weight `-W_ij` (\[17\],
 //! §3.2). We implement the classic potentials formulation for *minimum*
 //! cost and expose both minimum-cost and maximum-weight entry points.
 

@@ -1,41 +1,31 @@
-//! The realize-occupancy pipeline (§3.2): given a per-thread on-chip
+//! The realize-occupancy entry point (§3.2): given a per-thread on-chip
 //! slot budget, allocate every function of a module and lower it to
 //! machine code.
 //!
-//! Pipeline, per function in caller-before-callee order:
-//!
-//! 1. normalize to webs (SSA → pruned φ → coalesce);
-//! 2. color the webs with the slots left above the function's frame base
-//!    (Figure 4 variant), spilling the remainder to local memory;
-//! 3. group colored slots into movable [`Unit`]s and analyze liveness at
-//!    every call site;
-//! 4. compute the compressed height `B_k` for each call and raise the
-//!    callee's frame base;
-//! 5. optionally permute the slot layout to minimize compression moves
-//!    (Theorem 1 + Kuhn-Munkres);
-//! 6. lower to machine code, materializing compression/restore moves and
-//!    argument/return moves as explicit, correctly-ordered `Mov`s.
+//! The work itself is staged as an explicit pass pipeline in
+//! [`crate::pipeline`] — normalize → color → spill → stack-plan →
+//! layout → lower → mir-verify — with one typed artifact per stage.
+//! [`allocate`] is a thin driver over [`Pipeline::standard`]; the
+//! Figure 5 ablations in [`AllocOptions`] select passes rather than
+//! branching inside them, and custom experiments can edit the pipeline
+//! directly. [`crate::reference::allocate_reference`] keeps the original
+//! single-function implementation as a behavioral oracle.
 //!
 //! The absolute on-chip slot index decides physical placement per word:
 //! indices below the register budget are registers, the rest are private
 //! shared-memory slots. Spills and the move-cycle scratch live in local
 //! memory.
 
-use crate::chaitin::{color, Coloring};
-use crate::interference::InterferenceGraph;
-use crate::layout::{identity_layout, optimize_layout, CallLayoutInfo};
-use crate::stack::{
-    extract_units, live_units, min_packed_height, pack_live_units, sequentialize, PMove, Unit,
-};
-use orion_kir::bitset::BitSet;
-use orion_kir::callgraph::CallGraph;
+use crate::chaitin::Coloring;
+use crate::pipeline::Pipeline;
+use crate::stack::Unit;
 use orion_kir::cfg::Cfg;
 use orion_kir::function::{Function, Module};
 use orion_kir::inst::{Inst, Opcode, Operand};
 use orion_kir::liveness::{max_live, Liveness};
-use orion_kir::mir::{MBlock, MFunction, MInst, MLoc, MModule, MOperand};
+use orion_kir::mir::{MInst, MLoc, MModule, MOperand};
 use orion_kir::ssa::normalize;
-use orion_kir::types::{FuncId, Width};
+use orion_kir::types::FuncId;
 use serde::{Deserialize, Serialize};
 
 /// Local-memory slots reserved as the move-cycle scratch area (wide
@@ -59,6 +49,9 @@ impl SlotBudget {
 }
 
 /// Allocator feature switches (the paper's Figure 5 ablations).
+///
+/// Each flag corresponds to a pipeline edit — see
+/// [`Pipeline::standard`] for the mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AllocOptions {
     /// Compress the caller stack at calls ("space minimization"). When
@@ -94,6 +87,19 @@ pub enum AllocError {
     /// instead of a panic so a resilient caller can quarantine the
     /// affected candidate and keep tuning.
     Internal(String),
+    /// The machine-IR verifier rejected the lowered module (verified
+    /// mode only).
+    MirVerify(orion_kir::mir_verify::MirVerifyError),
+    /// A pipeline stage failed: names the stage and chains the
+    /// underlying diagnostic as [`std::error::Error::source`]. Domain
+    /// errors ([`AllocError::Ssa`], [`AllocError::Recursion`],
+    /// [`AllocError::PredicatedCall`]) are never wrapped.
+    Stage {
+        /// The [`crate::pipeline::Pass::name`] of the failing stage.
+        stage: &'static str,
+        /// The underlying failure.
+        source: Box<AllocError>,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -107,11 +113,25 @@ impl std::fmt::Display for AllocError {
             AllocError::Internal(detail) => {
                 write!(f, "internal allocator invariant violated: {detail}")
             }
+            AllocError::MirVerify(e) => write!(f, "machine-IR verification failed: {e}"),
+            AllocError::Stage { stage, source } => {
+                write!(f, "allocation stage `{stage}` failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for AllocError {}
+impl std::error::Error for AllocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AllocError::Ssa(e) => Some(e),
+            AllocError::Recursion(e) => Some(e),
+            AllocError::MirVerify(e) => Some(e),
+            AllocError::Stage { source, .. } => Some(source.as_ref()),
+            AllocError::PredicatedCall { .. } | AllocError::Internal(_) => None,
+        }
+    }
+}
 
 impl From<orion_kir::ssa::SsaError> for AllocError {
     fn from(e: orion_kir::ssa::SsaError) -> Self {
@@ -125,8 +145,14 @@ impl From<orion_kir::callgraph::RecursionError> for AllocError {
     }
 }
 
+impl From<orion_kir::mir_verify::MirVerifyError> for AllocError {
+    fn from(e: orion_kir::mir_verify::MirVerifyError) -> Self {
+        AllocError::MirVerify(e)
+    }
+}
+
 /// Per-function allocation summary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FuncAllocInfo {
     pub name: String,
     pub base: u16,
@@ -138,7 +164,7 @@ pub struct FuncAllocInfo {
 }
 
 /// Whole-module allocation summary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AllocReport {
     /// Kernel max-live in 32-bit words (the §3.3 direction metric).
     pub kernel_max_live: u32,
@@ -154,32 +180,40 @@ pub struct AllocReport {
 }
 
 /// A fully allocated module plus its report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Allocated {
     pub machine: MModule,
     pub report: AllocReport,
 }
 
-struct CallSiteCtx {
-    callee: FuncId,
+/// One analyzed call site of a caller: the target and which of the
+/// caller's [`Unit`]s are live across the call (the layout model's and
+/// the lowering's shared view of the call).
+#[derive(Debug, Clone)]
+pub struct CallSiteCtx {
+    /// The called function.
+    pub callee: FuncId,
     /// Units of the *caller* live across this call.
-    live_units: Vec<bool>,
+    pub live_units: Vec<bool>,
 }
 
-struct FuncCtx {
-    nf: Function,
-    coloring: Coloring,
-    units: Vec<Unit>,
+/// The per-function lowering view assembled from the pipeline artifacts
+/// (or built inline by the reference implementation).
+#[derive(Debug, Clone)]
+pub(crate) struct FuncCtx {
+    pub(crate) nf: Function,
+    pub(crate) coloring: Coloring,
+    pub(crate) units: Vec<Unit>,
     /// Call sites in traversal order (matches lowering).
-    calls: Vec<CallSiteCtx>,
-    base: u16,
+    pub(crate) calls: Vec<CallSiteCtx>,
+    pub(crate) base: u16,
     /// Local slot of each spilled web.
-    spill_slot: std::collections::HashMap<usize, u16>,
-    max_live: u32,
+    pub(crate) spill_slot: std::collections::HashMap<usize, u16>,
+    pub(crate) max_live: u32,
 }
 
 impl FuncCtx {
-    fn loc(&self, web: usize) -> MLoc {
+    pub(crate) fn loc(&self, web: usize) -> MLoc {
         let w = self.nf.vreg_widths[web];
         match self.coloring.slot_of[web] {
             Some(s) => MLoc::onchip(self.base + s, w),
@@ -202,6 +236,11 @@ pub fn kernel_max_live(m: &Module) -> Result<u32, AllocError> {
 
 /// Allocate `module` under `budget` with `opts`, producing machine code.
 ///
+/// Drives [`Pipeline::standard`]; stage-boundary verification is active
+/// in debug builds and under the `verify` cargo feature (see
+/// [`crate::pipeline::verification_enabled`]), and can be forced with
+/// [`allocate_verified`].
+///
 /// # Errors
 /// Returns [`AllocError`] on recursion, malformed IR, or predicated
 /// calls. The input should already pass [`orion_kir::verify::verify`].
@@ -210,343 +249,27 @@ pub fn allocate(
     budget: SlotBudget,
     opts: &AllocOptions,
 ) -> Result<Allocated, AllocError> {
-    let cg = CallGraph::new(module);
-    let bottom_up = cg.bottom_up(module.entry)?;
-    let topdown: Vec<FuncId> = bottom_up.iter().rev().copied().collect();
-    let total = budget.total();
+    Pipeline::standard(opts).run(module, budget)
+}
 
-    let n = module.funcs.len();
-    let mut bases = vec![0u16; n];
-    let mut ctxs: Vec<Option<FuncCtx>> = (0..n).map(|_| None).collect();
-    let mut local_counter: u16 = SCRATCH_SLOTS;
-
-    // ---- Phase A: color and compute frame bases, callers first ----
-    for &fid in &topdown {
-        let f = module.func(fid);
-        let nf = normalize(f)?;
-        let cfg = Cfg::new(&nf);
-        let live = Liveness::new(&nf, &cfg);
-        let ml = max_live(&nf, &cfg, &live);
-        let graph = InterferenceGraph::build(&nf, &cfg, &live);
-        let base = bases[fid.0 as usize];
-        let fbudget = total.saturating_sub(base);
-        let coloring = color(&graph, fbudget, base, &[]);
-        let mut spill_slot = std::collections::HashMap::new();
-        for &w in &coloring.spilled {
-            spill_slot.insert(w, local_counter);
-            local_counter += nf.vreg_widths[w].words();
-        }
-        let units = extract_units(&coloring, &nf.vreg_widths);
-
-        let mut calls = Vec::new();
-        for (bid, blk) in nf.iter_blocks() {
-            if !cfg.reachable(bid) {
-                continue;
-            }
-            for (idx, inst) in blk.insts.iter().enumerate() {
-                let Opcode::Call(callee) = inst.op else { continue };
-                if inst.pred.is_some() {
-                    return Err(AllocError::PredicatedCall { func: nf.name.clone() });
-                }
-                let live_webs: BitSet = {
-                    let mut s = BitSet::new(nf.num_vregs());
-                    for v in live.live_across(&nf, bid, idx) {
-                        s.insert(v.0 as usize);
-                    }
-                    s
-                };
-                let lu = live_units(&units, &live_webs);
-                let bk_min = if opts.compress_stack {
-                    min_packed_height(&units, &lu).min(coloring.frame_size)
-                } else {
-                    coloring.frame_size
-                };
-                let cb = &mut bases[callee.0 as usize];
-                *cb = (*cb).max(base + bk_min);
-                calls.push(CallSiteCtx {
-                    callee,
-                    live_units: lu,
-                });
-            }
-        }
-        orion_telemetry::counter("alloc", "spilled_webs", coloring.spilled.len() as u64);
-        ctxs[fid.0 as usize] = Some(FuncCtx {
-            nf,
-            coloring,
-            units,
-            calls,
-            base,
-            spill_slot,
-            max_live: ml,
-        });
-    }
-
-    // ---- Phase B: layout optimization (bases are now final) ----
-    let mut predicted_moves: Vec<u32> = vec![0; n];
-    for &fid in &topdown {
-        let base = bases[fid.0 as usize];
-        let ctx = ctxs[fid.0 as usize].as_mut().ok_or_else(|| {
-            AllocError::Internal(format!("phase B: function {} has no phase-A context", fid.0))
-        })?;
-        ctx.base = base; // may have been raised after coloring
-        let call_infos: Vec<CallLayoutInfo> = ctx
-            .calls
-            .iter()
-            .map(|c| CallLayoutInfo {
-                bk: bases[c.callee.0 as usize].saturating_sub(base),
-                live: c.live_units.clone(),
-            })
-            .collect();
-        let plan = if opts.optimize_layout && opts.compress_stack {
-            optimize_layout(&ctx.units, &call_infos)
-        } else {
-            identity_layout(&ctx.units, &call_infos)
-        };
-        predicted_moves[fid.0 as usize] = plan.total_moves;
-        if orion_telemetry::is_enabled() {
-            // The Kuhn-Munkres objective value: compression moves the
-            // chosen layout is predicted to cost across all call sites.
-            orion_telemetry::instant(
-                "alloc",
-                "layout_plan",
-                vec![
-                    ("func", ctx.nf.name.as_str().into()),
-                    ("predicted_moves", plan.total_moves.into()),
-                    ("optimized", (opts.optimize_layout && opts.compress_stack).into()),
-                ],
-            );
-        }
-        crate::layout::apply_layout(&mut ctx.coloring.slot_of, &ctx.units, &plan);
-        for (i, u) in ctx.units.iter_mut().enumerate() {
-            u.start = plan.new_start[i];
-            u.residue = u.start % u.align;
-        }
-    }
-
-    // Wait: coloring of a function whose base was raised *after* its own
-    // coloring would be misaligned; recolor is not needed because bases
-    // only grow through calls processed before the callee (topological
-    // order guarantees the base is final before the callee is colored).
-
-    // ---- Phase C: lowering ----
-    let scratch = MLoc::local(0, Width::W128);
-    let mut mfuncs: Vec<MFunction> = Vec::with_capacity(n);
-    let mut static_moves: u32 = 0;
-    // Pre-compute param/ret slots for every function (needed by callers).
-    let param_ret_slots: Vec<Option<(Vec<MLoc>, Vec<MLoc>)>> = (0..n)
-        .map(|i| {
-            ctxs[i].as_ref().map(|c| {
-                let p = c.nf.params.iter().map(|r| c.loc(r.0 as usize)).collect();
-                let r = c.nf.rets.iter().map(|r| c.loc(r.0 as usize)).collect();
-                (p, r)
-            })
-        })
-        .collect();
-
-    for i in 0..n {
-        let Some(ctx) = &ctxs[i] else {
-            // Unreachable function: emit an empty stub.
-            mfuncs.push(MFunction {
-                name: module.func(FuncId(i as u32)).name.clone(),
-                frame_base: 0,
-                frame_size: 0,
-                param_slots: vec![],
-                ret_slots: vec![],
-                blocks: vec![],
-            });
-            continue;
-        };
-        let mut blocks = Vec::with_capacity(ctx.nf.num_blocks());
-        let mut call_cursor = 0usize;
-        // Re-walk blocks in the same order as phase A to line up call
-        // contexts; unreachable blocks contain no analyzed calls.
-        let cfg = Cfg::new(&ctx.nf);
-        for (bid, blk) in ctx.nf.iter_blocks() {
-            let mut insts: Vec<MInst> = Vec::with_capacity(blk.insts.len());
-            for inst in &blk.insts {
-                if let Opcode::Call(callee) = inst.op {
-                    if !cfg.reachable(bid) {
-                        continue; // never executed; drop
-                    }
-                    let cctx = ctx.calls.get(call_cursor).ok_or_else(|| {
-                        AllocError::Internal(format!(
-                            "{}: call #{call_cursor} was not analyzed in phase A",
-                            ctx.nf.name
-                        ))
-                    })?;
-                    if cctx.callee != callee {
-                        return Err(AllocError::Internal(format!(
-                            "{}: call #{call_cursor} targets {} but phase A recorded {}",
-                            ctx.nf.name, callee.0, cctx.callee.0
-                        )));
-                    }
-                    call_cursor += 1;
-                    let bk = bases[callee.0 as usize].saturating_sub(ctx.base);
-                    let placement = pack_live_units(&ctx.units, &cctx.live_units, bk);
-                    let (pslots, rslots) =
-                        param_ret_slots[callee.0 as usize].as_ref().ok_or_else(|| {
-                            AllocError::Internal(format!(
-                                "{}: callee {} is called but has no param/ret slots \
-                                 (unreachable in the call graph?)",
-                                ctx.nf.name, callee.0
-                            ))
-                        })?;
-                    // Pre-call parallel move set: compression + arguments.
-                    // Units wider than four words move in chunks (a
-                    // single MLoc covers at most a W128).
-                    let mut pre: Vec<PMove> = Vec::new();
-                    for &(ui, newpos) in &placement {
-                        let u = &ctx.units[ui];
-                        if newpos != u.start {
-                            for (off, w) in chunk_widths(u.width) {
-                                pre.push(PMove {
-                                    dst: MLoc::onchip(ctx.base + newpos + off, w),
-                                    src: MLoc::onchip(ctx.base + u.start + off, w).into(),
-                                });
-                            }
-                        }
-                    }
-                    let ci = inst.call.as_ref().ok_or_else(|| {
-                        AllocError::Internal(format!(
-                            "{}: Call instruction carries no call info (unverified module?)",
-                            ctx.nf.name
-                        ))
-                    })?;
-                    for (arg, &pslot) in ci.args.iter().zip(pslots) {
-                        pre.push(PMove {
-                            dst: pslot,
-                            src: lower_operand(ctx, arg),
-                        });
-                    }
-                    let pre_insts = sequentialize(&pre, scratch);
-                    let pre_count = pre_insts.len();
-                    static_moves += pre_insts.len() as u32;
-                    insts.extend(pre_insts);
-                    insts.push(MInst::new(Opcode::Call(callee), None, vec![]));
-                    // Post-call parallel move set: returns + restores.
-                    let mut post: Vec<PMove> = Vec::new();
-                    for (&ret_web, &rslot) in ci.rets.iter().zip(rslots) {
-                        post.push(PMove {
-                            dst: ctx.loc(ret_web.0 as usize),
-                            src: rslot.into(),
-                        });
-                    }
-                    for &(ui, newpos) in &placement {
-                        let u = &ctx.units[ui];
-                        if newpos != u.start {
-                            for (off, w) in chunk_widths(u.width) {
-                                post.push(PMove {
-                                    dst: MLoc::onchip(ctx.base + u.start + off, w),
-                                    src: MLoc::onchip(ctx.base + newpos + off, w).into(),
-                                });
-                            }
-                        }
-                    }
-                    let post_insts = sequentialize(&post, scratch);
-                    if orion_telemetry::is_enabled() {
-                        orion_telemetry::instant(
-                            "alloc",
-                            "call_site_moves",
-                            vec![
-                                ("func", ctx.nf.name.as_str().into()),
-                                ("call_index", (call_cursor - 1).into()),
-                                ("pre_moves", pre_count.into()),
-                                ("post_moves", post_insts.len().into()),
-                            ],
-                        );
-                    }
-                    static_moves += post_insts.len() as u32;
-                    insts.extend(post_insts);
-                } else {
-                    insts.push(lower_inst(ctx, inst));
-                }
-            }
-            blocks.push(MBlock {
-                insts,
-                term: blk.term.clone(),
-            });
-        }
-        let (pslots, rslots) = param_ret_slots[i]
-            .as_ref()
-            .ok_or_else(|| {
-                AllocError::Internal(format!(
-                    "function {i} has a context but no param/ret slots"
-                ))
-            })?
-            .clone();
-        mfuncs.push(MFunction {
-            name: ctx.nf.name.clone(),
-            frame_base: ctx.base,
-            frame_size: ctx.coloring.frame_size,
-            param_slots: pslots,
-            ret_slots: rslots,
-            blocks,
-        });
-    }
-
-    let mut peak_abs: u16 = 0;
-    for f in &topdown {
-        let c = ctxs[f.0 as usize].as_ref().ok_or_else(|| {
-            AllocError::Internal(format!("function {} lost its context after lowering", f.0))
-        })?;
-        peak_abs = peak_abs.max(c.base + c.coloring.frame_size);
-    }
-    let regs_per_thread = budget.reg_slots.min(peak_abs);
-    let smem_slots_per_thread = peak_abs.saturating_sub(regs_per_thread);
-    orion_telemetry::counter("alloc", "smem_promoted_slots", u64::from(smem_slots_per_thread));
-    orion_telemetry::counter(
-        "alloc",
-        "spill_slots",
-        u64::from(local_counter.saturating_sub(SCRATCH_SLOTS)),
-    );
-    orion_telemetry::counter("alloc", "static_moves", u64::from(static_moves));
-
-    let mut per_func = Vec::with_capacity(topdown.len());
-    for f in &topdown {
-        let c = ctxs[f.0 as usize].as_ref().ok_or_else(|| {
-            AllocError::Internal(format!("function {} lost its context after lowering", f.0))
-        })?;
-        per_func.push(FuncAllocInfo {
-            name: c.nf.name.clone(),
-            base: c.base,
-            frame_size: c.coloring.frame_size,
-            spilled_webs: c.coloring.spilled.len(),
-            call_sites: c.calls.len(),
-            predicted_moves: predicted_moves[f.0 as usize],
-        });
-    }
-    let report = AllocReport {
-        kernel_max_live: ctxs[module.entry.0 as usize]
-            .as_ref()
-            .ok_or_else(|| {
-                AllocError::Internal(format!(
-                    "entry function {} was never allocated",
-                    module.entry.0
-                ))
-            })?
-            .max_live,
-        regs_per_thread,
-        smem_slots_per_thread,
-        local_slots_per_thread: local_counter,
-        static_moves,
-        per_func,
-    };
-
-    let machine = MModule {
-        funcs: mfuncs,
-        entry: module.entry,
-        regs_per_thread,
-        smem_slots_per_thread,
-        local_slots_per_thread: local_counter,
-        user_smem_bytes: module.user_smem_bytes,
-        static_stack_moves: static_moves,
-    };
-    Ok(Allocated { machine, report })
+/// [`allocate`] with every stage-boundary check and the machine-IR
+/// verifier forced on, regardless of build configuration.
+///
+/// # Errors
+/// As [`allocate`], plus [`AllocError::Stage`] when a pipeline
+/// invariant or the machine-IR verifier rejects an artifact.
+pub fn allocate_verified(
+    module: &Module,
+    budget: SlotBudget,
+    opts: &AllocOptions,
+) -> Result<Allocated, AllocError> {
+    Pipeline::verified(opts).run(module, budget)
 }
 
 /// Split a unit of `words` slots into `(offset, width)` move chunks of at
 /// most four words each (one machine move covers at most a W128).
-fn chunk_widths(words: u16) -> Vec<(u16, Width)> {
+pub(crate) fn chunk_widths(words: u16) -> Vec<(u16, orion_kir::types::Width)> {
+    use orion_kir::types::Width;
     let mut out = Vec::with_capacity(usize::from(words.div_ceil(4)));
     let mut off = 0;
     let mut left = words;
@@ -564,7 +287,7 @@ fn chunk_widths(words: u16) -> Vec<(u16, Width)> {
     out
 }
 
-fn lower_operand(ctx: &FuncCtx, op: &Operand) -> MOperand {
+pub(crate) fn lower_operand(ctx: &FuncCtx, op: &Operand) -> MOperand {
     match op {
         Operand::Reg(r) => MOperand::Loc(ctx.loc(r.0 as usize)),
         Operand::Imm(i) => MOperand::Imm(*i),
@@ -573,7 +296,7 @@ fn lower_operand(ctx: &FuncCtx, op: &Operand) -> MOperand {
     }
 }
 
-fn lower_inst(ctx: &FuncCtx, inst: &Inst) -> MInst {
+pub(crate) fn lower_inst(ctx: &FuncCtx, inst: &Inst) -> MInst {
     debug_assert!(!matches!(inst.op, Opcode::Call(_)));
     MInst {
         op: inst.op,
@@ -592,7 +315,7 @@ mod tests {
     use super::*;
     use orion_kir::builder::{build_fdiv_device, FunctionBuilder};
     use orion_kir::types::BlockId;
-    use orion_kir::types::{MemSpace, SpecialReg};
+    use orion_kir::types::{MemSpace, SpecialReg, Width};
     use orion_kir::verify::verify;
 
     fn simple_module() -> Module {

@@ -1,0 +1,337 @@
+//! Frozen pre-pipeline allocator, kept as the differential oracle.
+//!
+//! [`allocate_reference`] is the original monolithic `allocate` body —
+//! phases A (color + frame bases), B (layout), C (lowering) in one
+//! function — preserved verbatim (minus telemetry) when the production
+//! path moved to the staged [`crate::pipeline`]. The equivalence tests
+//! in the bench crate run both over the tier-1 workloads at every
+//! occupancy level and assert bit-identical machine code and reports,
+//! proving the refactor behavior-preserving.
+//!
+//! Do not extend this module: new allocation features belong in
+//! [`crate::pipeline`] passes. This file only changes if the oracle
+//! itself must track an intentional, documented output change.
+
+use crate::chaitin::color;
+use crate::interference::InterferenceGraph;
+use crate::layout::{identity_layout, optimize_layout, CallLayoutInfo};
+use crate::realize::{
+    chunk_widths, lower_inst, lower_operand, AllocError, AllocOptions, AllocReport, Allocated,
+    CallSiteCtx, FuncAllocInfo, FuncCtx, SlotBudget, SCRATCH_SLOTS,
+};
+use crate::stack::{extract_units, live_units, min_packed_height, pack_live_units, sequentialize, PMove};
+use orion_kir::bitset::BitSet;
+use orion_kir::callgraph::CallGraph;
+use orion_kir::cfg::Cfg;
+use orion_kir::function::Module;
+use orion_kir::inst::Opcode;
+use orion_kir::liveness::{max_live, Liveness};
+use orion_kir::mir::{MBlock, MFunction, MInst, MLoc, MModule};
+use orion_kir::ssa::normalize;
+use orion_kir::types::{FuncId, Width};
+
+/// The pre-refactor `allocate`: identical inputs must yield output
+/// bit-identical to [`crate::realize::allocate`].
+///
+/// # Errors
+/// Same contract as [`crate::realize::allocate`], except internal
+/// diagnostics are not wrapped in [`AllocError::Stage`].
+pub fn allocate_reference(
+    module: &Module,
+    budget: SlotBudget,
+    opts: &AllocOptions,
+) -> Result<Allocated, AllocError> {
+    let cg = CallGraph::new(module);
+    let bottom_up = cg.bottom_up(module.entry)?;
+    let topdown: Vec<FuncId> = bottom_up.iter().rev().copied().collect();
+    let total = budget.total();
+
+    let n = module.funcs.len();
+    let mut bases = vec![0u16; n];
+    let mut ctxs: Vec<Option<FuncCtx>> = (0..n).map(|_| None).collect();
+    let mut local_counter: u16 = SCRATCH_SLOTS;
+
+    // ---- Phase A: color and compute frame bases, callers first ----
+    for &fid in &topdown {
+        let f = module.func(fid);
+        let nf = normalize(f)?;
+        let cfg = Cfg::new(&nf);
+        let live = Liveness::new(&nf, &cfg);
+        let ml = max_live(&nf, &cfg, &live);
+        let graph = InterferenceGraph::build(&nf, &cfg, &live);
+        let base = bases[fid.0 as usize];
+        let fbudget = total.saturating_sub(base);
+        let coloring = color(&graph, fbudget, base, &[])?;
+        let mut spill_slot = std::collections::HashMap::new();
+        for &w in &coloring.spilled {
+            spill_slot.insert(w, local_counter);
+            local_counter += nf.vreg_widths[w].words();
+        }
+        let units = extract_units(&coloring, &nf.vreg_widths)?;
+
+        let mut calls = Vec::new();
+        for (bid, blk) in nf.iter_blocks() {
+            if !cfg.reachable(bid) {
+                continue;
+            }
+            for (idx, inst) in blk.insts.iter().enumerate() {
+                let Opcode::Call(callee) = inst.op else { continue };
+                if inst.pred.is_some() {
+                    return Err(AllocError::PredicatedCall { func: nf.name.clone() });
+                }
+                let live_webs: BitSet = {
+                    let mut s = BitSet::new(nf.num_vregs());
+                    for v in live.live_across(&nf, bid, idx) {
+                        s.insert(v.0 as usize);
+                    }
+                    s
+                };
+                let lu = live_units(&units, &live_webs);
+                let bk_min = if opts.compress_stack {
+                    min_packed_height(&units, &lu).min(coloring.frame_size)
+                } else {
+                    coloring.frame_size
+                };
+                let cb = &mut bases[callee.0 as usize];
+                *cb = (*cb).max(base + bk_min);
+                calls.push(CallSiteCtx {
+                    callee,
+                    live_units: lu,
+                });
+            }
+        }
+        ctxs[fid.0 as usize] = Some(FuncCtx {
+            nf,
+            coloring,
+            units,
+            calls,
+            base,
+            spill_slot,
+            max_live: ml,
+        });
+    }
+
+    // ---- Phase B: layout optimization (bases are now final) ----
+    let mut predicted_moves: Vec<u32> = vec![0; n];
+    for &fid in &topdown {
+        let base = bases[fid.0 as usize];
+        let ctx = ctxs[fid.0 as usize].as_mut().ok_or_else(|| {
+            AllocError::Internal(format!("phase B: function {} has no phase-A context", fid.0))
+        })?;
+        ctx.base = base; // may have been raised after coloring
+        let call_infos: Vec<CallLayoutInfo> = ctx
+            .calls
+            .iter()
+            .map(|c| CallLayoutInfo {
+                bk: bases[c.callee.0 as usize].saturating_sub(base),
+                live: c.live_units.clone(),
+            })
+            .collect();
+        let plan = if opts.optimize_layout && opts.compress_stack {
+            optimize_layout(&ctx.units, &call_infos)
+        } else {
+            identity_layout(&ctx.units, &call_infos)
+        };
+        predicted_moves[fid.0 as usize] = plan.total_moves;
+        crate::layout::apply_layout(&mut ctx.coloring.slot_of, &ctx.units, &plan);
+        for (i, u) in ctx.units.iter_mut().enumerate() {
+            u.start = plan.new_start[i];
+            u.residue = u.start % u.align;
+        }
+    }
+
+    // ---- Phase C: lowering ----
+    let scratch = MLoc::local(0, Width::W128);
+    let mut mfuncs: Vec<MFunction> = Vec::with_capacity(n);
+    let mut static_moves: u32 = 0;
+    // Pre-compute param/ret slots for every function (needed by callers).
+    let param_ret_slots: Vec<Option<(Vec<MLoc>, Vec<MLoc>)>> = (0..n)
+        .map(|i| {
+            ctxs[i].as_ref().map(|c| {
+                let p = c.nf.params.iter().map(|r| c.loc(r.0 as usize)).collect();
+                let r = c.nf.rets.iter().map(|r| c.loc(r.0 as usize)).collect();
+                (p, r)
+            })
+        })
+        .collect();
+
+    for i in 0..n {
+        let Some(ctx) = &ctxs[i] else {
+            // Unreachable function: emit an empty stub.
+            mfuncs.push(MFunction {
+                name: module.func(FuncId(i as u32)).name.clone(),
+                frame_base: 0,
+                frame_size: 0,
+                param_slots: vec![],
+                ret_slots: vec![],
+                blocks: vec![],
+            });
+            continue;
+        };
+        let mut blocks = Vec::with_capacity(ctx.nf.num_blocks());
+        let mut call_cursor = 0usize;
+        // Re-walk blocks in the same order as phase A to line up call
+        // contexts; unreachable blocks contain no analyzed calls.
+        let cfg = Cfg::new(&ctx.nf);
+        for (bid, blk) in ctx.nf.iter_blocks() {
+            let mut insts: Vec<MInst> = Vec::with_capacity(blk.insts.len());
+            for inst in &blk.insts {
+                if let Opcode::Call(callee) = inst.op {
+                    if !cfg.reachable(bid) {
+                        continue; // never executed; drop
+                    }
+                    let cctx = ctx.calls.get(call_cursor).ok_or_else(|| {
+                        AllocError::Internal(format!(
+                            "{}: call #{call_cursor} was not analyzed in phase A",
+                            ctx.nf.name
+                        ))
+                    })?;
+                    if cctx.callee != callee {
+                        return Err(AllocError::Internal(format!(
+                            "{}: call #{call_cursor} targets {} but phase A recorded {}",
+                            ctx.nf.name, callee.0, cctx.callee.0
+                        )));
+                    }
+                    call_cursor += 1;
+                    let bk = bases[callee.0 as usize].saturating_sub(ctx.base);
+                    let placement = pack_live_units(&ctx.units, &cctx.live_units, bk)?;
+                    let (pslots, rslots) =
+                        param_ret_slots[callee.0 as usize].as_ref().ok_or_else(|| {
+                            AllocError::Internal(format!(
+                                "{}: callee {} is called but has no param/ret slots \
+                                 (unreachable in the call graph?)",
+                                ctx.nf.name, callee.0
+                            ))
+                        })?;
+                    // Pre-call parallel move set: compression + arguments.
+                    // Units wider than four words move in chunks (a
+                    // single MLoc covers at most a W128).
+                    let mut pre: Vec<PMove> = Vec::new();
+                    for &(ui, newpos) in &placement {
+                        let u = &ctx.units[ui];
+                        if newpos != u.start {
+                            for (off, w) in chunk_widths(u.width) {
+                                pre.push(PMove {
+                                    dst: MLoc::onchip(ctx.base + newpos + off, w),
+                                    src: MLoc::onchip(ctx.base + u.start + off, w).into(),
+                                });
+                            }
+                        }
+                    }
+                    let ci = inst.call.as_ref().ok_or_else(|| {
+                        AllocError::Internal(format!(
+                            "{}: Call instruction carries no call info (unverified module?)",
+                            ctx.nf.name
+                        ))
+                    })?;
+                    for (arg, &pslot) in ci.args.iter().zip(pslots) {
+                        pre.push(PMove {
+                            dst: pslot,
+                            src: lower_operand(ctx, arg),
+                        });
+                    }
+                    let pre_insts = sequentialize(&pre, scratch)?;
+                    static_moves += pre_insts.len() as u32;
+                    insts.extend(pre_insts);
+                    insts.push(MInst::new(Opcode::Call(callee), None, vec![]));
+                    // Post-call parallel move set: returns + restores.
+                    let mut post: Vec<PMove> = Vec::new();
+                    for (&ret_web, &rslot) in ci.rets.iter().zip(rslots) {
+                        post.push(PMove {
+                            dst: ctx.loc(ret_web.0 as usize),
+                            src: rslot.into(),
+                        });
+                    }
+                    for &(ui, newpos) in &placement {
+                        let u = &ctx.units[ui];
+                        if newpos != u.start {
+                            for (off, w) in chunk_widths(u.width) {
+                                post.push(PMove {
+                                    dst: MLoc::onchip(ctx.base + u.start + off, w),
+                                    src: MLoc::onchip(ctx.base + newpos + off, w).into(),
+                                });
+                            }
+                        }
+                    }
+                    let post_insts = sequentialize(&post, scratch)?;
+                    static_moves += post_insts.len() as u32;
+                    insts.extend(post_insts);
+                } else {
+                    insts.push(lower_inst(ctx, inst));
+                }
+            }
+            blocks.push(MBlock {
+                insts,
+                term: blk.term.clone(),
+            });
+        }
+        let (pslots, rslots) = param_ret_slots[i]
+            .as_ref()
+            .ok_or_else(|| {
+                AllocError::Internal(format!(
+                    "function {i} has a context but no param/ret slots"
+                ))
+            })?
+            .clone();
+        mfuncs.push(MFunction {
+            name: ctx.nf.name.clone(),
+            frame_base: ctx.base,
+            frame_size: ctx.coloring.frame_size,
+            param_slots: pslots,
+            ret_slots: rslots,
+            blocks,
+        });
+    }
+
+    let mut peak_abs: u16 = 0;
+    for f in &topdown {
+        let c = ctxs[f.0 as usize].as_ref().ok_or_else(|| {
+            AllocError::Internal(format!("function {} lost its context after lowering", f.0))
+        })?;
+        peak_abs = peak_abs.max(c.base + c.coloring.frame_size);
+    }
+    let regs_per_thread = budget.reg_slots.min(peak_abs);
+    let smem_slots_per_thread = peak_abs.saturating_sub(regs_per_thread);
+
+    let mut per_func = Vec::with_capacity(topdown.len());
+    for f in &topdown {
+        let c = ctxs[f.0 as usize].as_ref().ok_or_else(|| {
+            AllocError::Internal(format!("function {} lost its context after lowering", f.0))
+        })?;
+        per_func.push(FuncAllocInfo {
+            name: c.nf.name.clone(),
+            base: c.base,
+            frame_size: c.coloring.frame_size,
+            spilled_webs: c.coloring.spilled.len(),
+            call_sites: c.calls.len(),
+            predicted_moves: predicted_moves[f.0 as usize],
+        });
+    }
+    let report = AllocReport {
+        kernel_max_live: ctxs[module.entry.0 as usize]
+            .as_ref()
+            .ok_or_else(|| {
+                AllocError::Internal(format!(
+                    "entry function {} was never allocated",
+                    module.entry.0
+                ))
+            })?
+            .max_live,
+        regs_per_thread,
+        smem_slots_per_thread,
+        local_slots_per_thread: local_counter,
+        static_moves,
+        per_func,
+    };
+
+    let machine = MModule {
+        funcs: mfuncs,
+        entry: module.entry,
+        regs_per_thread,
+        smem_slots_per_thread,
+        local_slots_per_thread: local_counter,
+        user_smem_bytes: module.user_smem_bytes,
+        static_stack_moves: static_moves,
+    };
+    Ok(Allocated { machine, report })
+}

@@ -17,6 +17,7 @@
 //!   clobbered before it is read, breaking cycles through a scratch slot.
 
 use crate::chaitin::Coloring;
+use crate::realize::AllocError;
 use orion_kir::bitset::BitSet;
 use orion_kir::mir::{MInst, MLoc, MOperand};
 use orion_kir::types::Width;
@@ -41,10 +42,15 @@ pub struct Unit {
 }
 
 /// Extract units from a coloring: group slots connected by wide webs.
-pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Vec<Unit> {
+///
+/// # Errors
+/// Returns [`AllocError::Internal`] when the coloring is inconsistent
+/// (a colored web outside every occupied component) — an allocator bug
+/// surfaced as a diagnostic rather than a panic.
+pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Result<Vec<Unit>, AllocError> {
     let frame = coloring.frame_size as usize;
     if frame == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Union-find over slots.
     let mut parent: Vec<u16> = (0..frame as u16).collect();
@@ -86,9 +92,13 @@ pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Vec<Unit> {
         }
     }
     let mut units: Vec<Unit> = Vec::new();
-    for (_, slots) in comp_slots {
-        let start = *slots.first().expect("nonempty component");
-        let end = *slots.last().expect("nonempty component") + 1;
+    for (root, slots) in comp_slots {
+        let (Some(&start), Some(&last)) = (slots.first(), slots.last()) else {
+            return Err(AllocError::Internal(format!(
+                "unit extraction: slot component rooted at {root} is empty"
+            )));
+        };
+        let end = last + 1;
         // Components are contiguous by construction (webs cover
         // consecutive slots); assert in debug builds.
         debug_assert_eq!((end - start) as usize, slots.len());
@@ -106,7 +116,11 @@ pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Vec<Unit> {
             let u = units
                 .iter_mut()
                 .find(|u| s >= u.start && s < u.start + u.width)
-                .expect("slot belongs to a unit");
+                .ok_or_else(|| {
+                    AllocError::Internal(format!(
+                        "unit extraction: web {web} colored at slot {s} outside every unit"
+                    ))
+                })?;
             u.webs.push(web);
             u.align = u.align.max(widths[web].alignment());
         }
@@ -114,7 +128,7 @@ pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Vec<Unit> {
     for u in &mut units {
         u.residue = u.start % u.align;
     }
-    units
+    Ok(units)
 }
 
 /// Which units are live at a call: a unit is live iff any member web is
@@ -182,7 +196,16 @@ pub fn min_packed_height(units: &[Unit], live: &[bool]) -> u16 {
 ///
 /// Returns `(unit index, new start)` for every live unit (stayers map to
 /// their own start).
-pub fn pack_live_units(units: &[Unit], live: &[bool], bk: u16) -> Vec<(usize, u16)> {
+///
+/// # Errors
+/// Returns [`AllocError::Internal`] when `bk` is below the minimal
+/// packed height of the live units, so not even a full repack fits —
+/// callers must pass a `bk` at least [`min_packed_height`].
+pub fn pack_live_units(
+    units: &[Unit],
+    live: &[bool],
+    bk: u16,
+) -> Result<Vec<(usize, u16)>, AllocError> {
     let mut used = vec![false; bk as usize];
     let mut result = Vec::new();
     let mut movers: Vec<(usize, &Unit)> = Vec::new();
@@ -227,7 +250,7 @@ pub fn pack_live_units(units: &[Unit], live: &[bool], bk: u16) -> Vec<(usize, u1
     }
     if ok {
         result.extend(moved);
-        return result;
+        return Ok(result);
     }
     // Fragmented: full repack of all live units.
     let live_list: Vec<(usize, &Unit)> = units
@@ -235,9 +258,14 @@ pub fn pack_live_units(units: &[Unit], live: &[bool], bk: u16) -> Vec<(usize, u1
         .enumerate()
         .filter(|(i, _)| live[*i])
         .collect();
-    let (placed, _) = pack_from_empty(&live_list, bk)
-        .expect("bk >= min_packed_height guarantees a full repack fits");
-    placed
+    let (placed, _) = pack_from_empty(&live_list, bk).ok_or_else(|| {
+        AllocError::Internal(format!(
+            "stack packing: {} live units do not fit in bk={bk} even after a full \
+             repack (bk below min_packed_height?)",
+            live_list.len()
+        ))
+    })?;
+    Ok(placed)
 }
 
 /// One pending parallel move: all sources are read before any
@@ -262,22 +290,32 @@ fn ranges_overlap(a: MLoc, b: MLoc) -> bool {
 /// (which must not overlap any move's source or destination and must be
 /// at least as wide as the widest move).
 ///
-/// # Panics
-/// Panics if two destinations overlap (caller invariant) or the scratch
-/// overlaps a move.
-pub fn sequentialize(moves: &[PMove], scratch: MLoc) -> Vec<MInst> {
+/// # Errors
+/// Returns [`AllocError::Internal`] when the caller invariants are
+/// violated: two destinations overlap, or the scratch overlaps a move's
+/// source or destination.
+pub fn sequentialize(moves: &[PMove], scratch: MLoc) -> Result<Vec<MInst>, AllocError> {
     for (i, a) in moves.iter().enumerate() {
         for b in &moves[i + 1..] {
-            assert!(
-                !ranges_overlap(a.dst, b.dst),
-                "overlapping destinations {:?} / {:?}",
-                a.dst,
-                b.dst
-            );
+            if ranges_overlap(a.dst, b.dst) {
+                return Err(AllocError::Internal(format!(
+                    "parallel move set has overlapping destinations {} and {}",
+                    a.dst, b.dst
+                )));
+            }
         }
-        assert!(!ranges_overlap(a.dst, scratch), "scratch overlaps a destination");
+        if ranges_overlap(a.dst, scratch) {
+            return Err(AllocError::Internal(format!(
+                "move scratch {scratch} overlaps destination {}",
+                a.dst
+            )));
+        }
         if let MOperand::Loc(s) = a.src {
-            assert!(!ranges_overlap(s, scratch), "scratch overlaps a source");
+            if ranges_overlap(s, scratch) {
+                return Err(AllocError::Internal(format!(
+                    "move scratch {scratch} overlaps source {s}"
+                )));
+            }
         }
     }
     let n = moves.len();
@@ -312,18 +350,28 @@ pub fn sequentialize(moves: &[PMove], scratch: MLoc) -> Vec<MInst> {
         }
         if !progressed {
             // Cycle: bounce the first pending move's source via scratch.
-            let i = pending.iter().position(|m| m.is_some()).expect("pending");
-            let m = pending[i].clone().expect("pending move");
-            let src_loc = match m.src {
-                MOperand::Loc(l) => l,
-                _ => unreachable!("non-loc sources never block"),
+            let m = pending
+                .iter()
+                .enumerate()
+                .find_map(|(i, m)| m.clone().map(|m| (i, m)));
+            let Some((i, m)) = m else {
+                return Err(AllocError::Internal(
+                    "move sequentializer stalled with no pending moves left".to_string(),
+                ));
+            };
+            let MOperand::Loc(src_loc) = m.src else {
+                return Err(AllocError::Internal(format!(
+                    "move sequentializer blocked on non-slot source {:?} (immediates \
+                     never block)",
+                    m.src
+                )));
             };
             let sc = MLoc { width: src_loc.width, ..scratch };
             out.push(MInst::mov(sc, src_loc));
             pending[i] = Some(PMove { dst: m.dst, src: MOperand::Loc(sc) });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -362,7 +410,7 @@ mod tests {
     #[test]
     fn pack_keeps_stayers_in_place() {
         let units = vec![unit(0, 1, 1), unit(4, 1, 1)];
-        let placed = pack_live_units(&units, &[true, true], 2);
+        let placed = pack_live_units(&units, &[true, true], 2).unwrap();
         let mut placed = placed;
         placed.sort();
         assert_eq!(placed, vec![(0, 0), (1, 1)]);
@@ -371,7 +419,7 @@ mod tests {
     #[test]
     fn pack_moves_only_above_bk() {
         let units = vec![unit(1, 1, 1), unit(2, 1, 1), unit(6, 1, 1)];
-        let mut placed = pack_live_units(&units, &[true, true, true], 4);
+        let mut placed = pack_live_units(&units, &[true, true, true], 4).unwrap();
         placed.sort();
         // Units 0 and 1 stay; unit 2 moves to slot 0 (lowest free).
         assert_eq!(placed, vec![(0, 1), (1, 2), (2, 0)]);
@@ -383,7 +431,7 @@ mod tests {
         let units = vec![unit(1, 1, 1), unit(3, 1, 1), unit(6, 2, 2)];
         let bk = min_packed_height(&units, &[true, true, true]);
         assert_eq!(bk, 4);
-        let mut placed = pack_live_units(&units, &[true, true, true], bk);
+        let mut placed = pack_live_units(&units, &[true, true, true], bk).unwrap();
         placed.sort();
         // The pair must land at an even slot within [0,4): full repack
         // puts it at 0 and the singles at 2,3.
@@ -408,7 +456,7 @@ mod tests {
             PMove { dst: MLoc::onchip(1, Width::W32), src: MLoc::onchip(0, Width::W32).into() },
             PMove { dst: MLoc::onchip(2, Width::W32), src: MLoc::onchip(1, Width::W32).into() },
         ];
-        let out = sequentialize(&mv, MLoc::local(0, Width::W32));
+        let out = sequentialize(&mv, MLoc::local(0, Width::W32)).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].dst.unwrap().slot, 2);
         assert_eq!(out[1].dst.unwrap().slot, 1);
@@ -420,7 +468,7 @@ mod tests {
             PMove { dst: MLoc::onchip(0, Width::W32), src: MLoc::onchip(1, Width::W32).into() },
             PMove { dst: MLoc::onchip(1, Width::W32), src: MLoc::onchip(0, Width::W32).into() },
         ];
-        let out = sequentialize(&mv, MLoc::local(0, Width::W32));
+        let out = sequentialize(&mv, MLoc::local(0, Width::W32)).unwrap();
         assert_eq!(out.len(), 3, "{out:?}");
         // Simulate to verify the swap really happens.
         let mut regs = [10u32, 20u32];
@@ -449,7 +497,7 @@ mod tests {
             dst: MLoc::onchip(0, Width::W64),
             src: MLoc::onchip(1, Width::W64).into(),
         }];
-        let out = sequentialize(&mv, MLoc::local(0, Width::W64));
+        let out = sequentialize(&mv, MLoc::local(0, Width::W64)).unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -459,9 +507,26 @@ mod tests {
             PMove { dst: MLoc::onchip(0, Width::W32), src: MOperand::Imm(7) },
             PMove { dst: MLoc::onchip(1, Width::W32), src: MLoc::onchip(0, Width::W32).into() },
         ];
-        let out = sequentialize(&mv, MLoc::local(0, Width::W32));
+        let out = sequentialize(&mv, MLoc::local(0, Width::W32)).unwrap();
         // The reg0 read must precede the imm write into reg0.
         assert_eq!(out[0].dst.unwrap().slot, 1);
+    }
+
+    #[test]
+    fn sequentialize_rejects_overlapping_destinations() {
+        let mv = vec![
+            PMove { dst: MLoc::onchip(0, Width::W64), src: MLoc::onchip(4, Width::W64).into() },
+            PMove { dst: MLoc::onchip(1, Width::W32), src: MLoc::onchip(6, Width::W32).into() },
+        ];
+        let err = sequentialize(&mv, MLoc::local(0, Width::W64)).unwrap_err();
+        assert!(err.to_string().contains("overlapping destinations"), "{err}");
+    }
+
+    #[test]
+    fn pack_rejects_bk_below_min_height() {
+        let units = vec![unit(0, 1, 1), unit(1, 1, 1), unit(2, 1, 1)];
+        let err = pack_live_units(&units, &[true, true, true], 2).unwrap_err();
+        assert!(err.to_string().contains("do not fit in bk=2"), "{err}");
     }
 
     #[test]
@@ -474,7 +539,7 @@ mod tests {
             frame_size: 3,
         };
         let widths = vec![Width::W64, Width::W32, Width::W32];
-        let units = extract_units(&coloring, &widths);
+        let units = extract_units(&coloring, &widths).unwrap();
         assert_eq!(units.len(), 2);
         assert_eq!(units[0].width, 2);
         assert_eq!(units[0].align, 2);

@@ -1,0 +1,150 @@
+//! The machine-IR verifier as a pipeline gate: corrupt the lowered
+//! module between `lower` and `mir-verify` with an injected pass and
+//! check the rejection arrives as a named, source-chained
+//! [`AllocError::Stage`] — never a panic.
+
+use orion_alloc::pipeline::{Pass, Pipeline, PipelineState};
+use orion_alloc::realize::{AllocError, AllocOptions, SlotBudget};
+use orion_kir::builder::{build_fdiv_device, FunctionBuilder};
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::mir::{MModule, Place};
+use orion_kir::mir_verify::MirVerifyError;
+use orion_kir::types::{MemSpace, Width};
+
+/// A test-only pass that mutates the lowered machine code in place.
+struct Corrupt<F>(F);
+
+impl<F: Fn(&mut MModule)> Pass for Corrupt<F> {
+    fn name(&self) -> &'static str {
+        "corrupt"
+    }
+
+    fn run(&self, st: &mut PipelineState<'_>) -> Result<(), AllocError> {
+        let out = st.output.as_mut().expect("corrupt pass runs after lower");
+        (self.0)(&mut out.machine);
+        Ok(())
+    }
+}
+
+fn call_module() -> Module {
+    let kb = FunctionBuilder::kernel("k");
+    let mut m = Module::new(kb.finish());
+    let fdiv = m.add_func(build_fdiv_device());
+    let mut b = FunctionBuilder::kernel("k");
+    let keep = b.mov_i32(11);
+    let x = b.mov_f32(10.0);
+    let y = b.mov_f32(4.0);
+    let q = b.call(fdiv, vec![x.into(), y.into()], &[Width::W32]);
+    let s = b.iadd(keep, q[0]);
+    b.st(MemSpace::Global, Width::W32, Operand::Imm(0), s, 0);
+    m.funcs[0] = b.finish();
+    m
+}
+
+fn wide_module() -> Module {
+    let mut b = FunctionBuilder::kernel("k");
+    let d0 = b.vreg(Width::W64);
+    let d1 = b.vreg(Width::W64);
+    b.push(orion_kir::inst::Inst::new(
+        orion_kir::inst::Opcode::Mov,
+        Some(d0),
+        vec![Operand::Imm(1)],
+    ));
+    b.push(orion_kir::inst::Inst::new(
+        orion_kir::inst::Opcode::Mov,
+        Some(d1),
+        vec![Operand::Imm(2)],
+    ));
+    let s = b.dadd(d0, d1);
+    b.st(MemSpace::Global, Width::W64, Operand::Imm(0), s, 0);
+    Module::new(b.finish())
+}
+
+/// Run the verified pipeline with `mutate` injected after `lower` and
+/// return the error, asserting it is a `Stage` at `mir-verify` whose
+/// chained source is the verifier diagnostic.
+fn corrupted_err(module: &Module, mutate: impl Fn(&mut MModule) + 'static) -> MirVerifyError {
+    let mut p = Pipeline::verified(&AllocOptions::default());
+    assert!(p.insert_after("lower", Box::new(Corrupt(mutate))));
+    let err = p
+        .run(module, SlotBudget { reg_slots: 32, smem_slots: 0 })
+        .unwrap_err();
+    let AllocError::Stage { stage, source } = &err else {
+        panic!("expected a Stage error, got {err:?}");
+    };
+    assert_eq!(*stage, "mir-verify");
+    assert!(err.to_string().contains("mir-verify"), "{err}");
+    // The chain walks Stage → MirVerify → the kir diagnostic.
+    let chained = std::error::Error::source(&err).expect("stage chains its source");
+    assert!(std::error::Error::source(chained).is_some(), "{chained}");
+    let AllocError::MirVerify(v) = source.as_ref() else {
+        panic!("expected a MirVerify source, got {source:?}");
+    };
+    v.clone()
+}
+
+#[test]
+fn rejects_slot_out_of_range() {
+    let v = corrupted_err(&call_module(), |mm| {
+        let inst = mm.funcs[0]
+            .blocks
+            .iter_mut()
+            .flat_map(|b| &mut b.insts)
+            .find(|i| i.dst.is_some_and(|d| d.place == Place::Onchip))
+            .expect("an on-chip destination exists");
+        inst.dst.as_mut().unwrap().slot = 999;
+    });
+    let MirVerifyError::SlotOutOfRange { loc, .. } = v else {
+        panic!("expected SlotOutOfRange, got {v:?}");
+    };
+    assert_eq!(loc.slot, 999);
+    assert!(v.to_string().contains("address space"), "{v}");
+}
+
+#[test]
+fn rejects_frame_overflow() {
+    let v = corrupted_err(&call_module(), |mm| {
+        mm.funcs[1].frame_size = 500;
+    });
+    assert!(
+        matches!(v, MirVerifyError::FrameOverflow { .. }),
+        "expected FrameOverflow, got {v:?}"
+    );
+    assert!(v.to_string().contains("on-chip window"), "{v}");
+}
+
+#[test]
+fn rejects_misaligned_wide_register() {
+    let v = corrupted_err(&wide_module(), |mm| {
+        // Pick the lowest-slot wide destination so that bumping it by one
+        // stays inside the frame and trips only the alignment check.
+        let inst = mm.funcs[0]
+            .blocks
+            .iter_mut()
+            .flat_map(|b| &mut b.insts)
+            .filter(|i| {
+                i.dst
+                    .is_some_and(|d| d.place == Place::Onchip && d.width == Width::W64)
+            })
+            .min_by_key(|i| i.dst.unwrap().slot)
+            .expect("a wide on-chip destination exists");
+        let d = inst.dst.as_mut().unwrap();
+        assert_eq!(d.slot, 0, "the lowest wide slot sits at the frame base");
+        d.slot += 1; // odd slot: off the W64 alignment class
+    });
+    assert!(
+        matches!(v, MirVerifyError::MisalignedWide { .. }),
+        "expected MisalignedWide, got {v:?}"
+    );
+    assert!(v.to_string().contains("alignment class"), "{v}");
+}
+
+#[test]
+fn uncorrupted_modules_pass_the_gate() {
+    for m in [call_module(), wide_module()] {
+        Pipeline::verified(&AllocOptions::default())
+            .run(&m, SlotBudget { reg_slots: 32, smem_slots: 0 })
+            .expect("verified pipeline accepts sound lowerings");
+    }
+}

@@ -5,9 +5,9 @@
 //! over the same compiled candidates:
 //!
 //! 1. a **fault-free reference** with the plain
-//!    [`tune_loop`](orion_core::runtime::tune_loop);
+//!    [`tune_loop`];
 //! 2. a **chaotic run** through
-//!    [`resilient_tune_loop`](orion_core::resilient::resilient_tune_loop)
+//!    [`resilient_tune_loop`]
 //!    with a seeded [`FaultPlan`] injecting transient launch failures,
 //!    perturbed-device resource rejections, stuck-warp hangs, and timing
 //!    jitter/outliers.

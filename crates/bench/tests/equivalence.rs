@@ -1,0 +1,94 @@
+//! Behavior-preservation proof for the pipeline refactor: on the tier-1
+//! workloads, the typed pass pipeline ([`orion_alloc::pipeline`],
+//! driven by `allocate`) must be *bit-identical* to the frozen
+//! pre-refactor monolith ([`orion_alloc::reference`]) — same machine
+//! code, same allocation report — across register budgets and every
+//! `AllocOptions` ablation, and the fully verified pipeline must accept
+//! every lowered workload. The release-gated test closes the loop on
+//! the simulator: same machine code ⇒ same cycles and stall rollups.
+
+use orion_alloc::realize::{allocate, allocate_verified, AllocOptions, SlotBudget};
+use orion_alloc::reference::allocate_reference;
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::sim::{run_launch_opts, LaunchOptions};
+use orion_workloads::by_name;
+
+const WORKLOADS: [&str; 3] = ["matrixMul", "backprop", "hotspot"];
+
+const BUDGETS: [SlotBudget; 3] = [
+    SlotBudget { reg_slots: 16, smem_slots: 0 },
+    SlotBudget { reg_slots: 32, smem_slots: 0 },
+    SlotBudget { reg_slots: 24, smem_slots: 8 },
+];
+
+/// Every Figure 5 ablation the options can express.
+const ABLATIONS: [AllocOptions; 3] = [
+    AllocOptions { compress_stack: true, optimize_layout: true },
+    AllocOptions { compress_stack: true, optimize_layout: false },
+    AllocOptions { compress_stack: false, optimize_layout: false },
+];
+
+/// 3 workloads × 3 budgets × 3 ablations: the pipeline's `Allocated`
+/// (machine module *and* report) equals the frozen monolith's, and the
+/// verified pipeline (stage checks + machine-IR gate) accepts the same
+/// inputs with the same output.
+#[test]
+fn pipeline_is_bit_identical_to_reference_on_workloads() {
+    for name in WORKLOADS {
+        let w = by_name(name).expect("workload");
+        for budget in BUDGETS {
+            for opts in ABLATIONS {
+                let new = allocate(&w.module, budget, &opts).expect("pipeline allocate");
+                let old = allocate_reference(&w.module, budget, &opts).expect("reference");
+                assert_eq!(
+                    new.machine, old.machine,
+                    "{name}/{budget:?}/{opts:?}: machine code diverged from reference"
+                );
+                assert_eq!(
+                    new.report, old.report,
+                    "{name}/{budget:?}/{opts:?}: alloc report diverged from reference"
+                );
+                let verified = allocate_verified(&w.module, budget, &opts)
+                    .expect("verified pipeline accepts tier-1 workloads");
+                assert_eq!(
+                    verified.machine, new.machine,
+                    "{name}/{budget:?}/{opts:?}: verification changed the output"
+                );
+            }
+        }
+    }
+}
+
+/// Simulator-level parity: running the pipeline's binary and the
+/// reference binary yields identical `RunResult`s (cycles, stall
+/// buckets, per-SM rollups) and global memory on the real workloads.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "sim-heavy; run with --release")]
+fn pipeline_and_reference_binaries_simulate_identically() {
+    let dev = DeviceSpec::gtx680();
+    for name in WORKLOADS {
+        let w = by_name(name).expect("workload");
+        for budget in [BUDGETS[0], BUDGETS[1]] {
+            let opts = AllocOptions::default();
+            let new = allocate(&w.module, budget, &opts).expect("pipeline allocate");
+            let old = allocate_reference(&w.module, budget, &opts).expect("reference");
+            let run = |machine| {
+                let mut global = w.init_global.clone();
+                let r = run_launch_opts(
+                    &dev,
+                    machine,
+                    w.launch(),
+                    &w.params,
+                    &mut global,
+                    LaunchOptions::default(),
+                )
+                .expect("launch");
+                (r, global)
+            };
+            let (r_new, g_new) = run(&new.machine);
+            let (r_old, g_old) = run(&old.machine);
+            assert_eq!(r_new, r_old, "{name}/{budget:?}: sim results diverged");
+            assert_eq!(g_new, g_old, "{name}/{budget:?}: global memory diverged");
+        }
+    }
+}

@@ -28,14 +28,15 @@
 //!
 //! Entries never go stale — the key captures every input of the
 //! allocation function — so the only invalidation is capacity-bound
-//! FIFO eviction ([`CACHE_CAPACITY`]) plus the explicit [`reset`] used
-//! by benches to measure cold-cache behavior. Allocation *errors* are
-//! not cached; they are deterministic but cheap (they fail early), and
-//! callers treat them as exceptional.
+//! FIFO eviction (capacity set by [`CacheConfig`], default
+//! [`CACHE_CAPACITY`]) plus the explicit [`reset`] used by benches to
+//! measure cold-cache behavior. Allocation *errors* are not cached;
+//! they are deterministic but cheap (they fail early), and callers
+//! treat them as exceptional.
 //!
-//! Hit/miss counters are exported both programmatically ([`stats`])
-//! and as `orion-telemetry` counters under the `compile_cache`
-//! category.
+//! Hit/miss/eviction counters are exported both programmatically
+//! ([`stats`]) and as `orion-telemetry` counters under the
+//! `compile_cache` category.
 
 use orion_alloc::realize::{allocate, AllocError, AllocOptions, Allocated, SlotBudget};
 use orion_kir::function::Module;
@@ -43,10 +44,24 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Maximum resident entries; far above any single tuning session in
-/// this repo (a sweep realizes ≤ 16 versions per kernel), so eviction
-/// only matters to unbounded multi-kernel processes.
+/// Default maximum resident entries; far above any single tuning
+/// session in this repo (a sweep realizes ≤ 16 versions per kernel), so
+/// eviction only matters to unbounded multi-kernel processes.
 pub const CACHE_CAPACITY: usize = 256;
+
+/// Tunable parameters of the process-wide compile cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum resident entries; `0` disables caching entirely (every
+    /// allocation is a miss and nothing is retained).
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity: CACHE_CAPACITY }
+    }
+}
 
 type Key = (u64, SlotBudget, AllocOptions);
 
@@ -54,16 +69,47 @@ struct CacheState {
     map: HashMap<Key, Arc<Allocated>>,
     /// Insertion order, for FIFO eviction at capacity.
     order: VecDeque<Key>,
+    cfg: CacheConfig,
+}
+
+impl CacheState {
+    /// FIFO-evict until at most `room_for` more entries fit.
+    fn evict_to_fit(&mut self, room_for: usize) {
+        while self.map.len() + room_for > self.cfg.capacity {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.map.remove(&oldest);
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            orion_telemetry::counter("compile_cache", "evictions", 1);
+        }
+    }
 }
 
 static STATE: OnceLock<Mutex<CacheState>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 fn state() -> &'static Mutex<CacheState> {
     STATE.get_or_init(|| {
-        Mutex::new(CacheState { map: HashMap::new(), order: VecDeque::new() })
+        Mutex::new(CacheState {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cfg: CacheConfig::default(),
+        })
     })
+}
+
+/// Replace the cache configuration, evicting (FIFO) down to the new
+/// capacity if it shrank. Counters are unaffected.
+pub fn configure(cfg: CacheConfig) {
+    let mut st = state().lock().expect("compile cache poisoned");
+    st.cfg = cfg;
+    st.evict_to_fit(0);
+}
+
+/// The currently active cache configuration.
+pub fn config() -> CacheConfig {
+    state().lock().expect("compile cache poisoned").cfg
 }
 
 /// Counter snapshot of the process-wide compile cache.
@@ -73,6 +119,8 @@ pub struct CompileCacheStats {
     pub hits: u64,
     /// Allocations actually performed (Chaitin-Briggs + layout).
     pub misses: u64,
+    /// Entries dropped by capacity-bound FIFO eviction.
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -98,34 +146,33 @@ pub fn allocate_cached(
     orion_telemetry::counter("compile_cache", "miss", 1);
     let out = allocate(module, budget, opts)?;
     let mut st = state().lock().expect("compile cache poisoned");
-    if !st.map.contains_key(&key) {
-        if st.map.len() >= CACHE_CAPACITY {
-            if let Some(oldest) = st.order.pop_front() {
-                st.map.remove(&oldest);
-            }
-        }
+    if st.cfg.capacity > 0 && !st.map.contains_key(&key) {
+        st.evict_to_fit(1);
         st.order.push_back(key);
         st.map.insert(key, Arc::new(out.clone()));
     }
     Ok(out)
 }
 
-/// Snapshot the hit/miss counters and resident entry count.
+/// Snapshot the hit/miss/eviction counters and resident entry count.
 pub fn stats() -> CompileCacheStats {
     CompileCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
         entries: state().lock().expect("compile cache poisoned").map.len(),
     }
 }
 
 /// Drop every entry and zero the counters (cold-cache measurements).
+/// The configured capacity is kept.
 pub fn reset() {
     let mut st = state().lock().expect("compile cache poisoned");
     st.map.clear();
     st.order.clear();
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    EVICTIONS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

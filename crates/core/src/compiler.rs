@@ -18,10 +18,10 @@
 //!   padding the driver's per-block shared-memory reservation;
 //! * a fail-safe version in the opposite direction.
 
-use crate::budget::{budget_for_warps, smem_padding_for_warps};
+use crate::budget::budget_for_warps;
 use crate::error::OrionError;
-use crate::cache::allocate_cached;
-use orion_alloc::realize::{kernel_max_live, AllocOptions, AllocReport, SlotBudget};
+use crate::version::VersionBuilder;
+use orion_alloc::realize::{kernel_max_live, AllocReport, SlotBudget};
 use orion_gpusim::device::DeviceSpec;
 use orion_gpusim::occupancy::{occupancy, KernelResources};
 use orion_kir::function::Module;
@@ -123,33 +123,6 @@ impl CompiledKernel {
     }
 }
 
-fn compile_at(
-    module: &Module,
-    dev: &DeviceSpec,
-    block: u32,
-    budget: SlotBudget,
-    extra_smem: u32,
-    label: String,
-) -> Result<KernelVersion, OrionError> {
-    let alloc = allocate_cached(module, budget, &AllocOptions::default())?;
-    let res = KernelResources {
-        regs_per_thread: alloc.machine.regs_per_thread,
-        smem_per_block: alloc.machine.smem_bytes_per_block(block) + extra_smem,
-        block_size: block,
-    };
-    let occ = occupancy(dev, &res);
-    Ok(KernelVersion {
-        target_warps: occ.active_warps,
-        achieved_warps: occ.active_warps,
-        occupancy: occ.occupancy,
-        extra_smem,
-        report: alloc.report,
-        machine: alloc.machine,
-        fail_safe: false,
-        label,
-    })
-}
-
 /// Run the compile-time stage of Orion on a kernel module.
 ///
 /// # Errors
@@ -167,16 +140,14 @@ pub fn compile(
         Direction::Decreasing
     };
     let warps_per_block = cfg.block.div_ceil(dev.warp_size);
+    let vb = VersionBuilder::new(dev, cfg.block, module);
 
     // Original: minimal registers holding all live values (or hw cap).
     let original_regs = (max_live.min(u32::from(dev.max_regs_per_thread)) as u16).max(2);
-    let original = compile_at(
-        module,
-        dev,
-        cfg.block,
+    let original = vb.realize(
         SlotBudget { reg_slots: original_regs, smem_slots: 0 },
         0,
-        "original".to_string(),
+        "original",
     )?;
 
     let mut versions: Vec<KernelVersion> = vec![original];
@@ -228,7 +199,7 @@ pub fn compile(
                 } else {
                     format!("occ={w}")
                 };
-                let v = compile_at(module, dev, cfg.block, budget, 0, label)?;
+                let v = vb.realize(budget, 0, label)?;
                 // Skip duplicates (same achieved occupancy as an
                 // existing version).
                 if versions.iter().any(|x| {
@@ -240,22 +211,9 @@ pub fn compile(
                 versions.push(v);
             }
             // Fail-safe: one step *down* from the original via padding.
-            let res = versions[0].resources(cfg.block);
             let target = versions[0].achieved_warps.saturating_sub(warps_per_block);
             if target > 0 {
-                if let Some(pad) = smem_padding_for_warps(dev, &res, target) {
-                    let mut fs = versions[0].clone();
-                    fs.extra_smem = pad;
-                    let occ = occupancy(
-                        dev,
-                        &KernelResources {
-                            smem_per_block: res.smem_per_block + pad,
-                            ..res
-                        },
-                    );
-                    fs.achieved_warps = occ.active_warps;
-                    fs.target_warps = target;
-                    fs.occupancy = occ.occupancy;
+                if let Some(mut fs) = vb.padded(&versions[0], target) {
                     fs.fail_safe = true;
                     fs.label = "fail-safe-down".to_string();
                     versions.push(fs);
@@ -265,8 +223,7 @@ pub fn compile(
         Direction::Decreasing if cfg.can_tune => {
             // Downward levels realized by shared-memory padding of the
             // *same* binary (no recompilation, Figure 8's note).
-            let res = versions[0].resources(cfg.block);
-            let base_occ = occupancy(dev, &res);
+            let base_occ = occupancy(dev, &versions[0].resources(cfg.block));
             let max_blocks = base_occ.active_blocks;
             let mut added = 0usize;
             for blocks in (1..max_blocks).rev() {
@@ -274,25 +231,12 @@ pub fn compile(
                     break;
                 }
                 let target = blocks * warps_per_block;
-                let Some(pad) = smem_padding_for_warps(dev, &res, target) else {
+                let Some(v) = vb.padded(&versions[0], target) else {
                     continue;
                 };
-                let occ = occupancy(
-                    dev,
-                    &KernelResources {
-                        smem_per_block: res.smem_per_block + pad,
-                        ..res
-                    },
-                );
-                if versions.iter().any(|v| v.achieved_warps == occ.active_warps) {
+                if versions.iter().any(|x| x.achieved_warps == v.achieved_warps) {
                     continue;
                 }
-                let mut v = versions[0].clone();
-                v.extra_smem = pad;
-                v.target_warps = target;
-                v.achieved_warps = occ.active_warps;
-                v.occupancy = occ.occupancy;
-                v.label = format!("occ={}", occ.active_warps);
                 versions.push(v);
                 added += 1;
             }
@@ -317,33 +261,21 @@ pub fn compile(
                 {
                     let budget = budget_for_warps(dev, cfg.block, module.user_smem_bytes, w)
                         .expect("achievable");
-                    let v =
-                        compile_at(module, dev, cfg.block, budget, 0, "static".to_string())?;
+                    let v = vb.realize(budget, 0, "static")?;
                     versions = vec![v];
                 }
             } else {
                 let min_warps = static_min_warps(module, dev);
-                let res = versions[0].resources(cfg.block);
-                let base = occupancy(dev, &res);
+                let base = occupancy(dev, &versions[0].resources(cfg.block));
                 let mut best: Option<KernelVersion> = None;
                 for blocks in 1..=base.active_blocks {
                     let target = blocks * warps_per_block;
                     if target < min_warps {
                         continue;
                     }
-                    let pad = smem_padding_for_warps(dev, &res, target).unwrap_or(0);
-                    let occ = occupancy(
-                        dev,
-                        &KernelResources {
-                            smem_per_block: res.smem_per_block + pad,
-                            ..res
-                        },
-                    );
-                    let mut v = versions[0].clone();
-                    v.extra_smem = pad;
-                    v.target_warps = target;
-                    v.achieved_warps = occ.active_warps;
-                    v.occupancy = occ.occupancy;
+                    let mut v = vb
+                        .padded(&versions[0], target)
+                        .unwrap_or_else(|| vb.repad(&versions[0], target, 0));
                     v.label = "static".to_string();
                     best = Some(v);
                     break;

@@ -62,8 +62,10 @@ pub mod orion;
 pub mod resilient;
 pub mod runtime;
 pub mod splitting;
+pub mod version;
 
-pub use cache::{allocate_cached, CompileCacheStats};
+pub use cache::{allocate_cached, CacheConfig, CompileCacheStats};
+pub use version::VersionBuilder;
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
 pub use error::{ErrorContext, OrionError};
 pub use orion::Orion;

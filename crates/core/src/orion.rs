@@ -2,14 +2,12 @@
 //! versions, the nvcc-like baseline, or a full occupancy sweep, and run
 //! versions on the simulated device.
 
-use crate::budget::{budget_for_warps, smem_padding_for_warps};
 use crate::compiler::{compile, CompiledKernel, KernelVersion, TuningConfig};
 use crate::error::OrionError;
-use crate::cache::allocate_cached;
-use orion_alloc::realize::{kernel_max_live, AllocOptions, SlotBudget};
+use crate::version::VersionBuilder;
+use orion_alloc::realize::{kernel_max_live, SlotBudget};
 use orion_gpusim::device::DeviceSpec;
 use orion_gpusim::exec::Launch;
-use orion_gpusim::occupancy::{occupancy, KernelResources};
 use orion_gpusim::sim::{run_launch_opts, LaunchOptions, RunResult};
 use orion_kir::function::Module;
 
@@ -48,27 +46,11 @@ impl Orion {
         orion_kir::verify::verify(module)?;
         let max_live = kernel_max_live(module)?;
         let regs = (max_live.min(u32::from(self.dev.max_regs_per_thread)) as u16).max(2);
-        let alloc = allocate_cached(
-            module,
+        VersionBuilder::new(&self.dev, self.cfg.block, module).realize(
             SlotBudget { reg_slots: regs, smem_slots: 0 },
-            &AllocOptions::default(),
-        )?;
-        let res = KernelResources {
-            regs_per_thread: alloc.machine.regs_per_thread,
-            smem_per_block: alloc.machine.smem_bytes_per_block(self.cfg.block),
-            block_size: self.cfg.block,
-        };
-        let occ = occupancy(&self.dev, &res);
-        Ok(KernelVersion {
-            target_warps: occ.active_warps,
-            achieved_warps: occ.active_warps,
-            occupancy: occ.occupancy,
-            extra_smem: 0,
-            report: alloc.report,
-            machine: alloc.machine,
-            fail_safe: false,
-            label: "nvcc".to_string(),
-        })
+            0,
+            "nvcc",
+        )
     }
 
     /// One version per achievable occupancy level (block-granular),
@@ -81,43 +63,14 @@ impl Orion {
     /// Fails when no level is achievable at all.
     pub fn sweep(&self, module: &Module) -> Result<Vec<KernelVersion>, OrionError> {
         orion_kir::verify::verify(module)?;
+        let vb = VersionBuilder::new(&self.dev, self.cfg.block, module);
         let warps_per_block = self.cfg.block.div_ceil(self.dev.warp_size);
         let mut out: Vec<KernelVersion> = Vec::new();
         let mut w = warps_per_block;
         while w <= self.dev.max_warps_per_sm {
-            if let Some(budget) =
-                budget_for_warps(&self.dev, self.cfg.block, module.user_smem_bytes, w)
-            {
-                let alloc = allocate_cached(module, budget, &AllocOptions::default())?;
-                let mut res = KernelResources {
-                    regs_per_thread: alloc.machine.regs_per_thread,
-                    smem_per_block: alloc.machine.smem_bytes_per_block(self.cfg.block),
-                    block_size: self.cfg.block,
-                };
-                let mut extra = 0;
-                if let Some(pad) = smem_padding_for_warps(&self.dev, &res, w) {
-                    extra = pad;
-                    res.smem_per_block += pad;
-                }
-                let occ = occupancy(&self.dev, &res);
-                if occ.active_blocks == 0 {
-                    w += warps_per_block;
-                    continue;
-                }
-                if !out
-                    .iter()
-                    .any(|v: &KernelVersion| v.achieved_warps == occ.active_warps)
-                {
-                    out.push(KernelVersion {
-                        target_warps: w,
-                        achieved_warps: occ.active_warps,
-                        occupancy: occ.occupancy,
-                        extra_smem: extra,
-                        report: alloc.report,
-                        machine: alloc.machine,
-                        fail_safe: false,
-                        label: format!("sweep-occ={}", occ.active_warps),
-                    });
+            if let Some(v) = vb.sweep_level(w)? {
+                if !out.iter().any(|x| x.achieved_warps == v.achieved_warps) {
+                    out.push(v);
                 }
             }
             w += warps_per_block;

@@ -1,4 +1,4 @@
-//! Kernel splitting (§3.4, after [30]): when the application has no
+//! Kernel splitting (§3.4, after \[30\]): when the application has no
 //! iteration loop but launches many blocks, Orion splits one invocation
 //! into several smaller ones so the runtime tuner gets iterations to
 //! measure. The split slices the grid; `%nctaid` keeps reporting the

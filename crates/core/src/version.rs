@@ -1,0 +1,199 @@
+//! Shared construction of [`KernelVersion`]s.
+//!
+//! The compile stage ([`crate::compiler::compile`]), the nvcc-like
+//! baseline, and the exhaustive occupancy sweep all produce the same
+//! artifact — a compiled binary annotated with the occupancy the driver
+//! will schedule it at. [`VersionBuilder`] is the single place that
+//! assembles one, always through the compile cache
+//! ([`crate::cache::allocate_cached`]), so every caller shares both the
+//! construction logic and the cached allocations.
+
+use crate::budget::{budget_for_warps, smem_padding_for_warps};
+use crate::cache::allocate_cached;
+use crate::compiler::KernelVersion;
+use crate::error::OrionError;
+use orion_alloc::realize::{AllocOptions, SlotBudget};
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::occupancy::{occupancy, KernelResources};
+use orion_kir::function::Module;
+
+/// Builds [`KernelVersion`]s for one module on one device at one block
+/// size.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionBuilder<'a> {
+    dev: &'a DeviceSpec,
+    block: u32,
+    module: &'a Module,
+}
+
+impl<'a> VersionBuilder<'a> {
+    /// A builder for `module` on `dev` launched with `block` threads per
+    /// block.
+    pub fn new(dev: &'a DeviceSpec, block: u32, module: &'a Module) -> Self {
+        VersionBuilder { dev, block, module }
+    }
+
+    /// Driver-visible resources of a compiled binary plus `extra_smem`
+    /// bytes of per-block padding.
+    fn resources(&self, machine: &orion_kir::mir::MModule, extra_smem: u32) -> KernelResources {
+        KernelResources {
+            regs_per_thread: machine.regs_per_thread,
+            smem_per_block: machine.smem_bytes_per_block(self.block) + extra_smem,
+            block_size: self.block,
+        }
+    }
+
+    /// Allocate under `budget` (through the compile cache) and derive
+    /// the occupancy the driver will schedule, with `extra_smem` bytes
+    /// of per-block padding already applied.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn realize(
+        &self,
+        budget: SlotBudget,
+        extra_smem: u32,
+        label: impl Into<String>,
+    ) -> Result<KernelVersion, OrionError> {
+        let alloc = allocate_cached(self.module, budget, &AllocOptions::default())?;
+        let occ = occupancy(self.dev, &self.resources(&alloc.machine, extra_smem));
+        Ok(KernelVersion {
+            target_warps: occ.active_warps,
+            achieved_warps: occ.active_warps,
+            occupancy: occ.occupancy,
+            extra_smem,
+            report: alloc.report,
+            machine: alloc.machine,
+            fail_safe: false,
+            label: label.into(),
+        })
+    }
+
+    /// One sweep level: reallocate for `target_warps` warps per SM,
+    /// padding shared memory down to the target when the binary's
+    /// natural occupancy exceeds it. `None` when the level is not
+    /// achievable (no budget, or zero schedulable blocks).
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn sweep_level(&self, target_warps: u32) -> Result<Option<KernelVersion>, OrionError> {
+        let Some(budget) =
+            budget_for_warps(self.dev, self.block, self.module.user_smem_bytes, target_warps)
+        else {
+            return Ok(None);
+        };
+        let alloc = allocate_cached(self.module, budget, &AllocOptions::default())?;
+        let mut res = self.resources(&alloc.machine, 0);
+        let mut extra = 0;
+        if let Some(pad) = smem_padding_for_warps(self.dev, &res, target_warps) {
+            extra = pad;
+            res.smem_per_block += pad;
+        }
+        let occ = occupancy(self.dev, &res);
+        if occ.active_blocks == 0 {
+            return Ok(None);
+        }
+        Ok(Some(KernelVersion {
+            target_warps,
+            achieved_warps: occ.active_warps,
+            occupancy: occ.occupancy,
+            extra_smem: extra,
+            report: alloc.report,
+            machine: alloc.machine,
+            fail_safe: false,
+            label: format!("sweep-occ={}", occ.active_warps),
+        }))
+    }
+
+    /// Re-derive `base` at `target_warps` by setting its driver-side
+    /// shared-memory padding to `pad` bytes — the paper's
+    /// no-recompilation downward step. The label becomes
+    /// `occ=<achieved>`; callers override it (and `fail_safe`) as
+    /// needed.
+    pub fn repad(&self, base: &KernelVersion, target_warps: u32, pad: u32) -> KernelVersion {
+        let occ = occupancy(self.dev, &self.resources(&base.machine, pad));
+        let mut v = base.clone();
+        v.extra_smem = pad;
+        v.target_warps = target_warps;
+        v.achieved_warps = occ.active_warps;
+        v.occupancy = occ.occupancy;
+        v.fail_safe = false;
+        v.label = format!("occ={}", occ.active_warps);
+        v
+    }
+
+    /// [`VersionBuilder::repad`] with the padding computed: pad `base`
+    /// down to `target_warps` warps per SM. `None` when no amount of
+    /// padding yields that level.
+    pub fn padded(&self, base: &KernelVersion, target_warps: u32) -> Option<KernelVersion> {
+        let res = self.resources(&base.machine, 0);
+        let pad = smem_padding_for_warps(self.dev, &res, target_warps)?;
+        Some(self.repad(base, target_warps, pad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_kir::builder::FunctionBuilder;
+    use orion_kir::inst::Operand;
+    use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+    fn kernel(live: usize) -> Module {
+        let mut b = FunctionBuilder::kernel("k");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let addr = b.imad(tid, Operand::Imm(4), Operand::Param(0));
+        let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+        let vals: Vec<_> = (0..live).map(|k| b.fmul(x, Operand::Imm(k as i64))).collect();
+        let mut acc = b.mov_f32(0.0);
+        for v in vals {
+            acc = b.fadd(acc, v);
+        }
+        b.st(MemSpace::Global, Width::W32, addr, acc, 0);
+        Module::new(b.finish())
+    }
+
+    #[test]
+    fn realize_matches_occupancy_of_binary() {
+        let dev = DeviceSpec::gtx680();
+        let m = kernel(8);
+        let vb = VersionBuilder::new(&dev, 256, &m);
+        let v = vb
+            .realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "t")
+            .unwrap();
+        assert_eq!(v.label, "t");
+        assert_eq!(v.target_warps, v.achieved_warps);
+        assert!(v.achieved_warps > 0);
+        assert!(!v.fail_safe);
+    }
+
+    #[test]
+    fn padded_reaches_lower_level_without_recompiling() {
+        let dev = DeviceSpec::c2075();
+        let m = kernel(4);
+        let vb = VersionBuilder::new(&dev, 192, &m);
+        let base = vb
+            .realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "base")
+            .unwrap();
+        let warps_per_block = 192u32.div_ceil(dev.warp_size);
+        let target = base.achieved_warps - warps_per_block;
+        let down = vb.padded(&base, target).expect("padding achievable");
+        assert!(down.extra_smem > 0);
+        assert!(down.achieved_warps < base.achieved_warps);
+        // Same binary: padding is a driver-side knob.
+        assert_eq!(down.machine, base.machine);
+    }
+
+    #[test]
+    fn repad_zero_is_identity_occupancy() {
+        let dev = DeviceSpec::c2075();
+        let m = kernel(4);
+        let vb = VersionBuilder::new(&dev, 192, &m);
+        let base = vb
+            .realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "base")
+            .unwrap();
+        let same = vb.repad(&base, base.achieved_warps, 0);
+        assert_eq!(same.achieved_warps, base.achieved_warps);
+        assert_eq!(same.extra_smem, 0);
+    }
+}

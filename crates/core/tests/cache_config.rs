@@ -1,0 +1,76 @@
+//! Capacity/eviction behavior of the process-global compile cache.
+//!
+//! Lives in its own integration-test binary (one process, one cache) so
+//! the counters are not raced by the crate's unit tests.
+
+use orion_core::cache::{self, CacheConfig, CACHE_CAPACITY};
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+use orion_alloc::realize::{AllocOptions, SlotBudget};
+
+fn module(tag: i64) -> Module {
+    let mut b = FunctionBuilder::kernel("cfg");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let a = b.imad(tid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, a, 0);
+    let y = b.iadd(x, Operand::Imm(tag)); // distinct fingerprint per tag
+    b.st(MemSpace::Global, Width::W32, a, y, 0);
+    Module::new(b.finish())
+}
+
+fn alloc(tag: i64) {
+    cache::allocate_cached(
+        &module(tag),
+        SlotBudget { reg_slots: 8, smem_slots: 0 },
+        &AllocOptions::default(),
+    )
+    .expect("alloc");
+}
+
+#[test]
+fn capacity_bounds_entries_and_counts_evictions() {
+    assert_eq!(cache::config(), CacheConfig::default());
+    assert_eq!(cache::config().capacity, CACHE_CAPACITY);
+
+    cache::reset();
+    cache::configure(CacheConfig { capacity: 3 });
+    for tag in 0..5 {
+        alloc(tag);
+    }
+    let st = cache::stats();
+    assert_eq!(st.entries, 3, "{st:?}");
+    assert_eq!(st.misses, 5, "{st:?}");
+    assert_eq!(st.evictions, 2, "{st:?}");
+
+    // FIFO: tags 0 and 1 were evicted, tag 4 is resident.
+    let before = cache::stats();
+    alloc(4);
+    alloc(0);
+    let st = cache::stats();
+    assert_eq!(st.hits, before.hits + 1, "{st:?}");
+    assert_eq!(st.misses, before.misses + 1, "{st:?}");
+
+    // Shrinking evicts down immediately.
+    cache::configure(CacheConfig { capacity: 1 });
+    assert_eq!(cache::stats().entries, 1);
+
+    // Capacity 0 disables retention: repeat allocations all miss.
+    cache::configure(CacheConfig { capacity: 0 });
+    assert_eq!(cache::stats().entries, 0);
+    let before = cache::stats();
+    alloc(7);
+    alloc(7);
+    let st = cache::stats();
+    assert_eq!(st.misses, before.misses + 2, "{st:?}");
+    assert_eq!(st.hits, before.hits, "{st:?}");
+    assert_eq!(st.entries, 0, "{st:?}");
+
+    // Reset keeps the configured capacity but zeroes counters.
+    cache::configure(CacheConfig { capacity: 2 });
+    cache::reset();
+    let st = cache::stats();
+    assert_eq!((st.hits, st.misses, st.evictions, st.entries), (0, 0, 0, 0));
+    assert_eq!(cache::config().capacity, 2);
+}

@@ -12,7 +12,7 @@
 //! * shared-memory bank conflicts and private-slot access costs;
 //! * SIMT divergence via immediate-post-dominator reconvergence;
 //! * barriers, device-function calls, and compressible-stack moves;
-//! * the NVIDIA occupancy calculator ([`occupancy`]) and device
+//! * the NVIDIA occupancy calculator ([`mod@occupancy`]) and device
 //!   descriptors for the paper's GTX680 and Tesla C2075;
 //! * a power/energy model attributing register-file leakage to
 //!   occupancy ([`power`]).

@@ -47,6 +47,7 @@ pub mod inst;
 pub mod interp;
 pub mod liveness;
 pub mod mir;
+pub mod mir_verify;
 pub mod sem;
 pub mod ssa;
 pub mod types;

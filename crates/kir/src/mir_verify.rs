@@ -1,0 +1,526 @@
+//! Machine-IR verifier: the post-allocation gate of the compilation
+//! pipeline.
+//!
+//! The allocator's lowering stage turns the paper's §3.2 plan (coloring,
+//! compressed stack, optimized layout) into explicit machine code. This
+//! module re-checks the lowered [`MModule`] against the invariants that
+//! plan was supposed to guarantee, so a buggy pass — or a future pass
+//! inserted into the pipeline — is caught at the stage boundary instead
+//! of as silent memory corruption inside the simulator:
+//!
+//! * **Slot ranges** — every on-chip location fits below
+//!   `regs_per_thread + smem_slots_per_thread`, every local-memory
+//!   location below `local_slots_per_thread`, and every frame
+//!   (`frame_base + frame_size`) fits in the on-chip window.
+//! * **Wide-register alignment** — 64/96/128-bit values referenced by
+//!   ordinary instructions sit at their hardware alignment class
+//!   (pairs even, quads quad-aligned) on the *absolute* slot index.
+//!   Stack-compression move chunks are exempt: a four-word unit built
+//!   from four independent 32-bit webs may legally straddle any offset.
+//! * **Move ordering** — within one parallel-move block (a maximal run
+//!   of `is_stack_move` `Mov`s), no move reads a word that an earlier
+//!   move of the same block already overwrote, unless it reads the
+//!   reserved local-memory scratch area (the cycle-breaking bounce).
+//!   This is exactly the contract of the allocator's sequentializer; an
+//!   out-of-order restore move violates it.
+//! * **Frame-base monotonicity** — the entry frame starts at slot 0 and
+//!   every call targets a callee whose frame base is at or above the
+//!   caller's (frames only grow downward-to-upward along call edges).
+//!
+//! ## Parallel-move block boundaries
+//!
+//! Two consecutive calls lower to `…restore moves… …compression/argument
+//! moves…` with no separating instruction, so the maximal-run heuristic
+//! would fuse two independent move blocks and could report a false
+//! clobber (the second block legitimately re-reads slots the first one
+//! restored). The allocator therefore records the exact block starts it
+//! emitted in a [`MoveRuns`] table and passes it to
+//! [`verify_mir_with`]; stand-alone callers of [`verify_mir`] fall back
+//! to the maximal-run approximation, which is exact whenever no two
+//! calls are adjacent.
+
+use crate::inst::Opcode;
+use crate::mir::{MFunction, MInst, MLoc, MModule, MOperand, Place};
+use crate::types::FuncId;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Tuning knobs of the MIR verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MirVerifyConfig {
+    /// Local-memory slots reserved as the parallel-move scratch area;
+    /// reads and writes inside it are exempt from the move-ordering
+    /// check (they *are* the cycle-breaking mechanism).
+    pub scratch_slots: u16,
+}
+
+impl Default for MirVerifyConfig {
+    fn default() -> Self {
+        // Mirrors `orion_alloc::realize::SCRATCH_SLOTS` (a W128 bounce).
+        MirVerifyConfig { scratch_slots: 4 }
+    }
+}
+
+/// Where in a module a verification failure was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirSite {
+    /// Function name.
+    pub func: String,
+    /// Block index within the function.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub idx: usize,
+}
+
+impl fmt::Display for MirSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.b{}[{}]", self.func, self.block, self.idx)
+    }
+}
+
+/// A named machine-IR invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MirVerifyError {
+    /// The module entry index is out of the function table.
+    EntryOutOfRange { entry: FuncId, funcs: usize },
+    /// The kernel entry's frame does not start at slot 0.
+    EntryFrameBase { base: u16 },
+    /// A function's frame sticks out of the on-chip slot window.
+    FrameOverflow {
+        func: String,
+        frame_base: u16,
+        frame_size: u16,
+        onchip_slots: u16,
+    },
+    /// A location's slot range exceeds its address space.
+    SlotOutOfRange { site: MirSite, loc: MLoc, limit: u16 },
+    /// A wide on-chip value is not at its hardware alignment class.
+    MisalignedWide { site: MirSite, loc: MLoc },
+    /// A call targets a function id outside the module.
+    BadCallee { site: MirSite, callee: FuncId },
+    /// A call targets a callee whose frame base is *below* the caller's.
+    FrameBaseRegression {
+        site: MirSite,
+        callee: FuncId,
+        caller_base: u16,
+        callee_base: u16,
+    },
+    /// A stack move reads a word that an earlier move of the same
+    /// parallel-move block already overwrote (out-of-order restore).
+    ClobberedMoveSource { site: MirSite, loc: MLoc },
+    /// A stack move rewrites a non-scratch word that an earlier move of
+    /// the same parallel-move block already wrote.
+    RewrittenMoveDest { site: MirSite, loc: MLoc },
+}
+
+impl fmt::Display for MirVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MirVerifyError::EntryOutOfRange { entry, funcs } => {
+                write!(f, "entry function {} out of range ({funcs} functions)", entry.0)
+            }
+            MirVerifyError::EntryFrameBase { base } => {
+                write!(f, "kernel entry frame must start at slot 0, found {base}")
+            }
+            MirVerifyError::FrameOverflow { func, frame_base, frame_size, onchip_slots } => {
+                write!(
+                    f,
+                    "{func}: frame [{frame_base}, {}) exceeds the {onchip_slots}-slot \
+                     on-chip window",
+                    frame_base + frame_size
+                )
+            }
+            MirVerifyError::SlotOutOfRange { site, loc, limit } => {
+                write!(f, "{site}: location {loc} exceeds its {limit}-slot address space")
+            }
+            MirVerifyError::MisalignedWide { site, loc } => {
+                write!(
+                    f,
+                    "{site}: wide value {loc} violates its {}-slot alignment class",
+                    loc.width.alignment()
+                )
+            }
+            MirVerifyError::BadCallee { site, callee } => {
+                write!(f, "{site}: call targets unknown function {}", callee.0)
+            }
+            MirVerifyError::FrameBaseRegression { site, callee, caller_base, callee_base } => {
+                write!(
+                    f,
+                    "{site}: callee {} frame base {callee_base} is below the caller's \
+                     {caller_base} (frame bases must be monotone along call edges)",
+                    callee.0
+                )
+            }
+            MirVerifyError::ClobberedMoveSource { site, loc } => {
+                write!(
+                    f,
+                    "{site}: stack move reads {loc} after an earlier move of the same \
+                     parallel-move block overwrote it (out-of-order move)"
+                )
+            }
+            MirVerifyError::RewrittenMoveDest { site, loc } => {
+                write!(
+                    f,
+                    "{site}: stack move rewrites {loc} within one parallel-move block"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MirVerifyError {}
+
+/// Exact parallel-move block starts recorded by the lowering stage,
+/// keyed by `(function index, block index)`.
+///
+/// Without this table the verifier treats every maximal run of stack
+/// moves as one block (see the module docs for when that
+/// over-approximates).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MoveRuns {
+    starts: HashMap<(usize, usize), Vec<usize>>,
+}
+
+impl MoveRuns {
+    /// An empty table (every maximal run is one block).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a new parallel-move block starts at instruction
+    /// `idx` of `(func, block)`.
+    pub fn note(&mut self, func: usize, block: usize, idx: usize) {
+        self.starts.entry((func, block)).or_default().push(idx);
+    }
+
+    fn is_start(&self, func: usize, block: usize, idx: usize) -> bool {
+        self.starts
+            .get(&(func, block))
+            .is_some_and(|v| v.contains(&idx))
+    }
+}
+
+/// Verify `m` with the default configuration and maximal-run move-block
+/// inference.
+///
+/// # Errors
+/// Returns the first [`MirVerifyError`] found.
+pub fn verify_mir(m: &MModule) -> Result<(), MirVerifyError> {
+    verify_mir_with(m, &MirVerifyConfig::default(), None)
+}
+
+/// Verify `m` under `cfg`, using `runs` (when provided) as the exact
+/// parallel-move block boundaries emitted by the lowering stage.
+///
+/// # Errors
+/// Returns the first [`MirVerifyError`] found.
+pub fn verify_mir_with(
+    m: &MModule,
+    cfg: &MirVerifyConfig,
+    runs: Option<&MoveRuns>,
+) -> Result<(), MirVerifyError> {
+    if (m.entry.0 as usize) >= m.funcs.len() {
+        return Err(MirVerifyError::EntryOutOfRange { entry: m.entry, funcs: m.funcs.len() });
+    }
+    if m.kernel().frame_base != 0 {
+        return Err(MirVerifyError::EntryFrameBase { base: m.kernel().frame_base });
+    }
+    let onchip_slots = m.regs_per_thread + m.smem_slots_per_thread;
+    for (fi, func) in m.funcs.iter().enumerate() {
+        verify_function(m, fi, func, onchip_slots, cfg, runs)?;
+    }
+    Ok(())
+}
+
+fn verify_function(
+    m: &MModule,
+    fi: usize,
+    func: &MFunction,
+    onchip_slots: u16,
+    cfg: &MirVerifyConfig,
+    runs: Option<&MoveRuns>,
+) -> Result<(), MirVerifyError> {
+    if func.frame_base + func.frame_size > onchip_slots {
+        return Err(MirVerifyError::FrameOverflow {
+            func: func.name.clone(),
+            frame_base: func.frame_base,
+            frame_size: func.frame_size,
+            onchip_slots,
+        });
+    }
+    // Parameter/return homes are allocated web locations: range-checked
+    // and, when on-chip and wide, alignment-checked.
+    let sig_site = |idx| MirSite { func: func.name.clone(), block: usize::MAX, idx };
+    for (i, &loc) in func.param_slots.iter().chain(&func.ret_slots).enumerate() {
+        check_loc_range(m, onchip_slots, &sig_site(i), loc)?;
+        check_loc_alignment(&sig_site(i), loc)?;
+    }
+    for (bi, block) in func.blocks.iter().enumerate() {
+        // Words written by the current parallel-move block, or `None`
+        // outside one. Keys are (is_local, word index).
+        let mut written: Option<HashSet<(bool, u16)>> = None;
+        for (ii, inst) in block.insts.iter().enumerate() {
+            let site = || MirSite { func: func.name.clone(), block: bi, idx: ii };
+            for loc in inst.srcs.iter().filter_map(MOperand::as_loc).chain(inst.dst) {
+                check_loc_range(m, onchip_slots, &site(), loc)?;
+            }
+            if !inst.is_stack_move {
+                // Ordinary instructions reference whole values: wide
+                // operands must respect the register-pair/quad class.
+                for loc in inst.srcs.iter().filter_map(MOperand::as_loc).chain(inst.dst) {
+                    check_loc_alignment(&site(), loc)?;
+                }
+            }
+            if let Opcode::Call(callee) = inst.op {
+                let Some(target) = m.funcs.get(callee.0 as usize) else {
+                    return Err(MirVerifyError::BadCallee { site: site(), callee });
+                };
+                if target.frame_base < func.frame_base {
+                    return Err(MirVerifyError::FrameBaseRegression {
+                        site: site(),
+                        callee,
+                        caller_base: func.frame_base,
+                        callee_base: target.frame_base,
+                    });
+                }
+            }
+            if inst.is_stack_move && inst.op == Opcode::Mov {
+                let reset = written.is_none()
+                    || runs.is_some_and(|r| r.is_start(fi, bi, ii));
+                if reset {
+                    written = Some(HashSet::new());
+                }
+                let set = written.as_mut().expect("just initialized");
+                check_move_ordering(set, cfg, &site(), inst)?;
+            } else {
+                written = None;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn words(loc: MLoc) -> impl Iterator<Item = (bool, u16)> {
+    let local = loc.place == Place::Local;
+    (loc.slot..loc.slot + loc.width.words()).map(move |w| (local, w))
+}
+
+fn in_scratch(loc: MLoc, cfg: &MirVerifyConfig) -> bool {
+    loc.place == Place::Local && loc.slot + loc.width.words() <= cfg.scratch_slots
+}
+
+fn check_move_ordering(
+    written: &mut HashSet<(bool, u16)>,
+    cfg: &MirVerifyConfig,
+    site: &MirSite,
+    inst: &MInst,
+) -> Result<(), MirVerifyError> {
+    // Read before write: the source must still hold its pre-block value
+    // unless it is the scratch bounce.
+    if let Some(src) = inst.srcs.first().and_then(MOperand::as_loc) {
+        if !in_scratch(src, cfg) && words(src).any(|w| written.contains(&w)) {
+            return Err(MirVerifyError::ClobberedMoveSource { site: site.clone(), loc: src });
+        }
+    }
+    if let Some(dst) = inst.dst {
+        if !in_scratch(dst, cfg) && words(dst).any(|w| written.contains(&w)) {
+            return Err(MirVerifyError::RewrittenMoveDest { site: site.clone(), loc: dst });
+        }
+        written.extend(words(dst));
+    }
+    Ok(())
+}
+
+fn check_loc_range(
+    m: &MModule,
+    onchip_slots: u16,
+    site: &MirSite,
+    loc: MLoc,
+) -> Result<(), MirVerifyError> {
+    let limit = match loc.place {
+        Place::Onchip => onchip_slots,
+        Place::Local => m.local_slots_per_thread,
+    };
+    if loc.slot + loc.width.words() > limit {
+        return Err(MirVerifyError::SlotOutOfRange { site: site.clone(), loc, limit });
+    }
+    Ok(())
+}
+
+fn check_loc_alignment(site: &MirSite, loc: MLoc) -> Result<(), MirVerifyError> {
+    if loc.place == Place::Onchip && !loc.slot.is_multiple_of(loc.width.alignment()) {
+        return Err(MirVerifyError::MisalignedWide { site: site.clone(), loc });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Terminator;
+    use crate::mir::MBlock;
+    use crate::types::Width;
+
+    fn module_with(insts: Vec<MInst>) -> MModule {
+        MModule {
+            funcs: vec![MFunction {
+                name: "k".to_string(),
+                frame_base: 0,
+                frame_size: 8,
+                param_slots: vec![],
+                ret_slots: vec![],
+                blocks: vec![MBlock { insts, term: Terminator::Exit }],
+            }],
+            entry: FuncId(0),
+            regs_per_thread: 8,
+            smem_slots_per_thread: 0,
+            local_slots_per_thread: 8,
+            user_smem_bytes: 0,
+            static_stack_moves: 0,
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_moves() {
+        // A chain in the correct (sequentialized) order, then a swap
+        // broken through scratch.
+        let m = module_with(vec![
+            MInst::mov(MLoc::onchip(2, Width::W32), MLoc::onchip(1, Width::W32)),
+            MInst::mov(MLoc::onchip(1, Width::W32), MLoc::onchip(0, Width::W32)),
+            MInst::mov(MLoc::local(0, Width::W32), MLoc::onchip(4, Width::W32)),
+            MInst::mov(MLoc::onchip(4, Width::W32), MLoc::onchip(5, Width::W32)),
+            MInst::mov(MLoc::onchip(5, Width::W32), MLoc::local(0, Width::W32)),
+        ]);
+        verify_mir(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_order_move() {
+        // r1 <- r0 then r2 <- r1 reads r1 after it was clobbered.
+        let m = module_with(vec![
+            MInst::mov(MLoc::onchip(1, Width::W32), MLoc::onchip(0, Width::W32)),
+            MInst::mov(MLoc::onchip(2, Width::W32), MLoc::onchip(1, Width::W32)),
+        ]);
+        let err = verify_mir(&m).unwrap_err();
+        assert!(matches!(err, MirVerifyError::ClobberedMoveSource { .. }), "{err}");
+        assert!(err.to_string().contains("out-of-order"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_write() {
+        let m = module_with(vec![
+            MInst::mov(MLoc::onchip(1, Width::W32), MLoc::onchip(0, Width::W32)),
+            MInst::mov(MLoc::onchip(1, Width::W32), MLoc::onchip(2, Width::W32)),
+        ]);
+        let err = verify_mir(&m).unwrap_err();
+        assert!(matches!(err, MirVerifyError::RewrittenMoveDest { .. }), "{err}");
+    }
+
+    #[test]
+    fn move_runs_split_merged_blocks() {
+        // Restore r0 <- r3, then (a new parallel-move block for the next
+        // call) compress r3 <- r0. Fused, this looks like a clobbered
+        // read; the recorded run boundary makes it legal.
+        let insts = vec![
+            MInst::mov(MLoc::onchip(0, Width::W32), MLoc::onchip(3, Width::W32)),
+            MInst::mov(MLoc::onchip(3, Width::W32), MLoc::onchip(0, Width::W32)),
+        ];
+        let m = module_with(insts);
+        assert!(verify_mir(&m).is_err(), "fused run must look clobbered");
+        let mut runs = MoveRuns::new();
+        runs.note(0, 0, 0);
+        runs.note(0, 0, 1);
+        verify_mir_with(&m, &MirVerifyConfig::default(), Some(&runs)).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_slot_range() {
+        let m = module_with(vec![MInst::new(
+            Opcode::IAdd,
+            Some(MLoc::onchip(7, Width::W64)), // slots 7..9, limit 8
+            vec![MOperand::Imm(1), MOperand::Imm(2)],
+        )]);
+        let err = verify_mir(&m).unwrap_err();
+        assert!(matches!(err, MirVerifyError::SlotOutOfRange { .. }), "{err}");
+        assert!(err.to_string().contains("address space"), "{err}");
+    }
+
+    #[test]
+    fn rejects_local_overflow() {
+        let m = module_with(vec![MInst::new(
+            Opcode::Mov,
+            Some(MLoc::onchip(0, Width::W32)),
+            vec![MOperand::Loc(MLoc::local(8, Width::W32))],
+        )]);
+        assert!(matches!(
+            verify_mir(&m).unwrap_err(),
+            MirVerifyError::SlotOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_misaligned_wide() {
+        let m = module_with(vec![MInst::new(
+            Opcode::DAdd,
+            Some(MLoc::onchip(1, Width::W64)), // odd start for a pair
+            vec![MOperand::Loc(MLoc::onchip(2, Width::W64)), MOperand::Loc(MLoc::onchip(4, Width::W64))],
+        )]);
+        let err = verify_mir(&m).unwrap_err();
+        assert!(matches!(err, MirVerifyError::MisalignedWide { .. }), "{err}");
+        assert!(err.to_string().contains("alignment class"), "{err}");
+    }
+
+    #[test]
+    fn stack_move_chunks_exempt_from_alignment() {
+        // A W64 compression chunk at an odd slot is legal.
+        let m = module_with(vec![MInst::mov(
+            MLoc::onchip(1, Width::W64),
+            MLoc::onchip(5, Width::W64),
+        )]);
+        verify_mir(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_frame_base_regression() {
+        // Entry kernel at base 0 calls f1 (base 4), which calls f2.
+        let mut m = module_with(vec![MInst::new(Opcode::Call(FuncId(1)), None, vec![])]);
+        let dev = |name: &str, frame_base, callee: Option<FuncId>| MFunction {
+            name: name.to_string(),
+            frame_base,
+            frame_size: 2,
+            param_slots: vec![],
+            ret_slots: vec![],
+            blocks: vec![MBlock {
+                insts: callee
+                    .map(|c| MInst::new(Opcode::Call(c), None, vec![]))
+                    .into_iter()
+                    .collect(),
+                term: Terminator::Ret,
+            }],
+        };
+        m.funcs.push(dev("f1", 4, Some(FuncId(2))));
+        m.funcs.push(dev("f2", 6, None));
+        verify_mir(&m).unwrap();
+        // Now regress: f1's callee frame starts *below* f1's own frame.
+        m.funcs[2].frame_base = 3;
+        let err = verify_mir(&m).unwrap_err();
+        assert!(matches!(err, MirVerifyError::FrameBaseRegression { .. }), "{err}");
+        assert!(err.to_string().contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_entry_and_frame_overflow() {
+        let mut m = module_with(vec![]);
+        m.entry = FuncId(3);
+        assert!(matches!(
+            verify_mir(&m).unwrap_err(),
+            MirVerifyError::EntryOutOfRange { .. }
+        ));
+        let mut m = module_with(vec![]);
+        m.funcs[0].frame_size = 9; // window is 8
+        assert!(matches!(
+            verify_mir(&m).unwrap_err(),
+            MirVerifyError::FrameOverflow { .. }
+        ));
+    }
+}
