@@ -188,11 +188,7 @@ pub fn color(
         .filter_map(|(v, s)| s.map(|s| s + graph.width(v).words()))
         .max()
         .unwrap_or(0);
-    Ok(Coloring {
-        slot_of,
-        spilled,
-        frame_size,
-    })
+    Ok(Coloring { slot_of, spilled, frame_size })
 }
 
 /// Validate a coloring: no two interfering webs overlap in slots, wide

@@ -82,11 +82,7 @@ impl InterferenceGraph {
                 }
             }
         }
-        InterferenceGraph {
-            adj,
-            widths: f.vreg_widths.clone(),
-            uses,
-        }
+        InterferenceGraph { adj, widths: f.vreg_widths.clone(), uses }
     }
 
     /// Number of webs (nodes).

@@ -28,10 +28,7 @@ pub struct CallLayoutInfo {
 /// `j..j+width` (Theorem 1, extended to multi-slot units: a unit moves
 /// when any of its slots reaches `B_k` or beyond).
 pub fn unit_move_cost(u: &Unit, start: u16, calls: &[CallLayoutInfo], unit_idx: usize) -> u32 {
-    calls
-        .iter()
-        .filter(|c| c.live[unit_idx] && start + u.width > c.bk)
-        .count() as u32
+    calls.iter().filter(|c| c.live[unit_idx] && start + u.width > c.bk).count() as u32
 }
 
 /// Result of layout optimization.
@@ -47,11 +44,8 @@ pub struct LayoutPlan {
 /// "no data movement minimization" ablation of Figure 5).
 pub fn identity_layout(units: &[Unit], calls: &[CallLayoutInfo]) -> LayoutPlan {
     let new_start: Vec<u16> = units.iter().map(|u| u.start).collect();
-    let total_moves = units
-        .iter()
-        .enumerate()
-        .map(|(i, u)| unit_move_cost(u, u.start, calls, i))
-        .sum();
+    let total_moves =
+        units.iter().enumerate().map(|(i, u)| unit_move_cost(u, u.start, calls, i)).sum();
     LayoutPlan { new_start, total_moves }
 }
 
@@ -93,21 +87,14 @@ pub fn optimize_layout(units: &[Unit], calls: &[CallLayoutInfo]) -> LayoutPlan {
     for (r, &ui) in movable.iter().enumerate() {
         new_start[ui] = positions[assign[r]];
     }
-    let total_moves = units
-        .iter()
-        .enumerate()
-        .map(|(i, u)| unit_move_cost(u, new_start[i], calls, i))
-        .sum();
+    let total_moves =
+        units.iter().enumerate().map(|(i, u)| unit_move_cost(u, new_start[i], calls, i)).sum();
     LayoutPlan { new_start, total_moves }
 }
 
 /// Apply a layout plan to a coloring: rewrite each web's slot according
 /// to its unit's displacement.
-pub fn apply_layout(
-    slot_of: &mut [Option<u16>],
-    units: &[Unit],
-    plan: &LayoutPlan,
-) {
+pub fn apply_layout(slot_of: &mut [Option<u16>], units: &[Unit], plan: &LayoutPlan) {
     for (i, u) in units.iter().enumerate() {
         let delta = i32::from(plan.new_start[i]) - i32::from(u.start);
         if delta == 0 {
@@ -126,13 +113,7 @@ mod tests {
     use super::*;
 
     fn unit(start: u16, width: u16) -> Unit {
-        Unit {
-            start,
-            width,
-            align: if width >= 2 { 2 } else { 1 },
-            residue: 0,
-            webs: vec![],
-        }
+        Unit { start, width, align: if width >= 2 { 2 } else { 1 }, residue: 0, webs: vec![] }
     }
 
     /// The paper's Figure 6 scenario: three call sites; the identity
@@ -171,13 +152,9 @@ mod tests {
         let opt = optimize_layout(&units, &calls);
         // Enumerate all 3! placements.
         let mut best = u32::MAX;
-        let perms = [
-            [0u16, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
-        ];
+        let perms = [[0u16, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
         for p in perms {
-            let cost: u32 = (0..3)
-                .map(|i| unit_move_cost(&units[i], p[i], &calls, i))
-                .sum();
+            let cost: u32 = (0..3).map(|i| unit_move_cost(&units[i], p[i], &calls, i)).sum();
             best = best.min(cost);
         }
         assert_eq!(opt.total_moves, best);

@@ -87,10 +87,7 @@ pub fn min_cost_assignment(cost: &[Vec<i64>]) -> (Vec<usize>, i64) {
 ///
 /// Returns `(assignment, total_weight)`.
 pub fn max_weight_assignment(weight: &[Vec<i64>]) -> (Vec<usize>, i64) {
-    let neg: Vec<Vec<i64>> = weight
-        .iter()
-        .map(|r| r.iter().map(|&w| -w).collect())
-        .collect();
+    let neg: Vec<Vec<i64>> = weight.iter().map(|r| r.iter().map(|&w| -w).collect()).collect();
     let (a, c) = min_cost_assignment(&neg);
     (a, -c)
 }
@@ -132,11 +129,7 @@ mod tests {
 
     #[test]
     fn known_instance() {
-        let cost = vec![
-            vec![4, 1, 3],
-            vec![2, 0, 5],
-            vec![3, 2, 2],
-        ];
+        let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
         let (a, c) = min_cost_assignment(&cost);
         assert_eq!(c, 5); // 1 + 2 + 2
         assert_eq!(a, vec![1, 0, 2]);
@@ -154,9 +147,8 @@ mod tests {
         };
         for n in 1..=6usize {
             for _ in 0..20 {
-                let cost: Vec<Vec<i64>> = (0..n)
-                    .map(|_| (0..n).map(|_| (next() % 100) as i64).collect())
-                    .collect();
+                let cost: Vec<Vec<i64>> =
+                    (0..n).map(|_| (0..n).map(|_| (next() % 100) as i64).collect()).collect();
                 let (a, c) = min_cost_assignment(&cost);
                 // Assignment is a permutation.
                 let mut seen = vec![false; n];

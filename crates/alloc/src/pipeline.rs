@@ -395,9 +395,7 @@ impl Pass for SpillPass {
                          inside the {SCRATCH_SLOTS}-slot scratch area"
                     )));
                 }
-                let words = widths
-                    .and_then(|w| w.get(web))
-                    .map_or(1, |w| w.words());
+                let words = widths.and_then(|w| w.get(web)).map_or(1, |w| w.words());
                 for k in start..start + words {
                     let cell = used.get_mut(usize::from(k)).ok_or_else(|| {
                         AllocError::Internal(format!(
@@ -442,9 +440,7 @@ impl Pass for StackPlanPass {
             (0..st.module.funcs.len()).map(|_| Vec::new()).collect();
         for &fid in &norm.topdown {
             let i = fid.0 as usize;
-            let cf = colored.funcs[i]
-                .as_mut()
-                .ok_or_else(|| missing(self.name(), "color"))?;
+            let cf = colored.funcs[i].as_mut().ok_or_else(|| missing(self.name(), "color"))?;
             cf.base = bases[i]; // raised after coloring by earlier callers
             call_infos[i] = cf
                 .calls
@@ -481,10 +477,7 @@ impl Pass for StackPlanPass {
                 if colored.bases[call.callee.0 as usize] < colored.bases[i] {
                     return Err(AllocError::Internal(format!(
                         "stack-plan check: callee {} frame base {} below caller {} base {}",
-                        call.callee.0,
-                        colored.bases[call.callee.0 as usize],
-                        i,
-                        colored.bases[i]
+                        call.callee.0, colored.bases[call.callee.0 as usize], i, colored.bases[i]
                     )));
                 }
             }
@@ -752,10 +745,7 @@ impl Pass for LowerPass {
                             ))
                         })?;
                         for (arg, &pslot) in ci.args.iter().zip(pslots) {
-                            pre.push(PMove {
-                                dst: pslot,
-                                src: lower_operand(ctx, arg),
-                            });
+                            pre.push(PMove { dst: pslot, src: lower_operand(ctx, arg) });
                         }
                         let pre_insts = sequentialize(&pre, scratch)?;
                         let pre_count = pre_insts.len();
@@ -806,10 +796,7 @@ impl Pass for LowerPass {
                         insts.push(lower_inst(ctx, inst));
                     }
                 }
-                blocks.push(MBlock {
-                    insts,
-                    term: blk.term.clone(),
-                });
+                blocks.push(MBlock { insts, term: blk.term.clone() });
             }
             let (pslots, rslots) = param_ret_slots[i]
                 .as_ref()
@@ -1097,12 +1084,10 @@ mod tests {
         let budget = SlotBudget { reg_slots: 32, smem_slots: 0 };
 
         // optimize_layout: false  ==  replace the layout stage.
-        let via_opts = Pipeline::verified(&AllocOptions {
-            compress_stack: true,
-            optimize_layout: false,
-        })
-        .run(&m, budget)
-        .unwrap();
+        let via_opts =
+            Pipeline::verified(&AllocOptions { compress_stack: true, optimize_layout: false })
+                .run(&m, budget)
+                .unwrap();
         let mut edited = Pipeline::verified(&AllocOptions::default());
         assert!(edited.replace("layout", Box::new(IdentityLayoutPass)));
         let via_edit = edited.run(&m, budget).unwrap();
@@ -1110,12 +1095,10 @@ mod tests {
         assert_eq!(via_opts.report, via_edit.report);
 
         // compress_stack: false  ==  also swap in a non-compressing color.
-        let via_opts = Pipeline::verified(&AllocOptions {
-            compress_stack: false,
-            optimize_layout: false,
-        })
-        .run(&m, budget)
-        .unwrap();
+        let via_opts =
+            Pipeline::verified(&AllocOptions { compress_stack: false, optimize_layout: false })
+                .run(&m, budget)
+                .unwrap();
         let mut edited = Pipeline::verified(&AllocOptions::default());
         assert!(edited.replace("color", Box::new(ColorPass { compress: false })));
         assert!(edited.replace("layout", Box::new(IdentityLayoutPass)));
@@ -1179,8 +1162,9 @@ mod tests {
         let mut k = Function::new("k", FuncKind::Kernel);
         k.block_mut(BlockId(0)).insts = vec![call];
         m.funcs[0] = k;
-        let err = allocate(&m, SlotBudget { reg_slots: 8, smem_slots: 0 }, &AllocOptions::default())
-            .unwrap_err();
+        let err =
+            allocate(&m, SlotBudget { reg_slots: 8, smem_slots: 0 }, &AllocOptions::default())
+                .unwrap_err();
         assert!(matches!(err, AllocError::PredicatedCall { .. }), "{err:?}");
     }
 }

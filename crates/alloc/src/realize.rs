@@ -64,10 +64,7 @@ pub struct AllocOptions {
 
 impl Default for AllocOptions {
     fn default() -> Self {
-        AllocOptions {
-            compress_stack: true,
-            optimize_layout: true,
-        }
+        AllocOptions { compress_stack: true, optimize_layout: true }
     }
 }
 
@@ -397,12 +394,9 @@ mod tests {
         let s = kb.iadd(keep, q[0]);
         kb.st(MemSpace::Global, Width::W32, Operand::Imm(0), s, 0);
         m.funcs[0] = kb.finish();
-        let compressed = allocate(
-            &m,
-            SlotBudget { reg_slots: 32, smem_slots: 0 },
-            &AllocOptions::default(),
-        )
-        .unwrap();
+        let compressed =
+            allocate(&m, SlotBudget { reg_slots: 32, smem_slots: 0 }, &AllocOptions::default())
+                .unwrap();
         let padded = allocate(
             &m,
             SlotBudget { reg_slots: 32, smem_slots: 0 },
@@ -431,8 +425,9 @@ mod tests {
         d.block_mut(BlockId(0)).insts = vec![call.clone()];
         m.funcs[1] = d;
         m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts = vec![call];
-        let err = allocate(&m, SlotBudget { reg_slots: 8, smem_slots: 0 }, &AllocOptions::default())
-            .unwrap_err();
+        let err =
+            allocate(&m, SlotBudget { reg_slots: 8, smem_slots: 0 }, &AllocOptions::default())
+                .unwrap_err();
         assert!(matches!(err, AllocError::Recursion(_)));
     }
 }

@@ -19,7 +19,9 @@ use crate::realize::{
     chunk_widths, lower_inst, lower_operand, AllocError, AllocOptions, AllocReport, Allocated,
     CallSiteCtx, FuncAllocInfo, FuncCtx, SlotBudget, SCRATCH_SLOTS,
 };
-use crate::stack::{extract_units, live_units, min_packed_height, pack_live_units, sequentialize, PMove};
+use crate::stack::{
+    extract_units, live_units, min_packed_height, pack_live_units, sequentialize, PMove,
+};
 use orion_kir::bitset::BitSet;
 use orion_kir::callgraph::CallGraph;
 use orion_kir::cfg::Cfg;
@@ -94,21 +96,11 @@ pub fn allocate_reference(
                 };
                 let cb = &mut bases[callee.0 as usize];
                 *cb = (*cb).max(base + bk_min);
-                calls.push(CallSiteCtx {
-                    callee,
-                    live_units: lu,
-                });
+                calls.push(CallSiteCtx { callee, live_units: lu });
             }
         }
-        ctxs[fid.0 as usize] = Some(FuncCtx {
-            nf,
-            coloring,
-            units,
-            calls,
-            base,
-            spill_slot,
-            max_live: ml,
-        });
+        ctxs[fid.0 as usize] =
+            Some(FuncCtx { nf, coloring, units, calls, base, spill_slot, max_live: ml });
     }
 
     // ---- Phase B: layout optimization (bases are now final) ----
@@ -225,10 +217,7 @@ pub fn allocate_reference(
                         ))
                     })?;
                     for (arg, &pslot) in ci.args.iter().zip(pslots) {
-                        pre.push(PMove {
-                            dst: pslot,
-                            src: lower_operand(ctx, arg),
-                        });
+                        pre.push(PMove { dst: pslot, src: lower_operand(ctx, arg) });
                     }
                     let pre_insts = sequentialize(&pre, scratch)?;
                     static_moves += pre_insts.len() as u32;
@@ -237,10 +226,7 @@ pub fn allocate_reference(
                     // Post-call parallel move set: returns + restores.
                     let mut post: Vec<PMove> = Vec::new();
                     for (&ret_web, &rslot) in ci.rets.iter().zip(rslots) {
-                        post.push(PMove {
-                            dst: ctx.loc(ret_web.0 as usize),
-                            src: rslot.into(),
-                        });
+                        post.push(PMove { dst: ctx.loc(ret_web.0 as usize), src: rslot.into() });
                     }
                     for &(ui, newpos) in &placement {
                         let u = &ctx.units[ui];
@@ -260,17 +246,12 @@ pub fn allocate_reference(
                     insts.push(lower_inst(ctx, inst));
                 }
             }
-            blocks.push(MBlock {
-                insts,
-                term: blk.term.clone(),
-            });
+            blocks.push(MBlock { insts, term: blk.term.clone() });
         }
         let (pslots, rslots) = param_ret_slots[i]
             .as_ref()
             .ok_or_else(|| {
-                AllocError::Internal(format!(
-                    "function {i} has a context but no param/ret slots"
-                ))
+                AllocError::Internal(format!("function {i} has a context but no param/ret slots"))
             })?
             .clone();
         mfuncs.push(MFunction {

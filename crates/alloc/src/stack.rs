@@ -102,25 +102,18 @@ pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Result<Vec<Unit>,
         // Components are contiguous by construction (webs cover
         // consecutive slots); assert in debug builds.
         debug_assert_eq!((end - start) as usize, slots.len());
-        units.push(Unit {
-            start,
-            width: end - start,
-            align: 1,
-            residue: 0,
-            webs: Vec::new(),
-        });
+        units.push(Unit { start, width: end - start, align: 1, residue: 0, webs: Vec::new() });
     }
     // Attach webs and compute alignment.
     for (web, slot) in coloring.slot_of.iter().enumerate() {
         if let Some(s) = *slot {
-            let u = units
-                .iter_mut()
-                .find(|u| s >= u.start && s < u.start + u.width)
-                .ok_or_else(|| {
+            let u = units.iter_mut().find(|u| s >= u.start && s < u.start + u.width).ok_or_else(
+                || {
                     AllocError::Internal(format!(
                         "unit extraction: web {web} colored at slot {s} outside every unit"
                     ))
-                })?;
+                },
+            )?;
             u.webs.push(web);
             u.align = u.align.max(widths[web].alignment());
         }
@@ -134,17 +127,17 @@ pub fn extract_units(coloring: &Coloring, widths: &[Width]) -> Result<Vec<Unit>,
 /// Which units are live at a call: a unit is live iff any member web is
 /// live across the call.
 pub fn live_units(units: &[Unit], live_webs: &BitSet) -> Vec<bool> {
-    units
-        .iter()
-        .map(|u| u.webs.iter().any(|&w| live_webs.contains(w)))
-        .collect()
+    units.iter().map(|u| u.webs.iter().any(|&w| live_webs.contains(w))).collect()
 }
 
 /// First-fit decreasing-width packing of the given units from an empty
 /// frame, honoring each unit's alignment residue. Returns per-unit new
 /// start positions and the total height, or `None` if `height_limit` is
 /// exceeded.
-fn pack_from_empty(units: &[(usize, &Unit)], height_limit: u16) -> Option<(Vec<(usize, u16)>, u16)> {
+fn pack_from_empty(
+    units: &[(usize, &Unit)],
+    height_limit: u16,
+) -> Option<(Vec<(usize, u16)>, u16)> {
     let mut order: Vec<&(usize, &Unit)> = units.iter().collect();
     order.sort_by(|a, b| b.1.width.cmp(&a.1.width).then(a.1.start.cmp(&b.1.start)));
     let mut used = vec![false; height_limit as usize];
@@ -174,11 +167,8 @@ fn pack_from_empty(units: &[(usize, &Unit)], height_limit: u16) -> Option<(Vec<(
 /// Minimal compressed height `B_k` that can hold the live units — the
 /// paper's "desired stack height at the k-th sub-procedure call".
 pub fn min_packed_height(units: &[Unit], live: &[bool]) -> u16 {
-    let live_list: Vec<(usize, &Unit)> = units
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| live[*i])
-        .collect();
+    let live_list: Vec<(usize, &Unit)> =
+        units.iter().enumerate().filter(|(i, _)| live[*i]).collect();
     let words: u16 = live_list.iter().map(|(_, u)| u.width).sum();
     let max_h = words + live_list.iter().map(|(_, u)| u.align - 1).sum::<u16>();
     for h in words..=max_h.max(words) {
@@ -253,11 +243,8 @@ pub fn pack_live_units(
         return Ok(result);
     }
     // Fragmented: full repack of all live units.
-    let live_list: Vec<(usize, &Unit)> = units
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| live[*i])
-        .collect();
+    let live_list: Vec<(usize, &Unit)> =
+        units.iter().enumerate().filter(|(i, _)| live[*i]).collect();
     let (placed, _) = pack_from_empty(&live_list, bk).ok_or_else(|| {
         AllocError::Internal(format!(
             "stack packing: {} live units do not fit in bk={bk} even after a full \
@@ -350,10 +337,7 @@ pub fn sequentialize(moves: &[PMove], scratch: MLoc) -> Result<Vec<MInst>, Alloc
         }
         if !progressed {
             // Cycle: bounce the first pending move's source via scratch.
-            let m = pending
-                .iter()
-                .enumerate()
-                .find_map(|(i, m)| m.clone().map(|m| (i, m)));
+            let m = pending.iter().enumerate().find_map(|(i, m)| m.clone().map(|m| (i, m)));
             let Some((i, m)) = m else {
                 return Err(AllocError::Internal(
                     "move sequentializer stalled with no pending moves left".to_string(),
@@ -380,13 +364,7 @@ mod tests {
     use orion_kir::mir::{MLoc, Place};
 
     fn unit(start: u16, width: u16, align: u16) -> Unit {
-        Unit {
-            start,
-            width,
-            align,
-            residue: start % align,
-            webs: vec![],
-        }
+        Unit { start, width, align, residue: start % align, webs: vec![] }
     }
 
     #[test]

@@ -22,13 +22,7 @@ fn random_instance(rng: &mut StdRng) -> (Vec<Unit>, Vec<CallLayoutInfo>) {
         }
         let width: u16 = if rng.gen_bool(0.2) { rng.gen_range(2..4) } else { 1 };
         let align = if width >= 2 { 2 } else { 1 };
-        units.push(Unit {
-            start: cursor,
-            width,
-            align,
-            residue: cursor % align,
-            webs: vec![],
-        });
+        units.push(Unit { start: cursor, width, align, residue: cursor % align, webs: vec![] });
         cursor += width;
     }
     let frame = cursor;

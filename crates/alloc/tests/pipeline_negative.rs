@@ -67,9 +67,7 @@ fn wide_module() -> Module {
 fn corrupted_err(module: &Module, mutate: impl Fn(&mut MModule) + 'static) -> MirVerifyError {
     let mut p = Pipeline::verified(&AllocOptions::default());
     assert!(p.insert_after("lower", Box::new(Corrupt(mutate))));
-    let err = p
-        .run(module, SlotBudget { reg_slots: 32, smem_slots: 0 })
-        .unwrap_err();
+    let err = p.run(module, SlotBudget { reg_slots: 32, smem_slots: 0 }).unwrap_err();
     let AllocError::Stage { stage, source } = &err else {
         panic!("expected a Stage error, got {err:?}");
     };
@@ -107,10 +105,7 @@ fn rejects_frame_overflow() {
     let v = corrupted_err(&call_module(), |mm| {
         mm.funcs[1].frame_size = 500;
     });
-    assert!(
-        matches!(v, MirVerifyError::FrameOverflow { .. }),
-        "expected FrameOverflow, got {v:?}"
-    );
+    assert!(matches!(v, MirVerifyError::FrameOverflow { .. }), "expected FrameOverflow, got {v:?}");
     assert!(v.to_string().contains("on-chip window"), "{v}");
 }
 
@@ -123,10 +118,7 @@ fn rejects_misaligned_wide_register() {
             .blocks
             .iter_mut()
             .flat_map(|b| &mut b.insts)
-            .filter(|i| {
-                i.dst
-                    .is_some_and(|d| d.place == Place::Onchip && d.width == Width::W64)
-            })
+            .filter(|i| i.dst.is_some_and(|d| d.place == Place::Onchip && d.width == Width::W64))
             .min_by_key(|i| i.dst.unwrap().slot)
             .expect("a wide on-chip destination exists");
         let d = inst.dst.as_mut().unwrap();

@@ -35,12 +35,8 @@ fn bench_layout_ablation(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                allocate(
-                    black_box(&w.module),
-                    SlotBudget { reg_slots: 32, smem_slots: 16 },
-                    &opts,
-                )
-                .unwrap()
+                allocate(black_box(&w.module), SlotBudget { reg_slots: 32, smem_slots: 16 }, &opts)
+                    .unwrap()
             })
         });
     }
@@ -59,9 +55,8 @@ fn bench_kuhn_munkres(c: &mut Criterion) {
             seed ^= seed << 17;
             seed
         };
-        let w: Vec<Vec<i64>> = (0..n)
-            .map(|_| (0..n).map(|_| (next() % 1000) as i64 - 500).collect())
-            .collect();
+        let w: Vec<Vec<i64>> =
+            (0..n).map(|_| (0..n).map(|_| (next() % 1000) as i64 - 500).collect()).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
             b.iter(|| max_weight_assignment(black_box(w)))
         });

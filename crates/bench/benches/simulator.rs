@@ -11,13 +11,10 @@ use std::hint::black_box;
 
 fn bench_launch(c: &mut Criterion) {
     let w = orion_workloads::by_name("srad").expect("workload");
-    let machine = allocate(
-        &w.module,
-        SlotBudget { reg_slots: 24, smem_slots: 0 },
-        &AllocOptions::default(),
-    )
-    .unwrap()
-    .machine;
+    let machine =
+        allocate(&w.module, SlotBudget { reg_slots: 24, smem_slots: 0 }, &AllocOptions::default())
+            .unwrap()
+            .machine;
     let dev = DeviceSpec::c2075();
     let mut g = c.benchmark_group("simulate_launch");
     g.sample_size(10);

@@ -18,7 +18,10 @@ fn main() {
             match sweep_curve(&dev, &w) {
                 Ok(curve) => print!(
                     "{}",
-                    orion_bench::report::render_curve(&format!("{} on {}", w.name, dev.name), &curve)
+                    orion_bench::report::render_curve(
+                        &format!("{} on {}", w.name, dev.name),
+                        &curve
+                    )
                 ),
                 Err(e) => println!("{} on {}: ERROR {e}", w.name, dev.name),
             }

@@ -170,8 +170,7 @@ fn main() {
         };
         let (serial_ms, serial_cycles) =
             time_runs(reps, &dev, &w, &v.machine, v.extra_smem, serial_opts);
-        let (heap_ms, heap_cycles) =
-            time_runs(reps, &dev, &w, &v.machine, v.extra_smem, heap_opts);
+        let (heap_ms, heap_cycles) = time_runs(reps, &dev, &w, &v.machine, v.extra_smem, heap_opts);
         let (par_ms, par_cycles) = time_runs(reps, &dev, &w, &v.machine, v.extra_smem, par_opts);
         if serial_cycles != heap_cycles || serial_cycles != par_cycles {
             eprintln!(
@@ -210,7 +209,16 @@ fn main() {
     let mut text = format!(
         "Perf trajectory ({} SMs, {} host cores, {} rep(s))\n\
          {:<12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}\n",
-        dev.num_sms, host_cores, reps, "workload", "cycles", "serial", "heap", "par", "x_par", "x_heap",
+        dev.num_sms,
+        host_cores,
+        reps,
+        "workload",
+        "cycles",
+        "serial",
+        "heap",
+        "par",
+        "x_par",
+        "x_heap",
     );
     for r in &doc.workloads {
         text.push_str(&format!(

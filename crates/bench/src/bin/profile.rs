@@ -76,8 +76,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{} on {}", w.name, dev.name);
     println!(
         "{:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "warps", "regs", "cycles", "issued", "scoreboard", "mem_pend", "barrier", "no_elig",
-        "drain", "ipc"
+        "warps",
+        "regs",
+        "cycles",
+        "issued",
+        "scoreboard",
+        "mem_pend",
+        "barrier",
+        "no_elig",
+        "drain",
+        "ipc"
     );
     for v in &versions {
         if warps_filter.is_some_and(|f| v.achieved_warps != f) {
@@ -106,11 +114,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d.ipc,
         );
         let sm_cycles = r.cycles * u64::from(r.num_sms);
-        assert_eq!(
-            st.total(),
-            sm_cycles,
-            "stall buckets must sum to cycles x num_sms"
-        );
+        assert_eq!(st.total(), sm_cycles, "stall buckets must sum to cycles x num_sms");
         let mut vr = MetricsReport::new();
         vr.set("cycles", r.cycles);
         vr.set("sm_cycles", sm_cycles);

@@ -1,0 +1,239 @@
+//! `orion-bench --bin service` — the multi-kernel tuning service bench.
+//!
+//! Builds a batch of 8 kernel jobs (the tier-1 workloads, cycled, so
+//! duplicated modules also exercise compile-cache sharing) and runs it
+//! twice through [`OrionService`] on the simulator backend:
+//!
+//! * **sequential** — one worker thread (the baseline an app doing its
+//!   own per-kernel loops would get);
+//! * **concurrent** — one worker per kernel (8 scoped threads over the
+//!   shared compile cache and telemetry lanes).
+//!
+//! Two gates, in order of importance:
+//!
+//! 1. **Bit-identical outcomes** (hard, always enforced): every
+//!    kernel's [`SessionOutcome`](orion_core::session::SessionOutcome)
+//!    — selection, per-iteration trace,
+//!    decision log, stats — must be equal across the two worker
+//!    counts, or the binary exits non-zero. Concurrency must never
+//!    change what the tuner decides.
+//! 2. **Throughput** (enforced only when the host has ≥ 4 cores): the
+//!    concurrent batch must finish ≥ 2× faster than the sequential
+//!    one. On fewer cores the speedup is physically unavailable, so it
+//!    is reported (with `host_cores`) but not gated — the CI
+//!    `service-smoke` job runs on multi-core runners where it bites.
+//!
+//! Writes `BENCH_service.json`. `--quick` shrinks iterations and reps
+//! for the CI smoke job.
+
+use orion_bench::figures::Figure;
+use orion_core::backend::SimBackend;
+use orion_core::cache;
+use orion_core::compiler::TuningConfig;
+use orion_core::service::{KernelJob, OrionService, ServiceConfig, ServiceReport};
+use orion_gpusim::device::DeviceSpec;
+use orion_workloads::by_name;
+use serde::Serialize;
+use std::time::Instant;
+
+const TIER1: [&str; 3] = ["matrixMul", "backprop", "hotspot"];
+const BATCH: usize = 8;
+
+#[derive(Serialize)]
+struct KernelRow {
+    name: String,
+    lane: u32,
+    selected: usize,
+    iterations: usize,
+    converged_after: usize,
+    total_cycles: u64,
+    decisions: usize,
+    state: String,
+}
+
+#[derive(Serialize)]
+struct ServiceDoc {
+    device: String,
+    num_sms: u32,
+    host_cores: u32,
+    reps: u32,
+    batch: usize,
+    iterations_per_kernel: u32,
+    sequential_wall_ms: f64,
+    concurrent_wall_ms: f64,
+    concurrent_workers: usize,
+    /// sequential wall / concurrent wall at 8 kernels.
+    speedup_concurrent_over_sequential: f64,
+    /// Whether the 2× throughput gate was enforced (host_cores ≥ 4).
+    throughput_gated: bool,
+    bit_identical_outcomes: bool,
+    cache_hits: u64,
+    cache_misses: u64,
+    kernels: Vec<KernelRow>,
+}
+
+fn batch(iterations: u32) -> Vec<KernelJob> {
+    (0..BATCH)
+        .map(|i| {
+            let w = by_name(TIER1[i % TIER1.len()]).expect("tier-1 workload");
+            KernelJob {
+                name: format!("{}#{i}", w.name),
+                module: w.module.clone(),
+                launch: w.launch(),
+                params: w.params.clone(),
+                global: w.init_global.clone(),
+                iterations,
+                tuning: TuningConfig::new(w.block),
+            }
+        })
+        .collect()
+}
+
+fn run_batch(workers: usize, iterations: u32) -> (f64, ServiceReport) {
+    // The simulator backend is noise- and fault-free, so the sessions
+    // run the paper's exact walk (`policy: None`) and finalize within
+    // the iteration budget; the resilient path (7-sample warmup
+    // passes) is exercised by the chaos bench instead.
+    let svc = OrionService::new(
+        SimBackend::new(DeviceSpec::gtx680()),
+        ServiceConfig { workers, policy: None, ..ServiceConfig::default() },
+    );
+    let started = Instant::now();
+    let report = svc.run(batch(iterations));
+    (started.elapsed().as_secs_f64() * 1e3, report)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps: u32 = if quick { 1 } else { 3 };
+    let iterations: u32 = if quick { 8 } else { 24 };
+    let dev = DeviceSpec::gtx680();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    orion_telemetry::set_enabled(false);
+    let mut failed = false;
+
+    // Sequential baseline: best wall over `reps` runs.
+    cache::reset();
+    let mut seq_ms = f64::INFINITY;
+    let mut seq_report = None;
+    for _ in 0..reps {
+        let (ms, report) = run_batch(1, iterations);
+        seq_ms = seq_ms.min(ms);
+        seq_report = Some(report);
+    }
+    let seq_report = seq_report.expect("at least one sequential rep");
+
+    // Concurrent: one worker per kernel, warm cache (sharing is the
+    // point — the batch reuses the sequential runs' allocations).
+    let mut conc_ms = f64::INFINITY;
+    let mut conc_report = None;
+    for _ in 0..reps {
+        let (ms, report) = run_batch(BATCH, iterations);
+        conc_ms = conc_ms.min(ms);
+        conc_report = Some(report);
+    }
+    let conc_report = conc_report.expect("at least one concurrent rep");
+    let cache_stats = cache::stats();
+
+    // Gate 1: per-kernel outcomes must be bit-identical across worker
+    // counts (and every kernel must tune successfully).
+    let mut bit_identical = true;
+    for (a, b) in seq_report.kernels.iter().zip(&conc_report.kernels) {
+        match (&a.outcome, &b.outcome) {
+            (Ok(x), Ok(y)) if x == y => {}
+            (Ok(_), Ok(_)) => {
+                eprintln!("FAIL {}: outcome differs between 1 and {BATCH} workers", a.name);
+                bit_identical = false;
+            }
+            (r, _) => {
+                eprintln!(
+                    "FAIL {}: kernel did not tune cleanly: {:?}",
+                    a.name,
+                    r.as_ref().err().or(b.outcome.as_ref().err())
+                );
+                bit_identical = false;
+            }
+        }
+    }
+    if !bit_identical {
+        failed = true;
+    }
+    if seq_report.merged_decisions().len() != conc_report.merged_decisions().len() {
+        eprintln!("FAIL: merged decision logs differ in length across worker counts");
+        failed = true;
+    }
+
+    // Gate 2: ≥2× throughput at 8 kernels — only where the host can
+    // physically provide it.
+    let speedup = seq_ms / conc_ms;
+    let throughput_gated = host_cores >= 4;
+    if throughput_gated && speedup < 2.0 {
+        eprintln!(
+            "FAIL: concurrent batch only {speedup:.2}x faster than sequential \
+             ({host_cores} host cores)"
+        );
+        failed = true;
+    }
+
+    let kernels: Vec<KernelRow> = conc_report
+        .kernels
+        .iter()
+        .filter_map(|k| {
+            let o = k.outcome.as_ref().ok()?;
+            Some(KernelRow {
+                name: k.name.clone(),
+                lane: k.lane,
+                selected: o.selected,
+                iterations: o.iterations.len(),
+                converged_after: o.converged_after,
+                total_cycles: o.total_cycles,
+                decisions: o.decisions.len(),
+                state: format!("{:?}", o.state),
+            })
+        })
+        .collect();
+
+    let doc = ServiceDoc {
+        device: dev.name.clone(),
+        num_sms: dev.num_sms,
+        host_cores,
+        reps,
+        batch: BATCH,
+        iterations_per_kernel: iterations,
+        sequential_wall_ms: seq_ms,
+        concurrent_wall_ms: conc_ms,
+        concurrent_workers: BATCH,
+        speedup_concurrent_over_sequential: speedup,
+        throughput_gated,
+        bit_identical_outcomes: bit_identical,
+        cache_hits: cache_stats.hits,
+        cache_misses: cache_stats.misses,
+        kernels,
+    };
+
+    let mut text = format!(
+        "Service bench: {BATCH} kernels × {iterations} iterations on {} \
+         ({host_cores} host cores, {reps} rep(s))\n\
+         sequential {seq_ms:.1}ms, concurrent({BATCH} workers) {conc_ms:.1}ms \
+         → {speedup:.2}x{}\n\
+         cache: {} hits / {} misses; outcomes bit-identical: {bit_identical}\n",
+        dev.name,
+        if throughput_gated { "" } else { " (not gated: <4 cores)" },
+        cache_stats.hits,
+        cache_stats.misses,
+    );
+    for r in &doc.kernels {
+        text.push_str(&format!(
+            "{:<14} lane {:>2}  selected v{} after {:>2} trials  {:>12} cycles  {}\n",
+            r.name, r.lane, r.selected, r.converged_after, r.total_cycles, r.state,
+        ));
+    }
+
+    let data = serde_json::to_value(&doc).expect("service doc serializes");
+    let fig = Figure::new("service", text, data);
+    orion_bench::emit(&fig).expect("write BENCH_service.json");
+
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -115,8 +115,16 @@ pub fn chaos_run(
     let reference = tune_loop(&compiled, iters, orion.cfg.slowdown_threshold, |v| {
         let params = w.params_for(iter_no);
         iter_no += 1;
-        run_launch_faulty(dev, &v.machine, w.launch(), params, &mut global, opts(v.extra_smem), None)
-            .map(|r| r.cycles)
+        run_launch_faulty(
+            dev,
+            &v.machine,
+            w.launch(),
+            params,
+            &mut global,
+            opts(v.extra_smem),
+            None,
+        )
+        .map(|r| r.cycles)
     })?;
 
     // Chaotic walk through the resilient executor.
@@ -124,13 +132,8 @@ pub fn chaos_run(
     let mut global = w.init_global.clone();
     let mut iter_no = 0u32;
     let policy = ResiliencePolicy::default();
-    let chaotic = resilient_tune_loop(
-        w.name,
-        &compiled,
-        iters,
-        orion.cfg.slowdown_threshold,
-        &policy,
-        |v| {
+    let chaotic =
+        resilient_tune_loop(w.name, &compiled, iters, orion.cfg.slowdown_threshold, &policy, |v| {
             let params = w.params_for(iter_no);
             iter_no += 1;
             run_launch_faulty(
@@ -144,16 +147,13 @@ pub fn chaos_run(
             )
             .map(|r| r.cycles)
             .map_err(orion_core::OrionError::from)
-        },
-    );
+        });
     // Candidate exhaustion at a stress rate is a *result*, not a sweep
     // failure: record the row as gave-up (the app falls back to its
     // original kernel) instead of aborting the whole bench.
     let (chaos_selected, converged_after, absorbed, gave_up) = match chaotic {
         Ok(out) => (out.selected, out.converged_after, out.stats, false),
-        Err(e)
-            if matches!(e.root_cause(), orion_core::OrionError::AllCandidatesFailed { .. }) =>
-        {
+        Err(e) if matches!(e.root_cause(), orion_core::OrionError::AllCandidatesFailed { .. }) => {
             (compiled.original, 0, ResilienceStats::default(), true)
         }
         Err(e) => return Err(e.into()),

@@ -208,15 +208,10 @@ fn orion_select_impl(
     let sel_run = run_version_once(dev, w, selected)?;
     let nvcc_run = run_version_once(dev, w, &baseline)?;
     // Tuning overhead amortized over the application horizon.
-    let explored: u64 = outcome
-        .iterations
-        .iter()
-        .take(outcome.converged_after)
-        .map(|&(_, c)| c)
-        .sum();
+    let explored: u64 =
+        outcome.iterations.iter().take(outcome.converged_after).map(|&(_, c)| c).sum();
     let horizon = u64::from(AMORTIZATION_ITERS);
-    let amortized = (explored
-        + (horizon - outcome.converged_after as u64) * sel_run.cycles) as f64
+    let amortized = (explored + (horizon - outcome.converged_after as u64) * sel_run.cycles) as f64
         / horizon as f64;
 
     let energy_of = |r: &RunResult, regs: u16| -> EnergyReport {
@@ -225,11 +220,7 @@ fn orion_select_impl(
     let sel_energy = energy_of(&sel_run, selected.machine.regs_per_thread).total();
     let nvcc_energy = energy_of(&nvcc_run, baseline.machine.regs_per_thread).total();
     // Ideal energy straight from the sweep's per-point accounting.
-    let ideal_energy = sweep
-        .iter()
-        .map(|p| p.energy_pj)
-        .fold(f64::MAX, f64::min)
-        .min(sel_energy);
+    let ideal_energy = sweep.iter().map(|p| p.energy_pj).fold(f64::MAX, f64::min).min(sel_energy);
 
     let fallback = CurvePoint {
         warps: selected.achieved_warps,
@@ -269,8 +260,7 @@ pub fn run_with_alloc_options(
     budget: SlotBudget,
     opts: &AllocOptions,
 ) -> Result<(u64, u32), ExperimentError> {
-    let alloc =
-        allocate(&w.module, budget, opts).map_err(orion_core::OrionError::from)?;
+    let alloc = allocate(&w.module, budget, opts).map_err(orion_core::OrionError::from)?;
     let mut global = w.init_global.clone();
     let r = run_launch_opts(
         dev,

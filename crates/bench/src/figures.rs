@@ -35,10 +35,7 @@ impl Figure {
 
     /// The JSON artifact document (slug + data).
     pub fn artifact_json(&self) -> String {
-        let doc = obj(vec![
-            ("slug", Value::from(self.slug.as_str())),
-            ("data", self.data.clone()),
-        ]);
+        let doc = obj(vec![("slug", Value::from(self.slug.as_str())), ("data", self.data.clone())]);
         serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string())
     }
 }
@@ -71,10 +68,8 @@ pub fn fig01() -> Result<Figure, ExperimentError> {
     let dev = DeviceSpec::gtx680();
     let w = by_name("imageDenoising").expect("workload");
     let curve = sweep_curve(&dev, &w)?;
-    let mut s = render_curve(
-        "Figure 1: imageDenoising, running time vs occupancy (GTX680)",
-        &curve,
-    );
+    let mut s =
+        render_curve("Figure 1: imageDenoising, running time vs occupancy (GTX680)", &curve);
     let best = curve.iter().min_by_key(|p| p.cycles).expect("curve");
     let worst = curve.iter().max_by_key(|p| p.cycles).expect("curve");
     let spread = worst.cycles as f64 / best.cycles as f64;
@@ -95,10 +90,7 @@ pub fn fig02() -> Result<Figure, ExperimentError> {
     let dev = DeviceSpec::c2075();
     let w = by_name("matrixMul").expect("workload");
     let curve = sweep_curve(&dev, &w)?;
-    let mut s = render_curve(
-        "Figure 2: matrixMul, running time vs occupancy (C2075)",
-        &curve,
-    );
+    let mut s = render_curve("Figure 2: matrixMul, running time vs occupancy (C2075)", &curve);
     let best = curve.iter().map(|p| p.cycles).min().expect("curve");
     let half_up: Vec<f64> = curve
         .iter()
@@ -111,10 +103,7 @@ pub fn fig02() -> Result<Figure, ExperimentError> {
     ));
     let data = obj(vec![
         ("curve", curve_value(&curve)),
-        (
-            "plateau_norm_runtime",
-            Value::Seq(half_up.iter().map(|&x| Value::from(x)).collect()),
-        ),
+        ("plateau_norm_runtime", Value::Seq(half_up.iter().map(|&x| Value::from(x)).collect())),
     ]);
     Ok(Figure::new("fig02", s, data))
 }
@@ -234,10 +223,8 @@ pub fn fig10() -> Result<Figure, ExperimentError> {
     s.push_str(&format!(
         "paper: halving occupancy from 1.0 costs almost nothing\nmeasured: spread over [0.5,1.0] = {spread_pct:.1}%\n",
     ));
-    let data = obj(vec![
-        ("curve", curve_value(&curve)),
-        ("top_half_spread_pct", spread_pct.into()),
-    ]);
+    let data =
+        obj(vec![("curve", curve_value(&curve)), ("top_half_spread_pct", spread_pct.into())]);
     Ok(Figure::new("fig10", s, data))
 }
 
@@ -303,10 +290,7 @@ pub fn tab03() -> Result<Figure, ExperimentError> {
                     Ok(o) => {
                         let speedup = o.nvcc_cycles as f64 / o.selected_cycles as f64;
                         cells.push(format!("{speedup:.3}"));
-                        fields.push((
-                            cache_field_name(&dev, cfg),
-                            speedup.into(),
-                        ));
+                        fields.push((cache_field_name(&dev, cfg), speedup.into()));
                     }
                     // Hardware constraints (smem demand) — the paper's
                     // empty cells.
@@ -322,10 +306,7 @@ pub fn tab03() -> Result<Figure, ExperimentError> {
     }
     let text = format!(
         "Table 3: speedup with Small Cache (SC) vs Large Cache (LC) at the selected occupancy\n{}",
-        render_table(
-            &["benchmark", "C2075 SC", "C2075 LC", "GTX680 SC", "GTX680 LC"],
-            &rows
-        )
+        render_table(&["benchmark", "C2075 SC", "C2075 LC", "GTX680 SC", "GTX680 LC"], &rows)
     );
     Ok(Figure::new("tab03", text, obj(vec![("rows", Value::Seq(data_rows))])))
 }
@@ -400,11 +381,7 @@ pub fn fig13() -> Result<Figure, ExperimentError> {
         let o = orion_select(&dev, &w)?;
         let sel = o.selected_energy / o.nvcc_energy;
         let ideal = o.ideal_energy / o.nvcc_energy;
-        rows.push(vec![
-            w.name.to_string(),
-            format!("{sel:.3}"),
-            format!("{ideal:.3}"),
-        ]);
+        rows.push(vec![w.name.to_string(), format!("{sel:.3}"), format!("{ideal:.3}")]);
         data_rows.push(obj(vec![
             ("benchmark", w.name.into()),
             ("selected_energy_norm", sel.into()),
@@ -430,19 +407,12 @@ pub fn curve_pair(
     for name in names {
         let w = by_name(name).expect("workload");
         let curve = sweep_curve(dev, &w)?;
-        s.push_str(&render_curve(
-            &format!("{figure}: {} on {}", w.name, dev.name),
-            &curve,
-        ));
+        s.push_str(&render_curve(&format!("{figure}: {} on {}", w.name, dev.name), &curve));
         curves.push((name, curve_value(&curve)));
     }
     s.push_str(paper_note);
     s.push('\n');
-    let slug = format!(
-        "{}_{}",
-        figure.to_ascii_lowercase().replace(' ', ""),
-        device_slug(dev)
-    );
+    let slug = format!("{}_{}", figure.to_ascii_lowercase().replace(' ', ""), device_slug(dev));
     let mut fields = vec![("device", Value::from(dev.name.as_str()))];
     fields.extend(curves);
     Ok(Figure::new(slug, s, obj(fields)))

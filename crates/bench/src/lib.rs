@@ -17,9 +17,7 @@ pub mod figures;
 pub mod report;
 
 pub use chaos::{chaos_figure, chaos_run, ChaosRow, ChaosSummary};
-pub use experiment::{
-    orion_select, sweep_curve, CurvePoint, ExperimentError, SelectOutcome,
-};
+pub use experiment::{orion_select, sweep_curve, CurvePoint, ExperimentError, SelectOutcome};
 pub use figures::Figure;
 
 /// Print a figure's text to stdout and write its `BENCH_<slug>.json`

@@ -53,8 +53,24 @@ mod tests {
     #[test]
     fn curve_rendering_normalizes() {
         let curve = vec![
-            CurvePoint { warps: 8, occupancy: 0.17, cycles: 200, regs_per_thread: 60, smem_slots: 0, local_slots: 4, energy_pj: 1.0 },
-            CurvePoint { warps: 48, occupancy: 1.0, cycles: 100, regs_per_thread: 20, smem_slots: 0, local_slots: 4, energy_pj: 1.0 },
+            CurvePoint {
+                warps: 8,
+                occupancy: 0.17,
+                cycles: 200,
+                regs_per_thread: 60,
+                smem_slots: 0,
+                local_slots: 4,
+                energy_pj: 1.0,
+            },
+            CurvePoint {
+                warps: 48,
+                occupancy: 1.0,
+                cycles: 100,
+                regs_per_thread: 20,
+                smem_slots: 0,
+                local_slots: 4,
+                energy_pj: 1.0,
+            },
         ];
         let s = render_curve("t", &curve);
         assert!(s.contains("2.000"));

@@ -127,9 +127,6 @@ fn total_fault_storm_fails_closed_without_panicking() {
         .expect("a total storm is recorded, not propagated");
     assert!(row.gave_up, "every candidate must have been exhausted: {row:?}");
     assert!(!row.within_tolerance, "a gave-up row never counts as converged");
-    assert_eq!(
-        row.chaos_label, "original",
-        "after giving up the app runs the original kernel"
-    );
+    assert_eq!(row.chaos_label, "original", "after giving up the app runs the original kernel");
     assert!(row.injected.transient > 0);
 }

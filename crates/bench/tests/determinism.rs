@@ -30,9 +30,21 @@ fn seed_opts() -> LaunchOptions {
 
 fn fanout_opts() -> [LaunchOptions; 3] {
     [
-        LaunchOptions { parallelism: 1, scheduler: Scheduler::EventHeap, ..LaunchOptions::default() },
-        LaunchOptions { parallelism: 2, scheduler: Scheduler::EventHeap, ..LaunchOptions::default() },
-        LaunchOptions { parallelism: 0, scheduler: Scheduler::EventHeap, ..LaunchOptions::default() },
+        LaunchOptions {
+            parallelism: 1,
+            scheduler: Scheduler::EventHeap,
+            ..LaunchOptions::default()
+        },
+        LaunchOptions {
+            parallelism: 2,
+            scheduler: Scheduler::EventHeap,
+            ..LaunchOptions::default()
+        },
+        LaunchOptions {
+            parallelism: 0,
+            scheduler: Scheduler::EventHeap,
+            ..LaunchOptions::default()
+        },
     ]
 }
 
@@ -163,7 +175,13 @@ fn fault_outcomes_identical_across_fanout() {
                 .map(|_| {
                     let mut global = vec![0u8; 4 * n];
                     let r = run_launch_faulty(
-                        &dev, &machine, launch, &[0], &mut global, opts, Some(&injector),
+                        &dev,
+                        &machine,
+                        launch,
+                        &[0],
+                        &mut global,
+                        opts,
+                        Some(&injector),
                     );
                     (r, global)
                 })

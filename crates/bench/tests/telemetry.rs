@@ -30,17 +30,13 @@ fn chrome_trace_exports_valid_sorted_json() {
     let out = orion_telemetry::chrome::trace_json(&events);
     let parsed: serde_json::Value = serde_json::from_str(&out).expect("exporter emits valid JSON");
     assert!(parsed.as_map().is_some(), "top level is an object");
-    let evs = parsed
-        .get("traceEvents")
-        .and_then(serde_json::Value::as_array)
-        .expect("traceEvents array");
+    let evs =
+        parsed.get("traceEvents").and_then(serde_json::Value::as_array).expect("traceEvents array");
 
     // Other tests may run concurrently and append to the global buffer;
     // only assert on our own category.
-    let snap: Vec<&serde_json::Value> = evs
-        .iter()
-        .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("snap"))
-        .collect();
+    let snap: Vec<&serde_json::Value> =
+        evs.iter().filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("snap")).collect();
     // outer B+E, inner B+E, counter, instant, 2 completes = 8 events.
     assert_eq!(snap.len(), 8, "every probe appears exactly once");
     for e in &snap {

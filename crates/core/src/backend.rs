@@ -1,0 +1,420 @@
+//! Device-agnostic execution backends.
+//!
+//! Everything above this module — the [`TuningSession`] walk, the
+//! [`OrionService`] scheduler, the benches — used to call the simulator
+//! directly, which welded the tuning logic to `orion-gpusim`. The
+//! [`Backend`] trait is the seam: *compile a kernel into candidate
+//! versions, launch one version, tell me about the device* — nothing
+//! else. The paper's runtime needs exactly that surface, so a PTX
+//! backend targeting real GPUs (see ROADMAP) slots in underneath
+//! without touching a line of tuning code.
+//!
+//! Two implementations ship:
+//!
+//! * [`SimBackend`] — the `orion-gpusim` simulated device, optionally
+//!   wrapped in a fault injector for chaos runs;
+//! * [`ReplayBackend`] — a scripted backend that plays back a recorded
+//!   (or hand-written) sequence of per-version launch outcomes. It
+//!   never executes anything, which makes session-level tests — e.g.
+//!   "quarantine every version and check the decision log" —
+//!   deterministic, instant, and independent of the simulator.
+//!
+//! [`TuningSession`]: crate::session::TuningSession
+//! [`OrionService`]: crate::service::OrionService
+
+use crate::compiler::{compile, CompiledKernel, KernelVersion, TuningConfig};
+use crate::error::OrionError;
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::exec::{Launch, SimError};
+use orion_gpusim::faults::FaultInjector;
+use orion_gpusim::sim::{run_launch_faulty, LaunchOptions};
+use orion_kir::function::Module;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What a [`Backend`] can and cannot do. Callers branch on these
+/// instead of downcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Identical inputs produce bit-identical cycle counts. True for
+    /// the simulator and replay; false for real hardware.
+    pub deterministic: bool,
+    /// Honors [`LaunchOptions::cta_range`], enabling kernel splitting
+    /// (§3.4).
+    pub supports_splitting: bool,
+    /// Launches may fail spuriously (fault injection or a real,
+    /// fallible device); drivers should prefer the resilient walk.
+    pub faulty: bool,
+}
+
+/// A device that can compile Orion candidate versions and launch them.
+///
+/// The contract is deliberately small — the tuning layers only ever
+/// compile once and then launch versions repeatedly. `Sync` is
+/// required so [`OrionService`](crate::service::OrionService) can share
+/// one backend across session worker threads.
+pub trait Backend: Sync {
+    /// Human-readable backend name (appears in telemetry and benches).
+    fn name(&self) -> &'static str;
+
+    /// The device this backend executes on.
+    fn device_spec(&self) -> &DeviceSpec;
+
+    /// Capability flags.
+    fn caps(&self) -> BackendCaps;
+
+    /// Run the compile-time stage (Figure 8): verify, pick a tuning
+    /// direction, and realize candidate versions for this device.
+    ///
+    /// # Errors
+    /// Propagates verification/allocation failures.
+    fn compile_probe(
+        &self,
+        module: &Module,
+        cfg: &TuningConfig,
+    ) -> Result<CompiledKernel, OrionError>;
+
+    /// Launch one version once and return its cycle count. The
+    /// version's driver-side shared-memory padding is wired in by the
+    /// backend; `opts` carries everything else (CTA range for
+    /// splitting, cycle budgets, scheduler choice).
+    ///
+    /// # Errors
+    /// Propagates launch/execution failures.
+    fn launch(
+        &self,
+        version: &KernelVersion,
+        launch: Launch,
+        params: &[u32],
+        global: &mut [u8],
+        opts: LaunchOptions,
+    ) -> Result<u64, OrionError>;
+}
+
+/// The `orion-gpusim` simulated device as a [`Backend`], optionally
+/// fault-injected (chaos runs share one injector so the fault stream
+/// is keyed by global launch index, matching the chaos harness).
+#[derive(Debug)]
+pub struct SimBackend {
+    dev: DeviceSpec,
+    injector: Option<FaultInjector>,
+}
+
+impl SimBackend {
+    /// A clean (fault-free) simulator backend.
+    #[must_use]
+    pub fn new(dev: DeviceSpec) -> Self {
+        SimBackend { dev, injector: None }
+    }
+
+    /// A fault-injected simulator backend. Without the `faults`
+    /// feature on `orion-gpusim` the injector degrades to a no-op and
+    /// this behaves like [`SimBackend::new`].
+    #[must_use]
+    pub fn with_injector(dev: DeviceSpec, injector: FaultInjector) -> Self {
+        SimBackend { dev, injector: Some(injector) }
+    }
+
+    /// The fault injector, if any (for reading fault stats after a run).
+    #[must_use]
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+}
+
+impl Backend for SimBackend {
+    fn name(&self) -> &'static str {
+        "gpusim"
+    }
+
+    fn device_spec(&self) -> &DeviceSpec {
+        &self.dev
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            deterministic: true,
+            supports_splitting: true,
+            faulty: self.injector.is_some(),
+        }
+    }
+
+    fn compile_probe(
+        &self,
+        module: &Module,
+        cfg: &TuningConfig,
+    ) -> Result<CompiledKernel, OrionError> {
+        compile(module, &self.dev, cfg)
+    }
+
+    fn launch(
+        &self,
+        version: &KernelVersion,
+        launch: Launch,
+        params: &[u32],
+        global: &mut [u8],
+        opts: LaunchOptions,
+    ) -> Result<u64, OrionError> {
+        let r = run_launch_faulty(
+            &self.dev,
+            &version.machine,
+            launch,
+            params,
+            global,
+            opts.with_extra_smem(version.extra_smem),
+            self.injector.as_ref(),
+        )?;
+        Ok(r.cycles)
+    }
+}
+
+/// A scripted [`Backend`] for deterministic tests: per version label, a
+/// queue of launch outcomes played back in order. Once a queue runs
+/// dry its *last* outcome repeats forever (steady state), and a version
+/// with no script at all yields [`ReplayBackend::default_cycles`] —
+/// so short scripts drive arbitrarily long sessions.
+///
+/// `compile_probe` compiles for real (compilation is already
+/// deterministic); only launches are replayed. The `global` buffer is
+/// left untouched — replay reproduces *timing and failures*, not data.
+#[derive(Debug)]
+pub struct ReplayBackend {
+    dev: DeviceSpec,
+    script: Mutex<HashMap<String, VecDeque<Result<u64, SimError>>>>,
+    default_cycles: u64,
+}
+
+impl ReplayBackend {
+    /// An empty-script replay backend; every launch of every version
+    /// returns `default_cycles` until scripted otherwise.
+    #[must_use]
+    pub fn new(dev: DeviceSpec, default_cycles: u64) -> Self {
+        ReplayBackend { dev, script: Mutex::new(HashMap::new()), default_cycles }
+    }
+
+    /// Append outcomes to the queue for the version labeled `label`.
+    /// Builder-style; call repeatedly to interleave successes and
+    /// failures.
+    #[must_use]
+    pub fn script(
+        self,
+        label: impl Into<String>,
+        outcomes: impl IntoIterator<Item = Result<u64, SimError>>,
+    ) -> Self {
+        self.script.lock().unwrap().entry(label.into()).or_default().extend(outcomes);
+        self
+    }
+
+    /// The fallback cycle count for unscripted versions.
+    #[must_use]
+    pub fn default_cycles(&self) -> u64 {
+        self.default_cycles
+    }
+
+    /// The scripted outcome for one launch of `label`.
+    fn play(&self, label: &str) -> Result<u64, SimError> {
+        let mut script = self.script.lock().unwrap();
+        match script.get_mut(label) {
+            Some(queue) => match queue.len() {
+                0 => Ok(self.default_cycles),
+                // Keep the last outcome as the version's steady state.
+                1 => queue.front().cloned().expect("len checked"),
+                _ => queue.pop_front().expect("len checked"),
+            },
+            None => Ok(self.default_cycles),
+        }
+    }
+}
+
+impl Backend for ReplayBackend {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn device_spec(&self) -> &DeviceSpec {
+        &self.dev
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps { deterministic: true, supports_splitting: false, faulty: true }
+    }
+
+    fn compile_probe(
+        &self,
+        module: &Module,
+        cfg: &TuningConfig,
+    ) -> Result<CompiledKernel, OrionError> {
+        compile(module, &self.dev, cfg)
+    }
+
+    fn launch(
+        &self,
+        version: &KernelVersion,
+        _launch: Launch,
+        _params: &[u32],
+        _global: &mut [u8],
+        _opts: LaunchOptions,
+    ) -> Result<u64, OrionError> {
+        self.play(&version.label).map_err(OrionError::from)
+    }
+}
+
+/// Wrap any backend and record each version's launch outcomes, in
+/// order, so a live run can later be replayed bit-for-bit on a
+/// [`ReplayBackend`] (via [`Recorder::into_replay`]).
+#[derive(Debug)]
+pub struct Recorder<B: Backend> {
+    inner: B,
+    log: Mutex<HashMap<String, VecDeque<Result<u64, SimError>>>>,
+}
+
+impl<B: Backend> Recorder<B> {
+    /// Record all launches going through `inner`.
+    #[must_use]
+    pub fn new(inner: B) -> Self {
+        Recorder { inner, log: Mutex::new(HashMap::new()) }
+    }
+
+    /// The recorded script as a replay backend on the same device.
+    /// Unrecorded versions fall back to `default_cycles`.
+    #[must_use]
+    pub fn into_replay(self, default_cycles: u64) -> ReplayBackend {
+        ReplayBackend {
+            dev: self.inner.device_spec().clone(),
+            script: Mutex::new(self.log.into_inner().unwrap()),
+            default_cycles,
+        }
+    }
+}
+
+impl<B: Backend> Backend for Recorder<B> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn device_spec(&self) -> &DeviceSpec {
+        self.inner.device_spec()
+    }
+
+    fn caps(&self) -> BackendCaps {
+        self.inner.caps()
+    }
+
+    fn compile_probe(
+        &self,
+        module: &Module,
+        cfg: &TuningConfig,
+    ) -> Result<CompiledKernel, OrionError> {
+        self.inner.compile_probe(module, cfg)
+    }
+
+    fn launch(
+        &self,
+        version: &KernelVersion,
+        launch: Launch,
+        params: &[u32],
+        global: &mut [u8],
+        opts: LaunchOptions,
+    ) -> Result<u64, OrionError> {
+        let out = self.inner.launch(version, launch, params, global, opts);
+        let recorded = match &out {
+            Ok(c) => Ok(*c),
+            // Only simulator failures replay; other compile-side errors
+            // cannot occur at launch time on the shipped backends.
+            Err(e) => match e.root_cause() {
+                OrionError::Sim(s) => Err(s.clone()),
+                _ => Ok(0),
+            },
+        };
+        self.log.lock().unwrap().entry(version.label.clone()).or_default().push_back(recorded);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_kir::builder::FunctionBuilder;
+    use orion_kir::inst::Operand;
+    use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+    fn toy_module() -> Module {
+        let mut b = FunctionBuilder::kernel("k");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let addr = b.imad(tid, Operand::Imm(4), Operand::Param(0));
+        let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+        let y = b.imul(x, tid);
+        b.st(MemSpace::Global, Width::W32, addr, y, 0);
+        Module::new(b.finish())
+    }
+
+    #[test]
+    fn sim_backend_compiles_and_launches() {
+        let be = SimBackend::new(DeviceSpec::gtx680());
+        assert!(be.caps().deterministic && !be.caps().faulty);
+        let ck = be.compile_probe(&toy_module(), &TuningConfig::new(32)).unwrap();
+        let mut g = vec![0u8; 4 * 64];
+        let c = be
+            .launch(
+                &ck.versions[0],
+                Launch { grid: 2, block: 32 },
+                &[0],
+                &mut g,
+                LaunchOptions::default(),
+            )
+            .unwrap();
+        assert!(c > 0);
+        // Determinism: same launch, same cycles.
+        let mut g2 = vec![0u8; 4 * 64];
+        let c2 = be
+            .launch(
+                &ck.versions[0],
+                Launch { grid: 2, block: 32 },
+                &[0],
+                &mut g2,
+                LaunchOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn replay_backend_plays_script_then_repeats_last() {
+        let be = ReplayBackend::new(DeviceSpec::gtx680(), 42)
+            .script("occ=8", [Ok(100), Ok(90), Err(SimError::Deadlock)]);
+        let ck = be.compile_probe(&toy_module(), &TuningConfig::new(32)).unwrap();
+        let mut v = ck.versions[0].clone();
+        v.label = "occ=8".into();
+        let mut g = [];
+        let mut go = |v: &KernelVersion| {
+            be.launch(v, Launch { grid: 1, block: 32 }, &[], &mut g, LaunchOptions::default())
+        };
+        assert_eq!(go(&v).unwrap(), 100);
+        assert_eq!(go(&v).unwrap(), 90);
+        // The last outcome repeats forever.
+        assert!(go(&v).is_err());
+        assert!(go(&v).is_err());
+        // Unscripted labels yield the default.
+        v.label = "other".into();
+        assert_eq!(go(&v).unwrap(), 42);
+    }
+
+    #[test]
+    fn recorder_round_trips_through_replay() {
+        let rec = Recorder::new(SimBackend::new(DeviceSpec::gtx680()));
+        let ck = rec.compile_probe(&toy_module(), &TuningConfig::new(32)).unwrap();
+        let launch = Launch { grid: 2, block: 32 };
+        let mut live = Vec::new();
+        for v in &ck.versions {
+            let mut g = vec![0u8; 4 * 64];
+            live.push(rec.launch(v, launch, &[0], &mut g, LaunchOptions::default()).unwrap());
+        }
+        let replay = rec.into_replay(0);
+        for (v, &want) in ck.versions.iter().zip(&live) {
+            let mut g = vec![0u8; 4 * 64];
+            let got = replay.launch(v, launch, &[0], &mut g, LaunchOptions::default()).unwrap();
+            assert_eq!(got, want, "replay reproduces the live run for {}", v.label);
+        }
+    }
+}

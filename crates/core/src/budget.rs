@@ -133,17 +133,12 @@ mod tests {
         let dev = DeviceSpec::c2075();
         for target_blocks in 1..8u32 {
             for user in [0u32, 512, 4096, 12288] {
-                let res = KernelResources {
-                    regs_per_thread: 8,
-                    smem_per_block: user,
-                    block_size: 192,
-                };
+                let res =
+                    KernelResources { regs_per_thread: 8, smem_per_block: user, block_size: 192 };
                 let target = target_blocks * 6;
                 if let Some(pad) = smem_padding_for_warps(&dev, &res, target) {
-                    let after = occupancy(
-                        &dev,
-                        &KernelResources { smem_per_block: user + pad, ..res },
-                    );
+                    let after =
+                        occupancy(&dev, &KernelResources { smem_per_block: user + pad, ..res });
                     assert!(
                         after.active_blocks <= target_blocks,
                         "target {target_blocks} user {user}: got {}",

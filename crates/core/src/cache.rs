@@ -219,10 +219,18 @@ mod tests {
     #[test]
     fn distinct_budgets_are_distinct_entries() {
         let m = module();
-        let a = allocate_cached(&m, SlotBudget { reg_slots: 12, smem_slots: 0 }, &AllocOptions::default())
-            .expect("alloc");
-        let b = allocate_cached(&m, SlotBudget { reg_slots: 2, smem_slots: 0 }, &AllocOptions::default())
-            .expect("alloc");
+        let a = allocate_cached(
+            &m,
+            SlotBudget { reg_slots: 12, smem_slots: 0 },
+            &AllocOptions::default(),
+        )
+        .expect("alloc");
+        let b = allocate_cached(
+            &m,
+            SlotBudget { reg_slots: 2, smem_slots: 0 },
+            &AllocOptions::default(),
+        )
+        .expect("alloc");
         assert_ne!(a.machine, b.machine);
         assert!(stats().entries >= 2);
     }

@@ -60,12 +60,7 @@ pub struct TuningConfig {
 impl TuningConfig {
     /// Defaults matching the paper: ≤5 versions, 2% threshold.
     pub fn new(block: u32) -> Self {
-        TuningConfig {
-            block,
-            can_tune: true,
-            max_versions: 5,
-            slowdown_threshold: 0.02,
-        }
+        TuningConfig { block, can_tune: true, max_versions: 5, slowdown_threshold: 0.02 }
     }
 }
 
@@ -121,6 +116,17 @@ impl CompiledKernel {
     pub fn num_candidates(&self) -> usize {
         self.versions.iter().filter(|v| !v.fail_safe).count()
     }
+
+    /// The index of the version labeled `label`.
+    ///
+    /// # Errors
+    /// [`OrionError::UnknownVersion`] when no version carries the label.
+    pub fn index_of(&self, label: &str) -> Result<usize, OrionError> {
+        self.versions
+            .iter()
+            .position(|v| v.label == label)
+            .ok_or_else(|| OrionError::UnknownVersion { label: label.to_string() })
+    }
 }
 
 /// Run the compile-time stage of Orion on a kernel module.
@@ -134,21 +140,15 @@ pub fn compile(
 ) -> Result<CompiledKernel, OrionError> {
     orion_kir::verify::verify(module)?;
     let max_live = kernel_max_live(module)?;
-    let direction = if max_live >= MAX_LIVE_THRESHOLD {
-        Direction::Increasing
-    } else {
-        Direction::Decreasing
-    };
+    let direction =
+        if max_live >= MAX_LIVE_THRESHOLD { Direction::Increasing } else { Direction::Decreasing };
     let warps_per_block = cfg.block.div_ceil(dev.warp_size);
     let vb = VersionBuilder::new(dev, cfg.block, module);
 
     // Original: minimal registers holding all live values (or hw cap).
     let original_regs = (max_live.min(u32::from(dev.max_regs_per_thread)) as u16).max(2);
-    let original = vb.realize(
-        SlotBudget { reg_slots: original_regs, smem_slots: 0 },
-        0,
-        "original",
-    )?;
+    let original =
+        vb.realize(SlotBudget { reg_slots: original_regs, smem_slots: 0 }, 0, "original")?;
 
     let mut versions: Vec<KernelVersion> = vec![original];
     let original_idx = 0usize;
@@ -288,10 +288,7 @@ pub fn compile(
     }
 
     let tuning_order: Vec<usize> = std::iter::once(original_idx)
-        .chain(
-            (0..versions.len())
-                .filter(|&i| i != original_idx && !versions[i].fail_safe),
-        )
+        .chain((0..versions.len()).filter(|&i| i != original_idx && !versions[i].fail_safe))
         .collect();
     if orion_telemetry::is_enabled() {
         orion_telemetry::instant(
@@ -319,13 +316,7 @@ pub fn compile(
             );
         }
     }
-    Ok(CompiledKernel {
-        versions,
-        direction,
-        original: original_idx,
-        max_live,
-        tuning_order,
-    })
+    Ok(CompiledKernel { versions, direction, original: original_idx, max_live, tuning_order })
 }
 
 /// Static estimate of the fewest warps that still cover memory latency
@@ -335,13 +326,8 @@ pub fn compile(
 pub fn static_min_warps(module: &Module, dev: &DeviceSpec) -> u32 {
     let kernel = module.kernel();
     let total = kernel.num_insts().max(1) as u64;
-    let mem = kernel
-        .blocks
-        .iter()
-        .flat_map(|b| &b.insts)
-        .filter(|i| i.op.is_mem())
-        .count()
-        .max(1) as u64;
+    let mem =
+        kernel.blocks.iter().flat_map(|b| &b.insts).filter(|i| i.op.is_mem()).count().max(1) as u64;
     let work_per_mem = (total / mem).max(1) * dev.alu_latency / 4;
     (dev.dram_latency / work_per_mem.max(1)).clamp(4, u64::from(dev.max_warps_per_sm)) as u32
 }
@@ -377,11 +363,8 @@ mod tests {
         assert!(ck.num_candidates() >= 2, "{:?}", ck.versions.len());
         assert!(ck.num_candidates() <= 5);
         // Upward versions have increasing occupancy.
-        let occs: Vec<u32> = ck
-            .tuning_order
-            .iter()
-            .map(|&i| ck.versions[i].achieved_warps)
-            .collect();
+        let occs: Vec<u32> =
+            ck.tuning_order.iter().map(|&i| ck.versions[i].achieved_warps).collect();
         assert!(occs.windows(2).all(|w| w[1] >= w[0]), "{occs:?}");
     }
 
@@ -394,15 +377,11 @@ mod tests {
         // Original runs at hardware max.
         assert_eq!(ck.versions[ck.original].achieved_warps, dev.max_warps_per_sm);
         // Downward versions share the binary but pad shared memory.
-        let down: Vec<&KernelVersion> =
-            ck.versions.iter().filter(|v| v.extra_smem > 0).collect();
+        let down: Vec<&KernelVersion> = ck.versions.iter().filter(|v| v.extra_smem > 0).collect();
         assert!(!down.is_empty());
         for v in down {
             assert!(v.achieved_warps < dev.max_warps_per_sm);
-            assert_eq!(
-                v.machine.regs_per_thread,
-                ck.versions[ck.original].machine.regs_per_thread
-            );
+            assert_eq!(v.machine.regs_per_thread, ck.versions[ck.original].machine.regs_per_thread);
         }
     }
 

@@ -30,6 +30,9 @@ pub enum OrionError {
     /// Every candidate version — including the fail-safe — failed to
     /// launch; there is nothing left to run.
     AllCandidatesFailed { quarantined: usize },
+    /// A version label that names no version of the compiled kernel
+    /// (see [`crate::compiler::CompiledKernel::index_of`]).
+    UnknownVersion { label: String },
     /// A failure annotated with where it struck. The inner error is
     /// reachable through [`std::error::Error::source`].
     Context(Box<ErrorContext>),
@@ -52,11 +55,7 @@ impl OrionError {
     /// compose: an already-contextualized error gains an outer frame.
     #[must_use]
     pub fn with_context(self, kernel: impl Into<String>, cycle: Option<u64>) -> Self {
-        OrionError::Context(Box::new(ErrorContext {
-            kernel: kernel.into(),
-            cycle,
-            source: self,
-        }))
+        OrionError::Context(Box::new(ErrorContext { kernel: kernel.into(), cycle, source: self }))
     }
 
     /// The innermost error in the context chain (the root cause).
@@ -83,10 +82,12 @@ impl fmt::Display for OrionError {
                 write!(f, "no occupancy level is achievable for this kernel")
             }
             OrionError::Tuner(detail) => write!(f, "tuner: {detail}"),
-            OrionError::AllCandidatesFailed { quarantined } => write!(
-                f,
-                "all candidate versions failed to launch ({quarantined} quarantined)"
-            ),
+            OrionError::AllCandidatesFailed { quarantined } => {
+                write!(f, "all candidate versions failed to launch ({quarantined} quarantined)")
+            }
+            OrionError::UnknownVersion { label } => {
+                write!(f, "no kernel version is labeled \"{label}\"")
+            }
             OrionError::Context(c) => match c.cycle {
                 Some(cycle) => {
                     write!(f, "kernel \"{}\" failed at cycle {cycle}: {}", c.kernel, c.source)

@@ -10,15 +10,24 @@
 //!    tuning direction from the *max-live* metric, realize candidate
 //!    occupancy levels through on-chip memory allocation
 //!    (`orion-alloc`), and emit ≤ 5 kernel versions.
-//! 2. **Runtime adaptation** ([`runtime`], Figure 9): walk the
+//! 2. **Runtime adaptation** ([`session`], Figure 9): walk the
 //!    candidates across application iterations, finalizing the best (or
 //!    the lowest occupancy within 2% of the best when tuning downward,
 //!    which saves registers and energy). Applications without an
 //!    iteration loop use [`splitting`] or the static selection.
 //!
+//! The runtime walk is one typed state machine,
+//! [`session::TuningSession`], executed on a pluggable
+//! [`backend::Backend`] (the `orion-gpusim` simulator, or a scripted
+//! [`backend::ReplayBackend`] for tests). Whole applications — many
+//! kernels, one device — go through [`service::OrionService`], which
+//! drives one session per kernel concurrently over a shared compile
+//! cache and telemetry stream:
+//!
 //! ```
-//! use orion_core::orion::Orion;
-//! use orion_core::runtime::tune_loop;
+//! use orion_core::backend::SimBackend;
+//! use orion_core::compiler::TuningConfig;
+//! use orion_core::service::{KernelJob, OrionService, ServiceConfig};
 //! use orion_gpusim::device::DeviceSpec;
 //! use orion_gpusim::exec::Launch;
 //! use orion_kir::builder::FunctionBuilder;
@@ -39,33 +48,53 @@
 //! b.st(MemSpace::Global, Width::W32, addr, y, 0);
 //! let module = Module::new(b.finish());
 //!
-//! let orion = Orion::new(DeviceSpec::gtx680(), 64);
-//! let compiled = orion.compile(&module)?;
-//! assert!(compiled.num_candidates() <= 5);
-//!
-//! // Tune across 6 application iterations on the simulator.
-//! let launch = Launch { grid: 8, block: 64 };
-//! let mut global = vec![0u8; 4 * 512];
-//! let outcome = tune_loop(&compiled, 6, 0.02, |version| {
-//!     orion.run_version(version, launch, &[0], &mut global).map(|r| r.cycles)
-//! })?;
-//! assert!(outcome.converged_after <= compiled.num_candidates() + 1);
+//! // Tune it (and any sibling kernels) as one service batch. The
+//! // simulator is noise-free, so the paper's exact fault-free walk
+//! // (`policy: None`) converges in a handful of iterations; keep the
+//! // default resilient policy for noisy or fault-injected backends.
+//! let service = OrionService::new(
+//!     SimBackend::new(DeviceSpec::gtx680()),
+//!     ServiceConfig { policy: None, ..ServiceConfig::default() },
+//! );
+//! let report = service.run(vec![KernelJob {
+//!     name: "scale".into(),
+//!     module,
+//!     launch: Launch { grid: 8, block: 64 },
+//!     params: vec![0],
+//!     global: vec![0u8; 4 * 512],
+//!     iterations: 6,
+//!     tuning: TuningConfig::new(64),
+//! }]);
+//! assert!(report.all_ok());
+//! let outcome = report.kernels[0].outcome.as_ref().unwrap();
+//! assert_eq!(outcome.iterations.len(), 6);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Single kernels can drive a [`session::TuningSession`] directly (the
+//! pull-based `next_step()` / `on_launch_result()` loop), and the legacy
+//! closure APIs — [`runtime::tune_loop`] and
+//! [`resilient::resilient_tune_loop`] — remain as thin drivers over
+//! the same machine, pinned bit-equal to their pre-refactor behavior
+//! by the [`reference`](mod@reference) equivalence suite.
 
+pub mod backend;
 pub mod budget;
 pub mod cache;
 pub mod compiler;
 pub mod error;
 pub mod orion;
+pub mod reference;
 pub mod resilient;
 pub mod runtime;
+pub mod service;
+pub mod session;
 pub mod splitting;
 pub mod version;
 
+pub use backend::{Backend, BackendCaps, Recorder, ReplayBackend, SimBackend};
 pub use cache::{allocate_cached, CacheConfig, CompileCacheStats};
-pub use version::VersionBuilder;
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
 pub use error::{ErrorContext, OrionError};
 pub use orion::Orion;
@@ -74,3 +103,7 @@ pub use resilient::{
     ResilientOutcome, RobustMeasure,
 };
 pub use runtime::{tune_loop, DynamicTuner, TuneDecision, TuneOutcome, TuneReason};
+pub use service::{KernelJob, KernelReport, OrionService, ServiceConfig, ServiceReport};
+pub use session::{SessionMode, SessionOutcome, SessionState, SessionStep, TuningSession};
+pub use splitting::{tune_by_splitting, SplitConfig};
+pub use version::VersionBuilder;

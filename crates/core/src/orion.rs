@@ -22,10 +22,7 @@ impl Orion {
     /// Orion for `dev` with paper-default configuration at `block`
     /// threads per block.
     pub fn new(dev: DeviceSpec, block: u32) -> Self {
-        Orion {
-            dev,
-            cfg: TuningConfig::new(block),
-        }
+        Orion { dev, cfg: TuningConfig::new(block) }
     }
 
     /// Run the compile-time stage (Figure 8): candidate versions.
@@ -164,9 +161,7 @@ mod tests {
         let m = kernel(4);
         let base = orion.baseline(&m).unwrap();
         let mut g = vec![0u8; 4 * 64];
-        let r = orion
-            .run_version(&base, Launch { grid: 2, block: 32 }, &[0], &mut g)
-            .unwrap();
+        let r = orion.run_version(&base, Launch { grid: 2, block: 32 }, &[0], &mut g).unwrap();
         assert!(r.cycles > 0);
     }
 }

@@ -1,0 +1,216 @@
+//! Frozen pre-refactor runtime walks — the behavioral oracle for the
+//! [`TuningSession`](crate::session::TuningSession) refactor.
+//!
+//! PR 5 collapsed the three copy-adjacent runtime walks
+//! ([`tune_loop`](crate::runtime::tune_loop),
+//! [`resilient_tune_loop`](crate::resilient::resilient_tune_loop), and
+//! the splitting path) onto one typed state machine, with the old entry
+//! points surviving as thin drivers. This module is the *frozen* copy of
+//! the pre-refactor loop bodies, kept verbatim (same statement order,
+//! same counter updates, same telemetry) so the equivalence suite can
+//! prove the unified session reproduces the exact decision logs,
+//! finalized picks, and [`TuneReason`]s of the code it replaced — the
+//! same technique `orion_alloc::reference` uses to pin the allocation
+//! pipeline.
+//!
+//! Nothing outside tests should call these; they exist to be compared
+//! against, not to run production traffic.
+
+use crate::compiler::{CompiledKernel, KernelVersion};
+use crate::error::OrionError;
+use crate::resilient::{robust_measure, ResiliencePolicy, ResilienceStats, ResilientOutcome};
+use crate::runtime::{DynamicTuner, TuneOutcome, TuneReason};
+
+/// Frozen copy of the pre-refactor [`crate::runtime::tune_loop`].
+///
+/// # Errors
+/// Propagates the first launch error.
+pub fn tune_loop<E>(
+    ck: &CompiledKernel,
+    iterations: u32,
+    threshold: f64,
+    mut run: impl FnMut(&KernelVersion) -> Result<u64, E>,
+) -> Result<TuneOutcome, E> {
+    let mut tuner = DynamicTuner::new(ck, threshold);
+    let mut iters = Vec::with_capacity(iterations as usize);
+    let mut total = 0u64;
+    for _ in 0..iterations {
+        let v = tuner.select();
+        let cycles = run(&ck.versions[v])?;
+        total += cycles;
+        iters.push((v, cycles));
+        tuner.record(cycles);
+    }
+    let selected = tuner.finalized().unwrap_or_else(|| tuner.select());
+    Ok(TuneOutcome {
+        selected,
+        iterations: iters,
+        converged_after: tuner.trials(),
+        total_cycles: total,
+        decisions: tuner.into_decisions(),
+    })
+}
+
+fn should_quarantine(e: &OrionError) -> bool {
+    match e.root_cause() {
+        OrionError::Sim(s) => s.is_quarantineable() || s.is_transient(),
+        _ => false,
+    }
+}
+
+fn run_with_retry(
+    run: &mut impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
+    version: &KernelVersion,
+    policy: &ResiliencePolicy,
+    stats: &mut ResilienceStats,
+) -> Result<u64, OrionError> {
+    let mut attempt = 0u32;
+    loop {
+        stats.launches += 1;
+        match run(version) {
+            Ok(c) => return Ok(c),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                stats.failed_launches += 1;
+                stats.retries += 1;
+                let backoff = policy.backoff_base_cycles << attempt.min(20);
+                stats.backoff_cycles = stats.backoff_cycles.saturating_add(backoff);
+                if orion_telemetry::is_enabled() {
+                    orion_telemetry::counter("resilience", "retry", 1);
+                }
+                attempt += 1;
+            }
+            Err(e) => {
+                stats.failed_launches += 1;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Frozen copy of the pre-refactor
+/// [`crate::resilient::resilient_tune_loop`].
+///
+/// # Errors
+/// Same contract as the live entry point.
+#[allow(clippy::too_many_lines)]
+pub fn resilient_tune_loop(
+    kernel: &str,
+    ck: &CompiledKernel,
+    iterations: u32,
+    threshold: f64,
+    policy: &ResiliencePolicy,
+    mut run: impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
+) -> Result<ResilientOutcome, OrionError> {
+    use crate::compiler::Direction;
+    let mut tuner = DynamicTuner::new(ck, threshold);
+    let mut stats = ResilienceStats::default();
+    let mut strikes = vec![0u32; ck.versions.len()];
+    let mut iters: Vec<(usize, u64)> = Vec::with_capacity(iterations as usize);
+    let mut total: u64 = 0;
+    let mut converged_after: Option<usize> = None;
+    let mut it = 0u32;
+    fn strike(
+        strikes: &mut [u32],
+        v: usize,
+        policy: &ResiliencePolicy,
+        tuner: &mut DynamicTuner,
+        stats: &mut ResilienceStats,
+    ) -> bool {
+        stats.strikes += 1;
+        if orion_telemetry::is_enabled() {
+            orion_telemetry::counter("resilience", "strike", 1);
+        }
+        strikes[v] += 1;
+        if strikes[v] >= policy.quarantine_strikes.max(1) {
+            tuner.quarantine(v);
+            true
+        } else {
+            false
+        }
+    }
+    while it < iterations {
+        if tuner.all_quarantined() {
+            return Err(OrionError::AllCandidatesFailed { quarantined: tuner.quarantined_count() }
+                .with_context(kernel, Some(total)));
+        }
+        let v_idx = tuner.select();
+        let version = &ck.versions[v_idx];
+        if tuner.finalized().is_some() {
+            converged_after.get_or_insert(iters.len());
+            match run_with_retry(&mut run, version, policy, &mut stats) {
+                Ok(c) => {
+                    strikes[v_idx] = 0;
+                    total = total.saturating_add(c);
+                    iters.push((v_idx, c));
+                    it += 1;
+                }
+                Err(e) if should_quarantine(&e) => {
+                    strike(&mut strikes, v_idx, policy, &mut tuner, &mut stats);
+                }
+                Err(e) => return Err(e.with_context(kernel, Some(total))),
+            }
+        } else {
+            let k = policy.samples.max(1);
+            let mut samples = Vec::with_capacity(2 * k);
+            let mut target = k;
+            let mut dead = false;
+            let mut struck = false;
+            loop {
+                while samples.len() < target && it < iterations {
+                    match run_with_retry(&mut run, version, policy, &mut stats) {
+                        Ok(c) => {
+                            strikes[v_idx] = 0;
+                            total = total.saturating_add(c);
+                            iters.push((v_idx, c));
+                            it += 1;
+                            samples.push(c);
+                        }
+                        Err(e) if should_quarantine(&e) => {
+                            struck = true;
+                            dead = strike(&mut strikes, v_idx, policy, &mut tuner, &mut stats);
+                            break;
+                        }
+                        Err(e) => return Err(e.with_context(kernel, Some(total))),
+                    }
+                }
+                if struck || it >= iterations || samples.len() < target || target > k {
+                    break;
+                }
+                let m = robust_measure(&mut samples, policy.outlier_factor);
+                let margin = (m.rel_spread * policy.noise_margin_factor)
+                    .clamp(0.0, policy.noise_margin_cap.max(0.0));
+                let borderline = margin > 0.0
+                    && tuner.probe_slowdown(m.cycles).is_some_and(|slow| {
+                        let boundary = match ck.direction {
+                            Direction::Increasing => margin,
+                            Direction::Decreasing => threshold.max(margin),
+                        };
+                        (slow - boundary).abs() <= margin * 0.5
+                    });
+                if !borderline {
+                    break;
+                }
+                target += k;
+            }
+            if !dead && !samples.is_empty() && (!struck || it >= iterations) {
+                let m = robust_measure(&mut samples, policy.outlier_factor);
+                let margin = (m.rel_spread * policy.noise_margin_factor)
+                    .clamp(0.0, policy.noise_margin_cap.max(0.0));
+                tuner.record_noisy(m.cycles, margin);
+            }
+        }
+    }
+    let selected = tuner.finalized().unwrap_or_else(|| tuner.select());
+    let decisions = tuner.into_decisions();
+    stats.quarantined =
+        decisions.iter().filter(|d| d.reason == TuneReason::Quarantined).count() as u64;
+    stats.fellback = decisions.iter().filter(|d| d.reason == TuneReason::FellBack).count() as u64;
+    Ok(ResilientOutcome {
+        selected,
+        converged_after: converged_after.unwrap_or(iters.len()),
+        total_cycles: total.saturating_add(stats.backoff_cycles),
+        iterations: iters,
+        decisions,
+        stats,
+    })
+}

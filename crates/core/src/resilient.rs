@@ -5,7 +5,8 @@
 //! both: launches fail transiently (driver hiccups, ECC retries),
 //! kernels hang (watchdog), perturbed resource limits reject a version
 //! outright, and timing is noisy. [`resilient_tune_loop`] wraps the
-//! same [`DynamicTuner`] walk with four defenses:
+//! same [`DynamicTuner`](crate::runtime::DynamicTuner) walk with four
+//! defenses:
 //!
 //! * **bounded retry with backoff** — transient launch failures are
 //!   retried up to [`ResiliencePolicy::max_retries`] times, charging an
@@ -14,29 +15,33 @@
 //!   mean-of-k with multiplicative outlier rejection
 //!   ([`robust_measure`]) before feeding the degradation test; the
 //!   observed sample spread sets a noise margin on the test
-//!   ([`DynamicTuner::record_noisy`]) so jitter on a performance
+//!   ([`DynamicTuner::record_noisy`](crate::runtime::DynamicTuner::record_noisy))
+//!   so jitter on a performance
 //!   plateau cannot mimic a real slowdown, and a verdict landing
 //!   within half a margin of the stop boundary earns one extension
 //!   round of k more samples before the walk commits;
 //! * **per-candidate quarantine** — a version accumulating
 //!   [`ResiliencePolicy::quarantine_strikes`] *consecutive* hard
-//!   failures is removed from the walk ([`DynamicTuner::quarantine`])
+//!   failures is removed from the walk
+//!   ([`DynamicTuner::quarantine`](crate::runtime::DynamicTuner::quarantine))
 //!   and tuning continues over the survivors. Successes reset the
 //!   count (circuit-breaker style), so sporadic unlucky hangs are
 //!   forgiven no matter how long the run — only persistent breakage
 //!   fails straight through the budget;
 //! * **last-resort fallback** — if the *finalized* version dies, the
 //!   tuner falls back to the compiler's fail-safe (then the original),
-//!   recorded as [`TuneReason::FellBack`] in the decision log.
+//!   recorded as
+//!   [`TuneReason::FellBack`](crate::runtime::TuneReason::FellBack) in
+//!   the decision log.
 //!
 //! Failures that are neither transient nor quarantineable (out-of-bounds
 //! accesses, deadlocks) are real bugs and propagate immediately, wrapped
 //! with kernel name and failure cycle via
 //! [`OrionError::with_context`].
 
-use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+use crate::compiler::{CompiledKernel, KernelVersion};
 use crate::error::OrionError;
-use crate::runtime::{DynamicTuner, TuneDecision, TuneReason};
+use crate::runtime::TuneDecision;
 use serde::{Deserialize, Serialize};
 
 /// Knobs for the resilient executor.
@@ -71,7 +76,8 @@ pub struct ResiliencePolicy {
     pub quarantine_strikes: u32,
     /// Scale factor from a measurement's observed relative spread
     /// ([`RobustMeasure::rel_spread`]) to the noise margin passed to
-    /// [`DynamicTuner::record_noisy`]. At ±5% uniform jitter the
+    /// [`DynamicTuner::record_noisy`](crate::runtime::DynamicTuner::record_noisy).
+    /// At ±5% uniform jitter the
     /// expected spread of 7 samples is ~7.5%, so 0.75 yields a ~5.6%
     /// margin — several σ of the clipped-mean error — while clean data
     /// keeps a zero margin and the paper's exact walk. The margin
@@ -122,7 +128,7 @@ pub struct ResilienceStats {
 /// absorbed-failure accounting.
 ///
 /// [`TuneOutcome`]: crate::runtime::TuneOutcome
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResilientOutcome {
     /// The selected version index.
     pub selected: usize,
@@ -189,41 +195,10 @@ pub fn robust_cycles(samples: &mut [u64], outlier_factor: f64) -> u64 {
 /// watchdog trips, unlaunchable configurations — and transient failures
 /// that survived the retry budget (a persistently flaky version is a
 /// bad version).
-fn should_quarantine(e: &OrionError) -> bool {
+pub(crate) fn should_quarantine(e: &OrionError) -> bool {
     match e.root_cause() {
         OrionError::Sim(s) => s.is_quarantineable() || s.is_transient(),
         _ => false,
-    }
-}
-
-fn run_with_retry(
-    run: &mut impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
-    version: &KernelVersion,
-    policy: &ResiliencePolicy,
-    stats: &mut ResilienceStats,
-) -> Result<u64, OrionError> {
-    let mut attempt = 0u32;
-    loop {
-        stats.launches += 1;
-        match run(version) {
-            Ok(c) => return Ok(c),
-            Err(e) if e.is_transient() && attempt < policy.max_retries => {
-                stats.failed_launches += 1;
-                stats.retries += 1;
-                // Exponential backoff, charged to the run in simulated
-                // cycles (the cost of waiting before relaunching).
-                let backoff = policy.backoff_base_cycles << attempt.min(20);
-                stats.backoff_cycles = stats.backoff_cycles.saturating_add(backoff);
-                if orion_telemetry::is_enabled() {
-                    orion_telemetry::counter("resilience", "retry", 1);
-                }
-                attempt += 1;
-            }
-            Err(e) => {
-                stats.failed_launches += 1;
-                return Err(e);
-            }
-        }
     }
 }
 
@@ -232,6 +207,11 @@ fn run_with_retry(
 /// quarantine / fallback as described in the module docs.
 ///
 /// `run` executes one launch of a version and returns its cycles.
+///
+/// This is the legacy closure API — a thin driver over
+/// [`TuningSession`](crate::session::TuningSession), pinned bit-equal
+/// to the pre-refactor loop by the equivalence suite (see
+/// [`crate::reference`]).
 ///
 /// # Errors
 /// * [`OrionError::AllCandidatesFailed`] when every version (fallbacks
@@ -246,148 +226,19 @@ pub fn resilient_tune_loop(
     policy: &ResiliencePolicy,
     mut run: impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
 ) -> Result<ResilientOutcome, OrionError> {
-    let mut tuner = DynamicTuner::new(ck, threshold);
-    let mut stats = ResilienceStats::default();
-    let mut strikes = vec![0u32; ck.versions.len()];
-    let mut iters: Vec<(usize, u64)> = Vec::with_capacity(iterations as usize);
-    let mut total: u64 = 0;
-    let mut converged_after: Option<usize> = None;
-    let mut it = 0u32;
-    // Charge a hard failure against a version; quarantine it once it
-    // exhausts its *consecutive* strike budget (successful launches
-    // reset the count below). Returns whether it was quarantined.
-    fn strike(
-        strikes: &mut [u32],
-        v: usize,
-        policy: &ResiliencePolicy,
-        tuner: &mut DynamicTuner,
-        stats: &mut ResilienceStats,
-    ) -> bool {
-        stats.strikes += 1;
-        if orion_telemetry::is_enabled() {
-            orion_telemetry::counter("resilience", "strike", 1);
-        }
-        strikes[v] += 1;
-        if strikes[v] >= policy.quarantine_strikes.max(1) {
-            tuner.quarantine(v);
-            true
-        } else {
-            false
-        }
+    use crate::session::{SessionStep, TuningSession};
+    let mut session = TuningSession::resilient(kernel, ck, iterations, threshold, *policy);
+    while let SessionStep::Launch(v) = session.next_step()? {
+        session.on_launch_result(run(&ck.versions[v]))?;
     }
-    while it < iterations {
-        if tuner.all_quarantined() {
-            return Err(OrionError::AllCandidatesFailed {
-                quarantined: tuner.quarantined_count(),
-            }
-            .with_context(kernel, Some(total)));
-        }
-        let v_idx = tuner.select();
-        let version = &ck.versions[v_idx];
-        if tuner.finalized().is_some() {
-            // Steady state: single launch; a hard failure of the
-            // finalized version triggers quarantine + fallback.
-            converged_after.get_or_insert(iters.len());
-            match run_with_retry(&mut run, version, policy, &mut stats) {
-                Ok(c) => {
-                    strikes[v_idx] = 0;
-                    total = total.saturating_add(c);
-                    iters.push((v_idx, c));
-                    it += 1;
-                }
-                Err(e) if should_quarantine(&e) => {
-                    strike(&mut strikes, v_idx, policy, &mut tuner, &mut stats);
-                }
-                Err(e) => return Err(e.with_context(kernel, Some(total))),
-            }
-        } else {
-            // Exploration: mean-of-k robust measurement before the
-            // degradation test, with one extension round of k more
-            // samples when the verdict is borderline.
-            let k = policy.samples.max(1);
-            let mut samples = Vec::with_capacity(2 * k);
-            let mut target = k;
-            let mut dead = false;
-            let mut struck = false;
-            loop {
-                while samples.len() < target && it < iterations {
-                    match run_with_retry(&mut run, version, policy, &mut stats) {
-                        Ok(c) => {
-                            strikes[v_idx] = 0;
-                            total = total.saturating_add(c);
-                            iters.push((v_idx, c));
-                            it += 1;
-                            samples.push(c);
-                        }
-                        Err(e) if should_quarantine(&e) => {
-                            // Below the strike budget the sampling loop
-                            // just ends early; the version gets
-                            // re-selected and re-sampled on the next
-                            // pass.
-                            struck = true;
-                            dead = strike(&mut strikes, v_idx, policy, &mut tuner, &mut stats);
-                            break;
-                        }
-                        Err(e) => return Err(e.with_context(kernel, Some(total))),
-                    }
-                }
-                if struck || it >= iterations || samples.len() < target || target > k {
-                    break;
-                }
-                // Full measurement in hand — is the stop verdict within
-                // half a noise margin of the decision boundary? Then a
-                // jitter swing could flip it; double the sample set
-                // once before committing.
-                let m = robust_measure(&mut samples, policy.outlier_factor);
-                let margin = (m.rel_spread * policy.noise_margin_factor)
-                    .clamp(0.0, policy.noise_margin_cap.max(0.0));
-                let borderline = margin > 0.0
-                    && tuner.probe_slowdown(m.cycles).is_some_and(|slow| {
-                        let boundary = match ck.direction {
-                            Direction::Increasing => margin,
-                            Direction::Decreasing => threshold.max(margin),
-                        };
-                        (slow - boundary).abs() <= margin * 0.5
-                    });
-                if !borderline {
-                    break;
-                }
-                target += k;
-            }
-            // Record a full mean-of-k, or whatever we have if the
-            // iteration budget ran out. A strike-interrupted partial
-            // measurement with budget remaining is discarded instead —
-            // the version is re-selected and re-sampled cleanly.
-            if !dead && !samples.is_empty() && (!struck || it >= iterations) {
-                let m = robust_measure(&mut samples, policy.outlier_factor);
-                let margin = (m.rel_spread * policy.noise_margin_factor)
-                    .clamp(0.0, policy.noise_margin_cap.max(0.0));
-                tuner.record_noisy(m.cycles, margin);
-            }
-        }
-    }
-    let selected = tuner.finalized().unwrap_or_else(|| tuner.select());
-    let decisions = tuner.into_decisions();
-    // Count quarantine/fallback events from the decision log so the
-    // stats reconcile exactly with the telemetry counters the tuner
-    // emitted (one counter per decision).
-    stats.quarantined =
-        decisions.iter().filter(|d| d.reason == TuneReason::Quarantined).count() as u64;
-    stats.fellback = decisions.iter().filter(|d| d.reason == TuneReason::FellBack).count() as u64;
-    Ok(ResilientOutcome {
-        selected,
-        converged_after: converged_after.unwrap_or(iters.len()),
-        total_cycles: total.saturating_add(stats.backoff_cycles),
-        iterations: iters,
-        decisions,
-        stats,
-    })
+    Ok(session.finish().into_resilient_outcome())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+    use crate::runtime::TuneReason;
     use orion_alloc::realize::AllocReport;
     use orion_gpusim::exec::SimError;
     use orion_kir::mir::MModule;
@@ -435,7 +286,7 @@ mod tests {
     }
 
     fn idx_of(ck: &CompiledKernel, v: &KernelVersion) -> usize {
-        ck.versions.iter().position(|x| x.label == v.label).unwrap()
+        ck.index_of(&v.label).unwrap()
     }
 
     #[test]
@@ -456,8 +307,10 @@ mod tests {
         assert_eq!(out.selected, 1, "same pick as the fault-free walk");
         assert!(out.stats.retries > 0);
         assert_eq!(out.stats.failed_launches, out.stats.retries);
-        assert!(out.total_cycles > out.iterations.iter().map(|&(_, c)| c).sum::<u64>(),
-            "backoff cycles are charged to the run");
+        assert!(
+            out.total_cycles > out.iterations.iter().map(|&(_, c)| c).sum::<u64>(),
+            "backoff cycles are charged to the run"
+        );
     }
 
     #[test]
@@ -568,10 +421,9 @@ mod tests {
     fn fatal_errors_propagate_with_context() {
         let ck = fake_compiled(&[8, 16]);
         let policy = ResiliencePolicy::default();
-        let err = resilient_tune_loop("srad", &ck, 8, 0.02, &policy, |_| {
-            Err(SimError::Deadlock.into())
-        })
-        .unwrap_err();
+        let err =
+            resilient_tune_loop("srad", &ck, 8, 0.02, &policy, |_| Err(SimError::Deadlock.into()))
+                .unwrap_err();
         assert!(matches!(err.root_cause(), OrionError::Sim(SimError::Deadlock)));
         assert!(err.to_string().contains("srad"));
     }

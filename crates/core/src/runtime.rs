@@ -89,11 +89,7 @@ impl DynamicTuner {
             threshold,
             pos: 0,
             times: vec![None; ck.versions.len()],
-            finalized: if ck.tuning_order.len() == 1 {
-                Some(ck.tuning_order[0])
-            } else {
-                None
-            },
+            finalized: if ck.tuning_order.len() == 1 { Some(ck.tuning_order[0]) } else { None },
             trials: 0,
             decisions: Vec::new(),
             quarantined: vec![false; ck.versions.len()],
@@ -174,9 +170,7 @@ impl DynamicTuner {
     /// Returns [`OrionError::Tuner`] if `work` is zero.
     pub fn record_with_work(&mut self, cycles: u64, work: u64) -> Result<(), OrionError> {
         if work == 0 {
-            return Err(OrionError::Tuner(
-                "work normalization factor must be positive".into(),
-            ));
+            return Err(OrionError::Tuner("work normalization factor must be positive".into()));
         }
         self.record_inner(cycles, work, 0.0);
         Ok(())
@@ -227,8 +221,7 @@ impl DynamicTuner {
                 },
                 Direction::Decreasing => {
                     // `cur` was just recorded, so the minimum exists.
-                    let best =
-                        self.times.iter().flatten().copied().min().unwrap_or(cycles) as f64;
+                    let best = self.times.iter().flatten().copied().min().unwrap_or(cycles) as f64;
                     // The paper's threshold already absorbs noise up to
                     // its own size — widening it *additively* would let
                     // a margin mask a genuine just-over-threshold
@@ -367,11 +360,9 @@ impl DynamicTuner {
                     ("reason", format!("{:?}", decision.reason).into()),
                     (
                         "finalized",
-                        decision
-                            .finalized
-                            .map_or(orion_telemetry::ArgValue::Bool(false), |v| {
-                                orion_telemetry::ArgValue::U64(v as u64)
-                            }),
+                        decision.finalized.map_or(orion_telemetry::ArgValue::Bool(false), |v| {
+                            orion_telemetry::ArgValue::U64(v as u64)
+                        }),
                     ),
                 ],
             );
@@ -401,7 +392,7 @@ impl DynamicTuner {
 }
 
 /// A completed tuning run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TuneOutcome {
     /// The selected version index.
     pub selected: usize,
@@ -421,6 +412,11 @@ pub struct TuneOutcome {
 ///
 /// `run` executes one launch of a version and returns its cycles.
 ///
+/// This is the legacy closure API — a thin driver over
+/// [`TuningSession`](crate::session::TuningSession), pinned bit-equal
+/// to the pre-refactor loop by the equivalence suite (see
+/// [`crate::reference`]).
+///
 /// # Errors
 /// Propagates the first launch error.
 pub fn tune_loop<E>(
@@ -429,24 +425,16 @@ pub fn tune_loop<E>(
     threshold: f64,
     mut run: impl FnMut(&KernelVersion) -> Result<u64, E>,
 ) -> Result<TuneOutcome, E> {
-    let mut tuner = DynamicTuner::new(ck, threshold);
-    let mut iters = Vec::with_capacity(iterations as usize);
-    let mut total = 0u64;
-    for _ in 0..iterations {
-        let v = tuner.select();
-        let cycles = run(&ck.versions[v])?;
-        total += cycles;
-        iters.push((v, cycles));
-        tuner.record(cycles);
+    use crate::session::{SessionStep, TuningSession};
+    let mut session = TuningSession::simple(ck, iterations, threshold);
+    loop {
+        let step = session.next_step().expect("simple sessions never fail internally");
+        match step {
+            SessionStep::Launch(v) => session.on_cycles(run(&ck.versions[v])?),
+            SessionStep::Done => break,
+        }
     }
-    let selected = tuner.finalized().unwrap_or_else(|| tuner.select());
-    Ok(TuneOutcome {
-        selected,
-        iterations: iters,
-        converged_after: tuner.trials(),
-        total_cycles: total,
-        decisions: tuner.into_decisions(),
-    })
+    Ok(session.finish().into_tune_outcome())
 }
 
 #[cfg(test)]
@@ -501,7 +489,7 @@ mod tests {
         let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
         let times = [100u64, 80, 90, 70];
         let out = tune_loop::<()>(&ck, 10, 0.02, |v| {
-            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            let idx = ck.index_of(&v.label).unwrap();
             Ok(times[idx])
         })
         .unwrap();
@@ -517,7 +505,7 @@ mod tests {
         let ck = fake_compiled(&[48, 36, 24, 12], Direction::Decreasing);
         let times = [100u64, 100, 101, 140];
         let out = tune_loop::<()>(&ck, 8, 0.02, |v| {
-            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            let idx = ck.index_of(&v.label).unwrap();
             Ok(times[idx])
         })
         .unwrap();
@@ -582,7 +570,7 @@ mod tests {
         let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
         let times = [100u64, 90, 70];
         let out = tune_loop::<()>(&ck, 6, 0.02, |v| {
-            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            let idx = ck.index_of(&v.label).unwrap();
             Ok(times[idx])
         })
         .unwrap();
@@ -638,7 +626,7 @@ mod tests {
         let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
         let times = [120u64, 95, 80, 88, 99];
         let out = tune_loop::<()>(&ck, 20, 0.02, |v| {
-            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            let idx = ck.index_of(&v.label).unwrap();
             Ok(times[idx])
         })
         .unwrap();
@@ -653,7 +641,7 @@ mod tests {
         let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
         let times = [100u64, 80, 90, 70];
         let out = tune_loop::<()>(&ck, 10, 0.02, |v| {
-            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            let idx = ck.index_of(&v.label).unwrap();
             Ok(times[idx])
         })
         .unwrap();
@@ -767,7 +755,7 @@ mod tests {
         let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
         let times = [100u64, 90, 70];
         let out = tune_loop::<()>(&ck, 6, 0.02, |v| {
-            let idx = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            let idx = ck.index_of(&v.label).unwrap();
             Ok(times[idx])
         })
         .unwrap();

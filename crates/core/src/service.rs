@@ -1,0 +1,351 @@
+//! `OrionService` — tuning many kernels as one workload.
+//!
+//! Real applications don't tune one kernel in a vacuum: a Rodinia-style
+//! app launches several kernels, each wanting its own occupancy walk,
+//! all sharing one device, one compile cache, and one telemetry stream.
+//! [`OrionService`] is that multi-kernel driver: it owns a
+//! [`Backend`], accepts a batch of named [`KernelJob`]s, and drives one
+//! [`TuningSession`] per kernel across a pool of scoped worker threads.
+//!
+//! Three properties the service guarantees:
+//!
+//! * **Per-session isolation** — each job gets its own compiled
+//!   candidates, global-memory image, and session; a kernel whose every
+//!   candidate dies reports [`OrionError::AllCandidatesFailed`] in its
+//!   own [`KernelReport`] without disturbing its neighbours.
+//! * **Deterministic merge** — reports come back in submission order
+//!   whatever the thread interleaving, and
+//!   [`ServiceReport::merged_decisions`] is a deterministic flattening
+//!   of the per-kernel decision logs. On a deterministic backend the
+//!   per-kernel outcomes are bit-identical at any worker count (the
+//!   service bench enforces exactly this).
+//! * **Shared infrastructure** — one compile cache (kernels sharing a
+//!   module fingerprint reuse allocations; [`ServiceReport::cache`]
+//!   reports hit rates across the batch) and one telemetry buffer,
+//!   with each session stamped onto its own lane
+//!   ([`orion_telemetry::set_scope`]) so traces stay separable.
+//!
+//! [`TuningSession`]: crate::session::TuningSession
+
+use crate::backend::Backend;
+use crate::cache;
+use crate::compiler::TuningConfig;
+use crate::error::OrionError;
+use crate::resilient::ResiliencePolicy;
+use crate::runtime::TuneDecision;
+use crate::session::{SessionOutcome, SessionStep, TuningSession};
+use orion_gpusim::exec::Launch;
+use orion_gpusim::sim::LaunchOptions;
+use orion_kir::function::Module;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Service-wide knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads driving sessions; `0` means one per host core.
+    /// Jobs never share a worker mid-session, so any worker count
+    /// yields the same per-kernel results on a deterministic backend.
+    pub workers: usize,
+    /// Slowdown threshold for every session (the paper's 2%).
+    pub threshold: f64,
+    /// `Some` drives resilient sessions (retry/quarantine/fallback);
+    /// `None` drives the paper's exact fault-free walk.
+    pub policy: Option<ResiliencePolicy>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 0, threshold: 0.02, policy: Some(ResiliencePolicy::default()) }
+    }
+}
+
+/// One kernel the service should tune: the module plus everything
+/// needed to launch it repeatedly.
+#[derive(Debug, Clone)]
+pub struct KernelJob {
+    /// Kernel name (error context, telemetry, reports).
+    pub name: String,
+    /// The kernel IR to compile into candidate versions.
+    pub module: Module,
+    /// Launch geometry for every invocation.
+    pub launch: Launch,
+    /// Kernel parameters for every invocation.
+    pub params: Vec<u32>,
+    /// Initial global-memory image; owned per job (iterated launches
+    /// mutate it, and isolation requires no sharing).
+    pub global: Vec<u8>,
+    /// Application iterations to drive.
+    pub iterations: u32,
+    /// Compile-time tuning configuration (block size, version budget).
+    pub tuning: TuningConfig,
+}
+
+/// What happened to one [`KernelJob`].
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// The job's kernel name.
+    pub name: String,
+    /// Telemetry lane the session's events carry (`job index + 1`;
+    /// lane 0 stays the unscoped default).
+    pub lane: u32,
+    /// The session outcome, or the error that stopped it. Errors are
+    /// per-kernel: one dead kernel never aborts the batch.
+    pub outcome: Result<SessionOutcome, OrionError>,
+}
+
+/// A completed service batch.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Per-kernel reports, in submission order.
+    pub kernels: Vec<KernelReport>,
+    /// Compile-cache stats after the batch (shared across sessions).
+    pub cache: cache::CompileCacheStats,
+}
+
+impl ServiceReport {
+    /// All decision logs flattened deterministically: kernels in
+    /// submission order, each kernel's decisions in session order.
+    #[must_use]
+    pub fn merged_decisions(&self) -> Vec<(&str, &TuneDecision)> {
+        self.kernels
+            .iter()
+            .filter_map(|k| k.outcome.as_ref().ok().map(|o| (k.name.as_str(), o)))
+            .flat_map(|(name, o)| o.decisions.iter().map(move |d| (name, d)))
+            .collect()
+    }
+
+    /// Whether every kernel tuned successfully.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.kernels.iter().all(|k| k.outcome.is_ok())
+    }
+}
+
+/// The multi-kernel tuning service. See the module docs.
+#[derive(Debug)]
+pub struct OrionService<B: Backend> {
+    backend: B,
+    cfg: ServiceConfig,
+}
+
+impl<B: Backend> OrionService<B> {
+    /// A service over `backend` with the given configuration.
+    pub fn new(backend: B, cfg: ServiceConfig) -> Self {
+        OrionService { backend, cfg }
+    }
+
+    /// The backend sessions execute on.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Tune one job to completion on the current thread (no telemetry
+    /// lane is assigned; used by the workers and handy in tests).
+    ///
+    /// # Errors
+    /// Compile failures, fatal launch errors, or
+    /// [`OrionError::AllCandidatesFailed`], wrapped with the kernel
+    /// name where the session applies context.
+    pub fn tune_one(&self, job: &mut KernelJob) -> Result<SessionOutcome, OrionError> {
+        let ck = self.backend.compile_probe(&job.module, &job.tuning)?;
+        let mut session = match self.cfg.policy {
+            Some(policy) => TuningSession::resilient(
+                job.name.as_str(),
+                &ck,
+                job.iterations,
+                self.cfg.threshold,
+                policy,
+            ),
+            None => TuningSession::simple(&ck, job.iterations, self.cfg.threshold),
+        };
+        while let SessionStep::Launch(v) = session.next_step()? {
+            let result = self.backend.launch(
+                &ck.versions[v],
+                job.launch,
+                &job.params,
+                &mut job.global,
+                LaunchOptions::default(),
+            );
+            session.on_launch_result(result)?;
+        }
+        Ok(session.finish())
+    }
+
+    /// Tune every job, concurrently, and report in submission order.
+    pub fn run(&self, jobs: Vec<KernelJob>) -> ServiceReport {
+        let n = jobs.len();
+        let workers = match self.cfg.workers {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            w => w,
+        }
+        .min(n.max(1));
+        // Slot-per-job in/out tables: workers claim the next index off
+        // the cursor, so reports land at their job's index and the
+        // merge is submission-ordered by construction.
+        let slots: Vec<Mutex<Option<KernelJob>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let reports: Vec<Mutex<Option<KernelReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut job =
+                        slots[i].lock().unwrap().take().expect("each slot is claimed once");
+                    let lane = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
+                    orion_telemetry::set_scope(lane);
+                    let outcome = self.tune_one(&mut job);
+                    *reports[i].lock().unwrap() =
+                        Some(KernelReport { name: job.name, lane, outcome });
+                });
+            }
+        });
+        ServiceReport {
+            kernels: reports
+                .into_iter()
+                .map(|r| r.into_inner().unwrap().expect("every job produces a report"))
+                .collect(),
+            cache: cache::stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ReplayBackend, SimBackend};
+    use crate::session::SessionState;
+    use orion_gpusim::device::DeviceSpec;
+    use orion_gpusim::exec::SimError;
+    use orion_kir::builder::FunctionBuilder;
+    use orion_kir::inst::Operand;
+    use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+    fn toy_module(mul: i64) -> Module {
+        let mut b = FunctionBuilder::kernel("k");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+        let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+        let gid = b.imad(cta, nt, tid);
+        let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+        let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+        let y = b.imul(x, Operand::Imm(mul));
+        b.st(MemSpace::Global, Width::W32, addr, y, 0);
+        Module::new(b.finish())
+    }
+
+    fn job(name: &str, mul: i64, iterations: u32) -> KernelJob {
+        KernelJob {
+            name: name.into(),
+            module: toy_module(mul),
+            launch: Launch { grid: 4, block: 32 },
+            params: vec![0],
+            global: vec![0u8; 4 * 128],
+            iterations,
+            tuning: TuningConfig::new(32),
+        }
+    }
+
+    #[test]
+    fn reports_come_back_in_submission_order() {
+        let svc = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+        );
+        let names = ["a", "b", "c", "d", "e"];
+        let report = svc.run(names.iter().map(|n| job(n, 3, 4)).collect());
+        assert!(report.all_ok());
+        let got: Vec<&str> = report.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(got, names);
+        // Lanes are 1-based job indices.
+        assert_eq!(report.kernels[0].lane, 1);
+        assert_eq!(report.kernels[4].lane, 5);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outcomes() {
+        let mk = || (1..=6).map(|i| job(&format!("k{i}"), i64::from(i), 6)).collect::<Vec<_>>();
+        let seq = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 1, ..ServiceConfig::default() },
+        )
+        .run(mk());
+        let par = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 4, ..ServiceConfig::default() },
+        )
+        .run(mk());
+        for (a, b) in seq.kernels.iter().zip(&par.kernels) {
+            assert_eq!(
+                a.outcome.as_ref().unwrap(),
+                b.outcome.as_ref().unwrap(),
+                "kernel {} diverged across worker counts",
+                a.name
+            );
+        }
+        assert_eq!(seq.merged_decisions().len(), par.merged_decisions().len());
+    }
+
+    #[test]
+    fn a_dead_kernel_is_reported_not_propagated() {
+        // Script every candidate version dead on a replay backend: the
+        // session quarantines them all, and the service captures the
+        // AllCandidatesFailed error in the kernel's own report instead
+        // of aborting the batch.
+        let be = ReplayBackend::new(DeviceSpec::gtx680(), 100);
+        let probe = be.compile_probe(&toy_module(2), &TuningConfig::new(32)).unwrap();
+        let be = probe.versions.iter().fold(be, |b, v| {
+            b.script(v.label.clone(), [Err(SimError::ResourceExceeded { detail: "regs".into() })])
+        });
+        let svc = OrionService::new(be, ServiceConfig { workers: 2, ..Default::default() });
+        let report = svc.run(vec![job("dead", 2, 8)]);
+        assert!(!report.all_ok());
+        let err = report.kernels[0].outcome.as_ref().unwrap_err();
+        assert!(
+            matches!(err.root_cause(), OrionError::AllCandidatesFailed { .. }),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("dead"));
+    }
+
+    #[test]
+    fn quarantined_session_reports_coherent_state() {
+        let be = ReplayBackend::new(DeviceSpec::gtx680(), 100);
+        let probe = be.compile_probe(&toy_module(2), &TuningConfig::new(32)).unwrap();
+        let be = probe
+            .versions
+            .iter()
+            .fold(be, |b, v| b.script(v.label.clone(), [Err(SimError::Watchdog { budget: 7 })]));
+        let svc = OrionService::new(be, ServiceConfig { workers: 1, ..Default::default() });
+        let mut j = job("hung", 2, 10);
+        let err = svc.tune_one(&mut j).unwrap_err();
+        assert!(matches!(err.root_cause(), OrionError::AllCandidatesFailed { .. }));
+    }
+
+    #[test]
+    fn mixed_batch_keeps_healthy_kernels_healthy() {
+        // One job with zero iterations (trivially fine), several real
+        // ones; the batch must report each on its own terms.
+        let svc = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 3, ..ServiceConfig::default() },
+        );
+        let mut jobs = vec![job("empty", 2, 0)];
+        jobs.extend((1..=3).map(|i| job(&format!("k{i}"), i64::from(i), 5)));
+        let report = svc.run(jobs);
+        assert!(report.all_ok());
+        let empty = report.kernels[0].outcome.as_ref().unwrap();
+        assert!(empty.iterations.is_empty());
+        for k in &report.kernels[1..] {
+            let o = k.outcome.as_ref().unwrap();
+            assert_eq!(o.iterations.len(), 5);
+            // 5 iterations can't finish a 7-sample warmup pass; the
+            // session ends mid-walk but never in a dead state.
+            assert_ne!(o.state, SessionState::Quarantined);
+        }
+    }
+}

@@ -1,0 +1,823 @@
+//! The unified tuning state machine.
+//!
+//! Before PR 5 the repo carried three near-copies of the Figure 9 walk:
+//! [`tune_loop`](crate::runtime::tune_loop) (fault-free),
+//! [`resilient_tune_loop`](crate::resilient::resilient_tune_loop)
+//! (retry / robust measurement / quarantine / fallback), and the
+//! splitting path. [`TuningSession`] subsumes all of them behind one
+//! *pull-based* interface: the session never launches anything itself —
+//! it hands out [`SessionStep::Launch`] requests, the caller executes
+//! them however it likes (a [`Backend`](crate::backend::Backend), a
+//! closure, a replay log) and feeds the result back. That inversion is
+//! what lets one state machine serve a closure-driven legacy API, a
+//! backend-driven service, and a deterministic replay test equally.
+//!
+//! The session is a typed state machine:
+//!
+//! ```text
+//! Warmup ──► Walking ◄──► Probing
+//!    │          │            │
+//!    ├──────────┼────────────┤──► Finalized ──► Quarantined
+//!    └──────────┴────────────┴───────────────► Quarantined
+//! ```
+//!
+//! * **Warmup** — measuring the baseline (first) version; nothing to
+//!   compare against yet.
+//! * **Walking** — stepping through the candidate order, applying the
+//!   degradation test per measurement.
+//! * **Probing** — a borderline verdict earned an extension round of
+//!   extra samples before the walk commits (resilient mode only).
+//! * **Finalized** — a version won; remaining iterations run it.
+//! * **Quarantined** — every candidate (fallbacks included) died;
+//!   terminal.
+//!
+//! Transitions outside the arrows above are illegal and asserted
+//! against ([`SessionState::can_transition`]).
+//!
+//! # Equivalence contract
+//!
+//! The legacy entry points are thin drivers over this machine, and the
+//! crate pins them **bit-equal** to the frozen pre-refactor loops in
+//! [`crate::reference`]: same decision log, same finalized pick, same
+//! [`TuneReason`]s, same stats, across fault-free, noisy, and
+//! fault-injected runs. Any behavioral change here must update the
+//! reference module deliberately, with the equivalence suite as the
+//! tripwire.
+//!
+//! [`TuneReason`]: crate::runtime::TuneReason
+
+use crate::compiler::{CompiledKernel, Direction};
+use crate::error::OrionError;
+use crate::resilient::{
+    robust_measure, should_quarantine, ResiliencePolicy, ResilienceStats, ResilientOutcome,
+};
+use crate::runtime::{DynamicTuner, TuneDecision, TuneOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Observable phase of a [`TuningSession`] (see the module docs for the
+/// transition diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionState {
+    /// Measuring the baseline version; no comparison anchor yet.
+    Warmup,
+    /// Walking the candidate order under the degradation test.
+    Walking,
+    /// Spending an extension round on a borderline verdict.
+    Probing,
+    /// A version has been selected; steady-state execution.
+    Finalized,
+    /// Every runnable version has been quarantined. Terminal.
+    Quarantined,
+}
+
+impl SessionState {
+    /// Whether the state machine may move from `self` to `to`.
+    /// Self-transitions are always legal (the session re-derives its
+    /// state after every event).
+    #[must_use]
+    pub fn can_transition(self, to: SessionState) -> bool {
+        use SessionState::{Finalized, Probing, Quarantined, Walking, Warmup};
+        if self == to {
+            return true;
+        }
+        match self {
+            Warmup => matches!(to, Walking | Finalized | Quarantined),
+            Walking => matches!(to, Probing | Finalized | Quarantined),
+            Probing => matches!(to, Walking | Finalized | Quarantined),
+            Finalized => matches!(to, Quarantined),
+            Quarantined => false,
+        }
+    }
+
+    /// Whether the session has committed to a version or died — i.e.
+    /// no further exploration will happen.
+    #[must_use]
+    pub fn is_settled(self) -> bool {
+        matches!(self, SessionState::Finalized | SessionState::Quarantined)
+    }
+}
+
+/// How a [`TuningSession`] treats measurements and failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionMode {
+    /// The paper's exact walk: one raw measurement per iteration, first
+    /// launch error aborts ([`tune_loop`](crate::runtime::tune_loop)
+    /// semantics).
+    Simple,
+    /// The chaos-hardened walk: retry with backoff, mean-of-k robust
+    /// measurement with noise margins and borderline extension rounds,
+    /// consecutive-strike quarantine, fail-safe fallback
+    /// ([`resilient_tune_loop`](crate::resilient::resilient_tune_loop)
+    /// semantics).
+    Resilient(ResiliencePolicy),
+}
+
+/// What the session wants next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStep {
+    /// Launch version `.0` (an index into
+    /// [`CompiledKernel::versions`]) and report the result via
+    /// [`TuningSession::on_launch_result`] (or
+    /// [`TuningSession::on_cycles`]). Re-calling
+    /// [`TuningSession::next_step`] without reporting re-issues the same
+    /// request.
+    Launch(usize),
+    /// The iteration budget is exhausted (or the session aborted);
+    /// call [`TuningSession::finish`].
+    Done,
+}
+
+/// A completed session: the union of [`TuneOutcome`] and
+/// [`ResilientOutcome`], plus the final state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// The selected version index.
+    pub selected: usize,
+    /// `(version, cycles)` per successful application iteration.
+    pub iterations: Vec<(usize, u64)>,
+    /// Iterations spent exploring before the selection was final.
+    pub converged_after: usize,
+    /// Total simulated cycles (resilient sessions include backoff).
+    pub total_cycles: u64,
+    /// Per-decision log, including quarantine and fallback entries.
+    pub decisions: Vec<TuneDecision>,
+    /// Failure accounting (all-zero for fault-free simple sessions).
+    pub stats: ResilienceStats,
+    /// State at [`TuningSession::finish`] time.
+    pub state: SessionState,
+}
+
+impl SessionOutcome {
+    /// View as the legacy fault-free outcome.
+    #[must_use]
+    pub fn into_tune_outcome(self) -> TuneOutcome {
+        TuneOutcome {
+            selected: self.selected,
+            iterations: self.iterations,
+            converged_after: self.converged_after,
+            total_cycles: self.total_cycles,
+            decisions: self.decisions,
+        }
+    }
+
+    /// View as the legacy resilient outcome.
+    #[must_use]
+    pub fn into_resilient_outcome(self) -> ResilientOutcome {
+        ResilientOutcome {
+            selected: self.selected,
+            iterations: self.iterations,
+            converged_after: self.converged_after,
+            total_cycles: self.total_cycles,
+            decisions: self.decisions,
+            stats: self.stats,
+        }
+    }
+}
+
+/// An in-flight launch request: version index plus the retry attempt
+/// (resilient mode relaunches transients up to the policy budget).
+#[derive(Debug, Clone, Copy)]
+struct PendingLaunch {
+    version: usize,
+    attempt: u32,
+}
+
+/// One exploration measurement pass: the mean-of-k sample set for the
+/// version under evaluation, growing by `k` on a borderline verdict.
+#[derive(Debug, Clone)]
+struct SamplePass {
+    version: usize,
+    samples: Vec<u64>,
+    /// Samples wanted before the verdict; `k` initially, `2k` after a
+    /// borderline extension.
+    target: usize,
+    /// The per-pass sample quota `k` (`ResiliencePolicy::samples`).
+    k: usize,
+    /// A quarantineable failure interrupted sampling.
+    struck: bool,
+    /// The strike quarantined the version outright.
+    dead: bool,
+}
+
+/// The unified pull-based tuning state machine. See the module docs.
+///
+/// Drive it with the two-call loop:
+///
+/// ```ignore
+/// while let SessionStep::Launch(v) = session.next_step()? {
+///     session.on_launch_result(backend.launch(&ck.versions[v], ...))?;
+/// }
+/// let outcome = session.finish();
+/// ```
+#[derive(Debug, Clone)]
+pub struct TuningSession<'k> {
+    ck: &'k CompiledKernel,
+    kernel: String,
+    mode: SessionMode,
+    threshold: f64,
+    iterations: u32,
+    tuner: DynamicTuner,
+    state: SessionState,
+    /// Completed application iterations (`it` in the legacy loops).
+    it: u32,
+    iters: Vec<(usize, u64)>,
+    total: u64,
+    converged_after: Option<usize>,
+    stats: ResilienceStats,
+    /// Consecutive hard-failure strikes per version index.
+    strikes: Vec<u32>,
+    current: Option<PendingLaunch>,
+    pass: Option<SamplePass>,
+    /// Set once the session aborted with a fatal error or ran dry.
+    aborted: bool,
+}
+
+impl<'k> TuningSession<'k> {
+    /// A session over `ck`'s candidates in the given mode.
+    pub fn new(
+        kernel: impl Into<String>,
+        ck: &'k CompiledKernel,
+        iterations: u32,
+        threshold: f64,
+        mode: SessionMode,
+    ) -> Self {
+        let tuner = DynamicTuner::new(ck, threshold);
+        let state = if tuner.finalized().is_some() {
+            SessionState::Finalized
+        } else {
+            SessionState::Warmup
+        };
+        TuningSession {
+            kernel: kernel.into(),
+            mode,
+            threshold,
+            iterations,
+            state,
+            it: 0,
+            iters: Vec::with_capacity(iterations as usize),
+            total: 0,
+            converged_after: None,
+            stats: ResilienceStats::default(),
+            strikes: vec![0; ck.versions.len()],
+            current: None,
+            pass: None,
+            aborted: false,
+            tuner,
+            ck,
+        }
+    }
+
+    /// A fault-free session ([`tune_loop`](crate::runtime::tune_loop)
+    /// semantics).
+    pub fn simple(ck: &'k CompiledKernel, iterations: u32, threshold: f64) -> Self {
+        TuningSession::new("", ck, iterations, threshold, SessionMode::Simple)
+    }
+
+    /// A chaos-hardened session
+    /// ([`resilient_tune_loop`](crate::resilient::resilient_tune_loop)
+    /// semantics); `kernel` names the kernel in error context.
+    pub fn resilient(
+        kernel: impl Into<String>,
+        ck: &'k CompiledKernel,
+        iterations: u32,
+        threshold: f64,
+        policy: ResiliencePolicy,
+    ) -> Self {
+        TuningSession::new(kernel, ck, iterations, threshold, SessionMode::Resilient(policy))
+    }
+
+    /// Current observable state.
+    #[must_use]
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The tuner's finalized version, once the walk is done.
+    #[must_use]
+    pub fn finalized(&self) -> Option<usize> {
+        self.tuner.finalized()
+    }
+
+    /// The decision log so far.
+    #[must_use]
+    pub fn decisions(&self) -> &[TuneDecision] {
+        self.tuner.decisions()
+    }
+
+    /// Application iterations completed so far.
+    #[must_use]
+    pub fn iterations_done(&self) -> u32 {
+        self.it
+    }
+
+    /// Move to `to`, enforcing the legal-transition diagram.
+    fn transition(&mut self, to: SessionState) {
+        debug_assert!(
+            self.state.can_transition(to),
+            "illegal session transition {:?} -> {to:?}",
+            self.state
+        );
+        self.state = to;
+    }
+
+    /// Re-derive the observable state from the tuner + pass.
+    fn refresh_state(&mut self) {
+        let to = if self.tuner.all_quarantined() {
+            SessionState::Quarantined
+        } else if self.tuner.finalized().is_some() {
+            SessionState::Finalized
+        } else if self.pass.as_ref().is_some_and(|p| p.target > p.k) {
+            SessionState::Probing
+        } else if self.tuner.trials() == 0 {
+            SessionState::Warmup
+        } else {
+            SessionState::Walking
+        };
+        self.transition(to);
+    }
+
+    /// What to do next: launch a version, or stop.
+    ///
+    /// Idempotent while a launch is outstanding: calling `next_step`
+    /// again before reporting the result re-issues the same request.
+    ///
+    /// # Errors
+    /// [`OrionError::AllCandidatesFailed`] (with kernel context) once
+    /// every version, fallbacks included, has been quarantined.
+    /// Simple-mode sessions never error.
+    pub fn next_step(&mut self) -> Result<SessionStep, OrionError> {
+        if let Some(p) = self.current {
+            return Ok(SessionStep::Launch(p.version));
+        }
+        if self.aborted || self.it >= self.iterations {
+            return Ok(SessionStep::Done);
+        }
+        if self.tuner.all_quarantined() {
+            self.refresh_state();
+            return Err(OrionError::AllCandidatesFailed {
+                quarantined: self.tuner.quarantined_count(),
+            }
+            .with_context(self.kernel.clone(), Some(self.total)));
+        }
+        let v = self.tuner.select();
+        match self.mode {
+            SessionMode::Simple => {
+                self.current = Some(PendingLaunch { version: v, attempt: 0 });
+            }
+            SessionMode::Resilient(policy) => {
+                if self.tuner.finalized().is_some() {
+                    // Steady state: single launch per iteration.
+                    self.pass = None;
+                    self.converged_after.get_or_insert(self.iters.len());
+                    self.current = Some(PendingLaunch { version: v, attempt: 0 });
+                } else {
+                    // Exploration: open (or continue) a sampling pass.
+                    if self.pass.is_none() {
+                        let k = policy.samples.max(1);
+                        self.pass = Some(SamplePass {
+                            version: v,
+                            samples: Vec::with_capacity(2 * k),
+                            target: k,
+                            k,
+                            struck: false,
+                            dead: false,
+                        });
+                    }
+                    let v = self.pass.as_ref().map_or(v, |p| p.version);
+                    self.current = Some(PendingLaunch { version: v, attempt: 0 });
+                }
+            }
+        }
+        Ok(SessionStep::Launch(self.current.expect("just set").version))
+    }
+
+    /// Report the outcome of the launch requested by the last
+    /// [`TuningSession::next_step`].
+    ///
+    /// # Errors
+    /// Fatal launch errors (non-transient, non-quarantineable in
+    /// resilient mode; any error in simple mode) propagate back,
+    /// wrapped with kernel context in resilient mode; the session is
+    /// aborted. Reporting with no launch outstanding is
+    /// [`OrionError::Tuner`].
+    pub fn on_launch_result(&mut self, result: Result<u64, OrionError>) -> Result<(), OrionError> {
+        let Some(pending) = self.current else {
+            return Err(OrionError::Tuner(
+                "launch result reported with no launch outstanding".into(),
+            ));
+        };
+        match self.mode {
+            SessionMode::Simple => {
+                self.current = None;
+                match result {
+                    Ok(cycles) => {
+                        self.record_simple(pending.version, cycles);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.aborted = true;
+                        Err(e)
+                    }
+                }
+            }
+            SessionMode::Resilient(policy) => self.on_resilient_result(pending, &policy, result),
+        }
+    }
+
+    /// Report a successful measurement (sugar over
+    /// [`TuningSession::on_launch_result`] for drivers whose error type
+    /// isn't [`OrionError`]).
+    pub fn on_cycles(&mut self, cycles: u64) {
+        self.on_launch_result(Ok(cycles)).expect("a successful measurement cannot fail");
+    }
+
+    /// Report a successful measurement normalized by the invocation's
+    /// amount of work (§4.2; see
+    /// [`DynamicTuner::record_with_work`]). Simple-mode only — the
+    /// resilient sampling pass aggregates raw cycles and has no
+    /// per-sample work channel.
+    ///
+    /// # Errors
+    /// [`OrionError::Tuner`] on zero `work`, on a resilient session, or
+    /// with no launch outstanding. A rejected measurement does not
+    /// consume the iteration.
+    pub fn on_cycles_with_work(&mut self, cycles: u64, work: u64) -> Result<(), OrionError> {
+        let Some(pending) = self.current else {
+            return Err(OrionError::Tuner(
+                "launch result reported with no launch outstanding".into(),
+            ));
+        };
+        if !matches!(self.mode, SessionMode::Simple) {
+            return Err(OrionError::Tuner("work normalization requires a simple session".into()));
+        }
+        self.tuner.record_with_work(cycles, work)?;
+        self.current = None;
+        self.total += cycles;
+        self.iters.push((pending.version, cycles));
+        self.it += 1;
+        self.refresh_state();
+        Ok(())
+    }
+
+    /// Simple-mode success path: exactly the legacy `tune_loop` body.
+    fn record_simple(&mut self, version: usize, cycles: u64) {
+        self.total += cycles;
+        self.iters.push((version, cycles));
+        self.tuner.record(cycles);
+        self.it += 1;
+        self.refresh_state();
+    }
+
+    /// Resilient-mode result handling: retry, strike, sample, verdict.
+    fn on_resilient_result(
+        &mut self,
+        pending: PendingLaunch,
+        policy: &ResiliencePolicy,
+        result: Result<u64, OrionError>,
+    ) -> Result<(), OrionError> {
+        self.stats.launches += 1;
+        match result {
+            Ok(cycles) => {
+                self.current = None;
+                self.strikes[pending.version] = 0;
+                self.total = self.total.saturating_add(cycles);
+                self.iters.push((pending.version, cycles));
+                self.it += 1;
+                if let Some(mut pass) = self.pass.take() {
+                    pass.samples.push(cycles);
+                    self.advance_pass(pass, policy);
+                }
+                self.refresh_state();
+                Ok(())
+            }
+            Err(e) if e.is_transient() && pending.attempt < policy.max_retries => {
+                // Bounded retry with exponential backoff, charged in
+                // simulated cycles; the same launch is re-issued.
+                self.stats.failed_launches += 1;
+                self.stats.retries += 1;
+                let backoff = policy.backoff_base_cycles << pending.attempt.min(20);
+                self.stats.backoff_cycles = self.stats.backoff_cycles.saturating_add(backoff);
+                if orion_telemetry::is_enabled() {
+                    orion_telemetry::counter("resilience", "retry", 1);
+                }
+                self.current =
+                    Some(PendingLaunch { version: pending.version, attempt: pending.attempt + 1 });
+                Ok(())
+            }
+            Err(e) if should_quarantine(&e) => {
+                self.stats.failed_launches += 1;
+                self.current = None;
+                let dead = self.strike(pending.version, policy);
+                if let Some(mut pass) = self.pass.take() {
+                    // A strike ends the sampling pass; the partial
+                    // measurement is discarded (the version will be
+                    // re-sampled cleanly if it survived).
+                    pass.struck = true;
+                    pass.dead = dead;
+                    self.settle_pass(pass, policy);
+                }
+                self.refresh_state();
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.failed_launches += 1;
+                self.current = None;
+                self.aborted = true;
+                Err(e.with_context(self.kernel.clone(), Some(self.total)))
+            }
+        }
+    }
+
+    /// Charge a hard failure; quarantine on the consecutive-strike
+    /// budget. Returns whether the version died.
+    fn strike(&mut self, version: usize, policy: &ResiliencePolicy) -> bool {
+        self.stats.strikes += 1;
+        if orion_telemetry::is_enabled() {
+            orion_telemetry::counter("resilience", "strike", 1);
+        }
+        self.strikes[version] += 1;
+        if self.strikes[version] >= policy.quarantine_strikes.max(1) {
+            self.tuner.quarantine(version);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// After a successful sample: keep sampling, extend on a borderline
+    /// verdict, or settle the pass.
+    fn advance_pass(&mut self, pass: SamplePass, policy: &ResiliencePolicy) {
+        // Mirrors the legacy inner loop's exit conditions exactly.
+        if pass.samples.len() < pass.target && self.it < self.iterations {
+            self.pass = Some(pass); // keep sampling
+            return;
+        }
+        if self.it >= self.iterations || pass.samples.len() < pass.target || pass.target > pass.k {
+            self.settle_pass(pass, policy);
+            return;
+        }
+        // Full first-round measurement in hand — is the stop verdict
+        // within half a noise margin of the decision boundary? Then a
+        // jitter swing could flip it; double the sample set once.
+        let mut pass = pass;
+        let m = robust_measure(&mut pass.samples, policy.outlier_factor);
+        let margin = (m.rel_spread * policy.noise_margin_factor)
+            .clamp(0.0, policy.noise_margin_cap.max(0.0));
+        let borderline = margin > 0.0
+            && self.tuner.probe_slowdown(m.cycles).is_some_and(|slow| {
+                let boundary = match self.ck.direction {
+                    Direction::Increasing => margin,
+                    Direction::Decreasing => self.threshold.max(margin),
+                };
+                (slow - boundary).abs() <= margin * 0.5
+            });
+        if borderline {
+            pass.target += pass.k;
+            self.pass = Some(pass);
+        } else {
+            self.settle_pass(pass, policy);
+        }
+    }
+
+    /// Close a pass: record a full mean-of-k, or whatever we have if
+    /// the iteration budget ran out; a strike-interrupted partial with
+    /// budget remaining is discarded instead.
+    fn settle_pass(&mut self, mut pass: SamplePass, policy: &ResiliencePolicy) {
+        if !pass.dead && !pass.samples.is_empty() && (!pass.struck || self.it >= self.iterations) {
+            let m = robust_measure(&mut pass.samples, policy.outlier_factor);
+            let margin = (m.rel_spread * policy.noise_margin_factor)
+                .clamp(0.0, policy.noise_margin_cap.max(0.0));
+            self.tuner.record_noisy(m.cycles, margin);
+        }
+        self.pass = None;
+    }
+
+    /// Consume the session into its outcome. Callable at any point; the
+    /// legacy drivers call it after [`SessionStep::Done`].
+    #[must_use]
+    pub fn finish(mut self) -> SessionOutcome {
+        use crate::runtime::TuneReason;
+        let selected = self.tuner.finalized().unwrap_or_else(|| self.tuner.select());
+        let converged_after = match self.mode {
+            SessionMode::Simple => self.tuner.trials(),
+            SessionMode::Resilient(_) => self.converged_after.unwrap_or(self.iters.len()),
+        };
+        let decisions = self.tuner.into_decisions();
+        // Reconcile quarantine/fallback stats with the decision log, as
+        // the legacy resilient loop did.
+        self.stats.quarantined =
+            decisions.iter().filter(|d| d.reason == TuneReason::Quarantined).count() as u64;
+        self.stats.fellback =
+            decisions.iter().filter(|d| d.reason == TuneReason::FellBack).count() as u64;
+        let total_cycles = match self.mode {
+            SessionMode::Simple => self.total,
+            SessionMode::Resilient(_) => self.total.saturating_add(self.stats.backoff_cycles),
+        };
+        SessionOutcome {
+            selected,
+            iterations: self.iters,
+            converged_after,
+            total_cycles,
+            decisions,
+            stats: self.stats,
+            state: self.state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompiledKernel, Direction, KernelVersion};
+    use orion_alloc::realize::AllocReport;
+    use orion_gpusim::exec::SimError;
+    use orion_kir::mir::MModule;
+    use orion_kir::types::FuncId;
+
+    fn fake_version(warps: u32, fail_safe: bool) -> KernelVersion {
+        KernelVersion {
+            machine: MModule {
+                funcs: vec![],
+                entry: FuncId(0),
+                regs_per_thread: 16,
+                smem_slots_per_thread: 0,
+                local_slots_per_thread: 0,
+                user_smem_bytes: 0,
+                static_stack_moves: 0,
+            },
+            target_warps: warps,
+            achieved_warps: warps,
+            occupancy: f64::from(warps) / 48.0,
+            extra_smem: 0,
+            report: AllocReport {
+                kernel_max_live: 0,
+                regs_per_thread: 16,
+                smem_slots_per_thread: 0,
+                local_slots_per_thread: 0,
+                static_moves: 0,
+                per_func: vec![],
+            },
+            fail_safe,
+            label: format!("occ={warps}"),
+        }
+    }
+
+    fn fake_compiled(warp_levels: &[u32], direction: Direction) -> CompiledKernel {
+        CompiledKernel {
+            versions: warp_levels.iter().map(|&w| fake_version(w, false)).collect(),
+            direction,
+            original: 0,
+            max_live: 40,
+            tuning_order: (0..warp_levels.len()).collect(),
+        }
+    }
+
+    #[test]
+    fn simple_session_walks_and_settles() {
+        let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
+        let times = [100u64, 80, 90, 70];
+        let mut s = TuningSession::simple(&ck, 10, 0.02);
+        assert_eq!(s.state(), SessionState::Warmup);
+        let mut seen_walking = false;
+        while let SessionStep::Launch(v) = s.next_step().unwrap() {
+            s.on_cycles(times[v]);
+            seen_walking |= s.state() == SessionState::Walking;
+        }
+        assert!(seen_walking);
+        assert_eq!(s.state(), SessionState::Finalized);
+        let out = s.finish();
+        assert_eq!(out.selected, 1);
+        assert_eq!(out.converged_after, 3);
+        assert_eq!(out.iterations.len(), 10);
+    }
+
+    #[test]
+    fn next_is_idempotent_while_a_launch_is_outstanding() {
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let mut s = TuningSession::simple(&ck, 4, 0.02);
+        let a = s.next_step().unwrap();
+        let b = s.next_step().unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(a, SessionStep::Launch(0)));
+    }
+
+    #[test]
+    fn result_without_outstanding_launch_is_an_error() {
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let mut s = TuningSession::simple(&ck, 4, 0.02);
+        let err = s.on_launch_result(Ok(10)).unwrap_err();
+        assert!(matches!(err, OrionError::Tuner(_)));
+    }
+
+    #[test]
+    fn zero_iterations_finish_immediately() {
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let mut s = TuningSession::simple(&ck, 0, 0.02);
+        assert_eq!(s.next_step().unwrap(), SessionStep::Done);
+        let out = s.finish();
+        assert_eq!(out.iterations.len(), 0);
+        assert_eq!(out.converged_after, 0);
+        assert_eq!(out.total_cycles, 0);
+        // Unfinalized walk still names a deterministic selection.
+        assert_eq!(out.selected, 0);
+    }
+
+    #[test]
+    fn single_candidate_starts_finalized() {
+        let ck = fake_compiled(&[48], Direction::Decreasing);
+        let mut s = TuningSession::simple(&ck, 3, 0.02);
+        assert_eq!(s.state(), SessionState::Finalized);
+        while let SessionStep::Launch(v) = s.next_step().unwrap() {
+            assert_eq!(v, 0);
+            s.on_cycles(55);
+        }
+        let out = s.finish();
+        assert_eq!(out.selected, 0);
+        assert_eq!(out.converged_after, 0);
+        assert_eq!(out.total_cycles, 165);
+    }
+
+    #[test]
+    fn simple_session_aborts_on_first_error() {
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let mut s = TuningSession::simple(&ck, 4, 0.02);
+        let SessionStep::Launch(_) = s.next_step().unwrap() else { panic!() };
+        let err = s.on_launch_result(Err(SimError::Deadlock.into())).unwrap_err();
+        assert!(matches!(err.root_cause(), OrionError::Sim(SimError::Deadlock)));
+        assert_eq!(s.next_step().unwrap(), SessionStep::Done);
+    }
+
+    #[test]
+    fn resilient_session_probes_borderline_verdicts() {
+        // Decreasing walk: the second version sits right at the 2%
+        // boundary with jittery samples, forcing an extension round.
+        let ck = fake_compiled(&[48, 36, 24], Direction::Decreasing);
+        let policy = ResiliencePolicy { samples: 3, ..ResiliencePolicy::default() };
+        let mut s = TuningSession::resilient("k", &ck, 30, 0.02, policy);
+        let mut n1 = 0u32;
+        let mut saw_probing = false;
+        while let SessionStep::Launch(v) = s.next_step().unwrap() {
+            let c = match v {
+                0 => 1000,
+                1 => {
+                    n1 += 1;
+                    // Mean 1050 (5% over best), spread ~5.7% → margin
+                    // ~4.3%; the verdict lands within half a margin of
+                    // the max(threshold, margin) boundary.
+                    [1020u64, 1050, 1080][(n1 as usize - 1) % 3]
+                }
+                _ => 2000,
+            };
+            s.on_cycles(c);
+            saw_probing |= s.state() == SessionState::Probing;
+        }
+        assert!(saw_probing, "borderline verdict must enter Probing");
+        let out = s.finish();
+        assert!(out.state.is_settled());
+    }
+
+    #[test]
+    fn quarantining_everything_is_terminal_with_coherent_log() {
+        use crate::runtime::TuneReason;
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let policy = ResiliencePolicy::default();
+        let mut s = TuningSession::resilient("dead", &ck, 12, 0.02, policy);
+        let err = loop {
+            match s.next_step() {
+                Ok(SessionStep::Launch(_)) => {
+                    s.on_launch_result(Err(SimError::Watchdog { budget: 9 }.into()))
+                        .expect("quarantineable failures are absorbed");
+                }
+                Ok(SessionStep::Done) => panic!("session must die, not drain"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err.root_cause(), OrionError::AllCandidatesFailed { quarantined: 2 }));
+        assert!(err.to_string().contains("dead"));
+        assert_eq!(s.state(), SessionState::Quarantined);
+        let out = s.finish();
+        assert_eq!(out.state, SessionState::Quarantined);
+        assert_eq!(
+            out.decisions.iter().filter(|d| d.reason == TuneReason::Quarantined).count(),
+            2,
+            "one quarantine decision per dead version: {:?}",
+            out.decisions
+        );
+        assert_eq!(out.stats.quarantined, 2);
+        assert_eq!(out.iterations.len(), 0);
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected_by_the_table() {
+        use SessionState::{Finalized, Probing, Quarantined, Walking, Warmup};
+        assert!(Warmup.can_transition(Walking));
+        assert!(Warmup.can_transition(Finalized));
+        assert!(!Warmup.can_transition(Probing));
+        assert!(Walking.can_transition(Probing));
+        assert!(Probing.can_transition(Walking));
+        assert!(!Finalized.can_transition(Walking));
+        assert!(Finalized.can_transition(Quarantined));
+        assert!(!Quarantined.can_transition(Warmup));
+        assert!(Quarantined.can_transition(Quarantined));
+    }
+}

@@ -158,9 +158,7 @@ mod tests {
         let dev = DeviceSpec::gtx680();
         let m = kernel(8);
         let vb = VersionBuilder::new(&dev, 256, &m);
-        let v = vb
-            .realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "t")
-            .unwrap();
+        let v = vb.realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "t").unwrap();
         assert_eq!(v.label, "t");
         assert_eq!(v.target_warps, v.achieved_warps);
         assert!(v.achieved_warps > 0);
@@ -172,9 +170,7 @@ mod tests {
         let dev = DeviceSpec::c2075();
         let m = kernel(4);
         let vb = VersionBuilder::new(&dev, 192, &m);
-        let base = vb
-            .realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "base")
-            .unwrap();
+        let base = vb.realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "base").unwrap();
         let warps_per_block = 192u32.div_ceil(dev.warp_size);
         let target = base.achieved_warps - warps_per_block;
         let down = vb.padded(&base, target).expect("padding achievable");
@@ -189,9 +185,7 @@ mod tests {
         let dev = DeviceSpec::c2075();
         let m = kernel(4);
         let vb = VersionBuilder::new(&dev, 192, &m);
-        let base = vb
-            .realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "base")
-            .unwrap();
+        let base = vb.realize(SlotBudget { reg_slots: 16, smem_slots: 0 }, 0, "base").unwrap();
         let same = vb.repad(&base, base.achieved_warps, 0);
         assert_eq!(same.achieved_warps, base.achieved_warps);
         assert_eq!(same.extra_smem, 0);

@@ -3,12 +3,12 @@
 //! Lives in its own integration-test binary (one process, one cache) so
 //! the counters are not raced by the crate's unit tests.
 
+use orion_alloc::realize::{AllocOptions, SlotBudget};
 use orion_core::cache::{self, CacheConfig, CACHE_CAPACITY};
 use orion_kir::builder::FunctionBuilder;
 use orion_kir::function::Module;
 use orion_kir::inst::Operand;
 use orion_kir::types::{MemSpace, SpecialReg, Width};
-use orion_alloc::realize::{AllocOptions, SlotBudget};
 
 fn module(tag: i64) -> Module {
     let mut b = FunctionBuilder::kernel("cfg");

@@ -78,7 +78,7 @@ fn convergence_is_stable_under_5pct_noise() {
     for seed in 0..50u64 {
         let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef;
         let out = resilient_tune_loop("noisy", &ck, 60, 0.02, &policy, |v| {
-            let i = ck.versions.iter().position(|x| x.label == v.label).unwrap();
+            let i = ck.index_of(&v.label).unwrap();
             Ok(noisy(&mut rng, base[i], 0.05))
         })
         .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -131,7 +131,7 @@ fn never_finalizes_a_quarantined_version() {
 fn noise_free_resilient_walk_matches_plain_tuner() {
     let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
     let base = [120u64, 100, 88, 92, 105];
-    let idx = |v: &KernelVersion| ck.versions.iter().position(|x| x.label == v.label).unwrap();
+    let idx = |v: &KernelVersion| ck.index_of(&v.label).unwrap();
     let plain = orion_core::runtime::tune_loop::<std::convert::Infallible>(&ck, 60, 0.02, |v| {
         Ok(base[idx(v)])
     })

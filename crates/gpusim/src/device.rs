@@ -150,10 +150,7 @@ impl DeviceSpec {
 
     /// The same device with a different L1/shared split (Table 3).
     pub fn with_cache_config(&self, cfg: CacheConfig) -> DeviceSpec {
-        DeviceSpec {
-            cache_config: cfg,
-            ..self.clone()
-        }
+        DeviceSpec { cache_config: cfg, ..self.clone() }
     }
 
     /// Shared-memory bytes available per SM under the current config.

@@ -400,8 +400,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         guards: EngineGuards,
     ) -> Self {
         let m = prog.module;
-        let onchip_words =
-            usize::from(m.regs_per_thread) + usize::from(m.smem_slots_per_thread);
+        let onchip_words = usize::from(m.regs_per_thread) + usize::from(m.smem_slots_per_thread);
         SmEngine {
             dev,
             prog,
@@ -635,8 +634,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         }
         // Per-warp-slot rollup: hardware slots are recycled as CTAs
         // retire, so key by (resident slot, warp-in-block).
-        let slot = (warps[wi].cta % self.residency.max(1) as usize)
-            * self.warps_per_block as usize
+        let slot = (warps[wi].cta % self.residency.max(1) as usize) * self.warps_per_block as usize
             + warps[wi].warp_in_block as usize;
         if slot >= self.per_warp_issued.len() {
             self.per_warp_issued.resize(slot + 1, 0);
@@ -648,10 +646,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         // Barrier release: if every live warp of the CTA is waiting.
         let cta = warps[wi].cta;
         if warps[wi].at_barrier {
-            let all = warps
-                .iter()
-                .filter(|w| w.cta == cta && !w.done)
-                .all(|w| w.at_barrier);
+            let all = warps.iter().filter(|w| w.cta == cta && !w.done).all(|w| w.at_barrier);
             if all {
                 let release = warps
                     .iter()
@@ -659,10 +654,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                     .map(|w| w.barrier_release)
                     .max()
                     .unwrap_or(t);
-                for (i, w) in warps
-                    .iter_mut()
-                    .enumerate()
-                    .filter(|(_, w)| w.cta == cta && !w.done)
+                for (i, w) in warps.iter_mut().enumerate().filter(|(_, w)| w.cta == cta && !w.done)
                 {
                     w.at_barrier = false;
                     w.next_free = w.next_free.max(release);
@@ -753,11 +745,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         });
         for w in 0..self.warps_per_block {
             let lanes_in_warp = (self.launch.block - w * 32).min(32);
-            let alive = if lanes_in_warp == 32 {
-                FULL_MASK
-            } else {
-                (1u32 << lanes_in_warp) - 1
-            };
+            let alive = if lanes_in_warp == 32 { FULL_MASK } else { (1u32 << lanes_in_warp) - 1 };
             let onchip_ready = Self::recycled(&mut self.scratch.ready_words, self.onchip_words);
             let local_ready = Self::recycled(&mut self.scratch.ready_words, self.local_words);
             let onchip_mem = Self::recycled(&mut self.scratch.ready_flags, self.onchip_words);
@@ -766,12 +754,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 warp_in_block: w,
                 frames: vec![Frame {
                     func: self.prog.module.entry,
-                    stack: vec![SimtEntry {
-                        block: BlockId(0),
-                        idx: 0,
-                        reconv: None,
-                        mask: alive,
-                    }],
+                    stack: vec![SimtEntry { block: BlockId(0), idx: 0, reconv: None, mask: alive }],
                 }],
                 alive,
                 done: false,
@@ -879,9 +862,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             return 0;
         }
         let boundary = self.prog.module.regs_per_thread;
-        (0..l.width.words())
-            .filter(|k| l.slot + k >= boundary)
-            .count() as u32
+        (0..l.width.words()).filter(|k| l.slot + k >= boundary).count() as u32
     }
 
     fn read_loc(lane: &LaneState, l: MLoc) -> Val {
@@ -916,9 +897,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         match op {
             MOperand::Loc(l) => Self::read_loc(lane, *l),
             MOperand::Imm(i) => Val::scalar(*i as u32),
-            MOperand::Param(p) => {
-                Val::scalar(self.params.get(*p as usize).copied().unwrap_or(0))
-            }
+            MOperand::Param(p) => Val::scalar(self.params.get(*p as usize).copied().unwrap_or(0)),
             MOperand::Special(s) => Val::scalar(match s {
                 SpecialReg::TidX => tid,
                 SpecialReg::CtaIdX => cta_grid,
@@ -1129,12 +1108,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             Opcode::Call(callee) => {
                 w.frames.push(Frame {
                     func: *callee,
-                    stack: vec![SimtEntry {
-                        block: BlockId(0),
-                        idx: 0,
-                        reconv: None,
-                        mask,
-                    }],
+                    stack: vec![SimtEntry { block: BlockId(0), idx: 0, reconv: None, mask }],
                 });
                 w.next_free = t + 1;
                 self.last_event = self.last_event.max(t + 1);
@@ -1161,11 +1135,10 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 }
                 match space {
                     MemSpace::Global => {
-                        let lines = self.mem.coalesce(
-                            addrs
-                                .iter()
-                                .flat_map(|&a| (0..width.words()).map(move |k| a + u64::from(k) * 4)),
-                        );
+                        let lines =
+                            self.mem.coalesce(addrs.iter().flat_map(|&a| {
+                                (0..width.words()).map(move |k| a + u64::from(k) * 4)
+                            }));
                         for line in lines {
                             let c = self.mem.access(line, t, MemKind::Global);
                             completions = completions.max(c);
@@ -1269,11 +1242,10 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 // Bandwidth accounting (fire-and-forget stores).
                 match space {
                     MemSpace::Global => {
-                        let lines = self.mem.coalesce(
-                            addrs
-                                .iter()
-                                .flat_map(|&a| (0..width.words()).map(move |k| a + u64::from(k) * 4)),
-                        );
+                        let lines =
+                            self.mem.coalesce(addrs.iter().flat_map(|&a| {
+                                (0..width.words()).map(move |k| a + u64::from(k) * 4)
+                            }));
                         for line in lines {
                             self.mem.access(line, t, MemKind::Global);
                         }

@@ -189,11 +189,7 @@ fn unit(state: &mut u64) -> f64 {
 
 impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
-        FaultInjector {
-            plan,
-            next_launch: AtomicU64::new(0),
-            stats: FaultStats::default(),
-        }
+        FaultInjector { plan, next_launch: AtomicU64::new(0), stats: FaultStats::default() }
     }
 
     /// The plan this injector draws from.

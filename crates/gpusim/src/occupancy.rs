@@ -57,10 +57,7 @@ pub fn occupancy(dev: &DeviceSpec, res: &KernelResources) -> OccupancyInfo {
         let warps_by_regs = dev.regs_per_sm / regs_per_warp;
         warps_by_regs / warps_per_block.max(1)
     };
-    let by_smem = dev
-        .smem_per_sm()
-        .checked_div(res.smem_per_block)
-        .unwrap_or(u32::MAX);
+    let by_smem = dev.smem_per_sm().checked_div(res.smem_per_block).unwrap_or(u32::MAX);
     let active_blocks = by_blocks.min(by_threads).min(by_regs).min(by_smem);
     let limiter = if active_blocks == by_smem && by_smem <= by_regs && by_smem <= by_threads {
         Limiter::SharedMemory
@@ -91,14 +88,8 @@ pub fn max_regs_for_warps(
 ) -> Option<u16> {
     let mut best = None;
     for regs in 1..=dev.max_regs_per_thread {
-        let info = occupancy(
-            dev,
-            &KernelResources {
-                regs_per_thread: regs,
-                smem_per_block,
-                block_size,
-            },
-        );
+        let info =
+            occupancy(dev, &KernelResources { regs_per_thread: regs, smem_per_block, block_size });
         if info.active_warps >= target_warps {
             best = Some(regs);
         }
@@ -112,15 +103,8 @@ pub fn max_regs_for_warps(
 pub fn achievable_warp_levels(dev: &DeviceSpec, block_size: u32, smem_per_block: u32) -> Vec<u32> {
     let mut levels: Vec<u32> = (1..=dev.max_regs_per_thread)
         .map(|r| {
-            occupancy(
-                dev,
-                &KernelResources {
-                    regs_per_thread: r,
-                    smem_per_block,
-                    block_size,
-                },
-            )
-            .active_warps
+            occupancy(dev, &KernelResources { regs_per_thread: r, smem_per_block, block_size })
+                .active_warps
         })
         .collect();
     levels.sort_unstable();

@@ -86,22 +86,16 @@ pub fn energy(
     let cycles_f = cycles as f64;
     let static_pj = model.static_pj_per_cycle_sm * f64::from(dev.num_sms) * cycles_f;
     // Allocated registers per SM: resident warps × 32 lanes × regs.
-    let allocated = f64::from(occ.active_warps)
-        * f64::from(dev.warp_size)
-        * f64::from(regs_per_thread);
-    let regfile_pj =
-        model.regfile_pj_per_cycle_reg * allocated * f64::from(dev.num_sms) * cycles_f;
+    let allocated =
+        f64::from(occ.active_warps) * f64::from(dev.warp_size) * f64::from(regs_per_thread);
+    let regfile_pj = model.regfile_pj_per_cycle_reg * allocated * f64::from(dev.num_sms) * cycles_f;
     let dynamic_pj = model.inst_pj * stats.warp_insts as f64
         + model.smem_slot_pj * stats.smem_slot_accesses as f64
         + model.shared_pj * stats.shared_mem_accesses as f64
         + model.l1_pj * (stats.mem.l1_hits + stats.mem.l1_misses) as f64
         + model.l2_pj * (stats.mem.l2_hits + stats.mem.l2_misses) as f64
         + model.dram_pj_per_byte * stats.mem.dram_bytes as f64;
-    EnergyReport {
-        static_pj,
-        regfile_pj,
-        dynamic_pj,
-    }
+    EnergyReport { static_pj, regfile_pj, dynamic_pj }
 }
 
 #[cfg(test)]

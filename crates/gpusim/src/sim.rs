@@ -44,6 +44,45 @@ pub struct LaunchOptions {
     pub scheduler: Scheduler,
 }
 
+impl LaunchOptions {
+    /// This template with the driver-side shared-memory padding set —
+    /// the per-version knob every launch path overrides.
+    #[must_use]
+    pub fn with_extra_smem(mut self, bytes: u32) -> Self {
+        self.extra_smem_per_block = bytes;
+        self
+    }
+
+    /// This template restricted to a contiguous CTA slice (kernel
+    /// splitting); `None` launches the whole grid.
+    #[must_use]
+    pub fn with_cta_range(mut self, range: Option<(u32, u32)>) -> Self {
+        self.cta_range = range;
+        self
+    }
+
+    /// This template with an explicit watchdog cycle budget.
+    #[must_use]
+    pub fn with_cycle_budget(mut self, budget: Option<u64>) -> Self {
+        self.cycle_budget = budget;
+        self
+    }
+
+    /// This template with the SM fan-out worker count set.
+    #[must_use]
+    pub fn with_parallelism(mut self, workers: u32) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// This template with the warp-scheduler implementation set.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
 /// Per-SM execution summary for one launch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SmSummary {
@@ -325,8 +364,7 @@ fn run_launch_impl(
                 v.push(None);
                 continue;
             }
-            let mut engine =
-                SmEngine::new(dev, &prog, launch, params, global, sm, guards_for(sm));
+            let mut engine = SmEngine::new(dev, &prog, launch, params, global, sm, guards_for(sm));
             let c = engine.run(blocks, occ.active_blocks)?;
             v.push(Some(SmRun {
                 cycles: c,
@@ -378,10 +416,7 @@ fn run_launch_impl(
                 summary.sm,
                 0,
                 summary.cycles,
-                vec![
-                    ("blocks", summary.blocks.into()),
-                    ("warp_insts", summary.warp_insts.into()),
-                ],
+                vec![("blocks", summary.blocks.into()), ("warp_insts", summary.warp_insts.into())],
             );
         }
         per_sm.push(summary);
@@ -391,14 +426,7 @@ fn run_launch_impl(
         cycles * u64::from(dev.num_sms),
         "device stall buckets must cover every SM-cycle"
     );
-    Ok(RunResult {
-        cycles,
-        stats,
-        occupancy: occ,
-        resources: res,
-        num_sms: dev.num_sms,
-        per_sm,
-    })
+    Ok(RunResult { cycles, stats, occupancy: occ, resources: res, num_sms: dev.num_sms, per_sm })
 }
 
 /// What one SM engine produced for one launch (before device-level

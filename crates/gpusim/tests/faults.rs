@@ -110,15 +110,15 @@ mod injection {
         let dev = DeviceSpec::gtx680();
         let machine = inc_kernel();
         let mut clean_global = vec![0u8; 4 * 128];
-        let clean =
-            run_launch_opts(&dev, &machine, LAUNCH, &[0], &mut clean_global, opts(None))
-                .expect("clean run");
+        let clean = run_launch_opts(&dev, &machine, LAUNCH, &[0], &mut clean_global, opts(None))
+            .expect("clean run");
         let mut plan = FaultPlan::none(3);
         plan.jitter_frac = 0.05;
         let inj = FaultInjector::new(plan);
         let mut global = vec![0u8; 4 * 128];
-        let r = run_launch_faulty(&dev, &machine, LAUNCH, &[0], &mut global, opts(None), Some(&inj))
-            .expect("jitter never fails a launch");
+        let r =
+            run_launch_faulty(&dev, &machine, LAUNCH, &[0], &mut global, opts(None), Some(&inj))
+                .expect("jitter never fails a launch");
         // Execution identical; only the reported cycles wobble within
         // the ±5% band.
         assert_eq!(global, clean_global);

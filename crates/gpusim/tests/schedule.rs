@@ -16,8 +16,8 @@ use orion_gpusim::sim::{run_launch_opts, LaunchOptions, RunResult};
 use orion_gpusim::Scheduler;
 use orion_kir::builder::FunctionBuilder;
 use orion_kir::function::Module;
-use orion_kir::mir::MModule;
 use orion_kir::inst::Operand;
+use orion_kir::mir::MModule;
 use orion_kir::types::{MemSpace, SpecialReg, Width};
 
 fn compile(m: &Module, regs: u16, smem: u16) -> MModule {
@@ -89,7 +89,11 @@ fn assert_all_configs_identical(
     params: &[u32],
     bytes: usize,
 ) {
-    let base = LaunchOptions { parallelism: 1, scheduler: Scheduler::LinearScan, ..LaunchOptions::default() };
+    let base = LaunchOptions {
+        parallelism: 1,
+        scheduler: Scheduler::LinearScan,
+        ..LaunchOptions::default()
+    };
     let (reference, ref_global) = run_with(dev, machine, launch, params, bytes, base);
     for scheduler in [Scheduler::LinearScan, Scheduler::EventHeap] {
         for parallelism in [1u32, 2, 3, dev.num_sms] {
@@ -167,7 +171,11 @@ fn errors_are_identical_across_fanout() {
     // Inputs need bytes [0, 16384); outputs start at 16384, so 20000
     // bytes cuts the output region off inside block 3.
     let bytes = 20000usize;
-    let base = LaunchOptions { parallelism: 1, scheduler: Scheduler::LinearScan, ..LaunchOptions::default() };
+    let base = LaunchOptions {
+        parallelism: 1,
+        scheduler: Scheduler::LinearScan,
+        ..LaunchOptions::default()
+    };
     let mut ref_global = vec![0u8; bytes];
     let reference =
         run_launch_opts(&dev, &machine, launch, &params, &mut ref_global, base).unwrap_err();

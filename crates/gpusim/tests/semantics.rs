@@ -21,10 +21,7 @@ fn check_equivalence(m: &Module, launch: Launch, params: &[u32], init_global: &[
     // Reference execution on virtual registers.
     let mut ref_global = init_global.to_vec();
     Interpreter::new(m, params)
-        .run(
-            LaunchConfig { grid: launch.grid, block: launch.block },
-            &mut ref_global,
-        )
+        .run(LaunchConfig { grid: launch.grid, block: launch.block }, &mut ref_global)
         .expect("reference run");
 
     let dev = DeviceSpec::c2075();
@@ -48,7 +45,8 @@ fn check_equivalence(m: &Module, launch: Launch, params: &[u32], init_global: &[
                 .expect("simulated run");
             assert!(r.cycles > 0);
             assert_eq!(
-                global, ref_global,
+                global,
+                ref_global,
                 "mismatch at budget {budget:?} opts {opts:?} (kernel {})",
                 m.kernel().name
             );
@@ -200,12 +198,8 @@ fn device_calls_with_live_values_across() {
     check_equivalence(&m, Launch { grid: 2, block: 32 }, &[0, 8 * n], &init);
     // Sanity: the math itself.
     let mut g = init.clone();
-    let alloc = allocate(
-        &m,
-        SlotBudget { reg_slots: 8, smem_slots: 4 },
-        &AllocOptions::default(),
-    )
-    .unwrap();
+    let alloc =
+        allocate(&m, SlotBudget { reg_slots: 8, smem_slots: 4 }, &AllocOptions::default()).unwrap();
     run_launch(
         &DeviceSpec::gtx680(),
         &alloc.machine,
@@ -283,12 +277,8 @@ fn wide_values_and_doubles() {
     init.extend(std::iter::repeat_n(0u8, 8 * n as usize));
     check_equivalence(&m, Launch { grid: 1, block: 32 }, &[0, 8 * n], &init);
     // Numeric spot check through one configuration.
-    let alloc = allocate(
-        &m,
-        SlotBudget { reg_slots: 63, smem_slots: 0 },
-        &AllocOptions::default(),
-    )
-    .unwrap();
+    let alloc = allocate(&m, SlotBudget { reg_slots: 63, smem_slots: 0 }, &AllocOptions::default())
+        .unwrap();
     let mut g = init.clone();
     run_launch(
         &DeviceSpec::c2075(),

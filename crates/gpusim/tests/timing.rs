@@ -48,9 +48,7 @@ fn run_at_regs(
 ) -> u64 {
     machine.regs_per_thread = machine.regs_per_thread.max(fake_regs);
     let mut global = vec![0u8; (8 * n) as usize];
-    run_launch(dev, &machine, launch, &[0, 4 * n], &mut global)
-        .unwrap()
-        .cycles
+    run_launch(dev, &machine, launch, &[0, 4 * n], &mut global).unwrap().cycles
 }
 
 #[test]
@@ -65,10 +63,7 @@ fn more_warps_hide_memory_latency() {
     // is not needed: use register-limited residency.
     let fast = run_at_regs(&dev, machine.clone(), 0, launch, n);
     let slow = run_at_regs(&dev, machine, 63, launch, n);
-    assert!(
-        slow > fast * 3 / 2,
-        "low occupancy {slow} should be clearly slower than high {fast}"
-    );
+    assert!(slow > fast * 3 / 2, "low occupancy {slow} should be clearly slower than high {fast}");
 }
 
 #[test]
@@ -117,18 +112,11 @@ fn spills_cost_time() {
     let starved = compile(&m, 4, 0); // everything else spills to local
     assert!(starved.local_slots_per_thread > roomy.local_slots_per_thread);
     let mut g1 = vec![0u8; (8 * n) as usize];
-    let t_roomy = run_launch(&dev, &roomy, launch, &[0, 4 * n], &mut g1)
-        .unwrap()
-        .cycles;
+    let t_roomy = run_launch(&dev, &roomy, launch, &[0, 4 * n], &mut g1).unwrap().cycles;
     let mut g2 = vec![0u8; (8 * n) as usize];
-    let t_starved = run_launch(&dev, &starved, launch, &[0, 4 * n], &mut g2)
-        .unwrap()
-        .cycles;
+    let t_starved = run_launch(&dev, &starved, launch, &[0, 4 * n], &mut g2).unwrap().cycles;
     assert_eq!(g1, g2, "spilling must not change results");
-    assert!(
-        t_starved > t_roomy,
-        "spills should cost cycles: {t_starved} vs {t_roomy}"
-    );
+    assert!(t_starved > t_roomy, "spills should cost cycles: {t_starved} vs {t_roomy}");
 }
 
 #[test]
@@ -166,13 +154,9 @@ fn smem_slots_cheaper_than_local_spills() {
     assert!(with_smem.smem_slots_per_thread > 0);
     assert!(with_local.local_slots_per_thread > with_smem.local_slots_per_thread);
     let mut g1 = vec![0u8; (8 * n) as usize];
-    let t_smem = run_launch(&dev, &with_smem, launch, &[0, 4 * n], &mut g1)
-        .unwrap()
-        .cycles;
+    let t_smem = run_launch(&dev, &with_smem, launch, &[0, 4 * n], &mut g1).unwrap().cycles;
     let mut g2 = vec![0u8; (8 * n) as usize];
-    let t_local = run_launch(&dev, &with_local, launch, &[0, 4 * n], &mut g2)
-        .unwrap()
-        .cycles;
+    let t_local = run_launch(&dev, &with_local, launch, &[0, 4 * n], &mut g2).unwrap().cycles;
     assert_eq!(g1, g2);
     assert!(
         t_smem < t_local,
@@ -259,12 +243,7 @@ fn coalesced_beats_strided_access() {
     };
     let co = run(&kernel(false, n));
     let st = run(&kernel(true, n));
-    assert!(
-        st.cycles > co.cycles * 2,
-        "strided {} vs coalesced {}",
-        st.cycles,
-        co.cycles
-    );
+    assert!(st.cycles > co.cycles * 2, "strided {} vs coalesced {}", st.cycles, co.cycles);
     assert!(st.stats.mem.dram_transactions > co.stats.mem.dram_transactions);
 }
 

@@ -12,10 +12,7 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set with capacity for `len` elements.
     pub fn new(len: usize) -> Self {
-        BitSet {
-            words: vec![0; len.div_ceil(64)],
-            len,
-        }
+        BitSet { words: vec![0; len.div_ceil(64)], len }
     }
 
     /// Capacity (number of addressable elements).

@@ -32,18 +32,12 @@ pub struct FunctionBuilder {
 impl FunctionBuilder {
     /// Start building a kernel.
     pub fn kernel(name: impl Into<String>) -> Self {
-        FunctionBuilder {
-            f: Function::new(name, FuncKind::Kernel),
-            cur: BlockId(0),
-        }
+        FunctionBuilder { f: Function::new(name, FuncKind::Kernel), cur: BlockId(0) }
     }
 
     /// Start building a device function.
     pub fn device(name: impl Into<String>) -> Self {
-        FunctionBuilder {
-            f: Function::new(name, FuncKind::Device),
-            cur: BlockId(0),
-        }
+        FunctionBuilder { f: Function::new(name, FuncKind::Device), cur: BlockId(0) }
     }
 
     /// The block currently being appended to.
@@ -89,10 +83,7 @@ impl FunctionBuilder {
     /// `d = src` (32-bit unless the source register is wide).
     pub fn mov(&mut self, src: impl Into<Operand>) -> VReg {
         let src = src.into();
-        let w = src
-            .as_reg()
-            .map(|r| self.f.width(r))
-            .unwrap_or(Width::W32);
+        let w = src.as_reg().map(|r| self.f.width(r)).unwrap_or(Width::W32);
         self.emit(Opcode::Mov, w, vec![src])
     }
 
@@ -201,12 +192,7 @@ impl FunctionBuilder {
 
     /// Conditional branch terminator on predicate `p`.
     pub fn branch(&mut self, p: PredReg, neg: bool, then_bb: BlockId, else_bb: BlockId) {
-        self.f.block_mut(self.cur).term = Terminator::Branch {
-            pred: p,
-            neg,
-            then_bb,
-            else_bb,
-        };
+        self.f.block_mut(self.cur).term = Terminator::Branch { pred: p, neg, then_bb, else_bb };
     }
 
     /// `Ret` terminator with the device function's return values.
@@ -399,8 +385,8 @@ pub fn build_counted_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::verify;
     use crate::function::Module;
+    use crate::verify::verify;
 
     #[test]
     fn builder_emits_valid_kernel() {

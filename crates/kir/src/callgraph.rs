@@ -88,11 +88,8 @@ impl CallGraph {
             if let Some(d) = memo[f.0 as usize] {
                 return d;
             }
-            let d = 1 + cg.callees[f.0 as usize]
-                .iter()
-                .map(|&c| depth(cg, c, memo))
-                .max()
-                .unwrap_or(0);
+            let d =
+                1 + cg.callees[f.0 as usize].iter().map(|&c| depth(cg, c, memo)).max().unwrap_or(0);
             memo[f.0 as usize] = Some(d);
             d
         }
@@ -110,10 +107,7 @@ mod tests {
 
     fn call_inst(target: FuncId) -> Inst {
         let mut i = Inst::new(Opcode::Call(target), None, vec![]);
-        i.call = Some(CallInfo {
-            args: vec![],
-            rets: vec![],
-        });
+        i.call = Some(CallInfo { args: vec![], rets: vec![] });
         i
     }
 
@@ -122,8 +116,7 @@ mod tests {
         let mut m = Module::new(Function::new("k", FuncKind::Kernel));
         let a = m.add_func(Function::new("a", FuncKind::Device));
         let b = m.add_func(Function::new("b", FuncKind::Device));
-        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts =
-            vec![call_inst(a), call_inst(b)];
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts = vec![call_inst(a), call_inst(b)];
         m.func_mut(a).block_mut(BlockId(0)).insts = vec![call_inst(b)];
         m
     }

@@ -55,12 +55,7 @@ impl Cfg {
         for (i, b) in rpo.iter().enumerate() {
             rpo_index[b.0 as usize] = i;
         }
-        Cfg {
-            succs,
-            preds,
-            rpo,
-            rpo_index,
-        }
+        Cfg { succs, preds, rpo, rpo_index }
     }
 
     /// True if the block is reachable from the entry.
@@ -299,12 +294,8 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         let b3 = f.new_block();
-        f.block_mut(BlockId(0)).term = Terminator::Branch {
-            pred: PredReg(0),
-            neg: false,
-            then_bb: b1,
-            else_bb: b2,
-        };
+        f.block_mut(BlockId(0)).term =
+            Terminator::Branch { pred: PredReg(0), neg: false, then_bb: b1, else_bb: b2 };
         f.block_mut(b1).term = Terminator::Jump(b3);
         f.block_mut(b2).term = Terminator::Jump(b3);
         f.block_mut(b3).term = Terminator::Exit;
@@ -362,12 +353,8 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         f.block_mut(BlockId(0)).term = Terminator::Jump(b1);
-        f.block_mut(b1).term = Terminator::Branch {
-            pred: PredReg(0),
-            neg: false,
-            then_bb: b1,
-            else_bb: b2,
-        };
+        f.block_mut(b1).term =
+            Terminator::Branch { pred: PredReg(0), neg: false, then_bb: b1, else_bb: b2 };
         f.block_mut(b2).term = Terminator::Exit;
         let cfg = Cfg::new(&f);
         let dom = Dominators::new(&cfg);

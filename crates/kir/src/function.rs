@@ -13,12 +13,7 @@ pub enum Terminator {
     /// Conditional branch on a predicate register; lanes where the
     /// predicate (negated if `neg`) holds go to `then_bb`, others to
     /// `else_bb`. May diverge within a warp.
-    Branch {
-        pred: PredReg,
-        neg: bool,
-        then_bb: BlockId,
-        else_bb: BlockId,
-    },
+    Branch { pred: PredReg, neg: bool, then_bb: BlockId, else_bb: BlockId },
     /// Return from a device function.
     Ret,
     /// Terminate the thread (kernels only).
@@ -30,9 +25,7 @@ impl Terminator {
     pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (a, b) = match self {
             Terminator::Jump(t) => (Some(*t), None),
-            Terminator::Branch {
-                then_bb, else_bb, ..
-            } => (Some(*then_bb), Some(*else_bb)),
+            Terminator::Branch { then_bb, else_bb, .. } => (Some(*then_bb), Some(*else_bb)),
             Terminator::Ret | Terminator::Exit => (None, None),
         };
         a.into_iter().chain(b)
@@ -49,10 +42,7 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// An empty block falling through to `target`.
     pub fn jump_to(target: BlockId) -> Self {
-        BasicBlock {
-            insts: Vec::new(),
-            term: Terminator::Jump(target),
-        }
+        BasicBlock { insts: Vec::new(), term: Terminator::Jump(target) }
     }
 }
 
@@ -97,10 +87,7 @@ impl Function {
             vreg_widths: Vec::new(),
             params: Vec::new(),
             rets: Vec::new(),
-            blocks: vec![BasicBlock {
-                insts: Vec::new(),
-                term,
-            }],
+            blocks: vec![BasicBlock { insts: Vec::new(), term }],
         }
     }
 
@@ -154,10 +141,7 @@ impl Function {
 
     /// Iterate over `(BlockId, &BasicBlock)`.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Total static instruction count (excluding terminators).
@@ -219,11 +203,7 @@ impl Module {
     /// A module containing a single kernel.
     pub fn new(kernel: Function) -> Self {
         assert_eq!(kernel.kind, FuncKind::Kernel, "module entry must be a kernel");
-        Module {
-            funcs: vec![kernel],
-            entry: FuncId(0),
-            user_smem_bytes: 0,
-        }
+        Module { funcs: vec![kernel], entry: FuncId(0), user_smem_bytes: 0 }
     }
 
     /// Add a device function, returning its id.
@@ -253,10 +233,7 @@ impl Module {
 
     /// Iterate `(FuncId, &Function)`.
     pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.funcs
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (FuncId(i as u32), f))
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
     }
 
     /// A stable structural fingerprint of the module, for content-keyed
@@ -340,10 +317,7 @@ mod tests {
         };
         let dev = m.add_func(Function::new("d", FuncKind::Device));
         let mut call = Inst::new(Opcode::Call(dev), None, vec![]);
-        call.call = Some(crate::inst::CallInfo {
-            args: vec![Operand::Imm(0)],
-            rets: vec![],
-        });
+        call.call = Some(crate::inst::CallInfo { args: vec![Operand::Imm(0)], rets: vec![] });
         m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts.push(call);
         assert_eq!(m.static_call_count(), 1);
     }

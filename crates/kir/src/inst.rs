@@ -240,16 +240,7 @@ pub struct CallInfo {
 impl Inst {
     /// A plain (unpredicated) instruction.
     pub fn new(op: Opcode, dst: Option<VReg>, srcs: Vec<Operand>) -> Self {
-        Inst {
-            op,
-            dst,
-            pdst: None,
-            srcs,
-            pred: None,
-            pred_neg: false,
-            sel_pred: None,
-            call: None,
-        }
+        Inst { op, dst, pdst: None, srcs, pred: None, pred_neg: false, sel_pred: None, call: None }
     }
 
     /// Registers read by this instruction (sources, call args). A
@@ -261,19 +252,13 @@ impl Inst {
         self.srcs
             .iter()
             .filter_map(Operand::as_reg)
-            .chain(
-                self.call
-                    .iter()
-                    .flat_map(|c| c.args.iter().filter_map(Operand::as_reg)),
-            )
+            .chain(self.call.iter().flat_map(|c| c.args.iter().filter_map(Operand::as_reg)))
             .chain(rmw)
     }
 
     /// Registers written by this instruction (dst, call returns).
     pub fn defs(&self) -> impl Iterator<Item = VReg> + '_ {
-        self.dst
-            .into_iter()
-            .chain(self.call.iter().flat_map(|c| c.rets.iter().copied()))
+        self.dst.into_iter().chain(self.call.iter().flat_map(|c| c.rets.iter().copied()))
     }
 
     /// Rewrite every register reference through `f` (uses and defs).
@@ -352,11 +337,8 @@ mod tests {
 
     #[test]
     fn uses_and_defs() {
-        let i = Inst::new(
-            Opcode::IAdd,
-            Some(VReg(2)),
-            vec![Operand::Reg(VReg(0)), Operand::Imm(4)],
-        );
+        let i =
+            Inst::new(Opcode::IAdd, Some(VReg(2)), vec![Operand::Reg(VReg(0)), Operand::Imm(4)]);
         assert_eq!(i.uses().collect::<Vec<_>>(), vec![VReg(0)]);
         assert_eq!(i.defs().collect::<Vec<_>>(), vec![VReg(2)]);
     }
@@ -377,21 +359,13 @@ mod tests {
         let mut i = Inst::new(
             Opcode::IMad,
             Some(VReg(3)),
-            vec![
-                Operand::Reg(VReg(0)),
-                Operand::Reg(VReg(1)),
-                Operand::Reg(VReg(2)),
-            ],
+            vec![Operand::Reg(VReg(0)), Operand::Reg(VReg(1)), Operand::Reg(VReg(2))],
         );
         i.rewrite_regs(|r, _| VReg(r.0 + 10));
         assert_eq!(i.dst, Some(VReg(13)));
         assert_eq!(
             i.srcs,
-            vec![
-                Operand::Reg(VReg(10)),
-                Operand::Reg(VReg(11)),
-                Operand::Reg(VReg(12))
-            ]
+            vec![Operand::Reg(VReg(10)), Operand::Reg(VReg(11)), Operand::Reg(VReg(12))]
         );
     }
 
@@ -405,11 +379,8 @@ mod tests {
 
     #[test]
     fn display_smoke() {
-        let i = Inst::new(
-            Opcode::IAdd,
-            Some(VReg(2)),
-            vec![Operand::Reg(VReg(0)), Operand::Imm(4)],
-        );
+        let i =
+            Inst::new(Opcode::IAdd, Some(VReg(2)), vec![Operand::Reg(VReg(0)), Operand::Imm(4)]);
         let s = i.to_string();
         assert!(s.contains("v2 = IAdd v0, 4"), "{s}");
     }

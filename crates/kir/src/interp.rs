@@ -441,9 +441,7 @@ mod tests {
             global[(i * 4) as usize..(i * 4 + 4) as usize].copy_from_slice(&i.to_le_bytes());
         }
         let mut g = global.clone();
-        Interpreter::new(&m, &[0, 32])
-            .run(LaunchConfig { grid: 1, block: 8 }, &mut g)
-            .unwrap();
+        Interpreter::new(&m, &[0, 32]).run(LaunchConfig { grid: 1, block: 8 }, &mut g).unwrap();
         for i in 0..8u32 {
             let off = (32 + i * 4) as usize;
             let v = u32::from_le_bytes(g[off..off + 4].try_into().unwrap());
@@ -525,9 +523,8 @@ mod tests {
         crate::verify::verify(&m).unwrap();
 
         let g = run(&m, LaunchConfig { grid: 1, block: 4 }, &[0], 16);
-        let vals: Vec<u32> = (0..4)
-            .map(|i| u32::from_le_bytes(g[i * 4..i * 4 + 4].try_into().unwrap()))
-            .collect();
+        let vals: Vec<u32> =
+            (0..4).map(|i| u32::from_le_bytes(g[i * 4..i * 4 + 4].try_into().unwrap())).collect();
         assert_eq!(vals, vec![100, 200, 100, 200]);
     }
 
@@ -537,9 +534,8 @@ mod tests {
         b.st(MemSpace::Global, Width::W32, Operand::Imm(1024), Operand::Imm(1), 0);
         let m = Module::new(b.finish());
         let mut g = vec![0u8; 16];
-        let err = Interpreter::new(&m, &[])
-            .run(LaunchConfig { grid: 1, block: 1 }, &mut g)
-            .unwrap_err();
+        let err =
+            Interpreter::new(&m, &[]).run(LaunchConfig { grid: 1, block: 1 }, &mut g).unwrap_err();
         assert!(matches!(err, InterpError::OutOfBounds { .. }));
     }
 
@@ -555,9 +551,8 @@ mod tests {
         b.st(MemSpace::Global, Width::W32, a, cta, 0);
         let m = Module::new(b.finish());
         let g = run(&m, LaunchConfig { grid: 3, block: 2 }, &[0], 24);
-        let vals: Vec<u32> = (0..6)
-            .map(|i| u32::from_le_bytes(g[i * 4..i * 4 + 4].try_into().unwrap()))
-            .collect();
+        let vals: Vec<u32> =
+            (0..6).map(|i| u32::from_le_bytes(g[i * 4..i * 4 + 4].try_into().unwrap())).collect();
         assert_eq!(vals, vec![0, 0, 1, 1, 2, 2]);
     }
 }

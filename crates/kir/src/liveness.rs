@@ -127,10 +127,7 @@ pub fn max_live(f: &Function, cfg: &Cfg, live: &Liveness) -> u32 {
         }
         let sets = live.per_inst(f, bid);
         for set in &sets {
-            let w: u32 = set
-                .iter()
-                .map(|i| u32::from(f.vreg_widths[i].words()))
-                .sum();
+            let w: u32 = set.iter().map(|i| u32::from(f.vreg_widths[i].words())).sum();
             max = max.max(w);
         }
         // Also account for the point right after each def (def + still-live).
@@ -139,10 +136,7 @@ pub fn max_live(f: &Function, cfg: &Cfg, live: &Liveness) -> u32 {
             for d in inst.defs() {
                 after.insert(d.0 as usize);
             }
-            let w: u32 = after
-                .iter()
-                .map(|j| u32::from(f.vreg_widths[j].words()))
-                .sum();
+            let w: u32 = after.iter().map(|j| u32::from(f.vreg_widths[j].words())).sum();
             max = max.max(w);
         }
     }
@@ -168,11 +162,7 @@ mod tests {
             Inst::new(Opcode::Mov, Some(v1), vec![Operand::Imm(2)]),
             Inst::new(Opcode::IAdd, Some(v2), vec![v0.into(), v1.into()]),
             Inst::new(
-                Opcode::St {
-                    space: crate::types::MemSpace::Global,
-                    width: Width::W32,
-                    offset: 0,
-                },
+                Opcode::St { space: crate::types::MemSpace::Global, width: Width::W32, offset: 0 },
                 None,
                 vec![Operand::Imm(0), v2.into()],
             ),
@@ -212,11 +202,7 @@ mod tests {
             Inst::new(Opcode::Mov, Some(a), vec![Operand::Imm(0)]),
             Inst::new(Opcode::Unpack { lane: 0 }, Some(b), vec![a.into()]),
             Inst::new(
-                Opcode::St {
-                    space: crate::types::MemSpace::Global,
-                    width: Width::W32,
-                    offset: 0,
-                },
+                Opcode::St { space: crate::types::MemSpace::Global, width: Width::W32, offset: 0 },
                 None,
                 vec![Operand::Imm(0), b.into()],
             ),
@@ -238,11 +224,8 @@ mod tests {
         f.block_mut(BlockId(0)).insts =
             vec![Inst::new(Opcode::Mov, Some(v0), vec![Operand::Imm(0)])];
         f.block_mut(BlockId(0)).term = Terminator::Jump(header);
-        f.block_mut(header).insts = vec![Inst::new(
-            Opcode::IAdd,
-            Some(v0),
-            vec![v0.into(), Operand::Imm(1)],
-        )];
+        f.block_mut(header).insts =
+            vec![Inst::new(Opcode::IAdd, Some(v0), vec![v0.into(), Operand::Imm(1)])];
         f.block_mut(header).term = Terminator::Branch {
             pred: crate::types::PredReg(0),
             neg: false,
@@ -266,21 +249,14 @@ mod tests {
         let ret = f.new_vreg(Width::W32);
         let sum = f.new_vreg(Width::W32);
         let mut call = Inst::new(Opcode::Call(crate::types::FuncId(1)), None, vec![]);
-        call.call = Some(CallInfo {
-            args: vec![dies.into()],
-            rets: vec![ret],
-        });
+        call.call = Some(CallInfo { args: vec![dies.into()], rets: vec![ret] });
         f.block_mut(BlockId(0)).insts = vec![
             Inst::new(Opcode::Mov, Some(keep), vec![Operand::Imm(1)]),
             Inst::new(Opcode::Mov, Some(dies), vec![Operand::Imm(2)]),
             call,
             Inst::new(Opcode::IAdd, Some(sum), vec![keep.into(), ret.into()]),
             Inst::new(
-                Opcode::St {
-                    space: crate::types::MemSpace::Global,
-                    width: Width::W32,
-                    offset: 0,
-                },
+                Opcode::St { space: crate::types::MemSpace::Global, width: Width::W32, offset: 0 },
                 None,
                 vec![Operand::Imm(0), sum.into()],
             ),

@@ -86,12 +86,7 @@ pub enum MirVerifyError {
     /// The kernel entry's frame does not start at slot 0.
     EntryFrameBase { base: u16 },
     /// A function's frame sticks out of the on-chip slot window.
-    FrameOverflow {
-        func: String,
-        frame_base: u16,
-        frame_size: u16,
-        onchip_slots: u16,
-    },
+    FrameOverflow { func: String, frame_base: u16, frame_size: u16, onchip_slots: u16 },
     /// A location's slot range exceeds its address space.
     SlotOutOfRange { site: MirSite, loc: MLoc, limit: u16 },
     /// A wide on-chip value is not at its hardware alignment class.
@@ -99,12 +94,7 @@ pub enum MirVerifyError {
     /// A call targets a function id outside the module.
     BadCallee { site: MirSite, callee: FuncId },
     /// A call targets a callee whose frame base is *below* the caller's.
-    FrameBaseRegression {
-        site: MirSite,
-        callee: FuncId,
-        caller_base: u16,
-        callee_base: u16,
-    },
+    FrameBaseRegression { site: MirSite, callee: FuncId, caller_base: u16, callee_base: u16 },
     /// A stack move reads a word that an earlier move of the same
     /// parallel-move block already overwrote (out-of-order restore).
     ClobberedMoveSource { site: MirSite, loc: MLoc },
@@ -159,10 +149,7 @@ impl fmt::Display for MirVerifyError {
                 )
             }
             MirVerifyError::RewrittenMoveDest { site, loc } => {
-                write!(
-                    f,
-                    "{site}: stack move rewrites {loc} within one parallel-move block"
-                )
+                write!(f, "{site}: stack move rewrites {loc} within one parallel-move block")
             }
         }
     }
@@ -194,9 +181,7 @@ impl MoveRuns {
     }
 
     fn is_start(&self, func: usize, block: usize, idx: usize) -> bool {
-        self.starts
-            .get(&(func, block))
-            .is_some_and(|v| v.contains(&idx))
+        self.starts.get(&(func, block)).is_some_and(|v| v.contains(&idx))
     }
 }
 
@@ -285,8 +270,7 @@ fn verify_function(
                 }
             }
             if inst.is_stack_move && inst.op == Opcode::Mov {
-                let reset = written.is_none()
-                    || runs.is_some_and(|r| r.is_start(fi, bi, ii));
+                let reset = written.is_none() || runs.is_some_and(|r| r.is_start(fi, bi, ii));
                 if reset {
                     written = Some(HashSet::new());
                 }
@@ -452,10 +436,7 @@ mod tests {
             Some(MLoc::onchip(0, Width::W32)),
             vec![MOperand::Loc(MLoc::local(8, Width::W32))],
         )]);
-        assert!(matches!(
-            verify_mir(&m).unwrap_err(),
-            MirVerifyError::SlotOutOfRange { .. }
-        ));
+        assert!(matches!(verify_mir(&m).unwrap_err(), MirVerifyError::SlotOutOfRange { .. }));
     }
 
     #[test]
@@ -463,7 +444,10 @@ mod tests {
         let m = module_with(vec![MInst::new(
             Opcode::DAdd,
             Some(MLoc::onchip(1, Width::W64)), // odd start for a pair
-            vec![MOperand::Loc(MLoc::onchip(2, Width::W64)), MOperand::Loc(MLoc::onchip(4, Width::W64))],
+            vec![
+                MOperand::Loc(MLoc::onchip(2, Width::W64)),
+                MOperand::Loc(MLoc::onchip(4, Width::W64)),
+            ],
         )]);
         let err = verify_mir(&m).unwrap_err();
         assert!(matches!(err, MirVerifyError::MisalignedWide { .. }), "{err}");
@@ -473,10 +457,8 @@ mod tests {
     #[test]
     fn stack_move_chunks_exempt_from_alignment() {
         // A W64 compression chunk at an odd slot is legal.
-        let m = module_with(vec![MInst::mov(
-            MLoc::onchip(1, Width::W64),
-            MLoc::onchip(5, Width::W64),
-        )]);
+        let m =
+            module_with(vec![MInst::mov(MLoc::onchip(1, Width::W64), MLoc::onchip(5, Width::W64))]);
         verify_mir(&m).unwrap();
     }
 
@@ -512,15 +494,9 @@ mod tests {
     fn rejects_bad_entry_and_frame_overflow() {
         let mut m = module_with(vec![]);
         m.entry = FuncId(3);
-        assert!(matches!(
-            verify_mir(&m).unwrap_err(),
-            MirVerifyError::EntryOutOfRange { .. }
-        ));
+        assert!(matches!(verify_mir(&m).unwrap_err(), MirVerifyError::EntryOutOfRange { .. }));
         let mut m = module_with(vec![]);
         m.funcs[0].frame_size = 9; // window is 8
-        assert!(matches!(
-            verify_mir(&m).unwrap_err(),
-            MirVerifyError::FrameOverflow { .. }
-        ));
+        assert!(matches!(verify_mir(&m).unwrap_err(), MirVerifyError::FrameOverflow { .. }));
     }
 }

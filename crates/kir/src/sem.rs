@@ -36,9 +36,7 @@ impl Val {
     #[inline]
     pub fn from_f64(x: f64) -> Val {
         let b = x.to_bits();
-        Val {
-            w: [b as u32, (b >> 32) as u32, 0, 0],
-        }
+        Val { w: [b as u32, (b >> 32) as u32, 0, 0] }
     }
 
     /// Word 0 as u32.
@@ -155,7 +153,8 @@ mod tests {
 
     #[test]
     fn float_ops() {
-        let v = eval_alu(&Opcode::FFma, &[Val::from_f32(2.0), Val::from_f32(3.0), Val::from_f32(1.0)]);
+        let v =
+            eval_alu(&Opcode::FFma, &[Val::from_f32(2.0), Val::from_f32(3.0), Val::from_f32(1.0)]);
         assert_eq!(v.as_f32(), 7.0);
         assert_eq!(eval_alu(&Opcode::FRcp, &[Val::from_f32(4.0)]).as_f32(), 0.25);
     }
@@ -176,14 +175,8 @@ mod tests {
 
     #[test]
     fn setp() {
-        assert!(eval_setp(
-            &Opcode::ISetp(Cmp::Lt),
-            &[Val::from_i32(1), Val::from_i32(2)]
-        ));
-        assert!(!eval_setp(
-            &Opcode::FSetp(Cmp::Gt),
-            &[Val::from_f32(1.0), Val::from_f32(2.0)]
-        ));
+        assert!(eval_setp(&Opcode::ISetp(Cmp::Lt), &[Val::from_i32(1), Val::from_i32(2)]));
+        assert!(!eval_setp(&Opcode::FSetp(Cmp::Gt), &[Val::from_f32(1.0), Val::from_f32(2.0)]));
     }
 
     #[test]

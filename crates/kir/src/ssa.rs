@@ -186,11 +186,8 @@ pub fn to_ssa(f: &Function) -> Result<SsaFunction, SsaError> {
     }
     // Track pushes per block to undo them.
     let mut pushes_per_block: Vec<Vec<VReg>> = vec![Vec::new(); nb]; // original vars pushed
-    let mut new_rets: Option<Vec<VReg>> = if f.kind == crate::function::FuncKind::Device {
-        None
-    } else {
-        Some(Vec::new())
-    };
+    let mut new_rets: Option<Vec<VReg>> =
+        if f.kind == crate::function::FuncKind::Device { None } else { Some(Vec::new()) };
 
     let mut stack = vec![Step::Visit(BlockId(0))];
     while let Some(step) = stack.pop() {
@@ -210,9 +207,8 @@ pub fn to_ssa(f: &Function) -> Result<SsaFunction, SsaError> {
                     // Predicated destination: record the reaching value so
                     // coalescing can pin old and new to one slot.
                     let pred_dst = if inst.pred.is_some() { inst.dst } else { None };
-                    let reaching_for_pred = pred_dst.map(|d| {
-                        stacks[d.0 as usize].last().copied().ok_or(d)
-                    });
+                    let reaching_for_pred =
+                        pred_dst.map(|d| stacks[d.0 as usize].last().copied().ok_or(d));
                     inst.rewrite_regs(|r, is_def| {
                         if is_def {
                             r // handled after uses
@@ -239,13 +235,15 @@ pub fn to_ssa(f: &Function) -> Result<SsaFunction, SsaError> {
                         pushes_per_block[bi].push(d);
                         fresh.insert(d, nd);
                     }
-                    inst.rewrite_regs(|r, is_def| {
-                        if is_def {
-                            *fresh.get(&r).expect("fresh def")
-                        } else {
-                            r
-                        }
-                    });
+                    inst.rewrite_regs(
+                        |r, is_def| {
+                            if is_def {
+                                *fresh.get(&r).expect("fresh def")
+                            } else {
+                                r
+                            }
+                        },
+                    );
                     if let Some(reaching) = reaching_for_pred {
                         match reaching {
                             Ok(prev) => {
@@ -299,12 +297,7 @@ pub fn to_ssa(f: &Function) -> Result<SsaFunction, SsaError> {
     }
 
     out.rets = new_rets.unwrap_or_default();
-    Ok(SsaFunction {
-        func: out,
-        phis,
-        origin,
-        pred_pairs,
-    })
+    Ok(SsaFunction { func: out, phis, origin, pred_pairs })
 }
 
 /// Map from SSA values to webs (the paper's variable sets `SS_i`).
@@ -385,16 +378,8 @@ pub fn to_web_function(ssa: &SsaFunction, map: &WebMap) -> Function {
             inst.rewrite_regs(|r, _| VReg(map.web_of[r.0 as usize]));
         }
     }
-    f.params = f
-        .params
-        .iter()
-        .map(|r| VReg(map.web_of[r.0 as usize]))
-        .collect();
-    f.rets = f
-        .rets
-        .iter()
-        .map(|r| VReg(map.web_of[r.0 as usize]))
-        .collect();
+    f.params = f.params.iter().map(|r| VReg(map.web_of[r.0 as usize])).collect();
+    f.rets = f.rets.iter().map(|r| VReg(map.web_of[r.0 as usize])).collect();
     f
 }
 
@@ -429,22 +414,14 @@ mod tests {
         let t = f.new_block();
         let e = f.new_block();
         let j = f.new_block();
-        f.block_mut(BlockId(0)).term = Terminator::Branch {
-            pred: PredReg(0),
-            neg: false,
-            then_bb: t,
-            else_bb: e,
-        };
+        f.block_mut(BlockId(0)).term =
+            Terminator::Branch { pred: PredReg(0), neg: false, then_bb: t, else_bb: e };
         f.block_mut(t).insts = vec![Inst::new(Opcode::Mov, Some(v), vec![Operand::Imm(1)])];
         f.block_mut(t).term = Terminator::Jump(j);
         f.block_mut(e).insts = vec![Inst::new(Opcode::Mov, Some(v), vec![Operand::Imm(2)])];
         f.block_mut(e).term = Terminator::Jump(j);
         f.block_mut(j).insts = vec![Inst::new(
-            Opcode::St {
-                space: MemSpace::Global,
-                width: Width::W32,
-                offset: 0,
-            },
+            Opcode::St { space: MemSpace::Global, width: Width::W32, offset: 0 },
             None,
             vec![Operand::Imm(0), v.into()],
         )];
@@ -498,11 +475,7 @@ mod tests {
         let v = f.new_vreg(Width::W32);
         let st = |v: VReg, off: i32| {
             Inst::new(
-                Opcode::St {
-                    space: MemSpace::Global,
-                    width: Width::W32,
-                    offset: off,
-                },
+                Opcode::St { space: MemSpace::Global, width: Width::W32, offset: off },
                 None,
                 vec![Operand::Imm(0), v.into()],
             )
@@ -524,18 +497,11 @@ mod tests {
         let mut f = Function::new("k", FuncKind::Kernel);
         let v = f.new_vreg(Width::W32);
         f.block_mut(BlockId(0)).insts = vec![Inst::new(
-            Opcode::St {
-                space: MemSpace::Global,
-                width: Width::W32,
-                offset: 0,
-            },
+            Opcode::St { space: MemSpace::Global, width: Width::W32, offset: 0 },
             None,
             vec![Operand::Imm(0), v.into()],
         )];
-        assert!(matches!(
-            to_ssa(&f),
-            Err(SsaError::UseBeforeDef { .. })
-        ));
+        assert!(matches!(to_ssa(&f), Err(SsaError::UseBeforeDef { .. })));
     }
 
     #[test]
@@ -548,28 +514,15 @@ mod tests {
         f.block_mut(BlockId(0)).insts =
             vec![Inst::new(Opcode::Mov, Some(i), vec![Operand::Imm(0)])];
         f.block_mut(BlockId(0)).term = Terminator::Jump(header);
-        let mut cmp = Inst::new(
-            Opcode::ISetp(crate::inst::Cmp::Lt),
-            None,
-            vec![i.into(), Operand::Imm(10)],
-        );
+        let mut cmp =
+            Inst::new(Opcode::ISetp(crate::inst::Cmp::Lt), None, vec![i.into(), Operand::Imm(10)]);
         cmp.pdst = Some(PredReg(0));
-        f.block_mut(header).insts = vec![
-            Inst::new(Opcode::IAdd, Some(i), vec![i.into(), Operand::Imm(1)]),
-            cmp,
-        ];
-        f.block_mut(header).term = Terminator::Branch {
-            pred: PredReg(0),
-            neg: false,
-            then_bb: header,
-            else_bb: exit,
-        };
+        f.block_mut(header).insts =
+            vec![Inst::new(Opcode::IAdd, Some(i), vec![i.into(), Operand::Imm(1)]), cmp];
+        f.block_mut(header).term =
+            Terminator::Branch { pred: PredReg(0), neg: false, then_bb: header, else_bb: exit };
         f.block_mut(exit).insts = vec![Inst::new(
-            Opcode::St {
-                space: MemSpace::Global,
-                width: Width::W32,
-                offset: 0,
-            },
+            Opcode::St { space: MemSpace::Global, width: Width::W32, offset: 0 },
             None,
             vec![Operand::Imm(0), i.into()],
         )];

@@ -170,7 +170,8 @@ fn check_function(m: &Module, fid: FuncId) -> Result<(), VerifyError> {
                 | FAdd | FSub | FMul | FFma | FMin | FMax | FNeg | FAbs | FRcp | FSqrt | I2F
                 | F2I | Sel => {
                     for s in &inst.srcs {
-                        if opw(s) == Some(Width::W64) || opw(s) == Some(Width::W96)
+                        if opw(s) == Some(Width::W64)
+                            || opw(s) == Some(Width::W96)
                             || opw(s) == Some(Width::W128)
                         {
                             return Err(mismatch("32-bit op with wide source".into()));
@@ -340,8 +341,7 @@ pub fn verify(m: &Module) -> Result<(), VerifyError> {
         return Err(VerifyError::BadEntry);
     }
     let cg = CallGraph::new(m);
-    cg.bottom_up(m.entry)
-        .map_err(|e| VerifyError::Recursion { func: e.func })?;
+    cg.bottom_up(m.entry).map_err(|e| VerifyError::Recursion { func: e.func })?;
     for (fid, _) in m.iter_funcs() {
         check_function(m, fid)?;
     }
@@ -363,11 +363,8 @@ mod tests {
     #[test]
     fn unknown_register_rejected() {
         let mut m = Module::new(Function::new("k", FuncKind::Kernel));
-        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts = vec![Inst::new(
-            Opcode::Mov,
-            Some(VReg(7)),
-            vec![Operand::Imm(0)],
-        )];
+        m.func_mut(FuncId(0)).block_mut(BlockId(0)).insts =
+            vec![Inst::new(Opcode::Mov, Some(VReg(7)), vec![Operand::Imm(0)])];
         assert!(matches!(verify(&m), Err(VerifyError::BadVReg { .. })));
     }
 
@@ -376,11 +373,8 @@ mod tests {
         let mut m = Module::new(Function::new("k", FuncKind::Kernel));
         let f = m.func_mut(FuncId(0));
         let wide = f.new_vreg(Width::W64);
-        f.block_mut(BlockId(0)).insts = vec![Inst::new(
-            Opcode::IAdd,
-            Some(wide),
-            vec![Operand::Imm(1), Operand::Imm(2)],
-        )];
+        f.block_mut(BlockId(0)).insts =
+            vec![Inst::new(Opcode::IAdd, Some(wide), vec![Operand::Imm(1), Operand::Imm(2)])];
         assert!(matches!(verify(&m), Err(VerifyError::WidthMismatch { .. })));
     }
 
@@ -390,11 +384,8 @@ mod tests {
         let f = m.func_mut(FuncId(0));
         let v = f.new_vreg(Width::W32);
         let d = f.new_vreg(Width::W32);
-        f.block_mut(BlockId(0)).insts = vec![Inst::new(
-            Opcode::IAdd,
-            Some(d),
-            vec![v.into(), Operand::Imm(2)],
-        )];
+        f.block_mut(BlockId(0)).insts =
+            vec![Inst::new(Opcode::IAdd, Some(d), vec![v.into(), Operand::Imm(2)])];
         assert!(matches!(verify(&m), Err(VerifyError::UseBeforeDef { .. })));
     }
 

@@ -137,6 +137,27 @@ pub struct Event {
 
 static ON: AtomicBool = AtomicBool::new(false);
 
+std::thread_local! {
+    /// Per-thread session lane stamped into wall-clock events' `tid`.
+    static SCOPE: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Set this thread's telemetry *scope lane*: every wall-clock event
+/// ([`span`], [`instant`], [`counter`]) recorded by this thread carries
+/// it as `tid`, so concurrent tuning sessions stay separable in one
+/// shared trace (`OrionService` assigns one lane per kernel session).
+/// Lane `0` is the unscoped default and keeps the pre-scoping output
+/// byte-identical. Simulator [`complete`] events pass their own `tid`
+/// (the SM index) and are unaffected.
+pub fn set_scope(lane: u32) {
+    SCOPE.with(|s| s.set(lane));
+}
+
+/// This thread's current telemetry scope lane (0 = unscoped).
+pub fn scope() -> u32 {
+    SCOPE.with(std::cell::Cell::get)
+}
+
 // The buffer exists in disabled builds too (so `take_events` always has
 // one definition); it just never fills.
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
@@ -193,7 +214,7 @@ pub fn counter(cat: &'static str, name: &str, value: u64) {
             ph: Phase::Counter,
             ts: now_us(),
             dur: 0,
-            tid: 0,
+            tid: scope(),
             args: vec![("value", ArgValue::U64(value))],
         });
     }
@@ -212,7 +233,7 @@ pub fn instant(cat: &'static str, name: &str, args: Vec<(&'static str, ArgValue)
             ph: Phase::Instant,
             ts: now_us(),
             dur: 0,
-            tid: 0,
+            tid: scope(),
             args,
         });
     }
@@ -253,7 +274,7 @@ pub fn span(cat: &'static str, name: &str) -> SpanGuard {
                 ph: Phase::Begin,
                 ts: now_us(),
                 dur: 0,
-                tid: 0,
+                tid: scope(),
                 args: Vec::new(),
             });
             return SpanGuard { open: Some((cat, name.to_string())) };
@@ -284,7 +305,7 @@ impl Drop for SpanGuard {
                 ph: Phase::End,
                 ts: now_us(),
                 dur: 0,
-                tid: 0,
+                tid: scope(),
                 args: Vec::new(),
             });
         }

@@ -55,14 +55,10 @@ pub fn build() -> Workload {
     let slot = b.iadd(abase, i0);
     let neighbor = ld_elem(&mut b, 2, slot, 0);
     let ncost = ld_elem(&mut b, 3, neighbor, 0); // irregular gather
-    // Edge-weight relaxation arithmetic per neighbor (keeps the kernel
-    // latency-bound rather than bandwidth-bound).
+                                                 // Edge-weight relaxation arithmetic per neighbor (keeps the kernel
+                                                 // latency-bound rather than bandwidth-bound).
     let wgt = crate::common::fma_chain(&mut b, ncost, 6);
-    b.push(Inst::new(
-        Opcode::FMin,
-        Some(best),
-        vec![best.into(), wgt.into()],
-    ));
+    b.push(Inst::new(Opcode::FMin, Some(best), vec![best.into(), wgt.into()]));
     b.push(Inst::new(Opcode::IAdd, Some(i0), vec![i0.into(), Operand::Imm(1)]));
     b.jump(header);
     b.switch_to(exit_bb);
@@ -77,8 +73,7 @@ pub fn build() -> Workload {
     // Graph data.
     let frontier = crate::common::index_buffer(0xbf50, FRONTIER_CAP as usize, NODES);
     let degrees = crate::common::index_buffer(0xbf51, NODES as usize, MAX_DEGREE + 1);
-    let adjacency =
-        crate::common::index_buffer(0xbf52, (NODES * MAX_DEGREE) as usize, NODES);
+    let adjacency = crate::common::index_buffer(0xbf52, (NODES * MAX_DEGREE) as usize, NODES);
     let costs = crate::common::f32_buffer(0xbf53, NODES as usize);
     let f_base = 0u32;
     let d_base = frontier.len() as u32;
@@ -95,10 +90,8 @@ pub fn build() -> Workload {
     // per invocation.
     let sizes = [24576u32, 73728, 147456, 172032, 147456, 73728, 49152, 24576];
     let grid = FRONTIER_CAP.div_ceil(256);
-    let iter_params: Vec<Vec<u32>> = sizes
-        .iter()
-        .map(|&s| vec![f_base, d_base, a_base, c_base, o_base, s])
-        .collect();
+    let iter_params: Vec<Vec<u32>> =
+        sizes.iter().map(|&s| vec![f_base, d_base, a_base, c_base, o_base, s]).collect();
 
     Workload {
         name: "bfs",

@@ -104,10 +104,7 @@ mod tests {
         orion_kir::verify::verify(&w.module).unwrap();
         assert_eq!(w.module.static_call_count(), 36);
         let ml = kernel_max_live(&w.module).unwrap();
-        assert!(
-            (ml as i64 - 63).unsigned_abs() <= 5,
-            "max-live {ml} vs Table 2 63"
-        );
+        assert!((ml as i64 - 63).unsigned_abs() <= 5, "max-live {ml} vs Table 2 63");
         assert_eq!(w.module.user_smem_bytes, 0);
     }
 }

@@ -97,9 +97,7 @@ pub fn f32_buffer(seed: u64, n: usize) -> Vec<u8> {
 /// Deterministic u32 index buffer with values in `[0, range)`.
 pub fn index_buffer(seed: u64, n: usize, range: u32) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .flat_map(|_| rng.gen_range(0..range).to_le_bytes())
-        .collect()
+    (0..n).flat_map(|_| rng.gen_range(0..range).to_le_bytes()).collect()
 }
 
 /// Zero-filled output region.
@@ -124,10 +122,7 @@ mod tests {
             st_elem(&mut b, 1, g, acc);
             let m = Module::new(b.finish());
             let ml = kernel_max_live(&m).unwrap();
-            assert!(
-                (ml as i64 - k as i64).unsigned_abs() <= 4,
-                "k={k} maxlive={ml}"
-            );
+            assert!((ml as i64 - k as i64).unsigned_abs() <= 4, "k={k} maxlive={ml}");
         }
     }
 

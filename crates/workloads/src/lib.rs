@@ -74,10 +74,7 @@ pub struct Workload {
 impl Workload {
     /// The launch shape.
     pub fn launch(&self) -> Launch {
-        Launch {
-            grid: self.grid,
-            block: self.block,
-        }
+        Launch { grid: self.grid, block: self.block }
     }
 
     /// Parameters for iteration `i`.
@@ -161,8 +158,7 @@ mod tests {
     #[test]
     fn all_workloads_verify() {
         for w in all_workloads() {
-            orion_kir::verify::verify(&w.module)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            orion_kir::verify::verify(&w.module).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(w.grid > 0 && w.block > 0);
             assert!(!w.init_global.is_empty());
         }

@@ -53,11 +53,7 @@ pub fn build() -> Workload {
                 b.ld(MemSpace::Shared, Width::W32, idx, 0)
             };
             let acc = accs[(e as usize) % accs.len()];
-            b.push(Inst::new(
-                Opcode::FFma,
-                Some(acc),
-                vec![a.into(), bs.into(), acc.into()],
-            ));
+            b.push(Inst::new(Opcode::FFma, Some(acc), vec![a.into(), bs.into(), acc.into()]));
         }
         b.bar();
     }

@@ -29,43 +29,36 @@ pub fn build() -> Workload {
     let state = standing_values(&mut b, px, 42);
     let sink = b.mov_f32(f32::MAX);
     let fx = b.mov_f32(0.0);
-    build_counted_loop(
-        &mut b,
-        Operand::Imm(0),
-        Operand::Imm(CHUNK),
-        1,
-        PredReg(0),
-        |b, j| {
-            // Cell-list traversal: the next particle index comes from
-            // the previous position (spatial hashing), a dependent
-            // scattered gather.
-            let hashed = {
-                let pi = b.f2i(fx);
-                let salted = b.imad(j, Operand::Imm(2654435761), pi);
-                b.and(salted, Operand::Imm(i64::from(PARTICLES - 1)))
-            };
-            let qx = ld_elem(b, 0, hashed, 0);
-            let qy = ld_elem(b, 1, hashed, 0);
-            let dx = b.fsub(px, qx);
-            let dy = b.fsub(py, qy);
-            let r2 = {
-                let t = b.fmul(dx, dx);
-                b.ffma(dy, dy, t)
-            };
-            let soft = b.fadd(r2, Operand::Imm(f32::to_bits(0.01) as i64));
-            // rsqrt(x)^3 inlined: no function call on either platform.
-            let s = b.fsqrt(soft);
-            let inv = b.frcp(s);
-            let inv2 = b.fmul(inv, inv);
-            let inv3 = b.fmul(inv2, inv);
-            let contrib = b.fmul(dx, inv3);
-            b.push(orion_kir::inst::Inst::new(
-                orion_kir::inst::Opcode::FAdd,
-                Some(fx),
-                vec![fx.into(), contrib.into()],
-            ));
-        },
-    );
+    build_counted_loop(&mut b, Operand::Imm(0), Operand::Imm(CHUNK), 1, PredReg(0), |b, j| {
+        // Cell-list traversal: the next particle index comes from
+        // the previous position (spatial hashing), a dependent
+        // scattered gather.
+        let hashed = {
+            let pi = b.f2i(fx);
+            let salted = b.imad(j, Operand::Imm(2654435761), pi);
+            b.and(salted, Operand::Imm(i64::from(PARTICLES - 1)))
+        };
+        let qx = ld_elem(b, 0, hashed, 0);
+        let qy = ld_elem(b, 1, hashed, 0);
+        let dx = b.fsub(px, qx);
+        let dy = b.fsub(py, qy);
+        let r2 = {
+            let t = b.fmul(dx, dx);
+            b.ffma(dy, dy, t)
+        };
+        let soft = b.fadd(r2, Operand::Imm(f32::to_bits(0.01) as i64));
+        // rsqrt(x)^3 inlined: no function call on either platform.
+        let s = b.fsqrt(soft);
+        let inv = b.frcp(s);
+        let inv2 = b.fmul(inv, inv);
+        let inv3 = b.fmul(inv2, inv);
+        let contrib = b.fmul(dx, inv3);
+        b.push(orion_kir::inst::Inst::new(
+            orion_kir::inst::Opcode::FAdd,
+            Some(fx),
+            vec![fx.into(), contrib.into()],
+        ));
+    });
     let ssum = combine(&mut b, &state);
     let out = {
         let t = b.ffma(ssum, Operand::Imm(f32::to_bits(1e-6) as i64), fx);

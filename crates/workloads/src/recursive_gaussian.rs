@@ -43,26 +43,19 @@ pub fn build() -> Workload {
     // Forward recursive pass down the column.
     let yp = b.mov_f32(0.0); // y[n-1]
     let ypp = b.mov_f32(0.0); // y[n-2]
-    build_counted_loop(
-        &mut b,
-        Operand::Imm(0),
-        Operand::Imm(HEIGHT),
-        1,
-        PredReg(0),
-        |b, row| {
-            let idx = b.imad(row, Operand::Imm(i64::from(WIDTH)), col);
-            let x = ld_elem(b, 0, idx, 0);
-            // y = c0*x + c1*yp - c2*ypp
-            let t0 = b.fmul(coeffs[0], x);
-            let t1 = b.ffma(coeffs[1], yp, t0);
-            let neg = b.fneg(ypp);
-            let y = b.ffma(coeffs[2], neg, t1);
-            st_elem(b, 1, idx, y);
-            // Shift the recursion state.
-            b.push(Inst::new(Opcode::Mov, Some(ypp), vec![yp.into()]));
-            b.push(Inst::new(Opcode::Mov, Some(yp), vec![y.into()]));
-        },
-    );
+    build_counted_loop(&mut b, Operand::Imm(0), Operand::Imm(HEIGHT), 1, PredReg(0), |b, row| {
+        let idx = b.imad(row, Operand::Imm(i64::from(WIDTH)), col);
+        let x = ld_elem(b, 0, idx, 0);
+        // y = c0*x + c1*yp - c2*ypp
+        let t0 = b.fmul(coeffs[0], x);
+        let t1 = b.ffma(coeffs[1], yp, t0);
+        let neg = b.fneg(ypp);
+        let y = b.ffma(coeffs[2], neg, t1);
+        st_elem(b, 1, idx, y);
+        // Shift the recursion state.
+        b.push(Inst::new(Opcode::Mov, Some(ypp), vec![yp.into()]));
+        b.push(Inst::new(Opcode::Mov, Some(yp), vec![y.into()]));
+    });
     let psum = combine(&mut b, &pool);
     let csum = combine(&mut b, &coeffs);
     let fin = {

@@ -25,9 +25,7 @@ pub fn build() -> Workload {
     guard(&mut b, g, 3);
     let pbase = b.imul(g, Operand::Imm(i64::from(DIMS)));
     // Load the point's coordinates once (stay live across the scan).
-    let coords: Vec<_> = (0..DIMS as i32)
-        .map(|d| ld_elem(&mut b, 0, pbase, d))
-        .collect();
+    let coords: Vec<_> = (0..DIMS as i32).map(|d| ld_elem(&mut b, 0, pbase, d)).collect();
     // Gain bookkeeping kept live across the scan.
     let gains = crate::common::standing_values(&mut b, coords[0], 4);
     let best = b.mov_f32(f32::MAX);
@@ -45,11 +43,7 @@ pub fn build() -> Workload {
                 let diff = b.fsub(x, cv);
                 dist = b.ffma(diff, diff, dist);
             }
-            b.push(Inst::new(
-                Opcode::FMin,
-                Some(best),
-                vec![best.into(), dist.into()],
-            ));
+            b.push(Inst::new(Opcode::FMin, Some(best), vec![best.into(), dist.into()]));
         },
     );
     let gsum = crate::common::combine(&mut b, &gains);

@@ -15,15 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = args.get(1).map(String::as_str).unwrap_or("cfd");
     let w = orion::workloads::by_name(name).ok_or("unknown workload")?;
     let dev = DeviceSpec::c2075();
-    println!(
-        "{}: {} static call sites",
-        w.name,
-        w.module.static_call_count()
-    );
+    println!("{}: {} static call sites", w.name, w.module.static_call_count());
 
     let budget = SlotBudget { reg_slots: 32, smem_slots: 16 };
     let configs = [
-        ("full (space + movement min)", AllocOptions { compress_stack: true, optimize_layout: true }),
+        (
+            "full (space + movement min)",
+            AllocOptions { compress_stack: true, optimize_layout: true },
+        ),
         ("no movement minimization", AllocOptions { compress_stack: true, optimize_layout: false }),
         ("no space minimization", AllocOptions { compress_stack: false, optimize_layout: false }),
     ];

@@ -16,12 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("c2075") => DeviceSpec::c2075(),
         _ => DeviceSpec::gtx680(),
     };
-    let w = orion::workloads::by_name(name)
-        .ok_or_else(|| format!("unknown workload {name}; try one of {:?}",
-            orion::workloads::all_workloads().iter().map(|w| w.name).collect::<Vec<_>>()))?;
+    let w = orion::workloads::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown workload {name}; try one of {:?}",
+            orion::workloads::all_workloads().iter().map(|w| w.name).collect::<Vec<_>>()
+        )
+    })?;
 
     println!("{} ({}) on {}", w.name, w.domain, dev.name);
-    println!("{:>9} {:>6} {:>5} {:>6} {:>11} {:>8}", "occupancy", "warps", "regs", "smem", "cycles", "norm");
+    println!(
+        "{:>9} {:>6} {:>5} {:>6} {:>11} {:>8}",
+        "occupancy", "warps", "regs", "smem", "cycles", "norm"
+    );
 
     let orion = Orion::new(dev.clone(), w.block);
     let versions = orion.sweep(&w.module)?;

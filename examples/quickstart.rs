@@ -57,9 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let launch = Launch { grid: 64, block: 256 };
     let mut global = vec![0u8; (8 * n) as usize];
     let outcome = tune_loop(&compiled, 8, 0.02, |v| {
-        orion
-            .run_version(v, launch, &[0, 4 * n], &mut global)
-            .map(|r| r.cycles)
+        orion.run_version(v, launch, &[0, 4 * n], &mut global).map(|r| r.cycles)
     })?;
     let sel = &compiled.versions[outcome.selected];
     println!(
@@ -72,9 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut g1 = vec![0u8; (8 * n) as usize];
     let sel_cycles = orion.run_version(sel, launch, &[0, 4 * n], &mut g1)?.cycles;
     let mut g2 = vec![0u8; (8 * n) as usize];
-    let nvcc_cycles = orion
-        .run_version(&baseline, launch, &[0, 4 * n], &mut g2)?
-        .cycles;
+    let nvcc_cycles = orion.run_version(&baseline, launch, &[0, 4 * n], &mut g2)?.cycles;
     assert_eq!(g1, g2, "same results regardless of occupancy");
     println!(
         "orion {} cycles vs nvcc {} cycles -> speedup {:.2}x",

@@ -11,10 +11,7 @@ use orion::workloads::{all_workloads, by_name, downward_benchmarks, upward_bench
 
 /// A scaled-down launch: a prefix of the grid (buffers stay valid).
 fn small_launch(w: &orion::workloads::Workload) -> Launch {
-    Launch {
-        grid: w.grid.min(4),
-        block: w.block,
-    }
+    Launch { grid: w.grid.min(4), block: w.block }
 }
 
 #[test]
@@ -76,10 +73,7 @@ fn every_workload_runs_correctly_at_every_candidate() {
         let launch = small_launch(&w);
         let mut ref_global = w.init_global.clone();
         Interpreter::new(&w.module, &w.params)
-            .run(
-                LaunchConfig { grid: launch.grid, block: launch.block },
-                &mut ref_global,
-            )
+            .run(LaunchConfig { grid: launch.grid, block: launch.block }, &mut ref_global)
             .unwrap_or_else(|e| panic!("{}: reference run {e}", w.name));
 
         let mut orion = Orion::new(dev.clone(), w.block);
@@ -113,10 +107,7 @@ fn baseline_matches_semantics_too() {
         let launch = small_launch(&w);
         let mut ref_global = w.init_global.clone();
         Interpreter::new(&w.module, &w.params)
-            .run(
-                LaunchConfig { grid: launch.grid, block: launch.block },
-                &mut ref_global,
-            )
+            .run(LaunchConfig { grid: launch.grid, block: launch.block }, &mut ref_global)
             .unwrap();
         let orion = Orion::new(dev.clone(), w.block);
         let base = orion.baseline(&w.module).unwrap();

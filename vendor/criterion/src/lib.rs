@@ -70,11 +70,7 @@ impl Criterion {
         BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10 }
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         run_benchmark(name, 10, f);
         self
     }
@@ -92,11 +88,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        id: impl Display,
-        f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
         run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
         self
     }
@@ -107,9 +99,7 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
         self
     }
 

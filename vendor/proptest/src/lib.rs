@@ -211,10 +211,7 @@ mod tests {
     use crate::prelude::*;
 
     fn small() -> impl Strategy<Value = u32> {
-        prop_oneof![
-            (0..10u32, 0..10u32).prop_map(|(a, b)| a + b),
-            (0..5u32).prop_map(|x| x * 2),
-        ]
+        prop_oneof![(0..10u32, 0..10u32).prop_map(|(a, b)| a + b), (0..5u32).prop_map(|x| x * 2),]
     }
 
     proptest! {

@@ -199,9 +199,7 @@ impl Serialize for f32 {
 
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_f64()
-            .map(|x| x as f32)
-            .ok_or_else(|| DeError::custom("expected number for f32"))
+        v.as_f64().map(|x| x as f32).ok_or_else(|| DeError::custom("expected number for f32"))
     }
 }
 
@@ -237,9 +235,7 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_str()
-            .map(str::to_string)
-            .ok_or_else(|| DeError::custom("expected string"))
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::custom("expected string"))
     }
 }
 
@@ -424,7 +420,8 @@ mod tests {
         assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
         assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
         assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
-        let t: (u32, String) = Deserialize::from_value(&(3u32, "x".to_string()).to_value()).unwrap();
+        let t: (u32, String) =
+            Deserialize::from_value(&(3u32, "x".to_string()).to_value()).unwrap();
         assert_eq!(t, (3, "x".to_string()));
     }
 

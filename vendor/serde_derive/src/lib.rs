@@ -364,9 +364,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 }
 
 fn tuple_from_seq(ctor: &str, n: usize, src: &str) -> String {
-    let items: Vec<String> = (0..n)
-        .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
-        .collect();
+    let items: Vec<String> =
+        (0..n).map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?")).collect();
     format!(
         "{{ let __s = {src}.as_seq().ok_or_else(|| ::serde::DeError::custom(\
              \"expected sequence for {ctor}\"))?;\

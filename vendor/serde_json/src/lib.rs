@@ -176,10 +176,7 @@ impl<'a> Parser<'a> {
 
     fn peek(&mut self) -> Result<u8, Error> {
         self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| Error::new("unexpected end of input"))
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::new("unexpected end of input"))
     }
 
     fn expect(&mut self, b: u8) -> Result<(), Error> {
@@ -187,10 +184,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -224,7 +218,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Seq(items));
                         }
-                        _ => return Err(Error::new(format!("expected , or ] at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error::new(format!("expected , or ] at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -246,7 +242,12 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Map(fields));
                         }
-                        _ => return Err(Error::new(format!("expected , or }} at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected , or }} at byte {}",
+                                self.pos
+                            )))
+                        }
                     }
                 }
             }
