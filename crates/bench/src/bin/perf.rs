@@ -142,7 +142,8 @@ fn main() {
         let _again = orion.compile(&w.module).expect("compile");
         let warm_ms = started.elapsed().as_secs_f64() * 1e3;
         let warm = cache::stats();
-        let (warm_hits, warm_misses) = (warm.hits - cold.hits, warm.misses - cold.misses);
+        let delta = warm.delta_since(&cold);
+        let (warm_hits, warm_misses) = (delta.hits, delta.misses);
         if warm_misses > 0 {
             eprintln!(
                 "FAIL {name}: warm candidate-set rebuild re-allocated {warm_misses} \
@@ -239,9 +240,18 @@ fn main() {
         doc.warm_cache_recompiles,
     ));
 
-    let data = serde_json::to_value(&doc).expect("perf doc serializes");
+    let data = match serde_json::to_value(&doc) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: perf doc does not serialize: {e}");
+            std::process::exit(1);
+        }
+    };
     let fig = Figure::new("perf", text, data);
-    orion_bench::emit(&fig).expect("write BENCH_perf.json");
+    if let Err(e) = orion_bench::emit(&fig) {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    }
 
     if failed {
         std::process::exit(2);

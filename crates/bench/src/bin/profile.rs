@@ -1,42 +1,72 @@
 //! Profiler CLI: run a workload's occupancy sweep with telemetry
 //! enabled, print stall-attributed counters per level, and export the
 //! recorded events as a Chrome `trace_event` timeline plus a flat JSON
-//! metrics report.
+//! metrics report — and, since the observability PR, the full
+//! service-plane surface: registry snapshots (Prometheus text or
+//! JSON), the structured run journal, and a per-lane critical-path
+//! timeline.
 //!
 //! ```sh
 //! cargo run --release -p orion-bench --bin profile -- \
-//!     [workload] [gtx680|c2075] [--warps N] \
-//!     [--trace trace.json] [--metrics metrics.json]
+//!     [workload] [gtx680|c2075] [--warps N] [--tune N] \
+//!     [--trace trace.json] [--metrics metrics.json] \
+//!     [--out snapshot.json] [--prom metrics.prom] [--journal] [--timeline]
 //! ```
 //!
 //! The trace loads in `chrome://tracing` / Perfetto: one lane per SM on
 //! a cycle axis, one slice per CTA. The metrics report nests every
 //! version under `occ<warps>/` and checks the stall-accounting
 //! invariant: the six stall buckets sum to `cycles × num_sms` exactly.
+//!
+//! `--tune N` additionally drives an `OrionService` tuning run (N
+//! application iterations) over the workload, which populates the
+//! latency histograms, gauges, and journal that `--out` / `--prom` /
+//! `--journal` export. The CLI exits non-zero when the capture is
+//! empty (telemetry compiled out or nothing recorded) instead of
+//! silently writing hollow artifacts.
 
+use orion_bench::error::write_file;
 use orion_bench::experiment::run_version_once;
+use orion_core::backend::SimBackend;
+use orion_core::compiler::TuningConfig;
 use orion_core::orion::Orion;
+use orion_core::service::{KernelJob, OrionService, ServiceConfig};
 use orion_gpusim::DeviceSpec;
 use orion_telemetry::metrics::{aggregate_counters, MetricsReport};
+use orion_telemetry::{export, journal, registry, timeline};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut workload = "imageDenoising".to_string();
     let mut device = "gtx680".to_string();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
     let mut warps_filter: Option<u32> = None;
+    let mut tune_iters: Option<u32> = None;
+    let mut dump_journal = false;
+    let mut dump_timeline = false;
     let mut positionals = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--trace" => trace_path = Some(args.next().ok_or("--trace needs a path")?),
             "--metrics" => metrics_path = Some(args.next().ok_or("--metrics needs a path")?),
+            "--out" => out_path = Some(args.next().ok_or("--out needs a path")?),
+            "--prom" => prom_path = Some(args.next().ok_or("--prom needs a path")?),
+            "--journal" => dump_journal = true,
+            "--timeline" => dump_timeline = true,
             "--warps" => {
                 warps_filter = Some(args.next().ok_or("--warps needs a number")?.parse()?);
             }
+            "--tune" => {
+                tune_iters = Some(args.next().ok_or("--tune needs an iteration count")?.parse()?);
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: profile [workload] [gtx680|c2075] [--warps N] [--trace FILE] [--metrics FILE]"
+                    "usage: profile [workload] [gtx680|c2075] [--warps N] [--tune N] \
+                     [--trace FILE] [--metrics FILE] [--out FILE] [--prom FILE] \
+                     [--journal] [--timeline]"
                 );
                 return Ok(());
             }
@@ -61,6 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     orion_telemetry::set_enabled(true);
     orion_telemetry::clear();
+    journal::clear();
     if !orion_telemetry::is_enabled() {
         eprintln!(
             "note: telemetry feature disabled (--no-default-features); trace/metrics will be empty"
@@ -130,15 +161,93 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.merge_prefixed(&format!("occ{}", v.achieved_warps), &vr);
     }
 
+    // Optional tuning run: drives the service plane so the registry
+    // histograms/gauges and the journal have live data to export.
+    if let Some(iterations) = tune_iters {
+        let svc = OrionService::new(
+            SimBackend::new(dev.clone()),
+            ServiceConfig { workers: 1, policy: None, ..ServiceConfig::default() },
+        );
+        let sr = svc.run(vec![KernelJob {
+            name: w.name.to_string(),
+            module: w.module.clone(),
+            launch: w.launch(),
+            params: w.params.clone(),
+            global: w.init_global.clone(),
+            iterations,
+            tuning: TuningConfig::new(w.block),
+        }]);
+        let l = &sr.metrics.launch_cycles;
+        println!(
+            "tune: {iterations} iterations; launch cycles p50 {} / p99 {} (n={}); \
+             cache {} hits / {} misses; journal {} records ({} dropped)",
+            l.p50(),
+            l.p99(),
+            l.count(),
+            sr.cache.hits,
+            sr.cache.misses,
+            sr.journal.records.len(),
+            sr.journal.dropped,
+        );
+        if dump_journal {
+            for rec in &sr.journal.records {
+                println!(
+                    "journal[{}] lane {} +{}us {}",
+                    rec.seq,
+                    rec.lane,
+                    rec.ts_us,
+                    rec.event.tag()
+                );
+            }
+        }
+    } else if dump_journal {
+        let drained = journal::drain();
+        for rec in &drained.records {
+            println!("journal[{}] lane {} +{}us {}", rec.seq, rec.lane, rec.ts_us, rec.event.tag());
+        }
+    }
+
     let events = orion_telemetry::take_events();
+    if events.is_empty() {
+        eprintln!(
+            "profile: empty capture — no telemetry events were recorded \
+             (built with --no-default-features?); refusing to write hollow artifacts"
+        );
+        std::process::exit(2);
+    }
+
+    if dump_timeline {
+        let lanes = timeline::lane_timelines(&events);
+        print!("{}", timeline::render_text(&lanes));
+    }
+
     report.merge_prefixed("counters", &aggregate_counters(&events));
     if let Some(path) = &trace_path {
-        std::fs::write(path, orion_telemetry::chrome::trace_json(&events))?;
+        write_file("chrome trace", path, &orion_telemetry::chrome::trace_json(&events))?;
         eprintln!("wrote {path} ({} events)", events.len());
     }
     if let Some(path) = &metrics_path {
-        std::fs::write(path, report.to_json())?;
+        write_file("metrics report", path, &report.to_json())?;
         eprintln!("wrote {path} ({} metrics)", report.len());
+    }
+    let snap = registry::global().snapshot();
+    if let Some(path) = &prom_path {
+        write_file("prometheus snapshot", path, &export::prometheus_text(&snap))?;
+        eprintln!("wrote {path} ({} metrics)", snap.samples.len());
+    }
+    if let Some(path) = &out_path {
+        // One combined observability document: the flat metrics report,
+        // the registry snapshot, and the lane timelines. The parts are
+        // already JSON strings, so compose them textually.
+        let lanes = timeline::lane_timelines(&events);
+        let doc = format!(
+            "{{\"metrics\":{},\"registry\":{},\"lanes\":{}}}\n",
+            report.to_json(),
+            export::snapshot_json(&snap),
+            lanes.len(),
+        );
+        write_file("observability snapshot", path, &doc)?;
+        eprintln!("wrote {path}");
     }
     Ok(())
 }

@@ -1,0 +1,113 @@
+//! `orion-bench --bin regress` — the perf-regression gate.
+//!
+//! ```sh
+//! # Record (or refresh) the committed baseline:
+//! cargo run --release -p orion-bench --bin regress -- --record --quick
+//! # Gate a working tree against it (CI obs-smoke):
+//! cargo run --release -p orion-bench --bin regress -- --quick
+//! ```
+//!
+//! Exits 2 when the fresh capture regresses the committed
+//! `BENCH_baseline.json` by more than the threshold (default 10%) on
+//! the geomean of either simulated cycles or simulation throughput.
+//! `--inject <frac>` inflates the captured cycle counts by `frac`
+//! before diffing — the CI job uses `--inject 0.2` to prove the gate
+//! actually fires. `--baseline <path>` points at an alternative
+//! baseline file.
+
+use orion_bench::regress::{self, BaselineDoc};
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("regress: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut record = false;
+    let mut quick = false;
+    let mut baseline_path = regress::DEFAULT_BASELINE.to_string();
+    let mut threshold = regress::DEFAULT_THRESHOLD;
+    let mut inject: f64 = 0.0;
+    let mut cycles_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--record" => record = true,
+            "--quick" => quick = true,
+            "--cycles-only" => cycles_only = true,
+            "--baseline" => {
+                baseline_path = args.next().unwrap_or_else(|| fail("--baseline needs a path"));
+            }
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("--threshold needs a fraction (e.g. 0.10)"));
+            }
+            "--inject" => {
+                inject = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("--inject needs a fraction (e.g. 0.2)"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: regress [--record] [--quick] [--cycles-only] \
+                     [--baseline FILE] [--threshold FRAC] [--inject FRAC]"
+                );
+                return;
+            }
+            other => fail(format!("unknown argument {other}")),
+        }
+    }
+
+    let mut current = match regress::capture(quick) {
+        Ok(doc) => doc,
+        Err(e) => fail(format!("capture failed: {e}")),
+    };
+
+    if record {
+        let json = current.to_json().unwrap_or_else(|e| fail(e));
+        if let Err(e) = orion_bench::error::write_file("baseline", &baseline_path, &json) {
+            fail(e);
+        }
+        eprintln!("recorded {baseline_path} ({} workloads)", current.workloads.len());
+        return;
+    }
+
+    if inject > 0.0 {
+        // Simulate a uniform slowdown to prove the gate fires (CI).
+        for w in &mut current.workloads {
+            w.cycles = (w.cycles as f64 * (1.0 + inject)) as u64;
+            w.sim_cycles_per_sec /= 1.0 + inject;
+        }
+        eprintln!("injected a uniform {:.0}% slowdown into the capture", inject * 100.0);
+    }
+
+    let raw = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => fail(format!(
+            "cannot read baseline {baseline_path}: {e} (run `regress --record` first)"
+        )),
+    };
+    let baseline = BaselineDoc::from_json(&raw).unwrap_or_else(|e| fail(e));
+    if baseline.schema != regress::BASELINE_SCHEMA {
+        fail(format!(
+            "baseline schema {} != supported {} — re-record",
+            baseline.schema,
+            regress::BASELINE_SCHEMA
+        ));
+    }
+    if baseline.device != current.device {
+        eprintln!(
+            "note: baseline device {} != current {} — cycle ratios may be meaningless",
+            baseline.device, current.device
+        );
+    }
+
+    let report = regress::diff_with(&baseline, &current, threshold, !cycles_only);
+    print!("{}", regress::render(&report));
+    if report.regressed {
+        std::process::exit(2);
+    }
+}

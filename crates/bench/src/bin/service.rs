@@ -9,7 +9,7 @@
 //! * **concurrent** — one worker per kernel (8 scoped threads over the
 //!   shared compile cache and telemetry lanes).
 //!
-//! Two gates, in order of importance:
+//! Three gates, in order of importance:
 //!
 //! 1. **Bit-identical outcomes** (hard, always enforced): every
 //!    kernel's [`SessionOutcome`](orion_core::session::SessionOutcome)
@@ -17,14 +17,22 @@
 //!    decision log, stats — must be equal across the two worker
 //!    counts, or the binary exits non-zero. Concurrency must never
 //!    change what the tuner decides.
-//! 2. **Throughput** (enforced only when the host has ≥ 4 cores): the
+//! 2. **Bit-identical latency histograms** (hard): each kernel's
+//!    cycle-domain metrics — the launch-latency and queue-wait
+//!    histograms in [`KernelMetrics`] — must also be equal across
+//!    worker counts. The distributions are simulated-cycle-valued, so
+//!    concurrency must not perturb them either.
+//! 3. **Throughput** (enforced only when the host has ≥ 4 cores): the
 //!    concurrent batch must finish ≥ 2× faster than the sequential
 //!    one. On fewer cores the speedup is physically unavailable, so it
 //!    is reported (with `host_cores`) but not gated — the CI
 //!    `service-smoke` job runs on multi-core runners where it bites.
 //!
-//! Writes `BENCH_service.json`. `--quick` shrinks iterations and reps
-//! for the CI smoke job.
+//! Writes `BENCH_service.json` with per-kernel latency quantiles and
+//! per-shard compile-cache hit rates (the concurrent run's deltas).
+//! `--quick` shrinks iterations and reps for the CI smoke job.
+//!
+//! [`KernelMetrics`]: orion_core::service::KernelMetrics
 
 use orion_bench::figures::Figure;
 use orion_core::backend::SimBackend;
@@ -49,6 +57,18 @@ struct KernelRow {
     total_cycles: u64,
     decisions: usize,
     state: String,
+    launch_p50: u64,
+    launch_p99: u64,
+    queue_wait_p50: u64,
+    queue_wait_p99: u64,
+}
+
+#[derive(Serialize)]
+struct ShardRow {
+    shard: usize,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
 }
 
 #[derive(Serialize)]
@@ -67,8 +87,18 @@ struct ServiceDoc {
     /// Whether the 2× throughput gate was enforced (host_cores ≥ 4).
     throughput_gated: bool,
     bit_identical_outcomes: bool,
+    /// Whether the per-kernel cycle-domain histograms matched across
+    /// worker counts (gate 2).
+    bit_identical_histograms: bool,
+    /// Compile-cache deltas of the *concurrent* run.
     cache_hits: u64,
     cache_misses: u64,
+    cache_hit_rate: f64,
+    cache_coalesced: u64,
+    per_shard: Vec<ShardRow>,
+    /// Batch-wide launch-latency p50/p99 (simulated cycles).
+    batch_launch_p50: u64,
+    batch_launch_p99: u64,
     kernels: Vec<KernelRow>,
 }
 
@@ -133,7 +163,7 @@ fn main() {
         conc_report = Some(report);
     }
     let conc_report = conc_report.expect("at least one concurrent rep");
-    let cache_stats = cache::stats();
+    let cache_stats = &conc_report.cache;
 
     // Gate 1: per-kernel outcomes must be bit-identical across worker
     // counts (and every kernel must tune successfully).
@@ -163,7 +193,21 @@ fn main() {
         failed = true;
     }
 
-    // Gate 2: ≥2× throughput at 8 kernels — only where the host can
+    // Gate 2: per-kernel cycle-domain histograms (launch latency and
+    // queue wait) must also be bit-identical — the distributions live
+    // in simulated cycles, so worker count must not move them.
+    let mut hist_identical = true;
+    for (a, b) in seq_report.kernels.iter().zip(&conc_report.kernels) {
+        if a.metrics.cycle_domain() != b.metrics.cycle_domain() {
+            eprintln!("FAIL {}: latency histograms differ between 1 and {BATCH} workers", a.name);
+            hist_identical = false;
+        }
+    }
+    if !hist_identical {
+        failed = true;
+    }
+
+    // Gate 3: ≥2× throughput at 8 kernels — only where the host can
     // physically provide it.
     let speedup = seq_ms / conc_ms;
     let throughput_gated = host_cores >= 4;
@@ -189,8 +233,19 @@ fn main() {
                 total_cycles: o.total_cycles,
                 decisions: o.decisions.len(),
                 state: format!("{:?}", o.state),
+                launch_p50: k.metrics.launch_cycles.p50(),
+                launch_p99: k.metrics.launch_cycles.p99(),
+                queue_wait_p50: k.metrics.queue_wait_cycles.p50(),
+                queue_wait_p99: k.metrics.queue_wait_cycles.p99(),
             })
         })
+        .collect();
+
+    let per_shard: Vec<ShardRow> = cache_stats
+        .per_shard
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ShardRow { shard: i, hits: s.hits, misses: s.misses, hit_rate: s.hit_rate() })
         .collect();
 
     let doc = ServiceDoc {
@@ -206,8 +261,14 @@ fn main() {
         speedup_concurrent_over_sequential: speedup,
         throughput_gated,
         bit_identical_outcomes: bit_identical,
+        bit_identical_histograms: hist_identical,
         cache_hits: cache_stats.hits,
         cache_misses: cache_stats.misses,
+        cache_hit_rate: cache_stats.hit_rate(),
+        cache_coalesced: cache_stats.coalesced,
+        per_shard,
+        batch_launch_p50: conc_report.metrics.launch_cycles.p50(),
+        batch_launch_p99: conc_report.metrics.launch_cycles.p99(),
         kernels,
     };
 
@@ -216,22 +277,51 @@ fn main() {
          ({host_cores} host cores, {reps} rep(s))\n\
          sequential {seq_ms:.1}ms, concurrent({BATCH} workers) {conc_ms:.1}ms \
          → {speedup:.2}x{}\n\
-         cache: {} hits / {} misses; outcomes bit-identical: {bit_identical}\n",
+         cache (concurrent run): {} hits / {} misses ({:.0}% hit rate, {} coalesced); \
+         outcomes bit-identical: {bit_identical}; histograms bit-identical: {hist_identical}\n",
         dev.name,
         if throughput_gated { "" } else { " (not gated: <4 cores)" },
         cache_stats.hits,
         cache_stats.misses,
+        cache_stats.hit_rate() * 100.0,
+        cache_stats.coalesced,
     );
+    for r in &doc.per_shard {
+        text.push_str(&format!(
+            "  shard {:>2}: {:>4} hits / {:>3} misses ({:.0}%)\n",
+            r.shard,
+            r.hits,
+            r.misses,
+            r.hit_rate * 100.0
+        ));
+    }
     for r in &doc.kernels {
         text.push_str(&format!(
-            "{:<14} lane {:>2}  selected v{} after {:>2} trials  {:>12} cycles  {}\n",
-            r.name, r.lane, r.selected, r.converged_after, r.total_cycles, r.state,
+            "{:<14} lane {:>2}  selected v{} after {:>2} trials  {:>12} cycles  \
+             launch p50/p99 {:>8}/{:>8}  {}\n",
+            r.name,
+            r.lane,
+            r.selected,
+            r.converged_after,
+            r.total_cycles,
+            r.launch_p50,
+            r.launch_p99,
+            r.state,
         ));
     }
 
-    let data = serde_json::to_value(&doc).expect("service doc serializes");
+    let data = match serde_json::to_value(&doc) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: service doc does not serialize: {e}");
+            std::process::exit(1);
+        }
+    };
     let fig = Figure::new("service", text, data);
-    orion_bench::emit(&fig).expect("write BENCH_service.json");
+    if let Err(e) = orion_bench::emit(&fig) {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    }
 
     if failed {
         std::process::exit(2);

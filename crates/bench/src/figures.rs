@@ -5,6 +5,7 @@
 //! structured side is written as `BENCH_<slug>.json` artifacts by
 //! [`crate::emit`] and by `all_experiments`.
 
+use crate::error::BenchError;
 use crate::experiment::{
     orion_select, orion_select_lite, run_with_alloc_options, sweep_curve, CurvePoint,
     ExperimentError,
@@ -34,9 +35,13 @@ impl Figure {
     }
 
     /// The JSON artifact document (slug + data).
-    pub fn artifact_json(&self) -> String {
+    ///
+    /// # Errors
+    /// [`BenchError::Json`] if the document fails to serialize (carries
+    /// the serializer error as its source).
+    pub fn artifact_json(&self) -> Result<String, BenchError> {
         let doc = obj(vec![("slug", Value::from(self.slug.as_str())), ("data", self.data.clone())]);
-        serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string())
+        serde_json::to_string_pretty(&doc).map_err(|e| BenchError::json("figure artifact", e))
     }
 }
 

@@ -12,11 +12,14 @@
 //! (`--trace`) and a flat metrics report (`--metrics`).
 
 pub mod chaos;
+pub mod error;
 pub mod experiment;
 pub mod figures;
+pub mod regress;
 pub mod report;
 
 pub use chaos::{chaos_figure, chaos_run, ChaosRow, ChaosSummary};
+pub use error::BenchError;
 pub use experiment::{orion_select, sweep_curve, CurvePoint, ExperimentError, SelectOutcome};
 pub use figures::Figure;
 
@@ -25,11 +28,12 @@ pub use figures::Figure;
 /// per-figure binary.
 ///
 /// # Errors
-/// Propagates the artifact write failure.
-pub fn emit(fig: &Figure) -> std::io::Result<()> {
+/// [`BenchError`] naming the artifact path (write failure) or the
+/// document (serialization failure), with the underlying error chained.
+pub fn emit(fig: &Figure) -> Result<(), BenchError> {
     print!("{fig}");
     let path = format!("BENCH_{}.json", fig.slug);
-    std::fs::write(&path, fig.artifact_json())?;
+    error::write_file("bench artifact", &path, &fig.artifact_json()?)?;
     eprintln!("wrote {path}");
     Ok(())
 }

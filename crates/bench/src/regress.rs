@@ -1,0 +1,336 @@
+//! The perf-regression gate behind `orion-bench --bin regress`.
+//!
+//! A baseline run (`regress --record`) captures, per tier-1 workload,
+//! the deterministic simulated cycle count of the Orion-original
+//! candidate plus the measured simulation throughput, and writes them
+//! to `BENCH_baseline.json` (committed at the repo root). A gate run
+//! (`regress`) re-captures the same numbers and compares:
+//!
+//! * **cycles** — deterministic, so *any* drift is a semantic change;
+//!   the gate fails when the geomean cycle ratio exceeds the threshold
+//!   (default 10%).
+//! * **throughput** — wall-clock simulated-cycles/second; noisy, so it
+//!   is likewise geomean-gated at the same threshold (a uniform >10%
+//!   slowdown across workloads is a real engine regression, single-row
+//!   jitter is not).
+//!
+//! `diff` is pure (no I/O, no clock), so the gate's decision logic is
+//! unit-testable, including the injected-regression path used by the
+//! `obs-smoke` CI job (`--inject 0.2` must exit non-zero).
+
+use crate::error::BenchError;
+use crate::experiment::ExperimentError;
+use orion_core::orion::Orion;
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::sim::{run_launch_opts, LaunchOptions};
+use orion_workloads::by_name;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema version stamped into the baseline document.
+pub const BASELINE_SCHEMA: u32 = 1;
+/// Default committed baseline path (repo root).
+pub const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
+/// Default regression threshold: 10% on either geomean.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// The workloads the gate tracks (the tier-1 set).
+pub const GATE_WORKLOADS: [&str; 3] = ["matrixMul", "backprop", "hotspot"];
+
+/// One workload's captured numbers.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct WorkloadBaseline {
+    /// Workload name (`by_name` key).
+    pub name: String,
+    /// Simulated device cycles of the Orion-original candidate —
+    /// deterministic on the simulator.
+    pub cycles: u64,
+    /// Simulated SM-cycles per wall-second (best over reps).
+    pub sim_cycles_per_sec: f64,
+}
+
+/// The committed baseline document.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BaselineDoc {
+    /// [`BASELINE_SCHEMA`] at capture time.
+    pub schema: u32,
+    /// `"quick"` or `"full"` — reps used at capture.
+    pub mode: String,
+    /// Device the numbers were captured on.
+    pub device: String,
+    /// Per-workload rows.
+    pub workloads: Vec<WorkloadBaseline>,
+}
+
+impl BaselineDoc {
+    /// Serialize to the committed JSON form.
+    ///
+    /// # Errors
+    /// [`BenchError::Json`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, BenchError> {
+        serde_json::to_string_pretty(self).map_err(|e| BenchError::json("baseline doc", e))
+    }
+
+    /// Parse a committed baseline.
+    ///
+    /// # Errors
+    /// [`BenchError::Json`] on malformed JSON or schema drift.
+    pub fn from_json(s: &str) -> Result<Self, BenchError> {
+        let doc: BaselineDoc =
+            serde_json::from_str(s).map_err(|e| BenchError::json("baseline doc", e))?;
+        Ok(doc)
+    }
+}
+
+/// Capture a fresh baseline: simulate each gate workload's
+/// Orion-original candidate `reps` times, keeping the deterministic
+/// cycle count and the best throughput.
+///
+/// # Errors
+/// Propagates compile/launch failures ([`ExperimentError`]).
+pub fn capture(quick: bool) -> Result<BaselineDoc, ExperimentError> {
+    let dev = DeviceSpec::gtx680();
+    let reps = if quick { 1 } else { 3 };
+    let mut workloads = Vec::new();
+    for name in GATE_WORKLOADS {
+        let w = by_name(name).expect("gate workload exists");
+        let orion = Orion::new(dev.clone(), w.block);
+        let compiled = orion.compile(&w.module)?;
+        let v = &compiled.versions[compiled.original];
+        let mut cycles = 0u64;
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let mut global = w.init_global.clone();
+            let started = Instant::now();
+            let r = run_launch_opts(
+                &dev,
+                &v.machine,
+                w.launch(),
+                &w.params,
+                &mut global,
+                LaunchOptions { extra_smem_per_block: v.extra_smem, ..LaunchOptions::default() },
+            )?;
+            best_ms = best_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            cycles = r.cycles;
+        }
+        let throughput = if best_ms > 0.0 {
+            cycles as f64 * f64::from(dev.num_sms) / (best_ms / 1e3)
+        } else {
+            0.0
+        };
+        workloads.push(WorkloadBaseline {
+            name: name.to_string(),
+            cycles,
+            sim_cycles_per_sec: throughput,
+        });
+    }
+    Ok(BaselineDoc {
+        schema: BASELINE_SCHEMA,
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        device: dev.name.clone(),
+        workloads,
+    })
+}
+
+/// One workload's baseline-vs-current comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegressRow {
+    pub name: String,
+    pub base_cycles: u64,
+    pub cur_cycles: u64,
+    /// `cur/base`; > 1 is slower.
+    pub cycle_ratio: f64,
+    pub base_throughput: f64,
+    pub cur_throughput: f64,
+    /// `base/cur`; > 1 is slower (throughput dropped).
+    pub throughput_ratio: f64,
+}
+
+/// The gate's verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegressReport {
+    pub rows: Vec<RegressRow>,
+    /// Workloads in the baseline the current run did not produce.
+    pub missing: Vec<String>,
+    pub geomean_cycle_ratio: f64,
+    pub geomean_throughput_ratio: f64,
+    pub threshold: f64,
+    /// Whether either geomean exceeds `1 + threshold`.
+    pub regressed: bool,
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Compare a current capture against the committed baseline. Pure —
+/// the binary's exit code is `report.regressed`.
+#[must_use]
+pub fn diff(baseline: &BaselineDoc, current: &BaselineDoc, threshold: f64) -> RegressReport {
+    diff_with(baseline, current, threshold, true)
+}
+
+/// [`diff`] with the throughput half of the gate optional. Cycle
+/// counts are machine-independent; throughput is wall-clock, so a
+/// baseline recorded on different hardware should gate cycles only
+/// (`regress --cycles-only` — what cross-machine CI uses).
+#[must_use]
+pub fn diff_with(
+    baseline: &BaselineDoc,
+    current: &BaselineDoc,
+    threshold: f64,
+    gate_throughput: bool,
+) -> RegressReport {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for b in &baseline.workloads {
+        let Some(c) = current.workloads.iter().find(|c| c.name == b.name) else {
+            missing.push(b.name.clone());
+            continue;
+        };
+        let cycle_ratio = c.cycles as f64 / (b.cycles.max(1)) as f64;
+        let throughput_ratio = if c.sim_cycles_per_sec > 0.0 {
+            b.sim_cycles_per_sec / c.sim_cycles_per_sec
+        } else {
+            f64::INFINITY
+        };
+        rows.push(RegressRow {
+            name: b.name.clone(),
+            base_cycles: b.cycles,
+            cur_cycles: c.cycles,
+            cycle_ratio,
+            base_throughput: b.sim_cycles_per_sec,
+            cur_throughput: c.sim_cycles_per_sec,
+            throughput_ratio,
+        });
+    }
+    let geomean_cycle_ratio = geomean(&rows.iter().map(|r| r.cycle_ratio).collect::<Vec<_>>());
+    let geomean_throughput_ratio =
+        geomean(&rows.iter().map(|r| r.throughput_ratio).collect::<Vec<_>>());
+    let regressed = !missing.is_empty()
+        || geomean_cycle_ratio > 1.0 + threshold
+        || (gate_throughput && geomean_throughput_ratio > 1.0 + threshold);
+    RegressReport {
+        rows,
+        missing,
+        geomean_cycle_ratio,
+        geomean_throughput_ratio,
+        threshold,
+        regressed,
+    }
+}
+
+/// Render the gate verdict as the table the binary prints.
+#[must_use]
+pub fn render(report: &RegressReport) -> String {
+    let mut s = format!(
+        "{:<12} {:>12} {:>12} {:>8} {:>14} {:>14} {:>8}\n",
+        "workload", "base-cycles", "cur-cycles", "ratio", "base-Mcyc/s", "cur-Mcyc/s", "ratio"
+    );
+    for r in &report.rows {
+        s.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>8.3} {:>14.1} {:>14.1} {:>8.3}\n",
+            r.name,
+            r.base_cycles,
+            r.cur_cycles,
+            r.cycle_ratio,
+            r.base_throughput / 1e6,
+            r.cur_throughput / 1e6,
+            r.throughput_ratio,
+        ));
+    }
+    for m in &report.missing {
+        s.push_str(&format!("{m:<12} MISSING from current run\n"));
+    }
+    s.push_str(&format!(
+        "geomean: cycles {:.3}, throughput {:.3} (threshold {:.0}%) → {}\n",
+        report.geomean_cycle_ratio,
+        report.geomean_throughput_ratio,
+        report.threshold * 100.0,
+        if report.regressed { "REGRESSED" } else { "ok" },
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(&str, u64, f64)]) -> BaselineDoc {
+        BaselineDoc {
+            schema: BASELINE_SCHEMA,
+            mode: "quick".into(),
+            device: "test".into(),
+            workloads: rows
+                .iter()
+                .map(|&(name, cycles, tput)| WorkloadBaseline {
+                    name: name.into(),
+                    cycles,
+                    sim_cycles_per_sec: tput,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let d = doc(&[("matrixMul", 1000, 2e9), ("hotspot", 500, 1e9)]);
+        let parsed = BaselineDoc::from_json(&d.to_json().unwrap()).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let d = doc(&[("a", 1000, 1e9), ("b", 2000, 2e9)]);
+        let r = diff(&d, &d, DEFAULT_THRESHOLD);
+        assert!(!r.regressed);
+        assert!((r.geomean_cycle_ratio - 1.0).abs() < 1e-12);
+        assert!((r.geomean_throughput_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_cycle_regression_beyond_threshold_fails() {
+        let base = doc(&[("a", 1000, 1e9), ("b", 1000, 1e9)]);
+        // +20% on every workload: geomean 1.2 > 1.1.
+        let cur = doc(&[("a", 1200, 1e9), ("b", 1200, 1e9)]);
+        assert!(diff(&base, &cur, DEFAULT_THRESHOLD).regressed);
+        // +20% on one of two: geomean ≈ 1.095 < 1.1 — jitter-tolerant.
+        let cur = doc(&[("a", 1200, 1e9), ("b", 1000, 1e9)]);
+        assert!(!diff(&base, &cur, DEFAULT_THRESHOLD).regressed);
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_fails() {
+        let base = doc(&[("a", 1000, 1.2e9)]);
+        let cur = doc(&[("a", 1000, 1.0e9)]);
+        // base/cur = 1.2 > 1.1.
+        assert!(diff(&base, &cur, DEFAULT_THRESHOLD).regressed);
+        // ... unless the throughput half is ungated (cross-machine CI).
+        assert!(!diff_with(&base, &cur, DEFAULT_THRESHOLD, false).regressed);
+        // A speedup never trips the gate.
+        let cur = doc(&[("a", 1000, 2.0e9)]);
+        assert!(!diff(&base, &cur, DEFAULT_THRESHOLD).regressed);
+    }
+
+    #[test]
+    fn missing_workload_fails_and_is_listed() {
+        let base = doc(&[("a", 1000, 1e9), ("gone", 500, 1e9)]);
+        let cur = doc(&[("a", 1000, 1e9)]);
+        let r = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(r.regressed);
+        assert_eq!(r.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn improvements_report_ratio_below_one() {
+        let base = doc(&[("a", 1000, 1e9)]);
+        let cur = doc(&[("a", 800, 1.5e9)]);
+        let r = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(!r.regressed);
+        assert!(r.geomean_cycle_ratio < 1.0);
+        assert!(r.geomean_throughput_ratio < 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end observability tests over the service plane: the
+//! sequential-vs-concurrent determinism of the latency histograms and
+//! cache deltas (the acceptance gate of the observability PR), the run
+//! journal draining into [`ServiceReport`], and the exporters.
+//!
+//! The batch uses a tiny toy kernel (not the tier-1 workloads) so the
+//! whole suite stays debug-mode fast; the heavyweight version of the
+//! same gate is the `service` bench binary, which CI runs in release.
+//!
+//! These tests share process-global state (the compile cache, the
+//! journal ring, the telemetry switch), so everything service-driven
+//! runs inside ONE `#[test]` — Rust's parallel test runner would
+//! otherwise interleave drains.
+
+use orion_core::backend::SimBackend;
+use orion_core::cache;
+use orion_core::compiler::TuningConfig;
+use orion_core::service::{KernelJob, OrionService, ServiceConfig, ServiceReport};
+use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::exec::Launch;
+use orion_kir::builder::FunctionBuilder;
+use orion_kir::function::Module;
+use orion_kir::inst::Operand;
+use orion_kir::types::{MemSpace, SpecialReg, Width};
+use orion_telemetry::export;
+use orion_telemetry::hist::Histogram;
+use orion_telemetry::registry::MetricRegistry;
+
+/// `out[gid] = in[gid] * mul` — distinct `mul` gives each kernel a
+/// distinct module fingerprint; repeats share compile-cache entries.
+fn toy_module(mul: i64) -> Module {
+    let mut b = FunctionBuilder::kernel("k");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let y = b.imul(x, Operand::Imm(mul));
+    b.st(MemSpace::Global, Width::W32, addr, y, 0);
+    Module::new(b.finish())
+}
+
+fn batch(iterations: u32) -> Vec<KernelJob> {
+    (0..6)
+        .map(|i| KernelJob {
+            name: format!("toy#{i}"),
+            // 3 distinct modules, each submitted twice → cache sharing.
+            module: toy_module(i64::from(i % 3) + 2),
+            launch: Launch { grid: 4, block: 64 },
+            params: vec![0],
+            global: vec![0u8; 4 * 256],
+            iterations,
+            tuning: TuningConfig::new(64),
+        })
+        .collect()
+}
+
+fn run(workers: usize) -> ServiceReport {
+    let svc = OrionService::new(
+        SimBackend::new(DeviceSpec::gtx680()),
+        ServiceConfig { workers, policy: None, ..ServiceConfig::default() },
+    );
+    svc.run(batch(6))
+}
+
+#[test]
+fn service_observability_end_to_end() {
+    orion_telemetry::set_enabled(true);
+    orion_telemetry::journal::clear();
+    cache::reset();
+
+    // --- Determinism gate: sequential vs concurrent ----------------
+    let seq = run(1);
+    let conc = run(6);
+    assert!(seq.all_ok() && conc.all_ok());
+    for (a, b) in seq.kernels.iter().zip(&conc.kernels) {
+        assert_eq!(
+            a.outcome.as_ref().unwrap(),
+            b.outcome.as_ref().unwrap(),
+            "{}: outcome must not depend on worker count",
+            a.name
+        );
+        // The acceptance gate: launch-latency and queue-wait histograms
+        // bit-identical between sequential and concurrent runs.
+        assert_eq!(
+            a.metrics.cycle_domain(),
+            b.metrics.cycle_domain(),
+            "{}: latency histograms must not depend on worker count",
+            a.name
+        );
+        assert!(a.metrics.launch_cycles.count() > 0, "{}: launches were recorded", a.name);
+        assert!(a.metrics.launch_cycles.p50() <= a.metrics.launch_cycles.p99());
+    }
+    assert_eq!(seq.metrics.launch_cycles, conc.metrics.launch_cycles);
+    assert_eq!(seq.metrics.queue_wait_cycles, conc.metrics.queue_wait_cycles);
+    assert_eq!(seq.metrics.session_cycles, conc.metrics.session_cycles);
+
+    // Cache deltas: with in-flight coalescing the hit/miss totals are a
+    // pure function of the job multiset. The second (concurrent) run
+    // re-requests the same fingerprints against a warm cache, so it
+    // must be all hits, zero misses.
+    assert_eq!(conc.cache.misses, 0, "warm concurrent run must not re-allocate");
+    assert!(conc.cache.hits > 0);
+    assert!(!conc.cache.per_shard.is_empty(), "per-shard counters are exposed");
+    let shard_hits: u64 = conc.cache.per_shard.iter().map(|s| s.hits).sum();
+    assert_eq!(shard_hits, conc.cache.hits, "per-shard counters sum to the aggregate");
+
+    // --- Journal: session transitions reach the report --------------
+    // Only with the telemetry feature compiled in AND switched on;
+    // under --no-default-features the ring is a no-op and stays empty.
+    let journal = &conc.journal;
+    if orion_telemetry::is_enabled() {
+        assert!(!journal.is_empty(), "enabled telemetry journals session transitions");
+        assert!(
+            journal.count_tag("session_transition") > 0,
+            "transitions recorded; got tags {:?}",
+            journal.records.iter().map(|r| r.event.tag()).collect::<Vec<_>>()
+        );
+    } else {
+        assert!(journal.is_empty(), "disabled telemetry journals nothing");
+    }
+    // Fault-free walk: no retries, quarantines, or fallbacks.
+    assert_eq!(journal.count_tag("retry"), 0);
+    assert_eq!(journal.count_tag("quarantine"), 0);
+
+    // --- Exporters over the live global registry ---------------------
+    let snap = orion_telemetry::registry::global().snapshot();
+    let prom = export::prometheus_text(&snap);
+    for metric in
+        ["orion_service_launch_cycles", "orion_service_sessions_total", "orion_cache_hit_rate"]
+    {
+        assert!(prom.contains(metric), "prometheus export exposes {metric}:\n{prom}");
+    }
+    assert!(prom.contains("_bucket{le="), "histograms export cumulative buckets");
+    let json = export::snapshot_json(&snap);
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("snapshot JSON parses");
+    assert!(matches!(parsed, serde_json::Value::Map(_)), "snapshot JSON is an object");
+
+    orion_telemetry::set_enabled(false);
+}
+
+#[test]
+fn exporters_render_local_registry() {
+    // A private registry keeps this test independent of the global one.
+    let reg = MetricRegistry::new();
+    reg.register_counter("requests_total", "Requests seen", "").add(3);
+    reg.register_gauge("depth", "Queue depth", "entries").set(2.5);
+    let h = reg.register_histogram("latency", "Request latency", "cycles");
+    let mut local = Histogram::default();
+    for v in [1u64, 10, 100, 1000] {
+        local.record(v);
+    }
+    h.merge(&local);
+
+    let snap = reg.snapshot();
+    let prom = export::prometheus_text(&snap);
+    assert!(prom.contains("# HELP orion_requests_total Requests seen"));
+    assert!(prom.contains("# TYPE orion_requests_total counter"));
+    assert!(prom.contains("orion_requests_total 3"));
+    assert!(prom.contains("orion_depth 2.5"));
+    assert!(prom.contains("orion_latency_count 4"));
+    assert!(prom.contains("orion_latency_sum 1111"));
+
+    let json = export::snapshot_json(&snap);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert!(json.contains("requests_total"), "{v:?}");
+}

@@ -11,7 +11,7 @@
 //! [`allocate_cached`], so a version is realized once per process and
 //! then served as a clone of the cached binary.
 //!
-//! ## Key
+//! ## Key and sharding
 //!
 //! The realized binary is a pure function of `(module, SlotBudget,
 //! AllocOptions)` — the allocator never consults the device, the
@@ -24,96 +24,274 @@
 //! ([`orion_kir::function::Module::fingerprint`]) because workload
 //! builders construct a fresh `Module` value per call.
 //!
+//! The cache is **lock-striped**: entries land on one of
+//! [`CacheConfig::shards`] shards selected by mixing the module
+//! fingerprint, so concurrent sessions tuning different kernels never
+//! contend on one mutex. Each shard keeps its own FIFO order and its
+//! own hit/miss/eviction/coalesce counters, surfaced per shard in
+//! [`CompileCacheStats::per_shard`] (and from there in
+//! `ServiceReport::cache`).
+//!
+//! ## In-flight coalescing
+//!
+//! Allocation runs *outside* the shard lock (it is the expensive part),
+//! so two threads racing on a cold key would both allocate — and worse,
+//! split the hit/miss accounting nondeterministically. Each shard
+//! therefore tracks in-flight keys: the first requester registers the
+//! key and allocates; concurrent requesters for the same key wait on
+//! the shard's condvar and are served the freshly inserted entry as a
+//! **hit** (also counted under [`ShardStats::coalesced`]). Hit/miss
+//! totals are thus a pure function of the request multiset, whatever
+//! the thread interleaving — the observability suite's bit-identical
+//! sequential-vs-concurrent gate leans on exactly this. If the
+//! allocation fails (or capacity is 0 and nothing is retained), waiters
+//! simply retry the protocol themselves.
+//!
 //! ## Invalidation
 //!
 //! Entries never go stale — the key captures every input of the
 //! allocation function — so the only invalidation is capacity-bound
-//! FIFO eviction (capacity set by [`CacheConfig`], default
-//! [`CACHE_CAPACITY`]) plus the explicit [`reset`] used by benches to
-//! measure cold-cache behavior. Allocation *errors* are not cached;
-//! they are deterministic but cheap (they fail early), and callers
-//! treat them as exceptional.
+//! FIFO eviction per shard (total capacity set by [`CacheConfig`],
+//! default [`CACHE_CAPACITY`], split evenly across shards) plus the
+//! explicit [`reset`] used by benches to measure cold-cache behavior.
+//! Allocation *errors* are not cached; they are deterministic but cheap
+//! (they fail early), and callers treat them as exceptional.
 //!
-//! Hit/miss/eviction counters are exported both programmatically
-//! ([`stats`]) and as `orion-telemetry` counters under the
-//! `compile_cache` category.
+//! Hit/miss/eviction counters are exported programmatically
+//! ([`stats`]), as `orion-telemetry` counters under the `compile_cache`
+//! category, as registry gauges (`cache/entries`, `cache/hit_rate`),
+//! and evictions are journaled
+//! ([`orion_telemetry::journal::JournalEvent::CacheEvicted`]).
 
 use orion_alloc::realize::{allocate, AllocError, AllocOptions, Allocated, SlotBudget};
 use orion_kir::function::Module;
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use orion_telemetry::journal::{self, JournalEvent};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
-/// Default maximum resident entries; far above any single tuning
-/// session in this repo (a sweep realizes ≤ 16 versions per kernel), so
-/// eviction only matters to unbounded multi-kernel processes.
+/// Default maximum resident entries across all shards; far above any
+/// single tuning session in this repo (a sweep realizes ≤ 16 versions
+/// per kernel), so eviction only matters to unbounded multi-kernel
+/// processes.
 pub const CACHE_CAPACITY: usize = 256;
+
+/// Default shard count. Eight shards keep mutex contention negligible
+/// for the service's default worker pool while per-shard capacity
+/// (256 / 8 = 32) still dwarfs a single kernel's candidate set.
+pub const CACHE_SHARDS: usize = 8;
 
 /// Tunable parameters of the process-wide compile cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
-    /// Maximum resident entries; `0` disables caching entirely (every
-    /// allocation is a miss and nothing is retained).
+    /// Maximum resident entries summed across shards; `0` disables
+    /// caching entirely (every allocation is a miss and nothing is
+    /// retained).
     pub capacity: usize,
+    /// Lock stripes. Clamped to at least 1. Use `1` for strict global
+    /// FIFO eviction order; with more shards, eviction is FIFO *per
+    /// shard* (each shard holding `capacity / shards`, rounded up).
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { capacity: CACHE_CAPACITY }
+        CacheConfig { capacity: CACHE_CAPACITY, shards: CACHE_SHARDS }
+    }
+}
+
+impl CacheConfig {
+    fn shard_count(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    /// Per-shard entry budget: total capacity split evenly, rounded up.
+    fn per_shard_capacity(&self) -> usize {
+        self.capacity.div_ceil(self.shard_count())
     }
 }
 
 type Key = (u64, SlotBudget, AllocOptions);
 
-struct CacheState {
+#[derive(Default)]
+struct ShardState {
     map: HashMap<Key, Arc<Allocated>>,
     /// Insertion order, for FIFO eviction at capacity.
     order: VecDeque<Key>,
+    /// Keys some thread is currently allocating (coalescing).
+    inflight: HashSet<Key>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    coalesced: u64,
+}
+
+impl ShardState {
+    /// FIFO-evict until at most `room_for` more entries fit in
+    /// `capacity`. Returns how many entries were evicted.
+    fn evict_to_fit(&mut self, room_for: usize, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() + room_for > capacity {
+            let Some(oldest) = self.order.pop_front() else { break };
+            self.map.remove(&oldest);
+            self.evictions += 1;
+            evicted += 1;
+            orion_telemetry::counter("compile_cache", "evictions", 1);
+        }
+        evicted
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Wakes coalesced waiters when an in-flight allocation resolves.
+    resolved: Condvar,
+}
+
+struct ShardedCache {
+    shards: Vec<Shard>,
     cfg: CacheConfig,
 }
 
-impl CacheState {
-    /// FIFO-evict until at most `room_for` more entries fit.
-    fn evict_to_fit(&mut self, room_for: usize) {
-        while self.map.len() + room_for > self.cfg.capacity {
-            let Some(oldest) = self.order.pop_front() else { break };
-            self.map.remove(&oldest);
-            EVICTIONS.fetch_add(1, Ordering::Relaxed);
-            orion_telemetry::counter("compile_cache", "evictions", 1);
+impl ShardedCache {
+    fn new(cfg: CacheConfig) -> Self {
+        ShardedCache { shards: (0..cfg.shard_count()).map(|_| Shard::default()).collect(), cfg }
+    }
+
+    /// Shard index for a key: multiplicative fingerprint mix, so
+    /// structurally similar modules still spread.
+    fn shard_index(&self, key: &Key) -> usize {
+        let mixed = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((mixed >> 32) as usize) % self.shards.len()
+    }
+}
+
+static STATE: OnceLock<RwLock<ShardedCache>> = OnceLock::new();
+
+fn state() -> &'static RwLock<ShardedCache> {
+    STATE.get_or_init(|| {
+        register_gauges();
+        RwLock::new(ShardedCache::new(CacheConfig::default()))
+    })
+}
+
+/// Register the cache's live registry gauges (sampled at snapshot time).
+fn register_gauges() {
+    let scope = orion_telemetry::registry::global().scope("cache");
+    scope.register_gauge_fn(
+        "entries",
+        "Resident compile-cache entries across shards",
+        "entries",
+        || STATE.get().map_or(0.0, |_| stats().entries as f64),
+    );
+    scope.register_gauge_fn("hit_rate", "Lifetime compile-cache hit rate", "", || {
+        STATE.get().map_or(0.0, |_| stats().hit_rate())
+    });
+    scope.register_gauge_fn("shards", "Configured compile-cache shard count", "", || {
+        STATE.get().map_or(0.0, |_| config().shard_count() as f64)
+    });
+}
+
+/// Replace the cache configuration. Changing the shard count rehashes
+/// every resident entry into the new stripes (preserving each old
+/// shard's FIFO order during the migration); shrinking the capacity
+/// evicts (FIFO per shard) down to the new budget. Counters are
+/// aggregated into shard 0's tally if the shard count shrinks, so
+/// process-lifetime totals are never lost.
+pub fn configure(cfg: CacheConfig) {
+    let mut cache = state().write().expect("compile cache poisoned");
+    if cfg.shard_count() == cache.cfg.shard_count() {
+        cache.cfg = cfg;
+        let capacity = cfg.per_shard_capacity();
+        for (i, shard) in cache.shards.iter().enumerate() {
+            let mut st = shard.state.lock().expect("compile cache poisoned");
+            let evicted = st.evict_to_fit(0, capacity);
+            if evicted > 0 {
+                journal::record(JournalEvent::CacheEvicted { shard: i, entries: evicted });
+            }
+        }
+        return;
+    }
+    // Shard count changed: rebuild the stripe set and migrate entries.
+    let old = std::mem::replace(&mut *cache, ShardedCache::new(cfg));
+    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    let mut resident: Vec<(Key, Arc<Allocated>)> = Vec::new();
+    for shard in &old.shards {
+        let mut st = shard.state.lock().expect("compile cache poisoned");
+        totals.0 += st.hits;
+        totals.1 += st.misses;
+        totals.2 += st.evictions;
+        totals.3 += st.coalesced;
+        for key in std::mem::take(&mut st.order) {
+            if let Some(v) = st.map.remove(&key) {
+                resident.push((key, v));
+            }
+        }
+    }
+    // Lifetime counters survive reconfiguration, parked on shard 0.
+    {
+        let mut st = cache.shards[0].state.lock().expect("compile cache poisoned");
+        (st.hits, st.misses, st.evictions, st.coalesced) = totals;
+    }
+    let capacity = cfg.per_shard_capacity();
+    if cfg.capacity > 0 {
+        for (key, value) in resident {
+            let idx = cache.shard_index(&key);
+            let mut st = cache.shards[idx].state.lock().expect("compile cache poisoned");
+            if !st.map.contains_key(&key) {
+                let evicted = st.evict_to_fit(1, capacity);
+                if evicted > 0 {
+                    journal::record(JournalEvent::CacheEvicted { shard: idx, entries: evicted });
+                }
+                st.order.push_back(key);
+                st.map.insert(key, value);
+            }
         }
     }
 }
 
-static STATE: OnceLock<Mutex<CacheState>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static EVICTIONS: AtomicU64 = AtomicU64::new(0);
-
-fn state() -> &'static Mutex<CacheState> {
-    STATE.get_or_init(|| {
-        Mutex::new(CacheState {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            cfg: CacheConfig::default(),
-        })
-    })
-}
-
-/// Replace the cache configuration, evicting (FIFO) down to the new
-/// capacity if it shrank. Counters are unaffected.
-pub fn configure(cfg: CacheConfig) {
-    let mut st = state().lock().expect("compile cache poisoned");
-    st.cfg = cfg;
-    st.evict_to_fit(0);
-}
-
 /// The currently active cache configuration.
 pub fn config() -> CacheConfig {
-    state().lock().expect("compile cache poisoned").cfg
+    state().read().expect("compile cache poisoned").cfg
 }
 
-/// Counter snapshot of the process-wide compile cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Counters of one cache shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Allocations served from this shard.
+    pub hits: u64,
+    /// Allocations this shard actually performed.
+    pub misses: u64,
+    /// Entries dropped by this shard's FIFO eviction.
+    pub evictions: u64,
+    /// Hits that were coalesced onto another thread's in-flight
+    /// allocation (a subset of `hits`).
+    pub coalesced: u64,
+    /// Entries currently resident in this shard.
+    pub entries: usize,
+}
+
+impl ShardStats {
+    /// Total lookups against this shard.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction (0.0 when the shard was never touched).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// Counter snapshot of the process-wide compile cache: aggregate
+/// totals plus the per-shard breakdown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CompileCacheStats {
     /// Allocations served from the cache.
     pub hits: u64,
@@ -121,12 +299,61 @@ pub struct CompileCacheStats {
     pub misses: u64,
     /// Entries dropped by capacity-bound FIFO eviction.
     pub evictions: u64,
+    /// Hits coalesced onto a concurrent in-flight allocation.
+    pub coalesced: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl CompileCacheStats {
+    /// Aggregate hit fraction (0.0 when untouched).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// The activity between `before` and `self` (both from [`stats`]):
+    /// counters are subtracted, `entries` keeps the *after* value (it is
+    /// a level, not a flow). Per-shard deltas require an unchanged shard
+    /// count; otherwise the after-snapshot's shards are returned as-is.
+    #[must_use]
+    pub fn delta_since(&self, before: &CompileCacheStats) -> CompileCacheStats {
+        let per_shard = if self.per_shard.len() == before.per_shard.len() {
+            self.per_shard
+                .iter()
+                .zip(&before.per_shard)
+                .map(|(a, b)| ShardStats {
+                    hits: a.hits.saturating_sub(b.hits),
+                    misses: a.misses.saturating_sub(b.misses),
+                    evictions: a.evictions.saturating_sub(b.evictions),
+                    coalesced: a.coalesced.saturating_sub(b.coalesced),
+                    entries: a.entries,
+                })
+                .collect()
+        } else {
+            self.per_shard.clone()
+        };
+        CompileCacheStats {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            evictions: self.evictions.saturating_sub(before.evictions),
+            coalesced: self.coalesced.saturating_sub(before.coalesced),
+            entries: self.entries,
+            per_shard,
+        }
+    }
 }
 
 /// [`orion_alloc::realize::allocate`] memoized over
-/// `(module fingerprint, budget, options)`.
+/// `(module fingerprint, budget, options)`, lock-striped with in-flight
+/// coalescing (see the module docs).
 ///
 /// # Errors
 /// Propagates allocation failures (which are never cached).
@@ -136,43 +363,92 @@ pub fn allocate_cached(
     opts: &AllocOptions,
 ) -> Result<Allocated, AllocError> {
     let key = (module.fingerprint(), budget, *opts);
-    let cached = state().lock().expect("compile cache poisoned").map.get(&key).cloned();
-    if let Some(hit) = cached {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        orion_telemetry::counter("compile_cache", "hit", 1);
-        return Ok((*hit).clone());
+    let cache = state().read().expect("compile cache poisoned");
+    let idx = cache.shard_index(&key);
+    let shard = &cache.shards[idx];
+    let retain = cache.cfg.capacity > 0;
+    let mut st = shard.state.lock().expect("compile cache poisoned");
+    let mut waited = false;
+    loop {
+        if let Some(hit) = st.map.get(&key).cloned() {
+            st.hits += 1;
+            if waited {
+                st.coalesced += 1;
+            }
+            drop(st);
+            orion_telemetry::counter("compile_cache", "hit", 1);
+            return Ok((*hit).clone());
+        }
+        if !retain || !st.inflight.contains(&key) {
+            break;
+        }
+        waited = true;
+        st = shard.resolved.wait(st).expect("compile cache poisoned");
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    st.misses += 1;
+    if retain {
+        st.inflight.insert(key);
+    }
+    drop(st);
     orion_telemetry::counter("compile_cache", "miss", 1);
-    let out = allocate(module, budget, opts)?;
-    let mut st = state().lock().expect("compile cache poisoned");
-    if st.cfg.capacity > 0 && !st.map.contains_key(&key) {
-        st.evict_to_fit(1);
-        st.order.push_back(key);
-        st.map.insert(key, Arc::new(out.clone()));
+    let out = allocate(module, budget, opts);
+    if retain {
+        let mut st = shard.state.lock().expect("compile cache poisoned");
+        st.inflight.remove(&key);
+        if let Ok(v) = &out {
+            if !st.map.contains_key(&key) {
+                let capacity = cache.cfg.per_shard_capacity();
+                let evicted = st.evict_to_fit(1, capacity);
+                if evicted > 0 {
+                    journal::record(JournalEvent::CacheEvicted { shard: idx, entries: evicted });
+                }
+                st.order.push_back(key);
+                st.map.insert(key, Arc::new(v.clone()));
+            }
+        }
+        drop(st);
+        shard.resolved.notify_all();
     }
-    Ok(out)
+    out
 }
 
-/// Snapshot the hit/miss/eviction counters and resident entry count.
+/// Snapshot the hit/miss/eviction/coalesce counters and resident entry
+/// counts, aggregate and per shard.
 pub fn stats() -> CompileCacheStats {
-    CompileCacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        evictions: EVICTIONS.load(Ordering::Relaxed),
-        entries: state().lock().expect("compile cache poisoned").map.len(),
+    let cache = state().read().expect("compile cache poisoned");
+    let mut total = CompileCacheStats::default();
+    for shard in &cache.shards {
+        let st = shard.state.lock().expect("compile cache poisoned");
+        let s = ShardStats {
+            hits: st.hits,
+            misses: st.misses,
+            evictions: st.evictions,
+            coalesced: st.coalesced,
+            entries: st.map.len(),
+        };
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.evictions += s.evictions;
+        total.coalesced += s.coalesced;
+        total.entries += s.entries;
+        total.per_shard.push(s);
     }
+    total
 }
 
 /// Drop every entry and zero the counters (cold-cache measurements).
-/// The configured capacity is kept.
+/// The configured capacity and shard count are kept.
 pub fn reset() {
-    let mut st = state().lock().expect("compile cache poisoned");
-    st.map.clear();
-    st.order.clear();
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
-    EVICTIONS.store(0, Ordering::Relaxed);
+    let cache = state().read().expect("compile cache poisoned");
+    for shard in &cache.shards {
+        let mut st = shard.state.lock().expect("compile cache poisoned");
+        st.map.clear();
+        st.order.clear();
+        st.hits = 0;
+        st.misses = 0;
+        st.evictions = 0;
+        st.coalesced = 0;
+    }
 }
 
 #[cfg(test)]
@@ -234,4 +510,63 @@ mod tests {
         assert_ne!(a.machine, b.machine);
         assert!(stats().entries >= 2);
     }
+
+    #[test]
+    fn per_shard_stats_aggregate_to_totals() {
+        let _ = allocate_cached(
+            &module(),
+            SlotBudget { reg_slots: 12, smem_slots: 0 },
+            &AllocOptions::default(),
+        );
+        let st = stats();
+        assert_eq!(st.per_shard.len(), config().shard_count());
+        assert_eq!(st.hits, st.per_shard.iter().map(|s| s.hits).sum::<u64>());
+        assert_eq!(st.misses, st.per_shard.iter().map(|s| s.misses).sum::<u64>());
+        assert_eq!(st.entries, st.per_shard.iter().map(|s| s.entries).sum::<usize>());
+        for s in &st.per_shard {
+            assert!(s.coalesced <= s.hits, "{s:?}");
+            assert!((0.0..=1.0).contains(&s.hit_rate()));
+        }
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_keeps_levels() {
+        let before = CompileCacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 1,
+            coalesced: 2,
+            entries: 3,
+            per_shard: vec![ShardStats {
+                hits: 10,
+                misses: 4,
+                evictions: 1,
+                coalesced: 2,
+                entries: 3,
+            }],
+        };
+        let after = CompileCacheStats {
+            hits: 25,
+            misses: 9,
+            evictions: 1,
+            coalesced: 5,
+            entries: 7,
+            per_shard: vec![ShardStats {
+                hits: 25,
+                misses: 9,
+                evictions: 1,
+                coalesced: 5,
+                entries: 7,
+            }],
+        };
+        let d = after.delta_since(&before);
+        assert_eq!((d.hits, d.misses, d.evictions, d.coalesced), (15, 5, 0, 3));
+        assert_eq!(d.entries, 7);
+        assert_eq!(d.per_shard[0].hits, 15);
+        assert_eq!(d.per_shard[0].entries, 7);
+    }
+
+    // Exact-count coalescing behavior is asserted in the own-process
+    // `cache_config` integration binary, where no concurrent test can
+    // perturb the process-global counters.
 }

@@ -94,7 +94,7 @@ pub mod splitting;
 pub mod version;
 
 pub use backend::{Backend, BackendCaps, Recorder, ReplayBackend, SimBackend};
-pub use cache::{allocate_cached, CacheConfig, CompileCacheStats};
+pub use cache::{allocate_cached, CacheConfig, CompileCacheStats, ShardStats};
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
 pub use error::{ErrorContext, OrionError};
 pub use orion::Orion;
@@ -104,6 +104,8 @@ pub use resilient::{
 };
 pub use runtime::{tune_loop, DynamicTuner, TuneDecision, TuneOutcome, TuneReason};
 pub use service::{KernelJob, KernelReport, OrionService, ServiceConfig, ServiceReport};
-pub use session::{SessionMode, SessionOutcome, SessionState, SessionStep, TuningSession};
+pub use session::{
+    SessionMode, SessionObs, SessionOutcome, SessionState, SessionStep, TuningSession,
+};
 pub use splitting::{tune_by_splitting, SplitConfig};
 pub use version::VersionBuilder;

@@ -174,6 +174,10 @@ pub fn robust_measure(samples: &mut [u64], outlier_factor: f64) -> RobustMeasure
     let lo = (med as f64 / f) as u64;
     let hi = (med as f64 * f).min(u64::MAX as f64) as u64;
     let kept: Vec<u64> = samples.iter().copied().filter(|&s| s >= lo && s <= hi).collect();
+    let rejected = samples.len() - kept.len();
+    if rejected > 0 && orion_telemetry::is_enabled() {
+        orion_telemetry::counter("resilience", "outlier_rejected", rejected as u64);
+    }
     if kept.is_empty() {
         RobustMeasure { cycles: med, rel_spread: 0.0 }
     } else {

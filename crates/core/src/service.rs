@@ -37,8 +37,12 @@ use crate::session::{SessionOutcome, SessionStep, TuningSession};
 use orion_gpusim::exec::Launch;
 use orion_gpusim::sim::LaunchOptions;
 use orion_kir::function::Module;
+use orion_telemetry::hist::Histogram;
+use orion_telemetry::journal::JournalDrain;
+use orion_telemetry::registry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Service-wide knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +85,32 @@ pub struct KernelJob {
     pub tuning: TuningConfig,
 }
 
+/// Per-kernel latency observations. The cycle-domain histograms come
+/// from the session ([`crate::session::SessionObs`]) and are
+/// **deterministic**: bit-identical across worker counts and thread
+/// interleavings on a deterministic backend. `compile_wall_us` is
+/// wall-clock and excluded from every determinism gate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelMetrics {
+    /// Simulated cycles of each successful launch.
+    pub launch_cycles: Histogram,
+    /// Simulated backoff cycles each launch chain waited (0 without
+    /// retries).
+    pub queue_wait_cycles: Histogram,
+    /// Wall-clock microseconds spent in `compile_probe` for this job
+    /// (candidate generation + allocation; cache hits make it cheap).
+    pub compile_wall_us: u64,
+}
+
+impl KernelMetrics {
+    /// The deterministic (simulated-cycle) half of the metrics — what
+    /// the sequential-vs-concurrent gates compare.
+    #[must_use]
+    pub fn cycle_domain(&self) -> (&Histogram, &Histogram) {
+        (&self.launch_cycles, &self.queue_wait_cycles)
+    }
+}
+
 /// What happened to one [`KernelJob`].
 #[derive(Debug, Clone)]
 pub struct KernelReport {
@@ -92,6 +122,21 @@ pub struct KernelReport {
     /// The session outcome, or the error that stopped it. Errors are
     /// per-kernel: one dead kernel never aborts the batch.
     pub outcome: Result<SessionOutcome, OrionError>,
+    /// Latency observations for this kernel's session.
+    pub metrics: KernelMetrics,
+}
+
+/// Batch-wide latency distributions: the per-kernel cycle-domain
+/// histograms merged in submission order (merge is order-independent,
+/// so this is deterministic too), plus per-session totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceMetrics {
+    /// Every kernel's launch cycles, merged.
+    pub launch_cycles: Histogram,
+    /// Every kernel's queue waits, merged.
+    pub queue_wait_cycles: Histogram,
+    /// One sample per kernel: the session's `total_cycles`.
+    pub session_cycles: Histogram,
 }
 
 /// A completed service batch.
@@ -99,8 +144,19 @@ pub struct KernelReport {
 pub struct ServiceReport {
     /// Per-kernel reports, in submission order.
     pub kernels: Vec<KernelReport>,
-    /// Compile-cache stats after the batch (shared across sessions).
+    /// Compile-cache activity **during this batch** (the delta between
+    /// the before/after [`cache::stats`] snapshots, per shard included;
+    /// `entries` is the resident count after the batch). With in-flight
+    /// coalescing, hit/miss totals are a pure function of the job set,
+    /// not the interleaving.
     pub cache: cache::CompileCacheStats,
+    /// Batch-wide latency distributions.
+    pub metrics: ServiceMetrics,
+    /// Typed runtime decisions journaled during the batch (drained from
+    /// the global ring — empty unless telemetry is enabled). A process
+    /// running several services concurrently shares one journal; records
+    /// carry the session lane for attribution.
+    pub journal: JournalDrain,
 }
 
 impl ServiceReport {
@@ -148,7 +204,30 @@ impl<B: Backend> OrionService<B> {
     /// [`OrionError::AllCandidatesFailed`], wrapped with the kernel
     /// name where the session applies context.
     pub fn tune_one(&self, job: &mut KernelJob) -> Result<SessionOutcome, OrionError> {
-        let ck = self.backend.compile_probe(&job.module, &job.tuning)?;
+        self.tune_one_observed(job).0
+    }
+
+    /// [`OrionService::tune_one`] plus the session's latency metrics
+    /// (collected even when the session errors out — partial
+    /// distributions are still diagnostic).
+    pub fn tune_one_observed(
+        &self,
+        job: &mut KernelJob,
+    ) -> (Result<SessionOutcome, OrionError>, KernelMetrics) {
+        let compile_start = Instant::now();
+        let ck = match self.backend.compile_probe(&job.module, &job.tuning) {
+            Ok(ck) => ck,
+            Err(e) => {
+                return (
+                    Err(e),
+                    KernelMetrics {
+                        compile_wall_us: compile_start.elapsed().as_micros() as u64,
+                        ..KernelMetrics::default()
+                    },
+                )
+            }
+        };
+        let compile_wall_us = compile_start.elapsed().as_micros() as u64;
         let mut session = match self.cfg.policy {
             Some(policy) => TuningSession::resilient(
                 job.name.as_str(),
@@ -159,17 +238,30 @@ impl<B: Backend> OrionService<B> {
             ),
             None => TuningSession::simple(&ck, job.iterations, self.cfg.threshold),
         };
-        while let SessionStep::Launch(v) = session.next_step()? {
-            let result = self.backend.launch(
-                &ck.versions[v],
-                job.launch,
-                &job.params,
-                &mut job.global,
-                LaunchOptions::default(),
-            );
-            session.on_launch_result(result)?;
+        let mut drive = |session: &mut TuningSession| -> Result<(), OrionError> {
+            while let SessionStep::Launch(v) = session.next_step()? {
+                let result = self.backend.launch(
+                    &ck.versions[v],
+                    job.launch,
+                    &job.params,
+                    &mut job.global,
+                    LaunchOptions::default(),
+                );
+                session.on_launch_result(result)?;
+            }
+            Ok(())
+        };
+        let driven = drive(&mut session);
+        let obs = session.observations().clone();
+        let metrics = KernelMetrics {
+            launch_cycles: obs.launch_cycles,
+            queue_wait_cycles: obs.queue_wait_cycles,
+            compile_wall_us,
+        };
+        match driven {
+            Ok(()) => (Ok(session.finish()), metrics),
+            Err(e) => (Err(e), metrics),
         }
-        Ok(session.finish())
     }
 
     /// Tune every job, concurrently, and report in submission order.
@@ -180,6 +272,11 @@ impl<B: Backend> OrionService<B> {
             w => w,
         }
         .min(n.max(1));
+        let reg = registry::global().scope("service");
+        let in_flight = reg.register_gauge("in_flight_sessions", "Sessions currently tuning", "");
+        reg.register_counter("sessions_total", "Sessions started over the process lifetime", "")
+            .add(n as u64);
+        let cache_before = cache::stats();
         // Slot-per-job in/out tables: workers claim the next index off
         // the cursor, so reports land at their job's index and the
         // merge is submission-ordered by construction.
@@ -189,7 +286,9 @@ impl<B: Backend> OrionService<B> {
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                let in_flight = in_flight.clone();
+                let (slots, reports, cursor) = (&slots, &reports, &cursor);
+                scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -198,18 +297,51 @@ impl<B: Backend> OrionService<B> {
                         slots[i].lock().unwrap().take().expect("each slot is claimed once");
                     let lane = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
                     orion_telemetry::set_scope(lane);
-                    let outcome = self.tune_one(&mut job);
+                    in_flight.inc();
+                    let (outcome, metrics) = self.tune_one_observed(&mut job);
+                    in_flight.dec();
                     *reports[i].lock().unwrap() =
-                        Some(KernelReport { name: job.name, lane, outcome });
+                        Some(KernelReport { name: job.name, lane, outcome, metrics });
                 });
             }
         });
+        let kernels: Vec<KernelReport> = reports
+            .into_iter()
+            .map(|r| r.into_inner().unwrap().expect("every job produces a report"))
+            .collect();
+        // Merge per-kernel distributions in submission order (the merge
+        // is order-independent, but fixing the order keeps even the
+        // iteration deterministic) and mirror them into the global
+        // registry for the exporters.
+        let mut metrics = ServiceMetrics::default();
+        for k in &kernels {
+            metrics.launch_cycles.merge(&k.metrics.launch_cycles);
+            metrics.queue_wait_cycles.merge(&k.metrics.queue_wait_cycles);
+            if let Ok(o) = &k.outcome {
+                metrics.session_cycles.record(o.total_cycles);
+            }
+        }
+        reg.register_histogram("launch_cycles", "Per-launch simulated cycles", "cycles")
+            .merge(&metrics.launch_cycles);
+        reg.register_histogram("queue_wait_cycles", "Per-chain retry backoff", "cycles")
+            .merge(&metrics.queue_wait_cycles);
+        reg.register_histogram("session_cycles", "Per-session total simulated cycles", "cycles")
+            .merge(&metrics.session_cycles);
+        // Compile time is wall-clock: exported for operators, excluded
+        // from every determinism gate.
+        let compile_hist = reg.register_histogram(
+            "compile_wall_us",
+            "Per-kernel candidate-set compile wall time",
+            "us",
+        );
+        for k in &kernels {
+            compile_hist.record(k.metrics.compile_wall_us);
+        }
         ServiceReport {
-            kernels: reports
-                .into_iter()
-                .map(|r| r.into_inner().unwrap().expect("every job produces a report"))
-                .collect(),
-            cache: cache::stats(),
+            kernels,
+            cache: cache::stats().delta_since(&cache_before),
+            metrics,
+            journal: orion_telemetry::journal::drain(),
         }
     }
 }

@@ -52,6 +52,8 @@ use crate::resilient::{
     robust_measure, should_quarantine, ResiliencePolicy, ResilienceStats, ResilientOutcome,
 };
 use crate::runtime::{DynamicTuner, TuneDecision, TuneOutcome};
+use orion_telemetry::hist::Histogram;
+use orion_telemetry::journal::{self, JournalEvent};
 use serde::{Deserialize, Serialize};
 
 /// Observable phase of a [`TuningSession`] (see the module docs for the
@@ -95,6 +97,35 @@ impl SessionState {
     pub fn is_settled(self) -> bool {
         matches!(self, SessionState::Finalized | SessionState::Quarantined)
     }
+
+    /// Stable lowercase name (journal records, exporters).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Warmup => "warmup",
+            SessionState::Walking => "walking",
+            SessionState::Probing => "probing",
+            SessionState::Finalized => "finalized",
+            SessionState::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Deterministic per-session latency observations, recorded in
+/// *simulated cycles* so they are bit-identical across thread
+/// interleavings and worker counts (unlike wall-clock telemetry).
+/// Always collected — the histograms are a few hundred machine words
+/// and the service's determinism gate needs them in
+/// `--no-default-features` builds too.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionObs {
+    /// Cycles of every successful launch (the paper's measurement
+    /// stream), exploration and steady-state alike.
+    pub launch_cycles: Histogram,
+    /// Simulated backoff cycles a launch chain waited before resolving
+    /// (0 for launches that succeeded first try — the common case —
+    /// so `count` tracks resolved chains, not just retried ones).
+    pub queue_wait_cycles: Histogram,
 }
 
 /// How a [`TuningSession`] treats measurements and failures.
@@ -230,6 +261,10 @@ pub struct TuningSession<'k> {
     pass: Option<SamplePass>,
     /// Set once the session aborted with a fatal error or ran dry.
     aborted: bool,
+    /// Backoff cycles accumulated by the outstanding launch chain's
+    /// retries; folded into `obs.queue_wait_cycles` when it resolves.
+    pending_backoff: u64,
+    obs: SessionObs,
 }
 
 impl<'k> TuningSession<'k> {
@@ -262,6 +297,8 @@ impl<'k> TuningSession<'k> {
             current: None,
             pass: None,
             aborted: false,
+            pending_backoff: 0,
+            obs: SessionObs::default(),
             tuner,
             ck,
         }
@@ -310,6 +347,14 @@ impl<'k> TuningSession<'k> {
         self.it
     }
 
+    /// The session's deterministic latency observations so far. Read
+    /// (and clone) before [`TuningSession::finish`] consumes the
+    /// session; `OrionService` folds these into its per-kernel report.
+    #[must_use]
+    pub fn observations(&self) -> &SessionObs {
+        &self.obs
+    }
+
     /// Move to `to`, enforcing the legal-transition diagram.
     fn transition(&mut self, to: SessionState) {
         debug_assert!(
@@ -317,6 +362,13 @@ impl<'k> TuningSession<'k> {
             "illegal session transition {:?} -> {to:?}",
             self.state
         );
+        if self.state != to && orion_telemetry::is_enabled() {
+            journal::record(JournalEvent::SessionTransition {
+                kernel: self.kernel.clone(),
+                from: self.state.name(),
+                to: to.name(),
+            });
+        }
         self.state = to;
     }
 
@@ -455,6 +507,8 @@ impl<'k> TuningSession<'k> {
         self.total += cycles;
         self.iters.push((pending.version, cycles));
         self.it += 1;
+        self.obs.launch_cycles.record(cycles);
+        self.obs.queue_wait_cycles.record(0);
         self.refresh_state();
         Ok(())
     }
@@ -465,6 +519,8 @@ impl<'k> TuningSession<'k> {
         self.iters.push((version, cycles));
         self.tuner.record(cycles);
         self.it += 1;
+        self.obs.launch_cycles.record(cycles);
+        self.obs.queue_wait_cycles.record(0);
         self.refresh_state();
     }
 
@@ -483,6 +539,9 @@ impl<'k> TuningSession<'k> {
                 self.total = self.total.saturating_add(cycles);
                 self.iters.push((pending.version, cycles));
                 self.it += 1;
+                self.obs.launch_cycles.record(cycles);
+                self.obs.queue_wait_cycles.record(self.pending_backoff);
+                self.pending_backoff = 0;
                 if let Some(mut pass) = self.pass.take() {
                     pass.samples.push(cycles);
                     self.advance_pass(pass, policy);
@@ -497,8 +556,15 @@ impl<'k> TuningSession<'k> {
                 self.stats.retries += 1;
                 let backoff = policy.backoff_base_cycles << pending.attempt.min(20);
                 self.stats.backoff_cycles = self.stats.backoff_cycles.saturating_add(backoff);
+                self.pending_backoff = self.pending_backoff.saturating_add(backoff);
                 if orion_telemetry::is_enabled() {
                     orion_telemetry::counter("resilience", "retry", 1);
+                    journal::record(JournalEvent::Retry {
+                        kernel: self.kernel.clone(),
+                        version: pending.version,
+                        attempt: pending.attempt + 1,
+                        backoff_cycles: backoff,
+                    });
                 }
                 self.current =
                     Some(PendingLaunch { version: pending.version, attempt: pending.attempt + 1 });
@@ -507,6 +573,20 @@ impl<'k> TuningSession<'k> {
             Err(e) if should_quarantine(&e) => {
                 self.stats.failed_launches += 1;
                 self.current = None;
+                // The chain resolved (in failure): its waited backoff is
+                // still queue time.
+                self.obs.queue_wait_cycles.record(self.pending_backoff);
+                self.pending_backoff = 0;
+                if orion_telemetry::is_enabled() {
+                    if let OrionError::Sim(orion_gpusim::exec::SimError::Watchdog { budget }) =
+                        e.root_cause()
+                    {
+                        journal::record(JournalEvent::Watchdog {
+                            kernel: self.kernel.clone(),
+                            budget_cycles: *budget,
+                        });
+                    }
+                }
                 let dead = self.strike(pending.version, policy);
                 if let Some(mut pass) = self.pass.take() {
                     // A strike ends the sampling pass; the partial
@@ -522,6 +602,8 @@ impl<'k> TuningSession<'k> {
             Err(e) => {
                 self.stats.failed_launches += 1;
                 self.current = None;
+                self.obs.queue_wait_cycles.record(self.pending_backoff);
+                self.pending_backoff = 0;
                 self.aborted = true;
                 Err(e.with_context(self.kernel.clone(), Some(self.total)))
             }
@@ -538,6 +620,29 @@ impl<'k> TuningSession<'k> {
         self.strikes[version] += 1;
         if self.strikes[version] >= policy.quarantine_strikes.max(1) {
             self.tuner.quarantine(version);
+            if orion_telemetry::is_enabled() {
+                journal::record(JournalEvent::Quarantine {
+                    kernel: self.kernel.clone(),
+                    version,
+                    strikes: self.strikes[version],
+                });
+                // The tuner logs a FellBack decision when the dead
+                // version was the finalized one; mirror it as a typed
+                // journal record naming the replacement.
+                if let Some(d) = self
+                    .tuner
+                    .decisions()
+                    .last()
+                    .filter(|d| d.reason == crate::runtime::TuneReason::FellBack)
+                {
+                    if let Some(to) = d.finalized {
+                        journal::record(JournalEvent::Fallback {
+                            kernel: self.kernel.clone(),
+                            version: to,
+                        });
+                    }
+                }
+            }
             true
         } else {
             false

@@ -1,10 +1,13 @@
-//! Capacity/eviction behavior of the process-global compile cache.
+//! Capacity/eviction/coalescing behavior of the process-global compile
+//! cache.
 //!
 //! Lives in its own integration-test binary (one process, one cache) so
-//! the counters are not raced by the crate's unit tests.
+//! the counters are not raced by the crate's unit tests. The whole
+//! sequence is one test function for the same reason: the harness runs
+//! test functions concurrently within a binary.
 
 use orion_alloc::realize::{AllocOptions, SlotBudget};
-use orion_core::cache::{self, CacheConfig, CACHE_CAPACITY};
+use orion_core::cache::{self, CacheConfig, CACHE_CAPACITY, CACHE_SHARDS};
 use orion_kir::builder::FunctionBuilder;
 use orion_kir::function::Module;
 use orion_kir::inst::Operand;
@@ -33,9 +36,12 @@ fn alloc(tag: i64) {
 fn capacity_bounds_entries_and_counts_evictions() {
     assert_eq!(cache::config(), CacheConfig::default());
     assert_eq!(cache::config().capacity, CACHE_CAPACITY);
+    assert_eq!(cache::config().shards, CACHE_SHARDS);
 
+    // A single stripe gives strict global FIFO order, which the exact
+    // eviction assertions below rely on.
     cache::reset();
-    cache::configure(CacheConfig { capacity: 3 });
+    cache::configure(CacheConfig { capacity: 3, shards: 1 });
     for tag in 0..5 {
         alloc(tag);
     }
@@ -43,6 +49,8 @@ fn capacity_bounds_entries_and_counts_evictions() {
     assert_eq!(st.entries, 3, "{st:?}");
     assert_eq!(st.misses, 5, "{st:?}");
     assert_eq!(st.evictions, 2, "{st:?}");
+    assert_eq!(st.per_shard.len(), 1, "{st:?}");
+    assert_eq!(st.per_shard[0].entries, 3, "{st:?}");
 
     // FIFO: tags 0 and 1 were evicted, tag 4 is resident.
     let before = cache::stats();
@@ -53,11 +61,11 @@ fn capacity_bounds_entries_and_counts_evictions() {
     assert_eq!(st.misses, before.misses + 1, "{st:?}");
 
     // Shrinking evicts down immediately.
-    cache::configure(CacheConfig { capacity: 1 });
+    cache::configure(CacheConfig { capacity: 1, shards: 1 });
     assert_eq!(cache::stats().entries, 1);
 
     // Capacity 0 disables retention: repeat allocations all miss.
-    cache::configure(CacheConfig { capacity: 0 });
+    cache::configure(CacheConfig { capacity: 0, shards: 1 });
     assert_eq!(cache::stats().entries, 0);
     let before = cache::stats();
     alloc(7);
@@ -68,9 +76,61 @@ fn capacity_bounds_entries_and_counts_evictions() {
     assert_eq!(st.entries, 0, "{st:?}");
 
     // Reset keeps the configured capacity but zeroes counters.
-    cache::configure(CacheConfig { capacity: 2 });
+    cache::configure(CacheConfig { capacity: 2, shards: 1 });
     cache::reset();
     let st = cache::stats();
     assert_eq!((st.hits, st.misses, st.evictions, st.entries), (0, 0, 0, 0));
     assert_eq!(cache::config().capacity, 2);
+
+    // Re-sharding migrates resident entries instead of dropping them,
+    // and keeps lifetime counters.
+    cache::reset();
+    cache::configure(CacheConfig { capacity: 64, shards: 1 });
+    for tag in 0..6 {
+        alloc(tag);
+    }
+    let before = cache::stats();
+    cache::configure(CacheConfig { capacity: 64, shards: 4 });
+    let st = cache::stats();
+    assert_eq!(st.per_shard.len(), 4, "{st:?}");
+    assert_eq!(st.entries, before.entries, "{st:?}");
+    assert_eq!(st.misses, before.misses, "{st:?}");
+    // Every migrated entry still hits.
+    for tag in 0..6 {
+        alloc(tag);
+    }
+    let after = cache::stats();
+    assert_eq!(after.hits, st.hits + 6, "{after:?}");
+
+    // Concurrent cold-key requests coalesce onto one allocation:
+    // exactly 1 miss and N-1 hits, whatever the thread interleaving.
+    cache::reset();
+    cache::configure(CacheConfig::default());
+    let m = module(99);
+    let before = cache::stats();
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let m = &m;
+            scope.spawn(move || {
+                cache::allocate_cached(
+                    m,
+                    SlotBudget { reg_slots: 8, smem_slots: 0 },
+                    &AllocOptions::default(),
+                )
+                .expect("alloc");
+            });
+        }
+    });
+    let d = cache::stats().delta_since(&before);
+    assert_eq!(d.misses, 1, "{d:?}");
+    assert_eq!(d.hits, 5, "{d:?}");
+    // Threads that arrived while the allocation was in flight count as
+    // coalesced; late arrivals are plain hits. Either way, never more
+    // coalesced waits than hits.
+    assert!(d.coalesced <= d.hits, "{d:?}");
+
+    // Leave the cache in its default configuration for any test binary
+    // reusing the process (none today, but cheap insurance).
+    cache::reset();
+    cache::configure(CacheConfig::default());
 }

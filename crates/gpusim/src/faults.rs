@@ -235,9 +235,19 @@ impl FaultInjector {
             // the launch can reach one. Tally launch faults in priority
             // order (transient masks the rest, matching the injection
             // order in the launch path).
+            // Journal the injected fault kinds (typed, per launch) next
+            // to the aggregate telemetry counters.
+            let tally = |kind: &'static str| {
+                orion_telemetry::counter("faults", kind, 1);
+                if orion_telemetry::is_enabled() {
+                    orion_telemetry::journal::record(
+                        orion_telemetry::journal::JournalEvent::FaultInjected { kind, launch: idx },
+                    );
+                }
+            };
             if f.transient {
                 self.stats.transient.fetch_add(1, Ordering::Relaxed);
-                orion_telemetry::counter("faults", "transient", 1);
+                tally("transient");
                 f.resource = false;
                 f.hang = false;
                 f.jitter_ppm = 0;
@@ -245,21 +255,21 @@ impl FaultInjector {
             } else {
                 if f.resource {
                     self.stats.resource.fetch_add(1, Ordering::Relaxed);
-                    orion_telemetry::counter("faults", "resource", 1);
+                    tally("resource");
                 }
                 if f.hang {
                     self.stats.hangs.fetch_add(1, Ordering::Relaxed);
-                    orion_telemetry::counter("faults", "hang", 1);
+                    tally("hang");
                     f.jitter_ppm = 0;
                     f.outlier = false;
                 } else {
                     if f.jitter_ppm != 0 {
                         self.stats.jitter.fetch_add(1, Ordering::Relaxed);
-                        orion_telemetry::counter("faults", "jitter", 1);
+                        tally("jitter");
                     }
                     if f.outlier {
                         self.stats.outliers.fetch_add(1, Ordering::Relaxed);
-                        orion_telemetry::counter("faults", "outlier", 1);
+                        tally("outlier");
                     }
                 }
             }

@@ -1,0 +1,215 @@
+//! Registry exporters: Prometheus text exposition and a JSON snapshot.
+//!
+//! Both exporters consume a [`MetricsSnapshot`] so they render exactly
+//! the registered schema — nothing ad hoc can leak in, and every
+//! registered metric appears even when zero.
+//!
+//! # Prometheus text format
+//!
+//! [`prometheus_text`] follows the text exposition format: per metric a
+//! `# HELP` and `# TYPE` line, then the samples. Registry names are
+//! `/`-separated paths; Prometheus names must match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, so names are prefixed with `orion_` and
+//! every unsupported character becomes `_`
+//! (`cache/shard0/hits` → `orion_cache_shard0_hits`). Histograms render
+//! cumulative `_bucket{le="..."}` series from the log-bucket upper
+//! bounds, plus `_sum` and `_count`.
+//!
+//! # JSON snapshot
+//!
+//! [`snapshot_json`] renders a flat object keyed by the *registry* names
+//! (untranslated). Counters and gauges are scalars; histograms are
+//! summary objects (`count/min/p50/p90/p99/max/mean`) — the full bucket
+//! table stays internal to keep snapshots diff-friendly.
+
+use std::fmt::Write as _;
+
+use crate::escape_json;
+use crate::hist::{bucket_bounds, Histogram};
+use crate::registry::{MetricKind, MetricValue, MetricsSnapshot};
+
+/// Translate a registry metric name to a valid Prometheus metric name.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("orion_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prometheus_escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else if v > 0.0 {
+        out.push_str("+Inf");
+    } else {
+        out.push_str("-Inf");
+    }
+}
+
+fn write_histogram_series(out: &mut String, name: &str, h: &Histogram) {
+    // Cumulative buckets over the non-empty log buckets; `le` is each
+    // bucket's inclusive upper bound (exclusive bound − 1 in the integer
+    // domain, rendered as the exclusive bound per Prometheus convention
+    // of real-valued `le`).
+    let mut cum = 0u64;
+    for (idx, count) in h.nonzero_buckets() {
+        cum += count;
+        let (_, hi) = bucket_bounds(idx);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+#[must_use]
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(snap.samples.len() * 96 + 64);
+    for sample in &snap.samples {
+        let name = prometheus_name(&sample.desc.name);
+        let kind = match sample.desc.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        let mut help = prometheus_escape_help(&sample.desc.help);
+        if !sample.desc.unit.is_empty() {
+            if !help.is_empty() {
+                help.push(' ');
+            }
+            let _ = write!(help, "[{}]", sample.desc.unit);
+        }
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "{name} ");
+                write_f64(&mut out, *v);
+                out.push('\n');
+            }
+            MetricValue::Histogram(h) => write_histogram_series(&mut out, &name, h),
+        }
+    }
+    out
+}
+
+/// Render a snapshot as a flat JSON object keyed by registry names.
+#[must_use]
+pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(snap.samples.len() * 64 + 16);
+    out.push_str("{\n");
+    for (i, sample) in snap.samples.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        escape_json(&mut out, &sample.desc.name);
+        out.push_str(": ");
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "{v}");
+            }
+            MetricValue::Gauge(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            MetricValue::Histogram(h) => {
+                let s = h.summary();
+                let _ = write!(
+                    out,
+                    "{{\"count\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+                    s.count, s.min, s.p50, s.p90, s.p99, s.max, s.mean
+                );
+            }
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricRegistry;
+
+    fn sample_registry() -> MetricRegistry {
+        let r = MetricRegistry::new();
+        r.register_counter("cache/shard0/hits", "Shard 0 cache hits", "").add(5);
+        r.register_gauge("service/in_flight_sessions", "Concurrent sessions", "").set(2.0);
+        let h = r.register_histogram("service/launch_cycles", "Per-launch cost", "cycles");
+        h.record(10);
+        h.record(10);
+        h.record(3000);
+        r
+    }
+
+    #[test]
+    fn names_translate_to_prometheus_charset() {
+        assert_eq!(prometheus_name("cache/shard0/hits"), "orion_cache_shard0_hits");
+        assert_eq!(prometheus_name("a-b c"), "orion_a_b_c");
+    }
+
+    #[test]
+    fn prometheus_text_has_help_type_and_samples() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# HELP orion_cache_shard0_hits Shard 0 cache hits"), "{text}");
+        assert!(text.contains("# TYPE orion_cache_shard0_hits counter"), "{text}");
+        assert!(text.contains("orion_cache_shard0_hits 5"), "{text}");
+        assert!(text.contains("# TYPE orion_service_in_flight_sessions gauge"), "{text}");
+        assert!(text.contains("orion_service_in_flight_sessions 2"), "{text}");
+        assert!(text.contains("# TYPE orion_service_launch_cycles histogram"), "{text}");
+        // Unit folded into HELP.
+        assert!(text.contains("Per-launch cost [cycles]"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        // Two samples at 10 → the value-10 bucket (exclusive hi 11) holds 2.
+        assert!(text.contains("orion_service_launch_cycles_bucket{le=\"11\"} 2"), "{text}");
+        assert!(text.contains("orion_service_launch_cycles_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("orion_service_launch_cycles_sum 3020"), "{text}");
+        assert!(text.contains("orion_service_launch_cycles_count 3"), "{text}");
+        // Cumulative: the +Inf count appears after the finite buckets.
+        let inf_pos = text.find("le=\"+Inf\"").unwrap();
+        let first_pos = text.find("le=\"11\"").unwrap();
+        assert!(first_pos < inf_pos);
+    }
+
+    #[test]
+    fn json_snapshot_is_flat_with_histogram_summaries() {
+        let json = snapshot_json(&sample_registry().snapshot());
+        assert!(json.contains("\"cache/shard0/hits\": 5"), "{json}");
+        assert!(json.contains("\"service/in_flight_sessions\": 2"), "{json}");
+        assert!(json.contains("\"service/launch_cycles\": {\"count\":3"), "{json}");
+        assert!(json.contains("\"p50\":10"), "{json}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_documents() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(prometheus_text(&snap), "");
+        let json = snapshot_json(&snap);
+        assert!(json.trim() == "{\n\n}" || json.trim() == "{}" || json.starts_with('{'));
+    }
+}

@@ -7,6 +7,14 @@
 //! (per-iteration decisions), and the simulator (phase timeline), plus
 //! exporters to Chrome `trace_event` JSON and a flat metrics report.
 //!
+//! Beyond the raw event stream, the service plane builds on four typed
+//! layers: [`hist`] (log-bucketed latency histograms with deterministic
+//! merge), [`registry`] (a scoped, enumerable metric schema of counters,
+//! gauges and histograms), [`journal`] (a bounded ring of typed runtime
+//! decisions — retries, quarantines, evictions, fault injections), and
+//! [`export`]/[`timeline`] (Prometheus text + JSON snapshot exporters
+//! and a span-derived per-lane critical-path view).
+//!
 //! # Gating
 //!
 //! Recording is double-gated:
@@ -29,7 +37,12 @@
 //! gives one lane per SM on a cycle axis.
 
 pub mod chrome;
+pub mod export;
+pub mod hist;
+pub mod journal;
 pub mod metrics;
+pub mod registry;
+pub mod timeline;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -195,6 +208,21 @@ pub fn take_events() -> Vec<Event> {
 #[inline]
 fn now_us() -> u64 {
     START.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Microseconds since telemetry session start. Always available (the
+/// journal stamps records through it); in builds without the `enabled`
+/// feature there is no session clock and this returns 0.
+#[must_use]
+pub fn current_us() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        now_us()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
 }
 
 #[cfg(feature = "enabled")]

@@ -1,0 +1,552 @@
+//! Scoped metric registry: a registered, enumerable metric schema.
+//!
+//! The counter API ([`crate::counter`]) identifies metrics by ad-hoc
+//! `cat/name` strings assembled at each call site — nothing enumerates
+//! them, typos silently fork a metric, and gauges (values that go *down*)
+//! have no representation at all. The registry fixes the schema side:
+//! every instrument is registered once with a name, help text, unit and
+//! kind, handles are cheap clones backed by atomics, and a
+//! [`MetricRegistry::snapshot`] enumerates everything in registration
+//! order for the exporters ([`crate::export`]).
+//!
+//! Three instrument kinds:
+//!
+//! * [`CounterHandle`] — monotone `u64` (`add`/`inc`);
+//! * [`GaugeHandle`] — instantaneous `f64` (`set`/`add`/`inc`/`dec`),
+//!   plus *callback* gauges ([`MetricRegistry::register_gauge_fn`]) that
+//!   sample a closure at snapshot time (e.g. current cache entries);
+//! * [`HistogramHandle`] — a shared [`Histogram`].
+//!
+//! [`MetricRegistry::scope`] returns a view that prefixes every name
+//! with `prefix/`, so subsystems register `hits` and get
+//! `cache/shard0/hits` without string plumbing at call sites.
+//!
+//! Registration is idempotent: registering an existing name with the
+//! same kind returns a handle to the *same* instrument (so two call
+//! sites may race to register); a kind mismatch panics, as that is a
+//! schema bug, not a runtime condition.
+//!
+//! Unlike the event buffer, the registry is **not** gated by
+//! [`crate::is_enabled`]: instruments are plain atomics, cost nanoseconds,
+//! and reports must be able to read them even in `--no-default-features`
+//! builds (determinism tests compare registry-free service reports
+//! there). The global registry is process-wide ([`global`]); tests that
+//! need isolation construct their own `MetricRegistry`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{Histogram, HistogramSummary};
+
+/// What a registered instrument measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing count.
+    Counter,
+    /// Instantaneous value that can rise and fall.
+    Gauge,
+    /// Sample distribution ([`Histogram`]).
+    Histogram,
+}
+
+/// Static description of a registered metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDesc {
+    /// Full `/`-separated name, e.g. `"service/in_flight_sessions"`.
+    pub name: String,
+    /// One-line human description (Prometheus `HELP`).
+    pub help: String,
+    /// Unit suffix for documentation (`"cycles"`, `"us"`, `"entries"`,
+    /// `""` for dimensionless).
+    pub unit: &'static str,
+    pub kind: MetricKind,
+}
+
+/// Monotone counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge handle; stores `f64` bits in an atomic. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl GaugeHandle {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) with a compare-exchange loop.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram handle. Cloning shares the histogram.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    pub fn record(&self, v: u64) {
+        self.0.lock().unwrap().record(v);
+    }
+
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.0.lock().unwrap().record_n(v, n);
+    }
+
+    pub fn merge(&self, other: &Histogram) {
+        self.0.lock().unwrap().merge(other);
+    }
+
+    /// A point-in-time copy of the distribution.
+    #[must_use]
+    pub fn get(&self) -> Histogram {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+type GaugeFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+enum Instrument {
+    Counter(CounterHandle),
+    Gauge(GaugeHandle),
+    GaugeFn(GaugeFn),
+    Histogram(HistogramHandle),
+}
+
+impl Instrument {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) | Instrument::GaugeFn(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// The sampled value of one metric in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// One `(description, value)` row of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    pub desc: MetricDesc,
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    /// Histogram summary if this sample is a histogram.
+    #[must_use]
+    pub fn histogram_summary(&self) -> Option<HistogramSummary> {
+        match &self.value {
+            MetricValue::Histogram(h) => Some(h.summary()),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time enumeration of every registered metric, in
+/// registration order. Input to the exporters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.samples.iter().find(|s| s.desc.name == name).map(|s| &s.value)
+    }
+
+    #[must_use]
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn get_gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+/// A registry of typed, named instruments. Cloning shares the registry;
+/// use [`global`] for the process-wide instance.
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<Mutex<Vec<(MetricDesc, Instrument)>>>,
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("MetricRegistry").field("metrics", &inner.len()).finish()
+    }
+}
+
+impl MetricRegistry {
+    #[must_use]
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    fn register_with(
+        &self,
+        name: String,
+        help: &str,
+        unit: &'static str,
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument2 {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((desc, inst)) = inner.iter().find(|(d, _)| d.name == name) {
+            let fresh = make();
+            assert!(
+                desc.kind == fresh.kind(),
+                "metric {name:?} already registered as {:?}, requested {:?}",
+                desc.kind,
+                fresh.kind()
+            );
+            return clone_instrument(inst);
+        }
+        let inst = make();
+        let desc = MetricDesc { name, help: help.to_string(), unit, kind: inst.kind() };
+        let out = clone_instrument(&inst);
+        inner.push((desc, inst));
+        out
+    }
+
+    /// Register (or look up) a monotone counter.
+    pub fn register_counter(&self, name: &str, help: &str, unit: &'static str) -> CounterHandle {
+        match self.register_with(name.to_string(), help, unit, || {
+            Instrument::Counter(CounterHandle::default())
+        }) {
+            Instrument2::Counter(h) => h,
+            _ => unreachable!("kind checked in register_with"),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn register_gauge(&self, name: &str, help: &str, unit: &'static str) -> GaugeHandle {
+        match self.register_with(name.to_string(), help, unit, || {
+            Instrument::Gauge(GaugeHandle::default())
+        }) {
+            Instrument2::Gauge(h) => h,
+            _ => unreachable!("kind checked in register_with"),
+        }
+    }
+
+    /// Register a *callback* gauge sampled at snapshot time. Re-registering
+    /// the same name replaces the callback (the latest closure wins), so a
+    /// reconfigured subsystem can rebind its live views.
+    pub fn register_gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        unit: &'static str,
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((desc, inst)) = inner.iter_mut().find(|(d, _)| d.name == name) {
+            assert!(
+                desc.kind == MetricKind::Gauge,
+                "metric {name:?} already registered as {:?}, requested Gauge",
+                desc.kind
+            );
+            *inst = Instrument::GaugeFn(Box::new(f));
+            return;
+        }
+        let desc = MetricDesc {
+            name: name.to_string(),
+            help: help.to_string(),
+            unit,
+            kind: MetricKind::Gauge,
+        };
+        inner.push((desc, Instrument::GaugeFn(Box::new(f))));
+    }
+
+    /// Register (or look up) a histogram.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        unit: &'static str,
+    ) -> HistogramHandle {
+        match self.register_with(name.to_string(), help, unit, || {
+            Instrument::Histogram(HistogramHandle::default())
+        }) {
+            Instrument2::Histogram(h) => h,
+            _ => unreachable!("kind checked in register_with"),
+        }
+    }
+
+    /// A view of this registry that prefixes every registered name with
+    /// `prefix/`. Scopes nest: `scope("cache").scope("shard0")` registers
+    /// under `cache/shard0/`.
+    #[must_use]
+    pub fn scope(&self, prefix: &str) -> Scope {
+        Scope { registry: self.clone(), prefix: format!("{prefix}/") }
+    }
+
+    /// Sample every instrument, in registration order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let samples = inner
+            .iter()
+            .map(|(desc, inst)| MetricSample {
+                desc: desc.clone(),
+                value: match inst {
+                    Instrument::Counter(h) => MetricValue::Counter(h.get()),
+                    Instrument::Gauge(h) => MetricValue::Gauge(h.get()),
+                    Instrument::GaugeFn(f) => MetricValue::Gauge(f()),
+                    Instrument::Histogram(h) => MetricValue::Histogram(h.get()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+
+    /// The registered schema (descriptions only), in registration order.
+    #[must_use]
+    pub fn descriptors(&self) -> Vec<MetricDesc> {
+        self.inner.lock().unwrap().iter().map(|(d, _)| d.clone()).collect()
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// `register_with` needs to return "one of the clonable handles"; this
+// private mirror of Instrument avoids cloning the boxed gauge callback
+// (which has no meaningful handle to return).
+enum Instrument2 {
+    Counter(CounterHandle),
+    Gauge(GaugeHandle),
+    Histogram(HistogramHandle),
+}
+
+fn clone_instrument(inst: &Instrument) -> Instrument2 {
+    match inst {
+        Instrument::Counter(h) => Instrument2::Counter(h.clone()),
+        Instrument::Gauge(h) => Instrument2::Gauge(h.clone()),
+        // A callback gauge has no writable cell; hand back a detached
+        // gauge so the caller's writes are inert rather than panicking.
+        Instrument::GaugeFn(_) => Instrument2::Gauge(GaugeHandle::default()),
+        Instrument::Histogram(h) => Instrument2::Histogram(h.clone()),
+    }
+}
+
+/// A prefixing view of a [`MetricRegistry`]; see [`MetricRegistry::scope`].
+#[derive(Debug, Clone)]
+pub struct Scope {
+    registry: MetricRegistry,
+    prefix: String,
+}
+
+impl Scope {
+    pub fn register_counter(&self, name: &str, help: &str, unit: &'static str) -> CounterHandle {
+        self.registry.register_counter(&format!("{}{name}", self.prefix), help, unit)
+    }
+
+    pub fn register_gauge(&self, name: &str, help: &str, unit: &'static str) -> GaugeHandle {
+        self.registry.register_gauge(&format!("{}{name}", self.prefix), help, unit)
+    }
+
+    pub fn register_gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        unit: &'static str,
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.registry.register_gauge_fn(&format!("{}{name}", self.prefix), help, unit, f)
+    }
+
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        unit: &'static str,
+    ) -> HistogramHandle {
+        self.registry.register_histogram(&format!("{}{name}", self.prefix), help, unit)
+    }
+
+    /// Nest a further prefix under this scope.
+    #[must_use]
+    pub fn scope(&self, prefix: &str) -> Scope {
+        Scope { registry: self.registry.clone(), prefix: format!("{}{prefix}/", self.prefix) }
+    }
+}
+
+/// The process-wide registry. Subsystems (`cache`, `service`) register
+/// their instruments here; the profiler CLI and the service report
+/// snapshot it.
+pub fn global() -> &'static MetricRegistry {
+    static GLOBAL: OnceLock<MetricRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let r = MetricRegistry::new();
+        let c = r.register_counter("launches", "total launches", "");
+        c.add(3);
+        c.inc();
+        let g = r.register_gauge("in_flight", "concurrent sessions", "");
+        g.set(2.0);
+        g.inc();
+        g.dec();
+        let h = r.register_histogram("latency", "launch cycles", "cycles");
+        h.record(100);
+        h.record(200);
+        let snap = r.snapshot();
+        assert_eq!(snap.get_counter("launches"), Some(4));
+        assert_eq!(snap.get_gauge("in_flight"), Some(2.0));
+        match snap.get("latency") {
+            Some(MetricValue::Histogram(hist)) => assert_eq!(hist.count(), 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_shares_state() {
+        let r = MetricRegistry::new();
+        let a = r.register_counter("x", "first", "");
+        let b = r.register_counter("x", "second registration ignored", "");
+        a.add(1);
+        b.add(2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.snapshot().get_counter("x"), Some(3));
+        // Help text of the first registration wins.
+        assert_eq!(r.descriptors()[0].help, "first");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricRegistry::new();
+        let _c = r.register_counter("x", "", "");
+        let _g = r.register_gauge("x", "", "");
+    }
+
+    #[test]
+    fn scopes_prefix_and_nest() {
+        let r = MetricRegistry::new();
+        let cache = r.scope("cache");
+        let shard = cache.scope("shard0");
+        shard.register_counter("hits", "", "").add(7);
+        cache.register_gauge("entries", "", "entries").set(12.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.get_counter("cache/shard0/hits"), Some(7));
+        assert_eq!(snap.get_gauge("cache/entries"), Some(12.0));
+    }
+
+    #[test]
+    fn gauge_fn_samples_at_snapshot_time() {
+        let r = MetricRegistry::new();
+        let cell = Arc::new(AtomicU64::new(5));
+        let probe = cell.clone();
+        r.register_gauge_fn("live", "sampled", "", move || probe.load(Ordering::Relaxed) as f64);
+        assert_eq!(r.snapshot().get_gauge("live"), Some(5.0));
+        cell.store(9, Ordering::Relaxed);
+        assert_eq!(r.snapshot().get_gauge("live"), Some(9.0));
+        // Re-registering replaces the callback.
+        r.register_gauge_fn("live", "rebound", "", || 42.0);
+        assert_eq!(r.snapshot().get_gauge("live"), Some(42.0));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let r = MetricRegistry::new();
+        r.register_counter("z", "", "");
+        r.register_gauge("a", "", "");
+        r.register_histogram("m", "", "");
+        let names: Vec<_> = r.snapshot().samples.iter().map(|s| s.desc.name.clone()).collect();
+        assert_eq!(names, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_across_threads() {
+        let r = MetricRegistry::new();
+        let g = r.register_gauge("g", "", "");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 4000.0);
+    }
+}
