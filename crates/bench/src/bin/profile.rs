@@ -30,7 +30,7 @@ use orion_bench::experiment::run_version_once;
 use orion_core::backend::SimBackend;
 use orion_core::compiler::TuningConfig;
 use orion_core::orion::Orion;
-use orion_core::service::{KernelJob, OrionService, ServiceConfig};
+use orion_core::service::{JobPolicy, KernelJob, OrionService, ServiceConfig};
 use orion_gpusim::DeviceSpec;
 use orion_telemetry::metrics::{aggregate_counters, MetricsReport};
 use orion_telemetry::{export, journal, registry, timeline};
@@ -176,6 +176,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             global: w.init_global.clone(),
             iterations,
             tuning: TuningConfig::new(w.block),
+            policy: JobPolicy::default(),
         }]);
         let l = &sr.metrics.launch_cycles;
         println!(

@@ -38,7 +38,7 @@ use orion_bench::figures::Figure;
 use orion_core::backend::SimBackend;
 use orion_core::cache;
 use orion_core::compiler::TuningConfig;
-use orion_core::service::{KernelJob, OrionService, ServiceConfig, ServiceReport};
+use orion_core::service::{JobPolicy, KernelJob, OrionService, ServiceConfig, ServiceReport};
 use orion_gpusim::device::DeviceSpec;
 use orion_workloads::by_name;
 use serde::Serialize;
@@ -81,11 +81,18 @@ struct ServiceDoc {
     iterations_per_kernel: u32,
     sequential_wall_ms: f64,
     concurrent_wall_ms: f64,
+    /// Worker threads the two runs actually used, as recorded by
+    /// [`ServiceReport`] itself (not the requested counts) — makes a
+    /// 0.95× single-core artifact self-explaining.
+    sequential_workers: usize,
     concurrent_workers: usize,
     /// sequential wall / concurrent wall at 8 kernels.
     speedup_concurrent_over_sequential: f64,
     /// Whether the 2× throughput gate was enforced (host_cores ≥ 4).
     throughput_gated: bool,
+    /// Why the throughput gate was skipped, when it was (`null` when
+    /// it ran) — keeps the skip auditable from the artifact alone.
+    throughput_gate_skip_reason: Option<String>,
     bit_identical_outcomes: bool,
     /// Whether the per-kernel cycle-domain histograms matched across
     /// worker counts (gate 2).
@@ -114,6 +121,7 @@ fn batch(iterations: u32) -> Vec<KernelJob> {
                 global: w.init_global.clone(),
                 iterations,
                 tuning: TuningConfig::new(w.block),
+                policy: JobPolicy::default(),
             }
         })
         .collect()
@@ -211,6 +219,8 @@ fn main() {
     // physically provide it.
     let speedup = seq_ms / conc_ms;
     let throughput_gated = host_cores >= 4;
+    let throughput_gate_skip_reason = (!throughput_gated)
+        .then(|| format!("host has {host_cores} core(s); a 2x concurrency speedup needs >= 4"));
     if throughput_gated && speedup < 2.0 {
         eprintln!(
             "FAIL: concurrent batch only {speedup:.2}x faster than sequential \
@@ -257,9 +267,11 @@ fn main() {
         iterations_per_kernel: iterations,
         sequential_wall_ms: seq_ms,
         concurrent_wall_ms: conc_ms,
-        concurrent_workers: BATCH,
+        sequential_workers: seq_report.workers,
+        concurrent_workers: conc_report.workers,
         speedup_concurrent_over_sequential: speedup,
         throughput_gated,
+        throughput_gate_skip_reason,
         bit_identical_outcomes: bit_identical,
         bit_identical_histograms: hist_identical,
         cache_hits: cache_stats.hits,

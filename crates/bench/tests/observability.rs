@@ -9,13 +9,14 @@
 //!
 //! These tests share process-global state (the compile cache, the
 //! journal ring, the telemetry switch), so everything service-driven
-//! runs inside ONE `#[test]` — Rust's parallel test runner would
-//! otherwise interleave drains.
+//! runs inside ONE `#[test]`, and every test touching the global
+//! journal serializes on [`GLOBAL_STATE`] — Rust's parallel test
+//! runner would otherwise interleave drains.
 
 use orion_core::backend::SimBackend;
 use orion_core::cache;
 use orion_core::compiler::TuningConfig;
-use orion_core::service::{KernelJob, OrionService, ServiceConfig, ServiceReport};
+use orion_core::service::{JobPolicy, KernelJob, OrionService, ServiceConfig, ServiceReport};
 use orion_gpusim::device::DeviceSpec;
 use orion_gpusim::exec::Launch;
 use orion_kir::builder::FunctionBuilder;
@@ -24,7 +25,13 @@ use orion_kir::inst::Operand;
 use orion_kir::types::{MemSpace, SpecialReg, Width};
 use orion_telemetry::export;
 use orion_telemetry::hist::Histogram;
+use orion_telemetry::journal::{self, JournalEvent};
 use orion_telemetry::registry::MetricRegistry;
+use std::sync::{Mutex, PoisonError};
+
+/// Serializes the tests that mutate the process-global journal ring
+/// and telemetry switch.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
 
 /// `out[gid] = in[gid] * mul` — distinct `mul` gives each kernel a
 /// distinct module fingerprint; repeats share compile-cache entries.
@@ -52,6 +59,7 @@ fn batch(iterations: u32) -> Vec<KernelJob> {
             global: vec![0u8; 4 * 256],
             iterations,
             tuning: TuningConfig::new(64),
+            policy: JobPolicy::default(),
         })
         .collect()
 }
@@ -66,6 +74,7 @@ fn run(workers: usize) -> ServiceReport {
 
 #[test]
 fn service_observability_end_to_end() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(PoisonError::into_inner);
     orion_telemetry::set_enabled(true);
     orion_telemetry::journal::clear();
     cache::reset();
@@ -138,6 +147,47 @@ fn service_observability_end_to_end() {
     assert!(matches!(parsed, serde_json::Value::Map(_)), "snapshot JSON is an object");
 
     orion_telemetry::set_enabled(false);
+}
+
+#[test]
+fn journal_overflow_under_concurrent_writers() {
+    // N threads racing `record_always` past the ring's capacity: the
+    // ring must keep exactly the newest `capacity` records, assign a
+    // gapless monotone sequence across all writers, and account for
+    // every dropped record — the overflow contract the service relies
+    // on when a chaotic batch floods the journal.
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(PoisonError::into_inner);
+    const CAPACITY: usize = 64;
+    const WRITERS: u64 = 8;
+    const PER_WRITER: u64 = 100;
+    journal::clear();
+    journal::set_capacity(CAPACITY);
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    journal::record_always(JournalEvent::Degraded {
+                        kernel: format!("w{w}#{i}"),
+                        reason: "overflow-test",
+                    });
+                }
+            });
+        }
+    });
+    let d = journal::drain();
+    let total = WRITERS * PER_WRITER;
+    assert_eq!(d.records.len(), CAPACITY, "ring retains exactly its capacity");
+    assert_eq!(d.dropped, total - CAPACITY as u64, "every overflow is counted");
+    // Sequence numbers are globally monotone and gapless even under
+    // racing writers, and the *newest* records are the ones retained:
+    // after `clear()` reset the counter, the survivors are exactly the
+    // last CAPACITY of `total` sequence numbers.
+    for (i, r) in d.records.iter().enumerate() {
+        assert_eq!(r.seq, total - CAPACITY as u64 + i as u64, "records: {:?}", d.records);
+    }
+    // Restore the default for whichever test runs next.
+    journal::set_capacity(journal::DEFAULT_CAPACITY);
+    journal::clear();
 }
 
 #[test]

@@ -47,6 +47,19 @@
 //! allocation fails (or capacity is 0 and nothing is retained), waiters
 //! simply retry the protocol themselves.
 //!
+//! ## Poison recovery
+//!
+//! A thread that panics while holding a shard lock must not wedge every
+//! future compile. All shard locking goes through one poison-tolerant
+//! helper: a poisoned shard is *cleared* (entries are pure memoization,
+//! so dropping them is always safe — the next request simply
+//! recompiles), the event is counted
+//! ([`ShardStats::poison_recovered`], the `cache/poison_recovered`
+//! gauge, a journal record) and the mutex is un-poisoned. In-flight
+//! markers are cleaned up by an unwind-safe drop guard plus a bounded
+//! condvar wait, so coalesced waiters can never strand on an
+//! allocation whose owner died.
+//!
 //! ## Invalidation
 //!
 //! Entries never go stale — the key captures every input of the
@@ -67,7 +80,14 @@ use orion_alloc::realize::{allocate, AllocError, AllocOptions, Allocated, SlotBu
 use orion_kir::function::Module;
 use orion_telemetry::journal::{self, JournalEvent};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Upper bound on one coalescing condvar wait. The in-flight guard
+/// wakes waiters when an allocation resolves (or unwinds), so this
+/// never fires on a healthy cache — it is pure defense so a lost wakeup
+/// can never strand a waiter forever.
+const COALESCE_WAIT: Duration = Duration::from_millis(50);
 
 /// Default maximum resident entries across all shards; far above any
 /// single tuning session in this repo (a sweep realizes ≤ 16 versions
@@ -123,6 +143,8 @@ struct ShardState {
     misses: u64,
     evictions: u64,
     coalesced: u64,
+    /// Times this shard's mutex was found poisoned and recovered.
+    poisoned: u64,
 }
 
 impl ShardState {
@@ -146,6 +168,53 @@ struct Shard {
     state: Mutex<ShardState>,
     /// Wakes coalesced waiters when an in-flight allocation resolves.
     resolved: Condvar,
+}
+
+/// Lock a shard, recovering from poison instead of propagating it.
+///
+/// A thread that panics while holding the shard lock leaves the shard's
+/// contents in an unknown state (a half-finished insert, an in-flight
+/// key whose allocation will never resolve). Recovery therefore
+/// *clears* the shard — resident entries, FIFO order, and in-flight
+/// markers — which is always safe because entries are pure memoization,
+/// then counts the event ([`ShardStats::poison_recovered`], journal
+/// [`JournalEvent::PoisonRecovered`]), un-poisons the mutex so every
+/// future compile proceeds normally, and wakes any waiters coalesced on
+/// a cleared in-flight key so they retry their own allocation.
+fn lock_shard<'a>(shard: &'a Shard, idx: usize) -> MutexGuard<'a, ShardState> {
+    match shard.state.lock() {
+        Ok(st) => st,
+        Err(poisoned) => {
+            let mut st = poisoned.into_inner();
+            st.map.clear();
+            st.order.clear();
+            st.inflight.clear();
+            st.poisoned += 1;
+            shard.state.clear_poison();
+            orion_telemetry::counter("compile_cache", "poison_recovered", 1);
+            journal::record(JournalEvent::PoisonRecovered { shard: idx });
+            shard.resolved.notify_all();
+            st
+        }
+    }
+}
+
+/// Clears `key`'s in-flight marker and wakes coalesced waiters when
+/// dropped — *including* by unwind — so a panicking allocation can
+/// never strand the threads waiting on it.
+struct InflightGuard<'a> {
+    shard: &'a Shard,
+    idx: usize,
+    key: Key,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock_shard(self.shard, self.idx);
+        st.inflight.remove(&self.key);
+        drop(st);
+        self.shard.resolved.notify_all();
+    }
 }
 
 struct ShardedCache {
@@ -175,6 +244,17 @@ fn state() -> &'static RwLock<ShardedCache> {
     })
 }
 
+/// Read the stripe set, tolerating poison. The outer `RwLock` only
+/// guards the shard *vector* (shard contents live behind per-shard
+/// mutexes with their own recovery), so a reader can safely continue
+/// after a writer panicked mid-`configure`: the vector is replaced
+/// atomically and is structurally valid at every point.
+fn read_state() -> std::sync::RwLockReadGuard<'static, ShardedCache> {
+    let lock = state();
+    lock.clear_poison();
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Register the cache's live registry gauges (sampled at snapshot time).
 fn register_gauges() {
     let scope = orion_telemetry::registry::global().scope("cache");
@@ -190,6 +270,12 @@ fn register_gauges() {
     scope.register_gauge_fn("shards", "Configured compile-cache shard count", "", || {
         STATE.get().map_or(0.0, |_| config().shard_count() as f64)
     });
+    scope.register_gauge_fn(
+        "poison_recovered",
+        "Poisoned compile-cache shard mutexes recovered",
+        "events",
+        || STATE.get().map_or(0.0, |_| stats().poison_recovered as f64),
+    );
 }
 
 /// Replace the cache configuration. Changing the shard count rehashes
@@ -199,12 +285,14 @@ fn register_gauges() {
 /// aggregated into shard 0's tally if the shard count shrinks, so
 /// process-lifetime totals are never lost.
 pub fn configure(cfg: CacheConfig) {
-    let mut cache = state().write().expect("compile cache poisoned");
+    let lock = state();
+    lock.clear_poison();
+    let mut cache = lock.write().unwrap_or_else(PoisonError::into_inner);
     if cfg.shard_count() == cache.cfg.shard_count() {
         cache.cfg = cfg;
         let capacity = cfg.per_shard_capacity();
         for (i, shard) in cache.shards.iter().enumerate() {
-            let mut st = shard.state.lock().expect("compile cache poisoned");
+            let mut st = lock_shard(shard, i);
             let evicted = st.evict_to_fit(0, capacity);
             if evicted > 0 {
                 journal::record(JournalEvent::CacheEvicted { shard: i, entries: evicted });
@@ -214,14 +302,15 @@ pub fn configure(cfg: CacheConfig) {
     }
     // Shard count changed: rebuild the stripe set and migrate entries.
     let old = std::mem::replace(&mut *cache, ShardedCache::new(cfg));
-    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut resident: Vec<(Key, Arc<Allocated>)> = Vec::new();
-    for shard in &old.shards {
-        let mut st = shard.state.lock().expect("compile cache poisoned");
+    for (i, shard) in old.shards.iter().enumerate() {
+        let mut st = lock_shard(shard, i);
         totals.0 += st.hits;
         totals.1 += st.misses;
         totals.2 += st.evictions;
         totals.3 += st.coalesced;
+        totals.4 += st.poisoned;
         for key in std::mem::take(&mut st.order) {
             if let Some(v) = st.map.remove(&key) {
                 resident.push((key, v));
@@ -230,14 +319,14 @@ pub fn configure(cfg: CacheConfig) {
     }
     // Lifetime counters survive reconfiguration, parked on shard 0.
     {
-        let mut st = cache.shards[0].state.lock().expect("compile cache poisoned");
-        (st.hits, st.misses, st.evictions, st.coalesced) = totals;
+        let mut st = lock_shard(&cache.shards[0], 0);
+        (st.hits, st.misses, st.evictions, st.coalesced, st.poisoned) = totals;
     }
     let capacity = cfg.per_shard_capacity();
     if cfg.capacity > 0 {
         for (key, value) in resident {
             let idx = cache.shard_index(&key);
-            let mut st = cache.shards[idx].state.lock().expect("compile cache poisoned");
+            let mut st = lock_shard(&cache.shards[idx], idx);
             if !st.map.contains_key(&key) {
                 let evicted = st.evict_to_fit(1, capacity);
                 if evicted > 0 {
@@ -252,7 +341,7 @@ pub fn configure(cfg: CacheConfig) {
 
 /// The currently active cache configuration.
 pub fn config() -> CacheConfig {
-    state().read().expect("compile cache poisoned").cfg
+    read_state().cfg
 }
 
 /// Counters of one cache shard.
@@ -267,6 +356,10 @@ pub struct ShardStats {
     /// Hits that were coalesced onto another thread's in-flight
     /// allocation (a subset of `hits`).
     pub coalesced: u64,
+    /// Times this shard's mutex was found poisoned (a thread panicked
+    /// while holding it) and recovered by clearing the shard. Counts
+    /// resilience events, so [`reset`] preserves it.
+    pub poison_recovered: u64,
     /// Entries currently resident in this shard.
     pub entries: usize,
 }
@@ -301,6 +394,8 @@ pub struct CompileCacheStats {
     pub evictions: u64,
     /// Hits coalesced onto a concurrent in-flight allocation.
     pub coalesced: u64,
+    /// Poisoned shard mutexes recovered (cleared and un-poisoned).
+    pub poison_recovered: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Per-shard counters, indexed by shard.
@@ -334,6 +429,7 @@ impl CompileCacheStats {
                     misses: a.misses.saturating_sub(b.misses),
                     evictions: a.evictions.saturating_sub(b.evictions),
                     coalesced: a.coalesced.saturating_sub(b.coalesced),
+                    poison_recovered: a.poison_recovered.saturating_sub(b.poison_recovered),
                     entries: a.entries,
                 })
                 .collect()
@@ -345,6 +441,7 @@ impl CompileCacheStats {
             misses: self.misses.saturating_sub(before.misses),
             evictions: self.evictions.saturating_sub(before.evictions),
             coalesced: self.coalesced.saturating_sub(before.coalesced),
+            poison_recovered: self.poison_recovered.saturating_sub(before.poison_recovered),
             entries: self.entries,
             per_shard,
         }
@@ -363,11 +460,11 @@ pub fn allocate_cached(
     opts: &AllocOptions,
 ) -> Result<Allocated, AllocError> {
     let key = (module.fingerprint(), budget, *opts);
-    let cache = state().read().expect("compile cache poisoned");
+    let cache = read_state();
     let idx = cache.shard_index(&key);
     let shard = &cache.shards[idx];
     let retain = cache.cfg.capacity > 0;
-    let mut st = shard.state.lock().expect("compile cache poisoned");
+    let mut st = lock_shard(shard, idx);
     let mut waited = false;
     loop {
         if let Some(hit) = st.map.get(&key).cloned() {
@@ -383,18 +480,31 @@ pub fn allocate_cached(
             break;
         }
         waited = true;
-        st = shard.resolved.wait(st).expect("compile cache poisoned");
+        // Bounded wait: the in-flight guard signals on resolve *and*
+        // on unwind; the timeout just re-checks in case a recovery
+        // cleared the in-flight key between our test and the wait.
+        st = match shard.resolved.wait_timeout(st, COALESCE_WAIT) {
+            Ok((st, _timed_out)) => st,
+            Err(poisoned) => {
+                drop(poisoned); // releases the poisoned guard...
+                lock_shard(shard, idx) // ...and recovers the shard
+            }
+        };
     }
     st.misses += 1;
-    if retain {
+    // Armed before the allocation runs: if `allocate` (or this thread,
+    // between here and return) unwinds, the guard still clears the
+    // in-flight marker and wakes waiters, so nobody coalesces forever
+    // on a corpse.
+    let _inflight = retain.then(|| {
         st.inflight.insert(key);
-    }
+        InflightGuard { shard, idx, key }
+    });
     drop(st);
     orion_telemetry::counter("compile_cache", "miss", 1);
     let out = allocate(module, budget, opts);
     if retain {
-        let mut st = shard.state.lock().expect("compile cache poisoned");
-        st.inflight.remove(&key);
+        let mut st = lock_shard(shard, idx);
         if let Ok(v) = &out {
             if !st.map.contains_key(&key) {
                 let capacity = cache.cfg.per_shard_capacity();
@@ -406,8 +516,8 @@ pub fn allocate_cached(
                 st.map.insert(key, Arc::new(v.clone()));
             }
         }
-        drop(st);
-        shard.resolved.notify_all();
+        // `_inflight` drops on return: marker cleared, waiters woken —
+        // after the entry above is visible, so they resolve as hits.
     }
     out
 }
@@ -415,33 +525,37 @@ pub fn allocate_cached(
 /// Snapshot the hit/miss/eviction/coalesce counters and resident entry
 /// counts, aggregate and per shard.
 pub fn stats() -> CompileCacheStats {
-    let cache = state().read().expect("compile cache poisoned");
+    let cache = read_state();
     let mut total = CompileCacheStats::default();
-    for shard in &cache.shards {
-        let st = shard.state.lock().expect("compile cache poisoned");
+    for (i, shard) in cache.shards.iter().enumerate() {
+        let st = lock_shard(shard, i);
         let s = ShardStats {
             hits: st.hits,
             misses: st.misses,
             evictions: st.evictions,
             coalesced: st.coalesced,
+            poison_recovered: st.poisoned,
             entries: st.map.len(),
         };
         total.hits += s.hits;
         total.misses += s.misses;
         total.evictions += s.evictions;
         total.coalesced += s.coalesced;
+        total.poison_recovered += s.poison_recovered;
         total.entries += s.entries;
         total.per_shard.push(s);
     }
     total
 }
 
-/// Drop every entry and zero the counters (cold-cache measurements).
-/// The configured capacity and shard count are kept.
+/// Drop every entry and zero the performance counters (cold-cache
+/// measurements). The configured capacity and shard count are kept, as
+/// is the poison-recovery count — that one tallies resilience events,
+/// not cache effectiveness, and reports assert on its lifetime value.
 pub fn reset() {
-    let cache = state().read().expect("compile cache poisoned");
-    for shard in &cache.shards {
-        let mut st = shard.state.lock().expect("compile cache poisoned");
+    let cache = read_state();
+    for (i, shard) in cache.shards.iter().enumerate() {
+        let mut st = lock_shard(shard, i);
         st.map.clear();
         st.order.clear();
         st.hits = 0;
@@ -449,6 +563,24 @@ pub fn reset() {
         st.evictions = 0;
         st.coalesced = 0;
     }
+}
+
+/// Deliberately poison shard 0's mutex: spawn a thread that takes the
+/// lock and panics. Chaos/test helper proving poison recovery end to
+/// end — the *next* cache operation on that shard clears it, increments
+/// [`ShardStats::poison_recovered`], and proceeds normally. The
+/// panicking thread prints through the process panic hook; callers that
+/// want silence install a quiet hook first.
+pub fn poison_for_chaos() {
+    let poisoner = std::thread::spawn(|| {
+        let cache = read_state();
+        let _guard = cache.shards[0].state.lock().unwrap_or_else(PoisonError::into_inner);
+        panic!("chaos: poisoning the compile cache on purpose");
+    });
+    // The join error *is* the panic we induced; swallowing it keeps the
+    // poison (set when the guard dropped during unwind) as the only
+    // side effect.
+    let _ = poisoner.join();
 }
 
 #[cfg(test)]
@@ -536,12 +668,14 @@ mod tests {
             misses: 4,
             evictions: 1,
             coalesced: 2,
+            poison_recovered: 0,
             entries: 3,
             per_shard: vec![ShardStats {
                 hits: 10,
                 misses: 4,
                 evictions: 1,
                 coalesced: 2,
+                poison_recovered: 0,
                 entries: 3,
             }],
         };
@@ -550,17 +684,20 @@ mod tests {
             misses: 9,
             evictions: 1,
             coalesced: 5,
+            poison_recovered: 1,
             entries: 7,
             per_shard: vec![ShardStats {
                 hits: 25,
                 misses: 9,
                 evictions: 1,
                 coalesced: 5,
+                poison_recovered: 1,
                 entries: 7,
             }],
         };
         let d = after.delta_since(&before);
         assert_eq!((d.hits, d.misses, d.evictions, d.coalesced), (15, 5, 0, 3));
+        assert_eq!(d.poison_recovered, 1);
         assert_eq!(d.entries, 7);
         assert_eq!(d.per_shard[0].hits, 15);
         assert_eq!(d.per_shard[0].entries, 7);

@@ -27,7 +27,7 @@
 //! ```
 //! use orion_core::backend::SimBackend;
 //! use orion_core::compiler::TuningConfig;
-//! use orion_core::service::{KernelJob, OrionService, ServiceConfig};
+//! use orion_core::service::{JobPolicy, KernelJob, OrionService, ServiceConfig};
 //! use orion_gpusim::device::DeviceSpec;
 //! use orion_gpusim::exec::Launch;
 //! use orion_kir::builder::FunctionBuilder;
@@ -64,6 +64,7 @@
 //!     global: vec![0u8; 4 * 512],
 //!     iterations: 6,
 //!     tuning: TuningConfig::new(64),
+//!     policy: JobPolicy::default(),
 //! }]);
 //! assert!(report.all_ok());
 //! let outcome = report.kernels[0].outcome.as_ref().unwrap();
@@ -103,7 +104,10 @@ pub use resilient::{
     ResilientOutcome, RobustMeasure,
 };
 pub use runtime::{tune_loop, DynamicTuner, TuneDecision, TuneOutcome, TuneReason};
-pub use service::{KernelJob, KernelReport, OrionService, ServiceConfig, ServiceReport};
+pub use service::{
+    DegradeReason, JobDisposition, JobPolicy, KernelJob, KernelReport, OrionService, ServiceConfig,
+    ServiceReport,
+};
 pub use session::{
     SessionMode, SessionObs, SessionOutcome, SessionState, SessionStep, TuningSession,
 };

@@ -39,6 +39,11 @@ pub enum TuneReason {
     /// The finalized version itself was quarantined; the tuner fell
     /// back to the fail-safe / original / best surviving version.
     FellBack,
+    /// A service policy budget (deadline, wall budget, retry budget)
+    /// expired mid-walk; the tuner settled on its safest live version
+    /// instead of erroring (the paper's fail-safe philosophy lifted to
+    /// the service plane).
+    Degraded,
 }
 
 /// One recorded tuner step: what was measured and what the tuner did
@@ -311,6 +316,35 @@ impl DynamicTuner {
         });
     }
 
+    /// Settle the walk immediately because a service policy budget
+    /// (deadline, wall budget, retry budget) expired. An already
+    /// finalized version is kept; an unfinished walk resolves to the
+    /// *original* version when it is still alive — the paper's fail-safe
+    /// answer, not the best guess from a walk that was cut short — else
+    /// to the usual fallback chain (fail-safe, then best measured
+    /// survivor). Returns the settled version, or `None` when every
+    /// version is quarantined. Records a [`TuneReason::Degraded`]
+    /// decision either way, so the log explains the cut.
+    pub fn degrade_to_fallback(&mut self) -> Option<usize> {
+        if self.finalized.is_none() {
+            let alive = |v: usize| !self.quarantined.get(v).copied().unwrap_or(true);
+            self.finalized =
+                Some(self.original).filter(|&v| alive(v)).or_else(|| self.fallback_survivor());
+        }
+        if orion_telemetry::is_enabled() {
+            orion_telemetry::counter("resilience", "degraded", 1);
+        }
+        self.push_decision(TuneDecision {
+            trial: self.trials,
+            version: self.finalized.unwrap_or(self.original),
+            cycles: 0,
+            norm_cycles: 0,
+            reason: TuneReason::Degraded,
+            finalized: self.finalized,
+        });
+        self.finalized
+    }
+
     /// The fastest measured survivor, else the first unmeasured one.
     fn best_survivor(&self) -> Option<usize> {
         self.order
@@ -428,7 +462,9 @@ pub fn tune_loop<E>(
     use crate::session::{SessionStep, TuningSession};
     let mut session = TuningSession::simple(ck, iterations, threshold);
     loop {
-        let step = session.next_step().expect("simple sessions never fail internally");
+        let step = session
+            .next_step()
+            .expect("invariant violated: a Simple-mode session never errors from next_step");
         match step {
             SessionStep::Launch(v) => session.on_cycles(run(&ck.versions[v])?),
             SessionStep::Done => break,
@@ -748,6 +784,40 @@ mod tests {
         tuner.record(times[2]);
         tuner.record(times[3]);
         assert_eq!(tuner.finalized(), Some(2));
+    }
+
+    #[test]
+    fn degrade_mid_walk_settles_on_original_and_logs_it() {
+        let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        tuner.record(100); // baseline measured, walk in flight
+        assert_eq!(tuner.finalized(), None);
+        let settled = tuner.degrade_to_fallback();
+        assert_eq!(settled, Some(0), "unfinished walk degrades to the original");
+        assert_eq!(tuner.finalized(), Some(0));
+        let last = tuner.decisions().last().unwrap();
+        assert_eq!(last.reason, TuneReason::Degraded);
+        assert_eq!(last.finalized, Some(0));
+    }
+
+    #[test]
+    fn degrade_keeps_finalized_and_prefers_fail_safe_over_dead_original() {
+        // Already finalized: degrade is a no-op on the selection.
+        let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
+        let times = [100u64, 80, 90];
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        for _ in 0..3 {
+            let v = tuner.select();
+            tuner.record(times[v]);
+        }
+        assert_eq!(tuner.finalized(), Some(1));
+        assert_eq!(tuner.degrade_to_fallback(), Some(1), "finalized selection is kept");
+
+        // Dead original: the fail-safe takes over.
+        let ck = fake_compiled_with_fail_safe(&[8, 16, 32], Direction::Increasing);
+        let mut tuner = DynamicTuner::new(&ck, 0.02);
+        tuner.quarantine(0); // the original
+        assert_eq!(tuner.degrade_to_fallback(), Some(3), "fail-safe replaces a dead original");
     }
 
     #[test]

@@ -7,12 +7,20 @@
 //! [`Backend`], accepts a batch of named [`KernelJob`]s, and drives one
 //! [`TuningSession`] per kernel across a pool of scoped worker threads.
 //!
-//! Three properties the service guarantees:
+//! Four properties the service guarantees:
 //!
 //! * **Per-session isolation** — each job gets its own compiled
 //!   candidates, global-memory image, and session; a kernel whose every
 //!   candidate dies reports [`OrionError::AllCandidatesFailed`] in its
-//!   own [`KernelReport`] without disturbing its neighbours.
+//!   own [`KernelReport`] without disturbing its neighbours, and a
+//!   worker thread that *panics* mid-session is caught at the job
+//!   boundary ([`OrionError::SessionPanicked`]) instead of tearing the
+//!   batch down.
+//! * **Definite outcomes** — every submitted job terminates with
+//!   exactly one [`JobDisposition`]: `Finalized`, `Quarantined`,
+//!   `Degraded`, or `Rejected`. Jobs in equals definite outcomes out,
+//!   whatever the backend, the allocator, or a worker thread does — the
+//!   chaos-service bench gates exactly this invariant.
 //! * **Deterministic merge** — reports come back in submission order
 //!   whatever the thread interleaving, and
 //!   [`ServiceReport::merged_decisions`] is a deterministic flattening
@@ -25,6 +33,25 @@
 //!   with each session stamped onto its own lane
 //!   ([`orion_telemetry::set_scope`]) so traces stay separable.
 //!
+//! ## Job lifecycle
+//!
+//! ```text
+//! submit ──► Admitted ──► Running ──► Finalized
+//!    │                       ├──────► Quarantined   (errors, panics)
+//!    │                       └──────► Degraded      (budget expired)
+//!    └──► Rejected   (admission queue full, shed by priority)
+//! ```
+//!
+//! Admission happens before any worker runs: with
+//! [`ServiceConfig::queue_capacity`] set, a batch larger than the queue
+//! sheds its lowest-priority (then latest-submitted) jobs, which report
+//! [`OrionError::Overloaded`] immediately. Running jobs are metered
+//! against their [`JobPolicy`] — a simulated-cycle deadline, a
+//! wall-clock budget, and a retry budget shared across candidates — and
+//! a blown budget resolves the session to **Degraded**: the tuner
+//! settles on its fail-safe selection (the paper's §4 philosophy — the
+//! original kernel always remains runnable) instead of erroring.
+//!
 //! [`TuningSession`]: crate::session::TuningSession
 
 use crate::backend::Backend;
@@ -33,16 +60,109 @@ use crate::compiler::TuningConfig;
 use crate::error::OrionError;
 use crate::resilient::ResiliencePolicy;
 use crate::runtime::TuneDecision;
-use crate::session::{SessionOutcome, SessionStep, TuningSession};
-use orion_gpusim::exec::Launch;
+use crate::session::{SessionOutcome, SessionState, SessionStep, TuningSession};
+use orion_gpusim::exec::{Launch, SimError};
+use orion_gpusim::faults::{FaultInjector, JobFaults, ServiceFaultPlan};
 use orion_gpusim::sim::LaunchOptions;
 use orion_kir::function::Module;
 use orion_telemetry::hist::Histogram;
-use orion_telemetry::journal::JournalDrain;
+use orion_telemetry::journal::{self, JournalDrain, JournalEvent};
 use orion_telemetry::registry;
+use std::cmp::Reverse;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Default admission priority (midpoint of the `u8` range, so callers
+/// can step both up and down from the default).
+pub const DEFAULT_PRIORITY: u8 = 100;
+
+/// Per-job execution budgets and admission priority, enforced by the
+/// service around the session. All budgets default to *unlimited*: a
+/// default-policy job behaves exactly as before this type existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPolicy {
+    /// Simulated-cycle deadline across the whole session, retry backoff
+    /// included ([`TuningSession::total_cycles_so_far`]). Deterministic:
+    /// safe inside bit-equality gates. Exceeding it degrades the job.
+    pub deadline_cycles: Option<u64>,
+    /// Wall-clock budget for the whole job (compile excluded). **Not**
+    /// deterministic — leave `None` in any run that must be bit-equal
+    /// across worker counts. Exceeding it degrades the job.
+    pub wall_budget: Option<Duration>,
+    /// Retry budget shared across all candidates: once the session has
+    /// spent *more* than this many retries in total, the job degrades
+    /// (`Some(0)` allows no retries). `None` defers entirely to the
+    /// per-launch [`ResiliencePolicy::max_retries`].
+    pub retry_budget: Option<u32>,
+    /// Admission priority; higher survives shedding longer. Ties shed
+    /// the later submission first.
+    pub priority: u8,
+}
+
+impl Default for JobPolicy {
+    fn default() -> Self {
+        JobPolicy {
+            deadline_cycles: None,
+            wall_budget: None,
+            retry_budget: None,
+            priority: DEFAULT_PRIORITY,
+        }
+    }
+}
+
+/// Which [`JobPolicy`] budget expired and degraded a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// [`JobPolicy::deadline_cycles`] was reached.
+    DeadlineCycles,
+    /// [`JobPolicy::wall_budget`] elapsed.
+    WallBudget,
+    /// [`JobPolicy::retry_budget`] was exhausted.
+    RetryBudget,
+}
+
+impl DegradeReason {
+    /// Stable lowercase tag (journal records, reports).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            DegradeReason::DeadlineCycles => "deadline_cycles",
+            DegradeReason::WallBudget => "wall_budget",
+            DegradeReason::RetryBudget => "retry_budget",
+        }
+    }
+}
+
+/// The definite outcome of one submitted [`KernelJob`]. Every job gets
+/// exactly one of these — the service's core invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobDisposition {
+    /// The session settled normally (a finalized walk, or a healthy
+    /// session that simply ran out of iterations mid-walk).
+    Finalized,
+    /// The session died: every candidate quarantined, a fatal launch or
+    /// compile error, or a worker panic.
+    Quarantined,
+    /// A policy budget expired; the job reports its fail-safe selection.
+    Degraded(DegradeReason),
+    /// Shed at admission ([`OrionError::Overloaded`]); never ran.
+    Rejected,
+}
+
+impl JobDisposition {
+    /// Stable lowercase name (reports, bench artifacts).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobDisposition::Finalized => "finalized",
+            JobDisposition::Quarantined => "quarantined",
+            JobDisposition::Degraded(_) => "degraded",
+            JobDisposition::Rejected => "rejected",
+        }
+    }
+}
 
 /// Service-wide knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,11 +176,28 @@ pub struct ServiceConfig {
     /// `Some` drives resilient sessions (retry/quarantine/fallback);
     /// `None` drives the paper's exact fault-free walk.
     pub policy: Option<ResiliencePolicy>,
+    /// Admission-queue bound: `None` admits every batch unbounded (the
+    /// pre-resilience behavior); `Some(k)` admits at most `k` jobs per
+    /// batch and sheds the rest by ascending priority (ties: latest
+    /// submission first). `Some(0)` rejects everything — useful as a
+    /// drain switch and in tests.
+    pub queue_capacity: Option<usize>,
+    /// Service-boundary chaos plan: per-job launch-fault injection,
+    /// injected worker panics, and injected deadline pressure, drawn
+    /// deterministically per submission index. Inert when `None` (and
+    /// compiled out without the `faults` feature on `orion-gpusim`).
+    pub chaos: Option<ServiceFaultPlan>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 0, threshold: 0.02, policy: Some(ResiliencePolicy::default()) }
+        ServiceConfig {
+            workers: 0,
+            threshold: 0.02,
+            policy: Some(ResiliencePolicy::default()),
+            queue_capacity: None,
+            chaos: None,
+        }
     }
 }
 
@@ -83,6 +220,8 @@ pub struct KernelJob {
     pub iterations: u32,
     /// Compile-time tuning configuration (block size, version budget).
     pub tuning: TuningConfig,
+    /// Execution budgets and admission priority for this job.
+    pub policy: JobPolicy,
 }
 
 /// Per-kernel latency observations. The cycle-domain histograms come
@@ -122,6 +261,11 @@ pub struct KernelReport {
     /// The session outcome, or the error that stopped it. Errors are
     /// per-kernel: one dead kernel never aborts the batch.
     pub outcome: Result<SessionOutcome, OrionError>,
+    /// The job's definite disposition (see [`JobDisposition`]). Always
+    /// consistent with `outcome`: `Rejected` and `Quarantined` carry
+    /// errors, `Degraded` carries an `Ok` outcome whose session state
+    /// is [`SessionState::Degraded`].
+    pub disposition: JobDisposition,
     /// Latency observations for this kernel's session.
     pub metrics: KernelMetrics,
 }
@@ -157,6 +301,13 @@ pub struct ServiceReport {
     /// running several services concurrently shares one journal; records
     /// carry the session lane for attribution.
     pub journal: JournalDrain,
+    /// Host cores reported by `std::thread::available_parallelism` at
+    /// run time — makes single-core throughput artifacts self-explaining
+    /// and gate-skip conditions auditable.
+    pub host_cores: usize,
+    /// Worker threads the batch actually ran on (after clamping to the
+    /// admitted job count).
+    pub workers: usize,
 }
 
 impl ServiceReport {
@@ -176,6 +327,22 @@ impl ServiceReport {
     pub fn all_ok(&self) -> bool {
         self.kernels.iter().all(|k| k.outcome.is_ok())
     }
+
+    /// Count kernels whose disposition matches `pred` (e.g.
+    /// `|d| matches!(d, JobDisposition::Degraded(_))`).
+    #[must_use]
+    pub fn count_dispositions(&self, pred: impl Fn(JobDisposition) -> bool) -> usize {
+        self.kernels.iter().filter(|k| pred(k.disposition)).count()
+    }
+}
+
+/// Extract a human-readable detail from a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// The multi-kernel tuning service. See the module docs.
@@ -197,7 +364,10 @@ impl<B: Backend> OrionService<B> {
     }
 
     /// Tune one job to completion on the current thread (no telemetry
-    /// lane is assigned; used by the workers and handy in tests).
+    /// lane is assigned; used by the workers and handy in tests). The
+    /// job's [`JobPolicy`] budgets are enforced; admission control and
+    /// panic isolation are `run`-only (there is no queue here, and a
+    /// panic on the caller's own thread is the caller's to catch).
     ///
     /// # Errors
     /// Compile failures, fatal launch errors, or
@@ -214,6 +384,18 @@ impl<B: Backend> OrionService<B> {
         &self,
         job: &mut KernelJob,
     ) -> (Result<SessionOutcome, OrionError>, KernelMetrics) {
+        let (outcome, metrics, _) = self.tune_job(job, &JobFaults::NONE);
+        (outcome, metrics)
+    }
+
+    /// The full per-job driver: compile, open a session, drive it to a
+    /// definite disposition under the job's [`JobPolicy`] budgets and
+    /// any injected chaos (`faults`).
+    fn tune_job(
+        &self,
+        job: &mut KernelJob,
+        faults: &JobFaults,
+    ) -> (Result<SessionOutcome, OrionError>, KernelMetrics, JobDisposition) {
         let compile_start = Instant::now();
         let ck = match self.backend.compile_probe(&job.module, &job.tuning) {
             Ok(ck) => ck,
@@ -224,6 +406,7 @@ impl<B: Backend> OrionService<B> {
                         compile_wall_us: compile_start.elapsed().as_micros() as u64,
                         ..KernelMetrics::default()
                     },
+                    JobDisposition::Quarantined,
                 )
             }
         };
@@ -238,18 +421,89 @@ impl<B: Backend> OrionService<B> {
             ),
             None => TuningSession::simple(&ck, job.iterations, self.cfg.threshold),
         };
+        let policy = job.policy;
+        // Injected deadline pressure composes with the job's own
+        // deadline: the tighter one wins.
+        let deadline = match (policy.deadline_cycles, faults.deadline_cycles) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let injector = faults.plan.map(FaultInjector::new);
+        let wall_start = Instant::now();
+        let mut degrade_reason: Option<DegradeReason> = None;
+        let mut launches_done: u32 = 0;
         let mut drive = |session: &mut TuningSession| -> Result<(), OrionError> {
-            while let SessionStep::Launch(v) = session.next_step()? {
-                let result = self.backend.launch(
-                    &ck.versions[v],
-                    job.launch,
-                    &job.params,
-                    &mut job.global,
-                    LaunchOptions::default(),
-                );
+            loop {
+                // Policy gates come first: a blown budget resolves the
+                // session to Degraded *before* the next launch is issued,
+                // so a deadline can never be overshot by more than one
+                // launch chain.
+                let blown = deadline
+                    .filter(|&d| session.total_cycles_so_far() >= d)
+                    .map(|_| DegradeReason::DeadlineCycles)
+                    .or_else(|| {
+                        policy
+                            .wall_budget
+                            .filter(|&w| wall_start.elapsed() >= w)
+                            .map(|_| DegradeReason::WallBudget)
+                    })
+                    .or_else(|| {
+                        policy
+                            .retry_budget
+                            .filter(|&r| session.stats().retries > u64::from(r))
+                            .map(|_| DegradeReason::RetryBudget)
+                    });
+                if let Some(reason) = blown {
+                    session.degrade(reason.tag());
+                    degrade_reason = Some(reason);
+                    return Ok(());
+                }
+                let SessionStep::Launch(v) = session.next_step()? else {
+                    return Ok(());
+                };
+                // Service-boundary chaos: injected faults replace (or
+                // perturb) the real launch, deterministically per
+                // (job, launch index) — identical at any worker count.
+                let result = match &injector {
+                    Some(inj) => {
+                        let f = inj.draw();
+                        if f.transient {
+                            Err(SimError::TransientLaunchFailure { code: 7 }.into())
+                        } else if f.resource {
+                            Err(SimError::ResourceExceeded {
+                                detail: "chaos: injected resource fault".into(),
+                            }
+                            .into())
+                        } else if f.hang {
+                            Err(SimError::Watchdog { budget: deadline.unwrap_or(0) }.into())
+                        } else {
+                            self.backend
+                                .launch(
+                                    &ck.versions[v],
+                                    job.launch,
+                                    &job.params,
+                                    &mut job.global,
+                                    LaunchOptions::default(),
+                                )
+                                .map(|c| inj.perturb_cycles(&f, c))
+                        }
+                    }
+                    None => self.backend.launch(
+                        &ck.versions[v],
+                        job.launch,
+                        &job.params,
+                        &mut job.global,
+                        LaunchOptions::default(),
+                    ),
+                };
+                launches_done += 1;
                 session.on_launch_result(result)?;
+                if let Some(after) = faults.panic_after_launches {
+                    if launches_done >= after {
+                        panic!("chaos: injected worker panic after {launches_done} launches");
+                    }
+                }
             }
-            Ok(())
         };
         let driven = drive(&mut session);
         let obs = session.observations().clone();
@@ -259,56 +513,168 @@ impl<B: Backend> OrionService<B> {
             compile_wall_us,
         };
         match driven {
-            Ok(()) => (Ok(session.finish()), metrics),
-            Err(e) => (Err(e), metrics),
+            Ok(()) => {
+                let outcome = session.finish();
+                let disposition = match (degrade_reason, outcome.state) {
+                    (Some(reason), SessionState::Degraded) => JobDisposition::Degraded(reason),
+                    // A degrade with every version quarantined (or a
+                    // session that died on its own) is a quarantine.
+                    _ if outcome.state == SessionState::Quarantined => JobDisposition::Quarantined,
+                    _ => JobDisposition::Finalized,
+                };
+                (Ok(outcome), metrics, disposition)
+            }
+            Err(e) => (Err(e), metrics, JobDisposition::Quarantined),
         }
     }
 
     /// Tune every job, concurrently, and report in submission order.
+    /// Every submitted job comes back with a definite
+    /// [`JobDisposition`] — rejected at admission, or run to
+    /// finalized/quarantined/degraded — no matter what the backend or a
+    /// worker thread does.
     pub fn run(&self, jobs: Vec<KernelJob>) -> ServiceReport {
-        let n = jobs.len();
-        let workers = match self.cfg.workers {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            w => w,
-        }
-        .min(n.max(1));
+        let submitted = jobs.len();
+        let host_cores =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let reg = registry::global().scope("service");
         let in_flight = reg.register_gauge("in_flight_sessions", "Sessions currently tuning", "");
-        reg.register_counter("sessions_total", "Sessions started over the process lifetime", "")
-            .add(n as u64);
+        let shed_counter =
+            reg.register_counter("shed", "Jobs shed at admission over the process lifetime", "");
+        let degraded_counter = reg.register_counter(
+            "degraded",
+            "Jobs degraded by policy budgets over the process lifetime",
+            "",
+        );
         let cache_before = cache::stats();
-        // Slot-per-job in/out tables: workers claim the next index off
-        // the cursor, so reports land at their job's index and the
-        // merge is submission-ordered by construction.
+        // Names and priorities outlive the jobs themselves: panic
+        // reports and shed reports need them after (or without) the job
+        // value being consumed by a worker.
+        let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+        let priorities: Vec<u8> = jobs.iter().map(|j| j.policy.priority).collect();
+        // Admission control: shed down to the queue capacity, lowest
+        // priority first, ties shedding the latest submission.
+        let mut admitted = vec![true; submitted];
+        if let Some(capacity) = self.cfg.queue_capacity {
+            if submitted > capacity {
+                let mut by_priority: Vec<usize> = (0..submitted).collect();
+                by_priority.sort_by_key(|&i| (priorities[i], Reverse(i)));
+                for &i in by_priority.iter().take(submitted - capacity) {
+                    admitted[i] = false;
+                    shed_counter.inc();
+                    journal::record(JournalEvent::Shed {
+                        kernel: names[i].clone(),
+                        priority: priorities[i],
+                    });
+                }
+            }
+        }
+        let admitted_count = admitted.iter().filter(|&&a| a).count();
+        reg.register_counter("sessions_total", "Sessions started over the process lifetime", "")
+            .add(admitted_count as u64);
+        let workers = match self.cfg.workers {
+            0 => host_cores,
+            w => w,
+        }
+        .min(admitted_count.max(1));
+        // Workers claim admitted jobs in priority order (ties:
+        // submission order) — higher-priority work starts first under
+        // saturation, without affecting any per-job outcome.
+        let mut claim_order: Vec<usize> = (0..submitted).filter(|&i| admitted[i]).collect();
+        claim_order.sort_by_key(|&i| (Reverse(priorities[i]), i));
+        // Slot-per-job in/out tables: workers claim indices off the
+        // cursor, so reports land at their job's index and the merge is
+        // submission-ordered by construction.
         let slots: Vec<Mutex<Option<KernelJob>>> =
             jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-        let reports: Vec<Mutex<Option<KernelReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let reports: Vec<Mutex<Option<KernelReport>>> =
+            (0..submitted).map(|_| Mutex::new(None)).collect();
+        // Shed jobs resolve immediately, before any worker runs.
+        for (i, report) in reports.iter().enumerate() {
+            if !admitted[i] {
+                let lane = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
+                *report.lock().unwrap_or_else(PoisonError::into_inner) = Some(KernelReport {
+                    name: names[i].clone(),
+                    lane,
+                    outcome: Err(OrionError::Overloaded {
+                        capacity: self.cfg.queue_capacity.unwrap_or(usize::MAX),
+                        submitted,
+                    }),
+                    disposition: JobDisposition::Rejected,
+                    metrics: KernelMetrics::default(),
+                });
+            }
+        }
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let in_flight = in_flight.clone();
                 let (slots, reports, cursor) = (&slots, &reports, &cursor);
+                let (names, claim_order) = (&names, &claim_order);
                 scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let mut job =
-                        slots[i].lock().unwrap().take().expect("each slot is claimed once");
+                    let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = claim_order.get(pos) else { break };
                     let lane = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
                     orion_telemetry::set_scope(lane);
+                    let faults = match &self.cfg.chaos {
+                        Some(plan) => plan.job_faults(i),
+                        None => JobFaults::NONE,
+                    };
                     in_flight.inc();
-                    let (outcome, metrics) = self.tune_one_observed(&mut job);
+                    // Panic isolation: a session that unwinds — the
+                    // backend, the allocator, injected chaos — is caught
+                    // at the job boundary and reported as its own
+                    // quarantined outcome; the batch keeps running.
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        let mut job =
+                            slots[i].lock().unwrap_or_else(PoisonError::into_inner).take().expect(
+                                "invariant violated: each admitted slot is claimed exactly once",
+                            );
+                        let (outcome, metrics, disposition) = self.tune_job(&mut job, &faults);
+                        KernelReport { name: job.name, lane, outcome, disposition, metrics }
+                    }));
                     in_flight.dec();
-                    *reports[i].lock().unwrap() =
-                        Some(KernelReport { name: job.name, lane, outcome, metrics });
+                    let report = caught.unwrap_or_else(|payload| {
+                        let detail = panic_detail(payload.as_ref());
+                        orion_telemetry::counter("resilience", "session_panic", 1);
+                        journal::record(JournalEvent::SessionPanic { kernel: names[i].clone() });
+                        KernelReport {
+                            name: names[i].clone(),
+                            lane,
+                            outcome: Err(OrionError::SessionPanicked { detail }
+                                .with_context(names[i].clone(), None)),
+                            disposition: JobDisposition::Quarantined,
+                            metrics: KernelMetrics::default(),
+                        }
+                    });
+                    *reports[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
                 });
             }
         });
+        // No job may be lost: even if a worker died in a way the catch
+        // above couldn't express, its slot still resolves to a definite
+        // (quarantined) report.
         let kernels: Vec<KernelReport> = reports
             .into_iter()
-            .map(|r| r.into_inner().unwrap().expect("every job produces a report"))
+            .enumerate()
+            .map(|(i, r)| {
+                r.into_inner().unwrap_or_else(PoisonError::into_inner).unwrap_or_else(|| {
+                    KernelReport {
+                        name: names[i].clone(),
+                        lane: u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1),
+                        outcome: Err(OrionError::SessionPanicked {
+                            detail: "worker produced no report".into(),
+                        }),
+                        disposition: JobDisposition::Quarantined,
+                        metrics: KernelMetrics::default(),
+                    }
+                })
+            })
             .collect();
+        degraded_counter.add(
+            kernels.iter().filter(|k| matches!(k.disposition, JobDisposition::Degraded(_))).count()
+                as u64,
+        );
         // Merge per-kernel distributions in submission order (the merge
         // is order-independent, but fixing the order keeps even the
         // iteration deterministic) and mirror them into the global
@@ -342,6 +708,8 @@ impl<B: Backend> OrionService<B> {
             cache: cache::stats().delta_since(&cache_before),
             metrics,
             journal: orion_telemetry::journal::drain(),
+            host_cores,
+            workers,
         }
     }
 }
@@ -349,7 +717,8 @@ impl<B: Backend> OrionService<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{ReplayBackend, SimBackend};
+    use crate::backend::{BackendCaps, ReplayBackend, SimBackend};
+    use crate::compiler::{CompiledKernel, KernelVersion};
     use crate::session::SessionState;
     use orion_gpusim::device::DeviceSpec;
     use orion_gpusim::exec::SimError;
@@ -379,6 +748,7 @@ mod tests {
             global: vec![0u8; 4 * 128],
             iterations,
             tuning: TuningConfig::new(32),
+            policy: JobPolicy::default(),
         }
     }
 
@@ -396,6 +766,11 @@ mod tests {
         // Lanes are 1-based job indices.
         assert_eq!(report.kernels[0].lane, 1);
         assert_eq!(report.kernels[4].lane, 5);
+        // Healthy batch: every disposition is Finalized, and the report
+        // records where it ran.
+        assert_eq!(report.count_dispositions(|d| d == JobDisposition::Finalized), 5);
+        assert_eq!(report.workers, 2);
+        assert!(report.host_cores >= 1);
     }
 
     #[test]
@@ -418,6 +793,7 @@ mod tests {
                 "kernel {} diverged across worker counts",
                 a.name
             );
+            assert_eq!(a.disposition, b.disposition);
         }
         assert_eq!(seq.merged_decisions().len(), par.merged_decisions().len());
     }
@@ -442,6 +818,7 @@ mod tests {
             "unexpected error: {err}"
         );
         assert!(err.to_string().contains("dead"));
+        assert_eq!(report.kernels[0].disposition, JobDisposition::Quarantined);
     }
 
     #[test]
@@ -478,6 +855,132 @@ mod tests {
             // 5 iterations can't finish a 7-sample warmup pass; the
             // session ends mid-walk but never in a dead state.
             assert_ne!(o.state, SessionState::Quarantined);
+        }
+    }
+
+    #[test]
+    fn saturated_queue_sheds_by_priority_and_rejects_cleanly() {
+        let svc = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 2, queue_capacity: Some(3), ..ServiceConfig::default() },
+        );
+        // Five jobs, capacity three: the two lowest-priority jobs are
+        // shed; within equal priority the later submission goes first.
+        let mut jobs: Vec<KernelJob> = (0..5).map(|i| job(&format!("j{i}"), 3, 3)).collect();
+        jobs[1].policy.priority = 10; // lowest: shed
+        jobs[2].policy.priority = 200; // highest: safe
+                                       // j0, j3, j4 tie at default priority; j4 (latest) is shed.
+        let report = svc.run(jobs);
+        let dispositions: Vec<JobDisposition> =
+            report.kernels.iter().map(|k| k.disposition).collect();
+        assert_eq!(
+            dispositions,
+            [
+                JobDisposition::Finalized,
+                JobDisposition::Rejected,
+                JobDisposition::Finalized,
+                JobDisposition::Finalized,
+                JobDisposition::Rejected,
+            ],
+            "{dispositions:?}"
+        );
+        for k in &report.kernels {
+            if k.disposition == JobDisposition::Rejected {
+                let err = k.outcome.as_ref().unwrap_err();
+                assert!(
+                    matches!(
+                        err.root_cause(),
+                        OrionError::Overloaded { capacity: 3, submitted: 5 }
+                    ),
+                    "unexpected rejection error: {err}"
+                );
+            }
+        }
+        // Rejection is admission-time: shed jobs never compiled.
+        assert_eq!(report.count_dispositions(|d| d == JobDisposition::Rejected), 2);
+    }
+
+    #[test]
+    fn deadline_degrades_to_fail_safe_not_error() {
+        // One simulated launch of this toy kernel costs well over 100
+        // cycles, so a 100-cycle deadline fires after the baseline
+        // measurement: the job must land Degraded with the original
+        // version, not an error.
+        let svc = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 1, ..ServiceConfig::default() },
+        );
+        let mut j = job("late", 3, 10);
+        j.policy.deadline_cycles = Some(100);
+        let report = svc.run(vec![j]);
+        let k = &report.kernels[0];
+        assert_eq!(k.disposition, JobDisposition::Degraded(DegradeReason::DeadlineCycles));
+        let o = k.outcome.as_ref().expect("degraded jobs report an outcome, not an error");
+        assert_eq!(o.state, SessionState::Degraded);
+        assert_eq!(o.selected, 0, "fail-safe selection is the original version");
+        assert!(
+            o.decisions.last().is_some_and(|d| d.reason == crate::runtime::TuneReason::Degraded),
+            "{:?}",
+            o.decisions
+        );
+    }
+
+    /// A backend whose launches always panic — the hostile case panic
+    /// isolation exists for.
+    struct PanickingBackend {
+        inner: SimBackend,
+    }
+
+    impl Backend for PanickingBackend {
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+        fn device_spec(&self) -> &DeviceSpec {
+            self.inner.device_spec()
+        }
+        fn caps(&self) -> BackendCaps {
+            self.inner.caps()
+        }
+        fn compile_probe(
+            &self,
+            module: &Module,
+            cfg: &TuningConfig,
+        ) -> Result<CompiledKernel, OrionError> {
+            self.inner.compile_probe(module, cfg)
+        }
+        fn launch(
+            &self,
+            _version: &KernelVersion,
+            _launch: Launch,
+            _params: &[u32],
+            _global: &mut [u8],
+            _opts: LaunchOptions,
+        ) -> Result<u64, OrionError> {
+            panic!("backend exploded mid-launch");
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_reported_per_kernel() {
+        // Quiet hook: the induced panics are the test subject, not noise.
+        let prior_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let svc = OrionService::new(
+            PanickingBackend { inner: SimBackend::new(DeviceSpec::gtx680()) },
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+        );
+        let report = svc.run(vec![job("boom1", 2, 4), job("boom2", 3, 4)]);
+        std::panic::set_hook(prior_hook);
+        assert_eq!(report.kernels.len(), 2, "no job may be lost to a panic");
+        for k in &report.kernels {
+            assert_eq!(k.disposition, JobDisposition::Quarantined);
+            let err = k.outcome.as_ref().unwrap_err();
+            assert!(
+                matches!(err.root_cause(), OrionError::SessionPanicked { detail }
+                    if detail.contains("exploded")),
+                "unexpected error: {err}"
+            );
+            assert!(err.to_string().contains(&k.name), "context names the kernel: {err}");
         }
     }
 }

@@ -17,8 +17,9 @@
 //! ```text
 //! Warmup ──► Walking ◄──► Probing
 //!    │          │            │
-//!    ├──────────┼────────────┤──► Finalized ──► Quarantined
-//!    └──────────┴────────────┴───────────────► Quarantined
+//!    ├──────────┼────────────┤──► Finalized ──► Quarantined | Degraded
+//!    ├──────────┼────────────┤──────────────► Quarantined
+//!    └──────────┴────────────┴──────────────► Degraded
 //! ```
 //!
 //! * **Warmup** — measuring the baseline (first) version; nothing to
@@ -30,6 +31,9 @@
 //! * **Finalized** — a version won; remaining iterations run it.
 //! * **Quarantined** — every candidate (fallbacks included) died;
 //!   terminal.
+//! * **Degraded** — a service policy budget expired
+//!   ([`TuningSession::degrade`]); the session settled on its fail-safe
+//!   selection. Terminal.
 //!
 //! Transitions outside the arrows above are illegal and asserted
 //! against ([`SessionState::can_transition`]).
@@ -70,6 +74,10 @@ pub enum SessionState {
     Finalized,
     /// Every runnable version has been quarantined. Terminal.
     Quarantined,
+    /// A service policy budget (deadline / wall budget / retry budget)
+    /// expired; the session settled on its fail-safe selection and
+    /// stopped. Terminal.
+    Degraded,
 }
 
 impl SessionState {
@@ -78,16 +86,16 @@ impl SessionState {
     /// state after every event).
     #[must_use]
     pub fn can_transition(self, to: SessionState) -> bool {
-        use SessionState::{Finalized, Probing, Quarantined, Walking, Warmup};
+        use SessionState::{Degraded, Finalized, Probing, Quarantined, Walking, Warmup};
         if self == to {
             return true;
         }
         match self {
-            Warmup => matches!(to, Walking | Finalized | Quarantined),
-            Walking => matches!(to, Probing | Finalized | Quarantined),
-            Probing => matches!(to, Walking | Finalized | Quarantined),
-            Finalized => matches!(to, Quarantined),
-            Quarantined => false,
+            Warmup => matches!(to, Walking | Finalized | Quarantined | Degraded),
+            Walking => matches!(to, Probing | Finalized | Quarantined | Degraded),
+            Probing => matches!(to, Walking | Finalized | Quarantined | Degraded),
+            Finalized => matches!(to, Quarantined | Degraded),
+            Quarantined | Degraded => false,
         }
     }
 
@@ -95,7 +103,7 @@ impl SessionState {
     /// no further exploration will happen.
     #[must_use]
     pub fn is_settled(self) -> bool {
-        matches!(self, SessionState::Finalized | SessionState::Quarantined)
+        matches!(self, SessionState::Finalized | SessionState::Quarantined | SessionState::Degraded)
     }
 
     /// Stable lowercase name (journal records, exporters).
@@ -107,6 +115,7 @@ impl SessionState {
             SessionState::Probing => "probing",
             SessionState::Finalized => "finalized",
             SessionState::Quarantined => "quarantined",
+            SessionState::Degraded => "degraded",
         }
     }
 }
@@ -234,7 +243,7 @@ struct SamplePass {
 ///
 /// Drive it with the two-call loop:
 ///
-/// ```ignore
+/// ```text
 /// while let SessionStep::Launch(v) = session.next_step()? {
 ///     session.on_launch_result(backend.launch(&ck.versions[v], ...))?;
 /// }
@@ -355,6 +364,55 @@ impl<'k> TuningSession<'k> {
         &self.obs
     }
 
+    /// Failure accounting so far (retries, strikes, backoff). The
+    /// service reads this to enforce a [`JobPolicy`] retry budget
+    /// mid-session.
+    ///
+    /// [`JobPolicy`]: crate::service::JobPolicy
+    #[must_use]
+    pub fn stats(&self) -> &ResilienceStats {
+        &self.stats
+    }
+
+    /// Total simulated cycles consumed so far, *including* backoff
+    /// cycles charged by resilient retries — the quantity a sim-cycle
+    /// deadline meters.
+    #[must_use]
+    pub fn total_cycles_so_far(&self) -> u64 {
+        match self.mode {
+            SessionMode::Simple => self.total,
+            SessionMode::Resilient(_) => self.total.saturating_add(self.stats.backoff_cycles),
+        }
+    }
+
+    /// Terminate the session because a service policy budget expired
+    /// (`reason` is a stable tag for the journal: `"deadline_cycles"`,
+    /// `"wall_budget"`, `"retry_budget"`). The tuner settles on its
+    /// fail-safe selection ([`DynamicTuner::degrade_to_fallback`]): an
+    /// already finalized version is kept, an unfinished walk resolves to
+    /// the original. Any outstanding launch request and sampling pass
+    /// are dropped. Returns the settled version; `None` means every
+    /// version was already quarantined and the session died as
+    /// [`SessionState::Quarantined`] instead.
+    pub fn degrade(&mut self, reason: &'static str) -> Option<usize> {
+        if self.state.is_settled() && self.aborted {
+            return self.tuner.finalized(); // already terminal
+        }
+        self.current = None;
+        self.pass = None;
+        self.aborted = true;
+        let settled = self.tuner.degrade_to_fallback();
+        if settled.is_some() {
+            if orion_telemetry::is_enabled() {
+                journal::record(JournalEvent::Degraded { kernel: self.kernel.clone(), reason });
+            }
+            self.transition(SessionState::Degraded);
+        } else {
+            self.transition(SessionState::Quarantined);
+        }
+        settled
+    }
+
     /// Move to `to`, enforcing the legal-transition diagram.
     fn transition(&mut self, to: SessionState) {
         debug_assert!(
@@ -374,6 +432,9 @@ impl<'k> TuningSession<'k> {
 
     /// Re-derive the observable state from the tuner + pass.
     fn refresh_state(&mut self) {
+        if self.state == SessionState::Degraded {
+            return; // terminal; the tuner's view no longer drives state
+        }
         let to = if self.tuner.all_quarantined() {
             SessionState::Quarantined
         } else if self.tuner.finalized().is_some() {
@@ -914,7 +975,7 @@ mod tests {
 
     #[test]
     fn illegal_transitions_are_rejected_by_the_table() {
-        use SessionState::{Finalized, Probing, Quarantined, Walking, Warmup};
+        use SessionState::{Degraded, Finalized, Probing, Quarantined, Walking, Warmup};
         assert!(Warmup.can_transition(Walking));
         assert!(Warmup.can_transition(Finalized));
         assert!(!Warmup.can_transition(Probing));
@@ -924,5 +985,59 @@ mod tests {
         assert!(Finalized.can_transition(Quarantined));
         assert!(!Quarantined.can_transition(Warmup));
         assert!(Quarantined.can_transition(Quarantined));
+        assert!(Warmup.can_transition(Degraded));
+        assert!(Walking.can_transition(Degraded));
+        assert!(Finalized.can_transition(Degraded));
+        assert!(!Degraded.can_transition(Walking));
+        assert!(!Degraded.can_transition(Quarantined));
+        assert!(Degraded.is_settled());
+    }
+
+    #[test]
+    fn degrade_mid_walk_settles_on_original_and_stops() {
+        let ck = fake_compiled(&[8, 16, 32, 48], Direction::Increasing);
+        let mut s = TuningSession::simple(&ck, 10, 0.02);
+        let SessionStep::Launch(v) = s.next_step().unwrap() else { panic!() };
+        s.on_cycles(100 + v as u64);
+        assert_eq!(s.state(), SessionState::Walking);
+        assert_eq!(s.total_cycles_so_far(), 100);
+        let settled = s.degrade("deadline_cycles");
+        assert_eq!(settled, Some(0), "unfinished walk degrades to the original");
+        assert_eq!(s.state(), SessionState::Degraded);
+        assert_eq!(s.next_step().unwrap(), SessionStep::Done, "degraded sessions stop");
+        let out = s.finish();
+        assert_eq!(out.state, SessionState::Degraded);
+        assert_eq!(out.selected, 0);
+        assert_eq!(
+            out.decisions.last().unwrap().reason,
+            crate::runtime::TuneReason::Degraded,
+            "the log explains the cut: {:?}",
+            out.decisions
+        );
+    }
+
+    #[test]
+    fn degrade_keeps_a_finalized_selection() {
+        let ck = fake_compiled(&[8, 16, 32], Direction::Increasing);
+        let times = [100u64, 80, 90];
+        let mut s = TuningSession::simple(&ck, 10, 0.02);
+        while s.state() != SessionState::Finalized {
+            let SessionStep::Launch(v) = s.next_step().unwrap() else { panic!() };
+            s.on_cycles(times[v]);
+        }
+        assert_eq!(s.degrade("wall_budget"), Some(1), "finalized pick survives the cut");
+        assert_eq!(s.state(), SessionState::Degraded);
+    }
+
+    #[test]
+    fn degrade_with_everything_quarantined_dies_quarantined() {
+        let ck = fake_compiled(&[8, 16], Direction::Increasing);
+        let policy = ResiliencePolicy { quarantine_strikes: 1, ..ResiliencePolicy::default() };
+        let mut s = TuningSession::resilient("k", &ck, 8, 0.02, policy);
+        while let Ok(SessionStep::Launch(_)) = s.next_step() {
+            s.on_launch_result(Err(SimError::Watchdog { budget: 9 }.into())).unwrap();
+        }
+        assert_eq!(s.degrade("retry_budget"), None, "no survivor to degrade onto");
+        assert_eq!(s.state(), SessionState::Quarantined);
     }
 }

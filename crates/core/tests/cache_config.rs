@@ -129,6 +129,29 @@ fn capacity_bounds_entries_and_counts_evictions() {
     // coalesced waits than hits.
     assert!(d.coalesced <= d.hits, "{d:?}");
 
+    // A poisoned shard (a thread panicked while holding the lock) is
+    // recovered, not propagated: the next operation clears the shard,
+    // counts the recovery, and subsequent compiles succeed.
+    cache::reset();
+    cache::configure(CacheConfig::default());
+    // Quiet hook: the induced panic is part of the test, not noise.
+    let prior_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    cache::poison_for_chaos();
+    std::panic::set_hook(prior_hook);
+    let before_poison = cache::stats().poison_recovered;
+    assert!(before_poison >= 1, "stats() itself recovers the poisoned shard");
+    for tag in 200..204 {
+        alloc(tag); // compiles succeed after recovery
+        alloc(tag);
+    }
+    let st = cache::stats();
+    assert!(st.hits >= 4, "warm repeats hit again after recovery: {st:?}");
+    assert_eq!(st.poison_recovered, before_poison, "one poison event, one recovery");
+    // reset() preserves the resilience counter.
+    cache::reset();
+    assert_eq!(cache::stats().poison_recovered, before_poison);
+
     // Leave the cache in its default configuration for any test binary
     // reusing the process (none today, but cheap insurance).
     cache::reset();

@@ -84,6 +84,16 @@ impl FaultPlan {
         }
     }
 
+    /// Whether this plan can ever inject anything.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.transient_rate <= 0.0
+            && self.resource_rate <= 0.0
+            && self.jitter_frac <= 0.0
+            && self.outlier_rate <= 0.0
+            && self.hang_rate <= 0.0
+    }
+
     /// The chaos-bench scenario: `rate` transient failures, `rate / 4`
     /// resource and hang faults, ±`jitter_frac` timing jitter and a 2%
     /// outlier rate at 8x.
@@ -302,6 +312,161 @@ impl FaultInjector {
     }
 }
 
+/// A window of jobs hit by elevated fault rates — modeling a *fault
+/// storm* (a flaky driver episode, thermal throttling, a bad rack
+/// neighbour) rather than uniformly sprinkled failures. Jobs whose
+/// submission index falls in `[start_job, start_job + len)` have their
+/// launch-fault rates multiplied by `multiplier` (clamped to
+/// probability 1) and their panic/deadline pressure doubled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultStorm {
+    /// First job index inside the storm window.
+    pub start_job: usize,
+    /// Number of consecutive jobs in the window.
+    pub len: usize,
+    /// Rate multiplier applied to the per-launch fault plan.
+    pub multiplier: f64,
+}
+
+impl FaultStorm {
+    /// Whether `job_index` falls inside the storm window.
+    #[must_use]
+    pub fn covers(&self, job_index: usize) -> bool {
+        job_index >= self.start_job && job_index - self.start_job < self.len
+    }
+}
+
+/// Service-boundary chaos scenario: a per-launch [`FaultPlan`] template
+/// plus job-granular failure modes the launch path cannot express —
+/// worker panics mid-session and injected deadline pressure — and an
+/// optional [`FaultStorm`] window. Every per-job decision is a pure
+/// function of `(seed, job index)` (same splitmix64 streams as the
+/// launch-level injector), so a chaos batch replays bit-identically at
+/// any service worker count.
+///
+/// Consumed by `orion_core::service::OrionService` (via
+/// `ServiceConfig::chaos`) and the `chaos-service` bench; like the
+/// launch-level injector it is double-gated — without the `faults`
+/// cargo feature [`ServiceFaultPlan::job_faults`] always returns the
+/// all-quiet [`JobFaults`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceFaultPlan {
+    /// Seed for the per-job fault streams.
+    pub seed: u64,
+    /// Template for each job's launch-level faults; the per-job plan
+    /// gets its own derived seed (and storm-scaled rates).
+    pub launch: FaultPlan,
+    /// Probability a job's worker thread panics mid-session (after a
+    /// deterministic number of successful launches).
+    pub panic_rate: f64,
+    /// Probability a job is put under deadline pressure: its sim-cycle
+    /// deadline is overridden with [`ServiceFaultPlan::deadline_cycles`].
+    pub deadline_rate: f64,
+    /// The injected tight deadline (simulated cycles).
+    pub deadline_cycles: u64,
+    /// Optional elevated-rate window over the job sequence.
+    pub storm: Option<FaultStorm>,
+}
+
+impl ServiceFaultPlan {
+    /// A plan that injects nothing at the service boundary.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        ServiceFaultPlan {
+            seed,
+            launch: FaultPlan::none(seed),
+            panic_rate: 0.0,
+            deadline_rate: 0.0,
+            deadline_cycles: 0,
+            storm: None,
+        }
+    }
+
+    /// The chaos-service scenario: launch faults per
+    /// [`FaultPlan::chaos`] at `rate`, worker panics at `panic_rate`,
+    /// and 10% deadline pressure with a 50k-cycle injected deadline.
+    #[must_use]
+    pub fn chaos(seed: u64, rate: f64, panic_rate: f64) -> Self {
+        ServiceFaultPlan {
+            seed,
+            launch: FaultPlan::chaos(seed, rate, 0.05),
+            panic_rate,
+            deadline_rate: 0.1,
+            deadline_cycles: 50_000,
+            storm: None,
+        }
+    }
+
+    /// Fault decisions for the job at `job_index`. Pure in
+    /// `(self.seed, job_index)`; independent of scheduling, worker
+    /// count, and every other job. A build without the `faults`
+    /// feature always returns [`JobFaults::NONE`].
+    #[must_use]
+    pub fn job_faults(&self, job_index: usize) -> JobFaults {
+        #[cfg(not(feature = "faults"))]
+        {
+            let _ = job_index;
+            JobFaults::NONE
+        }
+        #[cfg(feature = "faults")]
+        {
+            let mut s = self.seed ^ (job_index as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+            let _ = splitmix64(&mut s); // burn one to mix the xor in
+            let stormy = self.storm.is_some_and(|w| w.covers(job_index));
+            let scale =
+                if stormy { self.storm.map_or(1.0, |w| w.multiplier.max(0.0)) } else { 1.0 };
+            let pressure = if stormy { 2.0 } else { 1.0 };
+            let rate = |r: f64| (r * scale).clamp(0.0, 1.0);
+            // Per-job launch plan: derived seed, storm-scaled rates.
+            let plan = FaultPlan {
+                seed: splitmix64(&mut s),
+                transient_rate: rate(self.launch.transient_rate),
+                resource_rate: rate(self.launch.resource_rate),
+                jitter_frac: self.launch.jitter_frac,
+                outlier_rate: rate(self.launch.outlier_rate),
+                outlier_scale: self.launch.outlier_scale,
+                hang_rate: rate(self.launch.hang_rate),
+            };
+            let panics = unit(&mut s) < (self.panic_rate * pressure).clamp(0.0, 1.0);
+            // Panic after 1..=8 successful launches — deep enough to
+            // catch sessions mid-walk, deterministic per job.
+            let panic_after = (splitmix64(&mut s) % 8 + 1) as u32;
+            let deadline = unit(&mut s) < (self.deadline_rate * pressure).clamp(0.0, 1.0);
+            JobFaults {
+                plan: (!plan.is_quiet()).then_some(plan),
+                panic_after_launches: panics.then_some(panic_after),
+                deadline_cycles: (deadline && self.deadline_cycles > 0)
+                    .then_some(self.deadline_cycles),
+            }
+        }
+    }
+}
+
+/// The per-job slice of a [`ServiceFaultPlan`] draw: what the service
+/// should inject into one job's session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobFaults {
+    /// Launch-level fault plan to drive through a per-job
+    /// [`FaultInjector`] at the service boundary (`None` = clean).
+    pub plan: Option<FaultPlan>,
+    /// Panic the worker after this many successful launches.
+    pub panic_after_launches: Option<u32>,
+    /// Override the job's sim-cycle deadline with this tight budget.
+    pub deadline_cycles: Option<u64>,
+}
+
+impl JobFaults {
+    /// No service-level faults (what disabled builds always draw).
+    pub const NONE: JobFaults =
+        JobFaults { plan: None, panic_after_launches: None, deadline_cycles: None };
+
+    /// Whether this job draws any injection at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.plan.is_none() && self.panic_after_launches.is_none() && self.deadline_cycles.is_none()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +517,47 @@ mod tests {
         let rate = hits as f64 / f64::from(n);
         assert!((rate - 0.1).abs() < 0.02, "measured {rate}");
         assert_eq!(inj.snapshot().transient, hits as u64);
+    }
+
+    #[test]
+    fn quiet_service_plan_draws_no_job_faults() {
+        let plan = ServiceFaultPlan::none(11);
+        for i in 0..64 {
+            assert!(plan.job_faults(i).is_none(), "job {i} drew faults from a quiet plan");
+        }
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn job_faults_are_deterministic_and_per_job() {
+        let plan = ServiceFaultPlan::chaos(42, 0.2, 0.3);
+        let a: Vec<JobFaults> = (0..128).map(|i| plan.job_faults(i)).collect();
+        let b: Vec<JobFaults> = (0..128).map(|i| plan.job_faults(i)).collect();
+        assert_eq!(a, b, "draws must be pure in (seed, job index)");
+        let other = ServiceFaultPlan::chaos(43, 0.2, 0.3);
+        let c: Vec<JobFaults> = (0..128).map(|i| other.job_faults(i)).collect();
+        assert_ne!(a, c, "different seeds must give different job streams");
+        // Per-job launch plans carry distinct derived seeds.
+        let seeds: std::collections::HashSet<u64> =
+            a.iter().filter_map(|f| f.plan.map(|p| p.seed)).collect();
+        assert!(seeds.len() > 100, "per-job plans must not share a seed");
+        // Panic and deadline pressure land at roughly the configured rates.
+        let panics = a.iter().filter(|f| f.panic_after_launches.is_some()).count();
+        assert!((20..=60).contains(&panics), "panic draws at 30%: {panics}/128");
+        assert!(a.iter().all(|f| f.panic_after_launches.is_none_or(|n| (1..=8).contains(&n))));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn storm_window_elevates_rates() {
+        let mut plan = ServiceFaultPlan::chaos(7, 0.05, 0.1);
+        plan.storm = Some(FaultStorm { start_job: 10, len: 10, multiplier: 8.0 });
+        assert!(plan.storm.unwrap().covers(10) && plan.storm.unwrap().covers(19));
+        assert!(!plan.storm.unwrap().covers(9) && !plan.storm.unwrap().covers(20));
+        let inside = plan.job_faults(12).plan.expect("stormy job has a launch plan");
+        let outside = plan.job_faults(30).plan.expect("chaos plan is never quiet");
+        assert!(inside.transient_rate > outside.transient_rate);
+        assert!(inside.transient_rate <= 1.0, "storm rates clamp to probability 1");
     }
 
     #[cfg(feature = "faults")]

@@ -44,6 +44,14 @@ pub enum JournalEvent {
     FaultInjected { kind: &'static str, launch: u64 },
     /// A launch exceeded its watchdog cycle budget.
     Watchdog { kernel: String, budget_cycles: u64 },
+    /// Admission control shed a job from a saturated submission queue.
+    Shed { kernel: String, priority: u8 },
+    /// A job blew a policy budget and resolved to its fail-safe version.
+    Degraded { kernel: String, reason: &'static str },
+    /// A worker panicked mid-session; the kernel was quarantined.
+    SessionPanic { kernel: String },
+    /// A poisoned compile-cache shard was cleared and returned to service.
+    PoisonRecovered { shard: usize },
     /// Free-form marker for subsystems without a dedicated variant yet.
     Note { cat: &'static str, name: String },
 }
@@ -61,6 +69,10 @@ impl JournalEvent {
             JournalEvent::CacheEvicted { .. } => "cache_evicted",
             JournalEvent::FaultInjected { .. } => "fault_injected",
             JournalEvent::Watchdog { .. } => "watchdog",
+            JournalEvent::Shed { .. } => "shed",
+            JournalEvent::Degraded { .. } => "degraded",
+            JournalEvent::SessionPanic { .. } => "session_panic",
+            JournalEvent::PoisonRecovered { .. } => "poison_recovered",
             JournalEvent::Note { .. } => "note",
         }
     }
@@ -160,6 +172,23 @@ fn write_record(out: &mut String, r: &JournalRecord) {
             out.push_str(",\"kernel\":");
             escape_json(out, kernel);
             let _ = write!(out, ",\"budget_cycles\":{budget_cycles}");
+        }
+        JournalEvent::Shed { kernel, priority } => {
+            out.push_str(",\"kernel\":");
+            escape_json(out, kernel);
+            let _ = write!(out, ",\"priority\":{priority}");
+        }
+        JournalEvent::Degraded { kernel, reason } => {
+            out.push_str(",\"kernel\":");
+            escape_json(out, kernel);
+            let _ = write!(out, ",\"reason\":\"{reason}\"");
+        }
+        JournalEvent::SessionPanic { kernel } => {
+            out.push_str(",\"kernel\":");
+            escape_json(out, kernel);
+        }
+        JournalEvent::PoisonRecovered { shard } => {
+            let _ = write!(out, ",\"shard\":{shard}");
         }
         JournalEvent::Note { cat, name } => {
             let _ = write!(out, ",\"cat\":\"{cat}\",\"name\":");
