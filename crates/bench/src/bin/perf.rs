@@ -8,12 +8,23 @@
 //!   already-realized candidate: `warm.misses > 0` makes the binary
 //!   exit non-zero, which is what the CI `perf-smoke` job asserts.
 //! * **simulate**: wall-time and simulated SM-cycles/second for the
-//!   same launch under three engine configurations — `serial` (the
-//!   seed path: one thread, linear-scan scheduler), `heap_serial` (one
-//!   thread, event-heap scheduler: isolates the O(W)→O(log W)
-//!   scheduling win), and `parallel` (event heap plus one worker per
-//!   host core, capped at the SM count). All three must report
-//!   bit-identical cycle counts, or the binary exits non-zero.
+//!   same launch under four engine configurations — `serial` (the seed
+//!   path: one thread, linear-scan scheduler, AoS lane state),
+//!   `heap_serial` (one thread, event-heap scheduler, AoS: the
+//!   pre-SoA engine, isolating the O(W)→O(log W) scheduling win),
+//!   `soa_serial` (one thread, event heap, pooled SoA lane arenas:
+//!   isolating the batched-execution win), and `parallel` (event heap,
+//!   SoA, one worker per host core capped at the SM count). All four
+//!   must report bit-identical cycle counts, or the binary exits
+//!   non-zero.
+//!
+//! The **sim-throughput floor** gates the SoA win: the geomean over
+//! the three workloads of `soa_serial.sim_cycles_per_sec /
+//! heap_serial.sim_cycles_per_sec` must be ≥ 1.25, or the binary exits
+//! 2. The pre-SoA figure is measured in the same process and build, so
+//! the gate is self-calibrating across hosts and profiles.
+//! `--inject-slow` deliberately measures the `soa_serial` label with
+//! the reference AoS layout (speedup ≈ 1.0×) to prove the gate fires.
 //!
 //! Writes `BENCH_perf.json`; see README "Performance" for the field
 //! reference. `--quick` runs one repetition per configuration (CI
@@ -25,12 +36,15 @@ use orion_core::cache;
 use orion_core::orion::Orion;
 use orion_gpusim::device::DeviceSpec;
 use orion_gpusim::sim::{run_launch_opts, LaunchOptions};
-use orion_gpusim::Scheduler;
+use orion_gpusim::{LaneLayout, Scheduler};
 use orion_workloads::by_name;
 use serde::Serialize;
 use std::time::Instant;
 
 const WORKLOADS: [&str; 3] = ["matrixMul", "backprop", "hotspot"];
+
+/// Minimum acceptable geomean SoA-over-pre-SoA sim-throughput ratio.
+const SIM_THROUGHPUT_FLOOR: f64 = 1.25;
 
 #[derive(Serialize)]
 struct CachePhase {
@@ -54,11 +68,25 @@ struct WorkloadPerf {
     compile_warm: CachePhase,
     serial: SimConfig,
     heap_serial: SimConfig,
+    soa_serial: SimConfig,
     parallel: SimConfig,
-    /// serial wall / parallel wall (the new engine vs the seed path).
+    /// serial wall / parallel wall (the full engine vs the seed path).
     speedup_parallel_over_serial: f64,
     /// serial wall / heap_serial wall (scheduler win alone).
     speedup_heap_over_scan: f64,
+    /// heap_serial wall / soa_serial wall (lane-layout win alone —
+    /// equal cycles, so also the sim_cycles_per_sec ratio).
+    speedup_soa_over_heap: f64,
+}
+
+#[derive(Serialize)]
+struct SimGate {
+    floor: f64,
+    geomean_soa_over_heap: f64,
+    passed: bool,
+    /// True when `--inject-slow` deliberately measured the reference
+    /// layout under the `soa_serial` label (gate-inversion proof).
+    injected_slow: bool,
 }
 
 #[derive(Serialize)]
@@ -67,9 +95,14 @@ struct PerfDoc {
     num_sms: u32,
     host_cores: u32,
     reps: u32,
+    /// `quick` (CI smoke, 1 rep) or `full` (3 reps, min-of wall).
+    mode: String,
+    /// Build profile the numbers were taken under (`debug`/`release`).
+    build_profile: String,
     workloads: Vec<WorkloadPerf>,
     geomean_speedup_parallel_over_serial: f64,
     geomean_speedup_heap_over_scan: f64,
+    sim_gate: SimGate,
     warm_cache_recompiles: u64,
 }
 
@@ -122,11 +155,15 @@ fn geomean(xs: impl Iterator<Item = f64> + Clone) -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let inject_slow = std::env::args().any(|a| a == "--inject-slow");
     let reps: u32 = if quick { 1 } else { 3 };
     let dev = DeviceSpec::gtx680(); // 8 SMs
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
     let mut rows: Vec<WorkloadPerf> = Vec::new();
     let mut failed = false;
+    // The inversion proof: measure the reference layout under the
+    // `soa_serial` label, so the gate sees a ~1.0x "win" and must trip.
+    let soa_layout = if inject_slow { LaneLayout::Aos } else { LaneLayout::Soa };
 
     for name in WORKLOADS {
         let w = by_name(name).expect("workload");
@@ -152,31 +189,45 @@ fn main() {
             failed = true;
         }
 
-        // Simulate: the original candidate under the three configs.
+        // Simulate: the original candidate under the four configs.
         let v = &compiled.versions[compiled.original];
         let serial_opts = LaunchOptions {
             parallelism: 1,
             scheduler: Scheduler::LinearScan,
+            layout: LaneLayout::Aos,
             ..LaunchOptions::default()
         };
         let heap_opts = LaunchOptions {
             parallelism: 1,
             scheduler: Scheduler::EventHeap,
+            layout: LaneLayout::Aos,
+            ..LaunchOptions::default()
+        };
+        let soa_opts = LaunchOptions {
+            parallelism: 1,
+            scheduler: Scheduler::EventHeap,
+            layout: soa_layout,
             ..LaunchOptions::default()
         };
         let par_opts = LaunchOptions {
             parallelism: 0, // one worker per host core
             scheduler: Scheduler::EventHeap,
+            layout: LaneLayout::Soa,
             ..LaunchOptions::default()
         };
         let (serial_ms, serial_cycles) =
             time_runs(reps, &dev, &w, &v.machine, v.extra_smem, serial_opts);
         let (heap_ms, heap_cycles) = time_runs(reps, &dev, &w, &v.machine, v.extra_smem, heap_opts);
+        let (soa_ms, soa_cycles) = time_runs(reps, &dev, &w, &v.machine, v.extra_smem, soa_opts);
         let (par_ms, par_cycles) = time_runs(reps, &dev, &w, &v.machine, v.extra_smem, par_opts);
-        if serial_cycles != heap_cycles || serial_cycles != par_cycles {
+        if serial_cycles != heap_cycles
+            || serial_cycles != soa_cycles
+            || serial_cycles != par_cycles
+        {
             eprintln!(
                 "FAIL {name}: configurations disagree on cycles \
-                 (serial {serial_cycles}, heap {heap_cycles}, parallel {par_cycles})"
+                 (serial {serial_cycles}, heap {heap_cycles}, soa {soa_cycles}, \
+                 parallel {par_cycles})"
             );
             failed = true;
         }
@@ -188,10 +239,24 @@ fn main() {
             compile_warm: CachePhase { wall_ms: warm_ms, hits: warm_hits, misses: warm_misses },
             serial: sim_config(serial_ms, serial_cycles, dev.num_sms),
             heap_serial: sim_config(heap_ms, heap_cycles, dev.num_sms),
+            soa_serial: sim_config(soa_ms, soa_cycles, dev.num_sms),
             parallel: sim_config(par_ms, par_cycles, dev.num_sms),
             speedup_parallel_over_serial: serial_ms / par_ms,
             speedup_heap_over_scan: serial_ms / heap_ms,
+            speedup_soa_over_heap: heap_ms / soa_ms,
         });
+    }
+
+    // The sim-throughput floor: SoA must beat the pre-SoA engine
+    // (event heap, AoS) measured in this same process and build.
+    let geomean_soa = geomean(rows.iter().map(|r| r.speedup_soa_over_heap));
+    let gate_passed = geomean_soa >= SIM_THROUGHPUT_FLOOR;
+    if !gate_passed {
+        eprintln!(
+            "FAIL: geomean sim-throughput {geomean_soa:.3}x is below the \
+             {SIM_THROUGHPUT_FLOOR:.2}x SoA floor (soa_serial vs heap_serial)"
+        );
+        failed = true;
     }
 
     let doc = PerfDoc {
@@ -199,44 +264,61 @@ fn main() {
         num_sms: dev.num_sms,
         host_cores,
         reps,
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        build_profile: if cfg!(debug_assertions) { "debug" } else { "release" }.to_string(),
         geomean_speedup_parallel_over_serial: geomean(
             rows.iter().map(|r| r.speedup_parallel_over_serial),
         ),
         geomean_speedup_heap_over_scan: geomean(rows.iter().map(|r| r.speedup_heap_over_scan)),
+        sim_gate: SimGate {
+            floor: SIM_THROUGHPUT_FLOOR,
+            geomean_soa_over_heap: geomean_soa,
+            passed: gate_passed,
+            injected_slow: inject_slow,
+        },
         warm_cache_recompiles: rows.iter().map(|r| r.compile_warm.misses).sum(),
         workloads: rows,
     };
 
     let mut text = format!(
-        "Perf trajectory ({} SMs, {} host cores, {} rep(s))\n\
-         {:<12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}\n",
+        "Perf trajectory ({} SMs, {} host cores, {} rep(s), {} build)\n\
+         {:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}\n",
         dev.num_sms,
         host_cores,
         reps,
+        doc.build_profile,
         "workload",
         "cycles",
         "serial",
         "heap",
+        "soa",
         "par",
-        "x_par",
         "x_heap",
+        "x_soa",
+        "x_par",
     );
     for r in &doc.workloads {
         text.push_str(&format!(
-            "{:<12} {:>12} {:>9.1}ms {:>9.1}ms {:>9.1}ms {:>7.2}x {:>7.2}x\n",
+            "{:<12} {:>12} {:>9.1}ms {:>9.1}ms {:>9.1}ms {:>9.1}ms {:>7.2}x {:>7.2}x {:>7.2}x\n",
             r.name,
             r.cycles,
             r.serial.wall_ms,
             r.heap_serial.wall_ms,
+            r.soa_serial.wall_ms,
             r.parallel.wall_ms,
-            r.speedup_parallel_over_serial,
             r.speedup_heap_over_scan,
+            r.speedup_soa_over_heap,
+            r.speedup_parallel_over_serial,
         ));
     }
     text.push_str(&format!(
-        "geomean speedup: parallel/serial {:.2}x, heap/scan {:.2}x; warm-cache recompiles: {}\n",
-        doc.geomean_speedup_parallel_over_serial,
+        "geomean speedup: heap/scan {:.2}x, soa/heap {:.2}x (floor {:.2}x: {}), \
+         parallel/serial {:.2}x; warm-cache recompiles: {}\n",
         doc.geomean_speedup_heap_over_scan,
+        doc.sim_gate.geomean_soa_over_heap,
+        doc.sim_gate.floor,
+        if doc.sim_gate.passed { "pass" } else { "FAIL" },
+        doc.geomean_speedup_parallel_over_serial,
         doc.warm_cache_recompiles,
     ));
 

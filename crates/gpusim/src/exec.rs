@@ -7,13 +7,23 @@
 //! reference interpreter (`orion_kir::interp`) while attributing cycle
 //! costs, so semantic-preservation tests can compare global memory
 //! bit-for-bit.
+//!
+//! Execution runs over predecoded instruction tables
+//! ([`crate::decode`]) and, by default, pooled structure-of-arrays lane
+//! state ([`crate::lanes`]): warp-wide register-file gathers, packed
+//! predicate masks, and masked slice write-backs replace the seed
+//! engine's per-lane scalar loops. The seed array-of-structs layout is
+//! retained as [`LaneLayout::Aos`] — the frozen reference both for perf
+//! baselines and for the bit-identity suites in `tests/schedule.rs`.
 
+use crate::decode::{decode_module, DecTerm, DecodedFunc, MAX_SRCS};
 use crate::device::DeviceSpec;
+use crate::lanes::{warp_alu, SoaCta, WarpCtx, WarpOperand};
 use crate::memory::{MemKind, MemStats, MemSystem};
 use orion_kir::cfg::{Cfg, PostDominators};
-use orion_kir::function::{FuncKind, Function, Terminator};
+use orion_kir::function::{FuncKind, Function};
 use orion_kir::inst::Opcode;
-use orion_kir::mir::{MInst, MLoc, MModule, MOperand, Place};
+use orion_kir::mir::{MLoc, MModule, MOperand, Place};
 use orion_kir::sem::{eval_alu, eval_setp, Val};
 use orion_kir::types::{BlockId, FuncId, MemSpace, SpecialReg, Width, NUM_PRED_REGS};
 use serde::{Deserialize, Serialize};
@@ -185,6 +195,29 @@ pub enum Scheduler {
     LinearScan,
 }
 
+/// Lane-state memory layout for the per-SM engine.
+///
+/// Both layouts execute the same predecoded program and are
+/// **bit-identical** in every observable: cycles, stall buckets, memory
+/// state and counters, and error variant + cycle. `tests/schedule.rs`
+/// pins the equivalence across workloads × occupancy × schedulers ×
+/// fault seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LaneLayout {
+    /// Pooled structure-of-arrays lane state (`crate::lanes`): one
+    /// slot-major on-chip arena per CTA (`onchip[slot * stride + tid]`),
+    /// one lane-strided local arena, and predicates packed as one `u32`
+    /// mask per (warp, pred-reg). Warp instructions execute as
+    /// gather → warp-wide compute → masked scatter.
+    #[default]
+    Soa,
+    /// The seed engine's array-of-structs layout: each lane owns its own
+    /// register/local vectors and `bool` predicate file. Kept as the
+    /// reference implementation for perf baselines and equivalence
+    /// tests.
+    Aos,
+}
+
 /// Why a warp's earliest-ready time is what it is — the binding
 /// constraint used to classify scheduling gaps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,18 +257,20 @@ pub struct SimStats {
     pub stalls: StallStats,
 }
 
-/// A machine module plus precomputed reconvergence points.
+/// A machine module plus its predecoded execution tables.
 pub struct LinkedProgram<'m> {
     pub module: &'m MModule,
-    /// `ipdom[func][block]` — SIMT reconvergence target of a divergent
-    /// branch terminating `block`.
-    ipdom: Vec<Vec<Option<BlockId>>>,
+    /// Per-function flat instruction/terminator tables with SIMT
+    /// reconvergence targets (immediate post-dominators) resolved at
+    /// decode time.
+    pub(crate) dec: Vec<DecodedFunc>,
 }
 
 impl<'m> LinkedProgram<'m> {
-    /// Precompute per-function post-dominators.
+    /// Precompute per-function post-dominators and decode every
+    /// function into its flat side tables.
     pub fn new(module: &'m MModule) -> Self {
-        let ipdom = module
+        let ipdom: Vec<Vec<Option<BlockId>>> = module
             .funcs
             .iter()
             .map(|f| {
@@ -257,13 +292,14 @@ impl<'m> LinkedProgram<'m> {
                 PostDominators::new(&sk, &cfg).ipdom
             })
             .collect();
-        LinkedProgram { module, ipdom }
+        let dec = decode_module(module, &ipdom);
+        LinkedProgram { module, dec }
     }
 }
 
 const FULL_MASK: u32 = u32::MAX;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct SimtEntry {
     block: BlockId,
     idx: usize,
@@ -277,6 +313,7 @@ struct Frame {
     stack: Vec<SimtEntry>,
 }
 
+/// One lane's state in the reference array-of-structs layout.
 struct LaneState {
     onchip: Vec<u32>,
     local: Vec<u8>,
@@ -311,18 +348,35 @@ struct Warp {
     ready_why: Wait,
 }
 
+/// A CTA's lane state in whichever layout the launch selected.
+enum LaneArena {
+    /// Per-lane structs (reference layout).
+    Aos(Vec<LaneState>),
+    /// Pooled slot-major arenas (default layout).
+    Soa(SoaCta),
+}
+
+impl Default for LaneArena {
+    fn default() -> Self {
+        LaneArena::Aos(Vec::new())
+    }
+}
+
 struct Cta {
     grid_idx: u32,
-    lanes: Vec<LaneState>,
+    lanes: LaneArena,
     shared: Vec<u8>,
     warps_left: usize,
     /// Cycle at which this CTA was admitted (telemetry timeline).
     admitted_at: u64,
 }
 
-/// Free-pools recycling the per-CTA/per-warp buffers as CTAs retire:
+/// Free-pools recycling the per-CTA/per-warp buffers as CTAs retire —
 /// after warm-up the engine allocates nothing per admitted block, so a
-/// launch's allocation cost is bounded by its residency, not its grid.
+/// launch's allocation cost is bounded by its residency, not its grid —
+/// plus the per-instruction working buffers that used to be allocated
+/// per `step_warp` (Ld/St address gathers, bank-conflict word lists,
+/// coalesced line lists, warp-wide operand files).
 #[derive(Default)]
 struct Scratch {
     /// Retired CTA lane tables (each lane keeps its own vectors).
@@ -333,6 +387,22 @@ struct Scratch {
     ready_words: Vec<Vec<u64>>,
     /// Retired warp provenance bitmaps (`onchip_mem`).
     ready_flags: Vec<Vec<bool>>,
+    /// Retired SoA on-chip register arenas.
+    soa_onchip: Vec<Vec<u32>>,
+    /// Retired SoA local-memory arenas.
+    soa_local: Vec<Vec<u8>>,
+    /// Retired SoA packed-predicate tables.
+    soa_preds: Vec<Vec<u32>>,
+    /// Ld/St per-lane address gather (was a per-instruction `Vec`).
+    addrs: Vec<u64>,
+    /// Bank-conflict word list (was a per-instruction `Vec`).
+    words: Vec<u64>,
+    /// Coalesced cache-line list (was a per-instruction `Vec`).
+    lines: Vec<u64>,
+    /// Warp-wide operand register files (SoA ALU/Setp gather targets).
+    ops: [WarpOperand; MAX_SRCS],
+    /// Warp-wide result register file (SoA ALU scatter source).
+    out: WarpOperand,
 }
 
 /// One SM's execution of its share of the grid.
@@ -369,6 +439,8 @@ pub(crate) struct SmEngine<'m, 'g> {
     stuck_warp: bool,
     /// Warp-scheduler implementation (bit-identical alternatives).
     scheduler: Scheduler,
+    /// Lane-state layout (bit-identical alternatives).
+    layout: LaneLayout,
     /// Resident-CTA limit of the current launch (per-warp-slot rollup).
     residency: u32,
     /// Recycled per-CTA/per-warp buffers.
@@ -387,6 +459,8 @@ pub struct EngineGuards {
     pub stuck_warp: bool,
     /// Warp-scheduler implementation.
     pub scheduler: Scheduler,
+    /// Lane-state memory layout.
+    pub layout: LaneLayout,
 }
 
 impl<'m, 'g> SmEngine<'m, 'g> {
@@ -422,6 +496,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             cycle_budget: guards.cycle_budget,
             stuck_warp: guards.stuck_warp,
             scheduler: guards.scheduler,
+            layout: guards.layout,
             residency: 1,
             scratch: Scratch::default(),
         }
@@ -689,7 +764,15 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                         vec![("grid_idx", ctas[c].grid_idx.into())],
                     );
                 }
-                self.scratch.lanes.push(std::mem::take(&mut ctas[c].lanes));
+                match std::mem::take(&mut ctas[c].lanes) {
+                    LaneArena::Aos(lanes) => self.scratch.lanes.push(lanes),
+                    LaneArena::Soa(soa) => {
+                        let (onchip, local, preds) = soa.into_parts();
+                        self.scratch.soa_onchip.push(onchip);
+                        self.scratch.soa_local.push(local);
+                        self.scratch.soa_preds.push(preds);
+                    }
+                }
                 self.scratch.shared.push(std::mem::take(&mut ctas[c].shared));
                 if let Some(b) = pending.next() {
                     let start = self.last_event.max(t);
@@ -715,25 +798,52 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         v
     }
 
+    /// Build the lane-state arena for a newly admitted CTA in the
+    /// engine's layout, reusing retired buffers where possible.
+    fn build_arena(&mut self) -> LaneArena {
+        match self.layout {
+            LaneLayout::Aos => {
+                let block = self.launch.block.max(1) as usize;
+                let mut lanes = self.scratch.lanes.pop().unwrap_or_default();
+                lanes.truncate(block);
+                for lane in &mut lanes {
+                    lane.onchip.clear();
+                    lane.onchip.resize(self.onchip_words, 0);
+                    lane.local.clear();
+                    lane.local.resize(self.local_words * 4, 0);
+                    lane.preds = [false; NUM_PRED_REGS as usize];
+                }
+                while lanes.len() < block {
+                    lanes.push(LaneState {
+                        onchip: vec![0u32; self.onchip_words],
+                        local: vec![0u8; self.local_words * 4],
+                        preds: [false; NUM_PRED_REGS as usize],
+                    });
+                }
+                LaneArena::Aos(lanes)
+            }
+            LaneLayout::Soa => {
+                // Arenas cover whole warps (`warps_per_block * 32` lanes)
+                // even when the block is not a multiple of 32: the tail
+                // lanes are dead (never in `alive`), but warp-wide
+                // gathers may read their zeros.
+                let stride = self.warps_per_block as usize * 32;
+                let onchip =
+                    Self::recycled(&mut self.scratch.soa_onchip, self.onchip_words * stride);
+                let local =
+                    Self::recycled(&mut self.scratch.soa_local, self.local_words * 4 * stride);
+                let preds = Self::recycled(
+                    &mut self.scratch.soa_preds,
+                    usize::from(NUM_PRED_REGS) * self.warps_per_block as usize,
+                );
+                LaneArena::Soa(SoaCta::new(onchip, local, preds, stride, self.local_words * 4))
+            }
+        }
+    }
+
     fn admit_cta(&mut self, ctas: &mut Vec<Cta>, warps: &mut Vec<Warp>, grid_idx: u32, start: u64) {
         let cta_slot = ctas.len();
-        let block = self.launch.block.max(1) as usize;
-        let mut lanes = self.scratch.lanes.pop().unwrap_or_default();
-        lanes.truncate(block);
-        for lane in &mut lanes {
-            lane.onchip.clear();
-            lane.onchip.resize(self.onchip_words, 0);
-            lane.local.clear();
-            lane.local.resize(self.local_words * 4, 0);
-            lane.preds = [false; NUM_PRED_REGS as usize];
-        }
-        while lanes.len() < block {
-            lanes.push(LaneState {
-                onchip: vec![0u32; self.onchip_words],
-                local: vec![0u8; self.local_words * 4],
-                preds: [false; NUM_PRED_REGS as usize],
-            });
-        }
+        let lanes = self.build_arena();
         let smem = self.prog.module.user_smem_bytes as usize;
         let shared = Self::recycled(&mut self.scratch.shared, smem);
         ctas.push(Cta {
@@ -775,22 +885,21 @@ impl<'m, 'g> SmEngine<'m, 'g> {
     /// Earliest cycle at which `w` can issue, plus the binding
     /// constraint that sets it (for stall attribution). Ties resolve in
     /// favour of the issue-side reason, then program order of operands.
+    /// Walks the predecoded slot-operand list instead of re-matching
+    /// `MOperand`s.
     fn warp_ready_info(&self, w: &Warp) -> (u64, Wait) {
         let mut t = w.next_free;
         let mut why = w.free_reason;
         let frame = w.frames.last().expect("live warp has a frame");
         let tos = frame.stack.last().expect("live warp has a path");
-        let mf = self.prog.module.func(frame.func);
-        let blk = &mf.blocks[tos.block.0 as usize];
-        if tos.idx < blk.insts.len() {
-            let inst = &blk.insts[tos.idx];
-            for s in &inst.srcs {
-                if let MOperand::Loc(l) = s {
-                    let (r, mem) = self.loc_ready_info(w, *l);
-                    if r > t {
-                        t = r;
-                        why = if mem { Wait::Mem } else { Wait::Raw };
-                    }
+        let df = &self.prog.dec[frame.func.0 as usize];
+        if tos.idx < df.block_len(tos.block) {
+            let inst = df.inst(tos.block, tos.idx);
+            for l in inst.loc_srcs() {
+                let (r, mem) = self.loc_ready_info(w, *l);
+                if r > t {
+                    t = r;
+                    why = if mem { Wait::Mem } else { Wait::Raw };
                 }
             }
             if let Some(p) = inst.pred {
@@ -805,7 +914,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                     why = Wait::Raw;
                 }
             }
-        } else if let Terminator::Branch { pred, .. } = &blk.term {
+        } else if let DecTerm::Branch { pred, .. } = df.term(tos.block) {
             if w.pred_ready[pred.0 as usize] > t {
                 t = w.pred_ready[pred.0 as usize];
                 why = Wait::Raw;
@@ -853,16 +962,6 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 }
             }
         }
-    }
-
-    /// Words of an on-chip location that live in the shared-memory
-    /// region (absolute slot ≥ register budget).
-    fn smem_words(&self, l: MLoc) -> u32 {
-        if l.place != Place::Onchip {
-            return 0;
-        }
-        let boundary = self.prog.module.regs_per_thread;
-        (0..l.width.words()).filter(|k| l.slot + k >= boundary).count() as u32
     }
 
     fn read_loc(lane: &LaneState, l: MLoc) -> Val {
@@ -917,6 +1016,44 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             | ((word as u64 * u64::from(self.launch.block) + u64::from(tid)) * 4)
     }
 
+    /// Coalesce `addrs` (each expanded to `width` words) into unique
+    /// cache-line transactions and issue them at `t`; returns the last
+    /// completion cycle. Uses the recycled line buffer — no allocation.
+    fn coalesced_access(&mut self, addrs: &[u64], width: Width, t: u64) -> u64 {
+        let mut lines = std::mem::take(&mut self.scratch.lines);
+        self.mem.coalesce_into(
+            addrs.iter().flat_map(|&a| (0..width.words()).map(move |k| a + u64::from(k) * 4)),
+            &mut lines,
+        );
+        let mut completions = t;
+        for &line in &lines {
+            completions = completions.max(self.mem.access(line, t, MemKind::Global));
+        }
+        self.scratch.lines = lines;
+        completions
+    }
+
+    /// Shared-memory bank-conflict degree of a warp access: 32 banks of
+    /// 4 bytes; lanes reading the *same* word broadcast (no conflict),
+    /// so count distinct words per bank. Updates the conflict counters.
+    fn bank_degree(&mut self, addrs: &[u64], width: Width) -> u64 {
+        let words = &mut self.scratch.words;
+        words.clear();
+        words.extend(
+            addrs.iter().flat_map(|&a| (0..width.words()).map(move |k| a / 4 + u64::from(k))),
+        );
+        words.sort_unstable();
+        words.dedup();
+        let mut per_bank = [0u32; 32];
+        for w in words.iter() {
+            per_bank[(w % 32) as usize] += 1;
+        }
+        let degree = u64::from(per_bank.iter().copied().max().unwrap_or(1)).max(1);
+        self.stats.shared_mem_accesses += degree;
+        self.stats.bank_conflict_extra += (degree - 1) * 2;
+        degree
+    }
+
     #[allow(clippy::too_many_lines)]
     fn step_warp(
         &mut self,
@@ -932,10 +1069,12 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         let frame_idx = w.frames.len() - 1;
         let (func_id, tos) = {
             let f = &w.frames[frame_idx];
-            (f.func, f.stack.last().expect("path").clone())
+            (f.func, *f.stack.last().expect("path"))
         };
-        let mf = self.prog.module.func(func_id);
-        let blk = &mf.blocks[tos.block.0 as usize];
+        // `prog` is a copied reference — borrows of the decoded tables
+        // below do not pin `self`.
+        let prog = self.prog;
+        let df = &prog.dec[func_id.0 as usize];
         let mask = tos.mask & w.alive;
         if mask == 0 {
             // All lanes of this path have exited: discard the path and
@@ -953,36 +1092,44 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             w.next_free = t + 1;
             return Ok(());
         }
-        let cta = &mut ctas[w.cta];
         let warp_base_tid = w.warp_in_block * 32;
 
-        if tos.idx >= blk.insts.len() {
+        if tos.idx >= df.block_len(tos.block) {
             // ---- terminator ----
             w.next_free = t + 1;
             self.last_event = self.last_event.max(t + 1);
-            match blk.term.clone() {
-                Terminator::Jump(target) => {
+            match *df.term(tos.block) {
+                DecTerm::Jump(target) => {
                     self.transfer(w, frame_idx, target);
                 }
-                Terminator::Branch { pred, neg, then_bb, else_bb } => {
-                    let mut t_mask = 0u32;
-                    for lane in 0..32u32 {
-                        if mask & (1 << lane) != 0 {
-                            let p = cta.lanes[(warp_base_tid + lane) as usize].preds
-                                [pred.0 as usize]
-                                ^ neg;
-                            if p {
-                                t_mask |= 1 << lane;
+                DecTerm::Branch { pred, neg, then_bb, else_bb, reconv } => {
+                    let t_mask = match &ctas[w.cta].lanes {
+                        LaneArena::Aos(lanes) => {
+                            let mut tm = 0u32;
+                            for lane in 0..32u32 {
+                                if mask & (1 << lane) != 0 {
+                                    let p = lanes[(warp_base_tid + lane) as usize].preds
+                                        [pred.0 as usize]
+                                        ^ neg;
+                                    if p {
+                                        tm |= 1 << lane;
+                                    }
+                                }
                             }
+                            tm
                         }
-                    }
+                        // One mask op instead of 32 bool loads.
+                        LaneArena::Soa(soa) => {
+                            let pb = soa.pred_bits(w.warp_in_block, pred);
+                            mask & if neg { !pb } else { pb }
+                        }
+                    };
                     let nt_mask = mask & !t_mask;
                     if nt_mask == 0 {
                         self.transfer(w, frame_idx, then_bb);
                     } else if t_mask == 0 {
                         self.transfer(w, frame_idx, else_bb);
                     } else {
-                        let reconv = self.prog.ipdom[func_id.0 as usize][tos.block.0 as usize];
                         let stack = &mut w.frames[frame_idx].stack;
                         // Current entry becomes the reconvergence entry.
                         let top = stack.last_mut().expect("path");
@@ -1025,11 +1172,11 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                         }
                     }
                 }
-                Terminator::Ret => {
+                DecTerm::Ret => {
                     w.frames.pop();
                     debug_assert!(!w.frames.is_empty(), "ret from kernel frame");
                 }
-                Terminator::Exit => {
+                DecTerm::Exit => {
                     w.alive &= !mask;
                     let stack = &mut w.frames[frame_idx].stack;
                     stack.pop();
@@ -1042,7 +1189,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         }
 
         // ---- instruction ----
-        let inst: &MInst = &blk.insts[tos.idx];
+        let inst = df.inst(tos.block, tos.idx);
         w.frames[frame_idx].stack.last_mut().expect("path").idx += 1;
         self.stats.warp_insts += 1;
         self.stats.thread_insts += u64::from(mask.count_ones());
@@ -1051,49 +1198,40 @@ impl<'m, 'g> SmEngine<'m, 'g> {
         }
 
         // Timing: operand readiness is folded into scheduling; compute
-        // the completion latency here.
+        // the completion latency here. Private smem-slot word counts are
+        // static, precomputed at decode time.
         let mut issue_cost = 1u64;
         let mut result_latency = self.dev.alu_latency;
-
-        // Private smem-slot operand penalties.
-        let mut smem_words = 0u32;
-        for s in &inst.srcs {
-            if let MOperand::Loc(l) = s {
-                smem_words += self.smem_words(*l);
-            }
-        }
-        if let Some(d) = inst.dst {
-            smem_words += self.smem_words(d);
-        }
-        if smem_words > 0 {
-            self.stats.smem_slot_accesses += u64::from(smem_words) * u64::from(mask.count_ones());
+        if inst.smem_words > 0 {
+            self.stats.smem_slot_accesses +=
+                u64::from(inst.smem_words) * u64::from(mask.count_ones());
             result_latency += self.dev.smem_latency;
         }
 
-        // Local-slot operand traffic (spills): one transaction per word.
+        // Local-slot operand traffic (spills): one transaction per word,
+        // over the predecoded spill-source list.
+        let cta_grid = ctas[w.cta].grid_idx;
         let mut local_ready_max = t;
-        let handle_local = |me: &mut Self, l: MLoc, grid_idx: u32| -> u64 {
-            let mut done = t;
-            for k in 0..l.width.words() {
-                let addr = me.local_addr(grid_idx, warp_base_tid, usize::from(l.slot + k));
-                let c = me.mem.access(addr, t, MemKind::Local);
-                me.stats.local_transactions += 1;
-                done = done.max(c);
-            }
-            done
-        };
         if inst.op != Opcode::Bar {
-            for s in &inst.srcs {
-                if let MOperand::Loc(l) = s {
-                    if l.place == Place::Local {
-                        local_ready_max = local_ready_max.max(handle_local(self, *l, cta.grid_idx));
-                    }
+            for l in inst.local_srcs() {
+                for k in 0..l.width.words() {
+                    let addr = self.local_addr(cta_grid, warp_base_tid, usize::from(l.slot + k));
+                    let c = self.mem.access(addr, t, MemKind::Local);
+                    self.stats.local_transactions += 1;
+                    local_ready_max = local_ready_max.max(c);
                 }
             }
         }
 
-        let cta_grid = cta.grid_idx;
-        match &inst.op {
+        let ctx = WarpCtx {
+            warp: w.warp_in_block,
+            warp_base_tid,
+            block: self.launch.block,
+            grid: self.launch.grid,
+            cta_grid,
+            params: self.params,
+        };
+        match inst.op {
             Opcode::Bar => {
                 w.at_barrier = true;
                 // The CTA releases `barrier_latency` cycles after the
@@ -1107,7 +1245,7 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             }
             Opcode::Call(callee) => {
                 w.frames.push(Frame {
-                    func: *callee,
+                    func: callee,
                     stack: vec![SimtEntry { block: BlockId(0), idx: 0, reconv: None, mask }],
                 });
                 w.next_free = t + 1;
@@ -1115,53 +1253,53 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 Ok(())
             }
             Opcode::Ld { space, width, offset } => {
-                // Gather per-lane addresses.
+                // Phase 1: gather per-lane addresses into the recycled
+                // scratch buffer (ascending lane order in both layouts).
                 let mut completions = t;
-                let mut addrs: Vec<u64> = Vec::with_capacity(32);
-                for lane in 0..32u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let tid = warp_base_tid + lane;
-                    let lane_state = &cta.lanes[tid as usize];
-                    if let Some(p) = inst.pred {
-                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
-                            continue;
+                let mut addrs = std::mem::take(&mut self.scratch.addrs);
+                addrs.clear();
+                let Cta { lanes, shared, .. } = &mut ctas[w.cta];
+                let soa_gather = match lanes {
+                    LaneArena::Aos(lanes) => {
+                        for lane in 0..32u32 {
+                            if mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let tid = warp_base_tid + lane;
+                            let lane_state = &lanes[tid as usize];
+                            if let Some(p) = inst.pred {
+                                if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                                    continue;
+                                }
+                            }
+                            let base =
+                                self.operand(lane_state, &inst.srcs()[0], cta_grid, tid).as_i32();
+                            addrs.push((i64::from(base) + i64::from(offset)) as u64);
                         }
+                        None
                     }
-                    let base = self.operand(lane_state, &inst.srcs[0], cta_grid, tid).as_i32();
-                    let addr = (i64::from(base) + i64::from(*offset)) as u64;
-                    addrs.push(addr);
-                }
+                    LaneArena::Soa(soa) => {
+                        let exec = soa.exec_mask(ctx.warp, mask, inst.pred, inst.pred_neg);
+                        let mut base = WarpOperand::default();
+                        soa.gather(&inst.srcs()[0], &ctx, &mut base);
+                        let mut m = exec;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            addrs
+                                .push((i64::from(base.w0(lane) as i32) + i64::from(offset)) as u64);
+                            m &= m - 1;
+                        }
+                        Some((exec, base))
+                    }
+                };
+                // Phase 2: timing over the gathered addresses.
                 match space {
                     MemSpace::Global => {
-                        let lines =
-                            self.mem.coalesce(addrs.iter().flat_map(|&a| {
-                                (0..width.words()).map(move |k| a + u64::from(k) * 4)
-                            }));
-                        for line in lines {
-                            let c = self.mem.access(line, t, MemKind::Global);
-                            completions = completions.max(c);
-                        }
+                        completions = completions.max(self.coalesced_access(&addrs, width, t));
                         result_latency = 0; // completion-driven
                     }
                     MemSpace::Shared => {
-                        // Bank conflicts: 32 banks of 4 bytes; lanes
-                        // reading the *same* word broadcast (no conflict),
-                        // so count distinct words per bank.
-                        let mut words: Vec<u64> = addrs
-                            .iter()
-                            .flat_map(|&a| (0..width.words()).map(move |k| a / 4 + u64::from(k)))
-                            .collect();
-                        words.sort_unstable();
-                        words.dedup();
-                        let mut per_bank = [0u32; 32];
-                        for w in words {
-                            per_bank[(w % 32) as usize] += 1;
-                        }
-                        let degree = u64::from(*per_bank.iter().max().unwrap_or(&1)).max(1);
-                        self.stats.shared_mem_accesses += degree;
-                        self.stats.bank_conflict_extra += (degree - 1) * 2;
+                        let degree = self.bank_degree(&addrs, width);
                         completions = completions.max(t + self.dev.smem_latency + (degree - 1) * 2);
                         result_latency = 0;
                         issue_cost = degree.min(8);
@@ -1175,31 +1313,59 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                         result_latency = 0;
                     }
                 }
-                // Execute values.
-                for lane in 0..32u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let tid = warp_base_tid + lane;
-                    if let Some(p) = inst.pred {
-                        if !(cta.lanes[tid as usize].preds[p.0 as usize] ^ inst.pred_neg) {
-                            continue;
+                self.scratch.addrs = addrs;
+                // Phase 3: execute values (ascending lane order).
+                match lanes {
+                    LaneArena::Aos(lanes) => {
+                        for lane in 0..32u32 {
+                            if mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let tid = warp_base_tid + lane;
+                            if let Some(p) = inst.pred {
+                                if !(lanes[tid as usize].preds[p.0 as usize] ^ inst.pred_neg) {
+                                    continue;
+                                }
+                            }
+                            let base = self
+                                .operand(&lanes[tid as usize], &inst.srcs()[0], cta_grid, tid)
+                                .as_i32();
+                            let addr = (i64::from(base) + i64::from(offset)) as u64;
+                            let v = match space {
+                                MemSpace::Global => read_bytes(self.global, addr, width)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Shared => read_bytes(shared, addr, width)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Local => {
+                                    read_bytes(&lanes[tid as usize].local, addr, width)
+                                        .ok_or(SimError::OutOfBounds { space, addr })?
+                                }
+                            };
+                            if let Some(d) = inst.dst {
+                                Self::write_loc(&mut lanes[tid as usize], d, v);
+                            }
                         }
                     }
-                    let base = self
-                        .operand(&cta.lanes[tid as usize], &inst.srcs[0], cta_grid, tid)
-                        .as_i32();
-                    let addr = (i64::from(base) + i64::from(*offset)) as u64;
-                    let v = match space {
-                        MemSpace::Global => read_bytes(self.global, addr, *width)
-                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
-                        MemSpace::Shared => read_bytes(&cta.shared, addr, *width)
-                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
-                        MemSpace::Local => read_bytes(&cta.lanes[tid as usize].local, addr, *width)
-                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
-                    };
-                    if let Some(d) = inst.dst {
-                        Self::write_loc(&mut cta.lanes[tid as usize], d, v);
+                    LaneArena::Soa(soa) => {
+                        let (exec, base) = soa_gather.expect("soa gather state");
+                        let mut m = exec;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            let tid = warp_base_tid + lane as u32;
+                            let addr = (i64::from(base.w0(lane) as i32) + i64::from(offset)) as u64;
+                            let v = match space {
+                                MemSpace::Global => read_bytes(self.global, addr, width)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Shared => read_bytes(shared, addr, width)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Local => read_bytes(soa.local_region(tid), addr, width)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                            };
+                            if let Some(d) = inst.dst {
+                                soa.write_val(d, ctx.warp, tid, v);
+                            }
+                            m &= m - 1;
+                        }
                     }
                 }
                 let done = completions.max(local_ready_max) + result_latency;
@@ -1212,58 +1378,78 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                 Ok(())
             }
             Opcode::St { space, width, offset } => {
-                let mut addrs: Vec<u64> = Vec::with_capacity(32);
-                for lane in 0..32u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let tid = warp_base_tid + lane;
-                    let lane_state = &cta.lanes[tid as usize];
-                    if let Some(p) = inst.pred {
-                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
-                            continue;
+                let mut addrs = std::mem::take(&mut self.scratch.addrs);
+                addrs.clear();
+                let Cta { lanes, shared, .. } = &mut ctas[w.cta];
+                match lanes {
+                    LaneArena::Aos(lanes) => {
+                        for lane in 0..32u32 {
+                            if mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let tid = warp_base_tid + lane;
+                            let lane_state = &lanes[tid as usize];
+                            if let Some(p) = inst.pred {
+                                if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                                    continue;
+                                }
+                            }
+                            let base =
+                                self.operand(lane_state, &inst.srcs()[0], cta_grid, tid).as_i32();
+                            let addr = (i64::from(base) + i64::from(offset)) as u64;
+                            let v = self.operand(lane_state, &inst.srcs()[1], cta_grid, tid);
+                            match space {
+                                MemSpace::Global => write_bytes(self.global, addr, width, v)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Shared => write_bytes(shared, addr, width, v)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Local => {
+                                    write_bytes(&mut lanes[tid as usize].local, addr, width, v)
+                                        .ok_or(SimError::OutOfBounds { space, addr })?
+                                }
+                            }
+                            addrs.push(addr);
                         }
                     }
-                    let base = self.operand(lane_state, &inst.srcs[0], cta_grid, tid).as_i32();
-                    let addr = (i64::from(base) + i64::from(*offset)) as u64;
-                    let v = self.operand(lane_state, &inst.srcs[1], cta_grid, tid);
-                    match space {
-                        MemSpace::Global => write_bytes(self.global, addr, *width, v)
-                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
-                        MemSpace::Shared => write_bytes(&mut cta.shared, addr, *width, v)
-                            .ok_or(SimError::OutOfBounds { space: *space, addr })?,
-                        MemSpace::Local => {
-                            write_bytes(&mut cta.lanes[tid as usize].local, addr, *width, v)
-                                .ok_or(SimError::OutOfBounds { space: *space, addr })?
+                    LaneArena::Soa(soa) => {
+                        // Gather base + value warp-wide, then write in
+                        // ascending lane order. Safe to pre-gather: store
+                        // targets (global/shared/lane-local bytes) are
+                        // never operand sources, and each lane's write
+                        // happens after its own reads.
+                        let exec = soa.exec_mask(ctx.warp, mask, inst.pred, inst.pred_neg);
+                        let mut base = WarpOperand::default();
+                        let mut value = WarpOperand::default();
+                        soa.gather(&inst.srcs()[0], &ctx, &mut base);
+                        soa.gather(&inst.srcs()[1], &ctx, &mut value);
+                        let mut m = exec;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            let tid = warp_base_tid + lane as u32;
+                            let addr = (i64::from(base.w0(lane) as i32) + i64::from(offset)) as u64;
+                            let v = value.val(lane);
+                            match space {
+                                MemSpace::Global => write_bytes(self.global, addr, width, v)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Shared => write_bytes(shared, addr, width, v)
+                                    .ok_or(SimError::OutOfBounds { space, addr })?,
+                                MemSpace::Local => {
+                                    write_bytes(soa.local_region_mut(tid), addr, width, v)
+                                        .ok_or(SimError::OutOfBounds { space, addr })?
+                                }
+                            }
+                            addrs.push(addr);
+                            m &= m - 1;
                         }
                     }
-                    addrs.push(addr);
                 }
                 // Bandwidth accounting (fire-and-forget stores).
                 match space {
                     MemSpace::Global => {
-                        let lines =
-                            self.mem.coalesce(addrs.iter().flat_map(|&a| {
-                                (0..width.words()).map(move |k| a + u64::from(k) * 4)
-                            }));
-                        for line in lines {
-                            self.mem.access(line, t, MemKind::Global);
-                        }
+                        self.coalesced_access(&addrs, width, t);
                     }
                     MemSpace::Shared => {
-                        let mut words: Vec<u64> = addrs
-                            .iter()
-                            .flat_map(|&a| (0..width.words()).map(move |k| a / 4 + u64::from(k)))
-                            .collect();
-                        words.sort_unstable();
-                        words.dedup();
-                        let mut per_bank = [0u32; 32];
-                        for w in words {
-                            per_bank[(w % 32) as usize] += 1;
-                        }
-                        let degree = u64::from(*per_bank.iter().max().unwrap_or(&1)).max(1);
-                        self.stats.shared_mem_accesses += degree;
-                        self.stats.bank_conflict_extra += (degree - 1) * 2;
+                        let degree = self.bank_degree(&addrs, width);
                         issue_cost = degree.min(8);
                     }
                     MemSpace::Local => {
@@ -1273,30 +1459,54 @@ impl<'m, 'g> SmEngine<'m, 'g> {
                         }
                     }
                 }
+                self.scratch.addrs = addrs;
                 w.next_free = t + issue_cost;
                 self.last_event = self.last_event.max(t + issue_cost);
                 Ok(())
             }
             Opcode::ISetp(_) | Opcode::FSetp(_) => {
-                for lane in 0..32u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let tid = warp_base_tid + lane;
-                    let lane_state = &cta.lanes[tid as usize];
-                    if let Some(p) = inst.pred {
-                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
-                            continue;
+                match &mut ctas[w.cta].lanes {
+                    LaneArena::Aos(lanes) => {
+                        for lane in 0..32u32 {
+                            if mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let tid = warp_base_tid + lane;
+                            let lane_state = &lanes[tid as usize];
+                            if let Some(p) = inst.pred {
+                                if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                                    continue;
+                                }
+                            }
+                            let s: Vec<Val> = inst
+                                .srcs()
+                                .iter()
+                                .map(|o| self.operand(lane_state, o, cta_grid, tid))
+                                .collect();
+                            let r = eval_setp(&inst.op, &s);
+                            let p = inst.pdst.expect("setp pdst");
+                            lanes[tid as usize].preds[p.0 as usize] = r;
                         }
                     }
-                    let s: Vec<Val> = inst
-                        .srcs
-                        .iter()
-                        .map(|o| self.operand(lane_state, o, cta_grid, tid))
-                        .collect();
-                    let r = eval_setp(&inst.op, &s);
-                    let p = inst.pdst.expect("setp pdst");
-                    cta.lanes[tid as usize].preds[p.0 as usize] = r;
+                    LaneArena::Soa(soa) => {
+                        // Gather both operands, compare all 32 lanes
+                        // (compares are pure — inactive lanes' results
+                        // are masked out by the merge), pack into one
+                        // predicate-mask merge.
+                        debug_assert_eq!(inst.srcs().len(), 2, "setp has two sources");
+                        let exec = soa.exec_mask(ctx.warp, mask, inst.pred, inst.pred_neg);
+                        let Scratch { ops, .. } = &mut self.scratch;
+                        soa.gather(&inst.srcs()[0], &ctx, &mut ops[0]);
+                        soa.gather(&inst.srcs()[1], &ctx, &mut ops[1]);
+                        let mut bits = 0u32;
+                        for lane in 0..32 {
+                            if eval_setp(&inst.op, &[ops[0].val(lane), ops[1].val(lane)]) {
+                                bits |= 1 << lane;
+                            }
+                        }
+                        let p = inst.pdst.expect("setp pdst");
+                        soa.merge_pred(ctx.warp, p, bits, exec);
+                    }
                 }
                 let done = local_ready_max.max(t) + result_latency;
                 if let Some(p) = inst.pdst {
@@ -1308,37 +1518,71 @@ impl<'m, 'g> SmEngine<'m, 'g> {
             }
             _ => {
                 // ALU / Mov / Sel / conversions (incl. Nop).
-                for lane in 0..32u32 {
-                    if mask & (1 << lane) == 0 {
-                        continue;
-                    }
-                    let tid = warp_base_tid + lane;
-                    let lane_state = &cta.lanes[tid as usize];
-                    if let Some(p) = inst.pred {
-                        if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
-                            continue;
+                match &mut ctas[w.cta].lanes {
+                    LaneArena::Aos(lanes) => {
+                        for lane in 0..32u32 {
+                            if mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let tid = warp_base_tid + lane;
+                            let lane_state = &lanes[tid as usize];
+                            if let Some(p) = inst.pred {
+                                if !(lane_state.preds[p.0 as usize] ^ inst.pred_neg) {
+                                    continue;
+                                }
+                            }
+                            if inst.op == Opcode::Nop {
+                                continue;
+                            }
+                            let s: Vec<Val> = inst
+                                .srcs()
+                                .iter()
+                                .map(|o| self.operand(lane_state, o, cta_grid, tid))
+                                .collect();
+                            let v = if inst.op == Opcode::Sel {
+                                let p = inst.sel_pred.expect("sel pred");
+                                if lane_state.preds[p.0 as usize] {
+                                    s[0]
+                                } else {
+                                    s[1]
+                                }
+                            } else {
+                                eval_alu(&inst.op, &s)
+                            };
+                            if let Some(d) = inst.dst {
+                                Self::write_loc(&mut lanes[tid as usize], d, v);
+                            }
                         }
                     }
-                    if inst.op == Opcode::Nop {
-                        continue;
-                    }
-                    let s: Vec<Val> = inst
-                        .srcs
-                        .iter()
-                        .map(|o| self.operand(lane_state, o, cta_grid, tid))
-                        .collect();
-                    let v = if inst.op == Opcode::Sel {
-                        let p = inst.sel_pred.expect("sel pred");
-                        if lane_state.preds[p.0 as usize] {
-                            s[0]
-                        } else {
-                            s[1]
+                    LaneArena::Soa(soa) => {
+                        let exec = soa.exec_mask(ctx.warp, mask, inst.pred, inst.pred_neg);
+                        if inst.op != Opcode::Nop && exec != 0 {
+                            let srcs = inst.srcs();
+                            let Scratch { ops, out, .. } = &mut self.scratch;
+                            for (k, s) in srcs.iter().enumerate() {
+                                soa.gather(s, &ctx, &mut ops[k]);
+                            }
+                            if inst.op == Opcode::Sel {
+                                let p = inst.sel_pred.expect("sel pred");
+                                let pb = soa.pred_bits(ctx.warp, p);
+                                out.words = 4;
+                                for lane in 0..32 {
+                                    let v = if pb & (1 << lane) != 0 {
+                                        ops[0].val(lane)
+                                    } else {
+                                        ops[1].val(lane)
+                                    };
+                                    for j in 0..4 {
+                                        out.planes[j][lane] = v.w[j];
+                                    }
+                                }
+                            } else {
+                                warp_alu(&inst.op, &ops[..srcs.len()], out);
+                            }
+                            if let Some(d) = inst.dst {
+                                soa.scatter(d, &ctx, exec, out);
+                            }
                         }
-                    } else {
-                        eval_alu(&inst.op, &s)
-                    };
-                    if let Some(d) = inst.dst {
-                        Self::write_loc(&mut cta.lanes[tid as usize], d, v);
                     }
                 }
                 let done = local_ready_max.max(t) + result_latency;

@@ -52,16 +52,18 @@
 //! ```
 
 pub mod cache;
+mod decode;
 pub mod device;
 pub mod exec;
 pub mod faults;
+mod lanes;
 pub mod memory;
 pub mod occupancy;
 pub mod power;
 pub mod sim;
 
 pub use device::{CacheConfig, DeviceSpec};
-pub use exec::{Launch, Scheduler, SimError, SimStats, StallStats};
+pub use exec::{LaneLayout, Launch, Scheduler, SimError, SimStats, StallStats};
 pub use faults::{FaultInjector, FaultPlan, FaultSnapshot, LaunchFaults};
 pub use occupancy::{occupancy, KernelResources, Limiter, OccupancyInfo};
 pub use power::{energy, EnergyReport, PowerModel};

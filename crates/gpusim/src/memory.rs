@@ -94,10 +94,18 @@ impl MemSystem {
     /// Coalesce per-lane byte addresses into unique cache-line
     /// transactions (the hardware's 128-byte segment rule).
     pub fn coalesce(&self, addrs: impl Iterator<Item = u64>) -> Vec<u64> {
-        let mut lines: Vec<u64> = addrs.map(|a| a & !(self.line - 1)).collect();
+        let mut lines = Vec::new();
+        self.coalesce_into(addrs, &mut lines);
+        lines
+    }
+
+    /// [`coalesce`](Self::coalesce) into a caller-owned buffer, so hot
+    /// paths can recycle one allocation across every warp access.
+    pub fn coalesce_into(&self, addrs: impl Iterator<Item = u64>, lines: &mut Vec<u64>) {
+        lines.clear();
+        lines.extend(addrs.map(|a| a & !(self.line - 1)));
         lines.sort_unstable();
         lines.dedup();
-        lines
     }
 
     /// Drop all cached state (between launches).

@@ -3,7 +3,8 @@
 
 use crate::device::DeviceSpec;
 use crate::exec::{
-    EngineGuards, Launch, LinkedProgram, Scheduler, SimError, SimStats, SmEngine, StallStats,
+    EngineGuards, LaneLayout, Launch, LinkedProgram, Scheduler, SimError, SimStats, SmEngine,
+    StallStats,
 };
 use crate::faults::FaultInjector;
 use crate::occupancy::{occupancy, KernelResources, OccupancyInfo};
@@ -42,6 +43,10 @@ pub struct LaunchOptions {
     /// event heap and the reference linear scan are bit-identical (see
     /// [`Scheduler`]).
     pub scheduler: Scheduler,
+    /// Lane-state memory layout for each SM engine; the default pooled
+    /// SoA arenas and the reference AoS layout are bit-identical (see
+    /// [`LaneLayout`]).
+    pub layout: LaneLayout,
 }
 
 impl LaunchOptions {
@@ -79,6 +84,13 @@ impl LaunchOptions {
     #[must_use]
     pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// This template with the lane-state memory layout set.
+    #[must_use]
+    pub fn with_layout(mut self, layout: LaneLayout) -> Self {
+        self.layout = layout;
         self
     }
 }
@@ -354,6 +366,7 @@ fn run_launch_impl(
         // are discarded with the failed launch either way.
         stuck_warp: stuck_warp && sm == 0,
         scheduler: opts.scheduler,
+        layout: opts.layout,
     };
     let workers = effective_workers(opts.parallelism, dev.num_sms);
     let outcomes: Vec<Option<SmRun>> = if workers <= 1 {

@@ -1,24 +1,27 @@
-//! Scheduler-equivalence and fan-out determinism regressions.
+//! Scheduler-, layout-, and fan-out-equivalence regressions.
 //!
 //! The engine defines one scheduling total order — issue the runnable
 //! warp minimizing `(ready_cycle, warp_id)` lexicographically — and two
 //! implementations of it (the reference linear scan, whose strict
 //! `r < br` comparison keeps the first index on ties, and the event
-//! heap keyed on exactly that pair). These tests pin that the
-//! implementations, and the serial/parallel SM fan-out, are
-//! bit-identical: same cycles, same stall buckets, same per-SM rollups,
-//! same global memory bytes.
+//! heap keyed on exactly that pair). Orthogonally it defines two
+//! lane-state memory layouts — the reference array-of-structs and the
+//! pooled structure-of-arrays arenas — that execute the same predecoded
+//! program. These tests pin that every (scheduler, layout, parallelism)
+//! configuration is bit-identical: same cycles, same stall buckets,
+//! same per-SM rollups, same global memory bytes, same error variant at
+//! the same cycle.
 
 use orion_alloc::realize::{allocate, AllocOptions, SlotBudget};
 use orion_gpusim::device::DeviceSpec;
 use orion_gpusim::exec::Launch;
 use orion_gpusim::sim::{run_launch_opts, LaunchOptions, RunResult};
-use orion_gpusim::Scheduler;
+use orion_gpusim::{LaneLayout, Scheduler};
 use orion_kir::builder::FunctionBuilder;
 use orion_kir::function::Module;
-use orion_kir::inst::Operand;
+use orion_kir::inst::{Cmp, Operand};
 use orion_kir::mir::MModule;
-use orion_kir::types::{MemSpace, SpecialReg, Width};
+use orion_kir::types::{MemSpace, PredReg, SpecialReg, Width};
 
 fn compile(m: &Module, regs: u16, smem: u16) -> MModule {
     allocate(m, SlotBudget { reg_slots: regs, smem_slots: smem }, &AllocOptions::default())
@@ -67,6 +70,62 @@ fn barrier_kernel() -> Module {
     m
 }
 
+/// Full-warp divergent branch with unbalanced arms: odd/even lanes take
+/// different paths (3x+1 vs x/2), reconverging at the join — exercises
+/// the SIMT stack and the packed-predicate branch evaluation.
+fn divergent_kernel() -> Module {
+    let mut b = FunctionBuilder::kernel("diverge");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+    let bit = b.and(x, Operand::Imm(1));
+    b.isetp(Cmp::Ne, bit, Operand::Imm(0), PredReg(0));
+    let odd = b.new_block();
+    let even = b.new_block();
+    let join = b.new_block();
+    b.branch(PredReg(0), false, odd, even);
+    b.switch_to(odd);
+    let three = b.imad(x, Operand::Imm(3), Operand::Imm(1));
+    b.jump(join);
+    b.switch_to(even);
+    let half = b.shr(x, Operand::Imm(1));
+    b.jump(join);
+    b.switch_to(join);
+    let res = b.sel(PredReg(0), three, half);
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(1));
+    b.st(MemSpace::Global, Width::W32, out, res, 0);
+    b.exit();
+    Module::new(b.finish())
+}
+
+/// Worst-case shared-memory banking: every lane of a warp hits the same
+/// bank at a distinct word (`word = lane*32 + warp`), a 32-way conflict
+/// on store and load — exercises the conflict-degree serialization and
+/// its issue-cost clamp. Words are distinct per thread, so there are no
+/// cross-warp write races to make the result order-dependent.
+fn bank_conflict_kernel() -> Module {
+    let mut b = FunctionBuilder::kernel("conflict");
+    let tid = b.mov(Operand::Special(SpecialReg::TidX));
+    let lane = b.mov(Operand::Special(SpecialReg::LaneId));
+    let warp = b.mov(Operand::Special(SpecialReg::WarpId));
+    let word = b.imad(lane, Operand::Imm(32), warp);
+    let saddr = b.imul(word, Operand::Imm(4));
+    b.st(MemSpace::Shared, Width::W32, saddr, tid, 0);
+    b.bar();
+    let v = b.ld(MemSpace::Shared, Width::W32, saddr, 0);
+    let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+    let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+    let gid = b.imad(cta, nt, tid);
+    let out = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+    b.st(MemSpace::Global, Width::W32, out, v, 0);
+    let mut m = Module::new(b.finish());
+    m.user_smem_bytes = 4 * 32 * 32;
+    m
+}
+
 fn run_with(
     dev: &DeviceSpec,
     machine: &MModule,
@@ -80,8 +139,20 @@ fn run_with(
     (r, global)
 }
 
-/// Every (scheduler, parallelism) combination must agree bit-for-bit
-/// with the seed configuration (linear scan, single thread).
+/// The seed configuration every sweep compares against: the reference
+/// scheduler and the reference lane layout on a single thread.
+fn reference_opts() -> LaunchOptions {
+    LaunchOptions {
+        parallelism: 1,
+        scheduler: Scheduler::LinearScan,
+        layout: LaneLayout::Aos,
+        ..LaunchOptions::default()
+    }
+}
+
+/// Every (scheduler, layout, parallelism) combination must agree
+/// bit-for-bit with the seed configuration (linear scan, AoS lanes,
+/// single thread).
 fn assert_all_configs_identical(
     dev: &DeviceSpec,
     machine: &MModule,
@@ -89,24 +160,23 @@ fn assert_all_configs_identical(
     params: &[u32],
     bytes: usize,
 ) {
-    let base = LaunchOptions {
-        parallelism: 1,
-        scheduler: Scheduler::LinearScan,
-        ..LaunchOptions::default()
-    };
-    let (reference, ref_global) = run_with(dev, machine, launch, params, bytes, base);
+    let (reference, ref_global) = run_with(dev, machine, launch, params, bytes, reference_opts());
     for scheduler in [Scheduler::LinearScan, Scheduler::EventHeap] {
-        for parallelism in [1u32, 2, 3, dev.num_sms] {
-            let opts = LaunchOptions { parallelism, scheduler, ..LaunchOptions::default() };
-            let (r, global) = run_with(dev, machine, launch, params, bytes, opts);
-            assert_eq!(
-                r, reference,
-                "{scheduler:?}/parallelism={parallelism} diverged from the seed configuration"
-            );
-            assert_eq!(
-                global, ref_global,
-                "{scheduler:?}/parallelism={parallelism} produced different memory"
-            );
+        for layout in [LaneLayout::Aos, LaneLayout::Soa] {
+            for parallelism in [1u32, 2, 3, dev.num_sms] {
+                let opts =
+                    LaunchOptions { parallelism, scheduler, layout, ..LaunchOptions::default() };
+                let (r, global) = run_with(dev, machine, launch, params, bytes, opts);
+                assert_eq!(
+                    r, reference,
+                    "{scheduler:?}/{layout:?}/parallelism={parallelism} diverged from the seed \
+                     configuration"
+                );
+                assert_eq!(
+                    global, ref_global,
+                    "{scheduler:?}/{layout:?}/parallelism={parallelism} produced different memory"
+                );
+            }
         }
     }
 }
@@ -180,15 +250,188 @@ fn errors_are_identical_across_fanout() {
     let reference =
         run_launch_opts(&dev, &machine, launch, &params, &mut ref_global, base).unwrap_err();
     for scheduler in [Scheduler::LinearScan, Scheduler::EventHeap] {
-        for parallelism in [2u32, dev.num_sms] {
-            let opts = LaunchOptions { parallelism, scheduler, ..LaunchOptions::default() };
-            let mut g = vec![0u8; bytes];
-            let err = run_launch_opts(&dev, &machine, launch, &params, &mut g, opts).unwrap_err();
-            assert_eq!(err, reference, "{scheduler:?}/parallelism={parallelism}");
-            assert_eq!(
-                g, ref_global,
-                "{scheduler:?}/parallelism={parallelism} left different memory after the error"
-            );
+        for layout in [LaneLayout::Aos, LaneLayout::Soa] {
+            for parallelism in [2u32, dev.num_sms] {
+                let opts =
+                    LaunchOptions { parallelism, scheduler, layout, ..LaunchOptions::default() };
+                let mut g = vec![0u8; bytes];
+                let err =
+                    run_launch_opts(&dev, &machine, launch, &params, &mut g, opts).unwrap_err();
+                assert_eq!(err, reference, "{scheduler:?}/{layout:?}/parallelism={parallelism}");
+                assert_eq!(
+                    g, ref_global,
+                    "{scheduler:?}/{layout:?}/parallelism={parallelism} left different memory \
+                     after the error"
+                );
+            }
+        }
+    }
+}
+
+/// The layout-equivalence sweep of the SoA rebuild: three workloads
+/// (latency-bound streaming, full-warp divergence, 32-way bank
+/// conflicts) × two occupancy settings (native, and shared-memory
+/// padding that halves residency) must be bit-identical between the SoA
+/// engine and the LinearScan/AoS reference — cycles, per-SM stall
+/// rollups, memory counters, and global memory bytes.
+#[test]
+fn soa_layout_is_bit_identical_across_workloads_and_occupancy() {
+    let dev = DeviceSpec::gtx680();
+    let n_threads = |launch: Launch| launch.grid * launch.block;
+    let cases: [(&str, MModule, Launch, Vec<u32>, u32); 3] = {
+        let stream_launch = Launch { grid: 16, block: 128 };
+        let div_launch = Launch { grid: 12, block: 128 };
+        let bank_launch = Launch { grid: 8, block: 128 };
+        [
+            (
+                "stream",
+                compile(&streaming_kernel(6), 16, 0),
+                stream_launch,
+                vec![0, 4 * n_threads(stream_launch)],
+                8 * n_threads(stream_launch),
+            ),
+            (
+                "diverge",
+                compile(&divergent_kernel(), 16, 0),
+                div_launch,
+                vec![0, 4 * n_threads(div_launch)],
+                8 * n_threads(div_launch),
+            ),
+            (
+                "conflict",
+                compile(&bank_conflict_kernel(), 16, 0),
+                bank_launch,
+                vec![0],
+                4 * n_threads(bank_launch),
+            ),
+        ]
+    };
+    for (name, machine, launch, params, bytes) in &cases {
+        for extra_smem in [0u32, 24 * 1024] {
+            let base = reference_opts().with_extra_smem(extra_smem);
+            let (reference, ref_global) =
+                run_with(&dev, machine, *launch, params, *bytes as usize, base);
+            for scheduler in [Scheduler::LinearScan, Scheduler::EventHeap] {
+                let opts = LaunchOptions {
+                    scheduler,
+                    layout: LaneLayout::Soa,
+                    parallelism: 1,
+                    ..LaunchOptions::default()
+                }
+                .with_extra_smem(extra_smem);
+                let (r, global) = run_with(&dev, machine, *launch, params, *bytes as usize, opts);
+                assert_eq!(
+                    r, reference,
+                    "{name}/smem+{extra_smem}/{scheduler:?}: SoA diverged from the AoS reference"
+                );
+                assert_eq!(
+                    global, ref_global,
+                    "{name}/smem+{extra_smem}/{scheduler:?}: SoA produced different memory"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn layouts_agree_on_divergent_branches() {
+    let dev = DeviceSpec::c2075();
+    let machine = compile(&divergent_kernel(), 16, 0);
+    let n = 128 * 12;
+    assert_all_configs_identical(
+        &dev,
+        &machine,
+        Launch { grid: 12, block: 128 },
+        &[0, 4 * n],
+        (8 * n) as usize,
+    );
+}
+
+#[test]
+fn layouts_agree_on_bank_conflicts() {
+    let dev = DeviceSpec::gtx680();
+    let machine = compile(&bank_conflict_kernel(), 16, 0);
+    let n = 128 * 8;
+    assert_all_configs_identical(
+        &dev,
+        &machine,
+        Launch { grid: 8, block: 128 },
+        &[0],
+        (4 * n) as usize,
+    );
+}
+
+/// Fault-seed sweep: under deterministic chaos (transients, resource
+/// kills, hangs, jitter) both layouts must fail — or survive — with the
+/// same outcome at the same cycle, for every seed. Fresh injectors with
+/// equal seeds draw identical fault streams, so any divergence is the
+/// layout's fault.
+#[cfg(feature = "faults")]
+mod fault_sweep {
+    use super::*;
+    use orion_gpusim::faults::{FaultInjector, FaultPlan};
+    use orion_gpusim::sim::run_launch_faulty;
+
+    #[test]
+    fn layouts_agree_under_fault_injection() {
+        let dev = DeviceSpec::gtx680();
+        let workloads: [(&str, MModule, Launch, Vec<u32>, u32); 3] = {
+            let stream_launch = Launch { grid: 16, block: 128 };
+            let div_launch = Launch { grid: 12, block: 128 };
+            let bank_launch = Launch { grid: 8, block: 128 };
+            [
+                (
+                    "stream",
+                    compile(&streaming_kernel(4), 16, 0),
+                    stream_launch,
+                    vec![0, 4 * stream_launch.grid * stream_launch.block],
+                    8 * stream_launch.grid * stream_launch.block,
+                ),
+                (
+                    "diverge",
+                    compile(&divergent_kernel(), 16, 0),
+                    div_launch,
+                    vec![0, 4 * div_launch.grid * div_launch.block],
+                    8 * div_launch.grid * div_launch.block,
+                ),
+                (
+                    "conflict",
+                    compile(&bank_conflict_kernel(), 16, 0),
+                    bank_launch,
+                    vec![0],
+                    4 * bank_launch.grid * bank_launch.block,
+                ),
+            ]
+        };
+        for (name, machine, launch, params, bytes) in &workloads {
+            for seed in [1u64, 7, 42] {
+                let run = |layout: LaneLayout| {
+                    let inj = FaultInjector::new(FaultPlan::chaos(seed, 0.5, 0.05));
+                    let mut global = vec![0u8; *bytes as usize];
+                    let opts = LaunchOptions {
+                        layout,
+                        scheduler: Scheduler::LinearScan,
+                        parallelism: 1,
+                        cycle_budget: Some(2_000_000),
+                        ..LaunchOptions::default()
+                    };
+                    let r = run_launch_faulty(
+                        &dev,
+                        machine,
+                        *launch,
+                        params,
+                        &mut global,
+                        opts,
+                        Some(&inj),
+                    );
+                    (r, global, inj.snapshot())
+                };
+                let (ra, ga, sa) = run(LaneLayout::Aos);
+                let (rs, gs, ss) = run(LaneLayout::Soa);
+                assert_eq!(ra, rs, "{name}/seed={seed}: outcome diverged between layouts");
+                assert_eq!(ga, gs, "{name}/seed={seed}: memory diverged between layouts");
+                assert_eq!(sa, ss, "{name}/seed={seed}: fault draws diverged (seed misuse)");
+            }
         }
     }
 }
