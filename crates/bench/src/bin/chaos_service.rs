@@ -3,10 +3,13 @@
 //!
 //! Where `--bin chaos` stresses one resilient *session*, this binary
 //! stresses the *service plane*: batches of tier-1 kernel jobs run
-//! through [`OrionService`] under a seeded [`ServiceFaultPlan`] —
-//! launch faults, injected worker panics, injected deadline pressure, a
-//! fault storm — plus admission-queue saturation and a forced
-//! compile-cache poisoning. One invariant is gated, hard:
+//! through [`OrionService`]'s event loop under a seeded
+//! [`ServiceFaultPlan`] — launch faults, injected panics that unwind
+//! **inside the completion callback** (the scheduler's second
+//! panic-isolation boundary), injected deadline pressure that trips
+//! mid-flight between completions, a fault storm — plus
+//! admission-queue saturation and a forced compile-cache poisoning.
+//! One invariant is gated, hard:
 //!
 //! > **Jobs in == definite outcomes out.** Every submitted job comes
 //! > back with exactly one [`JobDisposition`] — `Finalized`,
@@ -16,8 +19,10 @@
 //! Secondary gates:
 //!
 //! * **Determinism under chaos** — per-kernel outcomes, dispositions,
-//!   and cycle-domain histograms are bit-identical between 1 and 4
-//!   workers at every fault rate (fault draws are pure in
+//!   cycle-domain histograms, and the dispatch order are bit-identical
+//!   between the strictly sequential event loop (1 worker, in-flight
+//!   limit 1) and the fully multiplexed one (4 workers, every session
+//!   in flight) at every fault rate (fault draws are pure in
 //!   `(seed, job index)`; only sim-cycle deadlines are used, never
 //!   wall-clock budgets).
 //! * **Poison recovery** — after a deliberately poisoned compile-cache
@@ -63,8 +68,12 @@ struct ScenarioRow {
     quarantined: usize,
     degraded: usize,
     rejected: usize,
-    /// Quarantines specifically caused by a caught worker panic.
+    /// Quarantines specifically caused by a caught injected panic
+    /// (unwinding inside the event loop's completion callback).
     panics_caught: usize,
+    /// In-flight session cap of the concurrent run (0 configured =
+    /// every admitted session; the recorded effective value).
+    in_flight_limit: usize,
     deterministic_across_workers: bool,
 }
 
@@ -252,15 +261,18 @@ fn main() {
             });
             queue_capacity = Some(jobs_per_batch - 2);
         }
-        let mk_cfg = |workers| ServiceConfig {
+        let mk_cfg = |workers, in_flight_limit| ServiceConfig {
             workers,
+            in_flight_limit,
             queue_capacity,
             chaos: Some(plan),
             ..ServiceConfig::default()
         };
         cache::reset();
-        let seq = run(mk_cfg(1), batch(jobs_per_batch, iterations, None));
-        let conc = run(mk_cfg(4), batch(jobs_per_batch, iterations, None));
+        // Strictly sequential event loop vs fully multiplexed: same
+        // code path, different in-flight caps and worker pools.
+        let seq = run(mk_cfg(1, 1), batch(jobs_per_batch, iterations, None));
+        let conc = run(mk_cfg(4, 0), batch(jobs_per_batch, iterations, None));
         for r in [&seq, &conc] {
             failures.extend(
                 check_accounting(jobs_per_batch, r)
@@ -268,9 +280,12 @@ fn main() {
                     .map(|p| format!("rate {rate}: {p}")),
             );
         }
-        let deterministic = seq.kernels.iter().zip(&conc.kernels).all(|(a, b)| reports_equal(a, b));
+        let deterministic = seq.dispatch_order == conc.dispatch_order
+            && seq.kernels.iter().zip(&conc.kernels).all(|(a, b)| reports_equal(a, b));
         if !deterministic {
-            failures.push(format!("rate {rate}: outcomes differ between 1 and 4 workers"));
+            failures.push(format!(
+                "rate {rate}: outcomes differ between sequential and multiplexed event loops"
+            ));
         }
         let rejected = count(&conc, |d| d == JobDisposition::Rejected);
         if let Some(cap) = queue_capacity {
@@ -298,6 +313,7 @@ fn main() {
             degraded: count(&conc, |d| matches!(d, JobDisposition::Degraded(_))),
             rejected,
             panics_caught: panics_caught(&conc),
+            in_flight_limit: conc.in_flight_limit,
             deterministic_across_workers: deterministic,
         });
     }

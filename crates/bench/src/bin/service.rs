@@ -1,36 +1,46 @@
-//! `orion-bench --bin service` — the multi-kernel tuning service bench.
+//! `orion-bench --bin service` — the event-loop serving-plane bench.
 //!
 //! Builds a batch of 8 kernel jobs (the tier-1 workloads, cycled, so
 //! duplicated modules also exercise compile-cache sharing) and runs it
-//! twice through [`OrionService`] on the simulator backend:
+//! twice through [`OrionService`] on the simulator backend. Both runs
+//! are the **same code path** — the event loop — differing only in the
+//! in-flight session cap, so the speedup ratio is apples-to-apples:
 //!
-//! * **sequential** — one worker thread (the baseline an app doing its
-//!   own per-kernel loops would get);
-//! * **concurrent** — one worker per kernel (8 scoped threads over the
-//!   shared compile cache and telemetry lanes).
+//! * **sequential** — `in_flight_limit = 1`, one inline worker: one
+//!   session runs start-to-finish before the next dispatches (the
+//!   baseline an app doing its own per-kernel loops would get);
+//! * **concurrent** — `in_flight_limit = 0` (every session in flight),
+//!   one backend pool worker per kernel, longest-job-first dispatch.
 //!
 //! Three gates, in order of importance:
 //!
 //! 1. **Bit-identical outcomes** (hard, always enforced): every
 //!    kernel's [`SessionOutcome`](orion_core::session::SessionOutcome)
-//!    — selection, per-iteration trace,
-//!    decision log, stats — must be equal across the two worker
-//!    counts, or the binary exits non-zero. Concurrency must never
-//!    change what the tuner decides.
+//!    — selection, per-iteration trace, decision log, stats — must be
+//!    equal across the two in-flight limits, or the binary exits
+//!    non-zero. Concurrency must never change what the tuner decides.
 //! 2. **Bit-identical latency histograms** (hard): each kernel's
 //!    cycle-domain metrics — the launch-latency and queue-wait
-//!    histograms in [`KernelMetrics`] — must also be equal across
-//!    worker counts. The distributions are simulated-cycle-valued, so
-//!    concurrency must not perturb them either.
-//! 3. **Throughput** (enforced only when the host has ≥ 4 cores): the
+//!    histograms in [`KernelMetrics`] — must also be equal. The
+//!    distributions are simulated-cycle-valued, so multiplexing must
+//!    not perturb them either. The dispatch order (a pure function of
+//!    the job set) must match too.
+//! 3. **Throughput** (enforced when the host has ≥ 4 cores): the
 //!    concurrent batch must finish ≥ 2× faster than the sequential
 //!    one. On fewer cores the speedup is physically unavailable, so it
 //!    is reported (with `host_cores`) but not gated — the CI
 //!    `service-smoke` job runs on multi-core runners where it bites.
 //!
-//! Writes `BENCH_service.json` with per-kernel latency quantiles and
-//! per-shard compile-cache hit rates (the concurrent run's deltas).
-//! `--quick` shrinks iterations and reps for the CI smoke job.
+//! `--inject-serial` is the gate-inversion proof: it forces
+//! `in_flight_limit = 1` under the *concurrent* label and forces the
+//! throughput gate on regardless of core count — the run must exit 2,
+//! demonstrating the ≥2× gate actually fires when concurrency is lost.
+//!
+//! Writes `BENCH_service.json` with the in-flight limits, scheduler
+//! mode, dispatch order, per-phase (backend queue-wait vs execute)
+//! wall-time split, per-kernel latency quantiles, and per-shard
+//! compile-cache hit rates (the concurrent run's deltas). `--quick`
+//! shrinks iterations and reps for the CI smoke job.
 //!
 //! [`KernelMetrics`]: orion_core::service::KernelMetrics
 
@@ -61,6 +71,11 @@ struct KernelRow {
     launch_p99: u64,
     queue_wait_p50: u64,
     queue_wait_p99: u64,
+    /// Wall µs this kernel's launches waited behind the backend pool
+    /// (concurrent run).
+    dispatch_wait_us: u64,
+    /// Wall µs this kernel's launches spent executing (concurrent run).
+    execute_us: u64,
 }
 
 #[derive(Serialize)]
@@ -71,6 +86,26 @@ struct ShardRow {
     hit_rate: f64,
 }
 
+/// Per-run phase split: where the batch's wall time went, summed over
+/// kernels (wall-clock — reported, never gated).
+#[derive(Serialize)]
+struct PhaseSplit {
+    /// Total wall µs launches spent queued behind the backend pool.
+    dispatch_wait_us: u64,
+    /// Total wall µs launches spent executing on backend workers.
+    execute_us: u64,
+    /// Total wall µs spent compiling candidate sets.
+    compile_wall_us: u64,
+}
+
+fn phase_split(report: &ServiceReport) -> PhaseSplit {
+    PhaseSplit {
+        dispatch_wait_us: report.kernels.iter().map(|k| k.metrics.dispatch_wait_us).sum(),
+        execute_us: report.kernels.iter().map(|k| k.metrics.execute_us).sum(),
+        compile_wall_us: report.kernels.iter().map(|k| k.metrics.compile_wall_us).sum(),
+    }
+}
+
 #[derive(Serialize)]
 struct ServiceDoc {
     device: String,
@@ -79,23 +114,37 @@ struct ServiceDoc {
     reps: u32,
     batch: usize,
     iterations_per_kernel: u32,
+    /// Scheduler mode both runs used (longest-job-first by default).
+    scheduler: String,
+    /// Session dispatch order of the concurrent run (job indices) — a
+    /// pure function of the job set; the sequential run must match.
+    dispatch_order: Vec<usize>,
     sequential_wall_ms: f64,
     concurrent_wall_ms: f64,
-    /// Worker threads the two runs actually used, as recorded by
-    /// [`ServiceReport`] itself (not the requested counts) — makes a
-    /// 0.95× single-core artifact self-explaining.
+    /// In-flight session caps the two runs actually ran with, as
+    /// recorded by [`ServiceReport`] itself (not the requested knobs).
+    sequential_in_flight_limit: usize,
+    concurrent_in_flight_limit: usize,
+    /// Worker threads the two runs actually used.
     sequential_workers: usize,
     concurrent_workers: usize,
+    /// Per-phase wall-time split of each run (queue wait vs execute).
+    sequential_phases: PhaseSplit,
+    concurrent_phases: PhaseSplit,
     /// sequential wall / concurrent wall at 8 kernels.
     speedup_concurrent_over_sequential: f64,
-    /// Whether the 2× throughput gate was enforced (host_cores ≥ 4).
+    /// Whether the 2× throughput gate was enforced (host_cores ≥ 4, or
+    /// forced by `--inject-serial`).
     throughput_gated: bool,
     /// Why the throughput gate was skipped, when it was (`null` when
     /// it ran) — keeps the skip auditable from the artifact alone.
     throughput_gate_skip_reason: Option<String>,
+    /// Whether `--inject-serial` deliberately serialized the
+    /// concurrent label (the run is then *expected* to exit 2).
+    inject_serial: bool,
     bit_identical_outcomes: bool,
-    /// Whether the per-kernel cycle-domain histograms matched across
-    /// worker counts (gate 2).
+    /// Whether the per-kernel cycle-domain histograms and the dispatch
+    /// order matched across in-flight limits (gate 2).
     bit_identical_histograms: bool,
     /// Compile-cache deltas of the *concurrent* run.
     cache_hits: u64,
@@ -127,14 +176,14 @@ fn batch(iterations: u32) -> Vec<KernelJob> {
         .collect()
 }
 
-fn run_batch(workers: usize, iterations: u32) -> (f64, ServiceReport) {
+fn run_batch(workers: usize, in_flight_limit: usize, iterations: u32) -> (f64, ServiceReport) {
     // The simulator backend is noise- and fault-free, so the sessions
     // run the paper's exact walk (`policy: None`) and finalize within
     // the iteration budget; the resilient path (7-sample warmup
     // passes) is exercised by the chaos bench instead.
     let svc = OrionService::new(
         SimBackend::new(DeviceSpec::gtx680()),
-        ServiceConfig { workers, policy: None, ..ServiceConfig::default() },
+        ServiceConfig { workers, in_flight_limit, policy: None, ..ServiceConfig::default() },
     );
     let started = Instant::now();
     let report = svc.run(batch(iterations));
@@ -143,6 +192,7 @@ fn run_batch(workers: usize, iterations: u32) -> (f64, ServiceReport) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let inject_serial = std::env::args().any(|a| a == "--inject-serial");
     let reps: u32 = if quick { 1 } else { 3 };
     let iterations: u32 = if quick { 8 } else { 24 };
     let dev = DeviceSpec::gtx680();
@@ -150,37 +200,41 @@ fn main() {
     orion_telemetry::set_enabled(false);
     let mut failed = false;
 
-    // Sequential baseline: best wall over `reps` runs.
+    // Sequential baseline: the same event loop, capped at one in-flight
+    // session on one inline worker. Best wall over `reps` runs.
     cache::reset();
     let mut seq_ms = f64::INFINITY;
     let mut seq_report = None;
     for _ in 0..reps {
-        let (ms, report) = run_batch(1, iterations);
+        let (ms, report) = run_batch(1, 1, iterations);
         seq_ms = seq_ms.min(ms);
         seq_report = Some(report);
     }
     let seq_report = seq_report.expect("at least one sequential rep");
 
-    // Concurrent: one worker per kernel, warm cache (sharing is the
-    // point — the batch reuses the sequential runs' allocations).
+    // Concurrent: every session in flight over one pool worker per
+    // kernel, warm cache (sharing is the point — the batch reuses the
+    // sequential runs' allocations). `--inject-serial` sabotages this
+    // run back to one in-flight session to prove the gate fires.
+    let conc_limit = if inject_serial { 1 } else { 0 };
     let mut conc_ms = f64::INFINITY;
     let mut conc_report = None;
     for _ in 0..reps {
-        let (ms, report) = run_batch(BATCH, iterations);
+        let (ms, report) = run_batch(BATCH, conc_limit, iterations);
         conc_ms = conc_ms.min(ms);
         conc_report = Some(report);
     }
     let conc_report = conc_report.expect("at least one concurrent rep");
     let cache_stats = &conc_report.cache;
 
-    // Gate 1: per-kernel outcomes must be bit-identical across worker
-    // counts (and every kernel must tune successfully).
+    // Gate 1: per-kernel outcomes must be bit-identical across
+    // in-flight limits (and every kernel must tune successfully).
     let mut bit_identical = true;
     for (a, b) in seq_report.kernels.iter().zip(&conc_report.kernels) {
         match (&a.outcome, &b.outcome) {
             (Ok(x), Ok(y)) if x == y => {}
             (Ok(_), Ok(_)) => {
-                eprintln!("FAIL {}: outcome differs between 1 and {BATCH} workers", a.name);
+                eprintln!("FAIL {}: outcome differs between in-flight 1 and {BATCH}", a.name);
                 bit_identical = false;
             }
             (r, _) => {
@@ -192,39 +246,51 @@ fn main() {
                 bit_identical = false;
             }
         }
+        if a.disposition != b.disposition {
+            eprintln!("FAIL {}: disposition differs across in-flight limits", a.name);
+            bit_identical = false;
+        }
     }
     if !bit_identical {
         failed = true;
     }
     if seq_report.merged_decisions().len() != conc_report.merged_decisions().len() {
-        eprintln!("FAIL: merged decision logs differ in length across worker counts");
+        eprintln!("FAIL: merged decision logs differ in length across in-flight limits");
         failed = true;
     }
 
     // Gate 2: per-kernel cycle-domain histograms (launch latency and
     // queue wait) must also be bit-identical — the distributions live
-    // in simulated cycles, so worker count must not move them.
+    // in simulated cycles, so multiplexing must not move them. The
+    // dispatch order is a pure function of the job set and must match
+    // too.
     let mut hist_identical = true;
     for (a, b) in seq_report.kernels.iter().zip(&conc_report.kernels) {
         if a.metrics.cycle_domain() != b.metrics.cycle_domain() {
-            eprintln!("FAIL {}: latency histograms differ between 1 and {BATCH} workers", a.name);
+            eprintln!("FAIL {}: latency histograms differ across in-flight limits", a.name);
             hist_identical = false;
         }
+    }
+    if seq_report.dispatch_order != conc_report.dispatch_order {
+        eprintln!("FAIL: dispatch order differs across in-flight limits");
+        hist_identical = false;
     }
     if !hist_identical {
         failed = true;
     }
 
-    // Gate 3: ≥2× throughput at 8 kernels — only where the host can
-    // physically provide it.
+    // Gate 3: ≥2× throughput at 8 kernels — where the host can
+    // physically provide it, or unconditionally under --inject-serial
+    // (whose whole point is proving the gate trips).
     let speedup = seq_ms / conc_ms;
-    let throughput_gated = host_cores >= 4;
+    let throughput_gated = host_cores >= 4 || inject_serial;
     let throughput_gate_skip_reason = (!throughput_gated)
         .then(|| format!("host has {host_cores} core(s); a 2x concurrency speedup needs >= 4"));
     if throughput_gated && speedup < 2.0 {
         eprintln!(
             "FAIL: concurrent batch only {speedup:.2}x faster than sequential \
-             ({host_cores} host cores)"
+             ({host_cores} host cores{})",
+            if inject_serial { ", in-flight serialized by --inject-serial" } else { "" }
         );
         failed = true;
     }
@@ -247,6 +313,8 @@ fn main() {
                 launch_p99: k.metrics.launch_cycles.p99(),
                 queue_wait_p50: k.metrics.queue_wait_cycles.p50(),
                 queue_wait_p99: k.metrics.queue_wait_cycles.p99(),
+                dispatch_wait_us: k.metrics.dispatch_wait_us,
+                execute_us: k.metrics.execute_us,
             })
         })
         .collect();
@@ -265,13 +333,20 @@ fn main() {
         reps,
         batch: BATCH,
         iterations_per_kernel: iterations,
+        scheduler: conc_report.scheduler.name().to_string(),
+        dispatch_order: conc_report.dispatch_order.clone(),
         sequential_wall_ms: seq_ms,
         concurrent_wall_ms: conc_ms,
+        sequential_in_flight_limit: seq_report.in_flight_limit,
+        concurrent_in_flight_limit: conc_report.in_flight_limit,
         sequential_workers: seq_report.workers,
         concurrent_workers: conc_report.workers,
+        sequential_phases: phase_split(&seq_report),
+        concurrent_phases: phase_split(&conc_report),
         speedup_concurrent_over_sequential: speedup,
         throughput_gated,
         throughput_gate_skip_reason,
+        inject_serial,
         bit_identical_outcomes: bit_identical,
         bit_identical_histograms: hist_identical,
         cache_hits: cache_stats.hits,
@@ -286,13 +361,21 @@ fn main() {
 
     let mut text = format!(
         "Service bench: {BATCH} kernels × {iterations} iterations on {} \
-         ({host_cores} host cores, {reps} rep(s))\n\
-         sequential {seq_ms:.1}ms, concurrent({BATCH} workers) {conc_ms:.1}ms \
-         → {speedup:.2}x{}\n\
+         ({host_cores} host cores, {reps} rep(s), {} scheduler)\n\
+         sequential(in-flight 1) {seq_ms:.1}ms, concurrent(in-flight {}, {} workers) \
+         {conc_ms:.1}ms → {speedup:.2}x{}{}\n\
+         phase split (concurrent): queue-wait {}us, execute {}us, compile {}us\n\
          cache (concurrent run): {} hits / {} misses ({:.0}% hit rate, {} coalesced); \
          outcomes bit-identical: {bit_identical}; histograms bit-identical: {hist_identical}\n",
         dev.name,
+        doc.scheduler,
+        doc.concurrent_in_flight_limit,
+        doc.concurrent_workers,
         if throughput_gated { "" } else { " (not gated: <4 cores)" },
+        if inject_serial { " [--inject-serial]" } else { "" },
+        doc.concurrent_phases.dispatch_wait_us,
+        doc.concurrent_phases.execute_us,
+        doc.concurrent_phases.compile_wall_us,
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.hit_rate() * 100.0,
@@ -310,7 +393,7 @@ fn main() {
     for r in &doc.kernels {
         text.push_str(&format!(
             "{:<14} lane {:>2}  selected v{} after {:>2} trials  {:>12} cycles  \
-             launch p50/p99 {:>8}/{:>8}  {}\n",
+             launch p50/p99 {:>8}/{:>8}  wait/exec {:>6}/{:>6}us  {}\n",
             r.name,
             r.lane,
             r.selected,
@@ -318,6 +401,8 @@ fn main() {
             r.total_cycles,
             r.launch_p50,
             r.launch_p99,
+            r.dispatch_wait_us,
+            r.execute_us,
             r.state,
         ));
     }

@@ -27,7 +27,9 @@
 //! The cache is **lock-striped**: entries land on one of
 //! [`CacheConfig::shards`] shards selected by mixing the module
 //! fingerprint, so concurrent sessions tuning different kernels never
-//! contend on one mutex. Each shard keeps its own FIFO order and its
+//! contend on one mutex. ([`ShardedService`](crate::sharded::ShardedService)'s
+//! hash placement routes by the same fingerprint, so a multi-device
+//! batch keeps each kernel's compiles on one device's shard walk.) Each shard keeps its own FIFO order and its
 //! own hit/miss/eviction/coalesce counters, surfaced per shard in
 //! [`CompileCacheStats::per_shard`] (and from there in
 //! `ServiceReport::cache`).

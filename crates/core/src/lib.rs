@@ -20,9 +20,11 @@
 //! [`session::TuningSession`], executed on a pluggable
 //! [`backend::Backend`] (the `orion-gpusim` simulator, or a scripted
 //! [`backend::ReplayBackend`] for tests). Whole applications — many
-//! kernels, one device — go through [`service::OrionService`], which
-//! drives one session per kernel concurrently over a shared compile
-//! cache and telemetry stream:
+//! kernels, one device — go through [`service::OrionService`], an
+//! event loop multiplexing one session per kernel over the backend's
+//! async submission queue, sharing one compile cache and telemetry
+//! stream; multi-device deployments wrap one service per device in
+//! [`sharded::ShardedService`]:
 //!
 //! ```
 //! use orion_core::backend::SimBackend;
@@ -91,10 +93,14 @@ pub mod resilient;
 pub mod runtime;
 pub mod service;
 pub mod session;
+pub mod sharded;
 pub mod splitting;
 pub mod version;
 
-pub use backend::{Backend, BackendCaps, Recorder, ReplayBackend, SimBackend};
+pub use backend::{
+    AsyncBackend, Backend, BackendCaps, Completion, InlineAsync, LaunchRequest, Recorder,
+    ReplayBackend, SimBackend, TicketId,
+};
 pub use cache::{allocate_cached, CacheConfig, CompileCacheStats, ShardStats};
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
 pub use error::{ErrorContext, OrionError};
@@ -105,11 +111,12 @@ pub use resilient::{
 };
 pub use runtime::{tune_loop, DynamicTuner, TuneDecision, TuneOutcome, TuneReason};
 pub use service::{
-    DegradeReason, JobDisposition, JobPolicy, KernelJob, KernelReport, OrionService, ServiceConfig,
-    ServiceReport,
+    DegradeReason, JobDisposition, JobPolicy, KernelJob, KernelReport, OrionService, SchedulerMode,
+    ServiceConfig, ServiceReport,
 };
 pub use session::{
     SessionMode, SessionObs, SessionOutcome, SessionState, SessionStep, TuningSession,
 };
+pub use sharded::{Placement, ShardedReport, ShardedService};
 pub use splitting::{tune_by_splitting, SplitConfig};
 pub use version::VersionBuilder;

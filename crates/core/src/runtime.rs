@@ -13,6 +13,11 @@
 //!   energy);
 //! * the surviving version is **finalized** and runs for the remaining
 //!   iterations. Convergence typically takes ~3 iterations.
+//!
+//! [`tune_loop`] drives one kernel synchronously. Whole applications
+//! go through [`OrionService`](crate::service::OrionService), whose
+//! event loop runs this same walk for many kernels at once, ordered
+//! longest-job-first from the probe-time occupancy curves.
 
 use crate::compiler::{CompiledKernel, Direction, KernelVersion};
 use crate::error::OrionError;

@@ -3,19 +3,46 @@
 //! Real applications don't tune one kernel in a vacuum: a Rodinia-style
 //! app launches several kernels, each wanting its own occupancy walk,
 //! all sharing one device, one compile cache, and one telemetry stream.
-//! [`OrionService`] is that multi-kernel driver: it owns a
-//! [`Backend`], accepts a batch of named [`KernelJob`]s, and drives one
-//! [`TuningSession`] per kernel across a pool of scoped worker threads.
+//! [`OrionService`] is that multi-kernel driver: it owns an
+//! [`AsyncBackend`], accepts a batch of named [`KernelJob`]s, and
+//! multiplexes one [`TuningSession`] per kernel over the backend's
+//! submission queue from a single event loop.
+//!
+//! ## The event loop
+//!
+//! The sessions are pull-based state machines — `next_step()` hands out
+//! a launch request, `on_launch_result()` folds the measurement back —
+//! so tuning logic needs no thread of its own. The scheduler keeps up
+//! to [`ServiceConfig::in_flight_limit`] sessions in flight: it *pumps*
+//! each ready session until it emits a launch, submits that launch to
+//! the backend ([`AsyncBackend::submit`]), and resumes the session when
+//! its [`crate::backend::Completion`] arrives. Execution
+//! parallelism lives entirely in the backend's worker pool (sized by
+//! [`ServiceConfig::workers`]); with `in_flight_limit = 1` the very
+//! same code path degenerates to strictly sequential execution — the
+//! service bench's apples-to-apples baseline.
+//!
+//! Sessions start in **longest-job-first** order
+//! ([`SchedulerMode::Ljf`]): per-job costs are estimated from the
+//! probe-time occupancy curves (grid lanes × iterations, scaled by the
+//! deepest candidate's occupancy rounds), so tail kernels are dispatched
+//! early and don't strand backend workers at the end of the batch. The
+//! dispatch order is a pure function of the job set — sessions are
+//! always started from the head of the sorted queue, whatever the
+//! completion interleaving — and is recorded in
+//! [`ServiceReport::dispatch_order`].
 //!
 //! Four properties the service guarantees:
 //!
 //! * **Per-session isolation** — each job gets its own compiled
 //!   candidates, global-memory image, and session; a kernel whose every
 //!   candidate dies reports [`OrionError::AllCandidatesFailed`] in its
-//!   own [`KernelReport`] without disturbing its neighbours, and a
-//!   worker thread that *panics* mid-session is caught at the job
-//!   boundary ([`OrionError::SessionPanicked`]) instead of tearing the
-//!   batch down.
+//!   own [`KernelReport`] without disturbing its neighbours. Panics are
+//!   caught at two boundaries: a backend worker that unwinds mid-launch
+//!   surfaces as an [`OrionError::SessionPanicked`] *completion*, and a
+//!   session step (or completion callback) that unwinds on the
+//!   scheduler is caught per step — either way the job resolves to its
+//!   own quarantined report instead of tearing the batch down.
 //! * **Definite outcomes** — every submitted job terminates with
 //!   exactly one [`JobDisposition`]: `Finalized`, `Quarantined`,
 //!   `Degraded`, or `Rejected`. Jobs in equals definite outcomes out,
@@ -54,24 +81,24 @@
 //!
 //! [`TuningSession`]: crate::session::TuningSession
 
-use crate::backend::Backend;
+use crate::backend::{AsyncBackend, Completion, LaunchRequest, TicketId};
 use crate::cache;
-use crate::compiler::TuningConfig;
+use crate::compiler::{CompiledKernel, TuningConfig};
 use crate::error::OrionError;
 use crate::resilient::ResiliencePolicy;
 use crate::runtime::TuneDecision;
 use crate::session::{SessionOutcome, SessionState, SessionStep, TuningSession};
 use orion_gpusim::exec::{Launch, SimError};
-use orion_gpusim::faults::{FaultInjector, JobFaults, ServiceFaultPlan};
+use orion_gpusim::faults::{FaultInjector, JobFaults, LaunchFaults, ServiceFaultPlan};
 use orion_gpusim::sim::LaunchOptions;
 use orion_kir::function::Module;
 use orion_telemetry::hist::Histogram;
 use orion_telemetry::journal::{self, JournalDrain, JournalEvent};
 use orion_telemetry::registry;
 use std::cmp::Reverse;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Default admission priority (midpoint of the `u8` range, so callers
@@ -164,13 +191,47 @@ impl JobDisposition {
     }
 }
 
+/// How the event loop orders session starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Longest-job-first: within an admission-priority class, sessions
+    /// with the largest estimated cost (probe-time occupancy curve ×
+    /// iterations) start first, so tail kernels don't strand backend
+    /// workers at the end of the batch. The default.
+    #[default]
+    Ljf,
+    /// Submission order within an admission-priority class (the
+    /// pre-event-loop claim order).
+    Fifo,
+}
+
+impl SchedulerMode {
+    /// Stable lowercase name (reports, bench artifacts).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerMode::Ljf => "ljf",
+            SchedulerMode::Fifo => "fifo",
+        }
+    }
+}
+
 /// Service-wide knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
-    /// Worker threads driving sessions; `0` means one per host core.
-    /// Jobs never share a worker mid-session, so any worker count
-    /// yields the same per-kernel results on a deterministic backend.
+    /// Backend execution workers; `0` means one per host core. The
+    /// scheduler itself is single-threaded — this sizes the
+    /// [`AsyncBackend`] pool launches execute on. Results on a
+    /// deterministic backend are bit-identical at any worker count.
     pub workers: usize,
+    /// Maximum sessions with a launch in flight at once; `0` means
+    /// unlimited (every admitted session). `1` is the strictly
+    /// sequential baseline: one session runs start-to-finish before the
+    /// next is dispatched, on the very same code path. Results on a
+    /// deterministic backend are bit-identical at any limit.
+    pub in_flight_limit: usize,
+    /// Session-start ordering (see [`SchedulerMode`]).
+    pub scheduler: SchedulerMode,
     /// Slowdown threshold for every session (the paper's 2%).
     pub threshold: f64,
     /// `Some` drives resilient sessions (retry/quarantine/fallback);
@@ -193,6 +254,8 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: 0,
+            in_flight_limit: 0,
+            scheduler: SchedulerMode::Ljf,
             threshold: 0.02,
             policy: Some(ResiliencePolicy::default()),
             queue_capacity: None,
@@ -239,6 +302,14 @@ pub struct KernelMetrics {
     /// Wall-clock microseconds spent in `compile_probe` for this job
     /// (candidate generation + allocation; cache hits make it cheap).
     pub compile_wall_us: u64,
+    /// Wall-clock microseconds this job's launches spent queued behind
+    /// the backend's worker pool (submission → execution start), summed
+    /// across launches. Excluded from every determinism gate.
+    pub dispatch_wait_us: u64,
+    /// Wall-clock microseconds this job's launches spent executing on a
+    /// backend worker, summed across launches. Excluded from every
+    /// determinism gate.
+    pub execute_us: u64,
 }
 
 impl KernelMetrics {
@@ -308,6 +379,16 @@ pub struct ServiceReport {
     /// Worker threads the batch actually ran on (after clamping to the
     /// admitted job count).
     pub workers: usize,
+    /// The in-flight session cap the batch actually ran with (the
+    /// configured limit, or the admitted count when configured `0`).
+    pub in_flight_limit: usize,
+    /// The scheduler mode the batch ran with.
+    pub scheduler: SchedulerMode,
+    /// Job indices in the order the event loop started their sessions —
+    /// a pure function of the job set (priorities, then estimated cost
+    /// under [`SchedulerMode::Ljf`]), independent of completion
+    /// interleaving. Rejected and compile-failed jobs don't appear.
+    pub dispatch_order: Vec<usize>,
 }
 
 impl ServiceReport {
@@ -345,14 +426,181 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+/// The definite report for a job whose session step (or completion
+/// callback) unwound on the scheduler: counted, journaled, quarantined.
+fn panic_report(
+    name: &str,
+    lane: u32,
+    payload: &(dyn std::any::Any + Send),
+    compile_wall_us: u64,
+) -> KernelReport {
+    let detail = panic_detail(payload);
+    orion_telemetry::counter("resilience", "session_panic", 1);
+    journal::record(JournalEvent::SessionPanic { kernel: name.to_string() });
+    KernelReport {
+        name: name.to_string(),
+        lane,
+        outcome: Err(OrionError::SessionPanicked { detail }.with_context(name.to_string(), None)),
+        disposition: JobDisposition::Quarantined,
+        metrics: KernelMetrics { compile_wall_us, ..KernelMetrics::default() },
+    }
+}
+
+/// Which [`JobPolicy`] budget (if any) has expired for `session`.
+/// `deadline` is the effective cycle deadline (policy composed with any
+/// injected deadline pressure; the tighter one).
+fn blown_budget(
+    session: &TuningSession<'_>,
+    deadline: Option<u64>,
+    policy: &JobPolicy,
+    wall_start: Instant,
+) -> Option<DegradeReason> {
+    deadline
+        .filter(|&d| session.total_cycles_so_far() >= d)
+        .map(|_| DegradeReason::DeadlineCycles)
+        .or_else(|| {
+            policy
+                .wall_budget
+                .filter(|&w| wall_start.elapsed() >= w)
+                .map(|_| DegradeReason::WallBudget)
+        })
+        .or_else(|| {
+            policy
+                .retry_budget
+                .filter(|&r| session.stats().retries > u64::from(r))
+                .map(|_| DegradeReason::RetryBudget)
+        })
+}
+
+/// The error an injected launch fault stands in for, if the draw `f`
+/// injects one. Deterministic per draw — identical at any worker count
+/// or in-flight limit.
+fn injected_error(f: &LaunchFaults, deadline: Option<u64>) -> Option<OrionError> {
+    if f.transient {
+        Some(SimError::TransientLaunchFailure { code: 7 }.into())
+    } else if f.resource {
+        Some(SimError::ResourceExceeded { detail: "chaos: injected resource fault".into() }.into())
+    } else if f.hang {
+        Some(SimError::Watchdog { budget: deadline.unwrap_or(0) }.into())
+    } else {
+        None
+    }
+}
+
+/// Estimated whole-session cost for longest-job-first dispatch, from
+/// the probe-time occupancy curve: grid lanes × the deepest (non
+/// fail-safe) candidate's execution rounds × application iterations.
+/// A pure function of the compiled kernel and the job — identical on
+/// every host, so LJF order is deterministic.
+fn estimate_cost(ck: &CompiledKernel, job: &KernelJob) -> u64 {
+    let lanes = u64::from(job.launch.grid) * u64::from(job.launch.block);
+    let rounds = ck
+        .versions
+        .iter()
+        .filter(|v| !v.fail_safe)
+        .map(|v| lanes.div_ceil(u64::from(v.achieved_warps.max(1)) * 32))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    lanes * rounds * u64::from(job.iterations.max(1))
+}
+
+/// One admitted job being multiplexed by the event loop: the session,
+/// its launch ingredients, policy/chaos state, and running wall-clock
+/// phase accumulators. The session borrows its compiled kernel from the
+/// scheduler's frozen candidate table (`'k`); the `Arc` clone feeds
+/// [`LaunchRequest`]s.
+struct ActiveJob<'k> {
+    name: String,
+    lane: u32,
+    session: TuningSession<'k>,
+    ck: Arc<CompiledKernel>,
+    launch: Launch,
+    params: Vec<u32>,
+    /// The job's global-memory image; moved into each [`LaunchRequest`]
+    /// and restored from its [`Completion`].
+    global: Vec<u8>,
+    policy: JobPolicy,
+    /// Effective cycle deadline (policy ∧ injected pressure).
+    deadline: Option<u64>,
+    injector: Option<FaultInjector>,
+    panic_after: Option<u32>,
+    /// Fault draw for the launch currently in flight, applied to its
+    /// completion ([`FaultInjector::perturb_cycles`]).
+    pending_fault: Option<LaunchFaults>,
+    wall_start: Instant,
+    degrade_reason: Option<DegradeReason>,
+    launches_done: u32,
+    compile_wall_us: u64,
+    dispatch_wait_us: u64,
+    execute_us: u64,
+}
+
+/// What one pump of a session produced: a launch in flight, or a
+/// definite report.
+enum Pump {
+    Submitted(TicketId),
+    Finished(Box<KernelReport>),
+}
+
+impl ActiveJob<'_> {
+    /// Resolve this job to its definite report.
+    fn seal(
+        &mut self,
+        outcome: Result<SessionOutcome, OrionError>,
+        disposition: JobDisposition,
+    ) -> Pump {
+        let obs = self.session.observations().clone();
+        Pump::Finished(Box::new(KernelReport {
+            name: self.name.clone(),
+            lane: self.lane,
+            outcome,
+            disposition,
+            metrics: KernelMetrics {
+                launch_cycles: obs.launch_cycles,
+                queue_wait_cycles: obs.queue_wait_cycles,
+                compile_wall_us: self.compile_wall_us,
+                dispatch_wait_us: self.dispatch_wait_us,
+                execute_us: self.execute_us,
+            },
+        }))
+    }
+
+    /// Finish a session the driver stopped cleanly (walk done, or a
+    /// budget degrade) and derive its disposition exactly as the
+    /// synchronous driver does.
+    fn seal_settled(&mut self) -> Pump {
+        let outcome = self.session.clone().finish();
+        let disposition = match (self.degrade_reason, outcome.state) {
+            (Some(reason), SessionState::Degraded) => JobDisposition::Degraded(reason),
+            // A degrade with every version quarantined (or a session
+            // that died on its own) is a quarantine.
+            _ if outcome.state == SessionState::Quarantined => JobDisposition::Quarantined,
+            _ => JobDisposition::Finalized,
+        };
+        self.seal(Ok(outcome), disposition)
+    }
+
+    /// Injected worker-panic chaos: unwinds once the launch count
+    /// reaches the plan's threshold. The message is deterministic, so
+    /// panic reports stay bit-identical across worker counts.
+    fn check_panic_fault(&self) {
+        if let Some(after) = self.panic_after {
+            if self.launches_done >= after {
+                panic!("chaos: injected worker panic after {} launches", self.launches_done);
+            }
+        }
+    }
+}
+
 /// The multi-kernel tuning service. See the module docs.
 #[derive(Debug)]
-pub struct OrionService<B: Backend> {
+pub struct OrionService<B: AsyncBackend> {
     backend: B,
     cfg: ServiceConfig,
 }
 
-impl<B: Backend> OrionService<B> {
+impl<B: AsyncBackend> OrionService<B> {
     /// A service over `backend` with the given configuration.
     pub fn new(backend: B, cfg: ServiceConfig) -> Self {
         OrionService { backend, cfg }
@@ -438,22 +686,7 @@ impl<B: Backend> OrionService<B> {
                 // session to Degraded *before* the next launch is issued,
                 // so a deadline can never be overshot by more than one
                 // launch chain.
-                let blown = deadline
-                    .filter(|&d| session.total_cycles_so_far() >= d)
-                    .map(|_| DegradeReason::DeadlineCycles)
-                    .or_else(|| {
-                        policy
-                            .wall_budget
-                            .filter(|&w| wall_start.elapsed() >= w)
-                            .map(|_| DegradeReason::WallBudget)
-                    })
-                    .or_else(|| {
-                        policy
-                            .retry_budget
-                            .filter(|&r| session.stats().retries > u64::from(r))
-                            .map(|_| DegradeReason::RetryBudget)
-                    });
-                if let Some(reason) = blown {
+                if let Some(reason) = blown_budget(session, deadline, &policy, wall_start) {
                     session.degrade(reason.tag());
                     degrade_reason = Some(reason);
                     return Ok(());
@@ -467,17 +700,10 @@ impl<B: Backend> OrionService<B> {
                 let result = match &injector {
                     Some(inj) => {
                         let f = inj.draw();
-                        if f.transient {
-                            Err(SimError::TransientLaunchFailure { code: 7 }.into())
-                        } else if f.resource {
-                            Err(SimError::ResourceExceeded {
-                                detail: "chaos: injected resource fault".into(),
-                            }
-                            .into())
-                        } else if f.hang {
-                            Err(SimError::Watchdog { budget: deadline.unwrap_or(0) }.into())
-                        } else {
-                            self.backend
+                        match injected_error(&f, deadline) {
+                            Some(err) => Err(err),
+                            None => self
+                                .backend
                                 .launch(
                                     &ck.versions[v],
                                     job.launch,
@@ -485,7 +711,7 @@ impl<B: Backend> OrionService<B> {
                                     &mut job.global,
                                     LaunchOptions::default(),
                                 )
-                                .map(|c| inj.perturb_cycles(&f, c))
+                                .map(|c| inj.perturb_cycles(&f, c)),
                         }
                     }
                     None => self.backend.launch(
@@ -511,6 +737,7 @@ impl<B: Backend> OrionService<B> {
             launch_cycles: obs.launch_cycles,
             queue_wait_cycles: obs.queue_wait_cycles,
             compile_wall_us,
+            ..KernelMetrics::default()
         };
         match driven {
             Ok(()) => {
@@ -528,7 +755,85 @@ impl<B: Backend> OrionService<B> {
         }
     }
 
-    /// Tune every job, concurrently, and report in submission order.
+    /// Pump one session until it either submits a launch to the backend
+    /// or resolves to a definite report. May unwind (injected chaos, a
+    /// hostile session) — the event loop catches per step.
+    fn pump(&self, a: &mut ActiveJob<'_>) -> Pump {
+        loop {
+            // Policy gates come first: a blown budget resolves the
+            // session to Degraded *before* the next launch is issued,
+            // so a deadline can never be overshot by more than one
+            // launch chain.
+            if let Some(reason) = blown_budget(&a.session, a.deadline, &a.policy, a.wall_start) {
+                a.session.degrade(reason.tag());
+                a.degrade_reason = Some(reason);
+                return a.seal_settled();
+            }
+            let step = match a.session.next_step() {
+                Ok(step) => step,
+                Err(e) => return a.seal(Err(e), JobDisposition::Quarantined),
+            };
+            let SessionStep::Launch(v) = step else {
+                return a.seal_settled();
+            };
+            // Service-boundary chaos: injected faults replace (or
+            // perturb) the real launch, deterministically per
+            // (job, launch index) — identical at any in-flight limit.
+            if let Some(inj) = &a.injector {
+                let f = inj.draw();
+                if let Some(err) = injected_error(&f, a.deadline) {
+                    a.launches_done += 1;
+                    if let Err(e) = a.session.on_launch_result(Err(err)) {
+                        return a.seal(Err(e), JobDisposition::Quarantined);
+                    }
+                    a.check_panic_fault();
+                    continue;
+                }
+                a.pending_fault = Some(f);
+            }
+            let global = std::mem::take(&mut a.global);
+            let ticket = self.backend.submit(LaunchRequest {
+                kernel: Arc::clone(&a.ck),
+                version: v,
+                launch: a.launch,
+                params: a.params.clone(),
+                global,
+                // Inner launch parallelism stays at 1: the service's
+                // parallelism is *across* in-flight sessions, one
+                // backend worker per launch. Sim results are
+                // bit-identical at every parallelism setting, so this
+                // is a resource choice, not a semantic one.
+                opts: LaunchOptions { parallelism: 1, ..LaunchOptions::default() },
+                lane: a.lane,
+            });
+            return Pump::Submitted(ticket);
+        }
+    }
+
+    /// Fold one completion back into its session, then pump it onward.
+    /// May unwind (injected completion-callback panics) — the event
+    /// loop catches per step.
+    fn resume(&self, a: &mut ActiveJob<'_>, c: Completion) -> Pump {
+        a.global = c.global;
+        a.dispatch_wait_us += c.queue_wait_us;
+        a.execute_us += c.exec_us;
+        let result = match (a.pending_fault.take(), c.result) {
+            (Some(f), Ok(cycles)) => Ok(a
+                .injector
+                .as_ref()
+                .expect("a fault draw implies an injector")
+                .perturb_cycles(&f, cycles)),
+            (_, r) => r,
+        };
+        a.launches_done += 1;
+        if let Err(e) = a.session.on_launch_result(result) {
+            return a.seal(Err(e), JobDisposition::Quarantined);
+        }
+        a.check_panic_fault();
+        self.pump(a)
+    }
+
+    /// Tune every job on the event loop and report in submission order.
     /// Every submitted job comes back with a definite
     /// [`JobDisposition`] — rejected at admission, or run to
     /// finalized/quarantined/degraded — no matter what the backend or a
@@ -538,7 +843,12 @@ impl<B: Backend> OrionService<B> {
         let host_cores =
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let reg = registry::global().scope("service");
-        let in_flight = reg.register_gauge("in_flight_sessions", "Sessions currently tuning", "");
+        let in_flight_gauge =
+            reg.register_gauge("in_flight", "Launches submitted and not yet completed", "");
+        let queue_depth_gauge =
+            reg.register_gauge("queue_depth", "Admitted sessions awaiting dispatch", "");
+        let sessions_gauge =
+            reg.register_gauge("in_flight_sessions", "Sessions currently tuning", "");
         let shed_counter =
             reg.register_counter("shed", "Jobs shed at admission over the process lifetime", "");
         let degraded_counter = reg.register_counter(
@@ -549,9 +859,10 @@ impl<B: Backend> OrionService<B> {
         let cache_before = cache::stats();
         // Names and priorities outlive the jobs themselves: panic
         // reports and shed reports need them after (or without) the job
-        // value being consumed by a worker.
+        // value being consumed by the event loop.
         let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
         let priorities: Vec<u8> = jobs.iter().map(|j| j.policy.priority).collect();
+        let lane_of = |i: usize| u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
         // Admission control: shed down to the queue capacity, lowest
         // priority first, ties shedding the latest submission.
         let mut admitted = vec![true; submitted];
@@ -577,25 +888,23 @@ impl<B: Backend> OrionService<B> {
             w => w,
         }
         .min(admitted_count.max(1));
-        // Workers claim admitted jobs in priority order (ties:
-        // submission order) — higher-priority work starts first under
-        // saturation, without affecting any per-job outcome.
-        let mut claim_order: Vec<usize> = (0..submitted).filter(|&i| admitted[i]).collect();
-        claim_order.sort_by_key(|&i| (Reverse(priorities[i]), i));
-        // Slot-per-job in/out tables: workers claim indices off the
-        // cursor, so reports land at their job's index and the merge is
-        // submission-ordered by construction.
-        let slots: Vec<Mutex<Option<KernelJob>>> =
-            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-        let reports: Vec<Mutex<Option<KernelReport>>> =
-            (0..submitted).map(|_| Mutex::new(None)).collect();
-        // Shed jobs resolve immediately, before any worker runs.
-        for (i, report) in reports.iter().enumerate() {
+        // Execution parallelism lives entirely in the backend's pool:
+        // `workers <= 1` keeps the pool empty so every launch runs
+        // inline on the scheduler thread (zero extra threads — the
+        // strictly sequential baseline), otherwise the pool gets one
+        // thread per worker.
+        self.backend.configure_pool(if workers <= 1 { 0 } else { workers });
+        let in_flight_limit = match self.cfg.in_flight_limit {
+            0 => admitted_count.max(1),
+            k => k,
+        };
+        let mut reports: Vec<Option<KernelReport>> = (0..submitted).map(|_| None).collect();
+        // Shed jobs resolve immediately, before anything runs.
+        for i in 0..submitted {
             if !admitted[i] {
-                let lane = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
-                *report.lock().unwrap_or_else(PoisonError::into_inner) = Some(KernelReport {
+                reports[i] = Some(KernelReport {
                     name: names[i].clone(),
-                    lane,
+                    lane: lane_of(i),
                     outcome: Err(OrionError::Overloaded {
                         capacity: self.cfg.queue_capacity.unwrap_or(usize::MAX),
                         submitted,
@@ -605,69 +914,222 @@ impl<B: Backend> OrionService<B> {
                 });
             }
         }
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let in_flight = in_flight.clone();
-                let (slots, reports, cursor) = (&slots, &reports, &cursor);
-                let (names, claim_order) = (&names, &claim_order);
-                scope.spawn(move || loop {
-                    let pos = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = claim_order.get(pos) else { break };
-                    let lane = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
-                    orion_telemetry::set_scope(lane);
-                    let faults = match &self.cfg.chaos {
-                        Some(plan) => plan.job_faults(i),
-                        None => JobFaults::NONE,
-                    };
-                    in_flight.inc();
-                    // Panic isolation: a session that unwinds — the
-                    // backend, the allocator, injected chaos — is caught
-                    // at the job boundary and reported as its own
-                    // quarantined outcome; the batch keeps running.
-                    let caught = catch_unwind(AssertUnwindSafe(|| {
-                        let mut job =
-                            slots[i].lock().unwrap_or_else(PoisonError::into_inner).take().expect(
-                                "invariant violated: each admitted slot is claimed exactly once",
-                            );
-                        let (outcome, metrics, disposition) = self.tune_job(&mut job, &faults);
-                        KernelReport { name: job.name, lane, outcome, disposition, metrics }
-                    }));
-                    in_flight.dec();
-                    let report = caught.unwrap_or_else(|payload| {
-                        let detail = panic_detail(payload.as_ref());
-                        orion_telemetry::counter("resilience", "session_panic", 1);
-                        journal::record(JournalEvent::SessionPanic { kernel: names[i].clone() });
-                        KernelReport {
-                            name: names[i].clone(),
-                            lane,
-                            outcome: Err(OrionError::SessionPanicked { detail }
-                                .with_context(names[i].clone(), None)),
-                            disposition: JobDisposition::Quarantined,
-                            metrics: KernelMetrics::default(),
-                        }
-                    });
-                    *reports[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
-                });
+        // Compile phase: sequential, in submission order, on the
+        // scheduler thread — cache hit/miss accounting stays a pure
+        // function of the job set, and a compile panic (or error)
+        // quarantines only its own job. The candidate table is frozen
+        // before the event loop starts; sessions borrow from it.
+        let mut jobs: Vec<Option<KernelJob>> = jobs.into_iter().map(Some).collect();
+        let mut cks: Vec<Option<Arc<CompiledKernel>>> = (0..submitted).map(|_| None).collect();
+        let mut compile_us: Vec<u64> = vec![0; submitted];
+        for i in 0..submitted {
+            if !admitted[i] {
+                jobs[i] = None;
+                continue;
             }
-        });
-        // No job may be lost: even if a worker died in a way the catch
-        // above couldn't express, its slot still resolves to a definite
-        // (quarantined) report.
+            let job = jobs[i].as_ref().expect("admitted slot holds its job until dispatch");
+            orion_telemetry::set_scope(lane_of(i));
+            let compile_start = Instant::now();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                self.backend.compile_probe(&job.module, &job.tuning)
+            }));
+            compile_us[i] = compile_start.elapsed().as_micros() as u64;
+            let err = match caught {
+                Ok(Ok(ck)) => {
+                    cks[i] = Some(Arc::new(ck));
+                    continue;
+                }
+                Ok(Err(e)) => e,
+                Err(payload) => {
+                    let detail = panic_detail(payload.as_ref());
+                    orion_telemetry::counter("resilience", "session_panic", 1);
+                    journal::record(JournalEvent::SessionPanic { kernel: names[i].clone() });
+                    OrionError::SessionPanicked { detail }.with_context(names[i].clone(), None)
+                }
+            };
+            jobs[i] = None;
+            reports[i] = Some(KernelReport {
+                name: names[i].clone(),
+                lane: lane_of(i),
+                outcome: Err(err),
+                disposition: JobDisposition::Quarantined,
+                metrics: KernelMetrics {
+                    compile_wall_us: compile_us[i],
+                    ..KernelMetrics::default()
+                },
+            });
+        }
+        // Dispatch order: a pure function of the job set. Sessions are
+        // always started from the head of this queue, whatever the
+        // completion interleaving, so the recorded order (and every
+        // downstream outcome) is deterministic.
+        let mut order: Vec<usize> =
+            (0..submitted).filter(|&i| cks[i].is_some() && jobs[i].is_some()).collect();
+        match self.cfg.scheduler {
+            SchedulerMode::Ljf => order.sort_by_key(|&i| {
+                let cost = estimate_cost(
+                    cks[i].as_deref().expect("order is filtered to compiled jobs"),
+                    jobs[i].as_ref().expect("order is filtered to live jobs"),
+                );
+                (Reverse(priorities[i]), Reverse(cost), i)
+            }),
+            SchedulerMode::Fifo => order.sort_by_key(|&i| (Reverse(priorities[i]), i)),
+        }
+        let dispatch_order = order.clone();
+        // The event loop: keep up to `in_flight_limit` sessions with a
+        // launch in flight; pump each ready session until it submits or
+        // settles, and resume it when its completion arrives.
+        let mut queue: VecDeque<usize> = order.into_iter().collect();
+        let mut pending: HashMap<TicketId, usize> = HashMap::new();
+        let mut active: Vec<Option<ActiveJob<'_>>> = (0..submitted).map(|_| None).collect();
+        while !queue.is_empty() || !pending.is_empty() {
+            // Fill free in-flight slots from the head of the dispatch
+            // queue. A session that settles without submitting frees
+            // its slot immediately, so the head keeps draining.
+            while pending.len() < in_flight_limit {
+                let Some(i) = queue.pop_front() else { break };
+                let job = jobs[i].take().expect("dispatch queue holds live jobs");
+                let ck: &CompiledKernel =
+                    cks[i].as_deref().expect("dispatch queue holds compiled jobs");
+                let faults = match &self.cfg.chaos {
+                    Some(plan) => plan.job_faults(i),
+                    None => JobFaults::NONE,
+                };
+                // Injected deadline pressure composes with the job's
+                // own deadline: the tighter one wins.
+                let deadline = match (job.policy.deadline_cycles, faults.deadline_cycles) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                let session = match self.cfg.policy {
+                    Some(policy) => TuningSession::resilient(
+                        names[i].as_str(),
+                        ck,
+                        job.iterations,
+                        self.cfg.threshold,
+                        policy,
+                    ),
+                    None => TuningSession::simple(ck, job.iterations, self.cfg.threshold),
+                };
+                let mut a = ActiveJob {
+                    name: names[i].clone(),
+                    lane: lane_of(i),
+                    session,
+                    ck: Arc::clone(cks[i].as_ref().expect("dispatch queue holds compiled jobs")),
+                    launch: job.launch,
+                    params: job.params,
+                    global: job.global,
+                    policy: job.policy,
+                    deadline,
+                    injector: faults.plan.map(FaultInjector::new),
+                    panic_after: faults.panic_after_launches,
+                    pending_fault: None,
+                    wall_start: Instant::now(),
+                    degrade_reason: None,
+                    launches_done: 0,
+                    compile_wall_us: compile_us[i],
+                    dispatch_wait_us: 0,
+                    execute_us: 0,
+                };
+                orion_telemetry::set_scope(a.lane);
+                sessions_gauge.inc();
+                // Panic isolation, boundary one: a session step that
+                // unwinds on the scheduler resolves only its own job.
+                match catch_unwind(AssertUnwindSafe(|| self.pump(&mut a))) {
+                    Ok(Pump::Submitted(t)) => {
+                        pending.insert(t, i);
+                        active[i] = Some(a);
+                    }
+                    Ok(Pump::Finished(report)) => {
+                        sessions_gauge.dec();
+                        reports[i] = Some(*report);
+                    }
+                    Err(payload) => {
+                        sessions_gauge.dec();
+                        reports[i] = Some(panic_report(
+                            &names[i],
+                            a.lane,
+                            payload.as_ref(),
+                            a.compile_wall_us,
+                        ));
+                    }
+                }
+            }
+            in_flight_gauge.set(pending.len() as f64);
+            queue_depth_gauge.set(queue.len() as f64);
+            if pending.is_empty() {
+                continue;
+            }
+            let completions = self.backend.wait_completions();
+            if completions.is_empty() {
+                // Defensive backstop: the backend claims nothing is in
+                // flight while we still hold tickets. Resolve them to
+                // definite reports rather than spin forever.
+                for (_ticket, i) in pending.drain() {
+                    active[i] = None;
+                    sessions_gauge.dec();
+                    reports[i] = Some(KernelReport {
+                        name: names[i].clone(),
+                        lane: lane_of(i),
+                        outcome: Err(OrionError::SessionPanicked {
+                            detail: "backend lost an in-flight ticket".into(),
+                        }),
+                        disposition: JobDisposition::Quarantined,
+                        metrics: KernelMetrics {
+                            compile_wall_us: compile_us[i],
+                            ..KernelMetrics::default()
+                        },
+                    });
+                }
+                continue;
+            }
+            for c in completions {
+                // Unknown tickets (a foreign submitter sharing the
+                // backend) are not ours to resolve.
+                let Some(i) = pending.remove(&c.ticket) else { continue };
+                let mut a = active[i].take().expect("pending ticket has an active session");
+                orion_telemetry::set_scope(a.lane);
+                // Panic isolation, boundary two: a completion callback
+                // that unwinds (injected chaos) resolves only its job.
+                match catch_unwind(AssertUnwindSafe(|| self.resume(&mut a, c))) {
+                    Ok(Pump::Submitted(t)) => {
+                        pending.insert(t, i);
+                        active[i] = Some(a);
+                    }
+                    Ok(Pump::Finished(report)) => {
+                        sessions_gauge.dec();
+                        reports[i] = Some(*report);
+                    }
+                    Err(payload) => {
+                        sessions_gauge.dec();
+                        reports[i] = Some(panic_report(
+                            &names[i],
+                            a.lane,
+                            payload.as_ref(),
+                            a.compile_wall_us,
+                        ));
+                    }
+                }
+            }
+        }
+        in_flight_gauge.set(0.0);
+        queue_depth_gauge.set(0.0);
+        orion_telemetry::set_scope(0);
+        // No job may be lost: even if the loop exited in a way the
+        // catches above couldn't express, every slot still resolves to
+        // a definite (quarantined) report.
         let kernels: Vec<KernelReport> = reports
             .into_iter()
             .enumerate()
             .map(|(i, r)| {
-                r.into_inner().unwrap_or_else(PoisonError::into_inner).unwrap_or_else(|| {
-                    KernelReport {
-                        name: names[i].clone(),
-                        lane: u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1),
-                        outcome: Err(OrionError::SessionPanicked {
-                            detail: "worker produced no report".into(),
-                        }),
-                        disposition: JobDisposition::Quarantined,
-                        metrics: KernelMetrics::default(),
-                    }
+                r.unwrap_or_else(|| KernelReport {
+                    name: names[i].clone(),
+                    lane: lane_of(i),
+                    outcome: Err(OrionError::SessionPanicked {
+                        detail: "scheduler produced no report".into(),
+                    }),
+                    disposition: JobDisposition::Quarantined,
+                    metrics: KernelMetrics::default(),
                 })
             })
             .collect();
@@ -700,8 +1162,20 @@ impl<B: Backend> OrionService<B> {
             "Per-kernel candidate-set compile wall time",
             "us",
         );
+        let dispatch_hist = reg.register_histogram(
+            "dispatch_wait_us",
+            "Per-kernel wall time launches waited behind the backend pool",
+            "us",
+        );
+        let execute_hist = reg.register_histogram(
+            "execute_us",
+            "Per-kernel wall time launches spent executing on the backend",
+            "us",
+        );
         for k in &kernels {
             compile_hist.record(k.metrics.compile_wall_us);
+            dispatch_hist.record(k.metrics.dispatch_wait_us);
+            execute_hist.record(k.metrics.execute_us);
         }
         ServiceReport {
             kernels,
@@ -710,6 +1184,9 @@ impl<B: Backend> OrionService<B> {
             journal: orion_telemetry::journal::drain(),
             host_cores,
             workers,
+            in_flight_limit,
+            scheduler: self.cfg.scheduler,
+            dispatch_order,
         }
     }
 }
@@ -717,7 +1194,7 @@ impl<B: Backend> OrionService<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{BackendCaps, ReplayBackend, SimBackend};
+    use crate::backend::{Backend, BackendCaps, InlineAsync, ReplayBackend, SimBackend};
     use crate::compiler::{CompiledKernel, KernelVersion};
     use crate::session::SessionState;
     use orion_gpusim::device::DeviceSpec;
@@ -925,6 +1402,78 @@ mod tests {
         );
     }
 
+    #[test]
+    fn in_flight_limit_does_not_change_outcomes() {
+        // The strictly sequential baseline (limit 1) and the fully
+        // multiplexed run (limit 0 = every admitted session) are the
+        // same code path and must be bit-identical.
+        let mk = || (1..=6).map(|i| job(&format!("k{i}"), i64::from(i), 6)).collect::<Vec<_>>();
+        let seq = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 4, in_flight_limit: 1, ..ServiceConfig::default() },
+        )
+        .run(mk());
+        let par = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 4, in_flight_limit: 0, ..ServiceConfig::default() },
+        )
+        .run(mk());
+        assert_eq!(seq.in_flight_limit, 1);
+        assert_eq!(par.in_flight_limit, 6);
+        assert_eq!(seq.dispatch_order, par.dispatch_order);
+        for (a, b) in seq.kernels.iter().zip(&par.kernels) {
+            assert_eq!(
+                a.outcome.as_ref().unwrap(),
+                b.outcome.as_ref().unwrap(),
+                "kernel {} diverged across in-flight limits",
+                a.name
+            );
+            assert_eq!(a.disposition, b.disposition);
+            assert_eq!(a.metrics.cycle_domain(), b.metrics.cycle_domain());
+        }
+    }
+
+    #[test]
+    fn ljf_dispatch_order_is_deterministic_and_longest_first() {
+        // Same job set, different worker counts and in-flight limits —
+        // the dispatch order is a pure function of the job set.
+        let mk = || {
+            vec![job("short", 2, 1), job("long", 3, 32), job("medium", 4, 8), job("urgent", 5, 1)]
+        };
+        let mut with_priority = mk();
+        with_priority[3].policy.priority = 200;
+        let a = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 1, in_flight_limit: 1, ..ServiceConfig::default() },
+        )
+        .run({
+            let mut j = mk();
+            j[3].policy.priority = 200;
+            j
+        });
+        let b = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { workers: 4, in_flight_limit: 0, ..ServiceConfig::default() },
+        )
+        .run(with_priority);
+        assert_eq!(a.scheduler, SchedulerMode::Ljf);
+        assert_eq!(a.dispatch_order, b.dispatch_order);
+        // Priority dominates; within a class, larger estimated cost
+        // (more iterations here) dispatches first.
+        assert_eq!(a.dispatch_order, vec![3, 1, 2, 0]);
+        // FIFO keeps submission order within a priority class.
+        let c = OrionService::new(
+            SimBackend::new(DeviceSpec::gtx680()),
+            ServiceConfig { scheduler: SchedulerMode::Fifo, ..ServiceConfig::default() },
+        )
+        .run({
+            let mut j = mk();
+            j[3].policy.priority = 200;
+            j
+        });
+        assert_eq!(c.dispatch_order, vec![3, 0, 1, 2]);
+    }
+
     /// A backend whose launches always panic — the hostile case panic
     /// isolation exists for.
     struct PanickingBackend {
@@ -966,7 +1515,7 @@ mod tests {
         let prior_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let svc = OrionService::new(
-            PanickingBackend { inner: SimBackend::new(DeviceSpec::gtx680()) },
+            InlineAsync::new(PanickingBackend { inner: SimBackend::new(DeviceSpec::gtx680()) }),
             ServiceConfig { workers: 2, ..ServiceConfig::default() },
         );
         let report = svc.run(vec![job("boom1", 2, 4), job("boom2", 3, 4)]);

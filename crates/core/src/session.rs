@@ -10,7 +10,11 @@
 //! them however it likes (a [`Backend`](crate::backend::Backend), a
 //! closure, a replay log) and feeds the result back. That inversion is
 //! what lets one state machine serve a closure-driven legacy API, a
-//! backend-driven service, and a deterministic replay test equally.
+//! backend-driven service, and a deterministic replay test equally —
+//! and, since PR 9, what lets [`OrionService`](crate::service::OrionService)'s
+//! event loop multiplex many suspended sessions over one async
+//! submission queue: a session parked at a [`SessionStep::Launch`] is
+//! just a value, costing nothing while its ticket is in flight.
 //!
 //! The session is a typed state machine:
 //!

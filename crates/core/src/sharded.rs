@@ -1,0 +1,311 @@
+//! `ShardedService` — one serving plane across several devices.
+//!
+//! A deployment with more than one simulated device (or several
+//! independent backend instances over one device class) wants a single
+//! submission surface: hand the batch to one object, let it place each
+//! job on a device, run every device's event loop concurrently, and
+//! merge the per-device reports back into submission order. That merge
+//! must be *deterministic*: the sharded run of a partition is
+//! bit-identical to running each partition on a single-device
+//! [`OrionService`] by itself — sharding is a placement decision, never
+//! a semantic one.
+//!
+//! ## Placement
+//!
+//! Both policies are pure functions of the job set, so the placement
+//! vector (and therefore every downstream outcome) is reproducible:
+//!
+//! * [`Placement::Hash`] — `Module::fingerprint() % devices`. Jobs for
+//!   the same kernel IR always land on the same device, which maximises
+//!   compile-cache locality (the cache shards by fingerprint too).
+//! * [`Placement::LeastLoaded`] — greedy: walk jobs in submission
+//!   order, place each on the device with the smallest accumulated
+//!   load proxy (`grid × block × iterations`), ties on the lowest
+//!   device index. Balances heterogeneous batches that hash-placement
+//!   would skew.
+//!
+//! ## Merge invariants
+//!
+//! * [`ShardedReport::kernels`] is in global submission order; each
+//!   report is exactly the one its device's event loop produced.
+//!   Telemetry lanes are **shard-local** (each device numbers its own
+//!   jobs `1..`); use [`ShardedReport::placements`] to attribute them.
+//! * Admission control ([`ServiceConfig::queue_capacity`]) applies
+//!   per device, after placement — capacity is a device property.
+//! * [`ShardedReport::cache`] is the batch-wide compile-cache delta,
+//!   taken around the whole sharded run (per-device deltas under
+//!   concurrency can attribute a neighbour's hits to the wrong shard;
+//!   the per-device [`ServiceReport::cache`] values are best-effort).
+
+use crate::backend::AsyncBackend;
+use crate::cache;
+use crate::service::{KernelJob, KernelReport, OrionService, ServiceConfig, ServiceReport};
+use orion_telemetry::registry;
+
+/// How jobs are assigned to devices. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// `Module::fingerprint() % devices`: same kernel, same device.
+    #[default]
+    Hash,
+    /// Greedy least-accumulated-load (`grid × block × iterations`
+    /// proxy), ties to the lowest device index.
+    LeastLoaded,
+}
+
+impl Placement {
+    /// Stable lowercase name (reports, bench artifacts).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Hash => "hash",
+            Placement::LeastLoaded => "least_loaded",
+        }
+    }
+}
+
+/// A completed sharded batch. `kernels` is the deterministic
+/// submission-order merge; `shards` keeps each device's full report
+/// (shard-local order) for per-device inspection.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Per-kernel reports, merged back into global submission order.
+    pub kernels: Vec<KernelReport>,
+    /// Device index each submitted job was placed on (submission
+    /// order).
+    pub placements: Vec<usize>,
+    /// Each device's own [`ServiceReport`], in device order.
+    pub shards: Vec<ServiceReport>,
+    /// Batch-wide compile-cache delta (see the module docs).
+    pub cache: cache::CompileCacheStats,
+}
+
+impl ShardedReport {
+    /// Whether every kernel on every device tuned successfully.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.kernels.iter().all(|k| k.outcome.is_ok())
+    }
+}
+
+/// The multi-device serving plane: one [`OrionService`] (and so one
+/// backend, one event loop) per device, plus a placement policy.
+#[derive(Debug)]
+pub struct ShardedService<B: AsyncBackend> {
+    shards: Vec<OrionService<B>>,
+    placement: Placement,
+}
+
+impl<B: AsyncBackend> ShardedService<B> {
+    /// A sharded service over one backend per device, each driven with
+    /// the same configuration.
+    ///
+    /// # Panics
+    /// With zero backends — a serving plane needs at least one device.
+    pub fn new(backends: Vec<B>, cfg: ServiceConfig, placement: Placement) -> Self {
+        assert!(!backends.is_empty(), "ShardedService needs at least one device");
+        ShardedService {
+            shards: backends.into_iter().map(|b| OrionService::new(b, cfg)).collect(),
+            placement,
+        }
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The device each job would be placed on — a pure function of the
+    /// job set (exposed so callers and tests can reproduce partitions).
+    #[must_use]
+    pub fn place(&self, jobs: &[KernelJob]) -> Vec<usize> {
+        let n = self.shards.len();
+        match self.placement {
+            Placement::Hash => jobs
+                .iter()
+                .map(|j| usize::try_from(j.module.fingerprint() % n as u64).unwrap_or(0))
+                .collect(),
+            Placement::LeastLoaded => {
+                let mut load = vec![0u128; n];
+                jobs.iter()
+                    .map(|j| {
+                        let cost = u128::from(j.launch.grid)
+                            * u128::from(j.launch.block)
+                            * u128::from(j.iterations.max(1));
+                        let d = (0..n).min_by_key(|&d| (load[d], d)).unwrap_or(0);
+                        load[d] += cost;
+                        d
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Place every job, run each device's event loop concurrently, and
+    /// merge the reports back into submission order.
+    pub fn run(&self, jobs: Vec<KernelJob>) -> ShardedReport {
+        let placements = self.place(&jobs);
+        let cache_before = cache::stats();
+        let reg = registry::global().scope("service");
+        // Partition, remembering each job's global submission index so
+        // the merge can restore order deterministically.
+        let mut parts: Vec<Vec<KernelJob>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut indices: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, (job, &d)) in jobs.into_iter().zip(&placements).enumerate() {
+            parts[d].push(job);
+            indices[d].push(i);
+        }
+        for (d, idx) in indices.iter().enumerate() {
+            reg.scope(&format!("device{d}"))
+                .register_gauge("jobs", "Jobs placed on this device in the last batch", "")
+                .set(idx.len() as f64);
+        }
+        let total = placements.len();
+        // One scheduler thread per device; each runs its own event
+        // loop over its own backend.
+        let mut shard_reports: Vec<Option<ServiceReport>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, (svc, part)) in shard_reports.iter_mut().zip(self.shards.iter().zip(parts)) {
+                scope.spawn(move || *slot = Some(svc.run(part)));
+            }
+        });
+        let shards: Vec<ServiceReport> =
+            shard_reports.into_iter().map(|r| r.expect("every device thread reports")).collect();
+        // Deterministic merge: device reports come back in shard-local
+        // submission order; scatter them to their recorded global
+        // indices.
+        let mut merged: Vec<Option<KernelReport>> = (0..total).map(|_| None).collect();
+        for (d, report) in shards.iter().enumerate() {
+            for (local, k) in report.kernels.iter().enumerate() {
+                merged[indices[d][local]] = Some(k.clone());
+            }
+        }
+        let kernels = merged
+            .into_iter()
+            .map(|k| k.expect("every placed job has exactly one report"))
+            .collect();
+        ShardedReport {
+            kernels,
+            placements,
+            shards,
+            cache: cache::stats().delta_since(&cache_before),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimBackend;
+    use crate::compiler::TuningConfig;
+    use crate::service::JobPolicy;
+    use orion_gpusim::device::DeviceSpec;
+    use orion_gpusim::exec::Launch;
+    use orion_kir::builder::FunctionBuilder;
+    use orion_kir::function::Module;
+    use orion_kir::inst::Operand;
+    use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+    fn toy_module(mul: i64) -> Module {
+        let mut b = FunctionBuilder::kernel("k");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+        let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+        let gid = b.imad(cta, nt, tid);
+        let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+        let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+        let y = b.imul(x, Operand::Imm(mul));
+        b.st(MemSpace::Global, Width::W32, addr, y, 0);
+        Module::new(b.finish())
+    }
+
+    fn job(name: &str, mul: i64, iterations: u32) -> KernelJob {
+        KernelJob {
+            name: name.into(),
+            module: toy_module(mul),
+            launch: Launch { grid: 4, block: 32 },
+            params: vec![0],
+            global: vec![0u8; 4 * 128],
+            iterations,
+            tuning: TuningConfig::new(32),
+            policy: JobPolicy::default(),
+        }
+    }
+
+    fn sharded(devices: usize, placement: Placement) -> ShardedService<SimBackend> {
+        ShardedService::new(
+            (0..devices).map(|_| SimBackend::new(DeviceSpec::gtx680())).collect(),
+            ServiceConfig::default(),
+            placement,
+        )
+    }
+
+    #[test]
+    fn placement_is_a_pure_function_of_the_job_set() {
+        let jobs: Vec<KernelJob> =
+            (1..=8).map(|i| job(&format!("k{i}"), i64::from(i), i)).collect();
+        for placement in [Placement::Hash, Placement::LeastLoaded] {
+            let svc = sharded(3, placement);
+            assert_eq!(svc.place(&jobs), svc.place(&jobs), "{placement:?} not deterministic");
+            assert!(svc.place(&jobs).iter().all(|&d| d < 3));
+        }
+        // Hash placement keeps identical modules together.
+        let svc = sharded(3, Placement::Hash);
+        let twins = vec![job("a", 7, 2), job("b", 7, 9)];
+        let p = svc.place(&twins);
+        assert_eq!(p[0], p[1], "same fingerprint, same device");
+        // Least-loaded spreads identical jobs round-robin-ish.
+        let svc = sharded(2, Placement::LeastLoaded);
+        let p = svc.place(&twins);
+        assert_ne!(p[0], p[1], "second job goes to the idle device");
+    }
+
+    #[test]
+    fn sharded_merge_is_bit_identical_to_single_device_partitions() {
+        let mk = || -> Vec<KernelJob> {
+            (1..=6).map(|i| job(&format!("k{i}"), i64::from(i), 4 + i)).collect()
+        };
+        let svc = sharded(2, Placement::LeastLoaded);
+        let placements = svc.place(&mk());
+        let report = svc.run(mk());
+        assert!(report.all_ok());
+        assert_eq!(report.placements, placements);
+        // Global submission order survives the merge.
+        let names: Vec<&str> = report.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, ["k1", "k2", "k3", "k4", "k5", "k6"]);
+        // Each partition, run alone on a single-device service, is
+        // bit-identical to the sharded run of the same partition.
+        for d in 0..2 {
+            let part: Vec<KernelJob> = mk()
+                .into_iter()
+                .zip(&placements)
+                .filter(|&(_, &p)| p == d)
+                .map(|(j, _)| j)
+                .collect();
+            let solo =
+                OrionService::new(SimBackend::new(DeviceSpec::gtx680()), ServiceConfig::default())
+                    .run(part);
+            let sharded_part: Vec<&KernelReport> = report
+                .kernels
+                .iter()
+                .zip(&placements)
+                .filter(|&(_, &p)| p == d)
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(solo.kernels.len(), sharded_part.len());
+            for (a, b) in solo.kernels.iter().zip(sharded_part) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.disposition, b.disposition);
+                assert_eq!(
+                    a.outcome.as_ref().unwrap(),
+                    b.outcome.as_ref().unwrap(),
+                    "kernel {} diverged between solo and sharded runs",
+                    a.name
+                );
+                assert_eq!(a.metrics.cycle_domain(), b.metrics.cycle_domain());
+            }
+        }
+    }
+}

@@ -8,9 +8,9 @@
 //! costs, so semantic-preservation tests can compare global memory
 //! bit-for-bit.
 //!
-//! Execution runs over predecoded instruction tables
-//! ([`crate::decode`]) and, by default, pooled structure-of-arrays lane
-//! state ([`crate::lanes`]): warp-wide register-file gathers, packed
+//! Execution runs over predecoded instruction tables (`decode`) and,
+//! by default, pooled structure-of-arrays lane state (`lanes`):
+//! warp-wide register-file gathers, packed
 //! predicate masks, and masked slice write-backs replace the seed
 //! engine's per-lane scalar loops. The seed array-of-structs layout is
 //! retained as [`LaneLayout::Aos`] — the frozen reference both for perf
