@@ -111,6 +111,7 @@ fn batch(n: usize, iterations: u32, deadline_cycles: Option<u64>) -> Vec<KernelJ
                     // Spread priorities so saturation sheds a
                     // deterministic, non-trivial subset.
                     priority: 50 + ((i as u8) % 3) * 50,
+                    search: None,
                 },
             }
         })

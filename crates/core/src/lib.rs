@@ -88,6 +88,7 @@ pub mod cache;
 pub mod compiler;
 pub mod error;
 pub mod orion;
+pub mod policy;
 pub mod reference;
 pub mod resilient;
 pub mod runtime;
@@ -104,7 +105,11 @@ pub use backend::{
 pub use cache::{allocate_cached, CacheConfig, CompileCacheStats, ShardStats};
 pub use compiler::{compile, CompiledKernel, Direction, KernelVersion, TuningConfig};
 pub use error::{ErrorContext, OrionError};
-pub use orion::Orion;
+pub use orion::{Orion, SpaceOutcome};
+pub use policy::{
+    analytic_bound, BanditConfig, BanditPolicy, BoundCtx, Measurement, PaperWalkPolicy, PolicyKind,
+    PolicyVerdict, SearchPolicy,
+};
 pub use resilient::{
     resilient_tune_loop, robust_cycles, robust_measure, ResiliencePolicy, ResilienceStats,
     ResilientOutcome, RobustMeasure,
@@ -119,4 +124,4 @@ pub use session::{
 };
 pub use sharded::{Placement, ShardedReport, ShardedService};
 pub use splitting::{tune_by_splitting, SplitConfig};
-pub use version::VersionBuilder;
+pub use version::{CandidateSpace, SpaceArm, VersionBuilder};

@@ -38,6 +38,16 @@
 //! accesses, deadlocks) are real bugs and propagate immediately, wrapped
 //! with kernel name and failure cycle via
 //! [`OrionError::with_context`].
+//!
+//! All four defenses live in the *session* layer
+//! ([`TuningSession`](crate::session::TuningSession) in
+//! [`SessionMode::Resilient`](crate::session::SessionMode)), not in
+//! the search policy: a session running any
+//! [`SearchPolicy`](crate::policy::SearchPolicy) — the default
+//! [`PaperWalkPolicy`](crate::policy::PaperWalkPolicy) or the
+//! [`BanditPolicy`](crate::policy::BanditPolicy) — gets identical
+//! retry, robust-measurement, quarantine, and fallback semantics; the
+//! policy only chooses which candidate each exploration step measures.
 
 use crate::compiler::{CompiledKernel, KernelVersion};
 use crate::error::OrionError;

@@ -85,9 +85,10 @@ use crate::backend::{AsyncBackend, Completion, LaunchRequest, TicketId};
 use crate::cache;
 use crate::compiler::{CompiledKernel, TuningConfig};
 use crate::error::OrionError;
+use crate::policy::PolicyKind;
 use crate::resilient::ResiliencePolicy;
 use crate::runtime::TuneDecision;
-use crate::session::{SessionOutcome, SessionState, SessionStep, TuningSession};
+use crate::session::{SessionMode, SessionOutcome, SessionState, SessionStep, TuningSession};
 use orion_gpusim::exec::{Launch, SimError};
 use orion_gpusim::faults::{FaultInjector, JobFaults, LaunchFaults, ServiceFaultPlan};
 use orion_gpusim::sim::LaunchOptions;
@@ -126,6 +127,12 @@ pub struct JobPolicy {
     /// Admission priority; higher survives shedding longer. Ties shed
     /// the later submission first.
     pub priority: u8,
+    /// Per-job [`SearchPolicy`](crate::policy::SearchPolicy) override;
+    /// `None` inherits [`ServiceConfig::search`]. The policy only
+    /// changes *which* candidate the session measures next — budgets,
+    /// quarantine, fallback, and scheduling are session-level and apply
+    /// identically under any search policy.
+    pub search: Option<PolicyKind>,
 }
 
 impl Default for JobPolicy {
@@ -135,6 +142,7 @@ impl Default for JobPolicy {
             wall_budget: None,
             retry_budget: None,
             priority: DEFAULT_PRIORITY,
+            search: None,
         }
     }
 }
@@ -248,6 +256,10 @@ pub struct ServiceConfig {
     /// deterministically per submission index. Inert when `None` (and
     /// compiled out without the `faults` feature on `orion-gpusim`).
     pub chaos: Option<ServiceFaultPlan>,
+    /// Search policy for every session ([`PolicyKind::PaperWalk`] by
+    /// default — the paper's exact Figure 9 walk); individual jobs may
+    /// override it via [`JobPolicy::search`].
+    pub search: PolicyKind,
 }
 
 impl Default for ServiceConfig {
@@ -260,6 +272,7 @@ impl Default for ServiceConfig {
             policy: Some(ResiliencePolicy::default()),
             queue_capacity: None,
             chaos: None,
+            search: PolicyKind::PaperWalk,
         }
     }
 }
@@ -659,15 +672,24 @@ impl<B: AsyncBackend> OrionService<B> {
             }
         };
         let compile_wall_us = compile_start.elapsed().as_micros() as u64;
+        let search = job.policy.search.unwrap_or(self.cfg.search);
         let mut session = match self.cfg.policy {
-            Some(policy) => TuningSession::resilient(
+            Some(policy) => TuningSession::with_policy(
                 job.name.as_str(),
                 &ck,
                 job.iterations,
                 self.cfg.threshold,
-                policy,
+                SessionMode::Resilient(policy),
+                search,
             ),
-            None => TuningSession::simple(&ck, job.iterations, self.cfg.threshold),
+            None => TuningSession::with_policy(
+                "",
+                &ck,
+                job.iterations,
+                self.cfg.threshold,
+                SessionMode::Simple,
+                search,
+            ),
         };
         let policy = job.policy;
         // Injected deadline pressure composes with the job's own
@@ -1001,15 +1023,24 @@ impl<B: AsyncBackend> OrionService<B> {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
+                let search = job.policy.search.unwrap_or(self.cfg.search);
                 let session = match self.cfg.policy {
-                    Some(policy) => TuningSession::resilient(
+                    Some(policy) => TuningSession::with_policy(
                         names[i].as_str(),
                         ck,
                         job.iterations,
                         self.cfg.threshold,
-                        policy,
+                        SessionMode::Resilient(policy),
+                        search,
                     ),
-                    None => TuningSession::simple(ck, job.iterations, self.cfg.threshold),
+                    None => TuningSession::with_policy(
+                        "",
+                        ck,
+                        job.iterations,
+                        self.cfg.threshold,
+                        SessionMode::Simple,
+                        search,
+                    ),
                 };
                 let mut a = ActiveJob {
                     name: names[i].clone(),

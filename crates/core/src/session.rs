@@ -56,10 +56,11 @@
 
 use crate::compiler::{CompiledKernel, Direction};
 use crate::error::OrionError;
+use crate::policy::{Measurement, PolicyKind, PolicyVerdict, SearchPolicy};
 use crate::resilient::{
     robust_measure, should_quarantine, ResiliencePolicy, ResilienceStats, ResilientOutcome,
 };
-use crate::runtime::{DynamicTuner, TuneDecision, TuneOutcome};
+use crate::runtime::{TuneDecision, TuneOutcome};
 use orion_telemetry::hist::Histogram;
 use orion_telemetry::journal::{self, JournalEvent};
 use serde::{Deserialize, Serialize};
@@ -260,7 +261,10 @@ pub struct TuningSession<'k> {
     mode: SessionMode,
     threshold: f64,
     iterations: u32,
-    tuner: DynamicTuner,
+    /// The decision core: which candidate next, what a measurement
+    /// means, when to commit ([`crate::policy`]). Defaults to
+    /// [`PaperWalkPolicy`](crate::policy::PaperWalkPolicy).
+    policy: Box<dyn SearchPolicy>,
     state: SessionState,
     /// Completed application iterations (`it` in the legacy loops).
     it: u32,
@@ -281,7 +285,8 @@ pub struct TuningSession<'k> {
 }
 
 impl<'k> TuningSession<'k> {
-    /// A session over `ck`'s candidates in the given mode.
+    /// A session over `ck`'s candidates in the given mode, driven by
+    /// the default [`PolicyKind::PaperWalk`] search policy.
     pub fn new(
         kernel: impl Into<String>,
         ck: &'k CompiledKernel,
@@ -289,8 +294,22 @@ impl<'k> TuningSession<'k> {
         threshold: f64,
         mode: SessionMode,
     ) -> Self {
-        let tuner = DynamicTuner::new(ck, threshold);
-        let state = if tuner.finalized().is_some() {
+        TuningSession::with_policy(kernel, ck, iterations, threshold, mode, PolicyKind::PaperWalk)
+    }
+
+    /// A session whose decision core is chosen by `search` — the
+    /// per-job policy-selection entry point
+    /// ([`JobPolicy::search`](crate::service::JobPolicy::search)).
+    pub fn with_policy(
+        kernel: impl Into<String>,
+        ck: &'k CompiledKernel,
+        iterations: u32,
+        threshold: f64,
+        mode: SessionMode,
+        search: PolicyKind,
+    ) -> Self {
+        let policy = search.build(ck, threshold);
+        let state = if matches!(policy.verdict(), PolicyVerdict::Finalized(_)) {
             SessionState::Finalized
         } else {
             SessionState::Warmup
@@ -312,7 +331,7 @@ impl<'k> TuningSession<'k> {
             aborted: false,
             pending_backoff: 0,
             obs: SessionObs::default(),
-            tuner,
+            policy,
             ck,
         }
     }
@@ -342,16 +361,26 @@ impl<'k> TuningSession<'k> {
         self.state
     }
 
-    /// The tuner's finalized version, once the walk is done.
+    /// The policy's finalized version, once the search is done.
     #[must_use]
     pub fn finalized(&self) -> Option<usize> {
-        self.tuner.finalized()
+        match self.policy.verdict() {
+            PolicyVerdict::Finalized(v) => Some(v),
+            PolicyVerdict::Exploring | PolicyVerdict::Dead => None,
+        }
+    }
+
+    /// The search policy driving this session (e.g. for its
+    /// [`name`](SearchPolicy::name) in reports).
+    #[must_use]
+    pub fn policy(&self) -> &dyn SearchPolicy {
+        self.policy.as_ref()
     }
 
     /// The decision log so far.
     #[must_use]
     pub fn decisions(&self) -> &[TuneDecision] {
-        self.tuner.decisions()
+        self.policy.decisions()
     }
 
     /// Application iterations completed so far.
@@ -391,21 +420,21 @@ impl<'k> TuningSession<'k> {
 
     /// Terminate the session because a service policy budget expired
     /// (`reason` is a stable tag for the journal: `"deadline_cycles"`,
-    /// `"wall_budget"`, `"retry_budget"`). The tuner settles on its
-    /// fail-safe selection ([`DynamicTuner::degrade_to_fallback`]): an
-    /// already finalized version is kept, an unfinished walk resolves to
-    /// the original. Any outstanding launch request and sampling pass
+    /// `"wall_budget"`, `"retry_budget"`). The policy settles on its
+    /// fail-safe selection ([`SearchPolicy::degrade_to_fallback`]): an
+    /// already finalized version is kept, an unfinished search resolves
+    /// to the original. Any outstanding launch request and sampling pass
     /// are dropped. Returns the settled version; `None` means every
     /// version was already quarantined and the session died as
     /// [`SessionState::Quarantined`] instead.
     pub fn degrade(&mut self, reason: &'static str) -> Option<usize> {
         if self.state.is_settled() && self.aborted {
-            return self.tuner.finalized(); // already terminal
+            return self.finalized(); // already terminal
         }
         self.current = None;
         self.pass = None;
         self.aborted = true;
-        let settled = self.tuner.degrade_to_fallback();
+        let settled = self.policy.degrade_to_fallback();
         if settled.is_some() {
             if orion_telemetry::is_enabled() {
                 journal::record(JournalEvent::Degraded { kernel: self.kernel.clone(), reason });
@@ -434,21 +463,23 @@ impl<'k> TuningSession<'k> {
         self.state = to;
     }
 
-    /// Re-derive the observable state from the tuner + pass.
+    /// Re-derive the observable state from the policy + pass.
     fn refresh_state(&mut self) {
         if self.state == SessionState::Degraded {
-            return; // terminal; the tuner's view no longer drives state
+            return; // terminal; the policy's view no longer drives state
         }
-        let to = if self.tuner.all_quarantined() {
-            SessionState::Quarantined
-        } else if self.tuner.finalized().is_some() {
-            SessionState::Finalized
-        } else if self.pass.as_ref().is_some_and(|p| p.target > p.k) {
-            SessionState::Probing
-        } else if self.tuner.trials() == 0 {
-            SessionState::Warmup
-        } else {
-            SessionState::Walking
+        let to = match self.policy.verdict() {
+            PolicyVerdict::Dead => SessionState::Quarantined,
+            PolicyVerdict::Finalized(_) => SessionState::Finalized,
+            PolicyVerdict::Exploring => {
+                if self.pass.as_ref().is_some_and(|p| p.target > p.k) {
+                    SessionState::Probing
+                } else if self.policy.trials() == 0 {
+                    SessionState::Warmup
+                } else {
+                    SessionState::Walking
+                }
+            }
         };
         self.transition(to);
     }
@@ -469,20 +500,19 @@ impl<'k> TuningSession<'k> {
         if self.aborted || self.it >= self.iterations {
             return Ok(SessionStep::Done);
         }
-        if self.tuner.all_quarantined() {
+        let Some(v) = self.policy.propose() else {
             self.refresh_state();
             return Err(OrionError::AllCandidatesFailed {
-                quarantined: self.tuner.quarantined_count(),
+                quarantined: self.policy.quarantined_count(),
             }
             .with_context(self.kernel.clone(), Some(self.total)));
-        }
-        let v = self.tuner.select();
+        };
         match self.mode {
             SessionMode::Simple => {
                 self.current = Some(PendingLaunch { version: v, attempt: 0 });
             }
             SessionMode::Resilient(policy) => {
-                if self.tuner.finalized().is_some() {
+                if self.finalized().is_some() {
                     // Steady state: single launch per iteration.
                     self.pass = None;
                     self.converged_after.get_or_insert(self.iters.len());
@@ -550,9 +580,9 @@ impl<'k> TuningSession<'k> {
 
     /// Report a successful measurement normalized by the invocation's
     /// amount of work (§4.2; see
-    /// [`DynamicTuner::record_with_work`]). Simple-mode only — the
-    /// resilient sampling pass aggregates raw cycles and has no
-    /// per-sample work channel.
+    /// [`DynamicTuner::record_with_work`](crate::runtime::DynamicTuner::record_with_work)).
+    /// Simple-mode only — the resilient sampling pass aggregates raw
+    /// cycles and has no per-sample work channel.
     ///
     /// # Errors
     /// [`OrionError::Tuner`] on zero `work`, on a resilient session, or
@@ -567,7 +597,13 @@ impl<'k> TuningSession<'k> {
         if !matches!(self.mode, SessionMode::Simple) {
             return Err(OrionError::Tuner("work normalization requires a simple session".into()));
         }
-        self.tuner.record_with_work(cycles, work)?;
+        if work == 0 {
+            // Mirror the legacy tuner's rejection: the measurement is
+            // refused before any state moves, so the launch stays
+            // outstanding and the iteration is not consumed.
+            return Err(OrionError::Tuner("work normalization factor must be positive".into()));
+        }
+        self.policy.observe(pending.version, Measurement::with_work(cycles, work));
         self.current = None;
         self.total += cycles;
         self.iters.push((pending.version, cycles));
@@ -582,7 +618,7 @@ impl<'k> TuningSession<'k> {
     fn record_simple(&mut self, version: usize, cycles: u64) {
         self.total += cycles;
         self.iters.push((version, cycles));
-        self.tuner.record(cycles);
+        self.policy.observe(version, Measurement::raw(cycles));
         self.it += 1;
         self.obs.launch_cycles.record(cycles);
         self.obs.queue_wait_cycles.record(0);
@@ -684,18 +720,18 @@ impl<'k> TuningSession<'k> {
         }
         self.strikes[version] += 1;
         if self.strikes[version] >= policy.quarantine_strikes.max(1) {
-            self.tuner.quarantine(version);
+            self.policy.quarantine(version);
             if orion_telemetry::is_enabled() {
                 journal::record(JournalEvent::Quarantine {
                     kernel: self.kernel.clone(),
                     version,
                     strikes: self.strikes[version],
                 });
-                // The tuner logs a FellBack decision when the dead
+                // The policy logs a FellBack decision when the dead
                 // version was the finalized one; mirror it as a typed
                 // journal record naming the replacement.
                 if let Some(d) = self
-                    .tuner
+                    .policy
                     .decisions()
                     .last()
                     .filter(|d| d.reason == crate::runtime::TuneReason::FellBack)
@@ -734,7 +770,7 @@ impl<'k> TuningSession<'k> {
         let margin = (m.rel_spread * policy.noise_margin_factor)
             .clamp(0.0, policy.noise_margin_cap.max(0.0));
         let borderline = margin > 0.0
-            && self.tuner.probe_slowdown(m.cycles).is_some_and(|slow| {
+            && self.policy.probe_slowdown(m.cycles).is_some_and(|slow| {
                 let boundary = match self.ck.direction {
                     Direction::Increasing => margin,
                     Direction::Decreasing => self.threshold.max(margin),
@@ -757,7 +793,7 @@ impl<'k> TuningSession<'k> {
             let m = robust_measure(&mut pass.samples, policy.outlier_factor);
             let margin = (m.rel_spread * policy.noise_margin_factor)
                 .clamp(0.0, policy.noise_margin_cap.max(0.0));
-            self.tuner.record_noisy(m.cycles, margin);
+            self.policy.observe(pass.version, Measurement::noisy(m.cycles, margin));
         }
         self.pass = None;
     }
@@ -767,12 +803,12 @@ impl<'k> TuningSession<'k> {
     #[must_use]
     pub fn finish(mut self) -> SessionOutcome {
         use crate::runtime::TuneReason;
-        let selected = self.tuner.finalized().unwrap_or_else(|| self.tuner.select());
+        let selected = self.finalized().unwrap_or_else(|| self.policy.select());
         let converged_after = match self.mode {
-            SessionMode::Simple => self.tuner.trials(),
+            SessionMode::Simple => self.policy.trials(),
             SessionMode::Resilient(_) => self.converged_after.unwrap_or(self.iters.len()),
         };
-        let decisions = self.tuner.into_decisions();
+        let decisions = self.policy.into_decisions();
         // Reconcile quarantine/fallback stats with the decision log, as
         // the legacy resilient loop did.
         self.stats.quarantined =

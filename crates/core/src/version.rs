@@ -10,10 +10,11 @@
 
 use crate::budget::{budget_for_warps, smem_padding_for_warps};
 use crate::cache::allocate_cached;
-use crate::compiler::KernelVersion;
+use crate::compiler::{CompiledKernel, Direction, KernelVersion};
 use crate::error::OrionError;
+use crate::splitting::{can_split, SplitConfig};
 use orion_alloc::realize::{AllocOptions, SlotBudget};
-use orion_gpusim::device::DeviceSpec;
+use orion_gpusim::device::{CacheConfig, DeviceSpec};
 use orion_gpusim::occupancy::{occupancy, KernelResources};
 use orion_kir::function::Module;
 
@@ -132,6 +133,154 @@ impl<'a> VersionBuilder<'a> {
     }
 }
 
+/// One arm of the widened tuning lattice: a realized version plus the
+/// per-launch execution knobs that distinguish it from its siblings.
+#[derive(Debug, Clone)]
+pub struct SpaceArm {
+    /// The version, realized against the arm's L1/shared split (the
+    /// occupancy baked into it already reflects that split's
+    /// shared-memory capacity).
+    pub version: KernelVersion,
+    /// Per-launch L1/shared-memory split override
+    /// (`cudaFuncSetCacheConfig`); `None` keeps the device's configured
+    /// split.
+    pub cache_config: Option<CacheConfig>,
+    /// Grid slices per measurement pull (`1` = whole grid in one
+    /// launch). Slices cover the grid exactly once per pull, so arms of
+    /// different granularity stay directly comparable by total cycles.
+    pub pieces: u32,
+}
+
+/// The widened candidate space of the bandit search (ISSUE 10): the
+/// cross product **occupancy level × L1/shared split × split
+/// granularity**, in place of the paper's linear ≤ 5-version occupancy
+/// list. Each point is a [`SpaceArm`]; dominated arms are cheap to
+/// pre-prune analytically ([`crate::policy::analytic_bound`]) because
+/// every arm carries its compile-probe occupancy curve.
+#[derive(Debug, Clone)]
+pub struct CandidateSpace {
+    /// The arms, sorted along the tuning direction (ascending occupancy
+    /// for [`Direction::Increasing`], descending for
+    /// [`Direction::Decreasing`]), default split before override,
+    /// whole-grid before split pulls.
+    pub arms: Vec<SpaceArm>,
+    /// The arm standing in for the untuned launch: default split, whole
+    /// grid, at the binary's highest achievable occupancy (the driver's
+    /// untouched schedule). Fallback chains settle here.
+    pub original: usize,
+    /// The tuning direction the space was enumerated for.
+    pub direction: Direction,
+}
+
+impl CandidateSpace {
+    /// Enumerate the lattice for `module` on `dev` at `block` threads
+    /// per block, launched over `grid` blocks. Occupancy levels come
+    /// from the same block-granular sweep as [`Orion::sweep`]
+    /// (per split, since the split changes shared-memory capacity and
+    /// with it which levels are achievable); the split-granularity axis
+    /// is gated by [`can_split`] so undersized grids only get
+    /// whole-grid arms.
+    ///
+    /// [`Orion::sweep`]: crate::orion::Orion::sweep
+    ///
+    /// # Errors
+    /// [`OrionError::NoAchievableOccupancy`] when no level is achievable
+    /// under any split; allocation failures propagate.
+    pub fn enumerate(
+        dev: &DeviceSpec,
+        block: u32,
+        module: &Module,
+        direction: Direction,
+        grid: u32,
+        split: SplitConfig,
+    ) -> Result<CandidateSpace, OrionError> {
+        let alt = match dev.cache_config {
+            CacheConfig::SmallCache => CacheConfig::LargeCache,
+            CacheConfig::LargeCache => CacheConfig::SmallCache,
+        };
+        let granularities: &[u32] =
+            if split.pieces > 1 && can_split(grid, dev.num_sms, split.pieces) {
+                &[1, split.pieces]
+            } else {
+                &[1]
+            };
+        let mut arms: Vec<SpaceArm> = Vec::new();
+        for cache in [None, Some(alt)] {
+            let dev_c = cache.map_or_else(|| dev.clone(), |c| dev.with_cache_config(c));
+            let vb = VersionBuilder::new(&dev_c, block, module);
+            let warps_per_block = block.div_ceil(dev_c.warp_size);
+            let mut levels: Vec<KernelVersion> = Vec::new();
+            let mut w = warps_per_block;
+            while w <= dev_c.max_warps_per_sm {
+                if let Some(v) = vb.sweep_level(w)? {
+                    if !levels.iter().any(|x| x.achieved_warps == v.achieved_warps) {
+                        levels.push(v);
+                    }
+                }
+                w += warps_per_block;
+            }
+            for v in levels {
+                for &pieces in granularities {
+                    let mut version = v.clone();
+                    version.label = format!(
+                        "occ={}/{}{}",
+                        version.achieved_warps,
+                        match cache {
+                            None => "l1-default",
+                            Some(CacheConfig::SmallCache) => "l1-small",
+                            Some(CacheConfig::LargeCache) => "l1-large",
+                        },
+                        if pieces > 1 { format!("/p{pieces}") } else { String::new() },
+                    );
+                    arms.push(SpaceArm { version, cache_config: cache, pieces });
+                }
+            }
+        }
+        if arms.is_empty() {
+            return Err(OrionError::NoAchievableOccupancy);
+        }
+        // Direction-ordered: the paper walk visits arms the way Figure 9
+        // walks occupancy levels; ties resolve default-split-first, then
+        // coarsest granularity, so the walk's anchor sequence is stable.
+        arms.sort_by_key(|a| {
+            let warps = i64::from(a.version.achieved_warps);
+            let dir = match direction {
+                Direction::Increasing => warps,
+                Direction::Decreasing => -warps,
+            };
+            (dir, u8::from(a.cache_config.is_some()), a.pieces)
+        });
+        let original = arms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.cache_config.is_none() && a.pieces == 1)
+            .max_by_key(|(_, a)| a.version.achieved_warps)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(CandidateSpace { arms, original, direction })
+    }
+
+    /// View the space as a [`CompiledKernel`] so any
+    /// [`SearchPolicy`](crate::policy::SearchPolicy) built over kernel
+    /// versions (the paper walk included) runs over the arms unchanged:
+    /// version `i` is arm `i`, and the tuning order is the original
+    /// first, then the remaining arms in direction order — the same
+    /// convention [`crate::compiler::compile`] emits.
+    #[must_use]
+    pub fn to_compiled(&self, max_live: u32) -> CompiledKernel {
+        let tuning_order: Vec<usize> = std::iter::once(self.original)
+            .chain((0..self.arms.len()).filter(|&i| i != self.original))
+            .collect();
+        CompiledKernel {
+            versions: self.arms.iter().map(|a| a.version.clone()).collect(),
+            direction: self.direction,
+            original: self.original,
+            max_live,
+            tuning_order,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +338,98 @@ mod tests {
         let same = vb.repad(&base, base.achieved_warps, 0);
         assert_eq!(same.achieved_warps, base.achieved_warps);
         assert_eq!(same.extra_smem, 0);
+    }
+
+    #[test]
+    fn candidate_space_spans_all_three_axes() {
+        let dev = DeviceSpec::gtx680();
+        let m = kernel(8);
+        // grid 64 over 8 SMs supports 8-way splitting.
+        let space = CandidateSpace::enumerate(
+            &dev,
+            64,
+            &m,
+            Direction::Increasing,
+            64,
+            SplitConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            space.arms.iter().any(|a| a.cache_config.is_none())
+                && space.arms.iter().any(|a| a.cache_config.is_some()),
+            "both L1/shared splits must appear"
+        );
+        assert!(
+            space.arms.iter().any(|a| a.pieces == 1) && space.arms.iter().any(|a| a.pieces == 8),
+            "both split granularities must appear"
+        );
+        let occs: std::collections::BTreeSet<u32> =
+            space.arms.iter().map(|a| a.version.achieved_warps).collect();
+        assert!(occs.len() >= 3, "several occupancy levels: {occs:?}");
+        // Direction order with stable ties.
+        assert!(space
+            .arms
+            .windows(2)
+            .all(|w| w[0].version.achieved_warps <= w[1].version.achieved_warps));
+        // The original arm is the untouched schedule: default split,
+        // whole grid, highest occupancy.
+        let orig = &space.arms[space.original];
+        assert!(orig.cache_config.is_none());
+        assert_eq!(orig.pieces, 1);
+        assert_eq!(
+            orig.version.achieved_warps,
+            space
+                .arms
+                .iter()
+                .filter(|a| a.cache_config.is_none() && a.pieces == 1)
+                .map(|a| a.version.achieved_warps)
+                .max()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn undersized_grids_get_no_split_arms() {
+        let dev = DeviceSpec::gtx680(); // 8 SMs: 8-way split needs ≥ 64 blocks
+        let m = kernel(4);
+        let space = CandidateSpace::enumerate(
+            &dev,
+            32,
+            &m,
+            Direction::Decreasing,
+            16,
+            SplitConfig::default(),
+        )
+        .unwrap();
+        assert!(space.arms.iter().all(|a| a.pieces == 1));
+        assert!(space
+            .arms
+            .windows(2)
+            .all(|w| w[0].version.achieved_warps >= w[1].version.achieved_warps));
+    }
+
+    #[test]
+    fn to_compiled_preserves_arm_indices_and_walk_order() {
+        let dev = DeviceSpec::c2075();
+        let m = kernel(6);
+        let space = CandidateSpace::enumerate(
+            &dev,
+            192,
+            &m,
+            Direction::Increasing,
+            28,
+            SplitConfig::default(),
+        )
+        .unwrap();
+        let ck = space.to_compiled(12);
+        assert_eq!(ck.versions.len(), space.arms.len());
+        assert_eq!(ck.original, space.original);
+        assert_eq!(ck.tuning_order[0], space.original, "walk starts at the original arm");
+        let mut seen: Vec<usize> = ck.tuning_order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..space.arms.len()).collect::<Vec<_>>(), "order covers every arm once");
+        for (arm, v) in space.arms.iter().zip(&ck.versions) {
+            assert_eq!(arm.version.label, v.label);
+        }
     }
 }

@@ -1,0 +1,328 @@
+//! Policy-level equivalence and determinism suite (ISSUE 10).
+//!
+//! The decision core of [`orion_core::session::TuningSession`] now
+//! lives behind [`orion_core::policy::SearchPolicy`]. These tests pin
+//! the refactor at the *policy seam*:
+//!
+//! * A session explicitly constructed with
+//!   [`PolicyKind::PaperWalk`] is **bit-equal** to the frozen
+//!   pre-refactor loops in [`orion_core::reference`] across clean,
+//!   noisy, and fault-injected measurement streams — the default
+//!   policy is the paper's exact Figure 9 walk, not an approximation.
+//! * A session constructed with [`PolicyKind::Bandit`] is a
+//!   deterministic function of its seed: same seed, same arm sequence,
+//!   same outcome, bit for bit — including through the service at any
+//!   worker count.
+//!
+//! The closures are deterministic functions of a seed, so oracle and
+//! live runs see the same measurement stream if and only if they issue
+//! the same launch sequence — exactly the property being pinned.
+
+use orion_alloc::realize::AllocReport;
+use orion_core::compiler::{CompiledKernel, Direction, KernelVersion};
+use orion_core::error::OrionError;
+use orion_core::policy::{BanditConfig, PolicyKind};
+use orion_core::reference;
+use orion_core::resilient::{ResiliencePolicy, ResilientOutcome};
+use orion_core::runtime::{TuneOutcome, TuneReason};
+use orion_core::session::{SessionMode, SessionStep, TuningSession};
+use orion_gpusim::exec::SimError;
+use orion_kir::mir::MModule;
+use orion_kir::types::FuncId;
+
+fn fake_version(warps: u32, fail_safe: bool) -> KernelVersion {
+    KernelVersion {
+        machine: MModule {
+            funcs: vec![],
+            entry: FuncId(0),
+            regs_per_thread: 16,
+            smem_slots_per_thread: 0,
+            local_slots_per_thread: 0,
+            user_smem_bytes: 0,
+            static_stack_moves: 0,
+        },
+        target_warps: warps,
+        achieved_warps: warps,
+        occupancy: f64::from(warps) / 48.0,
+        extra_smem: 0,
+        report: AllocReport {
+            kernel_max_live: 0,
+            regs_per_thread: 16,
+            smem_slots_per_thread: 0,
+            local_slots_per_thread: 0,
+            static_moves: 0,
+            per_func: vec![],
+        },
+        fail_safe,
+        label: format!("occ={warps}{}", if fail_safe { "-fs" } else { "" }),
+    }
+}
+
+fn fake_compiled(warp_levels: &[u32], direction: Direction) -> CompiledKernel {
+    let mut versions: Vec<KernelVersion> =
+        warp_levels.iter().map(|&w| fake_version(w, false)).collect();
+    versions.push(fake_version(4, true));
+    CompiledKernel {
+        tuning_order: (0..warp_levels.len()).collect(),
+        versions,
+        direction,
+        original: 0,
+        max_live: 40,
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn noisy(state: &mut u64, base: u64, amp: f64) -> u64 {
+    let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    let factor = 1.0 + (u * 2.0 - 1.0) * amp;
+    ((base as f64 * factor) as u64).max(1)
+}
+
+const BASE: [u64; 6] = [120, 100, 88, 92, 105, 140];
+
+fn faulty_run<'c>(
+    ck: &'c CompiledKernel,
+    seed: u64,
+    transient_pm: u64,
+    hang_pm: u64,
+    resource_pm: u64,
+) -> impl FnMut(&KernelVersion) -> Result<u64, OrionError> + 'c {
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x0510_c0de;
+    move |v: &KernelVersion| {
+        let i = ck.index_of(&v.label).unwrap();
+        if splitmix64(&mut rng) % 1000 < transient_pm {
+            return Err(SimError::TransientLaunchFailure { code: 0x70_0001 }.into());
+        }
+        if splitmix64(&mut rng) % 1000 < hang_pm {
+            return Err(SimError::Watchdog { budget: 1_000_000 }.into());
+        }
+        if splitmix64(&mut rng) % 1000 < resource_pm {
+            return Err(
+                SimError::ResourceExceeded { detail: format!("injected on {}", v.label) }.into()
+            );
+        }
+        Ok(noisy(&mut rng, BASE[i], 0.05))
+    }
+}
+
+/// Drive a simple-mode session under an explicitly requested policy —
+/// the same two-call loop `tune_loop` uses, minus its default-policy
+/// shortcut.
+fn drive_simple(
+    ck: &CompiledKernel,
+    iterations: u32,
+    kind: PolicyKind,
+    mut run: impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
+) -> Result<TuneOutcome, OrionError> {
+    let mut session =
+        TuningSession::with_policy("", ck, iterations, 0.02, SessionMode::Simple, kind);
+    while let SessionStep::Launch(v) =
+        session.next_step().expect("simple sessions never error from next_step")
+    {
+        let r = run(&ck.versions[v]);
+        session.on_launch_result(r)?;
+    }
+    Ok(session.finish().into_tune_outcome())
+}
+
+/// Drive a resilient-mode session under an explicitly requested policy.
+fn drive_resilient(
+    ck: &CompiledKernel,
+    iterations: u32,
+    policy: &ResiliencePolicy,
+    kind: PolicyKind,
+    mut run: impl FnMut(&KernelVersion) -> Result<u64, OrionError>,
+) -> Result<ResilientOutcome, OrionError> {
+    let mut session = TuningSession::with_policy(
+        "eq",
+        ck,
+        iterations,
+        0.02,
+        SessionMode::Resilient(*policy),
+        kind,
+    );
+    while let SessionStep::Launch(v) = session.next_step()? {
+        session.on_launch_result(run(&ck.versions[v]))?;
+    }
+    Ok(session.finish().into_resilient_outcome())
+}
+
+const DIRECTIONS: [Direction; 2] = [Direction::Increasing, Direction::Decreasing];
+
+#[test]
+fn paper_walk_policy_matches_reference_on_clean_runs() {
+    for dir in DIRECTIONS {
+        for iterations in [0u32, 1, 3, 10, 40] {
+            let ck = fake_compiled(&[8, 16, 24, 32, 48], dir);
+            let idx = |v: &KernelVersion| ck.index_of(&v.label).unwrap();
+            let live =
+                drive_simple(&ck, iterations, PolicyKind::PaperWalk, |v| Ok(BASE[idx(v)])).unwrap();
+            let oracle =
+                reference::tune_loop::<std::convert::Infallible>(&ck, iterations, 0.02, |v| {
+                    Ok(BASE[idx(v)])
+                })
+                .unwrap();
+            assert_eq!(live, oracle, "dir {dir:?}, {iterations} iterations");
+        }
+    }
+}
+
+#[test]
+fn paper_walk_policy_matches_reference_under_noise() {
+    for dir in DIRECTIONS {
+        for seed in 0..40u64 {
+            let ck = fake_compiled(&[8, 16, 24, 32, 48], dir);
+            let live = drive_simple(&ck, 30, PolicyKind::PaperWalk, faulty_run(&ck, seed, 0, 0, 0))
+                .unwrap();
+            let oracle =
+                reference::tune_loop(&ck, 30, 0.02, faulty_run(&ck, seed, 0, 0, 0)).unwrap();
+            assert_eq!(live, oracle, "dir {dir:?}, seed {seed}");
+        }
+    }
+}
+
+/// The full chaos gauntlet at the policy seam: transient failures,
+/// hangs, resource exhaustion, timing noise, both directions, many
+/// seeds. The explicitly-requested PaperWalkPolicy must match the
+/// frozen loop bit for bit — Ok and Err alike.
+#[test]
+fn paper_walk_policy_matches_reference_under_chaos() {
+    let policy = ResiliencePolicy::default();
+    for dir in DIRECTIONS {
+        for seed in 0..60u64 {
+            let ck = fake_compiled(&[8, 16, 24, 32, 48], dir);
+            let live = drive_resilient(
+                &ck,
+                60,
+                &policy,
+                PolicyKind::PaperWalk,
+                faulty_run(&ck, seed, 80, 30, 30),
+            );
+            let oracle = reference::resilient_tune_loop(
+                "eq",
+                &ck,
+                60,
+                0.02,
+                &policy,
+                faulty_run(&ck, seed, 80, 30, 30),
+            );
+            assert_eq!(live, oracle, "dir {dir:?}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn bandit_policy_is_a_pure_function_of_its_seed() {
+    for seed in [0u64, 1, 7, 1337, u64::MAX] {
+        let kind = PolicyKind::Bandit(BanditConfig {
+            seed,
+            prune_slack_pct: u32::MAX,
+            ..BanditConfig::default()
+        });
+        let run = || {
+            let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
+            drive_simple(&ck, 30, kind, faulty_run(&ck, seed ^ 0xFEED, 0, 0, 0)).unwrap()
+        };
+        assert_eq!(run(), run(), "seed {seed}");
+    }
+}
+
+/// Chaos does not break the bandit's session invariants: every run
+/// settles (or dies with the same error shape as the walk would), the
+/// decision log stays coherent, and reruns are bit-identical.
+#[test]
+fn bandit_policy_survives_chaos_deterministically() {
+    let policy = ResiliencePolicy::default();
+    let kind = PolicyKind::Bandit(BanditConfig::default());
+    for seed in 0..30u64 {
+        let ck = fake_compiled(&[8, 16, 24, 32, 48], Direction::Increasing);
+        let run = || drive_resilient(&ck, 60, &policy, kind, faulty_run(&ck, seed, 80, 30, 30));
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seed {seed} not deterministic");
+        if let Ok(out) = a {
+            assert!(out.selected < ck.versions.len());
+            let quarantines =
+                out.decisions.iter().filter(|d| d.reason == TuneReason::Quarantined).count() as u64;
+            assert_eq!(out.stats.quarantined, quarantines, "stats/log divergence: {out:?}");
+        }
+    }
+}
+
+/// Service-level bit-equality: a batch of bandit-policy jobs produces
+/// identical outcomes on a sequential (1 worker, in-flight 1) and a
+/// concurrent (4 workers, unbounded) service — the PR-7/9 determinism
+/// contract extends to non-default search policies.
+#[test]
+fn bandit_jobs_are_bit_identical_across_worker_counts() {
+    use orion_core::backend::SimBackend;
+    use orion_core::compiler::TuningConfig;
+    use orion_core::service::{JobPolicy, KernelJob, OrionService, ServiceConfig};
+    use orion_gpusim::device::DeviceSpec;
+    use orion_gpusim::exec::Launch;
+    use orion_kir::builder::FunctionBuilder;
+    use orion_kir::function::Module;
+    use orion_kir::inst::Operand;
+    use orion_kir::types::{MemSpace, SpecialReg, Width};
+
+    fn toy_module(mul: i64) -> Module {
+        let mut b = FunctionBuilder::kernel("k");
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let cta = b.mov(Operand::Special(SpecialReg::CtaIdX));
+        let nt = b.mov(Operand::Special(SpecialReg::NTidX));
+        let gid = b.imad(cta, nt, tid);
+        let addr = b.imad(gid, Operand::Imm(4), Operand::Param(0));
+        let x = b.ld(MemSpace::Global, Width::W32, addr, 0);
+        let y = b.imul(x, Operand::Imm(mul));
+        b.st(MemSpace::Global, Width::W32, addr, y, 0);
+        Module::new(b.finish())
+    }
+
+    let batch = || -> Vec<KernelJob> {
+        (1..=5)
+            .map(|i| KernelJob {
+                name: format!("k{i}"),
+                module: toy_module(i64::from(i)),
+                launch: Launch { grid: 4, block: 32 },
+                params: vec![0],
+                global: vec![0u8; 4 * 128],
+                iterations: 6 + i,
+                tuning: TuningConfig::new(32),
+                policy: JobPolicy {
+                    // Alternate per-job override and service default.
+                    search: (i % 2 == 0).then_some(PolicyKind::Bandit(BanditConfig::default())),
+                    ..JobPolicy::default()
+                },
+            })
+            .collect()
+    };
+    let mk_cfg = |workers, in_flight_limit| ServiceConfig {
+        workers,
+        in_flight_limit,
+        // The service-wide default is the bandit here; odd jobs inherit.
+        search: PolicyKind::Bandit(BanditConfig { seed: 99, ..BanditConfig::default() }),
+        ..ServiceConfig::default()
+    };
+    let seq = OrionService::new(SimBackend::new(DeviceSpec::gtx680()), mk_cfg(1, 1)).run(batch());
+    let conc = OrionService::new(SimBackend::new(DeviceSpec::gtx680()), mk_cfg(4, 0)).run(batch());
+    assert!(seq.all_ok() && conc.all_ok());
+    assert_eq!(seq.kernels.len(), conc.kernels.len());
+    for (a, b) in seq.kernels.iter().zip(&conc.kernels) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.disposition, b.disposition);
+        assert_eq!(
+            a.outcome.as_ref().unwrap(),
+            b.outcome.as_ref().unwrap(),
+            "kernel {} diverged between 1 and 4 workers",
+            a.name
+        );
+        assert_eq!(a.metrics.cycle_domain(), b.metrics.cycle_domain());
+    }
+}

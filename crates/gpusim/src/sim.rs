@@ -1,7 +1,7 @@
 //! Whole-device simulation: distribute blocks over SMs, run each SM's
 //! engine, and aggregate cycles and counters.
 
-use crate::device::DeviceSpec;
+use crate::device::{CacheConfig, DeviceSpec};
 use crate::exec::{
     EngineGuards, LaneLayout, Launch, LinkedProgram, Scheduler, SimError, SimStats, SmEngine,
     StallStats,
@@ -20,6 +20,10 @@ use serde::{Deserialize, Serialize};
 /// * `cta_range` restricts the launch to a contiguous slice of the grid,
 ///   used by kernel splitting (§3.4): each split invocation launches a
 ///   subset of the blocks while `%nctaid` still reports the full grid.
+/// * `cache_config` re-splits the 64 KB on-chip SRAM between L1 and
+///   shared memory for this launch only — the `cudaFuncSetCacheConfig`
+///   analog. It changes both the occupancy calculation (shared-memory
+///   capacity) and the L1 capacity the memory system simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct LaunchOptions {
     /// Extra shared-memory bytes the driver reserves per block.
@@ -47,6 +51,10 @@ pub struct LaunchOptions {
     /// SoA arenas and the reference AoS layout are bit-identical (see
     /// [`LaneLayout`]).
     pub layout: LaneLayout,
+    /// Per-launch L1/shared-memory split override
+    /// (`cudaFuncSetCacheConfig`); `None` keeps the device's configured
+    /// split.
+    pub cache_config: Option<CacheConfig>,
 }
 
 impl LaunchOptions {
@@ -55,6 +63,13 @@ impl LaunchOptions {
     #[must_use]
     pub fn with_extra_smem(mut self, bytes: u32) -> Self {
         self.extra_smem_per_block = bytes;
+        self
+    }
+
+    /// This template with a per-launch L1/shared-memory split.
+    #[must_use]
+    pub fn with_cache_config(mut self, cfg: CacheConfig) -> Self {
+        self.cache_config = Some(cfg);
         self
     }
 
@@ -278,6 +293,17 @@ pub fn run_launch_faulty(
     opts: LaunchOptions,
     injector: Option<&FaultInjector>,
 ) -> Result<RunResult, SimError> {
+    // Apply the per-launch cache split before anything reads capacities:
+    // the occupancy checks (including the contended-device fault path)
+    // and the SM engines' L1 models all derive from `dev`.
+    let resplit;
+    let dev = match opts.cache_config {
+        Some(cfg) if cfg != dev.cache_config => {
+            resplit = dev.with_cache_config(cfg);
+            &resplit
+        }
+        _ => dev,
+    };
     let faults = injector.map(|i| i.draw()).unwrap_or(crate::faults::LaunchFaults::NONE);
     if faults.transient {
         // The code is the launch ordinal-ish discriminator: enough to

@@ -52,6 +52,12 @@ pub enum JournalEvent {
     SessionPanic { kernel: String },
     /// A poisoned compile-cache shard was cleared and returned to service.
     PoisonRecovered { shard: usize },
+    /// A search policy committed a decision: pruned its arm set,
+    /// finalized a candidate, or fell back. `policy` names the policy
+    /// ("paper_walk", "bandit"), `action` the decision kind
+    /// ("prune", "finalize", "fallback"), `candidate` the arm acted on
+    /// (for "prune": the number of arms dropped).
+    PolicyDecision { policy: &'static str, action: &'static str, candidate: usize },
     /// Free-form marker for subsystems without a dedicated variant yet.
     Note { cat: &'static str, name: String },
 }
@@ -73,6 +79,7 @@ impl JournalEvent {
             JournalEvent::Degraded { .. } => "degraded",
             JournalEvent::SessionPanic { .. } => "session_panic",
             JournalEvent::PoisonRecovered { .. } => "poison_recovered",
+            JournalEvent::PolicyDecision { .. } => "policy_decision",
             JournalEvent::Note { .. } => "note",
         }
     }
@@ -189,6 +196,12 @@ fn write_record(out: &mut String, r: &JournalRecord) {
         }
         JournalEvent::PoisonRecovered { shard } => {
             let _ = write!(out, ",\"shard\":{shard}");
+        }
+        JournalEvent::PolicyDecision { policy, action, candidate } => {
+            let _ = write!(
+                out,
+                ",\"policy\":\"{policy}\",\"action\":\"{action}\",\"candidate\":{candidate}"
+            );
         }
         JournalEvent::Note { cat, name } => {
             let _ = write!(out, ",\"cat\":\"{cat}\",\"name\":");
